@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures.
+
+Every experiment (E1-E15 + ablations, keyed in DESIGN.md) runs at
+"bench scale":
+a tiny campus and minutes of simulated time, enough for the *shape* of
+each result to be stable across seeds.  The printed tables are the
+artifacts EXPERIMENTS.md records.
+
+Heavy shared artifacts (a collected attack day, a developed tool) are
+session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CampusPlatform, DevelopmentLoop, PlatformConfig
+from repro.events import (
+    DnsAmplificationAttack,
+    PortScanAttack,
+    Scenario,
+    SshBruteForceAttack,
+)
+
+BENCH_SEED = 1234
+
+
+def attack_day(duration_s: float = 240.0, attack_gbps: float = 0.1,
+               include_scan: bool = True) -> Scenario:
+    """The standard evaluation day: background + DDoS (+ scan + brute)."""
+    scenario = Scenario("bench-day", duration_s=duration_s)
+    third = duration_s / 4.0
+    scenario.add(DnsAmplificationAttack, third * 0.5, third * 0.6,
+                 attack_gbps=attack_gbps, resolvers=10)
+    if include_scan:
+        scenario.add(PortScanAttack, third * 1.6, third * 0.5,
+                     probes_per_s=40.0)
+        scenario.add(SshBruteForceAttack, third * 2.7, third * 0.8,
+                     attempts_per_s=4.0)
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def bench_platform():
+    """A platform with one collected attack day."""
+    platform = CampusPlatform(PlatformConfig(campus_profile="tiny",
+                                             seed=BENCH_SEED))
+    platform.collect(attack_day(), seed=BENCH_SEED)
+    return platform
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_platform):
+    return bench_platform.build_dataset()
+
+
+@pytest.fixture(scope="session")
+def ddos_dataset(bench_platform):
+    return bench_platform.build_dataset().binarize("ddos-dns-amp")
+
+
+@pytest.fixture(scope="session")
+def bench_tool(ddos_dataset):
+    """The developed (teacher->student->compiled) DDoS detector."""
+    loop = DevelopmentLoop(teacher_name="forest", student_max_depth=4)
+    tool, report = loop.develop(ddos_dataset, tool_name="amp-detector",
+                                seed=BENCH_SEED)
+    return tool, report

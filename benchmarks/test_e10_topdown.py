@@ -1,0 +1,101 @@
+"""E10 (§2 data problem): top-down vs bottom-up researcher workflow.
+
+"these researchers often spend more time on designing and running
+experiments to collect the data needed for extracting the features
+required for the development of their learning models" — vs the
+top-down workflow where "no new measurement experiments and/or data
+collection efforts are required".
+
+The bench plays a researcher iterating on feature windows (1s, 2s, 5s,
+10s, 20s).  Bottom-up re-runs the campus day for every iteration;
+top-down collects once and re-queries the store.  The reproduced
+shape: identical final model quality, with bottom-up paying one full
+collection per iteration.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attack_day
+from repro.analysis import Table
+from repro.baselines import bottom_up_iteration_cost, top_down_iteration_cost
+from repro.core import CampusPlatform, PlatformConfig
+from repro.learning import train_and_evaluate, train_test_split
+
+WINDOW_SWEEP = [1.0, 2.0, 5.0, 10.0, 20.0]
+DAY_SECONDS = 150.0
+
+
+def _fresh_platform(seed):
+    platform = CampusPlatform(PlatformConfig(campus_profile="tiny",
+                                             seed=seed))
+    platform.collect(attack_day(duration_s=DAY_SECONDS,
+                                include_scan=False), seed=seed)
+    return platform
+
+
+def _evaluate(platform, window_s):
+    dataset = platform.build_dataset(
+        window_s=window_s).binarize("ddos-dns-amp")
+    train, test = train_test_split(dataset, test_fraction=0.3,
+                                   seed=BENCH_SEED)
+    return train_and_evaluate("tree", train, test).metrics.get("f1", 0.0)
+
+
+def test_e10_workflow_comparison(benchmark):
+    def run_both():
+        # Top-down: one collection, every iteration is a query.
+        start = time.perf_counter()
+        platform = _fresh_platform(BENCH_SEED + 31)
+        collect_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        top_down_f1 = [
+            (w, _evaluate(platform, w)) for w in WINDOW_SWEEP
+        ]
+        top_down_compute = time.perf_counter() - start
+
+        # Bottom-up: re-collect for every iteration.
+        bottom_up_f1 = []
+        bottom_up_wall = 0.0
+        for w in WINDOW_SWEEP:
+            start = time.perf_counter()
+            fresh = _fresh_platform(BENCH_SEED + 31)
+            bottom_up_wall += time.perf_counter() - start
+            bottom_up_f1.append((w, _evaluate(fresh, w)))
+        return (top_down_f1, top_down_compute, collect_wall,
+                bottom_up_f1, bottom_up_wall)
+
+    (top_down_f1, top_down_compute, collect_wall, bottom_up_f1,
+     bottom_up_wall) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    iterations = len(WINDOW_SWEEP)
+    top_cost = top_down_iteration_cost(iterations, DAY_SECONDS,
+                                       top_down_compute)
+    bottom_cost = bottom_up_iteration_cost(iterations, DAY_SECONDS,
+                                           bottom_up_wall)
+
+    table = Table("E10 top-down (data store) vs bottom-up (re-collect) "
+                  f"feature iteration, {iterations} iterations",
+                  ["workflow", "collection_runs", "campus_days_collected",
+                   "collection_wall_s", "best_f1"])
+    table.row("top-down", top_cost.collection_runs,
+              top_cost.collection_days, collect_wall,
+              max(f for _, f in top_down_f1))
+    table.row("bottom-up", bottom_cost.collection_runs,
+              bottom_cost.collection_days, bottom_up_wall,
+              max(f for _, f in bottom_up_f1))
+    table.print()
+
+    sweep = Table("E10 window-size sweep (identical data, both workflows)",
+                  ["window_s", "f1_top_down", "f1_bottom_up"])
+    for (w, f_top), (_, f_bottom) in zip(top_down_f1, bottom_up_f1):
+        sweep.row(w, f_top, f_bottom)
+    sweep.print()
+
+    # same science, 5x the collection cost
+    assert bottom_cost.collection_runs == iterations
+    assert top_cost.collection_runs == 1
+    assert bottom_up_wall > 2 * collect_wall
+    for (_, f_top), (_, f_bottom) in zip(top_down_f1, bottom_up_f1):
+        assert f_top == pytest.approx(f_bottom, abs=1e-9)

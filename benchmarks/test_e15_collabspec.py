@@ -1,0 +1,67 @@
+"""E15 (§5, extension): minimal collection specs for collaboration.
+
+"a campus network-based study may identify precisely-defined
+problem-specific small subsets of data that are amenable for
+continuous collection even in a large production network where a more
+full-fledged data collection would be infeasible."
+
+For each detection task learned on the full-fidelity campus store,
+greedy backward elimination derives the smallest feature set (and its
+collection tier: SNMP counters < per-flow state < payload/DPI) that
+preserves holdout F1.  The reproduced shape: every task's 15-feature
+full-capture model shrinks to a 1-2 feature spec with no quality loss
+— and at these attack intensities all three specs land in the
+*counter tier* an ISP already collects, which is exactly the
+"precisely-defined small subset" hand-off the paper envisions.  (The
+elimination prefers cheaper tiers on ties, so payload-tier features
+only survive when nothing cheaper carries the signal — exercised in
+``tests/learning/test_subset.py``.)
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import Table
+from repro.learning.models import DecisionTreeClassifier
+from repro.learning.subset import minimal_feature_subset
+
+TASKS = ["ddos-dns-amp", "port-scan", "ssh-bruteforce"]
+
+
+def test_e15_minimal_collection_specs(bench_dataset, benchmark):
+    def run_all():
+        specs = {}
+        for task in TASKS:
+            binary = bench_dataset.binarize(task)
+            spec = minimal_feature_subset(
+                lambda: DecisionTreeClassifier(max_depth=4,
+                                               min_samples_leaf=3),
+                binary, tolerance=0.02, seed=BENCH_SEED)
+            specs[task] = spec
+        return specs
+
+    specs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table("E15 minimal collection spec per task "
+                  "(tolerance: F1 within 0.02 of full capture)",
+                  ["task", "features_kept", "f1_full", "f1_subset",
+                   "heaviest_tier", "full_capture_needed"])
+    for task, spec in specs.items():
+        table.row(task, len(spec.features), spec.metric_full,
+                  spec.metric_subset, spec.tiers_required[-1],
+                  spec.needs_full_capture)
+    table.print()
+    print()
+    for task, spec in specs.items():
+        print(f"--- {task} ---")
+        print(spec.render())
+
+    ddos = specs["ddos-dns-amp"]
+    # the volumetric task collapses to a tiny counter-tier spec
+    assert len(ddos.features) <= 3
+    assert ddos.metric_subset >= ddos.metric_full - 0.02
+    # every spec is much smaller than the full 15-feature capture
+    assert all(len(s.features) <= 6 for s in specs.values())
+    # quality preserved within tolerance everywhere
+    assert all(s.metric_subset >= s.metric_full - 0.02
+               for s in specs.values())

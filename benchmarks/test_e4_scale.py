@@ -1,0 +1,63 @@
+"""E4 (§2 scale claim): concurrent tasks vs switch resources.
+
+"while modern data plane technologies are critical for enabling the
+real-time detection and mitigation of task-specific network events,
+they are currently not capable of supporting this capability at scale;
+i.e., executing hundreds or thousands of such tasks concurrently".
+
+The bench compiles deployable classifiers of increasing size and packs
+copies onto a Tofino-class resource model until a resource runs out.
+The reproduced shape: tens-to-hundreds of small tasks fit; thousands
+never do; the bottleneck is TCAM once trees get realistic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.deploy import SwitchResourceModel, compile_tree
+from repro.deploy.compiler import FeatureQuantizer
+from repro.learning.models import DecisionTreeClassifier
+
+
+def _compiled_classifier(depth: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = np.abs(rng.normal(size=(800, 8))) * [10, 1e4, 5, 1, 1, 100, 50, 1]
+    y = ((X[:, 1] > np.median(X[:, 1])) ^ (X[:, 5] > np.median(X[:, 5]))
+         ).astype(int)
+    tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+    quantizer = FeatureQuantizer.for_features(X)
+    return tree, compile_tree(tree, [f"f{i}" for i in range(8)], quantizer)
+
+
+def test_e4_concurrent_task_scale(benchmark):
+    model = SwitchResourceModel()
+
+    def sweep():
+        rows = []
+        for depth in (2, 3, 4, 6, 8):
+            tree, compiled = _compiled_classifier(depth)
+            max_tasks = model.max_concurrent(compiled)
+            report = model.fit([compiled])
+            rows.append((depth, tree.n_leaves, compiled.n_entries,
+                         compiled.tcam_entries, compiled.tcam_bits,
+                         max_tasks,
+                         model.fit([compiled] * (max_tasks + 1)).bottleneck))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table("E4 (§2) concurrent in-switch tasks vs model size "
+                  "(Tofino-class: 12 stages, 6Mb TCAM)",
+                  ["tree_depth", "leaves", "entries", "tcam_entries",
+                   "tcam_bits", "max_concurrent_tasks", "bottleneck"])
+    for row in rows:
+        table.row(*row)
+    table.print()
+
+    max_by_depth = {r[0]: r[5] for r in rows}
+    # small models: tens-to-hundreds concurrently; big models: a handful
+    assert max_by_depth[2] >= 50
+    assert max_by_depth[8] < max_by_depth[2]
+    # the paper's point: "hundreds or thousands" is out of reach
+    assert all(r[5] < 2000 for r in rows)

@@ -1,0 +1,106 @@
+"""E7 (Fig.2 step ii + iv): deployable models closely approximate the
+black box, and can explain themselves.
+
+"replace the learning model in (i) with a deployable learning model
+(i.e., a learning model that is explainable or interpretable,
+lightweight and closely approximates the original model)".
+
+Table A: student fidelity/accuracy vs tree size (the capacity sweep).
+Table B: evidence-list quality feeding the operator trust model —
+the "white box" side of step (iv).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import Table
+from repro.learning import train_test_split
+from repro.learning.models import GradientBoostingClassifier
+from repro.testbed import OperatorTrustModel, ReviewOutcome
+from repro.xai import distill_tree, explain_decision, fidelity_report, \
+    tree_to_rules
+
+
+def test_e7a_fidelity_vs_size(bench_dataset, benchmark):
+    # The multiclass task (benign / ddos / scan / bruteforce) is hard
+    # enough that student capacity actually matters.
+    train, test = train_test_split(bench_dataset, test_fraction=0.3,
+                                   seed=BENCH_SEED)
+    teacher = GradientBoostingClassifier(n_estimators=60).fit(
+        train.X, train.y)
+    teacher_acc = float(np.mean(teacher.predict(test.X) == test.y))
+
+    def sweep():
+        rows = []
+        for depth in (1, 2, 3, 4, 6):
+            result = distill_tree(teacher, train.X, max_depth=depth,
+                                  seed=BENCH_SEED,
+                                  n_classes=bench_dataset.n_classes)
+            report = fidelity_report(teacher, result.student, test.X,
+                                     test.y)
+            rows.append((depth, result.n_leaves,
+                         report.label_fidelity,
+                         report.probability_fidelity,
+                         report.student_accuracy))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(f"E7a student fidelity vs size, "
+                  f"{bench_dataset.n_classes}-class task "
+                  f"(teacher=boosting, acc={teacher_acc:.3f})",
+                  ["max_depth", "leaves", "label_fidelity",
+                   "proba_fidelity", "student_accuracy"])
+    for row in rows:
+        table.row(*row)
+    table.print()
+
+    fidelity_by_depth = {r[0]: r[2] for r in rows}
+    assert fidelity_by_depth[4] > 0.85           # "closely approximates"
+    assert fidelity_by_depth[4] > fidelity_by_depth[1]   # capacity matters
+    accuracy_by_depth = {r[0]: r[4] for r in rows}
+    assert accuracy_by_depth[4] >= teacher_acc - 0.15
+
+
+def test_e7b_evidence_and_trust(bench_tool, ddos_dataset, benchmark):
+    tool, _ = bench_tool
+    _, test = train_test_split(ddos_dataset, test_fraction=0.3,
+                               seed=BENCH_SEED)
+
+    def review_session():
+        trust = OperatorTrustModel(initial_trust=0.2)
+        reviewed = 0
+        for x, y in zip(test.X, test.y):
+            evidence = explain_decision(tool.student, x,
+                                        feature_names=tool.feature_names,
+                                        class_names=tool.class_names)
+            correct = evidence.predicted_class == y
+            surprising = evidence.predicted_class == 1 and \
+                evidence.confidence > 0.95
+            trust.review_evidence(evidence, correct=correct,
+                                  surprising=surprising)
+            reviewed += 1
+        return trust, reviewed
+
+    trust, reviewed = benchmark.pedantic(review_session, rounds=1,
+                                         iterations=1)
+    rules = tree_to_rules(tool.student, tool.feature_names,
+                          tool.class_names)
+
+    table = Table("E7b operator review of evidence lists",
+                  ["quantity", "value"])
+    table.row("decisions reviewed", reviewed)
+    table.row("rules in deployable model", len(rules))
+    table.row("final operator trust", trust.trust)
+    table.row("would deploy (trust >= 0.7)", trust.would_deploy)
+    table.row("incorrect reviews",
+              sum(1 for e in trust.history
+                  if e.outcome == ReviewOutcome.INCORRECT))
+    table.print()
+    print()
+    print("deployable model as a rule list:")
+    print(rules.render())
+
+    assert trust.trust > 0.2           # net trust gain from review
+    assert len(rules) <= 16            # interpretable size

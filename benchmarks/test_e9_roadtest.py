@@ -1,0 +1,129 @@
+"""E9 (§4): road-testing vs direct deployment.
+
+Operators "are opposed to deploying untrustworthy tools".  The bench
+road-tests two candidate tools on the campus testbed: the developed
+detector and a deliberately trigger-happy one (threshold so low it
+mitigates benign endpoints).  The reproduced shape: the staged
+pipeline promotes the good tool and stops the bad one at shadow —
+before any production traffic is harmed — whereas direct deployment
+of the bad tool damages benign traffic.
+"""
+
+import copy
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, attack_day
+from repro.analysis import Table
+from repro.deploy.compiler import CompileResult
+from repro.deploy.switch import EmulatedSwitch, SwitchConfig
+from repro.netsim import make_campus
+from repro.testbed import DeploymentPhase, RoadTestPipeline, \
+    standard_guardrails
+from repro.testbed.slo import measure_collateral
+
+
+def _run_factory(seed):
+    # Dense background traffic so a trigger-happy tool has plenty of
+    # benign endpoints to wrongly flag.
+    net = make_campus("tiny", seed=seed, mean_flows_per_hour=900.0)
+    return net, attack_day(duration_s=150.0, attack_gbps=0.08,
+                           include_scan=False)
+
+
+def _aggressive_result(tool) -> CompileResult:
+    """Corrupt the tool into a trigger-happy detector: every verdict —
+    including the former benign leaves and the default — fires as the
+    attack class with full confidence (a maximally miscalibrated tool
+    that would drop every endpoint it ever profiles)."""
+    compiled = copy.deepcopy(tool.compiled)
+    table = compiled.classify_table
+    table.default_params = {"class_id": 1, "confidence": 1.0}
+    for entry in table.entries:
+        entry.params["class_id"] = 1
+        entry.params["confidence"] = 1.0
+    return compiled
+
+
+def test_e9_roadtest_vs_direct_deploy(bench_tool, benchmark):
+    tool, _ = bench_tool
+    # Collateral ceiling is generous at tiny-campus scale: the attack
+    # abuses most of the (small) external host pool as reflectors, so
+    # even a perfect mitigation rate-limits endpoints benign users
+    # also talk to.
+    guardrails = standard_guardrails(max_false_positive_rate=0.25,
+                                     min_recall=0.2,
+                                     max_collateral_fraction=0.75)
+
+    def run_all():
+        good_pipeline = RoadTestPipeline(
+            run_factory=_run_factory,
+            deploy_fn=lambda net, cfg: tool.deploy(net, cfg),
+            base_config=SwitchConfig(window_s=5.0, grace_s=2.0,
+                                     confidence_threshold=0.9),
+            guardrails=guardrails,
+        )
+        good = good_pipeline.run(seed=BENCH_SEED)
+
+        aggressive = _aggressive_result(tool)
+
+        def deploy_bad(net, cfg):
+            bad_cfg = copy.deepcopy(cfg)
+            bad_cfg.benign_class = tool.class_names[0]
+            return EmulatedSwitch(net, aggressive, bad_cfg)
+
+        bad_pipeline = RoadTestPipeline(
+            run_factory=_run_factory,
+            deploy_fn=deploy_bad,
+            base_config=SwitchConfig(window_s=5.0, grace_s=2.0,
+                                     confidence_threshold=0.9),
+            guardrails=guardrails,
+        )
+        bad = bad_pipeline.run(seed=BENCH_SEED)
+
+        # direct deployment of the bad tool (what §4 warns against)
+        net, scenario = _run_factory(BENCH_SEED + 999)
+        flows = []
+        net.add_flow_observer(flows.append)
+        direct_cfg = SwitchConfig(window_s=5.0, grace_s=2.0,
+                                  confidence_threshold=0.9)
+        direct_cfg.benign_class = tool.class_names[0]
+        switch = EmulatedSwitch(net, aggressive, direct_cfg)
+        from repro.events.scenario import run_scenario
+
+        run_scenario(net, scenario, seed=BENCH_SEED + 999)
+        direct_collateral = measure_collateral(
+            flows + list(net.flows.blocked_flows), switch.mitigation_log)
+        return good, bad, direct_collateral
+
+    good, bad, direct = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table("E9 staged road-test vs direct deployment",
+                  ["tool", "path", "outcome", "prod_collateral"])
+    table.row("developed detector", "shadow->canary->full",
+              "deployed" if good.deployed else
+              f"rolled back at {good.rolled_back_at.value}",
+              good.phases[-1].metrics["collateral_fraction"]
+              if good.deployed else 0.0)
+    table.row("miscalibrated detector", "shadow->canary->full",
+              "deployed" if bad.deployed else
+              f"rolled back at {bad.rolled_back_at.value}", 0.0)
+    table.row("miscalibrated detector", "direct deploy (no testbed)",
+              "deployed blind", direct.collateral_fraction)
+    table.print()
+
+    phases = Table("E9 phase detail (developed detector)",
+                   ["phase", "precision", "recall",
+                    "collateral", "violations"])
+    for phase in good.phases:
+        phases.row(phase.phase.value, phase.metrics["precision"],
+                   phase.metrics["recall"],
+                   phase.metrics["collateral_fraction"],
+                   len(phase.violations))
+    phases.print()
+
+    assert good.deployed
+    assert not bad.deployed
+    assert bad.rolled_back_at == DeploymentPhase.SHADOW
+    # shadow stopped the bad tool before harming anything; direct didn't
+    assert direct.collateral_fraction > 0.2

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""§5's reproducibility story: open-source the algorithm, not the data.
+
+Each campus keeps its data store private; what travels between
+universities is the *learning algorithm*.  This example trains the
+same open-sourced detector on three differently-shaped campuses and
+cross-evaluates, producing the confidence-building accuracy matrix the
+paper envisions.
+
+Run:  python examples/cross_campus_reproducibility.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import CampusPlatform, PlatformConfig
+from repro.events import DnsAmplificationAttack, Scenario
+from repro.learning import train_and_evaluate, train_test_split
+
+CAMPUSES = ["tiny", "teaching", "residential"]
+
+
+def local_dataset(profile: str, seed: int):
+    """What one university's researchers build from their own store."""
+    platform = CampusPlatform(PlatformConfig(campus_profile=profile,
+                                             seed=seed))
+    day = Scenario(f"{profile}-day", duration_s=150.0)
+    day.add(DnsAmplificationAttack, 30.0, 25.0, attack_gbps=0.08)
+    platform.collect(day)
+    return platform.build_dataset(
+        class_names=["benign", "ddos-dns-amp"]).binarize("ddos-dns-amp")
+
+
+def main() -> None:
+    models, holdouts = {}, {}
+    for i, profile in enumerate(CAMPUSES):
+        dataset = local_dataset(profile, seed=100 + 10 * i)
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
+        result = train_and_evaluate("forest", train, test)
+        models[profile] = result.model
+        holdouts[profile] = test
+        print(f"{profile:12s}: {len(dataset)} windows, local accuracy "
+              f"{result.metrics['accuracy']:.3f}")
+
+    table = Table("cross-campus accuracy (train row, test column)",
+                  ["train\\test", *CAMPUSES])
+    for train_campus in CAMPUSES:
+        row = []
+        for test_campus in CAMPUSES:
+            test = holdouts[test_campus]
+            accuracy = float(np.mean(
+                models[train_campus].predict(test.X) == test.y))
+            row.append(accuracy)
+        table.row(train_campus, *row)
+    table.print()
+
+    print("\nreading the matrix: a strong diagonal says each campus can "
+          "reproduce the result locally; strong off-diagonals say the "
+          "algorithm, not one campus's quirks, carries it.")
+
+
+if __name__ == "__main__":
+    main()

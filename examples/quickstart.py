@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: your campus network as a data source.
+
+Builds an instrumented campus, runs one day of traffic with a labeled
+DNS-amplification attack, and walks the top-down research workflow:
+query the data store, extract features, train a detector — no external
+dataset required.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import Table
+from repro.core import CampusPlatform, PlatformConfig
+from repro.datastore import Query
+from repro.events import DnsAmplificationAttack, Scenario
+from repro.learning import train_and_evaluate, train_test_split
+
+
+def main() -> None:
+    # 1. Stand up an instrumented campus: border tap, lossless capture,
+    #    prefix-preserving anonymization, metadata extraction, sensors.
+    platform = CampusPlatform(PlatformConfig(campus_profile="small",
+                                             seed=42))
+
+    # 2. One day in the life: background traffic plus a labeled attack.
+    day = Scenario("first-day", duration_s=180.0)
+    day.add(DnsAmplificationAttack, start_offset_s=40.0, duration_s=30.0,
+            attack_gbps=0.1)
+    collection = platform.collect(day)
+    print(f"captured {collection.packets_captured} packets "
+          f"({collection.capture_loss_rate:.1%} loss), "
+          f"{collection.flows_stored} flow records, "
+          f"{collection.logs_stored} sensor log lines")
+
+    # 3. The store is queryable and indexed: e.g. every DNS ANY packet.
+    any_packets = platform.store.query(Query(
+        collection="packets", tags={"dns_qtype": "ANY"}, limit=5))
+    print(f"\nfirst DNS ANY-query packets in the store "
+          f"({len(any_packets)} shown):")
+    for stored in any_packets:
+        record = stored.record
+        print(f"  t={record.timestamp:9.2f}  {record.src_ip:>15} -> "
+              f"{record.dst_ip:<15}  {stored.tags.get('dns_qname', '')}")
+
+    # 4. Top-down feature engineering: one call, no re-measurement.
+    dataset = platform.build_dataset()
+    print(f"\nfeature matrix: {len(dataset)} windows x "
+          f"{dataset.n_features} features, classes {dataset.class_counts()}")
+
+    # 5. Train and evaluate a detector.
+    binary = dataset.binarize("ddos-dns-amp")
+    train, test = train_test_split(binary, test_fraction=0.3, seed=0)
+    table = Table("detector comparison", ["model", "accuracy", "f1"])
+    for model_name in ("tree", "forest", "boosting", "logistic"):
+        result = train_and_evaluate(model_name, train, test)
+        table.row(model_name, result.metrics["accuracy"],
+                  result.metrics.get("f1", 0.0))
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — a campus-network platform for AI/ML networking research.
+
+Reproduction of "An Effort to Democratize Networking Research in the Era
+of AI/ML" (HotNets'19).  The package treats a simulated campus network as
+both a *data source* (continuous full-packet capture feeding a curated,
+privacy-managed data store) and a *testbed* (road-testing AI/ML-based
+network automation tools before deployment), and implements the paper's
+road-to-deployment pipeline: black-box learning -> XAI model extraction
+-> compilation to a programmable-switch program -> a fast in-network
+sense/infer/react control loop.
+
+Subpackages
+-----------
+netsim     discrete-event campus network simulator (the "production network")
+events     labeled network-event generators (attacks, incidents)
+capture    full-packet capture, flow assembly, metadata, sensors, cost model
+datastore  indexed, queryable, labeled network data store
+privacy    anonymization, k-anonymity, differential privacy, access control
+learning   from-scratch ML models, features, metrics, and a Gym-style RL env
+xai        model extraction / distillation, fidelity, rules, evidence lists
+deploy     match-action IR, tree->table compiler, P4 emitter, switch emulator
+testbed    shadow/canary road-testing, SLO guardrails, operator trust
+baselines  threshold detection, sampled NetFlow, offline inference
+core       the CampusPlatform facade, development loop, and control loop
+analysis   reporting tables and statistics helpers
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

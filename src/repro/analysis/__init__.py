@@ -1,0 +1,8 @@
+"""Reporting tables and statistics helpers for the benchmarks."""
+
+from repro.analysis.tables import Table, format_number
+from repro.analysis.stats import bootstrap_ci, mean_std, summarize
+from repro.analysis.report import CampusReport, generate_report
+
+__all__ = ["Table", "format_number", "bootstrap_ci", "mean_std",
+           "summarize", "CampusReport", "generate_report"]

@@ -1,0 +1,47 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0, 0.0
+    return float(arr.mean()), float(arr.std(ddof=1) if arr.size > 1 else 0.0)
+
+
+def bootstrap_ci(values: Sequence[float], confidence: float = 0.95,
+                 n_resamples: int = 2000, seed: int = 0) -> \
+        Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0, 0.0
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0,
+                "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1) if arr.size > 1 else 0.0),
+        "min": float(arr.min()),
+        "p50": float(np.quantile(arr, 0.5)),
+        "p95": float(np.quantile(arr, 0.95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,70 @@
+"""Plain-text result tables (every bench prints one of these)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_number(value, precision: int = 3) -> str:
+    """Compact numeric formatting with unit-scale suffixes."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        if abs(value) >= 1_000_000_000:
+            return f"{value / 1e9:.2f}G"
+        if abs(value) >= 1_000_000:
+            return f"{value / 1e6:.2f}M"
+        if abs(value) >= 10_000:
+            return f"{value / 1e3:.1f}k"
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 10 ** -precision:
+            return f"{value:.2e}"
+        if abs(value) >= 1_000_000:
+            return f"{value / 1e6:.2f}M"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+class Table:
+    """An aligned ASCII table with a title.
+
+    >>> t = Table("demo", ["a", "b"])
+    >>> t.row(1, 2.5)
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    === demo ===...
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_number(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            for row in self.rows
+        ]
+        return "\n".join([f"=== {self.title} ===", header, rule, *body])
+
+    def print(self) -> None:
+        print()
+        print(self.render())

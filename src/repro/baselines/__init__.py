@@ -1,0 +1,30 @@
+"""Comparison approaches the community already had.
+
+Every experiment reports who wins against what existed before the
+platform:
+
+* :mod:`repro.baselines.threshold` — hand-tuned static thresholds
+  (today's operator practice).
+* :mod:`repro.baselines.netflow` — sampled NetFlow collection instead
+  of full-packet capture (what most campuses actually run).
+* :mod:`repro.baselines.offline` — the bottom-up, ad-hoc measurement
+  workflow (re-collect data for every feature iteration).
+"""
+
+from repro.baselines.threshold import ThresholdDetector, ThresholdRule
+from repro.baselines.netflow import NetFlowSampler, sampled_dataset
+from repro.baselines.offline import (
+    IterationCost,
+    bottom_up_iteration_cost,
+    top_down_iteration_cost,
+)
+
+__all__ = [
+    "ThresholdDetector",
+    "ThresholdRule",
+    "NetFlowSampler",
+    "sampled_dataset",
+    "IterationCost",
+    "bottom_up_iteration_cost",
+    "top_down_iteration_cost",
+]

@@ -1,0 +1,56 @@
+"""Bottom-up vs top-down researcher workflow cost model.
+
+§2 contrasts today's bottom-up workflow — design an experiment,
+collect, extract, notice the features are wrong, repeat — with the
+top-down workflow a populated data store allows, where every feature
+iteration is just another query.  Experiment E10 measures both on the
+same task; this module supplies the cost accounting.
+
+Costs are expressed in *campus-days of data collection* plus measured
+compute seconds, because wall-clock collection time is the quantity
+the paper argues dominates researchers' time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class IterationCost:
+    """Cost of one complete feature-engineering campaign."""
+
+    iterations: int
+    collection_runs: int          # how many times traffic was (re)captured
+    collection_days: float        # simulated days of traffic gathered
+    compute_seconds: float        # actual featurize+train time
+    notes: str = ""
+
+    @property
+    def dominated_by_collection(self) -> bool:
+        return self.collection_runs > 1
+
+
+def bottom_up_iteration_cost(iterations: int, day_length_s: float,
+                             compute_seconds: float) -> IterationCost:
+    """Ad-hoc workflow: every iteration re-runs collection."""
+    return IterationCost(
+        iterations=iterations,
+        collection_runs=iterations,
+        collection_days=iterations * day_length_s / 86_400.0,
+        compute_seconds=compute_seconds,
+        notes="each feature change triggered a new measurement experiment",
+    )
+
+
+def top_down_iteration_cost(iterations: int, day_length_s: float,
+                            compute_seconds: float) -> IterationCost:
+    """Data-store workflow: collect once, query forever."""
+    return IterationCost(
+        iterations=iterations,
+        collection_runs=1,
+        collection_days=day_length_s / 86_400.0,
+        compute_seconds=compute_seconds,
+        notes="all iterations re-queried the existing data store",
+    )

@@ -1,0 +1,72 @@
+"""Static-threshold detection — the pre-ML operator playbook.
+
+A :class:`ThresholdDetector` is a tiny hand-written rule set over the
+same window features the learned models consume, so comparisons are
+apples-to-apples.  It also satisfies the ``predict`` interface, which
+lets the rest of the pipeline (switch compiler included — thresholds
+are trivially compilable) treat it as a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.learning.features import FEATURE_NAMES
+
+
+@dataclass
+class ThresholdRule:
+    """fire when feature >= threshold (or <= when inverted)."""
+
+    feature: str
+    threshold: float
+    invert: bool = False
+
+    def fires(self, vector: Sequence[float],
+              feature_index: Dict[str, int]) -> bool:
+        value = vector[feature_index[self.feature]]
+        return value <= self.threshold if self.invert \
+            else value >= self.threshold
+
+
+class ThresholdDetector:
+    """AND-combined threshold rules -> binary verdict.
+
+    The default rule set is the classic DNS-amplification playbook:
+    high inbound DNS response share plus a lopsided in/out byte ratio.
+    """
+
+    def __init__(self, rules: Optional[List[ThresholdRule]] = None,
+                 feature_names: Optional[List[str]] = None):
+        self.feature_names = list(feature_names or FEATURE_NAMES)
+        self._index = {name: i for i, name in enumerate(self.feature_names)}
+        self.rules = rules if rules is not None else [
+            ThresholdRule("dns_fraction", 0.8),
+            ThresholdRule("bytes_in_out_ratio", 20.0),
+            ThresholdRule("pkt_rate", 50.0),
+        ]
+        for rule in self.rules:
+            if rule.feature not in self._index:
+                raise KeyError(f"unknown feature {rule.feature!r}")
+        self.n_classes_ = 2
+
+    def fit(self, X, y):
+        """No-op: thresholds are hand-tuned, that is the point."""
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.zeros(len(X), dtype=int)
+        for i, row in enumerate(X):
+            out[i] = int(all(rule.fires(row, self._index)
+                             for rule in self.rules))
+        return out
+
+    def predict_proba(self, X) -> np.ndarray:
+        pred = self.predict(X)
+        proba = np.zeros((len(pred), 2))
+        proba[np.arange(len(pred)), pred] = 1.0
+        return proba

@@ -1,0 +1,47 @@
+"""Full-packet capture, flow assembly, metadata, sensors, and costs.
+
+This subpackage stands in for the commercial capture appliance the
+paper proposes deploying at the campus border (§5): enterprise-wide,
+continuous, lossless, full packet capture, producing not just raw
+packets but cleaned, linked, "on-the-fly" metadata, plus complementary
+sensor feeds (server logs, firewall events, configuration snapshots).
+
+* :mod:`repro.capture.tap` — attaches to an observed link.
+* :mod:`repro.capture.engine` — line-rate capture with an explicit
+  capacity/buffer model (so lossless-ness is measurable, not assumed).
+* :mod:`repro.capture.pcapng` — on-disk packet serialization.
+* :mod:`repro.capture.flows` — packet-to-flow-record assembly.
+* :mod:`repro.capture.metadata` — protocol-aware metadata extraction.
+* :mod:`repro.capture.sensors` — complementary log/event sources.
+* :mod:`repro.capture.costmodel` — storage/cost model for §5's claims.
+"""
+
+from repro.capture.tap import BorderTap
+from repro.capture.engine import CaptureEngine, CaptureStats
+from repro.capture.flows import FlowAssembler, FlowRecord
+from repro.capture.metadata import MetadataExtractor
+from repro.capture.sensors import (
+    ConfigSnapshotSource,
+    FirewallSensor,
+    LogRecord,
+    ServerLogSensor,
+)
+from repro.capture.costmodel import CaptureCostModel, CostEstimate
+from repro.capture.pcapng import read_packets, write_packets
+
+__all__ = [
+    "BorderTap",
+    "CaptureEngine",
+    "CaptureStats",
+    "FlowAssembler",
+    "FlowRecord",
+    "MetadataExtractor",
+    "LogRecord",
+    "ServerLogSensor",
+    "FirewallSensor",
+    "ConfigSnapshotSource",
+    "CaptureCostModel",
+    "CostEstimate",
+    "read_packets",
+    "write_packets",
+]

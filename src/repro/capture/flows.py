@@ -1,0 +1,141 @@
+"""Packet-to-flow assembly (NetFlow-style records).
+
+The data store keeps both raw packets and assembled flow records; most
+feature extraction works at flow granularity.  Assembly is keyed on the
+direction-insensitive canonical 5-tuple with an idle timeout, the same
+semantics as a router's flow cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netsim.packets import PacketRecord, TcpFlags
+
+WELL_KNOWN_SERVICES = {
+    22: "ssh", 23: "telnet", 25: "smtp", 53: "dns", 80: "http",
+    110: "pop3", 123: "ntp", 143: "imap", 443: "https", 445: "smb",
+    587: "smtp", 993: "imaps", 3306: "mysql", 3389: "rdp", 5432: "postgres",
+    6379: "redis", 8080: "http-alt",
+}
+
+
+@dataclass
+class FlowRecord:
+    """Bidirectional flow summary assembled from packets."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int
+    first_seen: float
+    last_seen: float
+    packets_fwd: int = 0
+    packets_rev: int = 0
+    bytes_fwd: int = 0
+    bytes_rev: int = 0
+    syn_count: int = 0
+    fin_count: int = 0
+    rst_count: int = 0
+    min_ttl: int = 255
+    label: str = "benign"
+    app_hint: str = ""
+    flow_ids: List[int] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return max(self.last_seen - self.first_seen, 0.0)
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_fwd + self.packets_rev
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_fwd + self.bytes_rev
+
+    @property
+    def service(self) -> str:
+        """Best-effort service name from the lower well-known port."""
+        for port in sorted((self.src_port, self.dst_port)):
+            if port in WELL_KNOWN_SERVICES:
+                return WELL_KNOWN_SERVICES[port]
+        return "other"
+
+    @property
+    def byte_ratio(self) -> float:
+        """Responder-to-initiator byte ratio (amplification signal)."""
+        if self.bytes_fwd == 0:
+            return float(self.bytes_rev)
+        return self.bytes_rev / self.bytes_fwd
+
+
+class FlowAssembler:
+    """Builds :class:`FlowRecord` objects from a packet stream.
+
+    The first packet observed for a canonical key defines the flow's
+    forward direction (initiator = that packet's source).
+    """
+
+    def __init__(self, idle_timeout_s: float = 60.0):
+        self.idle_timeout_s = float(idle_timeout_s)
+        self._active: Dict[Tuple, FlowRecord] = {}
+        self._initiator: Dict[Tuple, str] = {}
+        self.finished: List[FlowRecord] = []
+
+    def add_packet(self, packet: PacketRecord) -> None:
+        key = packet.five_tuple().canonical()
+        record = self._active.get(key)
+        if record is not None and (
+            packet.timestamp - record.last_seen > self.idle_timeout_s
+        ):
+            self.finished.append(record)
+            record = None
+        if record is None:
+            record = FlowRecord(
+                src_ip=packet.src_ip, dst_ip=packet.dst_ip,
+                src_port=packet.src_port, dst_port=packet.dst_port,
+                protocol=packet.protocol,
+                first_seen=packet.timestamp, last_seen=packet.timestamp,
+                label=packet.label, app_hint=packet.app,
+            )
+            self._active[key] = record
+            self._initiator[key] = packet.src_ip
+
+        forward = packet.src_ip == self._initiator[key]
+        if forward:
+            record.packets_fwd += 1
+            record.bytes_fwd += packet.size
+        else:
+            record.packets_rev += 1
+            record.bytes_rev += packet.size
+        record.last_seen = max(record.last_seen, packet.timestamp)
+        record.first_seen = min(record.first_seen, packet.timestamp)
+        record.min_ttl = min(record.min_ttl, packet.ttl)
+        if packet.flags & TcpFlags.SYN:
+            record.syn_count += 1
+        if packet.flags & TcpFlags.FIN:
+            record.fin_count += 1
+        if packet.flags & TcpFlags.RST:
+            record.rst_count += 1
+        if packet.label != "benign":
+            record.label = packet.label
+        if packet.flow_id not in record.flow_ids:
+            record.flow_ids.append(packet.flow_id)
+
+    def add_packets(self, packets: Iterable[PacketRecord]) -> None:
+        for packet in packets:
+            self.add_packet(packet)
+
+    def flush(self) -> List[FlowRecord]:
+        """Close all active flows; returns the complete record list."""
+        self.finished.extend(self._active.values())
+        self._active.clear()
+        self._initiator.clear()
+        return self.finished
+
+    def records(self) -> List[FlowRecord]:
+        """All finished plus in-progress records (non-destructive)."""
+        return self.finished + list(self._active.values())

@@ -1,0 +1,132 @@
+"""On-the-fly metadata extraction.
+
+The paper's §5 emphasises that modern capture platforms generate "an
+extensive set of on-the-fly generated metadata" and that all stored
+data is "cleaned, curated, time-synchronized and (where possible)
+labelled, but also linked and indexed".  The extractor turns each
+captured packet into a tag dictionary: transport/service
+identification, payload-derived protocol facts (DNS qname/qtype, HTTP
+method and host, TLS SNI, SSH banner), directionality, and campus-side
+attribution (which department the internal endpoint belongs to).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.capture.flows import WELL_KNOWN_SERVICES
+from repro.netsim.packets import PacketRecord, Protocol
+from repro.netsim.traffic.payloads import decode_dns_qname
+
+
+class MetadataExtractor:
+    """Derives tags from packet headers and payload fragments."""
+
+    def __init__(self, topology=None):
+        self._topology = topology
+
+    def extract(self, packet: PacketRecord) -> Dict[str, str]:
+        tags: Dict[str, str] = {
+            "proto": Protocol(packet.protocol).name.lower()
+            if packet.protocol in (1, 6, 17) else str(packet.protocol),
+            "direction": packet.direction,
+            "service": self._service(packet),
+        }
+        payload_tags = self._payload_tags(packet)
+        tags.update(payload_tags)
+        if self._topology is not None:
+            internal_ip = (
+                packet.dst_ip if packet.direction == "in" else packet.src_ip
+            )
+            node = self._topology.node_by_ip(internal_ip)
+            if node is not None:
+                dept = self._topology.department(node)
+                if dept:
+                    tags["department"] = dept
+        return tags
+
+    @staticmethod
+    def _service(packet: PacketRecord) -> str:
+        for port in sorted((packet.src_port, packet.dst_port)):
+            if port in WELL_KNOWN_SERVICES:
+                return WELL_KNOWN_SERVICES[port]
+        return "other"
+
+    def _payload_tags(self, packet: PacketRecord) -> Dict[str, str]:
+        payload = packet.payload
+        if not payload:
+            return {}
+        if packet.protocol == int(Protocol.UDP) and 53 in (
+            packet.src_port, packet.dst_port
+        ):
+            return self._dns_tags(payload)
+        if payload.startswith(b"\x16\x03") or payload.startswith(b"\x17\x03"):
+            return self._tls_tags(payload)
+        if payload[:4] in (b"GET ", b"POST", b"HTTP"):
+            return self._http_tags(payload)
+        if payload.startswith(b"SSH-"):
+            return {"app_proto": "ssh",
+                    "ssh_banner": payload.split(b"\r\n")[0].decode(
+                        "ascii", errors="replace")}
+        if payload[:3] in (b"220", b"EHL"):
+            return {"app_proto": "smtp"}
+        return {}
+
+    @staticmethod
+    def _dns_tags(payload: bytes) -> Dict[str, str]:
+        tags: Dict[str, str] = {"app_proto": "dns"}
+        if len(payload) < 12:
+            return tags
+        flags = struct.unpack(">H", payload[2:4])[0]
+        tags["dns_qr"] = "response" if flags & 0x8000 else "query"
+        qname = decode_dns_qname(payload)
+        if qname:
+            tags["dns_qname"] = qname
+        # QTYPE follows the qname; ANY (255) marks amplification abuse.
+        try:
+            i = 12
+            while i < len(payload) and payload[i] != 0:
+                i += payload[i] + 1
+            qtype = struct.unpack(">H", payload[i + 1:i + 3])[0]
+            tags["dns_qtype"] = "ANY" if qtype == 255 else str(qtype)
+        except (struct.error, IndexError):
+            pass
+        ancount = struct.unpack(">H", payload[6:8])[0]
+        tags["dns_answers"] = str(ancount)
+        return tags
+
+    @staticmethod
+    def _tls_tags(payload: bytes) -> Dict[str, str]:
+        tags = {"app_proto": "tls"}
+        if len(payload) > 4 and payload[0] == 0x16:
+            sni = payload[4:].decode("ascii", errors="ignore").strip()
+            if sni and all(c.isprintable() for c in sni):
+                tags["tls_sni"] = sni
+            tags["tls_record"] = (
+                "client_hello" if payload[3:4] == b"\x01" else "server_hello"
+            )
+        else:
+            tags["tls_record"] = "application_data"
+        return tags
+
+    @staticmethod
+    def _http_tags(payload: bytes) -> Dict[str, str]:
+        tags = {"app_proto": "http"}
+        try:
+            first_line = payload.split(b"\r\n", 1)[0].decode("ascii")
+        except UnicodeDecodeError:
+            return tags
+        parts = first_line.split(" ")
+        if parts and parts[0] in ("GET", "POST", "PUT", "HEAD", "DELETE"):
+            tags["http_method"] = parts[0]
+            if len(parts) > 1:
+                tags["http_path"] = parts[1]
+            for line in payload.split(b"\r\n")[1:]:
+                if line.lower().startswith(b"host:"):
+                    tags["http_host"] = line[5:].strip().decode(
+                        "ascii", errors="replace")
+                    break
+        elif parts and parts[0].startswith("HTTP/"):
+            tags["http_status"] = parts[1] if len(parts) > 1 else ""
+        return tags

@@ -1,0 +1,118 @@
+"""On-disk packet serialization (a pcap-like container).
+
+The data store persists raw captures in a compact binary format:
+
+* file header: magic, version, flags;
+* per-packet record: timestamp (float64), addresses (packed IPv4),
+  ports, protocol, sizes, flags, ttl, then length-prefixed payload
+  fragment, flow id, and length-prefixed app/label/direction strings.
+
+This is intentionally *not* libpcap-compatible — the record carries
+simulator provenance (flow id, label) that real pcap cannot — but it
+plays the same role: full fidelity, append-only, re-readable.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator, List, Union
+
+from repro.netsim.packets import PacketRecord
+
+MAGIC = b"RPCP"
+VERSION = 1
+_HEADER = struct.Struct("<4sHH")
+_FIXED = struct.Struct("<dIIHHBIIBBi")
+
+
+class PcapFormatError(Exception):
+    """Raised when a capture file is malformed."""
+
+
+def _ip_to_u32(ip: str) -> int:
+    return struct.unpack("!I", socket.inet_aton(ip))[0]
+
+
+def _u32_to_ip(value: int) -> str:
+    return socket.inet_ntoa(struct.pack("!I", value))
+
+
+def _write_str(fh: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ValueError("string too long for capture format")
+    fh.write(struct.pack("<H", len(raw)))
+    fh.write(raw)
+
+
+def _read_str(fh: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", _read_exact(fh, 2))
+    return _read_exact(fh, length).decode("utf-8")
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise PcapFormatError("truncated capture file")
+    return data
+
+
+def write_packets(path: Union[str, Path],
+                  packets: List[PacketRecord]) -> int:
+    """Serialize packets to ``path``; returns bytes written."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0))
+        for p in packets:
+            fh.write(_FIXED.pack(
+                p.timestamp, _ip_to_u32(p.src_ip), _ip_to_u32(p.dst_ip),
+                p.src_port, p.dst_port, p.protocol, p.size, p.payload_len,
+                p.flags, p.ttl, p.flow_id,
+            ))
+            fh.write(struct.pack("<H", len(p.payload)))
+            fh.write(p.payload)
+            _write_str(fh, p.app)
+            _write_str(fh, p.label)
+            _write_str(fh, p.direction)
+    return path.stat().st_size
+
+
+def iter_packets(path: Union[str, Path]) -> Iterator[PacketRecord]:
+    """Stream packets back from a capture file."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise PcapFormatError("missing file header")
+        magic, version, _flags = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise PcapFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise PcapFormatError(f"unsupported version {version}")
+        while True:
+            fixed = fh.read(_FIXED.size)
+            if not fixed:
+                return
+            if len(fixed) != _FIXED.size:
+                raise PcapFormatError("truncated packet record")
+            (ts, src, dst, sport, dport, proto, size, payload_len, flags,
+             ttl, flow_id) = _FIXED.unpack(fixed)
+            (frag_len,) = struct.unpack("<H", _read_exact(fh, 2))
+            payload = _read_exact(fh, frag_len)
+            app = _read_str(fh)
+            label = _read_str(fh)
+            direction = _read_str(fh)
+            yield PacketRecord(
+                timestamp=ts, src_ip=_u32_to_ip(src), dst_ip=_u32_to_ip(dst),
+                src_port=sport, dst_port=dport, protocol=proto, size=size,
+                payload_len=payload_len, flags=flags, ttl=ttl,
+                payload=payload, flow_id=flow_id, app=app, label=label,
+                direction=direction,
+            )
+
+
+def read_packets(path: Union[str, Path]) -> List[PacketRecord]:
+    """Read a whole capture file into memory."""
+    return list(iter_packets(path))

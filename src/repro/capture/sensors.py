@@ -1,0 +1,147 @@
+"""Complementary data sources beyond the wire.
+
+§5: the data store holds "complementary data from other available
+sensors or sources (e.g., server logs, firewall rules, configuration
+files, events)".  These sensors observe the *flow* stream (they live on
+the end systems / middleboxes, not the tap) and emit timestamped
+records the store links back to packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LogRecord:
+    """One line from a complementary sensor."""
+
+    timestamp: float
+    source: str           # e.g. "srv0:sshd", "firewall", "config"
+    kind: str             # e.g. "auth-fail", "conn-blocked", "snapshot"
+    message: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    record_id: int = 0
+
+
+class _SensorBase:
+    _ids = itertools.count(1)
+
+    def __init__(self):
+        self.records: List[LogRecord] = []
+        self._subscribers: List[Callable[[LogRecord], None]] = []
+
+    def subscribe(self, callback: Callable[[LogRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def _emit(self, record: LogRecord) -> None:
+        record.record_id = next(self._ids)
+        self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+
+class ServerLogSensor(_SensorBase):
+    """sshd/web server logs on campus servers.
+
+    Attached as a flow observer; emits ``auth-fail`` lines for
+    brute-force SSH flows and ``access`` lines for normal server hits.
+    """
+
+    def __init__(self, network, seed: int = 0):
+        super().__init__()
+        self.network = network
+        self.rng = np.random.default_rng(seed)
+        self._server_ips = {
+            network.topology.ip(s): s for s in network.topology.servers
+        }
+        network.add_flow_observer(self._on_flow)
+
+    def _on_flow(self, flow) -> None:
+        dst_ip = flow.key.dst_ip
+        server = self._server_ips.get(dst_ip)
+        if server is None:
+            return
+        if flow.key.dst_port == 22:
+            failed = flow.label == "ssh-bruteforce" or self.rng.random() < 0.02
+            kind = "auth-fail" if failed else "auth-ok"
+            user = "root" if failed else f"user{flow.flow_id % 50}"
+            self._emit(LogRecord(
+                timestamp=flow.end_time,
+                source=f"{server}:sshd",
+                kind=kind,
+                message=(f"sshd: {'Failed' if failed else 'Accepted'} "
+                         f"password for {user} from {flow.key.src_ip}"),
+                attrs={"src_ip": flow.key.src_ip, "dst_ip": dst_ip,
+                       "user": user},
+            ))
+        elif flow.key.dst_port in (80, 443, 993, 587):
+            self._emit(LogRecord(
+                timestamp=flow.end_time,
+                source=f"{server}:httpd",
+                kind="access",
+                message=f"access from {flow.key.src_ip} bytes={flow.fwd_bytes}",
+                attrs={"src_ip": flow.key.src_ip, "dst_ip": dst_ip},
+            ))
+
+
+class FirewallSensor(_SensorBase):
+    """Border firewall: logs connections to blocked ports.
+
+    Real campus firewalls would *drop* these; ours logs them (monitor
+    mode) so scan detection work has labeled complementary evidence.
+    """
+
+    BLOCKED_PORTS = {23, 445, 3389, 3306, 5432, 6379}
+
+    def __init__(self, network):
+        super().__init__()
+        self.network = network
+        network.add_flow_observer(self._on_flow)
+
+    def _on_flow(self, flow) -> None:
+        if flow.src_internal:
+            return
+        if flow.key.dst_port in self.BLOCKED_PORTS:
+            self._emit(LogRecord(
+                timestamp=flow.start_time,
+                source="firewall",
+                kind="conn-blocked",
+                message=(f"blocked {flow.key.src_ip} -> {flow.key.dst_ip}"
+                         f":{flow.key.dst_port}"),
+                attrs={"src_ip": flow.key.src_ip, "dst_ip": flow.key.dst_ip,
+                       "dst_port": str(flow.key.dst_port)},
+            ))
+
+
+class ConfigSnapshotSource(_SensorBase):
+    """Periodic device-configuration snapshots (contextual metadata)."""
+
+    def __init__(self, network, interval_s: float = 3600.0):
+        super().__init__()
+        self.network = network
+        self.interval_s = float(interval_s)
+
+    def start(self) -> None:
+        self._snapshot()
+
+    def _snapshot(self) -> None:
+        network = self.network
+        for link in network.links:
+            a, b = link.key
+            self._emit(LogRecord(
+                timestamp=network.now,
+                source="config",
+                kind="snapshot",
+                message=f"link {a}<->{b} capacity={link.capacity_bps:.0f} "
+                        f"up={link.up}",
+                attrs={"link_a": a, "link_b": b,
+                       "capacity_bps": f"{link.capacity_bps:.0f}",
+                       "up": str(link.up)},
+            ))
+        network.simulator.schedule(self.interval_s, self._snapshot,
+                                   name="config-snapshot")

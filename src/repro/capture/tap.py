@@ -1,0 +1,42 @@
+"""Border tap: binds a capture engine to an observed link."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.capture.engine import CaptureEngine
+from repro.netsim.packets import PacketRecord
+
+
+class BorderTap:
+    """Optical tap on a network link feeding a capture engine.
+
+    >>> from repro.netsim import make_campus
+    >>> net = make_campus("tiny")
+    >>> tap = BorderTap(net)          # defaults to the border link
+    >>> tap.engine.stats.packets_offered
+    0
+    """
+
+    def __init__(self, network, engine: Optional[CaptureEngine] = None,
+                 link: Optional[Tuple[str, str]] = None,
+                 links: Optional[List[Tuple[str, str]]] = None):
+        self.network = network
+        self.engine = engine or CaptureEngine()
+        if links is not None:
+            self.links = list(links)
+        else:
+            self.links = [link or network.topology.border_link]
+        network.add_packet_observer(self._on_packets, links=self.links)
+
+    @property
+    def link(self) -> Tuple[str, str]:
+        """The first (primary) monitored link."""
+        return self.links[0]
+
+    def _on_packets(self, packets: List[PacketRecord]) -> None:
+        self.engine.ingest(packets)
+
+    def subscribe(self, callback) -> None:
+        """Convenience passthrough to the engine's captured stream."""
+        self.engine.subscribe(callback)

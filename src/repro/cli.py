@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+The workflows a campus researcher runs day to day, without writing a
+script:
+
+* ``repro run-day`` — simulate one instrumented campus day (with
+  optional labeled attacks) and export the data store to a directory.
+* ``repro inspect`` — summarize an exported store.
+* ``repro train`` — featurize an exported store (using its curated
+  labels) and train/evaluate a registry model.
+* ``repro develop`` — run the full development loop on an exported
+  store and emit the deployable artifacts (P4 source + rule list).
+* ``repro profiles`` — list available campus profiles.
+
+Examples
+--------
+::
+
+    repro run-day --profile small --seed 7 --duration 300 \\
+        --attack dns-amp --attack scan --out /tmp/day1
+    repro train --store /tmp/day1 --model forest --positive ddos-dns-amp
+    repro develop --store /tmp/day1 --positive ddos-dns-amp \\
+        --out /tmp/tool
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+ATTACKS = {
+    "dns-amp": ("DnsAmplificationAttack", {"attack_gbps": 0.08}),
+    "ntp-amp": ("NtpAmplificationAttack", {"attack_gbps": 0.01}),
+    "scan": ("PortScanAttack", {"probes_per_s": 40.0}),
+    "synflood": ("SynFloodAttack", {}),
+    "bruteforce": ("SshBruteForceAttack", {"attempts_per_s": 4.0}),
+    "exfil": ("DataExfiltration", {}),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Campus-network platform for AI/ML networking "
+                    "research (HotNets'19 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run-day", help="simulate and export one day")
+    run.add_argument("--profile", default="small")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--duration", type=float, default=300.0,
+                     help="day length in simulated seconds")
+    run.add_argument("--attack", action="append", default=[],
+                     choices=sorted(ATTACKS),
+                     help="inject a labeled attack (repeatable)")
+    run.add_argument("--scenario", default=None,
+                     help="use a named scenario from the library "
+                          "instead of --attack flags "
+                          "(see `repro scenarios`)")
+    run.add_argument("--privacy", default="prefix",
+                     choices=["none", "prefix", "stripped", "aggregates"])
+    run.add_argument("--out", required=True, help="export directory")
+
+    inspect = sub.add_parser("inspect", help="summarize an exported store")
+    inspect.add_argument("--store", required=True)
+
+    train = sub.add_parser("train", help="train a model on a store")
+    train.add_argument("--store", required=True)
+    train.add_argument("--model", default="forest")
+    train.add_argument("--positive", default=None,
+                       help="binarize against this class")
+    train.add_argument("--window", type=float, default=5.0)
+
+    develop = sub.add_parser("develop",
+                             help="full development loop on a store")
+    develop.add_argument("--store", required=True)
+    develop.add_argument("--positive", required=True)
+    develop.add_argument("--teacher", default="forest")
+    develop.add_argument("--max-depth", type=int, default=4)
+    develop.add_argument("--out", required=True,
+                         help="directory for P4 source and rule list")
+
+    report = sub.add_parser("report",
+                            help="IT-style Markdown report for a store")
+    report.add_argument("--store", required=True)
+
+    sub.add_parser("profiles", help="list campus profiles")
+    sub.add_parser("scenarios", help="list library scenarios")
+    return parser
+
+
+def _scenario_from_args(args):
+    import repro.events as events
+
+    if getattr(args, "scenario", None):
+        return events.make_scenario(args.scenario,
+                                    duration_s=args.duration)
+    scenario = events.Scenario("cli-day", duration_s=args.duration)
+    n = max(len(args.attack), 1)
+    for i, name in enumerate(args.attack):
+        cls_name, kwargs = ATTACKS[name]
+        generator_cls = getattr(events, cls_name)
+        start = args.duration * (i + 0.5) / (n + 0.5)
+        duration = min(args.duration * 0.15, 60.0)
+        scenario.add(generator_cls, start, duration, **kwargs)
+    return scenario
+
+
+def cmd_run_day(args) -> int:
+    """Simulate one campus day and export its data store."""
+    from repro.core import CampusPlatform, PlatformConfig
+    from repro.datastore import export_store
+    from repro.privacy import PrivacyLevel
+
+    level = {p.value: p for p in PrivacyLevel}[args.privacy]
+    platform = CampusPlatform(PlatformConfig(
+        campus_profile=args.profile, seed=args.seed, privacy_level=level))
+    scenario = _scenario_from_args(args)
+    result = platform.collect(scenario, seed=args.seed)
+    export_store(platform.store, args.out)
+    print(f"captured {result.packets_captured} packets "
+          f"({result.capture_loss_rate:.1%} loss), "
+          f"{result.flows_stored} flows, {result.logs_stored} logs")
+    print(f"exported store to {args.out}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Print an exported store's summary as JSON."""
+    from repro.datastore import import_store
+
+    store = import_store(args.store)
+    print(json.dumps(store.summary(), indent=2, default=str))
+    return 0
+
+
+def _dataset_from_store(store_dir: str, window_s: float):
+    from repro.datastore import import_store
+    from repro.learning.features import FeatureConfig, \
+        SourceWindowFeaturizer
+
+    store = import_store(store_dir)
+    featurizer = SourceWindowFeaturizer(FeatureConfig(window_s=window_s))
+    return featurizer.from_store(store)
+
+
+def cmd_train(args) -> int:
+    """Featurize an exported store and train/evaluate a model."""
+    from repro.learning import train_and_evaluate, train_test_split
+
+    dataset = _dataset_from_store(args.store, args.window)
+    print(f"dataset: {len(dataset)} windows, "
+          f"classes {dataset.class_counts()}")
+    if args.positive:
+        dataset = dataset.binarize(args.positive)
+    if len(dataset) < 10:
+        print("not enough windows to train", file=sys.stderr)
+        return 1
+    train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
+    result = train_and_evaluate(args.model, train, test)
+    print(result)
+    return 0
+
+
+def cmd_develop(args) -> int:
+    """Run the development loop and emit deployable artifacts."""
+    from repro.core import DevelopmentLoop
+
+    dataset = _dataset_from_store(args.store, 5.0)
+    if args.positive not in dataset.class_names:
+        known = ", ".join(dataset.class_names)
+        print(f"class {args.positive!r} not in store (has: {known})",
+              file=sys.stderr)
+        return 1
+    dataset = dataset.binarize(args.positive)
+    loop = DevelopmentLoop(teacher_name=args.teacher,
+                           student_max_depth=args.max_depth)
+    tool, report = loop.develop(dataset, tool_name="cli-tool", seed=0)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "tool.p4").write_text(tool.p4_source)
+    (out / "rules.txt").write_text(tool.rules.render() + "\n")
+    print(f"teacher: {report.teacher_result.metrics}")
+    print(f"student fidelity: {report.holdout_fidelity.label_fidelity:.3f} "
+          f"({report.distillation.n_leaves} leaves)")
+    print(f"switch fit: {report.resource_fit.fits} "
+          f"(TCAM {report.resource_fit.tcam_fraction:.1%})")
+    print(f"wrote {out / 'tool.p4'} and {out / 'rules.txt'}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the IT-style Markdown report for a store."""
+    from repro.analysis import generate_report
+    from repro.datastore import import_store
+
+    store = import_store(args.store)
+    print(generate_report(store).render())
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    """List available campus profiles."""
+    from repro.netsim.campus import CAMPUS_PROFILES
+
+    for name, profile in sorted(CAMPUS_PROFILES.items()):
+        print(f"{name:12s} {profile.description}")
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """List canned scenario-library entries."""
+    from repro.events.library import SCENARIO_LIBRARY
+
+    for name, factory in sorted(SCENARIO_LIBRARY.items()):
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:12s} {doc}")
+    return 0
+
+
+_COMMANDS = {
+    "run-day": cmd_run_day,
+    "inspect": cmd_inspect,
+    "train": cmd_train,
+    "develop": cmd_develop,
+    "report": cmd_report,
+    "profiles": cmd_profiles,
+    "scenarios": cmd_scenarios,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The platform facade and the paper's two loops.
+
+* :class:`~repro.core.platform.CampusPlatform` — Figure 1: one object
+  wiring the campus network, privacy policy, capture stack, sensors,
+  and data store; used both as *data source* (collect scenarios into
+  the store, build datasets) and as *testbed* (deploy tools against
+  fresh traffic).
+* :class:`~repro.core.devloop.DevelopmentLoop` — Figure 2's slow loop:
+  train a black-box teacher offline, extract a deployable student,
+  compile it for the switch, check resources, road-test, deploy.
+* :class:`~repro.core.controlloop.ControlLoopHarness` — Figure 2's
+  fast loop: run a deployed program against live traffic and measure
+  sense/infer/react behaviour.
+"""
+
+from repro.core.config import PlatformConfig
+from repro.core.eventbus import EventBus
+from repro.core.platform import CampusPlatform, CollectionResult
+from repro.core.devloop import DevelopmentLoop, DevLoopReport, DeployableTool
+from repro.core.controlloop import ControlLoopHarness, ControlLoopReport
+
+__all__ = [
+    "PlatformConfig",
+    "EventBus",
+    "CampusPlatform",
+    "CollectionResult",
+    "DevelopmentLoop",
+    "DevLoopReport",
+    "DeployableTool",
+    "ControlLoopHarness",
+    "ControlLoopReport",
+]

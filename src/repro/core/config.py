@@ -1,0 +1,44 @@
+"""Platform configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.privacy.policy import PrivacyLevel
+
+
+@dataclass
+class PlatformConfig:
+    """Everything needed to stand up one campus platform instance.
+
+    Attributes
+    ----------
+    campus_profile:
+        Name from :data:`repro.netsim.campus.CAMPUS_PROFILES`.
+    seed:
+        Master seed for the campus, traffic, and events.
+    privacy_level:
+        Ingest-time privacy policy for the data store.
+    capture_capacity_gbps:
+        Capture appliance sustained rate; ``None`` = ideal lossless.
+    window_s:
+        Feature/sensing window used by featurizer and switch alike.
+    segment_capacity:
+        Data-store segment size (records).
+    enable_sensors:
+        Attach server-log / firewall / config sensors.
+    """
+
+    campus_profile: str = "small"
+    seed: int = 0
+    privacy_level: PrivacyLevel = PrivacyLevel.PREFIX_PRESERVING
+    capture_capacity_gbps: Optional[float] = None
+    capture_buffer_bytes: float = 256e6
+    window_s: float = 5.0
+    segment_capacity: int = 50_000
+    enable_sensors: bool = True
+    #: also tap distribution<->core trunks so east-west traffic ("packets
+    #: that stay inside the enterprise", §5) reaches the store
+    monitor_internal: bool = False
+    start_time: float = 8 * 3600.0

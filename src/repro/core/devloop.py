@@ -1,0 +1,214 @@
+"""The slow development loop (Figure 2, left half).
+
+``develop()`` executes the paper's four road-to-deployment steps:
+
+(i)   train a heavyweight black-box teacher offline on the data store;
+(ii)  extract a lightweight, interpretable student (XAI);
+(iii) compile the student into a switch program and check that it fits
+      the target's resources;
+(iv)  road-test it shadow -> canary -> full under the IT
+      organisation's guardrails, producing the evidence trail the
+      operator reviews.
+
+The output is a :class:`DeployableTool` — everything needed to run the
+fast control loop — plus a :class:`DevLoopReport` with per-stage
+quality numbers and timings.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.eventbus import EventBus
+from repro.deploy.compiler import CompileResult, FeatureQuantizer, \
+    compile_tree
+from repro.deploy.p4gen import emit_p4
+from repro.deploy.resources import SwitchResourceModel
+from repro.deploy.switch import EmulatedSwitch, SwitchConfig
+from repro.learning.dataset import Dataset
+from repro.learning.split import train_test_split
+from repro.learning.training import TrainResult, train_and_evaluate
+from repro.testbed.guardrails import standard_guardrails
+from repro.testbed.roadtest import RoadTestPipeline, RoadTestReport
+from repro.xai.distill import DistillationResult, distill_tree
+from repro.xai.fidelity import FidelityReport, fidelity_report
+from repro.xai.rules import RuleList, tree_to_rules
+
+
+@dataclass
+class DeployableTool:
+    """A road-tested, compiled learning model ready to deploy."""
+
+    name: str
+    teacher: object
+    student: object
+    compiled: CompileResult
+    p4_source: str
+    rules: RuleList
+    switch_config: SwitchConfig
+    class_names: List[str]
+    feature_names: List[str]
+
+    def deploy(self, network, config: Optional[SwitchConfig] = None) -> \
+            EmulatedSwitch:
+        """Instantiate the fast control loop on a network.
+
+        The runtime's benign class is aligned with this tool's class
+        names: if the configured ``benign_class`` is not one of them,
+        class 0 (the negative/default class) is used instead.
+        """
+        run_config = copy.deepcopy(config or self.switch_config)
+        if self.class_names and run_config.benign_class not in \
+                self.class_names:
+            run_config.benign_class = self.class_names[0]
+        return EmulatedSwitch(network, self.compiled, run_config)
+
+
+@dataclass
+class DevLoopReport:
+    """Quality and cost of each development-loop stage."""
+
+    teacher_result: TrainResult
+    distillation: DistillationResult
+    holdout_fidelity: FidelityReport
+    resource_fit: object
+    roadtest: Optional[RoadTestReport]
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ready(self) -> bool:
+        if self.roadtest is None:
+            return True
+        return self.roadtest.deployed
+
+
+class DevelopmentLoop:
+    """Orchestrates steps (i)-(iv)."""
+
+    def __init__(self, teacher_name: str = "boosting",
+                 student_max_depth: int = 4,
+                 student_min_samples_leaf: int = 5,
+                 resource_model: Optional[SwitchResourceModel] = None,
+                 bus: Optional[EventBus] = None):
+        self.teacher_name = teacher_name
+        self.student_max_depth = student_max_depth
+        self.student_min_samples_leaf = student_min_samples_leaf
+        self.resource_model = resource_model or SwitchResourceModel()
+        self.bus = bus or EventBus()
+
+    def develop(self, dataset: Dataset, tool_name: str = "detector",
+                positive_class: Optional[str] = None,
+                switch_config: Optional[SwitchConfig] = None,
+                roadtest_factory: Optional[Callable] = None,
+                seed: int = 0) -> "tuple[DeployableTool, DevLoopReport]":
+        """Run the full loop on a labeled dataset.
+
+        ``roadtest_factory(deploy_fn) -> RoadTestPipeline`` lets the
+        caller supply the testbed context; omit it to skip road-testing
+        (unit tests, ablations).
+        """
+        stage_seconds: Dict[str, float] = {}
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=seed)
+
+        # (i) heavyweight teacher, offline, unconstrained.
+        start = time.perf_counter()
+        teacher_result = train_and_evaluate(
+            self.teacher_name, train, test, positive_class=positive_class)
+        stage_seconds["train_teacher"] = time.perf_counter() - start
+        self.bus.publish("devloop:trained", model=self.teacher_name,
+                         metrics=teacher_result.metrics)
+
+        # (ii) XAI extraction into a deployable student.
+        start = time.perf_counter()
+        distillation = distill_tree(
+            teacher_result.model, train.X,
+            max_depth=self.student_max_depth,
+            min_samples_leaf=self.student_min_samples_leaf,
+            seed=seed,
+            n_classes=dataset.n_classes,
+        )
+        holdout = fidelity_report(teacher_result.model, distillation.student,
+                                  test.X, test.y)
+        stage_seconds["distill"] = time.perf_counter() - start
+        self.bus.publish("devloop:distilled",
+                         fidelity=holdout.label_fidelity,
+                         leaves=distillation.n_leaves)
+
+        # (iii) compile + resource check + P4 emission.
+        start = time.perf_counter()
+        quantizer = FeatureQuantizer.for_features(train.X)
+        compiled = compile_tree(distillation.student, dataset.feature_names,
+                                quantizer, class_names=dataset.class_names,
+                                program_name=tool_name)
+        resource_fit = self.resource_model.fit([compiled])
+        p4_source = emit_p4(compiled.program)
+        rules = tree_to_rules(distillation.student, dataset.feature_names,
+                              dataset.class_names)
+        stage_seconds["compile"] = time.perf_counter() - start
+        self.bus.publish("devloop:compiled", entries=compiled.n_entries,
+                         tcam_bits=compiled.tcam_bits,
+                         fits=resource_fit.fits)
+
+        tool = DeployableTool(
+            name=tool_name,
+            teacher=teacher_result.model,
+            student=distillation.student,
+            compiled=compiled,
+            p4_source=p4_source,
+            rules=rules,
+            switch_config=switch_config or SwitchConfig(),
+            class_names=list(dataset.class_names),
+            feature_names=list(dataset.feature_names),
+        )
+
+        # (iv) road-test on the campus testbed.
+        roadtest_report: Optional[RoadTestReport] = None
+        if roadtest_factory is not None:
+            start = time.perf_counter()
+
+            def deploy_fn(network, config):
+                return tool.deploy(network, config)
+
+            pipeline = roadtest_factory(deploy_fn)
+            roadtest_report = pipeline.run(seed=seed)
+            stage_seconds["roadtest"] = time.perf_counter() - start
+            self.bus.publish("devloop:roadtested",
+                             deployed=roadtest_report.deployed)
+
+        report = DevLoopReport(
+            teacher_result=teacher_result,
+            distillation=distillation,
+            holdout_fidelity=holdout,
+            resource_fit=resource_fit,
+            roadtest=roadtest_report,
+            stage_seconds=stage_seconds,
+        )
+        return tool, report
+
+
+def make_roadtest_factory(platform, scenario_builder: Callable,
+                          base_config: SwitchConfig,
+                          guardrails=None) -> Callable:
+    """Standard road-test context over a platform's fresh networks.
+
+    ``scenario_builder(seed) -> Scenario``; each phase gets a fresh
+    campus from the platform with a derived seed.
+    """
+    rails = guardrails if guardrails is not None else standard_guardrails()
+
+    def run_factory(seed: int):
+        network = platform.fresh_network(seed)
+        return network, scenario_builder(seed)
+
+    def factory(deploy_fn):
+        return RoadTestPipeline(
+            run_factory=run_factory,
+            deploy_fn=deploy_fn,
+            base_config=base_config,
+            guardrails=rails,
+        )
+
+    return factory

@@ -1,0 +1,43 @@
+"""Minimal publish/subscribe bus for platform lifecycle events.
+
+Stages of the development loop publish progress events ("trained",
+"distilled", "compiled", "roadtest:shadow", ...) so experiments and
+examples can trace what happened without coupling to internals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class BusEvent:
+    topic: str
+    payload: Dict = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous topic bus; subscribers may use '*' for everything."""
+
+    def __init__(self):
+        self._subscribers: Dict[str, List[Callable[[BusEvent], None]]] = \
+            defaultdict(list)
+        self.log: List[BusEvent] = []
+
+    def subscribe(self, topic: str,
+                  callback: Callable[[BusEvent], None]) -> None:
+        self._subscribers[topic].append(callback)
+
+    def publish(self, topic: str, **payload) -> BusEvent:
+        event = BusEvent(topic=topic, payload=payload)
+        self.log.append(event)
+        for callback in self._subscribers.get(topic, []):
+            callback(event)
+        for callback in self._subscribers.get("*", []):
+            callback(event)
+        return event
+
+    def topics_seen(self) -> List[str]:
+        return [event.topic for event in self.log]

@@ -1,0 +1,165 @@
+"""The campus platform facade (Figure 1).
+
+One :class:`CampusPlatform` builds the instrumented campus: network +
+border tap + capture engine + privacy transforms + metadata extraction
++ sensors + data store.  Researchers then use it in the two roles the
+paper proposes:
+
+* **data source** — :meth:`collect` runs a scenario and fills the
+  store; :meth:`build_dataset` runs the top-down featurization.
+* **testbed** — :meth:`fresh_network` hands out new traffic days with
+  the same configuration for road-testing deployed tools.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.engine import CaptureEngine
+from repro.capture.flows import FlowAssembler
+from repro.capture.metadata import MetadataExtractor
+from repro.capture.sensors import FirewallSensor, ServerLogSensor
+from repro.capture.tap import BorderTap
+from repro.core.config import PlatformConfig
+from repro.core.eventbus import EventBus
+from repro.datastore.labels import Labeler
+from repro.datastore.store import DataStore
+from repro.events.base import GroundTruth
+from repro.events.scenario import Scenario, run_scenario
+from repro.learning.dataset import Dataset
+from repro.learning.features import FeatureConfig, SourceWindowFeaturizer
+from repro.netsim.campus import make_campus
+from repro.netsim.network import CampusNetwork
+from repro.privacy.policy import PrivacyLevel, PrivacyPolicy, \
+    make_ingest_transform
+
+
+@dataclass
+class CollectionResult:
+    """What one :meth:`CampusPlatform.collect` produced."""
+
+    ground_truth: GroundTruth
+    packets_captured: int
+    flows_stored: int
+    logs_stored: int
+    capture_loss_rate: float
+    duration_s: float
+    wall_seconds: float
+
+
+class CampusPlatform:
+    """Instrumented campus network + data store, ready for research."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self.bus = EventBus()
+        self.network = self._build_network(self.config.seed)
+        self.privacy_policy = PrivacyPolicy.preset(self.config.privacy_level)
+        self.store = DataStore(
+            metadata_extractor=MetadataExtractor(self.network.topology),
+            segment_capacity=self.config.segment_capacity,
+        )
+        self.store.add_ingest_transform(make_ingest_transform(
+            self.privacy_policy, self.network.topology.is_internal_ip,
+        ))
+        self._instrument(self.network)
+        self.collections: List[CollectionResult] = []
+
+    # -- construction -------------------------------------------------------
+
+    def _build_network(self, seed: int) -> CampusNetwork:
+        return make_campus(self.config.campus_profile, seed=seed,
+                           start_time=self.config.start_time)
+
+    def _instrument(self, network: CampusNetwork) -> None:
+        """Attach tap(s), capture engine, assembler, and sensors."""
+        self.capture = CaptureEngine(
+            capacity_gbps=self.config.capture_capacity_gbps,
+            buffer_bytes=self.config.capture_buffer_bytes)
+        links = [network.topology.border_link]
+        if self.config.monitor_internal:
+            links.extend(
+                edge for edge in network.topology.edges()
+                if {edge[0][:4], edge[1][:4]} == {"dist", "core"}
+            )
+        self.tap = BorderTap(network, self.capture, links=links)
+        self.assembler = FlowAssembler()
+        self.capture.subscribe(self.store.ingest_packets)
+        self.capture.subscribe(self.assembler.add_packets)
+        self.sensors = []
+        if self.config.enable_sensors:
+            server_logs = ServerLogSensor(network, seed=self.config.seed)
+            firewall = FirewallSensor(network)
+            for sensor in (server_logs, firewall):
+                sensor.subscribe(self.store.ingest_log)
+                self.sensors.append(sensor)
+
+    def fresh_network(self, seed: int) -> CampusNetwork:
+        """A new, uninstrumented traffic day for testbed use."""
+        return self._build_network(seed)
+
+    # -- data source role -------------------------------------------------------
+
+    def collect(self, scenario: Scenario,
+                seed: Optional[int] = None) -> CollectionResult:
+        """Run a scenario on the instrumented campus; fill the store."""
+        seed = self.config.seed if seed is None else seed
+        start_wall = time.perf_counter()
+        packets_before = self.capture.stats.packets_captured
+        self.bus.publish("collect:start", scenario=scenario.name, seed=seed)
+        ground_truth = run_scenario(self.network, scenario, seed=seed)
+        flow_records = self.assembler.flush()
+        flows_stored = self.store.ingest_flows(flow_records)
+        Labeler(self.store, ground_truth).label_all()
+        result = CollectionResult(
+            ground_truth=ground_truth,
+            packets_captured=(self.capture.stats.packets_captured
+                              - packets_before),
+            flows_stored=flows_stored,
+            logs_stored=self.store.count("logs"),
+            capture_loss_rate=self.capture.stats.loss_rate,
+            duration_s=scenario.duration_s,
+            wall_seconds=time.perf_counter() - start_wall,
+        )
+        self.collections.append(result)
+        self.bus.publish("collect:done",
+                         packets=result.packets_captured,
+                         flows=result.flows_stored)
+        return result
+
+    def build_dataset(self, ground_truth: Optional[GroundTruth] = None,
+                      time_range: Optional[Tuple] = None,
+                      class_names: Optional[List[str]] = None,
+                      window_s: Optional[float] = None) -> Dataset:
+        """Top-down featurization straight off the data store."""
+        if ground_truth is None:
+            if not self.collections:
+                raise RuntimeError("no collections yet; call collect() first")
+            ground_truth = self.collections[-1].ground_truth
+        featurizer = SourceWindowFeaturizer(FeatureConfig(
+            window_s=window_s or self.config.window_s))
+        dataset = featurizer.from_store(
+            self.store, ground_truth=ground_truth, time_range=time_range,
+            class_names=class_names,
+        )
+        self.bus.publish("dataset:built", rows=len(dataset),
+                         classes=dataset.class_counts())
+        return dataset
+
+    # -- reporting -----------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Store + capture health overview."""
+        return {
+            "campus": self.config.campus_profile,
+            "privacy": self.config.privacy_level.value,
+            "store": self.store.summary(),
+            "capture": {
+                "offered": self.capture.stats.packets_offered,
+                "captured": self.capture.stats.packets_captured,
+                "loss_rate": self.capture.stats.loss_rate,
+            },
+            "collections": len(self.collections),
+        }

@@ -1,0 +1,43 @@
+"""The campus data store.
+
+§5: "Comprising a single platform for collecting, storing, indexing,
+mining, and visualizing network data, a university network's data
+store ... becomes the single source of all campus network-related
+data."  This subpackage implements that platform:
+
+* :mod:`repro.datastore.store` — the :class:`DataStore` itself:
+  append-only segmented collections for packets, flow records, and
+  sensor logs.
+* :mod:`repro.datastore.segments` — sealed segments with local indexes.
+* :mod:`repro.datastore.index` — time, hash, and inverted tag indexes.
+* :mod:`repro.datastore.query` — the query engine (index-accelerated
+  filters, aggregation).
+* :mod:`repro.datastore.labels` — ground-truth labeling jobs.
+* :mod:`repro.datastore.linking` — cross-source record linking
+  (packets <-> flows <-> logs), the "linked and indexed" property.
+* :mod:`repro.datastore.retention` — retention policy enforcement.
+"""
+
+from repro.datastore.store import DataStore, StoredRecord
+from repro.datastore.query import Query, Aggregation
+from repro.datastore.labels import Labeler, LabelSummary
+from repro.datastore.linking import LinkedView, RecordLinker
+from repro.datastore.retention import RetentionPolicy, RetentionReport
+from repro.datastore.persistence import export_store, import_store, \
+    PersistenceError
+
+__all__ = [
+    "export_store",
+    "import_store",
+    "PersistenceError",
+    "DataStore",
+    "StoredRecord",
+    "Query",
+    "Aggregation",
+    "Labeler",
+    "LabelSummary",
+    "LinkedView",
+    "RecordLinker",
+    "RetentionPolicy",
+    "RetentionReport",
+]

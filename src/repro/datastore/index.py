@@ -1,0 +1,108 @@
+"""Index structures for sealed segments.
+
+Three index families cover the store's query patterns:
+
+* :class:`TimeIndex` — records sorted by timestamp; range queries via
+  bisection.
+* :class:`HashIndex` — exact-match on a field (src_ip, dst_port, ...).
+* :class:`InvertedIndex` — tag-key/tag-value postings for the
+  on-the-fly metadata attached at ingest.
+
+All indexes map to *positions within one segment*; the store stitches
+segment-level results together.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class TimeIndex:
+    """Sorted (timestamp, position) pairs for range scans."""
+
+    def __init__(self):
+        self._times: List[float] = []
+        self._positions: List[int] = []
+        self._dirty_pairs: List[Tuple[float, int]] = []
+
+    def add(self, timestamp: float, position: int) -> None:
+        self._dirty_pairs.append((timestamp, position))
+
+    def seal(self) -> None:
+        """Sort accumulated entries; called once when a segment seals."""
+        if self._dirty_pairs:
+            self._dirty_pairs.sort()
+            self._times = [t for t, _ in self._dirty_pairs]
+            self._positions = [p for _, p in self._dirty_pairs]
+            self._dirty_pairs = []
+
+    def _ensure_sealed(self) -> None:
+        if self._dirty_pairs:
+            merged = list(zip(self._times, self._positions)) + self._dirty_pairs
+            merged.sort()
+            self._times = [t for t, _ in merged]
+            self._positions = [p for _, p in merged]
+            self._dirty_pairs = []
+
+    def range(self, start: Optional[float], end: Optional[float]) -> List[int]:
+        """Positions with start <= t <= end (either bound optional)."""
+        self._ensure_sealed()
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_right(
+            self._times, end)
+        return self._positions[lo:hi]
+
+    @property
+    def min_time(self) -> Optional[float]:
+        self._ensure_sealed()
+        return self._times[0] if self._times else None
+
+    @property
+    def max_time(self) -> Optional[float]:
+        self._ensure_sealed()
+        return self._times[-1] if self._times else None
+
+    def __len__(self) -> int:
+        return len(self._times) + len(self._dirty_pairs)
+
+
+class HashIndex:
+    """Exact-match postings for one field."""
+
+    def __init__(self):
+        self._postings: Dict[object, List[int]] = defaultdict(list)
+
+    def add(self, value, position: int) -> None:
+        self._postings[value].append(position)
+
+    def lookup(self, value) -> List[int]:
+        return self._postings.get(value, [])
+
+    def values(self) -> Iterable:
+        return self._postings.keys()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._postings.values())
+
+
+class InvertedIndex:
+    """Tag postings: (key, value) -> positions, plus key -> positions."""
+
+    def __init__(self):
+        self._kv: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+        self._keys: Dict[str, List[int]] = defaultdict(list)
+
+    def add(self, tags: Dict[str, str], position: int) -> None:
+        for key, value in tags.items():
+            self._kv[(key, value)].append(position)
+            self._keys[key].append(position)
+
+    def lookup(self, key: str, value: Optional[str] = None) -> List[int]:
+        if value is None:
+            return self._keys.get(key, [])
+        return self._kv.get((key, value), [])
+
+    def keys(self) -> Iterable[str]:
+        return self._keys.keys()

@@ -1,0 +1,150 @@
+"""Data-store persistence.
+
+A campus data store outlives any single process.  Export writes one
+directory per store: a manifest, the packet collections in the binary
+capture format (:mod:`repro.capture.pcapng`), and flows/logs as
+JSON-lines.  Import reconstructs a fully indexed store (tags and
+curated labels included).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.capture.flows import FlowRecord
+from repro.capture.pcapng import read_packets, write_packets
+from repro.capture.sensors import LogRecord
+from repro.datastore.query import Query
+from repro.datastore.store import DataStore
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """Raised on malformed store directories."""
+
+
+def _json_default(value):
+    raise TypeError(f"not JSON serializable: {type(value)}")
+
+
+def export_store(store: DataStore, directory: Union[str, Path]) -> Path:
+    """Write the whole store to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    packets = store.query(Query(collection="packets", order_by_time=True))
+    write_packets(directory / "packets.rpcp",
+                  [stored.record for stored in packets])
+    with (directory / "packets.meta.jsonl").open("w") as fh:
+        for stored in packets:
+            fh.write(json.dumps({"tags": stored.tags,
+                                 "label": stored.label}) + "\n")
+
+    with (directory / "flows.jsonl").open("w") as fh:
+        for stored in store.query(Query(collection="flows",
+                                        order_by_time=True)):
+            row = dataclasses.asdict(stored.record)
+            row["_label"] = stored.label
+            fh.write(json.dumps(row, default=_json_default) + "\n")
+
+    with (directory / "logs.jsonl").open("w") as fh:
+        for stored in store.query(Query(collection="logs",
+                                        order_by_time=True)):
+            row = dataclasses.asdict(stored.record)
+            row["_label"] = stored.label
+            fh.write(json.dumps(row, default=_json_default) + "\n")
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "counts": {name: store.count(name)
+                   for name in ("packets", "flows", "logs")},
+        "segment_capacity": store.segment_capacity,
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def import_store(directory: Union[str, Path],
+                 metadata_extractor=None) -> DataStore:
+    """Rebuild a store exported by :func:`export_store`.
+
+    Tags are restored from the export (the extractor, if given, is only
+    used for packets missing saved tags).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise PersistenceError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {manifest.get('format_version')}"
+        )
+
+    store = DataStore(
+        metadata_extractor=metadata_extractor,
+        segment_capacity=manifest.get("segment_capacity", 50_000),
+    )
+
+    packets = read_packets(directory / "packets.rpcp")
+    meta_rows: List[Dict] = []
+    meta_path = directory / "packets.meta.jsonl"
+    if meta_path.exists():
+        with meta_path.open() as fh:
+            meta_rows = [json.loads(line) for line in fh if line.strip()]
+    if meta_rows and len(meta_rows) != len(packets):
+        raise PersistenceError("packet metadata length mismatch")
+    store.ingest_packets(packets)
+    if meta_rows:
+        position = 0
+        for segment in store.segments("packets"):
+            for local_position, stored in enumerate(segment.records):
+                stored.tags = meta_rows[position].get("tags", {})
+                stored.label = meta_rows[position].get("label")
+                # re-index the restored tags (ingest saw empty tags)
+                segment.tag_index.add(stored.tags, local_position)
+                position += 1
+
+    flows = []
+    labels = []
+    flows_path = directory / "flows.jsonl"
+    if flows_path.exists():
+        with flows_path.open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                labels.append(row.pop("_label", None))
+                flows.append(FlowRecord(**row))
+    store.ingest_flows(flows)
+    _restore_labels(store, "flows", labels)
+
+    logs = []
+    labels = []
+    logs_path = directory / "logs.jsonl"
+    if logs_path.exists():
+        with logs_path.open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                row = json.loads(line)
+                labels.append(row.pop("_label", None))
+                logs.append(LogRecord(**row))
+    store.ingest_logs(logs)
+    _restore_labels(store, "logs", labels)
+    return store
+
+
+def _restore_labels(store: DataStore, collection: str,
+                    labels: List[Optional[str]]) -> None:
+    position = 0
+    for segment in store.segments(collection):
+        for stored in segment.records:
+            if position < len(labels):
+                stored.label = labels[position]
+            position += 1

@@ -1,0 +1,160 @@
+"""Query engine: index-accelerated filtering and aggregation.
+
+A :class:`Query` combines a time range, exact-match field filters, tag
+filters, and an arbitrary residual predicate.  The executor picks, per
+segment, the most selective available index (time range, hash index,
+or inverted tag index), intersects candidate positions, then applies
+the remaining filters record by record.  ``tests/datastore`` verifies
+index-accelerated results always equal a full linear scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Query:
+    """Declarative description of what to fetch.
+
+    Attributes
+    ----------
+    collection:
+        "packets", "flows", or "logs".
+    time_range:
+        Optional (start, end) inclusive bounds; either may be None.
+    where:
+        Exact-match field filters, e.g. ``{"dst_port": 53}``.
+    tags:
+        Exact-match tag filters, e.g. ``{"dns_qtype": "ANY"}``; a value
+        of ``None`` means "tag key present".
+    predicate:
+        Residual row filter: ``predicate(stored) -> bool``.
+    limit:
+        Maximum records returned (applied after time ordering).
+    order_by_time:
+        Sort results by the collection's time field.
+    """
+
+    collection: str
+    time_range: Optional[Tuple[Optional[float], Optional[float]]] = None
+    where: Dict[str, object] = field(default_factory=dict)
+    tags: Dict[str, Optional[str]] = field(default_factory=dict)
+    predicate: Optional[Callable] = None
+    limit: Optional[int] = None
+    order_by_time: bool = True
+
+
+@dataclass
+class Aggregation:
+    """Group-and-reduce over query results.
+
+    ``key_fn(stored) -> hashable`` chooses the group;
+    ``value_fn(stored) -> float`` the contribution (default 1: count);
+    ``reducer`` is "sum", "count", "max", "min", or "mean".
+    """
+
+    key_fn: Callable
+    value_fn: Optional[Callable] = None
+    reducer: str = "sum"
+
+
+def _candidate_positions(segment, query: Query) -> Optional[List[int]]:
+    """Smallest candidate set any single index yields, or None = all."""
+    best: Optional[List[int]] = None
+
+    if query.time_range is not None:
+        start, end = query.time_range
+        positions = segment.time_index.range(start, end)
+        best = positions
+
+    for fld, value in query.where.items():
+        index = segment.field_indexes.get(fld)
+        if index is None:
+            continue
+        positions = index.lookup(value)
+        if best is None or len(positions) < len(best):
+            best = positions
+
+    for key, value in query.tags.items():
+        positions = segment.tag_index.lookup(key, value)
+        if best is None or len(positions) < len(best):
+            best = positions
+
+    return best
+
+
+def _matches(stored, segment, query: Query) -> bool:
+    record = stored.record
+    schema = segment.schema
+    if query.time_range is not None:
+        start, end = query.time_range
+        t = schema.time_of(record)
+        if start is not None and t < start:
+            return False
+        if end is not None and t > end:
+            return False
+    for fld, value in query.where.items():
+        if schema.field_of(record, fld) != value:
+            return False
+    for key, value in query.tags.items():
+        actual = stored.tags.get(key)
+        if actual is None:
+            return False
+        if value is not None and actual != value:
+            return False
+    if query.predicate is not None and not query.predicate(stored):
+        return False
+    return True
+
+
+def execute_query(store, query: Query) -> List:
+    """Run ``query`` against ``store`` (index-accelerated, time-ordered)."""
+    segments = store.segments(query.collection)
+    results = []
+    for segment in segments:
+        if query.time_range is not None and not segment.overlaps(
+            *query.time_range
+        ):
+            continue
+        candidates = _candidate_positions(segment, query)
+        if candidates is None:
+            rows = segment.records
+        else:
+            rows = [segment.records[p] for p in sorted(set(candidates))]
+        for stored in rows:
+            if _matches(stored, segment, query):
+                results.append((segment.schema.time_of(stored.record), stored))
+
+    if query.order_by_time:
+        results.sort(key=lambda pair: pair[0])
+    records = [stored for _, stored in results]
+    if query.limit is not None:
+        records = records[: query.limit]
+    return records
+
+
+_REDUCERS = {
+    "sum": sum,
+    "count": len,
+    "max": max,
+    "min": min,
+    "mean": lambda values: sum(values) / len(values) if values else 0.0,
+}
+
+
+def execute_aggregate(store, query: Query, aggregation: Aggregation) -> Dict:
+    """Group-and-reduce the query's results per ``aggregation``."""
+    if aggregation.reducer not in _REDUCERS:
+        known = ", ".join(sorted(_REDUCERS))
+        raise ValueError(
+            f"unknown reducer {aggregation.reducer!r}; one of {known}"
+        )
+    groups: Dict[object, List[float]] = {}
+    value_fn = aggregation.value_fn or (lambda stored: 1.0)
+    for stored in execute_query(store, query):
+        key = aggregation.key_fn(stored)
+        groups.setdefault(key, []).append(value_fn(stored))
+    reducer = _REDUCERS[aggregation.reducer]
+    return {key: reducer(values) for key, values in groups.items()}

@@ -1,0 +1,82 @@
+"""Retention policy: bound the store by age and volume.
+
+§5's cost footnote: capture cost "increases proportionally with ...
+the duration of data retention".  Retention is enforced at segment
+granularity (the eviction unit), oldest-first, mirroring how real
+capture appliances roll their capture ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RetentionReport:
+    """What one enforcement pass evicted."""
+
+    segments_evicted: int = 0
+    records_evicted: int = 0
+    bytes_evicted: int = 0
+    by_collection: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RetentionPolicy:
+    """Age and size bounds, per collection or global.
+
+    ``max_age_s``: evict sealed segments entirely older than
+    ``now - max_age_s``.  ``max_bytes``: evict oldest sealed segments
+    until the global estimate fits.
+    """
+
+    max_age_s: Optional[float] = None
+    max_bytes: Optional[int] = None
+
+    def enforce(self, store, now: float) -> RetentionReport:
+        """Evict sealed segments violating the policy; report what went."""
+        report = RetentionReport()
+        if self.max_age_s is not None:
+            cutoff = now - self.max_age_s
+            for collection in ("packets", "flows", "logs"):
+                self._evict_older_than(store, collection, cutoff, report)
+        if self.max_bytes is not None:
+            self._evict_to_size(store, report)
+        return report
+
+    @staticmethod
+    def _evict_segment(store, collection: str, segment, report) -> None:
+        report.segments_evicted += 1
+        report.records_evicted += len(segment)
+        report.bytes_evicted += segment.bytes_estimate
+        report.by_collection[collection] = (
+            report.by_collection.get(collection, 0) + len(segment)
+        )
+        store.segments(collection).remove(segment)
+
+    def _evict_older_than(self, store, collection: str, cutoff: float,
+                          report: RetentionReport) -> None:
+        for segment in list(store.segments(collection)):
+            if not segment.sealed:
+                continue
+            max_time = segment.max_time
+            if max_time is not None and max_time < cutoff:
+                self._evict_segment(store, collection, segment, report)
+
+    def _evict_to_size(self, store, report: RetentionReport) -> None:
+        while store.bytes_estimate() > self.max_bytes:
+            oldest = None
+            oldest_collection = None
+            for collection in ("packets", "flows", "logs"):
+                for segment in store.segments(collection):
+                    if not segment.sealed:
+                        continue
+                    if segment.min_time is None:
+                        continue
+                    if oldest is None or segment.min_time < oldest.min_time:
+                        oldest = segment
+                        oldest_collection = collection
+            if oldest is None:
+                return
+            self._evict_segment(store, oldest_collection, oldest, report)

@@ -1,0 +1,77 @@
+"""Append-only segments with per-segment indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datastore.index import HashIndex, InvertedIndex, TimeIndex
+from repro.datastore.schema import CollectionSchema
+
+
+class Segment:
+    """A bounded run of stored records plus its local indexes.
+
+    Records are wrapped :class:`~repro.datastore.store.StoredRecord`
+    instances.  A segment seals when full; sealed segments are the unit
+    of retention eviction.
+    """
+
+    def __init__(self, schema: CollectionSchema, segment_id: int,
+                 capacity: int = 50_000):
+        if capacity <= 0:
+            raise ValueError("segment capacity must be positive")
+        self.schema = schema
+        self.segment_id = segment_id
+        self.capacity = capacity
+        self.records: List = []
+        self.sealed = False
+        self.bytes_estimate = 0
+        self.time_index = TimeIndex()
+        self.field_indexes: Dict[str, HashIndex] = {
+            f: HashIndex() for f in schema.indexed_fields
+        }
+        self.tag_index = InvertedIndex()
+
+    @property
+    def full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    def append(self, stored) -> int:
+        """Add a stored record; returns its position in the segment."""
+        if self.sealed:
+            raise RuntimeError(f"segment {self.segment_id} is sealed")
+        position = len(self.records)
+        self.records.append(stored)
+        record = stored.record
+        self.bytes_estimate += self.schema.size_fn(record)
+        self.time_index.add(self.schema.time_of(record), position)
+        for field, index in self.field_indexes.items():
+            index.add(self.schema.field_of(record, field), position)
+        if stored.tags:
+            self.tag_index.add(stored.tags, position)
+        return position
+
+    def seal(self) -> None:
+        self.sealed = True
+        self.time_index.seal()
+
+    @property
+    def min_time(self) -> Optional[float]:
+        return self.time_index.min_time
+
+    @property
+    def max_time(self) -> Optional[float]:
+        return self.time_index.max_time
+
+    def overlaps(self, start: Optional[float], end: Optional[float]) -> bool:
+        lo, hi = self.min_time, self.max_time
+        if lo is None:
+            return False
+        if start is not None and hi < start:
+            return False
+        if end is not None and lo > end:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,175 @@
+"""The campus data store.
+
+Three built-in collections — ``packets``, ``flows``, ``logs`` — each a
+list of segments.  Ingest attaches on-the-fly metadata (for packets)
+and assigns record ids; queries go through
+:meth:`DataStore.query` / :meth:`DataStore.aggregate`.
+
+The store is deliberately *internal-only* (§3): nothing here supports
+export; the privacy layer (:mod:`repro.privacy`) arbitrates access and
+transforms data on the way in or out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.capture.flows import FlowRecord
+from repro.capture.metadata import MetadataExtractor
+from repro.capture.sensors import LogRecord
+from repro.datastore import schema as schemas
+from repro.datastore.query import Aggregation, Query, execute_aggregate, \
+    execute_query
+from repro.datastore.segments import Segment
+from repro.netsim.packets import PacketRecord
+
+
+@dataclass
+class StoredRecord:
+    """A record plus store-side annotations (tags, curated label)."""
+
+    __slots__ = ("rid", "record", "tags", "label")
+
+    rid: int
+    record: object
+    tags: Dict[str, str]
+    label: Optional[str]
+
+
+class DataStore:
+    """Single platform for collecting, storing, indexing and mining.
+
+    Parameters
+    ----------
+    metadata_extractor:
+        Attached to packet ingest; produces the tag dictionary indexed
+        by the inverted index.  Pass ``None`` to store raw packets only.
+    segment_capacity:
+        Records per segment before sealing.
+    """
+
+    def __init__(self, metadata_extractor: Optional[MetadataExtractor] = None,
+                 segment_capacity: int = 50_000):
+        self.metadata_extractor = metadata_extractor
+        self.segment_capacity = segment_capacity
+        self._segments: Dict[str, List[Segment]] = {
+            name: [] for name in schemas.SCHEMAS
+        }
+        self._segment_ids = itertools.count(1)
+        self._record_ids = itertools.count(1)
+        self.ingest_transforms: List[Callable] = []
+
+    # -- ingest ------------------------------------------------------------
+
+    def add_ingest_transform(self, transform: Callable) -> None:
+        """Install a privacy/cleaning transform applied at ingest.
+
+        ``transform(collection_name, record, tags) -> (record, tags)``
+        may rewrite the record (e.g. anonymize addresses) or the tags;
+        returning ``(None, None)`` drops the record.
+        """
+        self.ingest_transforms.append(transform)
+
+    def _open_segment(self, collection: str) -> Segment:
+        segments = self._segments[collection]
+        if segments and not segments[-1].sealed and not segments[-1].full:
+            return segments[-1]
+        if segments and not segments[-1].sealed:
+            segments[-1].seal()
+        segment = Segment(schemas.SCHEMAS[collection],
+                          next(self._segment_ids),
+                          capacity=self.segment_capacity)
+        segments.append(segment)
+        return segment
+
+    def _ingest(self, collection: str, record, tags: Dict[str, str]) -> \
+            Optional[StoredRecord]:
+        for transform in self.ingest_transforms:
+            record, tags = transform(collection, record, tags)
+            if record is None:
+                return None
+        stored = StoredRecord(rid=next(self._record_ids), record=record,
+                              tags=tags or {}, label=None)
+        self._open_segment(collection).append(stored)
+        return stored
+
+    def ingest_packets(self, packets: Iterable[PacketRecord]) -> int:
+        """Store captured packets (with extracted metadata)."""
+        count = 0
+        for packet in packets:
+            tags = (self.metadata_extractor.extract(packet)
+                    if self.metadata_extractor else {})
+            if self._ingest("packets", packet, tags) is not None:
+                count += 1
+        return count
+
+    def ingest_flows(self, flows: Iterable[FlowRecord]) -> int:
+        """Store assembled flow records; returns how many were kept."""
+        count = 0
+        for flow in flows:
+            tags = {"service": flow.service}
+            if self._ingest("flows", flow, tags) is not None:
+                count += 1
+        return count
+
+    def ingest_log(self, log: LogRecord) -> None:
+        """Store one complementary sensor record."""
+        self._ingest("logs", log, {"kind": log.kind})
+
+    def ingest_logs(self, logs: Iterable[LogRecord]) -> int:
+        """Store a batch of sensor records; returns the count."""
+        count = 0
+        for log in logs:
+            self.ingest_log(log)
+            count += 1
+        return count
+
+    # -- query -------------------------------------------------------------
+
+    def segments(self, collection: str) -> List[Segment]:
+        if collection not in self._segments:
+            known = ", ".join(sorted(self._segments))
+            raise KeyError(f"unknown collection {collection!r}; one of {known}")
+        return self._segments[collection]
+
+    def query(self, query: Query) -> List[StoredRecord]:
+        """Run a query; see :class:`repro.datastore.query.Query`."""
+        return execute_query(self, query)
+
+    def aggregate(self, query: Query, aggregation: Aggregation) -> Dict:
+        return execute_aggregate(self, query, aggregation)
+
+    def count(self, collection: str) -> int:
+        return sum(len(s) for s in self._segments[collection])
+
+    # -- stats ---------------------------------------------------------------
+
+    def bytes_estimate(self, collection: Optional[str] = None) -> int:
+        if collection is not None:
+            return sum(s.bytes_estimate for s in self._segments[collection])
+        return sum(
+            s.bytes_estimate
+            for segments in self._segments.values() for s in segments
+        )
+
+    def time_span(self, collection: str) -> Tuple[Optional[float], Optional[float]]:
+        segments = self._segments[collection]
+        mins = [s.min_time for s in segments if s.min_time is not None]
+        maxs = [s.max_time for s in segments if s.max_time is not None]
+        return (min(mins) if mins else None, max(maxs) if maxs else None)
+
+    def summary(self) -> Dict[str, Dict]:
+        """Per-collection counts, bytes, and time span."""
+        out = {}
+        for name in self._segments:
+            lo, hi = self.time_span(name)
+            out[name] = {
+                "records": self.count(name),
+                "segments": len(self._segments[name]),
+                "bytes": self.bytes_estimate(name),
+                "min_time": lo,
+                "max_time": hi,
+            }
+        return out

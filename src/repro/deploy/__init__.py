@@ -1,0 +1,55 @@
+"""Compilation and in-network execution of deployable models.
+
+Step (iii) of Fig. 2: "compile the deployable learning model ... into
+a target-specific program (e.g., P4) and configure the programmable
+switches (e.g., Barefoot Tofino)".
+
+* :mod:`repro.deploy.ir` — match-action intermediate representation.
+* :mod:`repro.deploy.compiler` — decision-tree -> match-action tables
+  with feature quantization and range-to-ternary expansion.
+* :mod:`repro.deploy.p4gen` — P4-16-style source emission.
+* :mod:`repro.deploy.switch` — an emulated multi-stage programmable
+  switch: sketch-based sensing, table-based inference, and mitigation
+  actions wired back into the traffic simulator.
+* :mod:`repro.deploy.resources` — Tofino-like resource model (stages,
+  TCAM/SRAM) used for the §2 concurrent-task-scale experiment.
+* :mod:`repro.deploy.sketches` — count-min / Bloom / HLL primitives.
+* :mod:`repro.deploy.placement` — sense/infer/react latency by
+  placement (data plane vs control plane vs cloud).
+"""
+
+from repro.deploy.ir import (
+    FieldMatch,
+    MatchActionTable,
+    MatchKind,
+    SwitchProgram,
+    TableEntry,
+)
+from repro.deploy.compiler import CompileResult, FeatureQuantizer, compile_tree
+from repro.deploy.p4gen import emit_p4
+from repro.deploy.resources import FitReport, SwitchResourceModel
+from repro.deploy.sketches import BloomFilter, CountMinSketch, HyperLogLog
+from repro.deploy.switch import EmulatedSwitch, SwitchConfig
+from repro.deploy.placement import Placement, PLACEMENTS, loop_latency
+
+__all__ = [
+    "MatchKind",
+    "FieldMatch",
+    "TableEntry",
+    "MatchActionTable",
+    "SwitchProgram",
+    "FeatureQuantizer",
+    "CompileResult",
+    "compile_tree",
+    "emit_p4",
+    "SwitchResourceModel",
+    "FitReport",
+    "CountMinSketch",
+    "BloomFilter",
+    "HyperLogLog",
+    "EmulatedSwitch",
+    "SwitchConfig",
+    "Placement",
+    "PLACEMENTS",
+    "loop_latency",
+]

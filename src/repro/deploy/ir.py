@@ -1,0 +1,183 @@
+"""Match-action intermediate representation.
+
+The IR models what a P4 target offers: tables with typed match keys
+(exact / ternary / range / lpm), prioritised entries, and named
+actions with parameters.  Range matches are first-class in the IR;
+hardware without native range matching pays the range-to-ternary
+expansion cost, which :func:`range_to_ternary` computes exactly (the
+classic prefix-cover construction) so the resource model can charge
+real TCAM entries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class MatchKind(enum.Enum):
+    EXACT = "exact"
+    TERNARY = "ternary"
+    RANGE = "range"
+    LPM = "lpm"
+
+
+@dataclass(frozen=True)
+class FieldMatch:
+    """One key's constraint inside one entry.
+
+    * EXACT: ``value``
+    * TERNARY: ``value`` + ``mask``
+    * RANGE: inclusive ``[lo, hi]``
+    * LPM: ``value`` + ``prefix_len``
+    """
+
+    kind: MatchKind
+    value: int = 0
+    mask: int = 0
+    lo: int = 0
+    hi: int = 0
+    prefix_len: int = 0
+
+    def matches(self, observed: int, width: int = 32) -> bool:
+        if self.kind is MatchKind.EXACT:
+            return observed == self.value
+        if self.kind is MatchKind.TERNARY:
+            return (observed & self.mask) == (self.value & self.mask)
+        if self.kind is MatchKind.RANGE:
+            return self.lo <= observed <= self.hi
+        if self.kind is MatchKind.LPM:
+            shift = width - self.prefix_len
+            return (observed >> shift) == (self.value >> shift)
+        raise ValueError(f"unknown match kind {self.kind}")
+
+    @staticmethod
+    def wildcard() -> "FieldMatch":
+        return FieldMatch(kind=MatchKind.TERNARY, value=0, mask=0)
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "FieldMatch":
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        return FieldMatch(kind=MatchKind.RANGE, lo=lo, hi=hi)
+
+    @staticmethod
+    def exact(value: int) -> "FieldMatch":
+        return FieldMatch(kind=MatchKind.EXACT, value=value)
+
+
+@dataclass
+class TableEntry:
+    """Prioritised entry: higher priority wins."""
+
+    priority: int
+    matches: Dict[str, FieldMatch]
+    action: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def hits(self, fields: Dict[str, int], widths: Dict[str, int]) -> bool:
+        for name, match in self.matches.items():
+            observed = fields.get(name, 0)
+            if not match.matches(observed, widths.get(name, 32)):
+                return False
+        return True
+
+
+@dataclass
+class MatchActionTable:
+    """One pipeline table."""
+
+    name: str
+    key_fields: List[str]
+    key_widths: Dict[str, int]
+    entries: List[TableEntry] = field(default_factory=list)
+    default_action: str = "NoAction"
+    default_params: Dict[str, object] = field(default_factory=dict)
+
+    def add_entry(self, entry: TableEntry) -> None:
+        unknown = set(entry.matches) - set(self.key_fields)
+        if unknown:
+            raise ValueError(f"entry matches unknown keys: {sorted(unknown)}")
+        self.entries.append(entry)
+
+    def lookup(self, fields: Dict[str, int]) -> Tuple[str, Dict]:
+        """First hit in priority order (stable by insertion within ties)."""
+        best: Optional[TableEntry] = None
+        for entry in self.entries:
+            if entry.hits(fields, self.key_widths):
+                if best is None or entry.priority > best.priority:
+                    best = entry
+        if best is None:
+            return self.default_action, dict(self.default_params)
+        return best.action, dict(best.params)
+
+    @property
+    def key_width_bits(self) -> int:
+        return sum(self.key_widths[f] for f in self.key_fields)
+
+
+@dataclass
+class SwitchProgram:
+    """A compiled pipeline: ordered tables plus metadata the control
+    plane needs (feature scaling, class names)."""
+
+    name: str
+    tables: List[MatchActionTable]
+    feature_fields: List[str] = field(default_factory=list)
+    class_names: List[str] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def table(self, name: str) -> MatchActionTable:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(f"no table named {name!r}")
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(t.entries) for t in self.tables)
+
+
+def range_to_ternary(lo: int, hi: int, width: int) -> List[Tuple[int, int]]:
+    """Minimal prefix cover of [lo, hi] as (value, mask) pairs.
+
+    The standard construction: repeatedly take the largest aligned
+    power-of-two block that starts at ``lo`` and fits within ``hi``.
+    Worst case 2*width - 2 pairs, the figure behind TCAM range
+    expansion costs.
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    if lo < 0 or hi >= (1 << width):
+        raise ValueError(f"range [{lo}, {hi}] exceeds width {width}")
+    full_mask = (1 << width) - 1
+    covers: List[Tuple[int, int]] = []
+    position = lo
+    while position <= hi:
+        # Largest block size aligned at `position`...
+        max_align = position & -position if position > 0 else 1 << width
+        # ...that also fits in the remaining span.
+        span = hi - position + 1
+        block = max_align
+        while block > span:
+            block >>= 1
+        mask = full_mask & ~(block - 1)
+        covers.append((position, mask))
+        position += block
+    return covers
+
+
+def ternary_cost(entry: TableEntry, widths: Dict[str, int]) -> int:
+    """How many pure-TCAM entries this entry expands into.
+
+    Each RANGE key multiplies the expansion by its prefix-cover size;
+    EXACT/TERNARY/LPM keys cost a factor of 1.
+    """
+    expansion = 1
+    for name, match in entry.matches.items():
+        if match.kind is MatchKind.RANGE:
+            covers = range_to_ternary(match.lo, match.hi,
+                                      widths.get(name, 32))
+            expansion *= len(covers)
+    return expansion

@@ -1,0 +1,81 @@
+"""Sense/infer/react latency by compute placement.
+
+§2: "the allocation of compute resources that are available in the
+network for performing any of these activities for a given task (e.g.,
+data plane, control plane, cloud) will depend on how fast and with
+what accuracy that task has to be performed."  Experiment E2 tabulates
+the latency decomposition this module computes.
+
+Latency components (seconds):
+
+* data plane — per-packet sketch update and table lookup are part of
+  the forwarding pipeline (~hundreds of ns); "react" is the same
+  pipeline applying the verdict, so the loop closes within ~1 us plus
+  the sensing window itself.
+* control plane — counters are exported every polling interval, the
+  local controller runs the full model (~ms), and a rule install RTT
+  closes the loop.
+* cloud — adds WAN RTT and queueing/batching on both legs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placement option with its latency model."""
+
+    name: str
+    sense_latency_s: float         # time until the signal is observable
+    infer_latency_s: float         # model evaluation time
+    react_latency_s: float         # applying the mitigation
+    model_constraint: str          # what models this placement can run
+
+    def loop_latency(self, sensing_window_s: float = 0.0) -> float:
+        """Total sense->infer->react delay for one detection."""
+        return (self.sense_latency_s + sensing_window_s / 2.0
+                + self.infer_latency_s + self.react_latency_s)
+
+
+PLACEMENTS: Dict[str, Placement] = {
+    "data_plane": Placement(
+        name="data_plane",
+        sense_latency_s=400e-9,        # sketch update in-pipeline
+        infer_latency_s=300e-9,        # one table lookup
+        react_latency_s=300e-9,        # verdict applied same pipeline
+        model_constraint="match-action tables only (compiled trees)",
+    ),
+    "control_plane": Placement(
+        name="control_plane",
+        sense_latency_s=50e-3,         # counter export / polling delay
+        infer_latency_s=3e-3,          # full model on local CPU
+        react_latency_s=10e-3,         # rule-install RTT to the switch
+        model_constraint="any model that fits a server",
+    ),
+    "cloud": Placement(
+        name="cloud",
+        sense_latency_s=50e-3 + 40e-3,  # export + WAN uplink
+        infer_latency_s=8e-3,           # batch inference service
+        react_latency_s=40e-3 + 10e-3,  # WAN downlink + rule install
+        model_constraint="anything, including ensembles/GPU models",
+    ),
+}
+
+
+def loop_latency(placement: str, sensing_window_s: float = 1.0) -> float:
+    """Convenience: total loop latency for a named placement."""
+    try:
+        return PLACEMENTS[placement].loop_latency(sensing_window_s)
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENTS))
+        raise KeyError(f"unknown placement {placement!r}; one of {known}")
+
+
+def attack_bytes_before_reaction(placement: str, attack_gbps: float,
+                                 sensing_window_s: float = 1.0) -> float:
+    """Bytes a DDoS lands before the loop reacts — E2's punchline column."""
+    latency = loop_latency(placement, sensing_window_s)
+    return attack_gbps * 1e9 / 8.0 * latency

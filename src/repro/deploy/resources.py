@@ -1,0 +1,99 @@
+"""Programmable-switch resource model (Tofino-like).
+
+§2's scale claim: modern data planes "are currently not capable of
+supporting this capability at scale; i.e., executing hundreds or
+thousands of such tasks concurrently and in real time".  Experiment E4
+quantifies exactly that by packing compiled classifiers into this
+resource model until something runs out.
+
+Defaults approximate a first-generation Tofino-class ASIC: 12 match
+stages, ~6.2 Mb TCAM and ~120 Mb SRAM total, spread evenly across
+stages, with per-stage limits on how much key width a single table can
+consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MBIT = 1_000_000
+
+
+@dataclass
+class FitReport:
+    """Result of attempting to place programs on the switch."""
+
+    fits: bool
+    programs_placed: int
+    stages_used: int
+    tcam_bits_used: int
+    sram_bits_used: int
+    tcam_fraction: float
+    sram_fraction: float
+    bottleneck: Optional[str] = None
+
+
+class SwitchResourceModel:
+    """Accounting-only model of pipeline resources."""
+
+    def __init__(self, n_stages: int = 12,
+                 tcam_bits_total: int = 6 * MBIT,
+                 sram_bits_total: int = 120 * MBIT,
+                 max_tables_per_stage: int = 16,
+                 sketch_sram_bits: int = 4 * MBIT):
+        self.n_stages = n_stages
+        self.tcam_bits_total = tcam_bits_total
+        self.sram_bits_total = sram_bits_total
+        self.max_tables_per_stage = max_tables_per_stage
+        #: SRAM reserved for the shared sensing sketches.
+        self.sketch_sram_bits = sketch_sram_bits
+
+    def fit(self, compile_results: List) -> FitReport:
+        """Try to place a list of :class:`CompileResult` programs.
+
+        Placement model: every program needs one table (one stage
+        slot), its TCAM bits, and SRAM for action/param storage (64
+        bits per entry).  Stage slots: ``n_stages *
+        max_tables_per_stage`` tables total.
+        """
+        tcam_used = 0
+        sram_used = self.sketch_sram_bits
+        tables_used = 0
+        placed = 0
+        bottleneck = None
+        table_slots = self.n_stages * self.max_tables_per_stage
+
+        for result in compile_results:
+            need_tcam = result.tcam_bits
+            need_sram = result.n_entries * 64
+            if tables_used + 1 > table_slots:
+                bottleneck = "stages"
+                break
+            if tcam_used + need_tcam > self.tcam_bits_total:
+                bottleneck = "tcam"
+                break
+            if sram_used + need_sram > self.sram_bits_total:
+                bottleneck = "sram"
+                break
+            tables_used += 1
+            tcam_used += need_tcam
+            sram_used += need_sram
+            placed += 1
+
+        return FitReport(
+            fits=placed == len(compile_results),
+            programs_placed=placed,
+            stages_used=math.ceil(tables_used / self.max_tables_per_stage),
+            tcam_bits_used=tcam_used,
+            sram_bits_used=sram_used,
+            tcam_fraction=tcam_used / self.tcam_bits_total,
+            sram_fraction=sram_used / self.sram_bits_total,
+            bottleneck=bottleneck,
+        )
+
+    def max_concurrent(self, compile_result) -> int:
+        """How many copies of one program fit (the E4 headline number)."""
+        report = self.fit([compile_result] * 100_000)
+        return report.programs_placed

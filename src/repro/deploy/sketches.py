@@ -1,0 +1,149 @@
+"""Compact data-plane sensing structures.
+
+The sense stage of the fast control loop (Fig. 2) runs on the switch
+with SRAM-resident summaries, not per-flow state: a count-min sketch
+for per-key byte/packet counters, a Bloom filter for set membership,
+and HyperLogLog for distinct counting.  Error bounds are
+property-tested (count-min never under-counts; overestimate bounded by
+eps * total with probability 1 - delta).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+
+def _hash64(item: Hashable, salt: int) -> int:
+    raw = repr(item).encode("utf-8") + struct.pack("<I", salt)
+    return int.from_bytes(hashlib.blake2b(raw, digest_size=8).digest(),
+                          "little")
+
+
+class CountMinSketch:
+    """Count-min sketch with conservative parameters from (eps, delta).
+
+    width = ceil(e / eps), depth = ceil(ln(1 / delta)).
+    """
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01,
+                 width: Optional[int] = None, depth: Optional[int] = None):
+        if width is None:
+            if not 0 < epsilon < 1:
+                raise ValueError("epsilon must be in (0,1)")
+            width = int(math.ceil(math.e / epsilon))
+        if depth is None:
+            if not 0 < delta < 1:
+                raise ValueError("delta must be in (0,1)")
+            depth = int(math.ceil(math.log(1.0 / delta)))
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    def add(self, item: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for row in range(self.depth):
+            col = _hash64(item, row) % self.width
+            self._table[row, col] += count
+        self.total += count
+
+    def estimate(self, item: Hashable) -> int:
+        return int(min(
+            self._table[row, _hash64(item, row) % self.width]
+            for row in range(self.depth)
+        ))
+
+    def reset(self) -> None:
+        self._table[:] = 0
+        self.total = 0
+
+    @property
+    def sram_bits(self) -> int:
+        """SRAM footprint with 32-bit counters."""
+        return self.width * self.depth * 32
+
+
+class BloomFilter:
+    """Standard Bloom filter sized from (capacity, fp_rate)."""
+
+    def __init__(self, capacity: int = 10_000, fp_rate: float = 0.01):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0,1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.n_bits = max(
+            int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))),
+            8,
+        )
+        self.n_hashes = max(int(round(self.n_bits / capacity * math.log(2))), 1)
+        self._bits = np.zeros(self.n_bits, dtype=bool)
+        self.count = 0
+
+    def add(self, item: Hashable) -> None:
+        for salt in range(self.n_hashes):
+            self._bits[_hash64(item, salt) % self.n_bits] = True
+        self.count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return all(
+            self._bits[_hash64(item, salt) % self.n_bits]
+            for salt in range(self.n_hashes)
+        )
+
+    def reset(self) -> None:
+        self._bits[:] = False
+        self.count = 0
+
+    @property
+    def sram_bits(self) -> int:
+        return self.n_bits
+
+
+class HyperLogLog:
+    """Distinct counting with 2^p registers (p in [4, 16])."""
+
+    def __init__(self, p: int = 12):
+        if not 4 <= p <= 16:
+            raise ValueError("p must be in [4, 16]")
+        self.p = p
+        self.m = 1 << p
+        self._registers = np.zeros(self.m, dtype=np.int8)
+        if self.m >= 128:
+            self._alpha = 0.7213 / (1 + 1.079 / self.m)
+        elif self.m == 64:
+            self._alpha = 0.709
+        elif self.m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    def add(self, item: Hashable) -> None:
+        value = _hash64(item, 0xC0FFEE)
+        register = value & (self.m - 1)
+        rest = value >> self.p
+        rank = (64 - self.p) - rest.bit_length() + 1 if rest else 64 - self.p + 1
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+
+    def estimate(self) -> float:
+        inv_sum = float(np.sum(2.0 ** -self._registers.astype(float)))
+        raw = self._alpha * self.m * self.m / inv_sum
+        zeros = int(np.count_nonzero(self._registers == 0))
+        if raw <= 2.5 * self.m and zeros > 0:
+            return self.m * math.log(self.m / zeros)   # small-range correction
+        return raw
+
+    def reset(self) -> None:
+        self._registers[:] = 0
+
+    @property
+    def sram_bits(self) -> int:
+        return self.m * 8

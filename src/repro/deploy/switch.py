@@ -1,0 +1,225 @@
+"""Emulated programmable border switch.
+
+The switch closes the paper's fast control loop (Fig. 2) inside the
+simulated campus:
+
+* **sense** — every border packet updates count-min/Bloom summaries and
+  per-(window, external endpoint) counters, the same aggregation the
+  offline featurizer uses (so trained models transfer);
+* **infer** — at each window boundary the compiled match-action table
+  classifies every tracked endpoint;
+* **react** — verdicts whose table confidence clears the configured
+  threshold (the §2 "at least 90%" knob) install a mitigation — drop or
+  rate-limit — on the fluid network for a bounded duration.
+
+Reaction timing follows the placement model: a data-plane deployment
+reacts within the window; a control-plane/cloud deployment adds its
+loop latency before the mitigation lands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.metadata import MetadataExtractor
+from repro.deploy.compiler import CompileResult
+from repro.deploy.placement import PLACEMENTS
+from repro.deploy.sketches import BloomFilter, CountMinSketch
+from repro.learning.features import FeatureConfig, WindowExample, \
+    SourceWindowFeaturizer
+from repro.netsim.packets import PacketRecord
+
+
+@dataclass
+class SwitchConfig:
+    """Runtime configuration for the deployed program."""
+
+    window_s: float = 5.0
+    grace_s: float = 2.0
+    min_packets: int = 4
+    confidence_threshold: float = 0.9
+    placement: str = "data_plane"
+    mitigation_duration_s: float = 30.0
+    max_tracked_keys: int = 4096
+    #: class name -> ("drop", None) or ("rate_limit", cap_bps)
+    bindings: Dict[str, Tuple[str, Optional[float]]] = field(
+        default_factory=lambda: {"*": ("drop", None)}
+    )
+    benign_class: str = "benign"
+    shadow: bool = False           # log verdicts but never act
+
+
+@dataclass
+class Detection:
+    """One non-benign verdict."""
+
+    window_start: float
+    endpoint: str
+    class_name: str
+    confidence: float
+    decided_at: float              # when the verdict was computed
+    effective_at: float            # when the mitigation took hold
+    acted: bool
+    feature_vector: List[float] = field(default_factory=list)
+
+
+class EmulatedSwitch:
+    """Executes a compiled program against live border traffic."""
+
+    def __init__(self, network, compile_result: CompileResult,
+                 config: Optional[SwitchConfig] = None):
+        self.network = network
+        self.result = compile_result
+        self.config = config or SwitchConfig()
+        if self.config.placement not in PLACEMENTS:
+            known = ", ".join(sorted(PLACEMENTS))
+            raise ValueError(
+                f"unknown placement {self.config.placement!r}; one of {known}"
+            )
+        self._metadata = MetadataExtractor(network.topology)
+        self._featurizer = SourceWindowFeaturizer(FeatureConfig(
+            window_s=self.config.window_s,
+            min_packets=self.config.min_packets,
+        ))
+        self._buckets: Dict[float, Dict[str, WindowExample]] = {}
+        self._evaluated: set = set()
+        self.detections: List[Detection] = []
+        self.packets_processed = 0
+        self.mitigated_endpoints: Dict[str, float] = {}
+        #: permanent record (endpoint -> first effective time), survives
+        #: mitigation expiry; consumed by testbed collateral accounting.
+        self.mitigation_log: Dict[str, float] = {}
+        # Data-plane sensing structures (realism + SRAM accounting).
+        self.byte_sketch = CountMinSketch(width=2048, depth=3)
+        self.seen_filter = BloomFilter(capacity=50_000, fp_rate=0.01)
+
+        network.add_packet_observer(self._on_packets)
+        self._schedule_tick()
+
+    # -- sense ---------------------------------------------------------------
+
+    def _on_packets(self, packets: List[PacketRecord]) -> None:
+        window_s = self.config.window_s
+        for packet in packets:
+            self.packets_processed += 1
+            if packet.direction == "in":
+                endpoint = packet.src_ip
+            else:
+                endpoint = packet.dst_ip
+            self.byte_sketch.add(endpoint, packet.size)
+            self.seen_filter.add(endpoint)
+            window_start = math.floor(packet.timestamp / window_s) * window_s
+            bucket = self._buckets.setdefault(window_start, {})
+            example = bucket.get(endpoint)
+            if example is None:
+                if len(bucket) >= self.config.max_tracked_keys:
+                    continue        # key table full: untracked this window
+                example = WindowExample(window_start=window_start,
+                                        endpoint=endpoint)
+                bucket[endpoint] = example
+            tags = self._metadata.extract(packet)
+            self._featurizer._accumulate(example, packet, tags)
+
+    # -- infer + react ---------------------------------------------------------
+
+    def _schedule_tick(self) -> None:
+        self.network.simulator.schedule(
+            self.config.window_s, self._tick, name="switch-tick"
+        )
+
+    def _tick(self) -> None:
+        now = self.network.now
+        ready = [
+            start for start in self._buckets
+            if start + self.config.window_s + self.config.grace_s <= now
+            and start not in self._evaluated
+        ]
+        for window_start in sorted(ready):
+            self._evaluate_window(window_start)
+            self._evaluated.add(window_start)
+            del self._buckets[window_start]
+        self._schedule_tick()
+
+    def _evaluate_window(self, window_start: float) -> None:
+        config = self.config
+        table = self.result.classify_table
+        class_names = self.result.program.class_names
+        for endpoint, example in self._buckets[window_start].items():
+            if example.pkts < config.min_packets:
+                continue
+            vector = example.vector(config.window_s)
+            fields = dict(zip(
+                self.result.program.feature_fields,
+                self.result.quantizer.quantize(vector),
+            ))
+            action, params = table.lookup(fields)
+            class_id = int(params["class_id"])
+            class_name = (class_names[class_id]
+                          if class_id < len(class_names) else str(class_id))
+            confidence = float(params.get("confidence", 1.0))
+            if class_name == config.benign_class:
+                continue
+            acted = False
+            effective_at = self.network.now
+            if confidence >= config.confidence_threshold and not config.shadow:
+                already = endpoint in self.mitigated_endpoints
+                effective_at = self._apply_mitigation(endpoint, class_name)
+                acted = not already
+            self.detections.append(Detection(
+                window_start=window_start,
+                endpoint=endpoint,
+                class_name=class_name,
+                confidence=confidence,
+                decided_at=self.network.now,
+                effective_at=effective_at,
+                acted=acted,
+                feature_vector=vector,
+            ))
+
+    def _binding_for(self, class_name: str) -> Tuple[str, Optional[float]]:
+        bindings = self.config.bindings
+        if class_name in bindings:
+            return bindings[class_name]
+        return bindings.get("*", ("drop", None))
+
+    def _apply_mitigation(self, endpoint: str, class_name: str) -> float:
+        """Install the mitigation after the placement's loop latency."""
+        if endpoint in self.mitigated_endpoints:
+            return self.mitigated_endpoints[endpoint]
+        placement = PLACEMENTS[self.config.placement]
+        delay = placement.infer_latency_s + placement.react_latency_s
+        effective_at = self.network.now + delay
+        self.mitigated_endpoints[endpoint] = effective_at
+        self.mitigation_log.setdefault(endpoint, effective_at)
+        kind, cap = self._binding_for(class_name)
+
+        def install() -> None:
+            predicate = lambda flow: endpoint in (
+                flow.key.src_ip, flow.key.dst_ip
+            )
+            remove = self.network.flows.install_policer(
+                predicate, None if kind == "drop" else cap
+            )
+
+            def expire() -> None:
+                remove()
+                self.mitigated_endpoints.pop(endpoint, None)
+
+            self.network.simulator.schedule(
+                self.config.mitigation_duration_s, expire,
+                name="mitigation-expire",
+            )
+
+        self.network.simulator.schedule(delay, install, name="mitigate")
+        return effective_at
+
+    # -- reporting ---------------------------------------------------------------
+
+    def detection_summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for detection in self.detections:
+            counts[detection.class_name] = counts.get(
+                detection.class_name, 0) + 1
+        return counts

@@ -1,0 +1,39 @@
+"""Performance diagnosis: pinpointing root causes from telemetry.
+
+§3: campus networks "are prone to network faults and outages and
+experience performance issues ... In particular, there is a need to be
+able to pinpoint performance problems and notify the service or cloud
+provider(s) in case the root cause is not internal to the campus
+network."
+
+This subpackage closes that loop:
+
+* :mod:`repro.diagnosis.telemetry` — periodic SNMP-style sampling of
+  per-link utilisation and operational state.
+* :mod:`repro.diagnosis.features` — per-(link, window) feature
+  extraction with ground-truth labeling.
+* :mod:`repro.diagnosis.localizer` — learned and rule-based root-cause
+  classifiers plus internal/external attribution (the "who do we
+  call" decision).
+"""
+
+from repro.diagnosis.telemetry import LinkSample, TelemetryCollector
+from repro.diagnosis.features import (
+    DIAGNOSIS_FEATURES,
+    LinkWindowFeaturizer,
+)
+from repro.diagnosis.localizer import (
+    Diagnosis,
+    RootCauseLocalizer,
+    RuleBasedLocalizer,
+)
+
+__all__ = [
+    "TelemetryCollector",
+    "LinkSample",
+    "LinkWindowFeaturizer",
+    "DIAGNOSIS_FEATURES",
+    "RootCauseLocalizer",
+    "RuleBasedLocalizer",
+    "Diagnosis",
+]

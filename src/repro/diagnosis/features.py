@@ -1,0 +1,146 @@
+"""Per-(link, window) diagnosis features and labeling.
+
+The feature set is deliberately what an operator's NMS can actually
+compute from interface polls: utilisation statistics, saturation
+dwell, flap counts, and demand pressure.  Labels come from the
+incident ground truth: a window is labeled with an incident kind if it
+overlaps the incident window *and* the link is implicated (the failed
+link itself, or a link whose department hosts the congestion).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diagnosis.telemetry import LinkSample
+from repro.learning.dataset import Dataset
+
+DIAGNOSIS_FEATURES = [
+    "mean_util",
+    "max_util",
+    "util_stddev",
+    "saturation_dwell",     # fraction of polls with util > 0.9 * max seen
+    "high_util_fraction",   # fraction of polls with util > 0.85
+    "down_fraction",        # fraction of polls with link down
+    "state_transitions",    # up/down flips within the window
+    "mean_active_flows",
+    "flows_per_gbps",       # demand pressure normalised by capacity
+]
+
+
+@dataclass
+class LinkWindow:
+    """Aggregated polls for one link in one time window."""
+
+    link: Tuple[str, str]
+    window_start: float
+    samples: List[LinkSample]
+
+    def vector(self) -> List[float]:
+        utils = np.asarray([s.utilization for s in self.samples])
+        ups = np.asarray([s.up for s in self.samples])
+        flows = np.asarray([s.active_flows for s in self.samples])
+        capacity_gbps = self.samples[0].nominal_capacity_bps / 1e9
+        transitions = int(np.sum(ups[1:] != ups[:-1]))
+        return [
+            float(utils.mean()),
+            float(utils.max()),
+            float(utils.std()),
+            float(np.mean(utils > 0.9 * max(utils.max(), 1e-9))),
+            float(np.mean(utils > 0.85)),
+            float(np.mean(~ups)),
+            float(transitions),
+            float(flows.mean()),
+            float(flows.mean() / max(capacity_gbps, 1e-9)),
+        ]
+
+
+class LinkWindowFeaturizer:
+    """Windows telemetry and labels it from incident ground truth.
+
+    Only *infrastructure* links (switch-to-switch trunks) are windowed
+    by default: a host's access line saturating is normal behaviour,
+    and real NMS deployments monitor trunks, not every desktop port.
+    """
+
+    def __init__(self, window_s: float = 10.0,
+                 infrastructure_only: bool = True):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = float(window_s)
+        self.infrastructure_only = infrastructure_only
+
+    def _monitored(self, link: Tuple[str, str], topology) -> bool:
+        if not self.infrastructure_only or topology is None:
+            return True
+        for node in link:
+            if node in topology.graph and topology.kind(node).is_endpoint:
+                return False
+        return True
+
+    def windows(self, collector, topology=None) -> List[LinkWindow]:
+        out: List[LinkWindow] = []
+        for link, samples in collector.samples.items():
+            if not self._monitored(link, topology):
+                continue
+            buckets: Dict[float, List[LinkSample]] = defaultdict(list)
+            for sample in samples:
+                start = math.floor(sample.timestamp / self.window_s) \
+                    * self.window_s
+                buckets[start].append(sample)
+            for start, bucket in sorted(buckets.items()):
+                out.append(LinkWindow(link=link, window_start=start,
+                                      samples=bucket))
+        return out
+
+    def _label(self, window: LinkWindow, ground_truth, topology) -> str:
+        mid = window.window_start + self.window_s / 2.0
+        a, b = window.link
+        for event in ground_truth.windows:
+            if not event.contains(mid):
+                continue
+            if event.kind in ("linkflap", "degradation"):
+                if set(event.victims) == {a, b}:
+                    return event.label
+            elif event.kind == "congestion":
+                dept = event.details.get("department")
+                dept_a = topology.department(a) if a in topology.graph \
+                    else None
+                dept_b = topology.department(b) if b in topology.graph \
+                    else None
+                # only the department's trunks, and only when actually
+                # loaded (the elephants bottleneck on one of them)
+                if dept in (dept_a, dept_b):
+                    utils = [s.utilization for s in window.samples]
+                    if max(utils) > 0.5:
+                        return event.label
+        return "benign"
+
+    def to_dataset(self, collector, ground_truth, topology,
+                   class_names: Optional[List[str]] = None) -> Dataset:
+        """Vectorise and label every monitored (link, window)."""
+        windows = self.windows(collector, topology)
+        if class_names is None:
+            labels = {"benign"} | {
+                w.label for w in ground_truth.windows
+                if w.kind in ("linkflap", "degradation", "congestion")
+            }
+            class_names = sorted(labels)
+        index = {name: i for i, name in enumerate(class_names)}
+        X, y, keys = [], [], []
+        for window in windows:
+            X.append(window.vector())
+            label = self._label(window, ground_truth, topology)
+            y.append(index.get(label, index.get("benign", 0)))
+            keys.append((window.window_start, window.link))
+        if not X:
+            X = np.zeros((0, len(DIAGNOSIS_FEATURES)))
+            y = np.zeros((0,), dtype=int)
+        return Dataset(np.asarray(X, dtype=float),
+                       np.asarray(y, dtype=int),
+                       list(DIAGNOSIS_FEATURES), class_names, keys=keys)

@@ -1,0 +1,195 @@
+"""Root-cause localization and internal/external attribution.
+
+Two localizers share an interface:
+
+* :class:`RuleBasedLocalizer` — the operator's current playbook:
+  static thresholds over the same telemetry features.
+* :class:`RootCauseLocalizer` — a decision-tree classifier trained on
+  labeled incident telemetry (and therefore distillable/compilable
+  like any other deployable model in this platform).
+
+Both produce :class:`Diagnosis` objects that carry the paper's §3
+"who do we call" bit: a problem whose bottleneck link is the border
+uplink is *external* (notify the upstream provider); anything else is
+internal to the campus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diagnosis.features import DIAGNOSIS_FEATURES, LinkWindowFeaturizer
+from repro.learning.models import DecisionTreeClassifier
+
+_INDEX = {name: i for i, name in enumerate(DIAGNOSIS_FEATURES)}
+
+
+@dataclass
+class Diagnosis:
+    """One localized problem."""
+
+    link: Tuple[str, str]
+    window_start: float
+    kind: str                 # congestion / link-flap / link-degraded
+    confidence: float
+    external: bool            # True => notify the upstream provider
+
+    def render(self) -> str:
+        where = "EXTERNAL (notify provider)" if self.external \
+            else "internal"
+        return (f"[t={self.window_start:.0f}] {self.link[0]}<->"
+                f"{self.link[1]}: {self.kind} "
+                f"(confidence {self.confidence:.2f}, {where})")
+
+
+def _is_border_link(link: Tuple[str, str], topology) -> bool:
+    border = topology.border_link
+    return border is not None and set(link) == set(border)
+
+
+class RuleBasedLocalizer:
+    """Threshold playbook over telemetry windows."""
+
+    def __init__(self, window_s: float = 10.0,
+                 congestion_util: float = 0.9,
+                 flap_transitions: int = 2,
+                 degraded_ceiling: float = 0.5):
+        self.featurizer = LinkWindowFeaturizer(window_s=window_s)
+        self.congestion_util = congestion_util
+        self.flap_transitions = flap_transitions
+        self.degraded_ceiling = degraded_ceiling
+
+    def _classify_vector(self, vector: Sequence[float]) -> Optional[str]:
+        transitions = vector[_INDEX["state_transitions"]]
+        down = vector[_INDEX["down_fraction"]]
+        mean_util = vector[_INDEX["mean_util"]]
+        dwell = vector[_INDEX["saturation_dwell"]]
+        max_util = vector[_INDEX["max_util"]]
+        pressure = vector[_INDEX["flows_per_gbps"]]
+        if transitions >= self.flap_transitions or 0 < down < 1:
+            return "link-flap"
+        if max_util >= self.congestion_util:
+            return "congestion"
+        if dwell > 0.6 and max_util < self.degraded_ceiling and \
+                pressure > 3.0:
+            # pegged at a plateau far below nameplate under real demand
+            return "link-degraded"
+        return None
+
+    def diagnose(self, collector, topology) -> List[Diagnosis]:
+        out = []
+        for window in self.featurizer.windows(collector, topology):
+            kind = self._classify_vector(window.vector())
+            if kind is None:
+                continue
+            out.append(Diagnosis(
+                link=window.link,
+                window_start=window.window_start,
+                kind=kind,
+                confidence=1.0,
+                external=_is_border_link(window.link, topology),
+            ))
+        return out
+
+
+class RootCauseLocalizer:
+    """Learned localizer: a decision tree over telemetry windows."""
+
+    def __init__(self, window_s: float = 10.0, max_depth: int = 5,
+                 min_samples_leaf: int = 2):
+        self.featurizer = LinkWindowFeaturizer(window_s=window_s)
+        self.model = DecisionTreeClassifier(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf)
+        self.class_names: List[str] = []
+
+    def fit(self, collector, ground_truth, topology) -> "RootCauseLocalizer":
+        return self.fit_many([(collector, ground_truth, topology)])
+
+    def fit_many(self, days: Sequence[Tuple]) -> "RootCauseLocalizer":
+        """Train on several (collector, ground_truth, topology) days.
+
+        Incidents are rare; pooling days gives the tree enough incident
+        windows to carve out each class.  Incident windows are
+        up-weighted so a handful of them is not absorbed into a large
+        benign leaf.
+        """
+        from repro.learning.dataset import Dataset
+
+        class_names: List[str] = ["benign"]
+        for _, ground_truth, _ in days:
+            for window in ground_truth.windows:
+                if window.kind in ("linkflap", "degradation", "congestion") \
+                        and window.label not in class_names:
+                    class_names.append(window.label)
+        class_names = [class_names[0]] + sorted(class_names[1:])
+
+        datasets = [
+            self.featurizer.to_dataset(collector, ground_truth, topology,
+                                       class_names=class_names)
+            for collector, ground_truth, topology in days
+        ]
+        dataset = Dataset.concatenate(datasets)
+        if len(dataset) == 0:
+            raise ValueError("no telemetry windows to train on")
+        self.class_names = list(dataset.class_names)
+        benign_index = self.class_names.index("benign")
+        weight = np.where(dataset.y == benign_index, 1.0, 10.0)
+        self.model.fit(dataset.X, dataset.y, sample_weight=weight,
+                       n_classes=len(self.class_names))
+        return self
+
+    def diagnose(self, collector, topology,
+                 min_confidence: float = 0.6) -> List[Diagnosis]:
+        if not self.class_names:
+            raise RuntimeError("localizer not fitted")
+        out = []
+        benign_index = (self.class_names.index("benign")
+                        if "benign" in self.class_names else -1)
+        for window in self.featurizer.windows(collector, topology):
+            vector = np.asarray(window.vector()).reshape(1, -1)
+            proba = self.model.predict_proba(vector)[0]
+            predicted = int(np.argmax(proba))
+            if predicted == benign_index:
+                continue
+            if proba[predicted] < min_confidence:
+                continue
+            out.append(Diagnosis(
+                link=window.link,
+                window_start=window.window_start,
+                kind=self.class_names[predicted],
+                confidence=float(proba[predicted]),
+                external=_is_border_link(window.link, topology),
+            ))
+        return out
+
+    @staticmethod
+    def score(diagnoses: List[Diagnosis], ground_truth) -> Dict[str, float]:
+        """Event-level precision/recall: an incident counts as found if
+        any diagnosis of the right kind lands in its window."""
+        incidents = [w for w in ground_truth.windows
+                     if w.kind in ("congestion", "linkflap", "degradation")]
+        found = 0
+        for incident in incidents:
+            for diagnosis in diagnoses:
+                mid = diagnosis.window_start
+                if incident.start_time - 10 <= mid <= incident.end_time + 10 \
+                        and diagnosis.kind == incident.label:
+                    found += 1
+                    break
+        correct = 0
+        for diagnosis in diagnoses:
+            for incident in incidents:
+                if incident.start_time - 10 <= diagnosis.window_start \
+                        <= incident.end_time + 10 \
+                        and diagnosis.kind == incident.label:
+                    correct += 1
+                    break
+        return {
+            "incidents": float(len(incidents)),
+            "recall": found / len(incidents) if incidents else 0.0,
+            "precision": correct / len(diagnoses) if diagnoses else 0.0,
+            "diagnoses": float(len(diagnoses)),
+        }

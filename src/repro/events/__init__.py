@@ -1,0 +1,48 @@
+"""Labeled network-event generators.
+
+The paper's core example automation task is detecting and mitigating a
+DNS-amplification DDoS attack (§2); the data store's value comes from
+labeled ground truth (§3).  This subpackage injects *labeled* events
+into a running :class:`~repro.netsim.network.CampusNetwork`:
+
+* security events — DNS amplification, SYN flood, port scan, SSH brute
+  force, data exfiltration;
+* performance incidents — link congestion, link flap, degraded links
+  (e.g. duplex mismatch), misconfigured rate limits.
+
+Every generator stamps its flows with a ``label`` and registers a
+ground-truth :class:`EventWindow` so that evaluation never depends on
+the detectors under test.
+"""
+
+from repro.events.base import EventGenerator, EventWindow, GroundTruth
+from repro.events.ddos import DnsAmplificationAttack
+from repro.events.ntp_amp import NtpAmplificationAttack
+from repro.events.synflood import SynFloodAttack
+from repro.events.scan import PortScanAttack
+from repro.events.bruteforce import SshBruteForceAttack
+from repro.events.exfil import DataExfiltration
+from repro.events.performance import LinkCongestionIncident, LinkFlapIncident, \
+    LinkDegradationIncident
+from repro.events.scenario import Scenario, ScenarioStep, run_scenario
+from repro.events.library import SCENARIO_LIBRARY, make_scenario
+
+__all__ = [
+    "EventGenerator",
+    "EventWindow",
+    "GroundTruth",
+    "DnsAmplificationAttack",
+    "NtpAmplificationAttack",
+    "SynFloodAttack",
+    "PortScanAttack",
+    "SshBruteForceAttack",
+    "DataExfiltration",
+    "LinkCongestionIncident",
+    "LinkFlapIncident",
+    "LinkDegradationIncident",
+    "Scenario",
+    "ScenarioStep",
+    "run_scenario",
+    "SCENARIO_LIBRARY",
+    "make_scenario",
+]

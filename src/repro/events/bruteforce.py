@@ -1,0 +1,73 @@
+"""SSH brute-force against campus servers.
+
+Repeated short SSH sessions from one external source to one or a few
+servers: each attempt is a small, roughly symmetric TCP/22 flow that
+terminates quickly (failed auth).  Server logs (see
+:mod:`repro.capture.sensors`) record the matching ``auth-fail`` lines —
+the complementary data source the paper's data store links to packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+from repro.netsim.traffic.payloads import ssh_payload
+
+
+class SshBruteForceAttack(EventGenerator):
+    """Password-guessing loop over SSH."""
+
+    kind = "bruteforce"
+    label = "ssh-bruteforce"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 attacker: Optional[str] = None, target: Optional[str] = None,
+                 attempts_per_s: float = 5.0):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        self.attacker = attacker or str(self.rng.choice(topo.internet_hosts))
+        servers = topo.servers or topo.hosts
+        self.target = target or str(self.rng.choice(servers))
+        self.attempts_per_s = float(attempts_per_s)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        attacker_ip = network.topology.ip(self.attacker)
+        target_ip = network.topology.ip(self.target)
+        window = self._register(
+            start_time, duration,
+            victims=[target_ip],
+            actors=[attacker_ip],
+            attempts_per_s=self.attempts_per_s,
+        )
+        interval = 1.0 / self.attempts_per_s
+        n_attempts = int(duration * self.attempts_per_s)
+
+        def attempt(index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            flow = network.make_flow(
+                src_node=self.attacker,
+                dst_node=self.target,
+                size_bytes=float(self.rng.integers(1800, 3600)),
+                app="ssh",
+                label=self.label,
+                protocol=int(Protocol.TCP),
+                dst_port=22,
+                fwd_fraction=0.5,
+                payload_fn=ssh_payload,
+            )
+            network.inject_flow(flow)
+            if index + 1 < n_attempts:
+                network.simulator.schedule_at(
+                    start_time + (index + 1) * interval,
+                    lambda: attempt(index + 1),
+                    name="brute-attempt",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: attempt(0), name="brute-start"
+        )
+        return window

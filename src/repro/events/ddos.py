@@ -1,0 +1,98 @@
+"""DNS amplification DDoS — the paper's running example (§2).
+
+Reflection attack shape: the attacker spoofs the victim's address in
+tiny ANY queries sent to many open resolvers; the resolvers send large
+responses to the victim.  On the border tap this appears as a storm of
+inbound UDP/53 flows from many distinct resolver IPs toward one campus
+host, with an extreme response/request byte ratio.
+
+The generator injects many short spoofed "reflection" flows from
+Internet resolver nodes toward the victim, each with a tiny forward
+(query) component and a large reverse... — on the wire the resolver is
+the *source* of the big responses, so each reflection flow is modeled
+as resolver -> victim with a large forward fraction and ``src_internal
+= False``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+from repro.netsim.traffic.payloads import dns_amplification_payload
+
+GBPS = 1_000_000_000
+
+
+class DnsAmplificationAttack(EventGenerator):
+    """Spoofed-source DNS reflection against one campus host."""
+
+    kind = "ddos"
+    label = "ddos-dns-amp"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 victim: Optional[str] = None, resolvers: int = 12,
+                 attack_gbps: float = 2.0, burst_seconds: float = 1.0,
+                 amplification: float = 40.0):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        self.victim = victim or str(self.rng.choice(topo.hosts))
+        pool = topo.internet_hosts
+        if resolvers > len(pool):
+            resolvers = len(pool)
+        chosen = self.rng.choice(len(pool), size=resolvers, replace=False)
+        self.resolvers: List[str] = [pool[i] for i in chosen]
+        self.attack_gbps = float(attack_gbps)
+        self.burst_seconds = float(burst_seconds)
+        self.amplification = float(amplification)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        victim_ip = network.topology.ip(self.victim)
+        resolver_ips = [network.topology.ip(r) for r in self.resolvers]
+        window = self._register(
+            start_time, duration,
+            victims=[victim_ip],
+            actors=resolver_ips,
+            attack_gbps=self.attack_gbps,
+            amplification=self.amplification,
+        )
+
+        bytes_per_burst_total = self.attack_gbps * GBPS / 8.0 * self.burst_seconds
+        bytes_per_resolver = bytes_per_burst_total / max(len(self.resolvers), 1)
+        n_bursts = max(int(duration / self.burst_seconds), 1)
+
+        def launch_burst(burst_index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            for resolver in self.resolvers:
+                # Response bytes dominate; the spoofed query is the
+                # reverse direction (victim never sent it, but on the
+                # wire the ratio is what matters).
+                fwd_fraction = self.amplification / (self.amplification + 1.0)
+                flow = network.make_flow(
+                    src_node=resolver,
+                    dst_node=self.victim,
+                    size_bytes=bytes_per_resolver,
+                    app="dns",
+                    label=self.label,
+                    protocol=int(Protocol.UDP),
+                    dst_port=int(self.rng.integers(1024, 65535)),
+                    src_port=53,
+                    fwd_fraction=fwd_fraction,
+                    payload_fn=dns_amplification_payload,
+                    ttl=int(self.rng.integers(48, 64)),
+                )
+                network.inject_flow(flow)
+            if burst_index + 1 < n_bursts:
+                network.simulator.schedule_at(
+                    start_time + (burst_index + 1) * self.burst_seconds,
+                    lambda: launch_burst(burst_index + 1),
+                    name="ddos-burst",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: launch_burst(0), name="ddos-start"
+        )
+        return window

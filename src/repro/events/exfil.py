@@ -1,0 +1,73 @@
+"""Slow data exfiltration from a compromised campus host.
+
+A compromised host trickles a large volume outward to a single external
+endpoint over an extended period — low and slow, designed to hide under
+per-interval volume thresholds.  The interesting evaluation property is
+that window-based detectors need longer horizons to see it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+from repro.netsim.traffic.payloads import opaque_payload
+
+
+class DataExfiltration(EventGenerator):
+    """Periodic modest-size uploads to one external drop point."""
+
+    kind = "exfil"
+    label = "exfiltration"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 compromised: Optional[str] = None,
+                 drop_point: Optional[str] = None,
+                 total_bytes: float = 200e6, chunk_interval_s: float = 10.0):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        self.compromised = compromised or str(self.rng.choice(topo.hosts))
+        self.drop_point = drop_point or str(self.rng.choice(topo.internet_hosts))
+        self.total_bytes = float(total_bytes)
+        self.chunk_interval_s = float(chunk_interval_s)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        src_ip = network.topology.ip(self.compromised)
+        dst_ip = network.topology.ip(self.drop_point)
+        window = self._register(
+            start_time, duration,
+            victims=[src_ip],
+            actors=[dst_ip],
+            total_bytes=self.total_bytes,
+        )
+        n_chunks = max(int(duration / self.chunk_interval_s), 1)
+        chunk_bytes = self.total_bytes / n_chunks
+
+        def send_chunk(index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            flow = network.make_flow(
+                src_node=self.compromised,
+                dst_node=self.drop_point,
+                size_bytes=chunk_bytes * float(self.rng.uniform(0.7, 1.3)),
+                app="https",
+                label=self.label,
+                protocol=int(Protocol.TCP),
+                dst_port=443,
+                fwd_fraction=0.97,
+                payload_fn=opaque_payload,
+            )
+            network.inject_flow(flow)
+            if index + 1 < n_chunks:
+                network.simulator.schedule_at(
+                    start_time + (index + 1) * self.chunk_interval_s,
+                    lambda: send_chunk(index + 1),
+                    name="exfil-chunk",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: send_chunk(0), name="exfil-start"
+        )
+        return window

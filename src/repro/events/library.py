@@ -1,0 +1,100 @@
+"""Canned, named scenarios.
+
+A shared vocabulary of campus days used by the CLI, the examples, and
+downstream users: each entry is a factory ``(duration_s) -> Scenario``
+so callers can stretch or shrink the day while keeping its structure
+(offsets scale proportionally).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.events.bruteforce import SshBruteForceAttack
+from repro.events.ddos import DnsAmplificationAttack
+from repro.events.exfil import DataExfiltration
+from repro.events.ntp_amp import NtpAmplificationAttack
+from repro.events.performance import (
+    LinkCongestionIncident,
+    LinkDegradationIncident,
+    LinkFlapIncident,
+)
+from repro.events.scan import PortScanAttack
+from repro.events.scenario import Scenario
+from repro.events.synflood import SynFloodAttack
+
+
+def quiet_day(duration_s: float = 300.0) -> Scenario:
+    """Background traffic only — the baseline day."""
+    return Scenario("quiet-day", duration_s=duration_s)
+
+
+def ddos_day(duration_s: float = 300.0) -> Scenario:
+    """One DNS amplification burst mid-day."""
+    scenario = Scenario("ddos-day", duration_s=duration_s)
+    scenario.add(DnsAmplificationAttack, duration_s * 0.3,
+                 duration_s * 0.2, attack_gbps=0.08)
+    return scenario
+
+
+def security_day(duration_s: float = 300.0) -> Scenario:
+    """The full §2 menagerie: amplification, scan, brute force, exfil."""
+    scenario = Scenario("security-day", duration_s=duration_s)
+    scenario.add(DnsAmplificationAttack, duration_s * 0.10,
+                 duration_s * 0.12, attack_gbps=0.08)
+    scenario.add(PortScanAttack, duration_s * 0.35, duration_s * 0.10,
+                 probes_per_s=40.0)
+    scenario.add(SshBruteForceAttack, duration_s * 0.55,
+                 duration_s * 0.15, attempts_per_s=4.0)
+    scenario.add(DataExfiltration, duration_s * 0.75, duration_s * 0.20,
+                 total_bytes=50e6, chunk_interval_s=duration_s * 0.02)
+    return scenario
+
+
+def variant_day(duration_s: float = 300.0) -> Scenario:
+    """The drift day: a low-rate NTP monlist variant (see E14)."""
+    scenario = Scenario("variant-day", duration_s=duration_s)
+    scenario.add(NtpAmplificationAttack, duration_s * 0.3,
+                 duration_s * 0.2, attack_gbps=0.004)
+    return scenario
+
+
+def incident_day(duration_s: float = 300.0) -> Scenario:
+    """Performance incidents: congestion, flap, silent degradation."""
+    scenario = Scenario("incident-day", duration_s=duration_s)
+    scenario.add(LinkCongestionIncident, duration_s * 0.12,
+                 duration_s * 0.12, department=0)
+    scenario.add(LinkFlapIncident, duration_s * 0.42, duration_s * 0.10,
+                 flap_period_s=max(duration_s * 0.03, 4.0),
+                 link=("dist1", "core1"))
+    scenario.add(LinkDegradationIncident, duration_s * 0.70,
+                 duration_s * 0.17, factor=0.1)
+    return scenario
+
+
+def synflood_day(duration_s: float = 300.0) -> Scenario:
+    """A SYN flood against a campus server."""
+    scenario = Scenario("synflood-day", duration_s=duration_s)
+    scenario.add(SynFloodAttack, duration_s * 0.3, duration_s * 0.25,
+                 syn_rate_per_s=1500.0)
+    return scenario
+
+
+SCENARIO_LIBRARY: Dict[str, Callable[[float], Scenario]] = {
+    "quiet": quiet_day,
+    "ddos": ddos_day,
+    "security": security_day,
+    "variant": variant_day,
+    "incidents": incident_day,
+    "synflood": synflood_day,
+}
+
+
+def make_scenario(name: str, duration_s: float = 300.0) -> Scenario:
+    """Instantiate a library scenario by name."""
+    try:
+        factory = SCENARIO_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_LIBRARY))
+        raise KeyError(f"unknown scenario {name!r}; one of: {known}")
+    return factory(duration_s)

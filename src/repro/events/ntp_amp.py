@@ -1,0 +1,87 @@
+"""NTP 'monlist' amplification — a *variant* the detector didn't train on.
+
+Same reflection mechanics as DNS amplification but on UDP/123 with a
+different (larger) amplification factor and no DNS payload signature.
+Its role in the experiment suite is drift: a detector trained only on
+DNS amplification days partially misses NTP days, and continual
+retraining from the data store (the §6 Puffer idea) recovers it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+from repro.netsim.traffic.payloads import ntp_payload
+
+GBPS = 1_000_000_000
+
+
+class NtpAmplificationAttack(EventGenerator):
+    """Spoofed-source NTP monlist reflection against one campus host."""
+
+    kind = "ddos"
+    label = "ddos-ntp-amp"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 victim: Optional[str] = None, reflectors: int = 10,
+                 attack_gbps: float = 1.5, burst_seconds: float = 1.0,
+                 amplification: float = 200.0):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        self.victim = victim or str(self.rng.choice(topo.hosts))
+        pool = topo.internet_hosts
+        if reflectors > len(pool):
+            reflectors = len(pool)
+        chosen = self.rng.choice(len(pool), size=reflectors, replace=False)
+        self.reflectors: List[str] = [pool[i] for i in chosen]
+        self.attack_gbps = float(attack_gbps)
+        self.burst_seconds = float(burst_seconds)
+        self.amplification = float(amplification)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        victim_ip = network.topology.ip(self.victim)
+        window = self._register(
+            start_time, duration,
+            victims=[victim_ip],
+            actors=[network.topology.ip(r) for r in self.reflectors],
+            attack_gbps=self.attack_gbps,
+            amplification=self.amplification,
+            vector="ntp-monlist",
+        )
+        bytes_per_burst = self.attack_gbps * GBPS / 8.0 * self.burst_seconds
+        per_reflector = bytes_per_burst / max(len(self.reflectors), 1)
+        n_bursts = max(int(duration / self.burst_seconds), 1)
+
+        def launch_burst(index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            fwd_fraction = self.amplification / (self.amplification + 1.0)
+            for reflector in self.reflectors:
+                flow = network.make_flow(
+                    src_node=reflector,
+                    dst_node=self.victim,
+                    size_bytes=per_reflector,
+                    app="ntp",
+                    label=self.label,
+                    protocol=int(Protocol.UDP),
+                    dst_port=int(self.rng.integers(1024, 65535)),
+                    src_port=123,
+                    fwd_fraction=fwd_fraction,
+                    payload_fn=ntp_payload,
+                    ttl=int(self.rng.integers(48, 64)),
+                )
+                network.inject_flow(flow)
+            if index + 1 < n_bursts:
+                network.simulator.schedule_at(
+                    start_time + (index + 1) * self.burst_seconds,
+                    lambda: launch_burst(index + 1),
+                    name="ntp-burst",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: launch_burst(0), name="ntp-start"
+        )
+        return window

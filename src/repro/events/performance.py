@@ -1,0 +1,219 @@
+"""Performance incidents: congestion, link flaps, degraded links.
+
+The paper (§3) notes campus networks "are prone to network faults and
+outages and experience performance issues" and that operators need to
+pinpoint root causes.  These incident generators manipulate link state
+so that performance-diagnosis tasks have labeled ground truth too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+from repro.netsim.traffic.payloads import opaque_payload
+
+
+class LinkCongestionIncident(EventGenerator):
+    """Elephant flows saturate a distribution link."""
+
+    kind = "congestion"
+    label = "congestion"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 department: int = 0, elephants: int = 4):
+        super().__init__(network, ground_truth, seed)
+        self.department = int(department)
+        self.elephants = int(elephants)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        topo = network.topology
+        dept = f"dept{self.department}"
+        hosts = [h for h in topo.hosts if topo.department(h) == dept]
+        if not hosts:
+            raise ValueError(f"no hosts in department {dept}")
+        window = self._register(
+            start_time, duration,
+            victims=[topo.ip(h) for h in hosts],
+            actors=[],
+            department=dept,
+        )
+
+        def launch() -> None:
+            # Oversized so the transfers stay backlogged for the whole
+            # window (whatever the actual bottleneck is), then aborted
+            # at the window end: the incident ends when its flows end.
+            capacity = topo.link_capacity(
+                f"dist{self.department}",
+                _core_neighbor(topo, self.department))
+            flow_ids = []
+            for i in range(self.elephants):
+                src = hosts[i % len(hosts)]
+                dst = str(self.rng.choice(topo.internet_hosts))
+                flow = network.make_flow(
+                    src_node=src,
+                    dst_node=dst,
+                    size_bytes=capacity / 8.0 * duration,
+                    app="bulk",
+                    label=self.label,
+                    protocol=int(Protocol.TCP),
+                    dst_port=443,
+                    fwd_fraction=0.95,
+                    payload_fn=opaque_payload,
+                )
+                network.inject_flow(flow)
+                flow_ids.append(flow.flow_id)
+
+            def stop() -> None:
+                for flow_id in flow_ids:
+                    network.flows.abort_flow(flow_id)
+
+            network.simulator.schedule_at(start_time + duration, stop,
+                                          name="congestion-stop")
+
+        network.simulator.schedule_at(start_time, launch, name="congestion")
+        return window
+
+
+def _core_neighbor(topology, department: int) -> str:
+    dist = f"dist{department}"
+    for neighbor in topology.graph.neighbors(dist):
+        if neighbor.startswith("core"):
+            return neighbor
+    raise ValueError(f"{dist} has no core neighbor")
+
+
+class LinkFlapIncident(EventGenerator):
+    """A link repeatedly fails and recovers."""
+
+    kind = "linkflap"
+    label = "link-flap"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 link: Optional[Tuple[str, str]] = None,
+                 flap_period_s: float = 5.0):
+        super().__init__(network, ground_truth, seed)
+        if link is None:
+            topo = network.topology
+            link = ("dist0", _core_neighbor(topo, 0))
+        self.link = link
+        self.flap_period_s = float(flap_period_s)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        window = self._register(
+            start_time, duration,
+            victims=list(self.link), actors=[],
+            flap_period_s=self.flap_period_s,
+        )
+        link = network.links.get(*self.link)
+        n_flaps = max(int(duration / self.flap_period_s), 1)
+
+        def set_state(up: bool, index: int) -> None:
+            link.set_up(up)
+            network.router.set_link_state(self.link[0], self.link[1], up)
+            network.flows.reallocate_now()
+            next_index = index + 1
+            if next_index < 2 * n_flaps:
+                network.simulator.schedule(
+                    self.flap_period_s / 2.0,
+                    lambda: set_state(not up, next_index),
+                    name="link-flap",
+                )
+            elif not up:
+                # Never leave the link down after the window.
+                network.simulator.schedule(
+                    self.flap_period_s / 2.0,
+                    lambda: set_state(True, next_index + 1),
+                    name="link-flap-restore",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: set_state(False, 0), name="flap-start"
+        )
+        return window
+
+
+class LinkDegradationIncident(EventGenerator):
+    """A link silently loses most of its capacity (duplex mismatch).
+
+    Silent degradation is only *observable* under demand — the
+    interface shows a utilisation plateau far below nameplate while
+    transfers crawl.  ``demand_flows`` injects the user traffic (bulk
+    transfers from hosts behind the link) that makes the plateau
+    visible; set it to 0 to model a degradation nobody notices.
+    """
+
+    kind = "degradation"
+    label = "link-degraded"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 link: Optional[Tuple[str, str]] = None, factor: float = 0.05,
+                 demand_flows: int = 3):
+        super().__init__(network, ground_truth, seed)
+        if link is None:
+            topo = network.topology
+            link = ("dist0", _core_neighbor(topo, 0))
+        self.link = link
+        self.factor = float(factor)
+        self.demand_flows = int(demand_flows)
+
+    def _hosts_behind_link(self) -> list:
+        """Hosts whose default path crosses the degraded link."""
+        topo = self.network.topology
+        router = self.network.router
+        remote = topo.internet_hosts[0]
+        behind = []
+        for host in topo.hosts:
+            try:
+                path = router.path(host, remote)
+            except Exception:
+                continue
+            if router.crosses(path, *self.link):
+                behind.append(host)
+        return behind
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        window = self._register(
+            start_time, duration,
+            victims=list(self.link), actors=[],
+            factor=self.factor,
+        )
+        link = network.links.get(*self.link)
+
+        demand_flow_ids: list = []
+
+        def degrade() -> None:
+            link.degrade(self.factor)
+            network.flows.reallocate_now()
+            hosts = self._hosts_behind_link()[: max(self.demand_flows, 0)]
+            degraded_bps = link.nominal_capacity_bps * self.factor
+            for i, host in enumerate(hosts):
+                dst = str(self.rng.choice(network.topology.internet_hosts))
+                flow = network.make_flow(
+                    src_node=host,
+                    dst_node=dst,
+                    # backlogged for the whole window; aborted at restore
+                    size_bytes=degraded_bps / 8.0 * duration * 2,
+                    app="bulk",
+                    label=self.label,
+                    dst_port=443,
+                    fwd_fraction=0.95,
+                    payload_fn=opaque_payload,
+                )
+                network.inject_flow(flow)
+                demand_flow_ids.append(flow.flow_id)
+
+        def restore() -> None:
+            link.restore()
+            for flow_id in demand_flow_ids:
+                network.flows.abort_flow(flow_id)
+            network.flows.reallocate_now()
+
+        network.simulator.schedule_at(start_time, degrade, name="degrade")
+        network.simulator.schedule_at(start_time + duration, restore,
+                                      name="degrade-restore")
+        return window

@@ -1,0 +1,73 @@
+"""Horizontal port/host scanning from an external source.
+
+A scanner probes many campus addresses on a set of well-known ports;
+each probe is a tiny flow.  On the tap this shows as one external
+source touching an anomalous number of distinct internal destinations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+
+COMMON_PORTS = [22, 23, 80, 443, 445, 3389, 8080, 3306, 5432, 6379]
+
+
+class PortScanAttack(EventGenerator):
+    """Sequential SYN scan across campus hosts and common ports."""
+
+    kind = "scan"
+    label = "port-scan"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 scanner: Optional[str] = None, probes_per_s: float = 50.0,
+                 ports: Optional[List[int]] = None):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        self.scanner = scanner or str(self.rng.choice(topo.internet_hosts))
+        self.probes_per_s = float(probes_per_s)
+        self.ports = list(ports) if ports else list(COMMON_PORTS)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        targets = list(network.topology.hosts) + list(network.topology.servers)
+        scanner_ip = network.topology.ip(self.scanner)
+        window = self._register(
+            start_time, duration,
+            victims=[network.topology.ip(t) for t in targets],
+            actors=[scanner_ip],
+            probes_per_s=self.probes_per_s,
+        )
+        interval = 1.0 / self.probes_per_s
+        n_probes = int(duration * self.probes_per_s)
+
+        def probe(index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            target = targets[index % len(targets)]
+            port = self.ports[(index // len(targets)) % len(self.ports)]
+            flow = network.make_flow(
+                src_node=self.scanner,
+                dst_node=target,
+                size_bytes=44.0,
+                app="scan",
+                label=self.label,
+                protocol=int(Protocol.TCP),
+                dst_port=port,
+                fwd_fraction=0.9,
+                ttl=int(self.rng.integers(40, 64)),
+            )
+            network.inject_flow(flow)
+            if index + 1 < n_probes:
+                network.simulator.schedule_at(
+                    start_time + (index + 1) * interval,
+                    lambda: probe(index + 1),
+                    name="scan-probe",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: probe(0), name="scan-start"
+        )
+        return window

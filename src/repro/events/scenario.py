@@ -1,0 +1,67 @@
+"""Scripted event timelines.
+
+A :class:`Scenario` is a reproducible day-in-the-life script: background
+traffic plus a list of timed, labeled events.  Experiments build their
+train/test days from scenarios so that every run is replayable from a
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.events.base import EventGenerator, EventWindow, GroundTruth
+
+
+@dataclass
+class ScenarioStep:
+    """One event occurrence within a scenario."""
+
+    generator_cls: Type[EventGenerator]
+    start_offset_s: float
+    duration_s: float
+    kwargs: Dict = field(default_factory=dict)
+
+
+@dataclass
+class Scenario:
+    """A named, seedable traffic-plus-events script."""
+
+    name: str
+    duration_s: float
+    steps: List[ScenarioStep] = field(default_factory=list)
+    background: bool = True
+
+    def add(self, generator_cls: Type[EventGenerator], start_offset_s: float,
+            duration_s: float, **kwargs) -> "Scenario":
+        self.steps.append(ScenarioStep(generator_cls, start_offset_s,
+                                       duration_s, kwargs))
+        return self
+
+
+def run_scenario(network, scenario: Scenario,
+                 seed: int = 0) -> GroundTruth:
+    """Execute ``scenario`` on ``network`` and return its ground truth.
+
+    The network is run from its current time for ``scenario.duration_s``
+    seconds and then drained, so all packet observers have seen every
+    (possibly truncated) flow when this returns.
+    """
+    ground_truth = GroundTruth()
+    start = network.now
+    if scenario.background:
+        network.start_background_traffic()
+    for i, step in enumerate(scenario.steps):
+        if step.start_offset_s + step.duration_s > scenario.duration_s:
+            raise ValueError(
+                f"step {i} ({step.generator_cls.__name__}) exceeds scenario "
+                f"duration"
+            )
+        generator = step.generator_cls(
+            network, ground_truth, seed=seed + 101 * (i + 1), **step.kwargs
+        )
+        generator.schedule(start + step.start_offset_s, step.duration_s)
+    network.run_until(start + scenario.duration_s)
+    network.finish()
+    return ground_truth

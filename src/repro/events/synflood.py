@@ -1,0 +1,85 @@
+"""SYN flood against a campus server.
+
+Many half-open connection attempts from spoofed sources: lots of tiny
+TCP flows (one SYN, no payload to speak of, no completion handshake)
+toward one destination port of one server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.base import EventGenerator, EventWindow
+from repro.netsim.packets import Protocol
+
+
+class SynFloodAttack(EventGenerator):
+    """High-rate half-open TCP connections toward one server port."""
+
+    kind = "synflood"
+    label = "syn-flood"
+
+    def __init__(self, network, ground_truth, seed: Optional[int] = None,
+                 victim: Optional[str] = None, dst_port: int = 443,
+                 syn_rate_per_s: float = 2000.0, spoofed_sources: int = 200):
+        super().__init__(network, ground_truth, seed)
+        topo = network.topology
+        servers = topo.servers or topo.hosts
+        self.victim = victim or str(self.rng.choice(servers))
+        self.dst_port = int(dst_port)
+        self.syn_rate_per_s = float(syn_rate_per_s)
+        self.spoofed_sources = int(spoofed_sources)
+        self.origin = str(self.rng.choice(topo.internet_hosts))
+
+    def _spoofed_ip(self) -> str:
+        octets = self.rng.integers(1, 255, size=4)
+        octets[0] = 20 + int(octets[0]) % 160
+        return ".".join(str(int(o)) for o in octets)
+
+    def schedule(self, start_time: float, duration: float) -> EventWindow:
+        network = self.network
+        victim_ip = network.topology.ip(self.victim)
+        window = self._register(
+            start_time, duration,
+            victims=[victim_ip],
+            actors=[network.topology.ip(self.origin)],
+            syn_rate_per_s=self.syn_rate_per_s,
+            dst_port=self.dst_port,
+        )
+        # Batch SYNs into 100ms volleys to bound event count.
+        volley_interval = 0.1
+        syns_per_volley = max(int(self.syn_rate_per_s * volley_interval), 1)
+        n_volleys = max(int(duration / volley_interval), 1)
+        spoofed_pool = [self._spoofed_ip() for _ in range(self.spoofed_sources)]
+
+        def launch_volley(index: int) -> None:
+            if network.now >= window.end_time:
+                return
+            # One fluid flow stands in for the volley: `syns_per_volley`
+            # 40-byte SYN packets with spoofed sources.
+            src_ip = spoofed_pool[int(self.rng.integers(len(spoofed_pool)))]
+            flow = network.make_flow(
+                src_node=self.origin,
+                dst_node=self.victim,
+                size_bytes=40.0 * syns_per_volley,
+                app="synflood",
+                label=self.label,
+                protocol=int(Protocol.TCP),
+                dst_port=self.dst_port,
+                src_port=int(self.rng.integers(1024, 65535)),
+                fwd_fraction=1.0,
+                src_ip=src_ip,
+                ttl=int(self.rng.integers(32, 64)),
+            )
+            network.inject_flow(flow)
+            if index + 1 < n_volleys:
+                network.simulator.schedule_at(
+                    start_time + (index + 1) * volley_interval,
+                    lambda: launch_volley(index + 1),
+                    name="syn-volley",
+                )
+
+        network.simulator.schedule_at(
+            start_time, lambda: launch_volley(0), name="synflood-start"
+        )
+        return window

@@ -1,0 +1,69 @@
+"""From-scratch learning substrate.
+
+The development loop (Fig. 2) trains "typically complex and
+heavyweight black-box learning models" offline on the data store.  To
+keep the platform dependency-free, every model is implemented here on
+numpy: trees, forests, gradient boosting, logistic regression, an MLP,
+kNN, and Gaussian naive Bayes — plus dataset handling, feature
+extraction from the data store, metrics, and a Gym-style RL
+environment for automation tasks (the Park-style angle).
+
+Public entry points:
+
+* :class:`~repro.learning.dataset.Dataset` and
+  :mod:`repro.learning.split` — data handling.
+* :mod:`repro.learning.features` — data-store-to-feature-matrix
+  extraction (the "top-down feature engineering" the paper argues for).
+* :mod:`repro.learning.models` — the estimators.
+* :mod:`repro.learning.metrics` — evaluation.
+* :mod:`repro.learning.training` — fit/evaluate orchestration.
+* :mod:`repro.learning.rl` — environments and tabular Q-learning.
+"""
+
+from repro.learning.dataset import Dataset
+from repro.learning.features import (
+    FeatureConfig,
+    SourceWindowFeaturizer,
+    WindowExample,
+)
+from repro.learning.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+    classification_report,
+)
+from repro.learning.split import train_test_split, stratified_kfold
+from repro.learning.training import TrainResult, train_and_evaluate, MODEL_REGISTRY
+from repro.learning.calibration import (
+    CalibrationReport,
+    PlattCalibrator,
+    calibration_report,
+)
+from repro.learning.subset import CollectionSpec, minimal_feature_subset
+
+__all__ = [
+    "Dataset",
+    "FeatureConfig",
+    "SourceWindowFeaturizer",
+    "WindowExample",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_auc",
+    "confusion_matrix",
+    "classification_report",
+    "train_test_split",
+    "stratified_kfold",
+    "TrainResult",
+    "train_and_evaluate",
+    "MODEL_REGISTRY",
+    "CalibrationReport",
+    "PlattCalibrator",
+    "calibration_report",
+    "CollectionSpec",
+    "minimal_feature_subset",
+]

@@ -1,0 +1,139 @@
+"""Confidence calibration.
+
+The §2 action rule — "drop attack traffic on ingress if confidence in
+detection is at least 90%" — is only meaningful if 0.90 *means* 90%:
+the switch's confidence gate consumes the model's probabilities
+directly.  This module measures calibration (reliability curve,
+expected calibration error) and provides Platt scaling to repair a
+miscalibrated binary model before deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ReliabilityBin:
+    """One confidence bucket of the reliability curve."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+
+@dataclass
+class CalibrationReport:
+    """Reliability curve + scalar summaries."""
+
+    bins: List[ReliabilityBin]
+    ece: float                  # expected calibration error
+    max_gap: float              # worst |confidence - accuracy| over bins
+    n_samples: int
+
+    def render(self) -> str:
+        lines = [f"ECE={self.ece:.4f}  max_gap={self.max_gap:.4f}  "
+                 f"n={self.n_samples}"]
+        for b in self.bins:
+            if b.count == 0:
+                continue
+            lines.append(
+                f"  [{b.lower:.2f},{b.upper:.2f}) n={b.count:5d} "
+                f"conf={b.mean_confidence:.3f} acc={b.empirical_accuracy:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def calibration_report(y_true, proba, n_bins: int = 10) -> CalibrationReport:
+    """Reliability analysis of a classifier's predicted class.
+
+    ``proba`` is the (n, k) probability matrix; each sample contributes
+    its argmax confidence vs whether the argmax was correct.
+    """
+    y_true = np.asarray(y_true, dtype=int)
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim != 2 or len(proba) != len(y_true):
+        raise ValueError("proba must be (n_samples, n_classes)")
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    predicted = np.argmax(proba, axis=1)
+    confidence = proba[np.arange(len(proba)), predicted]
+    correct = (predicted == y_true).astype(float)
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: List[ReliabilityBin] = []
+    ece = 0.0
+    max_gap = 0.0
+    n = len(y_true)
+    for i in range(n_bins):
+        lo, hi = edges[i], edges[i + 1]
+        if i == n_bins - 1:
+            mask = (confidence >= lo) & (confidence <= hi)
+        else:
+            mask = (confidence >= lo) & (confidence < hi)
+        count = int(mask.sum())
+        if count:
+            mean_conf = float(confidence[mask].mean())
+            accuracy = float(correct[mask].mean())
+            gap = abs(mean_conf - accuracy)
+            ece += count / n * gap
+            max_gap = max(max_gap, gap)
+        else:
+            mean_conf = accuracy = 0.0
+        bins.append(ReliabilityBin(lower=float(lo), upper=float(hi),
+                                   count=count, mean_confidence=mean_conf,
+                                   empirical_accuracy=accuracy))
+    return CalibrationReport(bins=bins, ece=float(ece),
+                             max_gap=float(max_gap), n_samples=n)
+
+
+class PlattCalibrator:
+    """Platt scaling for binary classifiers.
+
+    Fits ``P(y=1 | s) = sigmoid(a * s + b)`` on a held-out calibration
+    set, where ``s`` is the model's raw positive-class probability.
+    Exposes the same ``predict`` / ``predict_proba`` interface so the
+    calibrated model drops into the development loop unchanged.
+    """
+
+    def __init__(self, model, n_iter: int = 500, learning_rate: float = 1.0):
+        self.model = model
+        self.n_iter = n_iter
+        self.learning_rate = learning_rate
+        self.a_: float = 1.0
+        self.b_: float = 0.0
+        self.n_classes_ = 2
+
+    def fit(self, X, y) -> "PlattCalibrator":
+        y = np.asarray(y, dtype=float)
+        scores = np.asarray(self.model.predict_proba(X))[:, 1]
+        # Platt's target smoothing guards against overconfident labels.
+        n_pos = max(y.sum(), 1.0)
+        n_neg = max(len(y) - y.sum(), 1.0)
+        targets = np.where(y > 0.5, (n_pos + 1) / (n_pos + 2),
+                           1.0 / (n_neg + 2))
+        a, b = 1.0, 0.0
+        for _ in range(self.n_iter):
+            z = np.clip(a * scores + b, -35, 35)
+            p = 1.0 / (1.0 + np.exp(-z))
+            grad = p - targets
+            grad_a = float(np.mean(grad * scores))
+            grad_b = float(np.mean(grad))
+            a -= self.learning_rate * grad_a
+            b -= self.learning_rate * grad_b
+        self.a_, self.b_ = a, b
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = np.asarray(self.model.predict_proba(X))[:, 1]
+        z = np.clip(self.a_ * scores + self.b_, -35, 35)
+        p1 = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(int)

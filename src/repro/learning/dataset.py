@@ -1,0 +1,107 @@
+"""Feature-matrix container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A named feature matrix with integer-encoded labels.
+
+    Attributes
+    ----------
+    X:
+        (n_samples, n_features) float array.
+    y:
+        (n_samples,) int array of class indices.
+    feature_names:
+        Column names, length n_features.
+    class_names:
+        Class index -> human-readable label.
+    keys:
+        Optional per-row provenance (e.g. (window_start, src_ip)).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: List[str]
+    class_names: List[str]
+    keys: Optional[List] = None
+
+    def __post_init__(self):
+        self.X = np.asarray(self.X, dtype=float)
+        self.y = np.asarray(self.y, dtype=int)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if len(self.y) != len(self.X):
+            raise ValueError("X and y length mismatch")
+        if self.X.shape[1] != len(self.feature_names):
+            raise ValueError("feature_names length mismatch")
+        if self.keys is not None and len(self.keys) != len(self.X):
+            raise ValueError("keys length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def class_counts(self) -> Dict[str, int]:
+        counts = np.bincount(self.y, minlength=self.n_classes)
+        return {name: int(c) for name, c in zip(self.class_names, counts)}
+
+    def subset(self, indices) -> "Dataset":
+        indices = np.asarray(indices)
+        keys = None
+        if self.keys is not None:
+            keys = [self.keys[i] for i in indices]
+        return Dataset(self.X[indices], self.y[indices],
+                       list(self.feature_names), list(self.class_names),
+                       keys=keys)
+
+    def feature(self, name: str) -> np.ndarray:
+        """Column by name."""
+        try:
+            index = self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"no feature named {name!r}") from None
+        return self.X[:, index]
+
+    def binarize(self, positive_label: str) -> "Dataset":
+        """Collapse to {negative, positive_label} (index 1 = positive)."""
+        if positive_label not in self.class_names:
+            raise KeyError(f"no class named {positive_label!r}")
+        positive_index = self.class_names.index(positive_label)
+        y = (self.y == positive_index).astype(int)
+        return Dataset(self.X.copy(), y, list(self.feature_names),
+                       ["other", positive_label], keys=self.keys)
+
+    @staticmethod
+    def concatenate(datasets: Sequence["Dataset"]) -> "Dataset":
+        if not datasets:
+            raise ValueError("nothing to concatenate")
+        first = datasets[0]
+        for d in datasets[1:]:
+            if d.feature_names != first.feature_names:
+                raise ValueError("feature name mismatch")
+            if d.class_names != first.class_names:
+                raise ValueError("class name mismatch")
+        keys = None
+        if all(d.keys is not None for d in datasets):
+            keys = [k for d in datasets for k in d.keys]
+        return Dataset(
+            np.vstack([d.X for d in datasets]),
+            np.concatenate([d.y for d in datasets]),
+            list(first.feature_names),
+            list(first.class_names),
+            keys=keys,
+        )

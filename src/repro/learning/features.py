@@ -1,0 +1,256 @@
+"""Feature extraction from the data store.
+
+This is the paper's "top-down" workflow (§2): with the data store
+populated, the researcher iterates on features without re-running
+measurements.  The primary featurizer summarises, per (time window,
+external endpoint) pair, what that endpoint did to the campus —
+exactly the vantage point an ingress detector deployed at the border
+has.  Feature values are computed from packets (and their metadata
+tags) only; labels come from ground-truth windows.
+
+All features are non-negative and bounded-ish; deployable models
+compiled to switch tables quantize them (see
+:mod:`repro.deploy.compiler`), so integers-per-window are preferred to
+exotic statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datastore.query import Query
+from repro.learning.dataset import Dataset
+from repro.netsim.packets import PacketRecord, Protocol, TcpFlags
+
+FEATURE_NAMES = [
+    "pkts",               # packets from this endpoint in window
+    "bytes",              # bytes from this endpoint in window
+    "mean_pkt_size",
+    "udp_fraction",
+    "dns_fraction",       # packets with port 53 on either side
+    "dns_response_fraction",  # of dns packets, how many are responses
+    "dns_any_fraction",   # payload-derived: QTYPE=ANY fraction
+    "unique_dsts",        # distinct campus addresses touched
+    "unique_dports",      # distinct destination ports touched
+    "syn_fraction",
+    "bytes_in_out_ratio",  # bytes toward campus / bytes from campus + 1
+    "mean_ttl",
+    "port53_src_fraction",  # packets sourced from port 53 (reflection)
+    "wellknown_dport_fraction",
+    "pkt_rate",           # packets / window length
+]
+
+
+@dataclass
+class FeatureConfig:
+    """Featurizer knobs."""
+
+    window_s: float = 5.0
+    min_packets: int = 2
+    use_payload_features: bool = True
+
+
+@dataclass
+class WindowExample:
+    """One (window, endpoint) aggregation before vectorisation."""
+
+    window_start: float
+    endpoint: str
+    pkts: int = 0
+    bytes: int = 0
+    udp_pkts: int = 0
+    dns_pkts: int = 0
+    dns_responses: int = 0
+    dns_any: int = 0
+    dsts: set = field(default_factory=set)
+    dports: set = field(default_factory=set)
+    syns: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    ttl_sum: int = 0
+    port53_src: int = 0
+    wellknown_dport: int = 0
+    #: votes for non-benign labels seen on this endpoint's packets
+    #: (used when labeling from curated store labels, not ground truth)
+    label_votes: Dict[str, int] = field(default_factory=dict)
+
+    def vector(self, window_s: float) -> List[float]:
+        pkts = max(self.pkts, 1)
+        dns = max(self.dns_pkts, 1)
+        return [
+            float(self.pkts),
+            float(self.bytes),
+            self.bytes / pkts,
+            self.udp_pkts / pkts,
+            self.dns_pkts / pkts,
+            self.dns_responses / dns,
+            self.dns_any / dns,
+            float(len(self.dsts)),
+            float(len(self.dports)),
+            self.syns / pkts,
+            self.bytes_in / (self.bytes_out + 1.0),
+            self.ttl_sum / pkts,
+            self.port53_src / pkts,
+            self.wellknown_dport / pkts,
+            self.pkts / window_s,
+        ]
+
+
+WELL_KNOWN = {22, 23, 25, 53, 80, 123, 143, 443, 445, 587, 993, 3306,
+              3389, 5432, 6379, 8080}
+
+
+class SourceWindowFeaturizer:
+    """Aggregates packets per (window, external endpoint).
+
+    The "external endpoint" of a packet is its non-campus side: the
+    source for inbound packets, the destination for outbound ones.
+    This matches what an ingress filter can key on.
+    """
+
+    def __init__(self, config: Optional[FeatureConfig] = None):
+        self.config = config or FeatureConfig()
+
+    # -- aggregation --------------------------------------------------------
+
+    def aggregate(self, packets_with_tags: Iterable[Tuple[PacketRecord,
+                                                          Dict[str, str]]]) \
+            -> List[WindowExample]:
+        window_s = self.config.window_s
+        table: Dict[Tuple[float, str], WindowExample] = {}
+        for packet, tags in packets_with_tags:
+            if packet.direction == "in":
+                endpoint, campus_side = packet.src_ip, packet.dst_ip
+            else:
+                endpoint, campus_side = packet.dst_ip, packet.src_ip
+            window_start = math.floor(packet.timestamp / window_s) * window_s
+            key = (window_start, endpoint)
+            example = table.get(key)
+            if example is None:
+                example = WindowExample(window_start=window_start,
+                                        endpoint=endpoint)
+                table[key] = example
+            self._accumulate(example, packet, tags)
+        return [e for e in table.values()
+                if e.pkts >= self.config.min_packets]
+
+    def _accumulate(self, example: WindowExample, packet: PacketRecord,
+                    tags: Dict[str, str],
+                    label: Optional[str] = None) -> None:
+        if label and label != "benign":
+            example.label_votes[label] = \
+                example.label_votes.get(label, 0) + 1
+        example.pkts += 1
+        example.bytes += packet.size
+        example.ttl_sum += packet.ttl
+        if packet.protocol == int(Protocol.UDP):
+            example.udp_pkts += 1
+        is_dns = 53 in (packet.src_port, packet.dst_port)
+        if is_dns:
+            example.dns_pkts += 1
+            if self.config.use_payload_features and tags:
+                if tags.get("dns_qr") == "response":
+                    example.dns_responses += 1
+                if tags.get("dns_qtype") == "ANY":
+                    example.dns_any += 1
+            elif packet.direction == "in" and packet.src_port == 53:
+                # Without payload access, fall back to port heuristics.
+                example.dns_responses += 1
+        if packet.direction == "in":
+            example.bytes_in += packet.size
+            example.dsts.add(packet.dst_ip)
+            example.dports.add(packet.dst_port)
+            if packet.dst_port in WELL_KNOWN:
+                example.wellknown_dport += 1
+            if packet.src_port == 53:
+                example.port53_src += 1
+        else:
+            example.bytes_out += packet.size
+        if packet.is_syn():
+            example.syns += 1
+
+    # -- vectorisation -------------------------------------------------------
+
+    def to_dataset(self, examples: Sequence[WindowExample],
+                   ground_truth=None,
+                   class_names: Optional[List[str]] = None) -> Dataset:
+        """Vectorise examples.
+
+        Labels come from ground-truth actor windows when
+        ``ground_truth`` is given; otherwise from the per-example
+        curated label votes (majority non-benign label, if any).
+        """
+        if class_names is None:
+            labels = {"benign"}
+            if ground_truth is not None:
+                labels |= {w.label for w in ground_truth.windows}
+            else:
+                for example in examples:
+                    labels |= set(example.label_votes)
+            class_names = sorted(labels)
+        class_index = {name: i for i, name in enumerate(class_names)}
+
+        X, y, keys = [], [], []
+        for example in examples:
+            X.append(example.vector(self.config.window_s))
+            label = "benign"
+            if ground_truth is not None:
+                mid = example.window_start + self.config.window_s / 2.0
+                for window in ground_truth.windows:
+                    if window.contains(mid) and example.endpoint in \
+                            window.actors:
+                        label = window.label
+                        break
+            elif example.label_votes:
+                label = max(example.label_votes,
+                            key=example.label_votes.get)
+            y.append(class_index.get(label, class_index.get("benign", 0)))
+            keys.append((example.window_start, example.endpoint))
+        if not X:
+            X = np.zeros((0, len(FEATURE_NAMES)))
+            y = np.zeros((0,), dtype=int)
+        return Dataset(np.asarray(X, dtype=float), np.asarray(y, dtype=int),
+                       list(FEATURE_NAMES), class_names, keys=keys)
+
+    # -- store-driven extraction ----------------------------------------------
+
+    def from_store(self, store, ground_truth=None,
+                   time_range: Optional[Tuple] = None,
+                   class_names: Optional[List[str]] = None) -> Dataset:
+        """One query, one pass: the top-down workflow.
+
+        Without ``ground_truth``, labels come from the store's curated
+        per-record labels (set by :class:`repro.datastore.labels.Labeler`
+        or restored by import), which is how a standalone exported
+        store stays trainable.
+        """
+        stored = store.query(Query(collection="packets",
+                                   time_range=time_range,
+                                   order_by_time=False))
+        window_s = self.config.window_s
+        table: Dict[Tuple[float, str], WindowExample] = {}
+        for s in stored:
+            packet = s.record
+            if packet.direction == "in":
+                endpoint = packet.src_ip
+            else:
+                endpoint = packet.dst_ip
+            window_start = math.floor(packet.timestamp / window_s) \
+                * window_s
+            key = (window_start, endpoint)
+            example = table.get(key)
+            if example is None:
+                example = WindowExample(window_start=window_start,
+                                        endpoint=endpoint)
+                table[key] = example
+            self._accumulate(example, packet, s.tags,
+                             label=s.label or packet.label)
+        examples = [e for e in table.values()
+                    if e.pkts >= self.config.min_packets]
+        return self.to_dataset(examples, ground_truth=ground_truth,
+                               class_names=class_names)

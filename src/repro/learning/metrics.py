@@ -1,0 +1,108 @@
+"""Classification metrics (binary and multi-class)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def _validate(y_true, y_pred) -> tuple:
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: Optional[int] = None) -> \
+        np.ndarray:
+    """Rows = true class, columns = predicted class."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def precision(y_true, y_pred, positive: int = 1) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted_positive = np.sum(y_pred == positive)
+    if predicted_positive == 0:
+        return 0.0
+    true_positive = np.sum((y_pred == positive) & (y_true == positive))
+    return float(true_positive / predicted_positive)
+
+
+def recall(y_true, y_pred, positive: int = 1) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual_positive = np.sum(y_true == positive)
+    if actual_positive == 0:
+        return 0.0
+    true_positive = np.sum((y_pred == positive) & (y_true == positive))
+    return float(true_positive / actual_positive)
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def roc_auc(y_true, scores) -> float:
+    """Binary AUC via the rank statistic (ties get average rank)."""
+    y_true = np.asarray(y_true, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("shape mismatch")
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = int(np.sum(y_true == 0))
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum = float(np.sum(ranks[y_true == 1]))
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def classification_report(y_true, y_pred,
+                          class_names: Optional[List[str]] = None) -> \
+        Dict[str, Dict[str, float]]:
+    """Per-class precision/recall/F1 plus overall accuracy."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    if class_names is None:
+        class_names = [str(i) for i in range(n_classes)]
+    report: Dict[str, Dict[str, float]] = {}
+    for index, name in enumerate(class_names[:n_classes]):
+        support = int(np.sum(y_true == index))
+        report[name] = {
+            "precision": precision(y_true, y_pred, positive=index),
+            "recall": recall(y_true, y_pred, positive=index),
+            "f1": f1_score(y_true, y_pred, positive=index),
+            "support": float(support),
+        }
+    report["_overall"] = {"accuracy": accuracy(y_true, y_pred),
+                          "support": float(len(y_true))}
+    return report

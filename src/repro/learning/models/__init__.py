@@ -1,0 +1,40 @@
+"""From-scratch estimators (numpy only).
+
+* :class:`DecisionTreeClassifier` / :class:`DecisionTreeRegressor` —
+  CART; the classifier doubles as the *deployable* model family the
+  XAI layer extracts and the compiler lowers to match-action tables.
+* :class:`RandomForestClassifier` — bagged trees with feature
+  subsampling (a canonical "black-box" teacher).
+* :class:`GradientBoostingClassifier` — boosted regression trees on
+  logistic loss (the heavyweight teacher used in most experiments).
+* :class:`LogisticRegression`, :class:`MLPClassifier`,
+  :class:`KNeighborsClassifier`, :class:`GaussianNB` — additional
+  teachers/baselines.
+"""
+
+from repro.learning.models.base import Classifier, NotFittedError
+from repro.learning.models.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    TreeNode,
+)
+from repro.learning.models.forest import RandomForestClassifier
+from repro.learning.models.boosting import GradientBoostingClassifier
+from repro.learning.models.linear import LogisticRegression
+from repro.learning.models.mlp import MLPClassifier
+from repro.learning.models.knn import KNeighborsClassifier
+from repro.learning.models.naive_bayes import GaussianNB
+
+__all__ = [
+    "Classifier",
+    "NotFittedError",
+    "TreeNode",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "KNeighborsClassifier",
+    "GaussianNB",
+]

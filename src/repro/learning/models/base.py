@@ -1,0 +1,56 @@
+"""Estimator base classes."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+class Classifier(abc.ABC):
+    """Minimal classifier interface shared by all models.
+
+    Subclasses set ``self.n_classes_`` during fit and implement
+    :meth:`predict_proba`; :meth:`predict` defaults to argmax.
+    """
+
+    n_classes_: Optional[int] = None
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on (n_samples, n_features) X and int labels y."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape (n_samples, n_classes)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return np.argmax(proba, axis=1)
+
+    def _check_fitted(self) -> None:
+        if self.n_classes_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    @staticmethod
+    def _check_Xy(X, y=None):
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y is None:
+            return X
+        y = np.asarray(y, dtype=int)
+        if len(y) != len(X):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if y.min() < 0:
+            raise ValueError("labels must be non-negative ints")
+        return X, y

@@ -1,0 +1,67 @@
+"""Random forest classifier (bagging + feature subsampling)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.learning.models.base import Classifier
+from repro.learning.models.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated CART trees.
+
+    ``max_features=None`` defaults to round(sqrt(n_features)), the
+    usual heuristic.
+    """
+
+    def __init__(self, n_estimators: int = 50,
+                 max_depth: Optional[int] = None,
+                 min_samples_leaf: int = 1,
+                 max_features: Optional[int] = None,
+                 random_state: int = 0):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: List[DecisionTreeClassifier] = []
+
+    def fit(self, X, y):
+        X, y = self._check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        n_features = X.shape[1]
+        max_features = self.max_features or max(
+            int(round(np.sqrt(n_features))), 1)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            indices = rng.integers(0, len(X), size=len(X))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[indices], y[indices], n_classes=self.n_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_Xy(X)
+        proba = np.zeros((len(X), self.n_classes_))
+        for tree in self.trees_:
+            proba += tree.predict_proba(X)
+        return proba / len(self.trees_)
+
+    def feature_importances(self) -> np.ndarray:
+        self._check_fitted()
+        total = np.zeros(self.trees_[0].n_features_)
+        for tree in self.trees_:
+            total += tree.feature_importances()
+        return total / len(self.trees_)

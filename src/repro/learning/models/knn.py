@@ -1,0 +1,50 @@
+"""k-nearest-neighbours classifier (standardized Euclidean)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.models.base import Classifier
+
+
+class KNeighborsClassifier(Classifier):
+    """Brute-force kNN with internal standardization."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, X, y):
+        X, y = self._check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        self._X = (X - self._mean) / self._std
+        self._y = y
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_Xy(X)
+        Xs = (X - self._mean) / self._std
+        k = min(self.k, len(self._X))
+        out = np.zeros((len(Xs), self.n_classes_))
+        # Chunked distance computation to bound memory.
+        chunk = 256
+        for start in range(0, len(Xs), chunk):
+            block = Xs[start:start + chunk]
+            d2 = ((block[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for row, neighbor_ids in enumerate(nearest):
+                votes = np.bincount(self._y[neighbor_ids],
+                                    minlength=self.n_classes_)
+                out[start + row] = votes / votes.sum()
+        return out

@@ -1,0 +1,63 @@
+"""Multinomial logistic regression (full-batch gradient descent + L2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.models.base import Classifier
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression with standardized inputs.
+
+    Inputs are standardized internally (mean/std from fit) so the
+    default learning rate behaves across the wildly different feature
+    scales network data produces.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, n_iter: int = 300,
+                 l2: float = 1e-3):
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit(self, X, y):
+        X, y = self._check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = self._standardize(X)
+        n, d = Xs.shape
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y] = 1.0
+        self.weights_ = np.zeros((d, self.n_classes_))
+        self.bias_ = np.zeros(self.n_classes_)
+        for _ in range(self.n_iter):
+            proba = _softmax(Xs @ self.weights_ + self.bias_)
+            error = (proba - onehot) / n
+            grad_w = Xs.T @ error + self.l2 * self.weights_
+            grad_b = error.sum(axis=0)
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_Xy(X)
+        return _softmax(self._standardize(X) @ self.weights_ + self.bias_)

@@ -1,0 +1,124 @@
+"""Multi-layer perceptron classifier (numpy, Adam, ReLU)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learning.models.base import Classifier
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier(Classifier):
+    """Fully-connected network with ReLU hidden layers and softmax out.
+
+    Standardizes inputs internally; optimises cross-entropy with Adam
+    over mini-batches.  Deliberately the most "black-box" teacher in
+    the zoo — no structural introspection at all.
+    """
+
+    def __init__(self, hidden: Sequence[int] = (32, 16), epochs: int = 60,
+                 batch_size: int = 64, learning_rate: float = 1e-3,
+                 l2: float = 1e-4, random_state: int = 0):
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def _init_params(self, d_in: int, rng: np.random.Generator) -> None:
+        sizes = [d_in, *self.hidden, self.n_classes_]
+        self._weights = []
+        self._biases = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / a)
+            self._weights.append(rng.normal(0.0, scale, size=(a, b)))
+            self._biases.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [X]
+        h = X
+        for W, b in zip(self._weights[:-1], self._biases[:-1]):
+            h = np.maximum(h @ W + b, 0.0)
+            activations.append(h)
+        logits = h @ self._weights[-1] + self._biases[-1]
+        return activations, logits
+
+    def fit(self, X, y):
+        X, y = self._check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = self._standardize(X)
+        rng = np.random.default_rng(self.random_state)
+        self._init_params(Xs.shape[1], rng)
+
+        m_w = [np.zeros_like(W) for W in self._weights]
+        v_w = [np.zeros_like(W) for W in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = len(Xs)
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y] = 1.0
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = Xs[batch], onehot[batch]
+                activations, logits = self._forward(xb)
+                proba = _softmax(logits)
+                delta = (proba - yb) / len(batch)
+
+                grads_w = []
+                grads_b = []
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    a_prev = activations[layer]
+                    grads_w.append(a_prev.T @ delta
+                                   + self.l2 * self._weights[layer])
+                    grads_b.append(delta.sum(axis=0))
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * \
+                            (activations[layer] > 0)
+                grads_w.reverse()
+                grads_b.reverse()
+
+                step += 1
+                for i in range(len(self._weights)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i] ** 2
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                    mw_hat = m_w[i] / (1 - beta1 ** step)
+                    vw_hat = v_w[i] / (1 - beta2 ** step)
+                    mb_hat = m_b[i] / (1 - beta1 ** step)
+                    vb_hat = v_b[i] / (1 - beta2 ** step)
+                    self._weights[i] -= self.learning_rate * mw_hat / \
+                        (np.sqrt(vw_hat) + eps)
+                    self._biases[i] -= self.learning_rate * mb_hat / \
+                        (np.sqrt(vb_hat) + eps)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_Xy(X)
+        _, logits = self._forward(self._standardize(X))
+        return _softmax(logits)

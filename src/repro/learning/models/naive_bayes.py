@@ -1,0 +1,54 @@
+"""Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.learning.models.base import Classifier
+
+
+class GaussianNB(Classifier):
+    """Per-class diagonal Gaussians with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self._theta: Optional[np.ndarray] = None
+        self._var: Optional[np.ndarray] = None
+        self._priors: Optional[np.ndarray] = None
+
+    def fit(self, X, y):
+        X, y = self._check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        n_features = X.shape[1]
+        self._theta = np.zeros((self.n_classes_, n_features))
+        self._var = np.ones((self.n_classes_, n_features))
+        self._priors = np.zeros(self.n_classes_)
+        global_var = X.var(axis=0).max() + 1e-12
+        for cls in range(self.n_classes_):
+            members = X[y == cls]
+            self._priors[cls] = len(members) / len(X)
+            if len(members) == 0:
+                continue
+            self._theta[cls] = members.mean(axis=0)
+            self._var[cls] = members.var(axis=0) + \
+                self.var_smoothing * global_var
+        self._var[self._var <= 0] = self.var_smoothing * global_var
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_Xy(X)
+        log_priors = np.log(np.maximum(self._priors, 1e-12))
+        log_like = np.zeros((len(X), self.n_classes_))
+        for cls in range(self.n_classes_):
+            diff = X - self._theta[cls]
+            log_like[:, cls] = -0.5 * np.sum(
+                np.log(2 * np.pi * self._var[cls]) +
+                diff ** 2 / self._var[cls], axis=1
+            )
+        joint = log_like + log_priors
+        joint -= joint.max(axis=1, keepdims=True)
+        proba = np.exp(joint)
+        return proba / proba.sum(axis=1, keepdims=True)

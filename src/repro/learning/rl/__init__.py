@@ -1,0 +1,41 @@
+"""Gym-style reinforcement learning for network automation.
+
+The repro hint for this paper points at the Park/Pantheon line of
+work: casting network automation tasks as RL environments.  This
+sub-package provides the environment interface, a tabular Q-learning
+agent, and a DDoS-mitigation environment built on the same event
+generators the rest of the platform uses.  The trained policy is a
+first-class "learning model" in the development loop: it can be
+VIPER-extracted into a decision tree (:mod:`repro.xai.viper`) and
+compiled for the switch like any other deployable model.
+"""
+
+from repro.learning.rl.env import Env, Discrete, Box
+from repro.learning.rl.mitigation_env import DdosMitigationEnv, MitigationAction
+from repro.learning.rl.qlearning import QLearningAgent, discretize
+from repro.learning.rl.policies import (
+    ClassifierPolicy,
+    GreedyQPolicy,
+    Policy,
+    PolicyEvaluation,
+    RandomPolicy,
+    StaticThresholdPolicy,
+    evaluate_policy,
+)
+
+__all__ = [
+    "Env",
+    "Discrete",
+    "Box",
+    "DdosMitigationEnv",
+    "MitigationAction",
+    "QLearningAgent",
+    "discretize",
+    "Policy",
+    "PolicyEvaluation",
+    "RandomPolicy",
+    "GreedyQPolicy",
+    "StaticThresholdPolicy",
+    "ClassifierPolicy",
+    "evaluate_policy",
+]

@@ -1,0 +1,61 @@
+"""Minimal Gym-style environment interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """Finite action/observation space {0, ..., n-1}."""
+
+    n: int
+
+    def contains(self, value) -> bool:
+        return isinstance(value, (int, np.integer)) and 0 <= value < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+
+@dataclass(frozen=True)
+class Box:
+    """Bounded continuous space."""
+
+    low: tuple
+    high: tuple
+
+    @property
+    def shape(self) -> tuple:
+        return (len(self.low),)
+
+    def contains(self, value) -> bool:
+        value = np.asarray(value, dtype=float)
+        if value.shape != self.shape:
+            return False
+        return bool(np.all(value >= self.low) and np.all(value <= self.high))
+
+    def clip(self, value) -> np.ndarray:
+        return np.clip(np.asarray(value, dtype=float), self.low, self.high)
+
+
+class Env(abc.ABC):
+    """The familiar reset/step contract.
+
+    ``step`` returns ``(observation, reward, done, info)``.
+    """
+
+    observation_space: Box
+    action_space: Discrete
+
+    @abc.abstractmethod
+    def reset(self, seed: Optional[int] = None) -> np.ndarray:
+        """Start a new episode; returns the first observation."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
+        """Apply an action for one control interval."""

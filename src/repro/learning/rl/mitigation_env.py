@@ -1,0 +1,163 @@
+"""DDoS-mitigation control as an RL environment.
+
+One episode is a stretch of border time divided into control intervals
+(default 1 s).  Each interval the agent observes DNS-traffic telemetry
+(the same counters the deployed switch program senses) and picks a
+mitigation posture.  A hidden two-state Markov process turns a DNS
+amplification attack on and off; the reward trades off attack bytes
+admitted against benign DNS traffic harmed — the §2 automation goal
+("drop attack traffic on ingress if confidence in detection is at
+least 90%") expressed as a scalar objective.
+
+The environment intentionally runs on an abstracted border model
+rather than the full fluid simulator: RL needs tens of thousands of
+episode steps, and the observation/action semantics are identical to
+what the control loop sees in the full-stack experiments (E3/E12
+cross-validate a policy trained here against the full simulator).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.learning.rl.env import Box, Discrete, Env
+
+MBPS = 1_000_000.0
+
+
+class MitigationAction(enum.IntEnum):
+    """Agent actions, mildest to bluntest."""
+
+    ALLOW = 0          # no intervention
+    RATE_LIMIT = 1     # cap inbound UDP/53 at `limit_mbps`
+    DROP_ANY = 2       # drop DNS responses to ANY queries (targeted)
+
+
+class DdosMitigationEnv(Env):
+    """Border DNS mitigation with a hidden attack process.
+
+    Observation (all normalised to ~[0, 1]):
+      0. inbound DNS rate / `rate_scale`
+      1. DNS response/query packet ratio (squashed)
+      2. fraction of DNS bytes carrying QTYPE=ANY
+      3. victim concentration (max share of DNS bytes to one dst)
+    """
+
+    def __init__(self, episode_len: int = 120, interval_s: float = 1.0,
+                 benign_dns_mbps: float = 8.0, attack_mbps: float = 800.0,
+                 attack_start_prob: float = 0.03,
+                 attack_stop_prob: float = 0.08,
+                 limit_mbps: float = 15.0, drop_any_fp: float = 0.02,
+                 rate_scale_mbps: float = 1000.0,
+                 collateral_weight: float = 8.0,
+                 action_cost: Tuple[float, float, float] = (0.0, 0.02, 0.01),
+                 seed: int = 0):
+        self.episode_len = int(episode_len)
+        self.interval_s = float(interval_s)
+        self.benign_dns_mbps = float(benign_dns_mbps)
+        self.attack_mbps = float(attack_mbps)
+        self.attack_start_prob = float(attack_start_prob)
+        self.attack_stop_prob = float(attack_stop_prob)
+        self.limit_mbps = float(limit_mbps)
+        self.drop_any_fp = float(drop_any_fp)
+        self.rate_scale_mbps = float(rate_scale_mbps)
+        self.collateral_weight = float(collateral_weight)
+        self.action_cost = tuple(action_cost)
+        self._base_seed = seed
+        self.rng = np.random.default_rng(seed)
+
+        self.observation_space = Box(low=(0.0, 0.0, 0.0, 0.0),
+                                     high=(1.0, 1.0, 1.0, 1.0))
+        self.action_space = Discrete(len(MitigationAction))
+
+        self._step_index = 0
+        self._attack_on = False
+        self._attack_intensity = 0.0
+
+    # -- episode mechanics ---------------------------------------------------
+
+    def reset(self, seed: Optional[int] = None) -> np.ndarray:
+        if seed is not None:
+            self.rng = np.random.default_rng(seed)
+        self._step_index = 0
+        self._attack_on = False
+        self._attack_intensity = 0.0
+        return self._observe(self._rates())
+
+    def _advance_attack(self) -> None:
+        if self._attack_on:
+            if self.rng.random() < self.attack_stop_prob:
+                self._attack_on = False
+                self._attack_intensity = 0.0
+        else:
+            if self.rng.random() < self.attack_start_prob:
+                self._attack_on = True
+                self._attack_intensity = float(
+                    self.attack_mbps * self.rng.lognormal(0.0, 0.3)
+                )
+
+    def _rates(self) -> Dict[str, float]:
+        """Offered benign/attack DNS rates for this interval (Mbps)."""
+        benign = self.benign_dns_mbps * float(self.rng.lognormal(0.0, 0.25))
+        attack = self._attack_intensity if self._attack_on else 0.0
+        return {"benign": benign, "attack": attack}
+
+    def _observe(self, rates: Dict[str, float]) -> np.ndarray:
+        total = rates["benign"] + rates["attack"]
+        # Benign DNS runs near 1 response/query; amplification pushes
+        # the byte-weighted response share toward 1.
+        response_ratio = (0.55 * rates["benign"] + 0.985 * rates["attack"]) \
+            / max(total, 1e-9)
+        any_fraction = rates["attack"] / max(total, 1e-9)
+        any_fraction *= float(self.rng.uniform(0.92, 1.0))   # sensing noise
+        concentration = 0.12 + 0.85 * rates["attack"] / max(total, 1e-9)
+        obs = np.asarray([
+            min(total / self.rate_scale_mbps, 1.0),
+            min(response_ratio, 1.0),
+            min(any_fraction, 1.0),
+            min(concentration, 1.0),
+        ])
+        noise = self.rng.normal(0.0, 0.01, size=4)
+        return self.observation_space.clip(obs + noise)
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict]:
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        self._advance_attack()
+        rates = self._rates()
+        benign, attack = rates["benign"], rates["attack"]
+
+        if action == MitigationAction.ALLOW:
+            attack_through = attack
+            benign_dropped = 0.0
+        elif action == MitigationAction.RATE_LIMIT:
+            total = benign + attack
+            if total <= self.limit_mbps:
+                attack_through = attack
+                benign_dropped = 0.0
+            else:
+                keep = self.limit_mbps / total
+                attack_through = attack * keep
+                benign_dropped = benign * (1.0 - keep)
+        else:  # DROP_ANY: targeted filter on the amplification signature
+            attack_through = attack * 0.02      # residual non-ANY attack
+            benign_dropped = benign * self.drop_any_fp
+
+        reward = (
+            -attack_through / self.rate_scale_mbps
+            - self.collateral_weight * benign_dropped / self.rate_scale_mbps
+            - self.action_cost[action]
+        )
+        self._step_index += 1
+        done = self._step_index >= self.episode_len
+        observation = self._observe(rates)
+        info = {
+            "attack_offered_mbps": attack,
+            "attack_through_mbps": attack_through,
+            "benign_dropped_mbps": benign_dropped,
+            "attack_on": self._attack_on,
+        }
+        return observation, float(reward), done, info

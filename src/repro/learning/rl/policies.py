@@ -1,0 +1,118 @@
+"""Policies and policy evaluation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.learning.rl.env import Env
+from repro.learning.rl.mitigation_env import MitigationAction
+
+
+class Policy(abc.ABC):
+    """Maps observations to actions."""
+
+    @abc.abstractmethod
+    def act(self, observation: np.ndarray) -> int:
+        """Choose an action for one observation."""
+
+
+class RandomPolicy(Policy):
+    def __init__(self, n_actions: int, seed: int = 0):
+        self.n_actions = n_actions
+        self.rng = np.random.default_rng(seed)
+
+    def act(self, observation: np.ndarray) -> int:
+        return int(self.rng.integers(self.n_actions))
+
+
+class GreedyQPolicy(Policy):
+    """Greedy wrapper around a trained Q-learning agent."""
+
+    def __init__(self, agent):
+        self.agent = agent
+
+    def act(self, observation: np.ndarray) -> int:
+        return self.agent.act(observation, greedy=True)
+
+
+class StaticThresholdPolicy(Policy):
+    """The operator's hand-written rule (baseline for E12).
+
+    Rate-limit when total DNS volume is high; escalate to the targeted
+    ANY filter only when the ANY fraction is overwhelming.
+    """
+
+    def __init__(self, volume_threshold: float = 0.25,
+                 any_threshold: float = 0.7):
+        self.volume_threshold = volume_threshold
+        self.any_threshold = any_threshold
+
+    def act(self, observation: np.ndarray) -> int:
+        volume, _response_ratio, any_fraction, _conc = observation
+        if any_fraction >= self.any_threshold:
+            return int(MitigationAction.DROP_ANY)
+        if volume >= self.volume_threshold:
+            return int(MitigationAction.RATE_LIMIT)
+        return int(MitigationAction.ALLOW)
+
+
+class ClassifierPolicy(Policy):
+    """Adapts any fitted classifier (e.g. an extracted tree) to a policy."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def act(self, observation: np.ndarray) -> int:
+        return int(self.model.predict(
+            np.asarray(observation, dtype=float).reshape(1, -1))[0])
+
+
+@dataclass
+class PolicyEvaluation:
+    """Aggregate outcome over evaluation episodes."""
+
+    mean_reward: float
+    attack_admitted_fraction: float
+    benign_dropped_fraction: float
+    episodes: int
+    action_counts: Dict[int, int] = field(default_factory=dict)
+
+
+def evaluate_policy(env: Env, policy: Policy, episodes: int = 30,
+                    seed_offset: int = 777_000) -> PolicyEvaluation:
+    """Run greedy rollouts and aggregate mitigation quality."""
+    rewards = []
+    attack_offered = 0.0
+    attack_through = 0.0
+    benign_total = 0.0
+    benign_dropped = 0.0
+    action_counts: Dict[int, int] = {}
+    for episode in range(episodes):
+        observation = env.reset(seed=seed_offset + episode)
+        done = False
+        total = 0.0
+        while not done:
+            action = policy.act(observation)
+            action_counts[action] = action_counts.get(action, 0) + 1
+            observation, reward, done, info = env.step(action)
+            total += reward
+            attack_offered += info["attack_offered_mbps"]
+            attack_through += info["attack_through_mbps"]
+            benign_dropped += info["benign_dropped_mbps"]
+            benign_total += env.benign_dns_mbps
+        rewards.append(total)
+    return PolicyEvaluation(
+        mean_reward=float(np.mean(rewards)),
+        attack_admitted_fraction=(
+            attack_through / attack_offered if attack_offered > 0 else 0.0
+        ),
+        benign_dropped_fraction=(
+            benign_dropped / benign_total if benign_total > 0 else 0.0
+        ),
+        episodes=episodes,
+        action_counts=action_counts,
+    )

@@ -1,0 +1,91 @@
+"""Tabular Q-learning over discretized observations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learning.rl.env import Env
+
+
+def discretize(observation: np.ndarray, bins: int = 8) -> Tuple[int, ...]:
+    """Map a [0,1]^d observation to a tuple of bin indices."""
+    clipped = np.clip(np.asarray(observation, dtype=float), 0.0, 1.0)
+    indices = np.minimum((clipped * bins).astype(int), bins - 1)
+    return tuple(int(i) for i in indices)
+
+
+@dataclass
+class TrainingHistory:
+    episode_rewards: List[float] = field(default_factory=list)
+
+    def mean_tail(self, n: int = 20) -> float:
+        tail = self.episode_rewards[-n:]
+        return float(np.mean(tail)) if tail else 0.0
+
+
+class QLearningAgent:
+    """Epsilon-greedy tabular Q-learning.
+
+    The Q-table doubles as the *teacher* for VIPER policy extraction:
+    :meth:`q_values` exposes per-state action values so the student
+    can weight states by how much the action choice matters.
+    """
+
+    def __init__(self, n_actions: int, bins: int = 8, alpha: float = 0.2,
+                 gamma: float = 0.97, epsilon: float = 1.0,
+                 epsilon_decay: float = 0.995, epsilon_min: float = 0.05,
+                 seed: int = 0):
+        self.n_actions = int(n_actions)
+        self.bins = int(bins)
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.epsilon = float(epsilon)
+        self.epsilon_decay = float(epsilon_decay)
+        self.epsilon_min = float(epsilon_min)
+        self.rng = np.random.default_rng(seed)
+        self._q: Dict[Tuple[int, ...], np.ndarray] = defaultdict(
+            lambda: np.zeros(self.n_actions)
+        )
+
+    def q_values(self, observation: np.ndarray) -> np.ndarray:
+        return self._q[discretize(observation, self.bins)].copy()
+
+    def act(self, observation: np.ndarray, greedy: bool = True) -> int:
+        if not greedy and self.rng.random() < self.epsilon:
+            return int(self.rng.integers(self.n_actions))
+        values = self._q[discretize(observation, self.bins)]
+        best = np.flatnonzero(values == values.max())
+        return int(best[0])
+
+    def train(self, env: Env, episodes: int = 300,
+              seed_offset: int = 10_000) -> TrainingHistory:
+        history = TrainingHistory()
+        for episode in range(episodes):
+            observation = env.reset(seed=seed_offset + episode)
+            state = discretize(observation, self.bins)
+            total_reward = 0.0
+            done = False
+            while not done:
+                action = self.act(observation, greedy=False)
+                observation, reward, done, _ = env.step(action)
+                next_state = discretize(observation, self.bins)
+                best_next = float(self._q[next_state].max()) if not done \
+                    else 0.0
+                td_target = reward + self.gamma * best_next
+                self._q[state][action] += self.alpha * (
+                    td_target - self._q[state][action]
+                )
+                state = next_state
+                total_reward += reward
+            self.epsilon = max(self.epsilon * self.epsilon_decay,
+                               self.epsilon_min)
+            history.episode_rewards.append(total_reward)
+        return history
+
+    @property
+    def states_visited(self) -> int:
+        return len(self._q)

@@ -1,0 +1,61 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.learning.dataset import Dataset
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.3,
+                     seed: int = 0, stratify: bool = True) -> \
+        Tuple[Dataset, Dataset]:
+    """Random (optionally stratified) split."""
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0,1): {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    if stratify:
+        test_indices = []
+        train_indices = []
+        for cls in np.unique(dataset.y):
+            members = np.flatnonzero(dataset.y == cls)
+            rng.shuffle(members)
+            cut = max(int(round(len(members) * test_fraction)), 1) \
+                if len(members) > 1 else 0
+            test_indices.extend(members[:cut])
+            train_indices.extend(members[cut:])
+        train_indices = np.asarray(sorted(train_indices))
+        test_indices = np.asarray(sorted(test_indices))
+    else:
+        order = rng.permutation(n)
+        cut = max(int(round(n * test_fraction)), 1)
+        test_indices = np.sort(order[:cut])
+        train_indices = np.sort(order[cut:])
+    return dataset.subset(train_indices), dataset.subset(test_indices)
+
+
+def stratified_kfold(dataset: Dataset, k: int = 5, seed: int = 0) -> \
+        Iterator[Tuple[Dataset, Dataset]]:
+    """Yield (train, test) datasets for k stratified folds."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    rng = np.random.default_rng(seed)
+    folds = [[] for _ in range(k)]
+    for cls in np.unique(dataset.y):
+        members = np.flatnonzero(dataset.y == cls)
+        rng.shuffle(members)
+        for i, index in enumerate(members):
+            folds[i % k].append(int(index))
+    for i in range(k):
+        test_indices = np.asarray(sorted(folds[i]))
+        train_indices = np.asarray(sorted(
+            idx for j, fold in enumerate(folds) if j != i for idx in fold
+        ))
+        if len(test_indices) == 0 or len(train_indices) == 0:
+            continue
+        yield dataset.subset(train_indices), dataset.subset(test_indices)

@@ -1,0 +1,145 @@
+"""Minimal collection specs for industry collaboration (§5).
+
+"a campus network-based study may identify precisely-defined
+problem-specific small subsets of data that are amenable for
+continuous collection even in a large production network where a more
+full-fledged data collection would be infeasible."
+
+Given a task learned on the full-fidelity campus store, greedy
+backward elimination finds the smallest feature subset that keeps
+holdout quality within tolerance; the result is rendered as a
+*collection specification* — what a large ISP would actually have to
+measure (which of their counters, at which granularity) to run the
+model, instead of full-packet capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.learning.dataset import Dataset
+from repro.learning.metrics import f1_score
+from repro.learning.split import train_test_split
+
+#: What each window feature costs to collect at scale.  "counter"
+#: features fall out of standard SNMP/NetFlow counters; "flow"
+#: features need per-flow state; "payload" features need DPI/full
+#: capture — the expensive tier the collaboration spec tries to avoid.
+FEATURE_COLLECTION_TIER: Dict[str, str] = {
+    "pkts": "counter",
+    "bytes": "counter",
+    "mean_pkt_size": "counter",
+    "udp_fraction": "counter",
+    "dns_fraction": "flow",
+    "dns_response_fraction": "payload",
+    "dns_any_fraction": "payload",
+    "unique_dsts": "flow",
+    "unique_dports": "flow",
+    "syn_fraction": "flow",
+    "bytes_in_out_ratio": "counter",
+    "mean_ttl": "flow",
+    "port53_src_fraction": "flow",
+    "wellknown_dport_fraction": "flow",
+    "pkt_rate": "counter",
+}
+
+TIER_ORDER = ["counter", "flow", "payload"]
+
+
+@dataclass
+class CollectionSpec:
+    """The deliverable of a subset study."""
+
+    features: List[str]
+    metric_full: float
+    metric_subset: float
+    window_s: float
+    tiers_required: List[str]
+
+    @property
+    def needs_full_capture(self) -> bool:
+        return "payload" in self.tiers_required
+
+    def render(self) -> str:
+        lines = [
+            f"collection spec ({len(self.features)} features, "
+            f"window {self.window_s:.0f}s):",
+            f"  task quality: subset={self.metric_subset:.3f} "
+            f"vs full={self.metric_full:.3f}",
+            f"  heaviest tier required: "
+            f"{self.tiers_required[-1] if self.tiers_required else '-'}",
+        ]
+        for tier in TIER_ORDER:
+            members = [f for f in self.features
+                       if FEATURE_COLLECTION_TIER.get(f) == tier]
+            if members:
+                lines.append(f"  [{tier}] " + ", ".join(members))
+        return "\n".join(lines)
+
+
+def _evaluate(model_factory: Callable, dataset: Dataset,
+              columns: Sequence[int], seed: int,
+              positive: int = 1) -> float:
+    subset = Dataset(dataset.X[:, list(columns)], dataset.y,
+                     [dataset.feature_names[c] for c in columns],
+                     list(dataset.class_names))
+    train, test = train_test_split(subset, test_fraction=0.35, seed=seed)
+    model = model_factory()
+    model.fit(train.X, train.y)
+    return f1_score(test.y, model.predict(test.X), positive=positive)
+
+
+def minimal_feature_subset(model_factory: Callable, dataset: Dataset,
+                           tolerance: float = 0.02, seed: int = 0,
+                           positive: int = 1) -> CollectionSpec:
+    """Greedy backward elimination under a quality tolerance.
+
+    Repeatedly drops the feature whose removal hurts holdout F1 the
+    least, as long as the result stays within ``tolerance`` of the
+    full-feature score.  Ties prefer dropping the *most expensive*
+    collection tier first, so the spec gravitates toward plain
+    counters.
+    """
+    if dataset.n_classes != 2:
+        raise ValueError("subset search expects a binarized dataset")
+    columns = list(range(dataset.n_features))
+    full_score = _evaluate(model_factory, dataset, columns, seed,
+                           positive)
+    floor = full_score - tolerance
+
+    def tier_rank(column: int) -> int:
+        name = dataset.feature_names[column]
+        tier = FEATURE_COLLECTION_TIER.get(name, "flow")
+        return TIER_ORDER.index(tier)
+
+    current = full_score
+    while len(columns) > 1:
+        candidates = []
+        for column in columns:
+            remaining = [c for c in columns if c != column]
+            score = _evaluate(model_factory, dataset, remaining, seed,
+                              positive)
+            candidates.append((score, tier_rank(column), column))
+        # best score first; among ties, drop the most expensive tier
+        candidates.sort(key=lambda t: (-t[0], -t[1]))
+        best_score, _, drop = candidates[0]
+        if best_score < floor:
+            break
+        columns = [c for c in columns if c != drop]
+        current = best_score
+
+    names = [dataset.feature_names[c] for c in columns]
+    tiers = sorted(
+        {FEATURE_COLLECTION_TIER.get(name, "flow") for name in names},
+        key=TIER_ORDER.index,
+    )
+    return CollectionSpec(
+        features=names,
+        metric_full=full_score,
+        metric_subset=current,
+        window_s=5.0,
+        tiers_required=tiers,
+    )

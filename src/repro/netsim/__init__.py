@@ -1,0 +1,45 @@
+"""Discrete-event campus network simulator.
+
+This subpackage is the substitute for the real campus production network
+the paper assumes.  It provides:
+
+* :mod:`repro.netsim.simulator` — a deterministic discrete-event engine.
+* :mod:`repro.netsim.topology` — campus topology construction
+  (border / core / distribution / access tiers, server farm, WiFi).
+* :mod:`repro.netsim.links` — link capacity/latency and utilisation
+  accounting.
+* :mod:`repro.netsim.routing` — shortest-path routing over the topology.
+* :mod:`repro.netsim.flows` — a fluid flow model with max-min fair
+  bandwidth sharing, driving flow completion times.
+* :mod:`repro.netsim.packets` — packet-record synthesis at the border
+  tap (what the capture substrate observes).
+* :mod:`repro.netsim.users` — user population and diurnal activity.
+* :mod:`repro.netsim.traffic` — per-application traffic models.
+* :mod:`repro.netsim.campus` — prebuilt campus profiles used throughout
+  the experiments.
+"""
+
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import CampusTopology, NodeKind, build_campus_topology
+from repro.netsim.links import Link
+from repro.netsim.flows import Flow, FluidFlowNetwork
+from repro.netsim.packets import PacketRecord, Protocol, synthesize_packets
+from repro.netsim.network import CampusNetwork
+from repro.netsim.campus import CampusProfile, make_campus, CAMPUS_PROFILES
+
+__all__ = [
+    "Simulator",
+    "CampusTopology",
+    "NodeKind",
+    "build_campus_topology",
+    "Link",
+    "Flow",
+    "FluidFlowNetwork",
+    "PacketRecord",
+    "Protocol",
+    "synthesize_packets",
+    "CampusNetwork",
+    "CampusProfile",
+    "make_campus",
+    "CAMPUS_PROFILES",
+]

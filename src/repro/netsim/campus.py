@@ -1,0 +1,190 @@
+"""Prebuilt campus profiles.
+
+Experiments need reproducible campuses of different sizes and traffic
+characters — in particular E8 (cross-campus reproducibility) trains the
+same open-sourced learning algorithm on several *different* campuses.
+A :class:`CampusProfile` bundles a topology spec with a traffic-mix
+builder and activity level; :func:`make_campus` instantiates a running
+:class:`~repro.netsim.network.CampusNetwork` from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.netsim.network import CampusNetwork
+from repro.netsim.topology import TopologySpec
+from repro.netsim.traffic.base import TrafficMix
+from repro.netsim.traffic.profiles import (
+    BulkTransferModel,
+    DnsModel,
+    MailModel,
+    NtpModel,
+    SoftwareUpdateModel,
+    SshModel,
+    VideoStreamingModel,
+    WebBrowsingModel,
+)
+
+
+@dataclass
+class CampusProfile:
+    """A reproducible campus configuration."""
+
+    name: str
+    spec: TopologySpec
+    mix_builder: Callable[[], TrafficMix]
+    mean_flows_per_hour: float = 120.0
+    description: str = ""
+
+    def build(self, seed: int = 0, start_time: float = 8 * 3600.0,
+              mean_flows_per_hour: Optional[float] = None) -> CampusNetwork:
+        return CampusNetwork(
+            topology=_build_topology(self.spec, seed),
+            mix=self.mix_builder(),
+            seed=seed,
+            mean_flows_per_hour=(mean_flows_per_hour
+                                 if mean_flows_per_hour is not None
+                                 else self.mean_flows_per_hour),
+            start_time=start_time,
+        )
+
+
+def _build_topology(spec: TopologySpec, seed: int):
+    from repro.netsim.topology import build_campus_topology
+
+    return build_campus_topology(spec, seed)
+
+
+def _mix_teaching() -> TrafficMix:
+    """Teaching-heavy campus: web/video dominant, little bulk."""
+    return TrafficMix([
+        (DnsModel(), 0.36),
+        (WebBrowsingModel(), 0.38),
+        (VideoStreamingModel(), 0.12),
+        (SshModel(), 0.02),
+        (MailModel(), 0.08),
+        (NtpModel(), 0.03),
+        (SoftwareUpdateModel(), 0.01),
+    ])
+
+
+def _mix_research() -> TrafficMix:
+    """Research university: significant bulk science transfers and SSH."""
+    return TrafficMix([
+        (DnsModel(), 0.34),
+        (WebBrowsingModel(), 0.28),
+        (VideoStreamingModel(), 0.06),
+        (SshModel(), 0.12),
+        (MailModel(), 0.08),
+        (NtpModel(), 0.04),
+        (SoftwareUpdateModel(), 0.04),
+        (BulkTransferModel(), 0.04),
+    ])
+
+
+def _mix_residential() -> TrafficMix:
+    """Residential campus: streaming-heavy evenings."""
+    return TrafficMix([
+        (DnsModel(), 0.30),
+        (WebBrowsingModel(), 0.30),
+        (VideoStreamingModel(), 0.25),
+        (SshModel(), 0.01),
+        (MailModel(), 0.06),
+        (NtpModel(), 0.04),
+        (SoftwareUpdateModel(), 0.04),
+    ])
+
+
+def _mix_default() -> TrafficMix:
+    from repro.netsim.traffic.profiles import default_mix
+
+    return default_mix()
+
+
+CAMPUS_PROFILES: Dict[str, CampusProfile] = {
+    "tiny": CampusProfile(
+        name="tiny",
+        spec=TopologySpec(name="tiny", departments=2, access_per_department=1,
+                          hosts_per_access=4, servers=2, wifi_aps=1,
+                          hosts_per_ap=3, internet_hosts=12,
+                          uplink_gbps=1.0),
+        mix_builder=_mix_default,
+        mean_flows_per_hour=60.0,
+        description="Unit-test scale campus (~14 hosts).",
+    ),
+    "small": CampusProfile(
+        name="small",
+        spec=TopologySpec(name="small", departments=3, access_per_department=2,
+                          hosts_per_access=6, servers=3, wifi_aps=2,
+                          hosts_per_ap=5, internet_hosts=30,
+                          uplink_gbps=10.0),
+        mix_builder=_mix_default,
+        mean_flows_per_hour=90.0,
+        description="Small college (~46 hosts, 10G uplink).",
+    ),
+    "medium": CampusProfile(
+        name="medium",
+        spec=TopologySpec(name="medium", departments=6,
+                          access_per_department=3, hosts_per_access=10,
+                          servers=6, wifi_aps=4, hosts_per_ap=10,
+                          internet_hosts=60, uplink_gbps=10.0),
+        mix_builder=_mix_default,
+        mean_flows_per_hour=120.0,
+        description="Mid-size university (~220 hosts, 10G uplink).",
+    ),
+    "teaching": CampusProfile(
+        name="teaching",
+        spec=TopologySpec(name="teaching", departments=4,
+                          access_per_department=2, hosts_per_access=8,
+                          servers=3, wifi_aps=3, hosts_per_ap=8,
+                          internet_hosts=40, uplink_gbps=10.0),
+        mix_builder=_mix_teaching,
+        mean_flows_per_hour=140.0,
+        description="Teaching college: web/video-dominant mix.",
+    ),
+    "research": CampusProfile(
+        name="research",
+        spec=TopologySpec(name="research", departments=5,
+                          access_per_department=2, hosts_per_access=8,
+                          servers=6, wifi_aps=2, hosts_per_ap=6,
+                          internet_hosts=50, uplink_gbps=20.0,
+                          core_gbps=100.0),
+        mix_builder=_mix_research,
+        mean_flows_per_hour=100.0,
+        description="Research university: bulk science flows, 2x10G uplink.",
+    ),
+    "residential": CampusProfile(
+        name="residential",
+        spec=TopologySpec(name="residential", departments=3,
+                          access_per_department=3, hosts_per_access=10,
+                          servers=2, wifi_aps=6, hosts_per_ap=12,
+                          internet_hosts=45, uplink_gbps=10.0),
+        mix_builder=_mix_residential,
+        mean_flows_per_hour=160.0,
+        description="Residential campus: streaming-heavy, large WiFi.",
+    ),
+}
+
+
+def make_campus(profile: str = "small", seed: int = 0,
+                start_time: float = 8 * 3600.0,
+                mean_flows_per_hour: Optional[float] = None) -> CampusNetwork:
+    """Instantiate a named campus profile.
+
+    ``mean_flows_per_hour`` overrides the profile's per-user activity
+    (used by experiments that need denser background traffic than the
+    profile default).
+
+    >>> net = make_campus("tiny", seed=7)
+    >>> len(net.topology.hosts) > 0
+    True
+    """
+    try:
+        spec = CAMPUS_PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(CAMPUS_PROFILES))
+        raise KeyError(f"unknown campus profile {profile!r}; one of: {known}")
+    return spec.build(seed=seed, start_time=start_time,
+                      mean_flows_per_hour=mean_flows_per_hour)

@@ -1,0 +1,117 @@
+"""Link bookkeeping for the fluid flow model.
+
+A :class:`Link` tracks capacity, the set of flows currently crossing
+it, and time-weighted byte counters used for utilisation reporting and
+SLO monitoring.  Links are undirected (matching the topology graph) and
+model the shared capacity of a full-duplex trunk conservatively as a
+single pool, which is the standard fluid simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def edge_key(a: str, b: str) -> Tuple[str, str]:
+    """Canonical undirected edge key."""
+    return (a, b) if a <= b else (b, a)
+
+
+class Link:
+    """A network link with capacity accounting and utilisation counters."""
+
+    __slots__ = (
+        "key",
+        "capacity_bps",
+        "nominal_capacity_bps",
+        "delay_s",
+        "active_flows",
+        "bytes_carried",
+        "_last_update",
+        "_current_rate_bps",
+        "up",
+    )
+
+    def __init__(self, a: str, b: str, capacity_bps: float, delay_s: float):
+        self.key = edge_key(a, b)
+        self.capacity_bps = float(capacity_bps)
+        self.nominal_capacity_bps = float(capacity_bps)
+        self.delay_s = float(delay_s)
+        self.active_flows: Set[int] = set()
+        self.bytes_carried = 0.0
+        self._last_update = 0.0
+        self._current_rate_bps = 0.0
+        self.up = True
+
+    def accumulate(self, now: float) -> None:
+        """Fold bytes carried since the last rate change into the counter."""
+        dt = now - self._last_update
+        if dt > 0:
+            self.bytes_carried += self._current_rate_bps * dt / 8.0
+        self._last_update = now
+
+    def set_rate(self, now: float, rate_bps: float) -> None:
+        """Update the aggregate rate crossing this link (after accumulate)."""
+        self.accumulate(now)
+        self._current_rate_bps = rate_bps
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self._current_rate_bps
+
+    def utilization(self) -> float:
+        """Instantaneous utilisation in [0, 1+] of nominal capacity."""
+        if self.nominal_capacity_bps <= 0:
+            return 0.0
+        return self._current_rate_bps / self.nominal_capacity_bps
+
+    def set_up(self, up: bool) -> None:
+        """Fail or restore the link (capacity drops to ~0 when down)."""
+        self.up = up
+        self.capacity_bps = self.nominal_capacity_bps if up else 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Reduce usable capacity (e.g. duplex mismatch incident)."""
+        if not 0 < factor <= 1:
+            raise ValueError(f"degrade factor must be in (0, 1]: {factor}")
+        self.capacity_bps = self.nominal_capacity_bps * factor
+
+    def restore(self) -> None:
+        self.capacity_bps = self.nominal_capacity_bps
+        self.up = True
+
+
+class LinkTable:
+    """All links of a topology, keyed canonically."""
+
+    def __init__(self):
+        self._links: Dict[Tuple[str, str], Link] = {}
+
+    @classmethod
+    def from_topology(cls, topology) -> "LinkTable":
+        table = cls()
+        for a, b in topology.edges():
+            table.add(Link(a, b, topology.link_capacity(a, b),
+                           topology.link_delay(a, b)))
+        return table
+
+    def add(self, link: Link) -> None:
+        if link.key in self._links:
+            raise ValueError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+
+    def get(self, a: str, b: str) -> Link:
+        return self._links[edge_key(a, b)]
+
+    def __iter__(self):
+        return iter(self._links.values())
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def links_on_path(self, path: List[str]) -> List[Link]:
+        return [self.get(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def path_delay(self, path: List[str]) -> float:
+        return sum(link.delay_s for link in self.links_on_path(path))

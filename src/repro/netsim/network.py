@@ -1,0 +1,269 @@
+"""The campus network facade: topology + flows + traffic + observation.
+
+:class:`CampusNetwork` glues the event engine, the topology, the fluid
+flow model, and the user/traffic processes together, and exposes the
+two observation channels the rest of the platform consumes:
+
+* **packet observers** — called with the synthesized packet records of
+  every flow that crosses an observed link (the border tap by default);
+  this is what the capture substrate sees;
+* **flow observers** — called with every completed flow (ground truth,
+  used for labeling and evaluation, never by deployed models).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.flows import Flow, FluidFlowNetwork
+from repro.netsim.links import LinkTable
+from repro.netsim.packets import FiveTuple, PacketRecord, synthesize_packets
+from repro.netsim.routing import NoRouteError, Router
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import CampusTopology, NodeKind, TopologySpec, \
+    build_campus_topology
+from repro.netsim.traffic.base import FlowTemplate, TrafficMix
+from repro.netsim.traffic.profiles import default_mix
+from repro.netsim.users import UserPopulation
+
+PacketObserver = Callable[[List[PacketRecord]], None]
+FlowObserver = Callable[[Flow], None]
+
+
+class CampusNetwork:
+    """A running campus network producing observable traffic.
+
+    Parameters
+    ----------
+    topology:
+        The campus graph; defaults to a small campus built from
+        :class:`TopologySpec`.
+    mix:
+        Application traffic mix for background (benign) traffic.
+    seed:
+        Master seed; all randomness in the network derives from it.
+    mean_flows_per_hour:
+        Per-user average flow arrival rate at peak activity.
+    """
+
+    def __init__(self, topology: Optional[CampusTopology] = None,
+                 mix: Optional[TrafficMix] = None, seed: int = 0,
+                 mean_flows_per_hour: float = 120.0,
+                 start_time: float = 8 * 3600.0):
+        self.topology = topology or build_campus_topology(TopologySpec(), seed)
+        self.simulator = Simulator(start_time=start_time)
+        self.links = LinkTable.from_topology(self.topology)
+        self.router = Router(self.topology)
+        self.mix = mix or default_mix()
+        self.rng = np.random.default_rng(seed)
+        self._flow_ids = itertools.count(1)
+        self._packet_observers: List[
+            Tuple[List[Tuple[str, str]], PacketObserver]] = []
+        self._flow_observers: List[FlowObserver] = []
+        self.flows = FluidFlowNetwork(
+            self.simulator, self.links, self.router,
+            on_flow_complete=self._handle_flow_complete,
+        )
+        departments = {h: self.topology.department(h)
+                       for h in self.topology.hosts}
+        self.population = UserPopulation(
+            self.topology.hosts, self.rng,
+            mean_flows_per_hour=mean_flows_per_hour,
+            departments=departments,
+        )
+        self._traffic_running = False
+        #: flows that failed because no route existed at launch time
+        self.unroutable_flows: List[Flow] = []
+
+    # -- observation -------------------------------------------------------
+
+    def add_packet_observer(self, observer: PacketObserver,
+                            link: Optional[Tuple[str, str]] = None,
+                            links: Optional[List[Tuple[str, str]]] = None) \
+            -> None:
+        """Observe packets crossing monitored links.
+
+        ``link`` (default: the border link) or ``links`` (several taps
+        feeding one appliance) select where the observer listens.  A
+        flow crossing multiple of one observer's links is delivered
+        once — the appliance deduplicates identical packets from its
+        tap group, as real capture fabrics do.
+        """
+        if links is None:
+            links = [link if link is not None
+                     else self.topology.border_link]
+        elif link is not None:
+            raise ValueError("pass either link or links, not both")
+        self._packet_observers.append((list(links), observer))
+
+    def add_flow_observer(self, observer: FlowObserver) -> None:
+        self._flow_observers.append(observer)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    # -- traffic -----------------------------------------------------------
+
+    def start_background_traffic(self) -> None:
+        """Begin per-user Poisson flow arrivals."""
+        if self._traffic_running:
+            return
+        self._traffic_running = True
+        for user in self.population.users:
+            self._schedule_user_arrival(user)
+
+    def stop_background_traffic(self) -> None:
+        self._traffic_running = False
+
+    def _schedule_user_arrival(self, user) -> None:
+        if not self._traffic_running:
+            return
+        delay = self.population.next_interarrival(
+            user, self.simulator.now, self.rng
+        )
+        self.simulator.schedule(
+            delay, lambda: self._user_arrival(user), name="user-arrival"
+        )
+
+    def _user_arrival(self, user) -> None:
+        if self._traffic_running:
+            template = self.mix.sample(self.rng)
+            self.launch_from_template(user.host, template)
+            self._schedule_user_arrival(user)
+
+    def launch_from_template(self, src_node: str,
+                             template: FlowTemplate) -> Flow:
+        """Instantiate and start a flow from an application template."""
+        dst_node = self._choose_destination(template)
+        flow = self.make_flow(
+            src_node=src_node,
+            dst_node=dst_node,
+            size_bytes=template.size_bytes,
+            app=template.app,
+            label=template.label,
+            protocol=template.protocol,
+            dst_port=template.dst_port,
+            fwd_fraction=template.fwd_fraction,
+            rate_cap_bps=template.rate_cap_bps,
+            payload_fn=template.payload_fn,
+        )
+        return self.inject_flow(flow)
+
+    def _choose_destination(self, template: FlowTemplate) -> str:
+        servers = self.topology.servers
+        if template.to_server and servers and (
+            not template.to_internet or self.rng.random() < 0.5
+        ):
+            return str(self.rng.choice(servers))
+        internet = self.topology.internet_hosts
+        if not internet:
+            raise ValueError("topology has no internet hosts")
+        return str(self.rng.choice(internet))
+
+    # -- flow construction ---------------------------------------------------
+
+    def new_flow_id(self) -> int:
+        return next(self._flow_ids)
+
+    def make_flow(self, src_node: str, dst_node: str, size_bytes: float,
+                  app: str = "generic", label: str = "benign",
+                  protocol: int = 6, dst_port: int = 443,
+                  src_port: Optional[int] = None, fwd_fraction: float = 0.1,
+                  rate_cap_bps: Optional[float] = None,
+                  payload_fn: Optional[Callable] = None,
+                  src_ip: Optional[str] = None,
+                  dst_ip: Optional[str] = None,
+                  ttl: int = 64) -> Flow:
+        """Build (but do not start) a flow between two topology nodes.
+
+        ``src_ip`` overrides the source address on the wire — used by
+        spoofed-source attacks; routing still uses ``src_node``.
+        """
+        if src_port is None:
+            src_port = int(self.rng.integers(1024, 65535))
+        real_src_ip = src_ip or self.topology.ip(src_node)
+        real_dst_ip = dst_ip or self.topology.ip(dst_node)
+        if real_src_ip is None or real_dst_ip is None:
+            raise ValueError(
+                f"flow endpoints need IPs: {src_node}={real_src_ip}, "
+                f"{dst_node}={real_dst_ip}"
+            )
+        key = FiveTuple(real_src_ip, real_dst_ip, src_port, dst_port, protocol)
+        return Flow(
+            flow_id=self.new_flow_id(),
+            key=key,
+            src_node=src_node,
+            dst_node=dst_node,
+            size_bytes=float(size_bytes),
+            app=app,
+            label=label,
+            protocol=protocol,
+            fwd_fraction=fwd_fraction,
+            rate_cap_bps=rate_cap_bps,
+            ttl=ttl,
+            payload_fn=payload_fn,
+            src_internal=self.topology.is_internal_ip(real_src_ip),
+        )
+
+    def inject_flow(self, flow: Flow) -> Flow:
+        """Start a pre-built flow (used by event generators).
+
+        A flow whose destination is unreachable (e.g. during a link
+        outage) fails immediately: it transfers nothing and is recorded
+        in :attr:`unroutable_flows` — connections time out, the network
+        does not crash.
+        """
+        try:
+            return self.flows.start_flow(flow)
+        except NoRouteError:
+            flow.start_time = self.simulator.now
+            flow.end_time = flow.start_time + 1e-6
+            flow.current_rate_bps = 0.0
+            self.unroutable_flows.append(flow)
+            return flow
+
+    # -- running -------------------------------------------------------------
+
+    def run_until(self, time: float) -> int:
+        return self.simulator.run_until(time)
+
+    def run_for(self, duration: float) -> int:
+        return self.simulator.run_until(self.simulator.now + duration)
+
+    def finish(self) -> List[Flow]:
+        """Stop traffic and truncate remaining flows (emits their packets)."""
+        self.stop_background_traffic()
+        return self.flows.drain()
+
+    # -- internals -------------------------------------------------------------
+
+    def _handle_flow_complete(self, flow: Flow) -> None:
+        for observer in self._flow_observers:
+            observer(flow)
+        if not self._packet_observers:
+            return
+        relevant = [
+            observer for links, observer in self._packet_observers
+            if any(self.router.crosses(flow.path, *link) for link in links)
+        ]
+        if not relevant:
+            return
+        packets = synthesize_packets(flow)
+        if not packets:
+            return
+        for observer in relevant:
+            observer(packets)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def border_rate_bps(self) -> float:
+        """Instantaneous aggregate rate on the border link."""
+        a, b = self.topology.border_link
+        return self.links.get(a, b).current_rate_bps
+
+    def link_utilizations(self) -> Dict[Tuple[str, str], float]:
+        return {link.key: link.utilization() for link in self.links}

@@ -1,0 +1,223 @@
+"""Packet records and packet-train synthesis.
+
+The platform observes the campus network exclusively through packets
+crossing instrumented links (the border tap, in most experiments).  The
+fluid flow model in :mod:`repro.netsim.flows` decides *when* and *how
+fast* bytes move; this module expands a finished (or in-progress) flow
+into the individual packet records a capture appliance would see:
+timestamps, 5-tuple, sizes, TCP flags, and a synthesized payload
+fragment that payload-aware features and privacy policies can act on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+MTU = 1500
+IPV4_HEADER = 20
+TCP_HEADER = 20
+UDP_HEADER = 8
+MAX_SEGMENT = MTU - IPV4_HEADER - TCP_HEADER
+
+
+class Protocol(enum.IntEnum):
+    """IP protocol numbers used by the simulator."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+    def header_bytes(self) -> int:
+        if self is Protocol.TCP:
+            return IPV4_HEADER + TCP_HEADER
+        if self is Protocol.UDP:
+            return IPV4_HEADER + UDP_HEADER
+        return IPV4_HEADER + 8
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP flag bits carried on packet records."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Canonical flow key."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        return FiveTuple(
+            self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.protocol
+        )
+
+    def canonical(self) -> Tuple:
+        """Direction-insensitive key (sorts the two endpoints)."""
+        a = (self.src_ip, self.src_port)
+        b = (self.dst_ip, self.dst_port)
+        lo, hi = (a, b) if a <= b else (b, a)
+        return (lo, hi, self.protocol)
+
+
+@dataclass
+class PacketRecord:
+    """One captured packet as seen on the wire.
+
+    ``payload`` holds only the leading fragment of the application
+    payload (as a real full-packet-capture system would give access to);
+    ``payload_len`` is the true payload length on the wire.
+    """
+
+    __slots__ = (
+        "timestamp",
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "size",
+        "payload_len",
+        "flags",
+        "ttl",
+        "payload",
+        "flow_id",
+        "app",
+        "label",
+        "direction",
+    )
+
+    timestamp: float
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int
+    size: int
+    payload_len: int
+    flags: int
+    ttl: int
+    payload: bytes
+    flow_id: int
+    app: str
+    label: str
+    direction: str  # "in" (toward campus) or "out" (toward Internet)
+
+    def five_tuple(self) -> FiveTuple:
+        return FiveTuple(
+            self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol
+        )
+
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN) and not bool(self.flags & TcpFlags.ACK)
+
+
+def _spread_times(start: float, end: float, n: int) -> List[float]:
+    """Evenly spread ``n`` packet timestamps across [start, end]."""
+    if n <= 0:
+        return []
+    if n == 1 or end <= start:
+        return [start] * n
+    step = (end - start) / n
+    return [start + step * (i + 0.5) for i in range(n)]
+
+
+def synthesize_packets(
+    flow,
+    payload_fn=None,
+    max_packets: int = 10_000,
+) -> List[PacketRecord]:
+    """Expand a flow into forward and reverse packet records.
+
+    Parameters
+    ----------
+    flow:
+        A :class:`repro.netsim.flows.Flow` whose ``start_time`` and
+        ``end_time`` are set (it must have finished, or been truncated).
+    payload_fn:
+        Optional callable ``(flow, index, direction) -> bytes`` giving
+        the leading payload fragment of each packet.  Defaults to the
+        flow's application payload synthesizer if present.
+    max_packets:
+        Safety cap per direction; very large flows are represented by
+        proportionally larger packets so total bytes are preserved.
+    """
+    if flow.end_time is None:
+        raise ValueError(f"flow {flow.flow_id} has not finished")
+    records: List[PacketRecord] = []
+    proto = Protocol(flow.protocol)
+    header = proto.header_bytes()
+    if payload_fn is None:
+        payload_fn = getattr(flow, "payload_fn", None)
+
+    for direction, total_bytes, key in (
+        ("fwd", flow.fwd_bytes, flow.key),
+        ("rev", flow.rev_bytes, flow.key.reversed()),
+    ):
+        if total_bytes <= 0:
+            continue
+        n_packets = max(1, math.ceil(total_bytes / MAX_SEGMENT))
+        scale = 1
+        if n_packets > max_packets:
+            scale = math.ceil(n_packets / max_packets)
+            n_packets = math.ceil(n_packets / scale)
+        per_packet = total_bytes / n_packets
+        times = _spread_times(flow.start_time, flow.end_time, n_packets)
+        wire_dir = flow.wire_direction(direction)
+        for i, ts in enumerate(times):
+            payload_len = int(round(per_packet))
+            if i == n_packets - 1:
+                payload_len = int(total_bytes - int(round(per_packet)) * (n_packets - 1))
+                payload_len = max(payload_len, 0)
+            flags = _flags_for(proto, i, n_packets, direction)
+            fragment = b""
+            if payload_fn is not None:
+                fragment = payload_fn(flow, i, direction)
+            records.append(
+                PacketRecord(
+                    timestamp=ts,
+                    src_ip=key.src_ip,
+                    dst_ip=key.dst_ip,
+                    src_port=key.src_port,
+                    dst_port=key.dst_port,
+                    protocol=int(proto),
+                    size=payload_len + header,
+                    payload_len=payload_len,
+                    flags=int(flags),
+                    ttl=flow.ttl,
+                    payload=fragment[:64],
+                    flow_id=flow.flow_id,
+                    app=flow.app,
+                    label=flow.label,
+                    direction=wire_dir,
+                )
+            )
+    records.sort(key=lambda r: (r.timestamp, r.direction))
+    return records
+
+
+def _flags_for(proto: Protocol, index: int, total: int, direction: str) -> TcpFlags:
+    if proto is not Protocol.TCP:
+        return TcpFlags.NONE
+    if index == 0:
+        return TcpFlags.SYN if direction == "fwd" else TcpFlags.SYN | TcpFlags.ACK
+    if index == total - 1:
+        return TcpFlags.FIN | TcpFlags.ACK
+    return TcpFlags.ACK
+
+
+def total_wire_bytes(records: Sequence[PacketRecord]) -> int:
+    """Sum of on-the-wire sizes for a batch of packet records."""
+    return sum(r.size for r in records)

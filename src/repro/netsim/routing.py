@@ -1,0 +1,68 @@
+"""Shortest-path routing over the campus topology.
+
+The campus runs a single IGP; we model it as hop-count shortest paths
+with deterministic tie-breaking, cached per (src, dst) pair.  When a
+link fails, :meth:`Router.invalidate` clears the cache so subsequent
+flows route around the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+class NoRouteError(Exception):
+    """Raised when no path exists between two endpoints."""
+
+
+class Router:
+    """Cached shortest-path router."""
+
+    def __init__(self, topology):
+        self._topology = topology
+        self._cache: Dict[Tuple[str, str], List[str]] = {}
+        self._down_edges: set = set()
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Return the node path from ``src`` to ``dst`` (inclusive)."""
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self._working_graph()
+        try:
+            path = nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(f"no route {src} -> {dst}") from exc
+        self._cache[key] = path
+        self._cache[(dst, src)] = list(reversed(path))
+        return path
+
+    def _working_graph(self) -> nx.Graph:
+        if not self._down_edges:
+            return self._topology.graph
+        graph = self._topology.graph.copy()
+        graph.remove_edges_from(self._down_edges)
+        return graph
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Mark a link up/down for routing purposes and flush the cache."""
+        edge = (a, b) if a <= b else (b, a)
+        if up:
+            self._down_edges.discard(edge)
+        else:
+            self._down_edges.add(edge)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    def crosses(self, path: List[str], a: str, b: str) -> bool:
+        """True if the path traverses link (a, b) in either direction."""
+        for i in range(len(path) - 1):
+            hop = (path[i], path[i + 1])
+            if hop == (a, b) or hop == (b, a):
+                return True
+        return False

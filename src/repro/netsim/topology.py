@@ -1,0 +1,266 @@
+"""Campus topology construction.
+
+Builds the classic three-tier enterprise design the paper's campus
+network would use: a border router facing the upstream provider(s), a
+redundant core, one distribution switch per department, access switches
+fanning out to end hosts, a server farm, and WiFi access points.  An
+``internet`` super-node plus a set of remote endpoints model everything
+beyond the border.
+
+The topology is a :class:`networkx.Graph` wrapped with typed accessors;
+experiments never touch raw networkx attributes directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the campus graph."""
+
+    BORDER = "border"
+    CORE = "core"
+    DISTRIBUTION = "distribution"
+    ACCESS = "access"
+    HOST = "host"
+    SERVER = "server"
+    WIFI_AP = "wifi_ap"
+    INTERNET_GW = "internet_gw"
+    INTERNET_HOST = "internet_host"
+
+    @property
+    def is_switch(self) -> bool:
+        return self in (
+            NodeKind.BORDER,
+            NodeKind.CORE,
+            NodeKind.DISTRIBUTION,
+            NodeKind.ACCESS,
+            NodeKind.WIFI_AP,
+            NodeKind.INTERNET_GW,
+        )
+
+    @property
+    def is_endpoint(self) -> bool:
+        return self in (NodeKind.HOST, NodeKind.SERVER, NodeKind.INTERNET_HOST)
+
+
+GBPS = 1_000_000_000
+MBPS = 1_000_000
+
+
+@dataclass
+class TopologySpec:
+    """Knobs controlling campus size and link speeds."""
+
+    name: str = "campus"
+    departments: int = 4
+    access_per_department: int = 2
+    hosts_per_access: int = 10
+    servers: int = 4
+    wifi_aps: int = 2
+    hosts_per_ap: int = 8
+    internet_hosts: int = 40
+    uplink_gbps: float = 10.0
+    core_gbps: float = 40.0
+    distribution_gbps: float = 10.0
+    access_gbps: float = 1.0
+    host_mbps: float = 1000.0
+    uplink_delay_s: float = 0.004
+    internal_delay_s: float = 0.0002
+    campus_net: str = "10.0.0.0/8"
+
+
+class CampusTopology:
+    """A campus network graph with IP addressing and role metadata."""
+
+    def __init__(self, name: str = "campus"):
+        self.name = name
+        self.graph = nx.Graph()
+        self._ips: Dict[str, str] = {}
+        self._by_ip: Dict[str, str] = {}
+        self._internal_cache: Dict[str, bool] = {}
+        self._by_kind: Dict[NodeKind, List[str]] = {kind: [] for kind in NodeKind}
+        self.border_link: Optional[Tuple[str, str]] = None
+        self.campus_prefix: Optional[ipaddress.IPv4Network] = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_node(self, node_id: str, kind: NodeKind, ip: Optional[str] = None,
+                 department: Optional[str] = None) -> str:
+        if node_id in self.graph:
+            raise ValueError(f"duplicate node id: {node_id}")
+        self.graph.add_node(node_id, kind=kind, ip=ip, department=department)
+        self._by_kind[kind].append(node_id)
+        if ip is not None:
+            self._ips[node_id] = ip
+            self._by_ip[ip] = node_id
+        return node_id
+
+    def add_link(self, a: str, b: str, capacity_bps: float, delay_s: float) -> None:
+        if a not in self.graph or b not in self.graph:
+            raise ValueError(f"unknown endpoint in link ({a}, {b})")
+        self.graph.add_edge(a, b, capacity_bps=float(capacity_bps),
+                            delay_s=float(delay_s))
+
+    # -- accessors -------------------------------------------------------
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[str]:
+        return list(self._by_kind[kind])
+
+    def kind(self, node_id: str) -> NodeKind:
+        return self.graph.nodes[node_id]["kind"]
+
+    def ip(self, node_id: str) -> Optional[str]:
+        return self._ips.get(node_id)
+
+    def node_by_ip(self, ip: str) -> Optional[str]:
+        return self._by_ip.get(ip)
+
+    def department(self, node_id: str) -> Optional[str]:
+        return self.graph.nodes[node_id].get("department")
+
+    @property
+    def hosts(self) -> List[str]:
+        return self.nodes_of_kind(NodeKind.HOST)
+
+    @property
+    def servers(self) -> List[str]:
+        return self.nodes_of_kind(NodeKind.SERVER)
+
+    @property
+    def internet_hosts(self) -> List[str]:
+        return self.nodes_of_kind(NodeKind.INTERNET_HOST)
+
+    @property
+    def endpoints(self) -> List[str]:
+        return [n for n in self.graph.nodes if self.kind(n).is_endpoint]
+
+    def is_internal_ip(self, ip: str) -> bool:
+        """True if ``ip`` belongs to the campus address space.
+
+        Called per captured packet, so results are memoized.
+        """
+        if self.campus_prefix is None:
+            return False
+        cached = self._internal_cache.get(ip)
+        if cached is None:
+            try:
+                cached = ipaddress.ip_address(ip) in self.campus_prefix
+            except ValueError:
+                cached = False
+            self._internal_cache[ip] = cached
+        return cached
+
+    def link_capacity(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["capacity_bps"]
+
+    def link_delay(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["delay_s"]
+
+    def edges(self) -> Iterable[Tuple[str, str]]:
+        return self.graph.edges()
+
+    def validate(self) -> None:
+        """Sanity checks used by tests and the platform on startup."""
+        if not nx.is_connected(self.graph):
+            raise ValueError("campus topology is not connected")
+        if self.border_link is None:
+            raise ValueError("campus topology has no border link")
+        for node in self.endpoints:
+            if self.ip(node) is None:
+                raise ValueError(f"endpoint {node} has no IP address")
+        ips = [self.ip(n) for n in self.endpoints]
+        if len(set(ips)) != len(ips):
+            raise ValueError("duplicate endpoint IP addresses")
+
+
+def build_campus_topology(spec: TopologySpec, seed: int = 0) -> CampusTopology:
+    """Build a three-tier campus plus an Internet side per ``spec``.
+
+    IP plan: department d, access switch a, host h gets
+    ``10.(d+1).(a).(h+10)``; servers live in ``10.250.0.0/24``; WiFi
+    clients in ``10.200.ap.0/24``.  Internet hosts get deterministic
+    public addresses derived from the seed.
+    """
+    topo = CampusTopology(spec.name)
+    topo.campus_prefix = ipaddress.ip_network(spec.campus_net)
+
+    border = topo.add_node("border", NodeKind.BORDER)
+    inet_gw = topo.add_node("internet", NodeKind.INTERNET_GW)
+    topo.add_link(border, inet_gw, spec.uplink_gbps * GBPS, spec.uplink_delay_s)
+    topo.border_link = (border, inet_gw)
+
+    cores = []
+    for i in range(2):
+        core = topo.add_node(f"core{i}", NodeKind.CORE)
+        topo.add_link(border, core, spec.core_gbps * GBPS, spec.internal_delay_s)
+        cores.append(core)
+    topo.add_link(cores[0], cores[1], spec.core_gbps * GBPS, spec.internal_delay_s)
+
+    for d in range(spec.departments):
+        dept = f"dept{d}"
+        dist = topo.add_node(f"dist{d}", NodeKind.DISTRIBUTION, department=dept)
+        topo.add_link(dist, cores[d % 2], spec.distribution_gbps * GBPS,
+                      spec.internal_delay_s)
+        for a in range(spec.access_per_department):
+            access = topo.add_node(f"acc{d}_{a}", NodeKind.ACCESS, department=dept)
+            topo.add_link(access, dist, spec.access_gbps * GBPS,
+                          spec.internal_delay_s)
+            for h in range(spec.hosts_per_access):
+                ip = f"10.{d + 1}.{a}.{h + 10}"
+                host = topo.add_node(f"h{d}_{a}_{h}", NodeKind.HOST, ip=ip,
+                                     department=dept)
+                topo.add_link(host, access, spec.host_mbps * MBPS,
+                              spec.internal_delay_s)
+
+    if spec.servers:
+        server_dist = topo.add_node("dist_srv", NodeKind.DISTRIBUTION,
+                                    department="datacenter")
+        topo.add_link(server_dist, cores[0], spec.distribution_gbps * GBPS,
+                      spec.internal_delay_s)
+        for s in range(spec.servers):
+            ip = f"10.250.0.{s + 10}"
+            server = topo.add_node(f"srv{s}", NodeKind.SERVER, ip=ip,
+                                   department="datacenter")
+            topo.add_link(server, server_dist, spec.access_gbps * GBPS,
+                          spec.internal_delay_s)
+
+    for ap_i in range(spec.wifi_aps):
+        ap = topo.add_node(f"ap{ap_i}", NodeKind.WIFI_AP, department="wifi")
+        topo.add_link(ap, cores[ap_i % 2], spec.access_gbps * GBPS,
+                      spec.internal_delay_s)
+        for h in range(spec.hosts_per_ap):
+            ip = f"10.200.{ap_i}.{h + 10}"
+            host = topo.add_node(f"w{ap_i}_{h}", NodeKind.HOST, ip=ip,
+                                 department="wifi")
+            topo.add_link(host, ap, 100 * MBPS, spec.internal_delay_s)
+
+    for i in range(spec.internet_hosts):
+        ip = _public_ip(seed, i)
+        host = topo.add_node(f"inet{i}", NodeKind.INTERNET_HOST, ip=ip)
+        topo.add_link(host, inet_gw, 10 * GBPS, 0.01 + (i % 7) * 0.005)
+
+    topo.validate()
+    return topo
+
+
+# First octets that can never produce private, loopback, link-local,
+# multicast, or reserved space regardless of the remaining octets.
+_SAFE_FIRST_OCTETS = tuple(
+    o for o in range(11, 191) if o not in (10, 127, 169, 172, 192)
+)
+
+
+def _public_ip(seed: int, index: int) -> str:
+    """Deterministic globally-routable address for remote endpoint
+    ``index`` (property-tested to never be private/reserved)."""
+    value = (seed * 2654435761 + index * 40503 + 0x0B000000) & 0xFFFFFFFF
+    octets = [(value >> s) & 0xFF for s in (24, 16, 8, 0)]
+    octets[0] = _SAFE_FIRST_OCTETS[octets[0] % len(_SAFE_FIRST_OCTETS)]
+    return ".".join(str(o) for o in octets)

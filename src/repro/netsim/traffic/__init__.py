@@ -1,0 +1,39 @@
+"""Per-application traffic models for the campus simulator.
+
+Each model describes one application class (web, video, DNS, SSH, mail,
+NTP, bulk transfer, software update) in terms of flow-size
+distributions, directionality, transport, ports, rate caps, and payload
+synthesis.  The default campus mix in :data:`DEFAULT_MIX` is loosely
+calibrated to published enterprise/campus traffic studies: web + video
+dominate bytes, DNS dominates flow counts.
+"""
+
+from repro.netsim.traffic.base import AppTrafficModel, FlowTemplate, TrafficMix
+from repro.netsim.traffic.profiles import (
+    BulkTransferModel,
+    DnsModel,
+    MailModel,
+    NtpModel,
+    SoftwareUpdateModel,
+    SshModel,
+    VideoStreamingModel,
+    WebBrowsingModel,
+    DEFAULT_MIX,
+    default_mix,
+)
+
+__all__ = [
+    "AppTrafficModel",
+    "FlowTemplate",
+    "TrafficMix",
+    "WebBrowsingModel",
+    "VideoStreamingModel",
+    "DnsModel",
+    "SshModel",
+    "MailModel",
+    "NtpModel",
+    "BulkTransferModel",
+    "SoftwareUpdateModel",
+    "DEFAULT_MIX",
+    "default_mix",
+]

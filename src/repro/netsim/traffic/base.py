@@ -1,0 +1,73 @@
+"""Base classes for application traffic models."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.packets import Protocol
+
+
+@dataclass
+class FlowTemplate:
+    """Everything an application decides about one flow.
+
+    The generator fills in endpoints and timing; the template carries
+    the application-level shape.
+    """
+
+    app: str
+    size_bytes: float
+    fwd_fraction: float
+    protocol: int
+    dst_port: int
+    rate_cap_bps: Optional[float] = None
+    payload_fn: Optional[Callable] = None
+    to_internet: bool = True
+    to_server: bool = False
+    label: str = "benign"
+
+
+class AppTrafficModel(abc.ABC):
+    """One application class: flow shape + payload synthesis."""
+
+    #: Application name stamped on flows and packets.
+    name: str = "generic"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> FlowTemplate:
+        """Draw one flow template."""
+
+    @staticmethod
+    def lognormal_bytes(rng: np.random.Generator, median: float,
+                        sigma: float, floor: float = 64.0,
+                        ceil: float = 5e9) -> float:
+        """Heavy-tailed flow size; ``median`` in bytes, ``sigma`` shape."""
+        value = rng.lognormal(mean=np.log(median), sigma=sigma)
+        return float(min(max(value, floor), ceil))
+
+
+class TrafficMix:
+    """A weighted mixture of application models.
+
+    ``weights`` are flow-count shares, not byte shares.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[AppTrafficModel, float]]):
+        if not entries:
+            raise ValueError("traffic mix cannot be empty")
+        self.models: List[AppTrafficModel] = [m for m, _ in entries]
+        raw = np.asarray([w for _, w in entries], dtype=float)
+        if np.any(raw < 0) or raw.sum() <= 0:
+            raise ValueError("traffic mix weights must be non-negative, sum > 0")
+        self.weights = raw / raw.sum()
+
+    def sample(self, rng: np.random.Generator) -> FlowTemplate:
+        index = int(rng.choice(len(self.models), p=self.weights))
+        return self.models[index].sample(rng)
+
+    def model_names(self) -> List[str]:
+        return [m.name for m in self.models]

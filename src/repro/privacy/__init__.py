@@ -1,0 +1,44 @@
+"""Privacy-preserving data collection and access control.
+
+§3/§5: the data store is for *internal* use only; the IT organisation
+"is responsible for safeguarding the resulting data store, protecting
+user privacy, deciding on what data can/should not be collected and/or
+stored (and in what form), and arbitrating what data can or cannot be
+made available to which ... constituents".  This subpackage makes that
+an executable policy stack:
+
+* :mod:`repro.privacy.cryptopan` — prefix-preserving IP anonymization
+  (Crypto-PAn construction with a keyed PRF).
+* :mod:`repro.privacy.payload` — payload collection policies (keep /
+  truncate / hash / strip).
+* :mod:`repro.privacy.kanon` — k-anonymity auditing of quasi-identifiers.
+* :mod:`repro.privacy.dp` — differentially private aggregate release
+  with an epsilon budget ledger.
+* :mod:`repro.privacy.policy` — composable ingest transforms for the
+  data store.
+* :mod:`repro.privacy.arbiter` — role-based access arbitration.
+"""
+
+from repro.privacy.cryptopan import CryptoPan
+from repro.privacy.payload import PayloadPolicy, PayloadMode
+from repro.privacy.kanon import KAnonymityAuditor, KAnonymityReport
+from repro.privacy.dp import DpAccountant, DpBudgetExceeded, laplace_noise
+from repro.privacy.policy import PrivacyPolicy, PrivacyLevel, make_ingest_transform
+from repro.privacy.arbiter import AccessArbiter, AccessDenied, Role
+
+__all__ = [
+    "CryptoPan",
+    "PayloadPolicy",
+    "PayloadMode",
+    "KAnonymityAuditor",
+    "KAnonymityReport",
+    "DpAccountant",
+    "DpBudgetExceeded",
+    "laplace_noise",
+    "PrivacyPolicy",
+    "PrivacyLevel",
+    "make_ingest_transform",
+    "AccessArbiter",
+    "AccessDenied",
+    "Role",
+]

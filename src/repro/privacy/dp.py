@@ -1,0 +1,86 @@
+"""Differentially private aggregate release.
+
+Aggregate statistics (per-department volumes, top services, ...) may
+leave the IT organisation's enclave only through the Laplace mechanism
+with an explicit epsilon ledger: once a release budget is spent,
+further queries are refused rather than silently degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class DpBudgetExceeded(Exception):
+    """Raised when a release would exceed the epsilon budget."""
+
+
+def laplace_noise(rng: np.random.Generator, sensitivity: float,
+                  epsilon: float) -> float:
+    """One sample of Laplace(sensitivity / epsilon) noise."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if sensitivity <= 0:
+        raise ValueError("sensitivity must be positive")
+    return float(rng.laplace(loc=0.0, scale=sensitivity / epsilon))
+
+
+@dataclass
+class _LedgerEntry:
+    description: str
+    epsilon: float
+
+
+class DpAccountant:
+    """Epsilon budget ledger + Laplace release mechanism."""
+
+    def __init__(self, total_epsilon: float = 1.0, seed: int = 0):
+        if total_epsilon <= 0:
+            raise ValueError("total epsilon budget must be positive")
+        self.total_epsilon = float(total_epsilon)
+        self.rng = np.random.default_rng(seed)
+        self.ledger: List[_LedgerEntry] = []
+
+    @property
+    def spent(self) -> float:
+        return sum(entry.epsilon for entry in self.ledger)
+
+    @property
+    def remaining(self) -> float:
+        return self.total_epsilon - self.spent
+
+    def release_count(self, true_count: float, epsilon: float,
+                      description: str = "count",
+                      sensitivity: float = 1.0) -> float:
+        """Release a noisy count, charging ``epsilon`` to the budget."""
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.spent + epsilon > self.total_epsilon + 1e-12:
+            raise DpBudgetExceeded(
+                f"release needs eps={epsilon}, only {self.remaining:.4f} left"
+            )
+        self.ledger.append(_LedgerEntry(description, epsilon))
+        return float(true_count) + laplace_noise(self.rng, sensitivity, epsilon)
+
+    def release_histogram(self, histogram: Dict, epsilon: float,
+                          description: str = "histogram",
+                          sensitivity: float = 1.0) -> Dict:
+        """Release a histogram under one epsilon charge.
+
+        Disjoint-bin histograms have parallel composition, so a single
+        charge covers all bins.
+        """
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.spent + epsilon > self.total_epsilon + 1e-12:
+            raise DpBudgetExceeded(
+                f"release needs eps={epsilon}, only {self.remaining:.4f} left"
+            )
+        self.ledger.append(_LedgerEntry(description, epsilon))
+        return {
+            key: float(value) + laplace_noise(self.rng, sensitivity, epsilon)
+            for key, value in histogram.items()
+        }

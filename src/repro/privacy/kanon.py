@@ -1,0 +1,71 @@
+"""k-anonymity auditing over stored records.
+
+Before any internal release of a derived dataset, the IT organisation
+audits whether combinations of quasi-identifiers isolate individual
+users.  A record set is k-anonymous w.r.t. a quasi-identifier tuple if
+every observed combination occurs at least k times.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class KAnonymityReport:
+    """Audit outcome for one record set."""
+
+    k: int
+    quasi_identifiers: Tuple[str, ...]
+    total_records: int
+    distinct_combinations: int
+    violating_combinations: int
+    violating_records: int
+    min_group_size: int
+
+    @property
+    def satisfied(self) -> bool:
+        return self.violating_combinations == 0
+
+
+class KAnonymityAuditor:
+    """Audits (and optionally suppresses) quasi-identifier groups."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def _combination(self, record, quasi_identifiers: Sequence[str],
+                     getter: Callable) -> Tuple:
+        return tuple(getter(record, q) for q in quasi_identifiers)
+
+    def audit(self, records: Sequence, quasi_identifiers: Sequence[str],
+              getter: Callable = getattr) -> KAnonymityReport:
+        """Count quasi-identifier combinations occurring fewer than k times."""
+        counts: Counter = Counter(
+            self._combination(r, quasi_identifiers, getter) for r in records
+        )
+        violating = {c: n for c, n in counts.items() if n < self.k}
+        return KAnonymityReport(
+            k=self.k,
+            quasi_identifiers=tuple(quasi_identifiers),
+            total_records=len(records),
+            distinct_combinations=len(counts),
+            violating_combinations=len(violating),
+            violating_records=sum(violating.values()),
+            min_group_size=min(counts.values()) if counts else 0,
+        )
+
+    def suppress(self, records: Sequence, quasi_identifiers: Sequence[str],
+                 getter: Callable = getattr) -> List:
+        """Drop records whose combination occurs fewer than k times."""
+        counts: Counter = Counter(
+            self._combination(r, quasi_identifiers, getter) for r in records
+        )
+        return [
+            r for r in records
+            if counts[self._combination(r, quasi_identifiers, getter)] >= self.k
+        ]

@@ -1,0 +1,59 @@
+"""Payload collection policies.
+
+Full-packet capture collects "full payload, with no sampling" (§5) —
+which is exactly what makes the privacy question acute.  A
+:class:`PayloadPolicy` decides, per packet, what of the payload enters
+the store: everything, a truncated prefix, a salted hash (joinable but
+unreadable), or nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.packets import PacketRecord
+
+
+class PayloadMode(enum.Enum):
+    KEEP = "keep"
+    TRUNCATE = "truncate"
+    HASH = "hash"
+    STRIP = "strip"
+
+
+@dataclass
+class PayloadPolicy:
+    """How payload bytes are stored.
+
+    ``exempt_services`` keeps full payload for protocol machinery the
+    IT organisation needs readable (e.g. DNS for security work) even
+    under restrictive modes.
+    """
+
+    mode: PayloadMode = PayloadMode.KEEP
+    truncate_bytes: int = 16
+    salt: bytes = b"campus-payload-salt"
+    exempt_services: frozenset = frozenset({"dns"})
+
+    def apply(self, packet: PacketRecord, service: Optional[str] = None) -> \
+            PacketRecord:
+        """Return a packet with payload transformed per policy.
+
+        The input record is mutated in place (capture owns the object
+        at this point in the pipeline) and returned for convenience.
+        """
+        if self.mode is PayloadMode.KEEP:
+            return packet
+        if service is not None and service in self.exempt_services:
+            return packet
+        if self.mode is PayloadMode.TRUNCATE:
+            packet.payload = packet.payload[: self.truncate_bytes]
+        elif self.mode is PayloadMode.HASH:
+            digest = hashlib.sha256(self.salt + packet.payload).digest()
+            packet.payload = digest[:16]
+        elif self.mode is PayloadMode.STRIP:
+            packet.payload = b""
+        return packet

@@ -1,0 +1,45 @@
+"""Road-testing: shadow -> canary -> full deployment with guardrails.
+
+§4's evaluation problem: operators "are opposed to deploying
+untrustworthy tools in their production network".  The testbed makes
+the campus network usable for exactly the staged evaluation the paper
+proposes:
+
+* :mod:`repro.testbed.slo` — detection-quality and collateral metrics
+  measured against ground truth.
+* :mod:`repro.testbed.guardrails` — SLO guardrails with rollback.
+* :mod:`repro.testbed.roadtest` — the staged pipeline (shadow mode ->
+  canary -> full deployment), each phase on a fresh day of campus
+  traffic.
+* :mod:`repro.testbed.trust` — an operator-trust model driven by
+  evidence review (§5's "a learning model that teaches operators
+  things they know they didn't know").
+"""
+
+from repro.testbed.slo import DetectionQuality, evaluate_detections, \
+    CollateralReport, measure_collateral
+from repro.testbed.guardrails import Guardrail, GuardrailViolation, \
+    standard_guardrails
+from repro.testbed.roadtest import (
+    DeploymentPhase,
+    PhaseResult,
+    RoadTestPipeline,
+    RoadTestReport,
+)
+from repro.testbed.trust import OperatorTrustModel, ReviewOutcome
+
+__all__ = [
+    "DetectionQuality",
+    "evaluate_detections",
+    "CollateralReport",
+    "measure_collateral",
+    "Guardrail",
+    "GuardrailViolation",
+    "standard_guardrails",
+    "DeploymentPhase",
+    "PhaseResult",
+    "RoadTestPipeline",
+    "RoadTestReport",
+    "OperatorTrustModel",
+    "ReviewOutcome",
+]

@@ -1,0 +1,62 @@
+"""SLO guardrails with rollback semantics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class GuardrailViolation:
+    """One tripped guardrail."""
+
+    guardrail: str
+    observed: float
+    limit: float
+    message: str
+
+
+@dataclass
+class Guardrail:
+    """A named bound on one phase metric.
+
+    ``metric`` pulls a float out of the phase metrics dict;
+    ``comparator`` is "max" (violation when observed > limit) or "min"
+    (violation when observed < limit).
+    """
+
+    name: str
+    metric: str
+    limit: float
+    comparator: str = "max"
+
+    def check(self, metrics: Dict[str, float]) -> Optional[GuardrailViolation]:
+        observed = metrics.get(self.metric)
+        if observed is None:
+            return None
+        violated = (observed > self.limit if self.comparator == "max"
+                    else observed < self.limit)
+        if not violated:
+            return None
+        op = ">" if self.comparator == "max" else "<"
+        return GuardrailViolation(
+            guardrail=self.name,
+            observed=float(observed),
+            limit=self.limit,
+            message=(f"{self.name}: {self.metric}={observed:.4f} "
+                     f"{op} limit {self.limit:.4f}"),
+        )
+
+
+def standard_guardrails(max_false_positive_rate: float = 0.1,
+                        min_recall: float = 0.5,
+                        max_collateral_fraction: float = 0.02) -> \
+        List[Guardrail]:
+    """The IT organisation's default promotion criteria."""
+    return [
+        Guardrail("precision-floor", "false_positive_rate",
+                  max_false_positive_rate, comparator="max"),
+        Guardrail("recall-floor", "recall", min_recall, comparator="min"),
+        Guardrail("collateral-ceiling", "collateral_fraction",
+                  max_collateral_fraction, comparator="max"),
+    ]

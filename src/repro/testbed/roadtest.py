@@ -1,0 +1,147 @@
+"""The staged road-testing pipeline.
+
+Each phase runs the candidate tool against a *fresh* day of campus
+traffic (new seed, same scenario family):
+
+1. **shadow** — the tool observes and decides but never acts; its
+   would-be verdicts are scored against ground truth.
+2. **canary** — the tool acts, but with a conservative binding
+   (rate-limit instead of drop) and short mitigation lifetimes.
+3. **full** — the tool's intended bindings.
+
+After every phase the guardrails run over the measured metrics; any
+violation stops the pipeline and reports a rollback — the tool never
+reaches the next phase.  This is the contract that makes operators
+willing to host researcher code (§4).
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.deploy.switch import SwitchConfig
+from repro.testbed.guardrails import Guardrail, GuardrailViolation
+from repro.testbed.slo import evaluate_detections, measure_collateral
+
+
+class DeploymentPhase(enum.Enum):
+    SHADOW = "shadow"
+    CANARY = "canary"
+    FULL = "full"
+
+
+@dataclass
+class PhaseResult:
+    """Metrics and verdict for one phase."""
+
+    phase: DeploymentPhase
+    metrics: Dict[str, float]
+    violations: List[GuardrailViolation]
+    detections: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class RoadTestReport:
+    """The full pipeline outcome."""
+
+    phases: List[PhaseResult] = field(default_factory=list)
+    deployed: bool = False
+    rolled_back_at: Optional[DeploymentPhase] = None
+
+    def phase(self, phase: DeploymentPhase) -> Optional[PhaseResult]:
+        for result in self.phases:
+            if result.phase == phase:
+                return result
+        return None
+
+
+class RoadTestPipeline:
+    """Runs a candidate deployment through shadow/canary/full.
+
+    Parameters
+    ----------
+    run_factory:
+        ``run_factory(seed) -> (network, scenario)`` building a fresh
+        campus + scenario; the pipeline runs the scenario itself.
+    deploy_fn:
+        ``deploy_fn(network, config) -> EmulatedSwitch`` installing the
+        candidate tool with the given runtime config.
+    base_config:
+        The tool's intended (full-deployment) configuration.
+    guardrails:
+        Promotion criteria applied after every phase.
+    """
+
+    def __init__(self, run_factory: Callable, deploy_fn: Callable,
+                 base_config: SwitchConfig, guardrails: List[Guardrail],
+                 run_scenario_fn: Optional[Callable] = None):
+        from repro.events.scenario import run_scenario as default_runner
+
+        self.run_factory = run_factory
+        self.deploy_fn = deploy_fn
+        self.base_config = base_config
+        self.guardrails = guardrails
+        self._run_scenario = run_scenario_fn or default_runner
+
+    def _config_for(self, phase: DeploymentPhase) -> SwitchConfig:
+        config = copy.deepcopy(self.base_config)
+        if phase is DeploymentPhase.SHADOW:
+            config.shadow = True
+        elif phase is DeploymentPhase.CANARY:
+            config.shadow = False
+            config.bindings = {"*": ("rate_limit", 5_000_000.0)}
+            config.mitigation_duration_s = min(
+                config.mitigation_duration_s, 10.0)
+        return config
+
+    def _run_phase(self, phase: DeploymentPhase, seed: int) -> PhaseResult:
+        network, scenario = self.run_factory(seed)
+        flows: List = []
+        network.add_flow_observer(flows.append)
+        switch = self.deploy_fn(network, self._config_for(phase))
+        ground_truth = self._run_scenario(network, scenario, seed=seed)
+
+        quality = evaluate_detections(switch.detections, ground_truth)
+        all_flows = flows + list(network.flows.blocked_flows)
+        collateral = measure_collateral(all_flows, switch.mitigation_log)
+        metrics: Dict[str, float] = {
+            "precision": quality.precision,
+            "recall": quality.recall,
+            "f1": quality.f1,
+            "false_positive_rate": 1.0 - quality.precision
+            if switch.detections else 0.0,
+            "collateral_fraction": collateral.collateral_fraction,
+            "attack_coverage": collateral.attack_coverage,
+            "detections": float(len(switch.detections)),
+        }
+        if quality.detection_delay_s is not None:
+            metrics["detection_delay_s"] = quality.detection_delay_s
+        violations = [
+            violation for guardrail in self.guardrails
+            if (violation := guardrail.check(metrics)) is not None
+        ]
+        return PhaseResult(
+            phase=phase,
+            metrics=metrics,
+            violations=violations,
+            detections=len(switch.detections),
+        )
+
+    def run(self, seed: int = 0) -> RoadTestReport:
+        """Execute all phases, stopping at the first violation."""
+        report = RoadTestReport()
+        for offset, phase in enumerate(DeploymentPhase):
+            result = self._run_phase(phase, seed + 1000 * (offset + 1))
+            report.phases.append(result)
+            if not result.passed:
+                report.rolled_back_at = phase
+                return report
+        report.deployed = True
+        return report

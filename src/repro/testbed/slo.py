@@ -1,0 +1,136 @@
+"""Detection-quality and collateral-damage measurement.
+
+Everything here scores a deployed tool against the simulator's ground
+truth — the evaluation the paper says academics cannot do without a
+production network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class DetectionQuality:
+    """Endpoint-level detection scoring for one run."""
+
+    true_positives: int
+    false_positives: int
+    actors_total: int
+    actors_detected: int
+    detection_delay_s: Optional[float]
+
+    @property
+    def precision(self) -> float:
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def recall(self) -> float:
+        return (self.actors_detected / self.actors_total
+                if self.actors_total else 0.0)
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def evaluate_detections(detections: Sequence, ground_truth,
+                        slack_s: float = 30.0) -> DetectionQuality:
+    """Score switch detections against event windows.
+
+    A detection is a true positive if its window overlaps (within
+    ``slack_s``) an event window listing the detected endpoint as an
+    actor.  Recall counts distinct (window, actor) pairs detected.
+    ``detection_delay_s`` is the mean delay from event start to the
+    first true-positive detection of each event.
+    """
+    true_positives = 0
+    false_positives = 0
+    detected_actors: Set[Tuple[int, str]] = set()
+    first_detection: Dict[int, float] = {}
+
+    for detection in detections:
+        hit = False
+        for i, window in enumerate(ground_truth.windows):
+            if detection.endpoint not in window.actors:
+                continue
+            if (window.start_time - slack_s <= detection.window_start
+                    <= window.end_time + slack_s):
+                hit = True
+                detected_actors.add((i, detection.endpoint))
+                first = first_detection.get(i)
+                if first is None or detection.decided_at < first:
+                    first_detection[i] = detection.decided_at
+        if hit:
+            true_positives += 1
+        else:
+            false_positives += 1
+
+    actors_total = sum(len(w.actors) for w in ground_truth.windows)
+    delays = [
+        first_detection[i] - ground_truth.windows[i].start_time
+        for i in first_detection
+    ]
+    return DetectionQuality(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        actors_total=actors_total,
+        actors_detected=len(detected_actors),
+        detection_delay_s=(sum(delays) / len(delays)) if delays else None,
+    )
+
+
+@dataclass
+class CollateralReport:
+    """How much benign traffic the tool harmed."""
+
+    benign_flows_total: int
+    benign_flows_hit: int
+    attack_flows_total: int
+    attack_flows_hit: int
+
+    @property
+    def collateral_fraction(self) -> float:
+        return (self.benign_flows_hit / self.benign_flows_total
+                if self.benign_flows_total else 0.0)
+
+    @property
+    def attack_coverage(self) -> float:
+        return (self.attack_flows_hit / self.attack_flows_total
+                if self.attack_flows_total else 0.0)
+
+
+def measure_collateral(flows: Sequence, mitigated_endpoints: Dict[str, float]) \
+        -> CollateralReport:
+    """Count benign/attack flows touching a mitigated endpoint.
+
+    ``flows`` are completed simulator flows (ground-truth labels);
+    ``mitigated_endpoints`` maps endpoint IP -> mitigation-effective
+    time.  A flow is "hit" if it involves a mitigated endpoint and was
+    alive after the mitigation took effect.
+    """
+    benign_total = benign_hit = attack_total = attack_hit = 0
+    for flow in flows:
+        is_attack = flow.label != "benign"
+        if is_attack:
+            attack_total += 1
+        else:
+            benign_total += 1
+        for endpoint in (flow.key.src_ip, flow.key.dst_ip):
+            effective = mitigated_endpoints.get(endpoint)
+            if effective is not None and flow.end_time is not None \
+                    and flow.end_time >= effective:
+                if is_attack:
+                    attack_hit += 1
+                else:
+                    benign_hit += 1
+                break
+    return CollateralReport(
+        benign_flows_total=benign_total,
+        benign_flows_hit=benign_hit,
+        attack_flows_total=attack_total,
+        attack_flows_hit=attack_hit,
+    )

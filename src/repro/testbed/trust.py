@@ -1,0 +1,86 @@
+"""Operator trust model.
+
+§5 sketches the trust dynamic precisely: reviewing evidence the
+operator agrees with raises trust; evidence describing scenarios the
+operator did not know about — later recognised as correct — raises it
+even more ("a learning model that teaches operators things they know
+they didn't know"); incorrect decisions hurt badly.  The model is a
+bounded score driven by reviewed decisions and their evidence quality;
+experiment E9 tracks its trajectory across a road-test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class ReviewOutcome(enum.Enum):
+    AGREED = "agreed"                 # operator would have done the same
+    SURPRISED_CORRECT = "surprised_correct"   # new-to-operator, and right
+    INCORRECT = "incorrect"           # the model was wrong
+
+
+@dataclass
+class ReviewEvent:
+    outcome: ReviewOutcome
+    evidence_strength: float
+    trust_after: float
+
+
+class OperatorTrustModel:
+    """Bounded trust score updated by evidence review.
+
+    Update rule (all gains scaled by evidence strength in [0, 1]):
+
+    * AGREED: +gain_agree * strength * (1 - trust)
+    * SURPRISED_CORRECT: +gain_surprise * strength * (1 - trust)
+    * INCORRECT: -loss_incorrect * trust
+
+    Asymmetric by design — trust is slow to build, fast to lose.
+    """
+
+    def __init__(self, initial_trust: float = 0.2, gain_agree: float = 0.05,
+                 gain_surprise: float = 0.15, loss_incorrect: float = 0.35,
+                 deploy_threshold: float = 0.7):
+        if not 0 <= initial_trust <= 1:
+            raise ValueError("initial trust must be in [0,1]")
+        self.trust = float(initial_trust)
+        self.gain_agree = gain_agree
+        self.gain_surprise = gain_surprise
+        self.loss_incorrect = loss_incorrect
+        self.deploy_threshold = deploy_threshold
+        self.history: List[ReviewEvent] = []
+
+    def review(self, outcome: ReviewOutcome,
+               evidence_strength: float = 1.0) -> float:
+        """Record one reviewed decision; returns the new trust level."""
+        strength = min(max(evidence_strength, 0.0), 1.0)
+        if outcome is ReviewOutcome.AGREED:
+            self.trust += self.gain_agree * strength * (1.0 - self.trust)
+        elif outcome is ReviewOutcome.SURPRISED_CORRECT:
+            self.trust += self.gain_surprise * strength * (1.0 - self.trust)
+        elif outcome is ReviewOutcome.INCORRECT:
+            self.trust -= self.loss_incorrect * self.trust
+        self.trust = min(max(self.trust, 0.0), 1.0)
+        self.history.append(ReviewEvent(outcome, strength, self.trust))
+        return self.trust
+
+    def review_evidence(self, evidence, correct: bool,
+                        surprising: bool = False) -> float:
+        """Review a :class:`repro.xai.evidence.DecisionEvidence`."""
+        if not correct:
+            outcome = ReviewOutcome.INCORRECT
+        elif surprising:
+            outcome = ReviewOutcome.SURPRISED_CORRECT
+        else:
+            outcome = ReviewOutcome.AGREED
+        return self.review(outcome, evidence_strength=evidence.strength)
+
+    @property
+    def would_deploy(self) -> bool:
+        return self.trust >= self.deploy_threshold
+
+    def trajectory(self) -> List[float]:
+        return [event.trust_after for event in self.history]

@@ -1,0 +1,44 @@
+"""Explainable AI: model extraction, fidelity, rules, evidence.
+
+Step (ii) of the paper's road to deployment (Fig. 2): "replace the
+learning model ... with a deployable learning model (i.e., a learning
+model that is explainable or interpretable, lightweight and closely
+approximates the original model)", citing Bastani et al.'s model
+extraction and VIPER lines of work; and step (iv): "explain to the
+network operator how a given deployable learning model works".
+
+* :mod:`repro.xai.distill` — teacher/student decision-tree extraction
+  with synthetic query augmentation (Bastani-style).
+* :mod:`repro.xai.viper` — DAgger-style policy extraction from a
+  Q-learning teacher into a decision-tree policy.
+* :mod:`repro.xai.fidelity` — agreement metrics between teacher and
+  student.
+* :mod:`repro.xai.rules` — tree-to-ordered-rule-list conversion.
+* :mod:`repro.xai.evidence` — per-decision evidence lists for the
+  operator ("the list of pieces of evidence that the model used to
+  arrive at its decisions").
+"""
+
+from repro.xai.distill import DistillationResult, distill_tree
+from repro.xai.viper import ViperResult, viper_extract
+from repro.xai.fidelity import fidelity, proba_fidelity, FidelityReport, \
+    fidelity_report
+from repro.xai.rules import Rule, RuleList, tree_to_rules
+from repro.xai.evidence import DecisionEvidence, EvidenceClause, explain_decision
+
+__all__ = [
+    "distill_tree",
+    "DistillationResult",
+    "viper_extract",
+    "ViperResult",
+    "fidelity",
+    "proba_fidelity",
+    "FidelityReport",
+    "fidelity_report",
+    "Rule",
+    "RuleList",
+    "tree_to_rules",
+    "DecisionEvidence",
+    "EvidenceClause",
+    "explain_decision",
+]

@@ -1,0 +1,113 @@
+"""Per-decision evidence lists for operators.
+
+§5 envisions a model "that could be routinely queried for the list of
+pieces of evidence that the model used to arrive at its decisions" —
+and operator trust growing when reviewing that evidence.  For a tree
+student, the evidence is exact: the root-to-leaf path, each clause
+annotated with the sample's value, the threshold, and the training
+support behind the step.  The testbed's trust model
+(:mod:`repro.testbed.trust`) consumes these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learning.models.tree import DecisionTreeClassifier
+
+
+@dataclass
+class EvidenceClause:
+    """One step of the decision path."""
+
+    feature: int
+    feature_name: str
+    observed_value: float
+    op: str
+    threshold: float
+    training_support: int       # samples that reached this node in training
+    class_shift: float          # how much this step moved P(predicted class)
+
+    def render(self) -> str:
+        return (f"{self.feature_name} = {self.observed_value:.4g} "
+                f"{self.op} {self.threshold:.4g} "
+                f"[support={self.training_support}, "
+                f"shift={self.class_shift:+.2f}]")
+
+
+@dataclass
+class DecisionEvidence:
+    """Everything an operator reviews about one decision."""
+
+    predicted_class: int
+    predicted_label: str
+    confidence: float
+    clauses: List[EvidenceClause]
+    leaf_support: int
+
+    def render(self) -> str:
+        lines = [f"decision: {self.predicted_label} "
+                 f"(confidence {self.confidence:.2f}, "
+                 f"leaf support {self.leaf_support})"]
+        lines.extend(f"  because {clause.render()}"
+                     for clause in self.clauses)
+        return "\n".join(lines)
+
+    @property
+    def strength(self) -> float:
+        """Scalar evidence quality: confidence weighted by support depth.
+
+        Used by the trust model; higher means the model can point to
+        well-supported, decisive steps.
+        """
+        if not self.clauses:
+            return self.confidence
+        support_term = min(self.leaf_support / 30.0, 1.0)
+        return self.confidence * (0.5 + 0.5 * support_term)
+
+
+def explain_decision(tree: DecisionTreeClassifier, x,
+                     feature_names: Optional[Sequence[str]] = None,
+                     class_names: Optional[Sequence[str]] = None) -> \
+        DecisionEvidence:
+    """Build the evidence list for one sample."""
+    x = np.asarray(x, dtype=float)
+    path = tree.decision_path(x)
+    leaf = path[-1]
+    counts = leaf.value
+    total = counts.sum()
+    predicted = int(np.argmax(counts))
+    confidence = float(counts[predicted] / total) if total > 0 else 0.0
+
+    def proba_of(node, cls) -> float:
+        node_total = node.value.sum()
+        return float(node.value[cls] / node_total) if node_total > 0 else 0.0
+
+    clauses: List[EvidenceClause] = []
+    for parent, child in zip(path[:-1], path[1:]):
+        went_left = child is parent.left
+        op = "<=" if went_left else ">"
+        name = (feature_names[parent.feature] if feature_names is not None
+                else f"x{parent.feature}")
+        clauses.append(EvidenceClause(
+            feature=parent.feature,
+            feature_name=name,
+            observed_value=float(x[parent.feature]),
+            op=op,
+            threshold=float(parent.threshold),
+            training_support=int(child.n_samples),
+            class_shift=proba_of(child, predicted) - proba_of(parent,
+                                                              predicted),
+        ))
+    label = (class_names[predicted] if class_names is not None
+             else str(predicted))
+    return DecisionEvidence(
+        predicted_class=predicted,
+        predicted_label=label,
+        confidence=confidence,
+        clauses=clauses,
+        leaf_support=int(leaf.n_samples),
+    )

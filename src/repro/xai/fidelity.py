@@ -1,0 +1,70 @@
+"""Teacher/student agreement metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def fidelity(teacher_predictions, student_predictions) -> float:
+    """Fraction of inputs where student matches teacher."""
+    teacher = np.asarray(teacher_predictions)
+    student = np.asarray(student_predictions)
+    if teacher.shape != student.shape:
+        raise ValueError("prediction shape mismatch")
+    if len(teacher) == 0:
+        return 0.0
+    return float(np.mean(teacher == student))
+
+
+def proba_fidelity(teacher_proba, student_proba) -> float:
+    """1 - mean total-variation distance between probability outputs."""
+    teacher = np.asarray(teacher_proba, dtype=float)
+    student = np.asarray(student_proba, dtype=float)
+    if teacher.shape != student.shape:
+        raise ValueError("probability shape mismatch")
+    if len(teacher) == 0:
+        return 0.0
+    tv = 0.5 * np.abs(teacher - student).sum(axis=1)
+    return float(1.0 - tv.mean())
+
+
+@dataclass
+class FidelityReport:
+    """Holdout comparison of teacher vs extracted student."""
+
+    label_fidelity: float
+    probability_fidelity: float
+    teacher_accuracy: Optional[float]
+    student_accuracy: Optional[float]
+
+    @property
+    def accuracy_gap(self) -> Optional[float]:
+        if self.teacher_accuracy is None or self.student_accuracy is None:
+            return None
+        return self.teacher_accuracy - self.student_accuracy
+
+
+def fidelity_report(teacher, student, X, y=None) -> FidelityReport:
+    """Evaluate the extraction on held-out inputs (optionally labeled)."""
+    X = np.asarray(X, dtype=float)
+    teacher_pred = np.asarray(teacher.predict(X), dtype=int)
+    student_pred = np.asarray(student.predict(X), dtype=int)
+    teacher_acc = student_acc = None
+    if y is not None:
+        y = np.asarray(y, dtype=int)
+        teacher_acc = float(np.mean(teacher_pred == y))
+        student_acc = float(np.mean(student_pred == y))
+    try:
+        p_fid = proba_fidelity(teacher.predict_proba(X),
+                               student.predict_proba(X))
+    except (AttributeError, ValueError):
+        p_fid = fidelity(teacher_pred, student_pred)
+    return FidelityReport(
+        label_fidelity=fidelity(teacher_pred, student_pred),
+        probability_fidelity=p_fid,
+        teacher_accuracy=teacher_acc,
+        student_accuracy=student_acc,
+    )

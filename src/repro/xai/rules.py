@@ -1,0 +1,124 @@
+"""Decision trees as ordered rule lists.
+
+Operators read rules, not trees.  Each root-to-leaf path becomes one
+rule; rules are ordered by leaf support so the most common behaviours
+read first.  The rule list is also the canonical intermediate form on
+the way to match-action tables (:mod:`repro.deploy.compiler` consumes
+the same paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.learning.models.tree import DecisionTreeClassifier, TreeNode
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One clause: feature <= threshold or feature > threshold."""
+
+    feature: int
+    op: str          # "<=" or ">"
+    threshold: float
+
+    def render(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        name = (feature_names[self.feature]
+                if feature_names is not None else f"x{self.feature}")
+        return f"{name} {self.op} {self.threshold:.4g}"
+
+    def matches(self, x) -> bool:
+        value = x[self.feature]
+        return value <= self.threshold if self.op == "<=" \
+            else value > self.threshold
+
+
+@dataclass
+class Rule:
+    """Conjunction of conditions implying a class."""
+
+    conditions: Tuple[Condition, ...]
+    predicted_class: int
+    support: int
+    confidence: float
+
+    def matches(self, x) -> bool:
+        return all(c.matches(x) for c in self.conditions)
+
+    def render(self, feature_names: Optional[Sequence[str]] = None,
+               class_names: Optional[Sequence[str]] = None) -> str:
+        if self.conditions:
+            body = " AND ".join(c.render(feature_names)
+                                for c in self.conditions)
+        else:
+            body = "TRUE"
+        target = (class_names[self.predicted_class]
+                  if class_names is not None else str(self.predicted_class))
+        return (f"IF {body} THEN {target} "
+                f"(support={self.support}, conf={self.confidence:.2f})")
+
+
+@dataclass
+class RuleList:
+    """Ordered rules; first match wins (rules from one tree are disjoint)."""
+
+    rules: List[Rule]
+    feature_names: Optional[List[str]] = None
+    class_names: Optional[List[str]] = None
+
+    def predict_one(self, x) -> int:
+        for rule in self.rules:
+            if rule.matches(x):
+                return rule.predicted_class
+        # Disjoint total rules from a tree always match; this is for
+        # hand-edited lists.
+        return self.rules[-1].predicted_class if self.rules else 0
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return np.asarray([self.predict_one(x) for x in X], dtype=int)
+
+    def render(self) -> str:
+        return "\n".join(
+            rule.render(self.feature_names, self.class_names)
+            for rule in self.rules
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def tree_to_rules(tree: DecisionTreeClassifier,
+                  feature_names: Optional[Sequence[str]] = None,
+                  class_names: Optional[Sequence[str]] = None) -> RuleList:
+    """Convert a fitted tree into a support-ordered rule list."""
+    rules: List[Rule] = []
+
+    def walk(node: TreeNode, conditions: Tuple[Condition, ...]) -> None:
+        if node.is_leaf:
+            counts = node.value
+            total = counts.sum()
+            predicted = int(np.argmax(counts))
+            confidence = float(counts[predicted] / total) if total > 0 else 0.0
+            rules.append(Rule(
+                conditions=conditions,
+                predicted_class=predicted,
+                support=int(node.n_samples),
+                confidence=confidence,
+            ))
+            return
+        walk(node.left, conditions + (
+            Condition(node.feature, "<=", node.threshold),))
+        walk(node.right, conditions + (
+            Condition(node.feature, ">", node.threshold),))
+
+    walk(tree.root_, ())
+    rules.sort(key=lambda r: r.support, reverse=True)
+    return RuleList(
+        rules=rules,
+        feature_names=list(feature_names) if feature_names else None,
+        class_names=list(class_names) if class_names else None,
+    )

@@ -1,0 +1,68 @@
+"""Reporting tables and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, bootstrap_ci, format_number, mean_std, \
+    summarize
+
+
+class TestFormatNumber:
+    def test_ints_with_suffixes(self):
+        assert format_number(5) == "5"
+        assert format_number(25_000) == "25.0k"
+        assert format_number(3_200_000) == "3.20M"
+        assert format_number(2_500_000_000) == "2.50G"
+
+    def test_floats(self):
+        assert format_number(0.125) == "0.125"
+        assert format_number(1.0) == "1"
+        assert format_number(1e-9) == "1.00e-09"
+
+    def test_none_and_bool(self):
+        assert format_number(None) == "-"
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.row("alpha", 1)
+        table.row("b", 123_456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "=== demo ==="
+        assert len({len(line) for line in lines[1:]}) == 1   # aligned
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.row(1)
+
+
+class TestStats:
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        assert mean_std([]) == (0.0, 0.0)
+        assert mean_std([5.0])[1] == 0.0
+
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(values, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_bootstrap_degenerate(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_summarize_keys_and_values(self):
+        summary = summarize([1, 2, 3, 4, 100])
+        assert summary["n"] == 5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == 3.0

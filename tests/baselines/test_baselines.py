@@ -1,0 +1,109 @@
+"""Thresholds, sampled NetFlow, and workflow cost baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NetFlowSampler,
+    ThresholdDetector,
+    ThresholdRule,
+    bottom_up_iteration_cost,
+    sampled_dataset,
+    top_down_iteration_cost,
+)
+from repro.learning.features import FEATURE_NAMES
+
+
+class TestThreshold:
+    def _vector(self, **overrides):
+        values = {name: 0.0 for name in FEATURE_NAMES}
+        values.update(overrides)
+        return np.asarray([[values[name] for name in FEATURE_NAMES]])
+
+    def test_fires_when_all_rules_met(self):
+        detector = ThresholdDetector()
+        hot = self._vector(dns_fraction=0.95, bytes_in_out_ratio=50.0,
+                           pkt_rate=200.0)
+        assert detector.predict(hot)[0] == 1
+
+    def test_quiet_when_any_rule_unmet(self):
+        detector = ThresholdDetector()
+        cold = self._vector(dns_fraction=0.95, bytes_in_out_ratio=50.0,
+                            pkt_rate=1.0)
+        assert detector.predict(cold)[0] == 0
+
+    def test_inverted_rule(self):
+        detector = ThresholdDetector(rules=[
+            ThresholdRule("mean_ttl", 30.0, invert=True)])
+        assert detector.predict(self._vector(mean_ttl=20.0))[0] == 1
+        assert detector.predict(self._vector(mean_ttl=60.0))[0] == 0
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            ThresholdDetector(rules=[ThresholdRule("nope", 1.0)])
+
+    def test_proba_is_hard(self):
+        detector = ThresholdDetector()
+        proba = detector.predict_proba(self._vector())
+        assert proba.tolist() == [[1.0, 0.0]]
+
+    def test_fit_is_noop(self):
+        detector = ThresholdDetector()
+        assert detector.fit(None, None) is detector
+
+
+class TestNetFlow:
+    def _packets(self, n=1000):
+        from repro.netsim.packets import PacketRecord
+
+        return [PacketRecord(
+            timestamp=i * 0.01, src_ip="9.9.9.9", dst_ip="10.0.0.1",
+            src_port=53, dst_port=4444, protocol=17, size=1000,
+            payload_len=972, flags=0, ttl=60, payload=b"data",
+            flow_id=1, app="dns", label="benign", direction="in",
+        ) for i in range(n)]
+
+    def test_rate_one_keeps_all(self):
+        sampler = NetFlowSampler(sampling_rate=1)
+        kept = sampler.sample(self._packets(100))
+        assert len(kept) == 100
+
+    def test_sampling_rate_statistics(self):
+        sampler = NetFlowSampler(sampling_rate=10, seed=1)
+        kept = sampler.sample(self._packets(5000))
+        assert len(kept) == pytest.approx(500, rel=0.25)
+
+    def test_payload_removed(self):
+        sampler = NetFlowSampler(sampling_rate=2, seed=1)
+        kept = sampler.sample(self._packets(100))
+        assert all(p.payload == b"" for p in kept)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            NetFlowSampler(sampling_rate=0)
+
+    def test_sampled_dataset_scales_counts(self):
+        packets = self._packets(1000)
+        full = sampled_dataset(list(packets), None, sampling_rate=1)
+        sampled = sampled_dataset(list(self._packets(1000)), None,
+                                  sampling_rate=8, seed=3)
+        pkt_index = FEATURE_NAMES.index("pkts")
+        # count features are re-inflated to comparable magnitude
+        assert sampled.X[:, pkt_index].sum() == pytest.approx(
+            full.X[:, pkt_index].sum(), rel=0.4)
+
+
+class TestWorkflowCosts:
+    def test_bottom_up_recollects_every_iteration(self):
+        cost = bottom_up_iteration_cost(iterations=5, day_length_s=86_400,
+                                        compute_seconds=10.0)
+        assert cost.collection_runs == 5
+        assert cost.collection_days == pytest.approx(5.0)
+        assert cost.dominated_by_collection
+
+    def test_top_down_collects_once(self):
+        cost = top_down_iteration_cost(iterations=5, day_length_s=86_400,
+                                       compute_seconds=10.0)
+        assert cost.collection_runs == 1
+        assert cost.collection_days == pytest.approx(1.0)
+        assert not cost.dominated_by_collection

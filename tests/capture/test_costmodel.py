@@ -1,0 +1,50 @@
+"""Capture cost model vs the paper's §5 anchors."""
+
+import pytest
+
+from repro.capture.costmodel import CaptureCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CaptureCostModel()
+
+
+def test_paper_anchor_a_few_hundred_k(model):
+    """'a typical campus network (10 Gbps upstream, ~a week of data)
+    can deploy this technology today for a few $100K'."""
+    estimate = model.estimate(link_gbps=10.0, utilization=0.35,
+                              retention_days=7.0)
+    assert 50_000 <= estimate.total_usd <= 300_000
+
+
+def test_cost_proportional_to_link_speed(model):
+    one = model.estimate(link_gbps=10.0)
+    two = model.estimate(link_gbps=20.0)
+    assert two.total_usd == pytest.approx(2 * one.total_usd, rel=0.01)
+
+
+def test_storage_proportional_to_retention(model):
+    week = model.estimate(retention_days=7.0)
+    month = model.estimate(retention_days=28.0)
+    assert month.storage_tb == pytest.approx(4 * week.storage_tb, rel=0.01)
+    # appliance cost does not change with retention
+    assert month.appliance_usd == week.appliance_usd
+
+
+def test_bytes_per_day_arithmetic(model):
+    # 10 Gbps at 100%: 1.25 GB/s * 86400 s = 108 TB/day
+    assert model.bytes_per_day(10.0, 1.0) == pytest.approx(108e12)
+
+
+def test_metadata_overhead_accounted(model):
+    estimate = model.estimate()
+    assert estimate.metadata_overhead_tb > 0
+    assert estimate.metadata_overhead_tb < estimate.storage_tb
+
+
+def test_utilization_bounds(model):
+    with pytest.raises(ValueError):
+        model.bytes_per_day(10.0, 1.5)
+    with pytest.raises(ValueError):
+        model.bytes_per_day(10.0, -0.1)

@@ -1,0 +1,85 @@
+"""Flow assembly from packets."""
+
+import pytest
+
+from repro.capture.flows import FlowAssembler, FlowRecord
+from repro.netsim.packets import PacketRecord, TcpFlags
+
+
+def _pkt(ts, src, dst, sport, dport, size=1000, flags=0, proto=6,
+         label="benign", flow_id=1):
+    return PacketRecord(
+        timestamp=ts, src_ip=src, dst_ip=dst, src_port=sport,
+        dst_port=dport, protocol=proto, size=size, payload_len=size - 40,
+        flags=flags, ttl=64, payload=b"", flow_id=flow_id, app="web",
+        label=label, direction="out",
+    )
+
+
+def test_bidirectional_assembly():
+    asm = FlowAssembler()
+    asm.add_packet(_pkt(0.0, "10.0.0.1", "8.8.8.8", 1234, 443,
+                        flags=int(TcpFlags.SYN)))
+    asm.add_packet(_pkt(0.1, "8.8.8.8", "10.0.0.1", 443, 1234, size=4000))
+    asm.add_packet(_pkt(0.2, "10.0.0.1", "8.8.8.8", 1234, 443, size=200))
+    records = asm.flush()
+    assert len(records) == 1
+    r = records[0]
+    assert r.src_ip == "10.0.0.1"           # initiator
+    assert r.packets_fwd == 2 and r.packets_rev == 1
+    assert r.bytes_fwd == 1200 and r.bytes_rev == 4000
+    assert r.syn_count == 1
+    assert r.duration == pytest.approx(0.2)
+
+
+def test_distinct_five_tuples_distinct_flows():
+    asm = FlowAssembler()
+    asm.add_packet(_pkt(0.0, "10.0.0.1", "8.8.8.8", 1234, 443))
+    asm.add_packet(_pkt(0.0, "10.0.0.1", "8.8.8.8", 1235, 443))
+    assert len(asm.flush()) == 2
+
+
+def test_idle_timeout_splits_flow():
+    asm = FlowAssembler(idle_timeout_s=10.0)
+    asm.add_packet(_pkt(0.0, "10.0.0.1", "8.8.8.8", 1234, 443))
+    asm.add_packet(_pkt(100.0, "10.0.0.1", "8.8.8.8", 1234, 443))
+    assert len(asm.flush()) == 2
+
+
+def test_label_propagates_from_any_packet():
+    asm = FlowAssembler()
+    asm.add_packet(_pkt(0.0, "9.9.9.9", "10.0.0.1", 53, 4444))
+    asm.add_packet(_pkt(0.1, "9.9.9.9", "10.0.0.1", 53, 4444,
+                        label="ddos-dns-amp"))
+    assert asm.flush()[0].label == "ddos-dns-amp"
+
+
+def test_service_and_byte_ratio():
+    r = FlowRecord(src_ip="a", dst_ip="b", src_port=50000, dst_port=53,
+                   protocol=17, first_seen=0, last_seen=1,
+                   bytes_fwd=100, bytes_rev=4000)
+    assert r.service == "dns"
+    assert r.byte_ratio == pytest.approx(40.0)
+    zero = FlowRecord(src_ip="a", dst_ip="b", src_port=1, dst_port=2,
+                      protocol=6, first_seen=0, last_seen=0,
+                      bytes_fwd=0, bytes_rev=500)
+    assert zero.service == "other"
+    assert zero.byte_ratio == 500.0
+
+
+def test_records_nondestructive_vs_flush():
+    asm = FlowAssembler()
+    asm.add_packet(_pkt(0.0, "10.0.0.1", "8.8.8.8", 1234, 443))
+    assert len(asm.records()) == 1
+    assert len(asm.records()) == 1        # still there
+    assert len(asm.flush()) == 1
+    assert asm.records() == asm.finished
+
+
+def test_min_ttl_tracked():
+    asm = FlowAssembler()
+    p1 = _pkt(0.0, "10.0.0.1", "8.8.8.8", 1234, 443)
+    p2 = _pkt(0.1, "10.0.0.1", "8.8.8.8", 1234, 443)
+    p2.ttl = 40
+    asm.add_packets([p1, p2])
+    assert asm.flush()[0].min_ttl == 40

@@ -1,0 +1,99 @@
+"""On-the-fly metadata extraction."""
+
+import pytest
+
+from repro.capture.metadata import MetadataExtractor
+from repro.netsim import make_campus
+from repro.netsim.flows import Flow
+from repro.netsim.packets import FiveTuple, PacketRecord
+from repro.netsim.traffic.payloads import (
+    dns_amplification_payload,
+    dns_query_payload,
+    http_payload,
+    ssh_payload,
+    tls_payload,
+)
+
+
+def _packet(payload, sport=40000, dport=443, proto=6, direction="out",
+            src="10.1.0.10", dst="93.184.216.34"):
+    return PacketRecord(
+        timestamp=0.0, src_ip=src, dst_ip=dst, src_port=sport,
+        dst_port=dport, protocol=proto, size=1500, payload_len=1460,
+        flags=0, ttl=64, payload=payload, flow_id=5, app="x",
+        label="benign", direction=direction,
+    )
+
+
+def _flow(fid=5):
+    return Flow(flow_id=fid, key=FiveTuple("a", "b", 1, 2, 17),
+                src_node="a", dst_node="b", size_bytes=100)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return MetadataExtractor()
+
+
+def test_dns_query_tags(extractor):
+    payload = dns_query_payload(_flow(), 0, "fwd")
+    tags = extractor.extract(_packet(payload, sport=40000, dport=53,
+                                     proto=17))
+    assert tags["app_proto"] == "dns"
+    assert tags["dns_qr"] == "query"
+    assert "dns_qname" in tags
+    assert tags["service"] == "dns"
+
+
+def test_dns_any_response_tags(extractor):
+    payload = dns_amplification_payload(_flow(), 0, "rev")
+    # reversed direction: wire packet from resolver port 53
+    tags = extractor.extract(_packet(payload, sport=53, dport=40000,
+                                     proto=17, direction="in"))
+    assert tags["dns_qr"] == "response"
+
+
+def test_dns_any_query_qtype(extractor):
+    payload = dns_amplification_payload(_flow(), 0, "fwd")
+    tags = extractor.extract(_packet(payload, sport=40000, dport=53,
+                                     proto=17))
+    assert tags["dns_qtype"] == "ANY"
+
+
+def test_tls_sni(extractor):
+    payload = tls_payload(_flow(), 0, "fwd")
+    tags = extractor.extract(_packet(payload))
+    assert tags["app_proto"] == "tls"
+    assert tags["tls_record"] == "client_hello"
+    assert "." in tags.get("tls_sni", "")
+
+
+def test_http_tags(extractor):
+    payload = http_payload(_flow(), 0, "fwd")
+    tags = extractor.extract(_packet(payload, dport=80))
+    assert tags["app_proto"] == "http"
+    assert tags["http_method"] == "GET"
+    assert "http_host" in tags
+
+
+def test_ssh_banner(extractor):
+    tags = extractor.extract(_packet(ssh_payload(_flow(), 0, "fwd"),
+                                     dport=22))
+    assert tags["app_proto"] == "ssh"
+    assert tags["ssh_banner"].startswith("SSH-2.0")
+
+
+def test_empty_payload_basic_tags(extractor):
+    tags = extractor.extract(_packet(b""))
+    assert tags["proto"] == "tcp"
+    assert tags["direction"] == "out"
+    assert "app_proto" not in tags
+
+
+def test_department_attribution():
+    net = make_campus("tiny", seed=1)
+    extractor = MetadataExtractor(net.topology)
+    host = net.topology.hosts[0]
+    ip = net.topology.ip(host)
+    tags = extractor.extract(_packet(b"", src=ip, direction="out"))
+    assert tags.get("department") == net.topology.department(host)

@@ -1,0 +1,81 @@
+"""Capture file format round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capture.pcapng import PcapFormatError, iter_packets, \
+    read_packets, write_packets
+from repro.netsim.packets import PacketRecord
+
+
+def _packet(ts=1.5, payload=b"\x16\x03\x03hello", app="web",
+            label="benign", direction="out"):
+    return PacketRecord(
+        timestamp=ts, src_ip="10.1.0.10", dst_ip="93.184.216.34",
+        src_port=40001, dst_port=443, protocol=6, size=1500,
+        payload_len=1460, flags=0x18, ttl=64, payload=payload,
+        flow_id=77, app=app, label=label, direction=direction,
+    )
+
+
+def test_round_trip_single(tmp_path):
+    path = tmp_path / "one.rpcp"
+    original = _packet()
+    write_packets(path, [original])
+    restored = read_packets(path)
+    assert len(restored) == 1
+    got = restored[0]
+    for attr in ("timestamp", "src_ip", "dst_ip", "src_port", "dst_port",
+                 "protocol", "size", "payload_len", "flags", "ttl",
+                 "payload", "flow_id", "app", "label", "direction"):
+        assert getattr(got, attr) == getattr(original, attr)
+
+
+def test_round_trip_many_and_streaming(tmp_path):
+    path = tmp_path / "many.rpcp"
+    originals = [_packet(ts=float(i)) for i in range(500)]
+    size = write_packets(path, originals)
+    assert size > 500 * 40
+    streamed = list(iter_packets(path))
+    assert [p.timestamp for p in streamed] == [float(i) for i in range(500)]
+
+
+def test_empty_file_round_trip(tmp_path):
+    path = tmp_path / "empty.rpcp"
+    write_packets(path, [])
+    assert read_packets(path) == []
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.rpcp"
+    path.write_bytes(b"NOPE\x01\x00\x00\x00")
+    with pytest.raises(PcapFormatError):
+        read_packets(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "trunc.rpcp"
+    write_packets(path, [_packet()])
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(PcapFormatError):
+        read_packets(path)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ts=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    payload=st.binary(max_size=64),
+    label=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=20,
+    ),
+)
+def test_property_round_trip(tmp_path_factory, ts, payload, label):
+    path = tmp_path_factory.mktemp("pcap") / "prop.rpcp"
+    original = _packet(ts=ts, payload=payload, label=label)
+    write_packets(path, [original])
+    got = read_packets(path)[0]
+    assert got.timestamp == ts
+    assert got.payload == payload
+    assert got.label == label

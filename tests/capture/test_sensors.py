@@ -1,0 +1,71 @@
+"""Complementary sensors: server logs, firewall, config snapshots."""
+
+import pytest
+
+from repro.capture.sensors import ConfigSnapshotSource, FirewallSensor, \
+    ServerLogSensor
+from repro.events import GroundTruth, PortScanAttack, SshBruteForceAttack
+from repro.netsim import make_campus
+
+
+def test_bruteforce_produces_auth_fail_lines():
+    net = make_campus("tiny", seed=30)
+    sensor = ServerLogSensor(net, seed=1)
+    gt = GroundTruth()
+    attack = SshBruteForceAttack(net, gt, seed=2, attempts_per_s=5.0)
+    attack.schedule(net.now + 1.0, 10.0)
+    net.run_until(net.now + 15.0)
+    net.finish()
+    fails = [r for r in sensor.records if r.kind == "auth-fail"]
+    assert len(fails) >= 30
+    attacker_ip = net.topology.ip(attack.attacker)
+    assert all(r.attrs["src_ip"] == attacker_ip for r in fails)
+    assert all("Failed password" in r.message for r in fails)
+
+
+def test_firewall_logs_blocked_ports():
+    net = make_campus("tiny", seed=31)
+    sensor = FirewallSensor(net)
+    gt = GroundTruth()
+    PortScanAttack(net, gt, seed=2, probes_per_s=30.0,
+                   ports=[23, 445, 80]).schedule(net.now + 1.0, 10.0)
+    net.run_until(net.now + 15.0)
+    net.finish()
+    blocked = [r for r in sensor.records if r.kind == "conn-blocked"]
+    assert blocked
+    assert all(int(r.attrs["dst_port"]) in FirewallSensor.BLOCKED_PORTS
+               for r in blocked)
+    # port 80 probes must not appear
+    assert all(r.attrs["dst_port"] != "80" for r in blocked)
+
+
+def test_firewall_ignores_internal_traffic():
+    net = make_campus("tiny", seed=32)
+    sensor = FirewallSensor(net)
+    net.inject_flow(net.make_flow("h0_0_0", "srv0", size_bytes=1e4,
+                                  dst_port=445))
+    net.run_for(10.0)
+    net.finish()
+    assert sensor.records == []
+
+
+def test_config_snapshots_periodic():
+    net = make_campus("tiny", seed=33)
+    sensor = ConfigSnapshotSource(net, interval_s=10.0)
+    sensor.start()
+    n_links = len(net.links)
+    net.run_for(25.0)
+    snapshots = [r for r in sensor.records if r.kind == "snapshot"]
+    assert len(snapshots) == 3 * n_links     # t=0, 10, 20
+
+
+def test_sensor_subscription():
+    net = make_campus("tiny", seed=34)
+    sensor = ServerLogSensor(net, seed=1)
+    received = []
+    sensor.subscribe(received.append)
+    gt = GroundTruth()
+    SshBruteForceAttack(net, gt, seed=2).schedule(net.now + 1.0, 5.0)
+    net.run_until(net.now + 10.0)
+    net.finish()
+    assert received == sensor.records

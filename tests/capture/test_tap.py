@@ -1,0 +1,34 @@
+"""Border tap wiring."""
+
+from repro.capture.engine import CaptureEngine
+from repro.capture.tap import BorderTap
+from repro.netsim import make_campus
+
+
+def test_tap_defaults_to_border_link():
+    net = make_campus("tiny", seed=40)
+    tap = BorderTap(net)
+    assert tap.link == net.topology.border_link
+
+
+def test_tap_feeds_engine_and_subscribers():
+    net = make_campus("tiny", seed=41)
+    tap = BorderTap(net, CaptureEngine())
+    received = []
+    tap.subscribe(lambda batch: received.extend(batch))
+    net.inject_flow(net.make_flow("h0_0_0", "inet0", size_bytes=1e5))
+    net.run_for(30.0)
+    net.finish()
+    assert received
+    assert tap.engine.stats.packets_captured == len(received)
+
+
+def test_tap_on_internal_link_sees_internal_flows():
+    net = make_campus("tiny", seed=42)
+    tap = BorderTap(net, link=("acc0_0", "dist0"))
+    received = []
+    tap.subscribe(lambda batch: received.extend(batch))
+    net.inject_flow(net.make_flow("h0_0_0", "srv0", size_bytes=1e5))
+    net.run_for(30.0)
+    net.finish()
+    assert received

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Expensive artifacts (a collected campus day, a trained dataset) are
+session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CampusPlatform, PlatformConfig
+from repro.events import (
+    DnsAmplificationAttack,
+    PortScanAttack,
+    Scenario,
+    SshBruteForceAttack,
+)
+from repro.netsim import make_campus
+
+
+def attack_day_scenario(duration_s: float = 150.0) -> Scenario:
+    """The canonical mixed-attack day used across tests.
+
+    Event offsets scale with the requested duration so shortened days
+    stay valid.
+    """
+    scenario = Scenario("attack-day", duration_s=duration_s)
+    scale = duration_s / 150.0
+    scenario.add(DnsAmplificationAttack, 20.0 * scale, 15.0 * scale,
+                 attack_gbps=0.1)
+    scenario.add(PortScanAttack, 60.0 * scale, 20.0 * scale,
+                 probes_per_s=40.0)
+    scenario.add(SshBruteForceAttack, 100.0 * scale, 30.0 * scale,
+                 attempts_per_s=4.0)
+    return scenario
+
+
+@pytest.fixture
+def tiny_network():
+    return make_campus("tiny", seed=42)
+
+
+@pytest.fixture(scope="session")
+def collected_platform():
+    """A platform with one attack day already in its data store."""
+    platform = CampusPlatform(PlatformConfig(campus_profile="tiny", seed=7))
+    platform.collect(attack_day_scenario(), seed=7)
+    return platform
+
+
+@pytest.fixture(scope="session")
+def attack_dataset(collected_platform):
+    """Window features + labels from the collected day."""
+    return collected_platform.build_dataset()
+
+
+@pytest.fixture(scope="session")
+def separable_data():
+    """A synthetic, clearly-learnable binary task (n=600, d=8)."""
+    rng = np.random.default_rng(0)
+    X = np.abs(rng.normal(size=(600, 8)))
+    y = ((X[:, 0] > 1.0) | ((X[:, 2] > 0.8) & (X[:, 5] > 0.8))).astype(int)
+    return X, y

@@ -1,0 +1,67 @@
+"""The command-line interface (fast paths only)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def exported_day(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "day"
+    code = main([
+        "run-day", "--profile", "tiny", "--seed", "5",
+        "--duration", "120", "--attack", "dns-amp",
+        "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+def test_profiles_lists_known(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny" in out and "research" in out
+
+
+def test_run_day_exports(exported_day, capsys):
+    assert (exported_day / "manifest.json").exists()
+    assert (exported_day / "packets.rpcp").exists()
+    manifest = json.loads((exported_day / "manifest.json").read_text())
+    assert manifest["counts"]["packets"] > 100
+
+
+def test_inspect(exported_day, capsys):
+    assert main(["inspect", "--store", str(exported_day)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["packets"]["records"] > 100
+
+
+def test_train_from_store(exported_day, capsys):
+    code = main(["train", "--store", str(exported_day),
+                 "--model", "tree", "--positive", "ddos-dns-amp"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accuracy=" in out
+
+
+def test_develop_emits_artifacts(exported_day, tmp_path, capsys):
+    out_dir = tmp_path / "tool"
+    code = main(["develop", "--store", str(exported_day),
+                 "--positive", "ddos-dns-amp", "--teacher", "tree",
+                 "--out", str(out_dir)])
+    assert code == 0
+    assert (out_dir / "tool.p4").read_text().startswith("/*")
+    assert "THEN" in (out_dir / "rules.txt").read_text()
+
+
+def test_develop_unknown_class_fails(exported_day, tmp_path, capsys):
+    code = main(["develop", "--store", str(exported_day),
+                 "--positive", "martians", "--out", str(tmp_path / "x")])
+    assert code == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,75 @@
+"""The slow development loop (Figure 2, steps i-iv)."""
+
+import pytest
+
+from repro.core import DevelopmentLoop
+from repro.core.devloop import make_roadtest_factory
+from repro.deploy.switch import SwitchConfig
+from repro.testbed import Guardrail
+from tests.conftest import attack_day_scenario
+
+
+@pytest.fixture(scope="module")
+def developed(attack_dataset):
+    loop = DevelopmentLoop(teacher_name="forest", student_max_depth=4)
+    tool, report = loop.develop(attack_dataset.binarize("ddos-dns-amp"),
+                                tool_name="amp-detector", seed=1)
+    return tool, report
+
+
+def test_teacher_trained_and_scored(developed):
+    _, report = developed
+    assert report.teacher_result.metrics["accuracy"] > 0.8
+    assert report.stage_seconds["train_teacher"] > 0
+
+
+def test_student_distilled_with_fidelity(developed):
+    _, report = developed
+    assert report.holdout_fidelity.label_fidelity > 0.8
+    assert report.distillation.depth <= 4
+
+
+def test_compiled_and_fits_switch(developed):
+    tool, report = developed
+    assert report.resource_fit.fits
+    assert tool.compiled.n_entries >= 1
+    assert "control Classify" in tool.p4_source
+    assert len(tool.rules) == tool.compiled.n_entries or \
+        len(tool.rules) >= tool.compiled.n_entries
+
+
+def test_no_roadtest_means_ready(developed):
+    _, report = developed
+    assert report.roadtest is None
+    assert report.ready
+
+
+def test_bus_trace(attack_dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    loop.develop(attack_dataset.binarize("ddos-dns-amp"), seed=2)
+    topics = loop.bus.topics_seen()
+    assert topics == ["devloop:trained", "devloop:distilled",
+                      "devloop:compiled"]
+
+
+def test_full_loop_with_roadtest(collected_platform, attack_dataset):
+    loop = DevelopmentLoop(teacher_name="forest", student_max_depth=4)
+    factory = make_roadtest_factory(
+        collected_platform,
+        lambda seed: attack_day_scenario(duration_s=90.0),
+        SwitchConfig(window_s=5.0, grace_s=2.0),
+        guardrails=[Guardrail("recall-floor", "recall", 0.05, "min")],
+    )
+    tool, report = loop.develop(
+        attack_dataset.binarize("ddos-dns-amp"),
+        roadtest_factory=factory, seed=3)
+    assert report.roadtest is not None
+    assert len(report.roadtest.phases) >= 1
+    assert "roadtest" in report.stage_seconds
+
+
+def test_deploy_produces_running_switch(developed, collected_platform):
+    tool, _ = developed
+    network = collected_platform.fresh_network(seed=55)
+    switch = tool.deploy(network)
+    assert switch.result is tool.compiled

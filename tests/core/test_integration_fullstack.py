@@ -1,0 +1,89 @@
+"""Full-stack integration: everything the paper's Figure 1+2 wires up,
+in one test module, on one small campus.
+
+These tests are deliberately end-to-end (slower, coarser assertions);
+they exist to catch wiring regressions that unit tests can't see.
+"""
+
+import pytest
+
+from repro.core import CampusPlatform, ControlLoopHarness, \
+    DevelopmentLoop, PlatformConfig
+from repro.core.devloop import make_roadtest_factory
+from repro.datastore import Query, export_store, import_store
+from repro.deploy.switch import SwitchConfig
+from repro.events import make_scenario
+from repro.learning.features import FeatureConfig, SourceWindowFeaturizer
+from repro.testbed import Guardrail
+from repro.xai import explain_decision
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """Platform + collected security day + developed+roadtested tool."""
+    platform = CampusPlatform(PlatformConfig(campus_profile="tiny",
+                                             seed=90))
+    collection = platform.collect(make_scenario("security", 200.0),
+                                  seed=90)
+    dataset = platform.build_dataset().binarize("ddos-dns-amp")
+    loop = DevelopmentLoop(teacher_name="forest", student_max_depth=4)
+    factory = make_roadtest_factory(
+        platform, lambda seed: make_scenario("ddos", 150.0),
+        SwitchConfig(window_s=5.0, grace_s=2.0),
+        guardrails=[Guardrail("recall-floor", "recall", 0.1, "min")],
+    )
+    tool, report = loop.develop(dataset, tool_name="integration-tool",
+                                roadtest_factory=factory, seed=90)
+    return platform, collection, dataset, tool, report
+
+
+def test_collection_spans_all_sources(stack):
+    platform, collection, *_ = stack
+    assert collection.packets_captured > 1000
+    assert platform.store.count("flows") > 50
+    assert platform.store.count("logs") > 5
+    # every §2 attack class got labeled windows
+    labels = {w.label
+              for w in collection.ground_truth.windows}
+    assert {"ddos-dns-amp", "port-scan", "ssh-bruteforce",
+            "exfiltration"} <= labels
+
+
+def test_devloop_artifacts_complete(stack):
+    *_, tool, report = stack
+    assert report.teacher_result.metrics["accuracy"] > 0.7
+    assert report.resource_fit.fits
+    assert report.roadtest is not None
+    assert "control Classify" in tool.p4_source
+    assert len(tool.rules) >= 1
+
+
+def test_roadtested_tool_closes_the_loop(stack):
+    platform, _, _, tool, report = stack
+    if not report.roadtest.deployed:
+        pytest.skip("tool did not pass road-test at this seed")
+    harness = ControlLoopHarness(
+        tool, lambda seed: make_scenario("ddos", 150.0),
+        lambda seed: platform.fresh_network(seed))
+    live = harness.run(seed=91)
+    assert live.detections > 0
+    assert live.attack_admitted_fraction < 1.0
+
+
+def test_evidence_available_for_any_window(stack):
+    _, _, dataset, tool, _ = stack
+    evidence = explain_decision(tool.student, dataset.X[0],
+                                feature_names=tool.feature_names,
+                                class_names=tool.class_names)
+    assert evidence.predicted_label in tool.class_names
+    assert evidence.render()
+
+
+def test_store_round_trip_preserves_research_surface(stack, tmp_path):
+    platform, *_ = stack
+    export_store(platform.store, tmp_path / "campus")
+    restored = import_store(tmp_path / "campus")
+    featurizer = SourceWindowFeaturizer(FeatureConfig(window_s=5.0))
+    dataset = featurizer.from_store(restored)
+    assert len(dataset) > 10
+    assert "ddos-dns-amp" in dataset.class_names

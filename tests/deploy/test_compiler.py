@@ -1,0 +1,113 @@
+"""Tree-to-table compilation: semantic equivalence and cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deploy.compiler import (
+    FeatureQuantizer,
+    classify,
+    compile_tree,
+)
+from repro.learning.models import DecisionTreeClassifier
+
+
+def _task(seed=0, n=400, d=5, classes=2):
+    rng = np.random.default_rng(seed)
+    X = np.abs(rng.normal(size=(n, d))) * (10.0 ** rng.integers(0, 4, size=d))
+    if classes == 2:
+        y = (X[:, 0] > np.median(X[:, 0])).astype(int)
+    else:
+        y = ((X[:, 0] > np.median(X[:, 0])).astype(int)
+             + (X[:, 1] > np.median(X[:, 1])).astype(int))
+    return X, y
+
+
+class TestQuantizer:
+    def test_roundtrip_monotone(self):
+        X, _ = _task()
+        q = FeatureQuantizer.for_features(X)
+        for x in X[:50]:
+            qx = q.quantize(x)
+            assert all(0 <= v <= q.max_value for v in qx)
+            back = q.dequantize(qx)
+            assert all(abs(b - v) <= 1.0 / s + 1e-9
+                       for b, v, s in zip(back, x, q.scales))
+
+    def test_quantize_clips_to_width(self):
+        q = FeatureQuantizer(scales=[1.0], width=8)
+        assert q.quantize([1e9]) == [255]
+        assert q.quantize([-5.0]) == [0]
+
+    def test_threshold_quantization_consistent(self):
+        q = FeatureQuantizer(scales=[10.0], width=16)
+        t = 1.25
+        qt = q.quantize_threshold(0, t)
+        # x <= t  <=>  quantize(x) <= qt for the grid points
+        for qv in range(0, 30):
+            x = qv / 10.0
+            assert (x <= t) == (qv <= qt)
+
+
+class TestCompile:
+    def test_entries_bounded_by_leaves(self):
+        X, y = _task()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        q = FeatureQuantizer.for_features(X)
+        result = compile_tree(tree, [f"f{i}" for i in range(X.shape[1])], q)
+        assert result.n_entries <= tree.n_leaves
+        assert result.tcam_entries >= result.n_entries
+        assert result.tcam_bits == result.tcam_entries * \
+            result.key_width_bits
+
+    def test_feature_name_mismatch_rejected(self):
+        X, y = _task()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        q = FeatureQuantizer.for_features(X)
+        with pytest.raises(ValueError):
+            compile_tree(tree, ["only_one"], q)
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(ValueError):
+            compile_tree(DecisionTreeClassifier(), ["a"],
+                         FeatureQuantizer(scales=[1.0]))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), depth=st.integers(1, 6))
+    def test_property_semantic_equivalence(self, seed, depth):
+        """lookup(q(x)) == tree.predict(dequantize(q(x))) exactly."""
+        X, y = _task(seed=seed)
+        tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        q = FeatureQuantizer.for_features(X)
+        names = [f"f{i}" for i in range(X.shape[1])]
+        result = compile_tree(tree, names, q)
+        rng = np.random.default_rng(seed + 1)
+        probes = np.vstack([
+            X[:100],
+            X[:50] * rng.uniform(0.5, 2.0, size=(50, X.shape[1])),
+        ])
+        for x in probes:
+            qx = q.quantize(x)
+            want = int(tree.predict(
+                np.asarray(q.dequantize(qx)).reshape(1, -1))[0])
+            assert classify(result, x) == want
+
+    def test_multiclass_compilation(self):
+        X, y = _task(classes=3)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        q = FeatureQuantizer.for_features(X)
+        names = [f"f{i}" for i in range(X.shape[1])]
+        result = compile_tree(tree, names, q,
+                              class_names=["a", "b", "c"])
+        assert result.program.class_names == ["a", "b", "c"]
+        predictions = {classify(result, x) for x in X[:200]}
+        assert predictions <= {0, 1, 2}
+        assert len(predictions) >= 2
+
+    def test_entry_confidence_recorded(self):
+        X, y = _task()
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        q = FeatureQuantizer.for_features(X)
+        result = compile_tree(tree, [f"f{i}" for i in range(X.shape[1])], q)
+        for entry in result.classify_table.entries:
+            assert 0.0 < entry.params["confidence"] <= 1.0

@@ -1,0 +1,123 @@
+"""Match-action IR semantics and range-to-ternary expansion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deploy.ir import (
+    FieldMatch,
+    MatchActionTable,
+    MatchKind,
+    TableEntry,
+    range_to_ternary,
+    ternary_cost,
+)
+
+
+class TestFieldMatch:
+    def test_exact(self):
+        m = FieldMatch.exact(42)
+        assert m.matches(42) and not m.matches(43)
+
+    def test_ternary(self):
+        m = FieldMatch(kind=MatchKind.TERNARY, value=0b1010, mask=0b1110)
+        assert m.matches(0b1010)
+        assert m.matches(0b1011)      # last bit masked out
+        assert not m.matches(0b0010)
+
+    def test_range(self):
+        m = FieldMatch.range(5, 10)
+        assert m.matches(5) and m.matches(10) and m.matches(7)
+        assert not m.matches(4) and not m.matches(11)
+        with pytest.raises(ValueError):
+            FieldMatch.range(10, 5)
+
+    def test_lpm(self):
+        m = FieldMatch(kind=MatchKind.LPM, value=0x0A000000, prefix_len=8)
+        assert m.matches(0x0A010203, width=32)
+        assert not m.matches(0x0B000000, width=32)
+
+    def test_wildcard(self):
+        m = FieldMatch.wildcard()
+        assert m.matches(0) and m.matches(2**31)
+
+
+class TestTable:
+    def _table(self):
+        table = MatchActionTable(
+            name="t", key_fields=["a", "b"],
+            key_widths={"a": 16, "b": 16},
+            default_action="set_class", default_params={"class_id": 0},
+        )
+        table.add_entry(TableEntry(
+            priority=2, matches={"a": FieldMatch.range(10, 20)},
+            action="set_class", params={"class_id": 1}))
+        table.add_entry(TableEntry(
+            priority=5,
+            matches={"a": FieldMatch.range(15, 25),
+                     "b": FieldMatch.exact(7)},
+            action="set_class", params={"class_id": 2}))
+        return table
+
+    def test_default_on_miss(self):
+        action, params = self._table().lookup({"a": 5, "b": 0})
+        assert params["class_id"] == 0
+
+    def test_priority_wins(self):
+        action, params = self._table().lookup({"a": 18, "b": 7})
+        assert params["class_id"] == 2
+
+    def test_lower_priority_when_high_misses(self):
+        action, params = self._table().lookup({"a": 18, "b": 8})
+        assert params["class_id"] == 1
+
+    def test_unknown_key_rejected(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.add_entry(TableEntry(
+                priority=1, matches={"zzz": FieldMatch.exact(1)},
+                action="set_class"))
+
+    def test_key_width_bits(self):
+        assert self._table().key_width_bits == 32
+
+
+class TestRangeToTernary:
+    def test_known_expansion(self):
+        # [3,12] over 4 bits: 3/1111, 4-7/1100, 8-11/1100, 12/1111
+        covers = range_to_ternary(3, 12, 4)
+        assert covers == [(3, 15), (4, 12), (8, 12), (12, 15)]
+
+    def test_full_range_single_entry(self):
+        assert range_to_ternary(0, 15, 4) == [(0, 0)]
+
+    def test_single_value(self):
+        assert range_to_ternary(7, 7, 4) == [(7, 15)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            range_to_ternary(5, 3, 4)
+        with pytest.raises(ValueError):
+            range_to_ternary(0, 16, 4)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_property_cover_is_exact_and_disjoint(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        covers = range_to_ternary(lo, hi, 8)
+        covered = set()
+        for value, mask in covers:
+            block = {v for v in range(256) if (v & mask) == (value & mask)}
+            assert not block & covered, "overlapping prefix blocks"
+            covered |= block
+        assert covered == set(range(lo, hi + 1))
+        assert len(covers) <= 2 * 8 - 2 or lo == 0 and hi == 255
+
+    def test_ternary_cost_multiplies_ranges(self):
+        entry = TableEntry(
+            priority=0,
+            matches={"a": FieldMatch.range(3, 12),
+                     "b": FieldMatch.range(3, 12),
+                     "c": FieldMatch.exact(1)},
+            action="x")
+        widths = {"a": 4, "b": 4, "c": 4}
+        assert ternary_cost(entry, widths) == 16   # 4 * 4 * 1

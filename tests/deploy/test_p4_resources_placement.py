@@ -1,0 +1,110 @@
+"""P4 emission, switch resource model, placement latency."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    PLACEMENTS,
+    SwitchResourceModel,
+    compile_tree,
+    emit_p4,
+    loop_latency,
+)
+from repro.deploy.compiler import FeatureQuantizer
+from repro.deploy.placement import attack_bytes_before_reaction
+from repro.learning.models import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(2)
+    X = np.abs(rng.normal(size=(300, 4))) * [10, 1000, 1, 100]
+    y = ((X[:, 1] > 900) & (X[:, 2] > 0.5)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    q = FeatureQuantizer.for_features(X)
+    return compile_tree(tree, ["pkts", "bytes", "ratio", "rate"], q,
+                        class_names=["benign", "ddos"])
+
+
+class TestP4Gen:
+    def test_source_structure(self, compiled):
+        source = emit_p4(compiled.program)
+        assert "#include <core.p4>" in source
+        assert "control Classify" in source
+        assert "table classify" in source
+        assert "action set_class" in source
+        assert "apply {" in source
+        for field in compiled.program.feature_fields:
+            assert field.replace(".", "_") in source
+
+    def test_entries_rendered(self, compiled):
+        source = emit_p4(compiled.program)
+        assert source.count("-> set_class") == compiled.n_entries
+
+    def test_metadata_header_comment(self, compiled):
+        source = emit_p4(compiled.program)
+        assert "model: decision_tree" in source
+
+
+class TestResources:
+    def test_single_program_fits(self, compiled):
+        report = SwitchResourceModel().fit([compiled])
+        assert report.fits
+        assert report.programs_placed == 1
+        assert report.bottleneck is None
+        assert 0 < report.tcam_fraction < 1
+
+    def test_scale_claim_hundreds_not_thousands(self, compiled):
+        """§2: data planes cannot run 'hundreds or thousands' of
+        concurrent tasks — the resource model must exhaust well below
+        a few thousand copies of even a small classifier."""
+        model = SwitchResourceModel()
+        max_tasks = model.max_concurrent(compiled)
+        assert 2 <= max_tasks < 2000
+
+    def test_bottleneck_reported(self, compiled):
+        tiny = SwitchResourceModel(tcam_bits_total=compiled.tcam_bits * 2)
+        report = tiny.fit([compiled] * 5)
+        assert not report.fits
+        assert report.bottleneck == "tcam"
+        assert report.programs_placed == 2
+
+    def test_stage_slots_bound(self, compiled):
+        model = SwitchResourceModel(n_stages=1, max_tables_per_stage=2,
+                                    tcam_bits_total=10**12,
+                                    sram_bits_total=10**12)
+        report = model.fit([compiled] * 5)
+        assert report.programs_placed == 2
+        assert report.bottleneck == "stages"
+
+
+class TestPlacement:
+    def test_latency_ordering(self):
+        data = loop_latency("data_plane", sensing_window_s=0.0)
+        ctrl = loop_latency("control_plane", sensing_window_s=0.0)
+        cloud = loop_latency("cloud", sensing_window_s=0.0)
+        assert data < 1e-5          # sub-10us
+        assert ctrl > 100 * data
+        assert cloud > ctrl
+
+    def test_sensing_window_dominates_data_plane(self):
+        with_window = loop_latency("data_plane", sensing_window_s=1.0)
+        assert with_window == pytest.approx(0.5, rel=0.01)
+
+    def test_unknown_placement(self):
+        with pytest.raises(KeyError):
+            loop_latency("edge-of-space")
+
+    def test_attack_bytes_before_reaction_scales(self):
+        slow = attack_bytes_before_reaction("cloud", attack_gbps=10.0,
+                                            sensing_window_s=1.0)
+        fast = attack_bytes_before_reaction("data_plane", attack_gbps=10.0,
+                                            sensing_window_s=1.0)
+        assert slow > fast
+        double = attack_bytes_before_reaction("cloud", attack_gbps=20.0,
+                                              sensing_window_s=1.0)
+        assert double == pytest.approx(2 * slow)
+
+    def test_all_placements_have_constraints(self):
+        for placement in PLACEMENTS.values():
+            assert placement.model_constraint

@@ -1,0 +1,125 @@
+"""Sketch primitives: count-min, Bloom, HyperLogLog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deploy.sketches import BloomFilter, CountMinSketch, HyperLogLog
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        truth = {}
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            key = f"ip{rng.integers(200)}"
+            count = int(rng.integers(1, 10))
+            sketch.add(key, count)
+            truth[key] = truth.get(key, 0) + count
+        for key, value in truth.items():
+            assert sketch.estimate(key) >= value
+
+    def test_error_bound_mostly_holds(self):
+        epsilon, delta = 0.01, 0.01
+        sketch = CountMinSketch(epsilon=epsilon, delta=delta)
+        rng = np.random.default_rng(1)
+        truth = {}
+        for _ in range(5000):
+            key = f"k{rng.integers(1000)}"
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        violations = sum(
+            1 for key, value in truth.items()
+            if sketch.estimate(key) - value > epsilon * sketch.total
+        )
+        assert violations / len(truth) <= delta * 5   # generous slack
+
+    def test_unseen_key_can_be_zero(self):
+        sketch = CountMinSketch(width=4096, depth=4)
+        sketch.add("a")
+        assert sketch.estimate("definitely-not-there") <= 1
+
+    def test_reset(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        sketch.add("x", 10)
+        sketch.reset()
+        assert sketch.estimate("x") == 0
+        assert sketch.total == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=8, depth=2).add("x", -1)
+
+    def test_parameter_sizing(self):
+        sketch = CountMinSketch(epsilon=0.001, delta=0.01)
+        assert sketch.width >= int(np.e / 0.001)
+        assert sketch.depth >= int(np.log(100))
+        assert sketch.sram_bits == sketch.width * sketch.depth * 32
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=1,
+                    max_size=60))
+    def test_property_estimate_at_least_truth(self, keys):
+        sketch = CountMinSketch(width=32, depth=3)
+        for key in keys:
+            sketch.add(key)
+        for key in set(keys):
+            assert sketch.estimate(key) >= keys.count(key)
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        items = [f"item{i}" for i in range(800)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=2000, fp_rate=0.01)
+        for i in range(2000):
+            bloom.add(f"present{i}")
+        fp = sum(1 for i in range(5000) if f"absent{i}" in bloom)
+        assert fp / 5000 < 0.05
+
+    def test_reset(self):
+        bloom = BloomFilter(capacity=100)
+        bloom.add("x")
+        bloom.reset()
+        assert "x" not in bloom
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(fp_rate=1.5)
+
+
+class TestHll:
+    def test_estimate_accuracy(self):
+        hll = HyperLogLog(p=12)
+        n = 20_000
+        for i in range(n):
+            hll.add(f"flow{i}")
+        assert hll.estimate() == pytest.approx(n, rel=0.05)
+
+    def test_duplicates_not_double_counted(self):
+        hll = HyperLogLog(p=10)
+        for _ in range(3):
+            for i in range(500):
+                hll.add(f"x{i}")
+        assert hll.estimate() == pytest.approx(500, rel=0.15)
+
+    def test_small_range_correction(self):
+        hll = HyperLogLog(p=10)
+        for i in range(10):
+            hll.add(f"v{i}")
+        assert hll.estimate() == pytest.approx(10, rel=0.35)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(p=2)
+
+    def test_sram_accounting(self):
+        assert HyperLogLog(p=10).sram_bits == 1024 * 8

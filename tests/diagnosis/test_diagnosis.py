@@ -1,0 +1,163 @@
+"""Telemetry collection, link-window features, root-cause localization."""
+
+import pytest
+
+from repro.diagnosis import (
+    LinkWindowFeaturizer,
+    RootCauseLocalizer,
+    RuleBasedLocalizer,
+    TelemetryCollector,
+)
+from repro.diagnosis.features import DIAGNOSIS_FEATURES
+from repro.events import (
+    LinkCongestionIncident,
+    LinkDegradationIncident,
+    LinkFlapIncident,
+    Scenario,
+    run_scenario,
+)
+from repro.netsim import make_campus
+
+
+def incident_day(seed: int):
+    net = make_campus("tiny", seed=seed)
+    collector = TelemetryCollector(net, interval_s=1.0)
+    collector.start()
+    scenario = Scenario("perf-day", duration_s=240.0)
+    scenario.add(LinkCongestionIncident, 30.0, 30.0, department=0)
+    scenario.add(LinkFlapIncident, 100.0, 24.0, flap_period_s=8.0,
+                 link=("dist1", "core1"))
+    scenario.add(LinkDegradationIncident, 170.0, 40.0, factor=0.1)
+    ground_truth = run_scenario(net, scenario, seed=seed)
+    return net, collector, ground_truth
+
+
+@pytest.fixture(scope="module")
+def trained():
+    days = [incident_day(seed) for seed in (5, 15)]
+    localizer = RootCauseLocalizer(window_s=10.0).fit_many(
+        [(c, g, n.topology) for n, c, g in days])
+    return localizer
+
+
+@pytest.fixture(scope="module")
+def test_day():
+    return incident_day(7)
+
+
+class TestTelemetry:
+    def test_polling_interval_and_coverage(self):
+        net = make_campus("tiny", seed=1)
+        collector = TelemetryCollector(net, interval_s=2.0)
+        collector.start()
+        net.run_for(10.0)
+        series = collector.series(net.topology.border_link)
+        assert len(series) == 6     # t=0,2,...,10
+        assert collector.total_samples == 6 * len(net.links)
+
+    def test_utilization_reflects_traffic(self):
+        net = make_campus("tiny", seed=2)
+        collector = TelemetryCollector(net, interval_s=1.0)
+        collector.start()
+        net.inject_flow(net.make_flow("h0_0_0", "inet0", size_bytes=1e12))
+        net.run_for(5.0)
+        series = collector.series(("acc0_0", "h0_0_0"))
+        assert series[-1].utilization > 0.9
+        net.finish()
+
+    def test_invalid_interval(self):
+        net = make_campus("tiny", seed=3)
+        with pytest.raises(ValueError):
+            TelemetryCollector(net, interval_s=0)
+
+    def test_stop(self):
+        net = make_campus("tiny", seed=4)
+        collector = TelemetryCollector(net, interval_s=1.0)
+        collector.start()
+        net.run_for(3.0)
+        collector.stop()
+        count = collector.total_samples
+        net.run_for(5.0)
+        assert collector.total_samples == count
+
+
+class TestFeaturizer:
+    def test_infrastructure_filter_excludes_host_links(self, test_day):
+        net, collector, _ = test_day
+        featurizer = LinkWindowFeaturizer(window_s=10.0)
+        links = {w.link for w in featurizer.windows(collector,
+                                                    net.topology)}
+        host = net.topology.hosts[0]
+        assert not any(host in link for link in links)
+        unfiltered = LinkWindowFeaturizer(
+            window_s=10.0, infrastructure_only=False)
+        all_links = {w.link for w in unfiltered.windows(collector,
+                                                        net.topology)}
+        assert any(host in link for link in all_links)
+
+    def test_dataset_shape_and_labels(self, test_day):
+        net, collector, ground_truth = test_day
+        featurizer = LinkWindowFeaturizer(window_s=10.0)
+        dataset = featurizer.to_dataset(collector, ground_truth,
+                                        net.topology)
+        assert dataset.n_features == len(DIAGNOSIS_FEATURES)
+        counts = dataset.class_counts()
+        assert counts.get("congestion", 0) >= 2
+        assert counts.get("link-flap", 0) >= 1
+        assert counts.get("link-degraded", 0) >= 2
+        assert counts["benign"] > 50
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LinkWindowFeaturizer(window_s=0)
+
+
+class TestLocalizers:
+    def test_learned_finds_all_incident_kinds(self, trained, test_day):
+        net, collector, ground_truth = test_day
+        diagnoses = trained.diagnose(collector, net.topology)
+        score = RootCauseLocalizer.score(diagnoses, ground_truth)
+        assert score["recall"] == 1.0
+        assert score["precision"] >= 0.8
+
+    def test_learned_beats_rules(self, trained, test_day):
+        net, collector, ground_truth = test_day
+        learned = RootCauseLocalizer.score(
+            trained.diagnose(collector, net.topology), ground_truth)
+        rules = RootCauseLocalizer.score(
+            RuleBasedLocalizer(window_s=10.0).diagnose(collector,
+                                                       net.topology),
+            ground_truth)
+        assert learned["precision"] >= rules["precision"]
+
+    def test_diagnoses_point_at_the_right_links(self, trained, test_day):
+        net, collector, ground_truth = test_day
+        flap = [d for d in trained.diagnose(collector, net.topology)
+                if d.kind == "link-flap"]
+        assert flap
+        assert all(set(d.link) == {"dist1", "core1"} for d in flap)
+
+    def test_internal_external_attribution(self, trained, test_day):
+        net, collector, _ = test_day
+        diagnoses = trained.diagnose(collector, net.topology)
+        # the flap and degradation live on internal trunks
+        internal_kinds = [d for d in diagnoses
+                          if d.kind in ("link-flap", "link-degraded")]
+        assert internal_kinds
+        assert all(not d.external for d in internal_kinds)
+        # any diagnosis on the border uplink is the provider's problem
+        for diagnosis in diagnoses:
+            if set(diagnosis.link) == set(net.topology.border_link):
+                assert diagnosis.external
+
+    def test_unfitted_localizer_raises(self, test_day):
+        net, collector, _ = test_day
+        with pytest.raises(RuntimeError):
+            RootCauseLocalizer().diagnose(collector, net.topology)
+
+    def test_render(self, trained, test_day):
+        net, collector, _ = test_day
+        diagnosis = trained.diagnose(collector, net.topology)[0]
+        text = diagnosis.render()
+        assert "confidence" in text
+        assert "internal" in text or "EXTERNAL" in text

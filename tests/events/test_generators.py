@@ -1,0 +1,114 @@
+"""Attack/incident generators: labels, ground truth, traffic shape."""
+
+import collections
+
+import pytest
+
+from repro.events import (
+    DataExfiltration,
+    DnsAmplificationAttack,
+    GroundTruth,
+    PortScanAttack,
+    SshBruteForceAttack,
+    SynFloodAttack,
+)
+from repro.netsim import make_campus
+
+
+def _run_attack(attack_cls, duration=10.0, seed=1, **kwargs):
+    net = make_campus("tiny", seed=seed)
+    gt = GroundTruth()
+    flows = []
+    net.add_flow_observer(flows.append)
+    attack = attack_cls(net, gt, seed=seed, **kwargs)
+    window = attack.schedule(net.now + 1.0, duration)
+    net.run_until(net.now + duration + 5.0)
+    net.finish()
+    return net, gt, window, flows
+
+
+def test_dns_amplification_shape():
+    net, gt, window, flows = _run_attack(
+        DnsAmplificationAttack, attack_gbps=0.05, resolvers=6)
+    attack_flows = [f for f in flows if f.label == "ddos-dns-amp"]
+    assert attack_flows
+    # reflection: UDP from port 53, externally sourced, response-heavy
+    for flow in attack_flows:
+        assert flow.protocol == 17
+        assert flow.key.src_port == 53
+        assert not flow.src_internal
+        assert flow.fwd_fraction > 0.9
+    sources = {f.key.src_ip for f in attack_flows}
+    assert sources <= set(window.actors)
+    assert len(window.victims) == 1
+
+
+def test_dns_amplification_volume_close_to_target():
+    gbps = 0.05
+    duration = 10.0
+    net, gt, window, flows = _run_attack(
+        DnsAmplificationAttack, duration=duration, attack_gbps=gbps)
+    attack_bytes = sum(f.transferred_bytes for f in flows
+                       if f.label == "ddos-dns-amp")
+    target = gbps * 1e9 / 8 * duration
+    assert attack_bytes == pytest.approx(target, rel=0.25)
+
+
+def test_synflood_many_tiny_forward_flows():
+    net, gt, window, flows = _run_attack(
+        SynFloodAttack, syn_rate_per_s=500.0)
+    volleys = [f for f in flows if f.label == "syn-flood"]
+    assert len(volleys) >= 50
+    assert all(f.fwd_fraction == 1.0 for f in volleys)
+    victims = {f.key.dst_ip for f in volleys}
+    assert victims == set(window.victims)
+    # spoofed sources: many distinct source addresses
+    assert len({f.key.src_ip for f in volleys}) > 10
+
+
+def test_portscan_touches_many_destinations_and_ports():
+    net, gt, window, flows = _run_attack(
+        PortScanAttack, probes_per_s=40.0)
+    probes = [f for f in flows if f.label == "port-scan"]
+    assert len(probes) > 100
+    assert len({f.key.dst_ip for f in probes}) >= 10
+    assert len({f.key.src_ip for f in probes}) == 1
+    assert all(f.size_bytes < 100 for f in probes)
+
+
+def test_bruteforce_repeated_ssh_attempts():
+    net, gt, window, flows = _run_attack(
+        SshBruteForceAttack, attempts_per_s=5.0)
+    attempts = [f for f in flows if f.label == "ssh-bruteforce"]
+    assert len(attempts) >= 30
+    assert all(f.key.dst_port == 22 for f in attempts)
+    assert len({(f.key.src_ip, f.key.dst_ip) for f in attempts}) == 1
+
+
+def test_exfiltration_outbound_chunks():
+    net, gt, window, flows = _run_attack(
+        DataExfiltration, duration=30.0, total_bytes=5e6,
+        chunk_interval_s=5.0)
+    chunks = [f for f in flows if f.label == "exfiltration"]
+    assert len(chunks) >= 4
+    assert all(f.src_internal for f in chunks)
+    assert all(f.fwd_fraction > 0.9 for f in chunks)
+
+
+def test_ground_truth_label_for():
+    net, gt, window, flows = _run_attack(
+        DnsAmplificationAttack, attack_gbps=0.02)
+    mid = (window.start_time + window.end_time) / 2
+    actor = window.actors[0]
+    victim = window.victims[0]
+    assert gt.label_for(mid, actor, victim) == "ddos-dns-amp"
+    assert gt.label_for(mid, "198.51.100.7", "198.51.100.8") == "benign"
+    assert gt.label_for(window.end_time + 100.0, actor, victim) == "benign"
+
+
+def test_ground_truth_active_at_and_kinds():
+    net, gt, window, _ = _run_attack(PortScanAttack)
+    mid = (window.start_time + window.end_time) / 2
+    assert gt.active_at(mid) == [window]
+    assert gt.windows_of_kind("scan") == [window]
+    assert gt.windows_of_kind("ddos") == []

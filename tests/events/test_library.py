@@ -1,0 +1,51 @@
+"""The canned scenario library."""
+
+import pytest
+
+from repro.events import SCENARIO_LIBRARY, make_scenario, run_scenario
+from repro.netsim import make_campus
+
+
+def test_all_entries_instantiate_and_fit_duration():
+    for name in SCENARIO_LIBRARY:
+        scenario = make_scenario(name, duration_s=200.0)
+        assert scenario.duration_s == 200.0
+        for step in scenario.steps:
+            assert step.start_offset_s + step.duration_s <= 200.0
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        make_scenario("zombie-apocalypse")
+
+
+def test_offsets_scale_with_duration():
+    short = make_scenario("security", duration_s=100.0)
+    long = make_scenario("security", duration_s=400.0)
+    for a, b in zip(short.steps, long.steps):
+        assert b.start_offset_s == pytest.approx(4 * a.start_offset_s)
+
+
+@pytest.mark.parametrize("name", ["ddos", "security", "variant",
+                                  "synflood"])
+def test_security_scenarios_produce_labeled_events(name):
+    net = make_campus("tiny", seed=60)
+    scenario = make_scenario(name, duration_s=120.0)
+    ground_truth = run_scenario(net, scenario, seed=60)
+    assert ground_truth.windows
+    assert all(w.label != "benign" for w in ground_truth.windows)
+
+
+def test_incident_scenario_produces_performance_events():
+    net = make_campus("tiny", seed=61)
+    ground_truth = run_scenario(net, make_scenario("incidents", 200.0),
+                                seed=61)
+    kinds = {w.kind for w in ground_truth.windows}
+    assert kinds == {"congestion", "linkflap", "degradation"}
+
+
+def test_quiet_day_has_no_events():
+    net = make_campus("tiny", seed=62)
+    ground_truth = run_scenario(net, make_scenario("quiet", 60.0),
+                                seed=62)
+    assert ground_truth.windows == []

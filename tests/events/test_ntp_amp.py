@@ -1,0 +1,68 @@
+"""NTP amplification variant."""
+
+import pytest
+
+from repro.events import GroundTruth, NtpAmplificationAttack
+from repro.netsim import make_campus
+
+
+def _run(seed=1, **kwargs):
+    net = make_campus("tiny", seed=seed)
+    gt = GroundTruth()
+    flows = []
+    net.add_flow_observer(flows.append)
+    attack = NtpAmplificationAttack(net, gt, seed=seed, **kwargs)
+    window = attack.schedule(net.now + 1.0, 10.0)
+    net.run_until(net.now + 16.0)
+    net.finish()
+    return net, gt, window, flows
+
+
+def test_reflection_shape():
+    net, gt, window, flows = _run(attack_gbps=0.01, reflectors=6)
+    attack_flows = [f for f in flows if f.label == "ddos-ntp-amp"]
+    assert attack_flows
+    for flow in attack_flows:
+        assert flow.protocol == 17
+        assert flow.key.src_port == 123       # reflected NTP
+        assert not flow.src_internal
+        assert flow.fwd_fraction > 0.99       # 200x amplification
+    assert {f.key.src_ip for f in attack_flows} <= set(window.actors)
+    assert window.details["vector"] == "ntp-monlist"
+
+
+def test_volume_near_target():
+    gbps, duration = 0.01, 10.0
+    net, gt, window, flows = _run(attack_gbps=gbps)
+    attack_bytes = sum(f.transferred_bytes for f in flows
+                       if f.label == "ddos-ntp-amp")
+    assert attack_bytes == pytest.approx(gbps * 1e9 / 8 * duration,
+                                         rel=0.25)
+
+
+def test_distinct_signature_from_dns_amp():
+    """The variant must not look like DNS on the featurizer's axes."""
+    from repro.learning.features import FEATURE_NAMES, FeatureConfig, \
+        SourceWindowFeaturizer
+
+    net, gt, window, flows = _run(attack_gbps=0.01)
+    packets = []
+    net2, gt2, w2, f2 = _run(seed=2, attack_gbps=0.01)
+    # featurize packets of the second run via the network observer path
+    net3 = make_campus("tiny", seed=3)
+    net3.add_packet_observer(lambda b: packets.extend(b))
+    attack = NtpAmplificationAttack(net3, GroundTruth(), seed=3,
+                                    attack_gbps=0.01)
+    attack.schedule(net3.now + 1.0, 10.0)
+    net3.run_until(net3.now + 16.0)
+    net3.finish()
+    featurizer = SourceWindowFeaturizer(FeatureConfig(window_s=5.0))
+    examples = featurizer.aggregate((p, {}) for p in packets)
+    dns_index = FEATURE_NAMES.index("dns_fraction")
+    port53_index = FEATURE_NAMES.index("port53_src_fraction")
+    attack_examples = [e for e in examples if e.pkts > 50]
+    assert attack_examples
+    for example in attack_examples:
+        vector = example.vector(5.0)
+        assert vector[dns_index] == 0.0
+        assert vector[port53_index] == 0.0

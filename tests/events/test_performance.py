@@ -1,0 +1,75 @@
+"""Performance incidents: congestion, flaps, degradation."""
+
+import pytest
+
+from repro.events import (
+    GroundTruth,
+    LinkCongestionIncident,
+    LinkDegradationIncident,
+    LinkFlapIncident,
+)
+from repro.netsim import make_campus
+
+
+def test_congestion_saturates_department_uplink():
+    net = make_campus("tiny", seed=9)
+    gt = GroundTruth()
+    incident = LinkCongestionIncident(net, gt, seed=1, department=0,
+                                      elephants=3)
+    incident.schedule(net.now + 1.0, 10.0)
+    net.run_until(net.now + 3.0)
+    # The department's hosts share one access switch in the tiny
+    # profile; its 1 Gbps uplink is the link the elephants saturate.
+    link = net.links.get("acc0_0", "dist0")
+    assert link.utilization() > 0.9
+    net.finish()
+
+
+def test_congestion_squeezes_competing_flow():
+    net = make_campus("tiny", seed=10)
+    gt = GroundTruth()
+    victim = net.inject_flow(net.make_flow("h0_0_0", "inet0",
+                                           size_bytes=1e14))
+    baseline = victim.current_rate_bps
+    LinkCongestionIncident(net, gt, seed=1, department=0,
+                           elephants=4).schedule(net.now + 1.0, 10.0)
+    net.run_until(net.now + 3.0)
+    assert victim.current_rate_bps < baseline
+    net.finish()
+
+
+def test_link_flap_fails_and_restores():
+    net = make_campus("tiny", seed=11)
+    gt = GroundTruth()
+    incident = LinkFlapIncident(net, gt, seed=1, flap_period_s=4.0)
+    incident.schedule(net.now + 1.0, 8.0)
+    link = net.links.get(*incident.link)
+    assert link.up
+    net.run_until(net.now + 2.0)
+    assert not link.up
+    net.run_until(net.now + 30.0)
+    assert link.up                 # never left down after the window
+    net.finish()
+
+
+def test_degradation_reduces_and_restores_capacity():
+    net = make_campus("tiny", seed=12)
+    gt = GroundTruth()
+    incident = LinkDegradationIncident(net, gt, seed=1, factor=0.1)
+    incident.schedule(net.now + 1.0, 5.0)
+    link = net.links.get(*incident.link)
+    nominal = link.nominal_capacity_bps
+    net.run_until(net.now + 2.0)
+    assert link.capacity_bps == pytest.approx(0.1 * nominal)
+    net.run_until(net.now + 10.0)
+    assert link.capacity_bps == pytest.approx(nominal)
+    net.finish()
+
+
+def test_ground_truth_windows_recorded():
+    net = make_campus("tiny", seed=13)
+    gt = GroundTruth()
+    LinkDegradationIncident(net, gt, seed=1).schedule(net.now + 1.0, 5.0)
+    LinkCongestionIncident(net, gt, seed=2).schedule(net.now + 10.0, 5.0)
+    assert {w.kind for w in gt.windows} == {"degradation", "congestion"}
+    net.finish()

@@ -1,0 +1,57 @@
+"""Scenario scripting and execution."""
+
+import pytest
+
+from repro.events import DnsAmplificationAttack, PortScanAttack, Scenario, \
+    run_scenario
+from repro.netsim import make_campus
+
+
+def test_scenario_runs_steps_and_returns_ground_truth():
+    net = make_campus("tiny", seed=20)
+    scenario = Scenario("two-attacks", duration_s=60.0)
+    scenario.add(DnsAmplificationAttack, 5.0, 5.0, attack_gbps=0.02)
+    scenario.add(PortScanAttack, 20.0, 10.0)
+    gt = run_scenario(net, scenario, seed=1)
+    assert {w.kind for w in gt.windows} == {"ddos", "scan"}
+    start = gt.windows[0].start_time
+    assert start == pytest.approx(8 * 3600.0 + 5.0)
+
+
+def test_scenario_rejects_steps_past_duration():
+    net = make_campus("tiny", seed=21)
+    scenario = Scenario("bad", duration_s=10.0)
+    scenario.add(PortScanAttack, 8.0, 5.0)
+    with pytest.raises(ValueError):
+        run_scenario(net, scenario, seed=1)
+
+
+def test_scenario_without_background():
+    net = make_campus("tiny", seed=22)
+    flows = []
+    net.add_flow_observer(flows.append)
+    scenario = Scenario("quiet", duration_s=30.0, background=False)
+    scenario.add(PortScanAttack, 1.0, 5.0, probes_per_s=10.0)
+    run_scenario(net, scenario, seed=1)
+    assert flows
+    assert all(f.label == "port-scan" for f in flows)
+
+
+def test_scenario_is_seed_reproducible():
+    def run(seed):
+        net = make_campus("tiny", seed=seed)
+        flows = []
+        net.add_flow_observer(flows.append)
+        scenario = Scenario("day", duration_s=45.0)
+        scenario.add(DnsAmplificationAttack, 5.0, 5.0, attack_gbps=0.02)
+        run_scenario(net, scenario, seed=seed)
+        return [(f.key.src_ip, round(f.transferred_bytes)) for f in flows]
+
+    assert run(5) == run(5)
+
+
+def test_network_drained_after_scenario():
+    net = make_campus("tiny", seed=23)
+    scenario = Scenario("s", duration_s=20.0)
+    run_scenario(net, scenario, seed=1)
+    assert net.flows.active == {}

@@ -1,0 +1,104 @@
+"""Calibration measurement and Platt scaling."""
+
+import numpy as np
+import pytest
+
+from repro.learning.calibration import (
+    CalibrationReport,
+    PlattCalibrator,
+    calibration_report,
+)
+from repro.learning.models import GradientBoostingClassifier
+
+
+class _Sharpened:
+    """Wraps a model and pushes its probabilities toward 0/1 — an
+    intentionally overconfident classifier."""
+
+    def __init__(self, model, power: float = 4.0):
+        self.model = model
+        self.power = power
+        self.n_classes_ = model.n_classes_
+
+    def predict_proba(self, X):
+        p = np.asarray(self.model.predict_proba(X)) ** self.power
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X):
+        return np.argmax(self.predict_proba(X), axis=1)
+
+
+@pytest.fixture(scope="module")
+def noisy_task():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(2000, 5))
+    # labels are noisy: no model should be confident everywhere
+    y = (X[:, 0] + rng.normal(scale=1.2, size=2000) > 0).astype(int)
+    model = GradientBoostingClassifier(n_estimators=60).fit(
+        X[:900], y[:900])
+    return model, X, y
+
+
+class TestReport:
+    def test_perfectly_calibrated_coin(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        confidence = rng.uniform(0.5, 1.0, size=n)
+        # outcome drawn with exactly the stated probability
+        correct = rng.random(n) < confidence
+        proba = np.column_stack([1 - confidence, confidence])
+        y = np.where(correct, 1, 0)
+        report = calibration_report(y, proba, n_bins=10)
+        assert report.ece < 0.05
+
+    def test_overconfident_model_scores_badly(self, noisy_task):
+        model, X, y = noisy_task
+        honest = calibration_report(y[900:], model.predict_proba(X[900:]))
+        sharp = calibration_report(
+            y[900:], _Sharpened(model).predict_proba(X[900:]))
+        assert sharp.ece > honest.ece
+        assert sharp.max_gap > honest.max_gap
+
+    def test_bins_partition_samples(self, noisy_task):
+        model, X, y = noisy_task
+        report = calibration_report(y[900:], model.predict_proba(X[900:]),
+                                    n_bins=12)
+        assert sum(b.count for b in report.bins) == report.n_samples
+        assert len(report.bins) == 12
+
+    def test_render(self, noisy_task):
+        model, X, y = noisy_task
+        report = calibration_report(y[900:], model.predict_proba(X[900:]))
+        assert "ECE=" in report.render()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            calibration_report([0, 1], np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            calibration_report([0, 1], np.zeros((2, 2)), n_bins=0)
+
+
+class TestPlatt:
+    def test_repairs_overconfident_model(self, noisy_task):
+        model, X, y = noisy_task
+        sharp = _Sharpened(model)
+        before = calibration_report(y[1400:], sharp.predict_proba(X[1400:]))
+        calibrated = PlattCalibrator(sharp).fit(X[900:1400], y[900:1400])
+        after = calibration_report(y[1400:],
+                                   calibrated.predict_proba(X[1400:]))
+        assert after.ece < before.ece
+
+    def test_accuracy_roughly_preserved(self, noisy_task):
+        model, X, y = noisy_task
+        calibrated = PlattCalibrator(model).fit(X[900:1400], y[900:1400])
+        base_acc = np.mean(model.predict(X[1400:]) == y[1400:])
+        cal_acc = np.mean(calibrated.predict(X[1400:]) == y[1400:])
+        assert cal_acc >= base_acc - 0.05
+
+    def test_proba_contract(self, noisy_task):
+        model, X, y = noisy_task
+        calibrated = PlattCalibrator(model).fit(X[900:1400], y[900:1400])
+        proba = calibrated.predict_proba(X[1400:1450])
+        assert proba.shape == (50, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)

@@ -1,0 +1,96 @@
+"""Dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.learning import Dataset, stratified_kfold, train_test_split
+
+
+def _dataset(n=30, d=3, classes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        X=rng.normal(size=(n, d)),
+        y=rng.integers(0, classes, size=n),
+        feature_names=[f"f{i}" for i in range(d)],
+        class_names=[f"c{i}" for i in range(classes)],
+        keys=list(range(n)),
+    )
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((3, 2)), np.zeros(4), ["a", "b"], ["x", "y"])
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((3, 2)), np.zeros(3), ["a"], ["x", "y"])
+    with pytest.raises(ValueError):
+        Dataset(np.zeros(3), np.zeros(3), ["a"], ["x"])
+
+
+def test_class_counts_and_feature_access():
+    ds = _dataset()
+    counts = ds.class_counts()
+    assert sum(counts.values()) == len(ds)
+    assert len(ds.feature("f1")) == len(ds)
+    with pytest.raises(KeyError):
+        ds.feature("missing")
+
+
+def test_subset_preserves_keys():
+    ds = _dataset()
+    sub = ds.subset([0, 2, 4])
+    assert len(sub) == 3
+    assert sub.keys == [0, 2, 4]
+
+
+def test_binarize():
+    ds = _dataset(classes=3)
+    binary = ds.binarize("c2")
+    assert binary.class_names == ["other", "c2"]
+    assert set(np.unique(binary.y)) <= {0, 1}
+    assert np.all((ds.y == 2) == (binary.y == 1))
+
+
+def test_concatenate():
+    a, b = _dataset(seed=1), _dataset(seed=2)
+    combined = Dataset.concatenate([a, b])
+    assert len(combined) == len(a) + len(b)
+    mismatched = _dataset(d=4, seed=3)
+    with pytest.raises(ValueError):
+        Dataset.concatenate([a, mismatched])
+
+
+def test_train_test_split_stratified_preserves_ratio():
+    ds = _dataset(n=200)
+    train, test = train_test_split(ds, test_fraction=0.25, seed=1)
+    assert len(train) + len(test) == 200
+    assert len(test) == pytest.approx(50, abs=3)
+    # every class appears in both sides
+    assert set(np.unique(train.y)) == set(np.unique(test.y))
+
+
+def test_split_reproducible_and_disjoint():
+    ds = _dataset(n=100)
+    train1, test1 = train_test_split(ds, seed=5)
+    train2, test2 = train_test_split(ds, seed=5)
+    assert test1.keys == test2.keys
+    assert set(train1.keys) & set(test1.keys) == set()
+
+
+def test_split_invalid_fraction():
+    with pytest.raises(ValueError):
+        train_test_split(_dataset(), test_fraction=1.5)
+
+
+def test_kfold_partitions_and_strata():
+    ds = _dataset(n=100)
+    folds = list(stratified_kfold(ds, k=5, seed=2))
+    assert len(folds) == 5
+    all_test_keys = [k for _, test in folds for k in test.keys]
+    assert sorted(all_test_keys) == list(range(100))
+    for train, test in folds:
+        assert set(train.keys) & set(test.keys) == set()
+
+
+def test_kfold_invalid_k():
+    with pytest.raises(ValueError):
+        list(stratified_kfold(_dataset(), k=1))

@@ -1,0 +1,90 @@
+"""Classification metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learning.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+)
+
+Y_TRUE = [0, 0, 1, 1, 1, 0]
+Y_PRED = [0, 1, 1, 1, 0, 0]
+
+
+def test_accuracy():
+    assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(4 / 6)
+    assert accuracy([], []) == 0.0
+
+
+def test_precision_recall_f1():
+    # predicted positive: 3, of which 2 correct
+    assert precision(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    # actual positive: 3, of which 2 found
+    assert recall(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+
+def test_zero_denominators():
+    assert precision([0, 0], [0, 0]) == 0.0
+    assert recall([0, 0], [1, 1]) == 0.0
+    assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+def test_confusion_matrix():
+    matrix = confusion_matrix(Y_TRUE, Y_PRED)
+    assert matrix.tolist() == [[2, 1], [1, 2]]
+    assert matrix.sum() == len(Y_TRUE)
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        accuracy([0, 1], [0])
+
+
+def test_roc_auc_perfect_and_inverted():
+    y = [0, 0, 1, 1]
+    assert roc_auc(y, [0.1, 0.2, 0.8, 0.9]) == 1.0
+    assert roc_auc(y, [0.9, 0.8, 0.2, 0.1]) == 0.0
+    assert roc_auc(y, [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+
+def test_roc_auc_known_value():
+    y = [0, 1, 0, 1, 1]
+    s = [0.1, 0.4, 0.35, 0.8, 0.2]
+    # pairs: (0.1 vs 0.4, 0.8, 0.2)=3 wins; (0.35 vs 0.4, 0.8)=2 wins,
+    # (0.35 vs 0.2)=loss -> 5/6
+    assert roc_auc(y, s) == pytest.approx(5 / 6)
+
+
+def test_roc_auc_degenerate_classes():
+    assert roc_auc([1, 1], [0.2, 0.3]) == 0.5
+
+
+def test_classification_report_structure():
+    report = classification_report(Y_TRUE, Y_PRED, ["neg", "pos"])
+    assert report["pos"]["precision"] == pytest.approx(2 / 3)
+    assert report["neg"]["support"] == 3.0
+    assert report["_overall"]["accuracy"] == pytest.approx(4 / 6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1),
+                          st.floats(0, 1, allow_nan=False,
+                                    allow_subnormal=False)),
+                min_size=4, max_size=60))
+def test_property_auc_invariant_to_monotone_transform(pairs):
+    y = [p[0] for p in pairs]
+    s = np.asarray([p[1] for p in pairs])
+    base = roc_auc(y, s)
+    # scale only: adding an offset can absorb tiny score differences in
+    # floating point, which would break strict monotonicity
+    transformed = roc_auc(y, 8.0 * s)
+    assert base == pytest.approx(transformed)
+    assert 0.0 <= base <= 1.0

@@ -1,0 +1,118 @@
+"""All estimators learn a separable task; interface contracts hold."""
+
+import numpy as np
+import pytest
+
+from repro.learning.models import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    NotFittedError,
+    RandomForestClassifier,
+)
+
+ALL_MODELS = [
+    ("tree", lambda: DecisionTreeClassifier(max_depth=6)),
+    ("forest", lambda: RandomForestClassifier(n_estimators=15, max_depth=8)),
+    ("boosting", lambda: GradientBoostingClassifier(n_estimators=30)),
+    ("logistic", lambda: LogisticRegression(n_iter=200)),
+    ("mlp", lambda: MLPClassifier(hidden=(16,), epochs=40, random_state=1)),
+    ("knn", lambda: KNeighborsClassifier(k=5)),
+    ("naive_bayes", lambda: GaussianNB()),
+]
+
+
+@pytest.fixture(scope="module")
+def linear_task():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(500, 5))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X[:350], y[:350], X[350:], y[350:]
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS)
+def test_learns_linear_task(name, factory, linear_task):
+    X_train, y_train, X_test, y_test = linear_task
+    model = factory().fit(X_train, y_train)
+    acc = float(np.mean(model.predict(X_test) == y_test))
+    assert acc > 0.85, f"{name} accuracy {acc}"
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS)
+def test_proba_contract(name, factory, linear_task):
+    X_train, y_train, X_test, _ = linear_task
+    model = factory().fit(X_train, y_train)
+    proba = model.predict_proba(X_test)
+    assert proba.shape == (len(X_test), 2)
+    assert np.all(proba >= -1e-9)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+    assert np.array_equal(model.predict(X_test), np.argmax(proba, axis=1))
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS)
+def test_not_fitted_raises(name, factory):
+    with pytest.raises(NotFittedError):
+        factory().predict(np.zeros((2, 5)))
+
+
+@pytest.mark.parametrize("name,factory", [
+    ("forest", lambda: RandomForestClassifier(n_estimators=10, max_depth=6)),
+    ("boosting", lambda: GradientBoostingClassifier(n_estimators=25)),
+    ("mlp", lambda: MLPClassifier(hidden=(16,), epochs=40, random_state=3)),
+    ("naive_bayes", lambda: GaussianNB()),
+])
+def test_multiclass_support(name, factory):
+    rng = np.random.default_rng(11)
+    X = rng.uniform(size=(600, 2))
+    y = (X[:, 0] > 0.5).astype(int) + 2 * (X[:, 1] > 0.5).astype(int)
+    model = factory().fit(X, y)
+    acc = float(np.mean(model.predict(X) == y))
+    assert acc > 0.8, f"{name} multiclass accuracy {acc}"
+    assert model.predict_proba(X).shape == (600, 4)
+
+
+def test_nonlinear_task_trees_beat_linear():
+    rng = np.random.default_rng(13)
+    X = rng.uniform(-1, 1, size=(800, 2))
+    y = ((X[:, 0] * X[:, 1]) > 0).astype(int)   # XOR-like
+    boosting = GradientBoostingClassifier(n_estimators=40).fit(
+        X[:600], y[:600])
+    logistic = LogisticRegression(n_iter=300).fit(X[:600], y[:600])
+    acc_boost = np.mean(boosting.predict(X[600:]) == y[600:])
+    acc_logit = np.mean(logistic.predict(X[600:]) == y[600:])
+    assert acc_boost > 0.9
+    assert acc_boost > acc_logit + 0.2
+
+
+def test_forest_reproducible_with_seed(linear_task):
+    X_train, y_train, X_test, _ = linear_task
+    a = RandomForestClassifier(n_estimators=8, random_state=5).fit(
+        X_train, y_train).predict(X_test)
+    b = RandomForestClassifier(n_estimators=8, random_state=5).fit(
+        X_train, y_train).predict(X_test)
+    assert np.array_equal(a, b)
+
+
+def test_forest_importances_normalised(linear_task):
+    X_train, y_train, _, _ = linear_task
+    model = RandomForestClassifier(n_estimators=10).fit(X_train, y_train)
+    importances = model.feature_importances()
+    assert importances.sum() == pytest.approx(1.0)
+    assert np.argmax(importances) in (0, 1)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_estimators=0)
+    with pytest.raises(ValueError):
+        KNeighborsClassifier(k=0)
+
+
+def test_knn_k_larger_than_dataset():
+    X = np.asarray([[0.0], [1.0], [2.0]])
+    y = np.asarray([0, 1, 1])
+    model = KNeighborsClassifier(k=50).fit(X, y)
+    assert model.predict([[1.5]])[0] == 1

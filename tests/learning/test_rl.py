@@ -1,0 +1,156 @@
+"""RL: environment contract, Q-learning, policies."""
+
+import numpy as np
+import pytest
+
+from repro.learning.rl import (
+    Box,
+    ClassifierPolicy,
+    DdosMitigationEnv,
+    Discrete,
+    GreedyQPolicy,
+    MitigationAction,
+    QLearningAgent,
+    RandomPolicy,
+    StaticThresholdPolicy,
+    discretize,
+    evaluate_policy,
+)
+
+
+class TestSpaces:
+    def test_discrete(self):
+        space = Discrete(3)
+        assert space.contains(0) and space.contains(2)
+        assert not space.contains(3)
+        assert not space.contains("a")
+        rng = np.random.default_rng(0)
+        assert all(space.contains(space.sample(rng)) for _ in range(10))
+
+    def test_box(self):
+        space = Box(low=(0.0, 0.0), high=(1.0, 1.0))
+        assert space.contains(np.asarray([0.5, 0.5]))
+        assert not space.contains(np.asarray([1.5, 0.5]))
+        clipped = space.clip([2.0, -1.0])
+        assert clipped.tolist() == [1.0, 0.0]
+
+
+class TestEnv:
+    def test_reset_and_step_contract(self):
+        env = DdosMitigationEnv(episode_len=10, seed=3)
+        obs = env.reset(seed=1)
+        assert env.observation_space.contains(obs)
+        total_steps = 0
+        done = False
+        while not done:
+            obs, reward, done, info = env.step(0)
+            assert env.observation_space.contains(obs)
+            assert reward <= 0.0
+            assert set(info) >= {"attack_offered_mbps",
+                                 "attack_through_mbps",
+                                 "benign_dropped_mbps"}
+            total_steps += 1
+        assert total_steps == 10
+
+    def test_invalid_action_rejected(self):
+        env = DdosMitigationEnv(seed=0)
+        env.reset(seed=0)
+        with pytest.raises(ValueError):
+            env.step(99)
+
+    def test_seeded_reset_reproducible(self):
+        env = DdosMitigationEnv(seed=0)
+        a = [env.reset(seed=5).tolist()]
+        for _ in range(5):
+            a.append(env.step(0)[0].tolist())
+        env2 = DdosMitigationEnv(seed=99)
+        b = [env2.reset(seed=5).tolist()]
+        for _ in range(5):
+            b.append(env2.step(0)[0].tolist())
+        assert a == b
+
+    def test_drop_any_removes_attack(self):
+        env = DdosMitigationEnv(seed=1, attack_start_prob=1.0,
+                                attack_stop_prob=0.0)
+        env.reset(seed=1)
+        _, _, _, info = env.step(int(MitigationAction.DROP_ANY))
+        if info["attack_offered_mbps"] > 0:
+            assert info["attack_through_mbps"] < \
+                0.05 * info["attack_offered_mbps"]
+
+    def test_rate_limit_caps_throughput(self):
+        env = DdosMitigationEnv(seed=1, attack_start_prob=1.0,
+                                attack_stop_prob=0.0, limit_mbps=15.0)
+        env.reset(seed=1)
+        _, _, _, info = env.step(int(MitigationAction.RATE_LIMIT))
+        through = info["attack_through_mbps"] + env.benign_dns_mbps - \
+            info["benign_dropped_mbps"]
+        if info["attack_offered_mbps"] > 20:
+            assert info["attack_through_mbps"] <= 15.0 + 1e-9
+
+
+class TestDiscretize:
+    def test_bins_and_bounds(self):
+        assert discretize(np.asarray([0.0, 0.999, 0.5]), bins=4) == (0, 3, 2)
+        # out-of-range values clamp
+        assert discretize(np.asarray([-1.0, 2.0]), bins=4) == (0, 3)
+
+
+class TestQLearning:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        env = DdosMitigationEnv(episode_len=60, seed=1)
+        agent = QLearningAgent(n_actions=env.action_space.n, seed=2)
+        history = agent.train(env, episodes=150)
+        return env, agent, history
+
+    def test_learning_improves(self, trained):
+        env, agent, history = trained
+        early = np.mean(history.episode_rewards[:20])
+        late = history.mean_tail(20)
+        assert late > early
+
+    def test_beats_random_and_do_nothing(self, trained):
+        env, agent, _ = trained
+        learned = evaluate_policy(env, GreedyQPolicy(agent), episodes=15)
+        random = evaluate_policy(env, RandomPolicy(3, seed=1), episodes=15)
+        noop = evaluate_policy(
+            env, StaticThresholdPolicy(volume_threshold=9e9,
+                                       any_threshold=9e9), episodes=15)
+        assert learned.mean_reward > random.mean_reward
+        assert learned.mean_reward > noop.mean_reward
+        assert learned.attack_admitted_fraction < \
+            0.5 * noop.attack_admitted_fraction + 1e-9
+
+    def test_epsilon_decays(self, trained):
+        _, agent, _ = trained
+        assert agent.epsilon < 1.0
+        assert agent.epsilon >= agent.epsilon_min
+
+
+class TestPolicies:
+    def test_static_threshold_logic(self):
+        policy = StaticThresholdPolicy(volume_threshold=0.3,
+                                       any_threshold=0.7)
+        assert policy.act(np.asarray([0.1, 0.5, 0.1, 0.1])) == \
+            int(MitigationAction.ALLOW)
+        assert policy.act(np.asarray([0.5, 0.5, 0.1, 0.1])) == \
+            int(MitigationAction.RATE_LIMIT)
+        assert policy.act(np.asarray([0.5, 0.5, 0.9, 0.1])) == \
+            int(MitigationAction.DROP_ANY)
+
+    def test_classifier_policy_adapts_model(self):
+        from repro.learning.models import DecisionTreeClassifier
+
+        X = np.asarray([[0.1, 0, 0, 0], [0.9, 0, 0, 0]] * 20)
+        y = np.asarray([0, 2] * 20)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        policy = ClassifierPolicy(tree)
+        assert policy.act(np.asarray([0.05, 0, 0, 0])) == 0
+        assert policy.act(np.asarray([0.95, 0, 0, 0])) == 2
+
+    def test_evaluation_counts_actions(self):
+        env = DdosMitigationEnv(episode_len=20, seed=4)
+        result = evaluate_policy(env, RandomPolicy(3, seed=2), episodes=3)
+        assert sum(result.action_counts.values()) == 60
+        assert result.episodes == 3

@@ -1,0 +1,75 @@
+"""Minimal-collection-spec search."""
+
+import numpy as np
+import pytest
+
+from repro.learning.dataset import Dataset
+from repro.learning.features import FEATURE_NAMES
+from repro.learning.models import DecisionTreeClassifier
+from repro.learning.subset import (
+    FEATURE_COLLECTION_TIER,
+    CollectionSpec,
+    minimal_feature_subset,
+)
+
+
+def _dataset(informative=("pkt_rate",), n=400, seed=0):
+    """Binary task where only `informative` features carry signal."""
+    rng = np.random.default_rng(seed)
+    X = np.abs(rng.normal(size=(n, len(FEATURE_NAMES))))
+    y = np.zeros(n, dtype=int)
+    for name in informative:
+        index = FEATURE_NAMES.index(name)
+        y |= (X[:, index] > 1.2).astype(int)
+    return Dataset(X, y, list(FEATURE_NAMES), ["benign", "attack"])
+
+
+def test_finds_single_informative_feature():
+    ds = _dataset(informative=("pkt_rate",))
+    spec = minimal_feature_subset(
+        lambda: DecisionTreeClassifier(max_depth=3), ds, tolerance=0.05)
+    assert "pkt_rate" in spec.features
+    assert len(spec.features) <= 2
+    assert spec.metric_subset >= spec.metric_full - 0.05
+
+
+def test_keeps_all_needed_features():
+    ds = _dataset(informative=("pkt_rate", "unique_dsts"), seed=3)
+    spec = minimal_feature_subset(
+        lambda: DecisionTreeClassifier(max_depth=4), ds, tolerance=0.05)
+    assert {"pkt_rate", "unique_dsts"} <= set(spec.features) or \
+        spec.metric_subset >= spec.metric_full - 0.05
+
+
+def test_tier_reporting():
+    ds = _dataset(informative=("dns_any_fraction",), seed=5)
+    spec = minimal_feature_subset(
+        lambda: DecisionTreeClassifier(max_depth=3), ds, tolerance=0.05)
+    if "dns_any_fraction" in spec.features:
+        assert spec.needs_full_capture
+        assert spec.tiers_required[-1] == "payload"
+
+
+def test_all_features_have_tiers():
+    for name in FEATURE_NAMES:
+        assert FEATURE_COLLECTION_TIER.get(name) in (
+            "counter", "flow", "payload")
+
+
+def test_multiclass_rejected():
+    ds = _dataset()
+    bad = Dataset(ds.X, np.clip(ds.y + 1, 0, 2),
+                  ds.feature_names, ["a", "b", "c"])
+    with pytest.raises(ValueError):
+        minimal_feature_subset(
+            lambda: DecisionTreeClassifier(), bad)
+
+
+def test_render():
+    spec = CollectionSpec(features=["pkts", "unique_dsts"],
+                          metric_full=0.95, metric_subset=0.94,
+                          window_s=5.0, tiers_required=["counter", "flow"])
+    text = spec.render()
+    assert "[counter] pkts" in text
+    assert "[flow] unique_dsts" in text
+    assert not spec.needs_full_capture

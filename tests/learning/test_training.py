@@ -1,0 +1,63 @@
+"""Training orchestration and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.learning import Dataset, train_test_split
+from repro.learning.training import MODEL_REGISTRY, train_and_evaluate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(21)
+    X = rng.normal(size=(400, 4))
+    y = (X[:, 0] > 0).astype(int)
+    return Dataset(X, y, [f"f{i}" for i in range(4)], ["neg", "pos"])
+
+
+def test_registry_models_all_trainable(dataset):
+    train, test = train_test_split(dataset, seed=0)
+    for name in MODEL_REGISTRY:
+        result = train_and_evaluate(name, train, test)
+        assert result.metrics["accuracy"] > 0.7, name
+        assert result.train_seconds >= 0.0
+        assert result.model_name == name
+
+
+def test_binary_metrics_present(dataset):
+    train, test = train_test_split(dataset, seed=0)
+    result = train_and_evaluate("tree", train, test)
+    for key in ("precision", "recall", "f1", "auc"):
+        assert key in result.metrics
+    assert result.metrics["auc"] > 0.9
+
+
+def test_positive_class_by_name(dataset):
+    train, test = train_test_split(dataset, seed=0)
+    result = train_and_evaluate("tree", train, test, positive_class="neg")
+    assert 0.0 <= result.metrics["precision"] <= 1.0
+
+
+def test_unknown_model_raises(dataset):
+    train, test = train_test_split(dataset, seed=0)
+    with pytest.raises(KeyError):
+        train_and_evaluate("quantum", train, test)
+
+
+def test_custom_model_instance(dataset):
+    from repro.learning.models import DecisionTreeClassifier
+
+    train, test = train_test_split(dataset, seed=0)
+    result = train_and_evaluate(
+        "custom-tree", train, test,
+        model=DecisionTreeClassifier(max_depth=2))
+    assert result.model_name == "custom-tree"
+    assert result.metrics["accuracy"] > 0.8
+
+
+def test_report_included(dataset):
+    train, test = train_test_split(dataset, seed=0)
+    result = train_and_evaluate("naive_bayes", train, test)
+    assert "pos" in result.report
+    assert "_overall" in result.report
+    assert str(result).startswith("naive_bayes:")

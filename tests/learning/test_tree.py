@@ -1,0 +1,134 @@
+"""Decision tree: learning, structure, constraints, introspection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learning.models import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    NotFittedError,
+)
+
+
+def test_fits_axis_aligned_boundary():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(400, 2))
+    y = (X[:, 0] > 0.5).astype(int)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert np.mean(tree.predict(X) == y) == 1.0
+    assert tree.depth == 1
+    assert tree.n_leaves == 2
+    # the split must be on feature 0 near 0.5
+    assert tree.root_.feature == 0
+    assert tree.root_.threshold == pytest.approx(0.5, abs=0.05)
+
+
+def test_max_depth_respected():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 5))
+    y = rng.integers(0, 2, size=300)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    assert tree.depth <= 3
+
+
+def test_min_samples_leaf_respected():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(200, 4))
+    y = (X[:, 0] > 0).astype(int)
+    tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+    assert all(leaf.n_samples >= 20 for leaf in tree.leaves())
+
+
+def test_pure_node_stops_splitting():
+    X = np.asarray([[0.0], [1.0], [2.0]])
+    y = np.asarray([0, 0, 0])
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.n_leaves == 1
+
+
+def test_predict_proba_rows_sum_to_one():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(150, 3))
+    y = rng.integers(0, 3, size=150)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    proba = tree.predict_proba(X)
+    assert proba.shape == (150, 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_multiclass():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(size=(600, 2))
+    y = (X[:, 0] > 0.5).astype(int) + 2 * (X[:, 1] > 0.5).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert np.mean(tree.predict(X) == y) > 0.98
+
+
+def test_sample_weight_shifts_decision():
+    X = np.asarray([[0.0], [1.0], [2.0], [3.0]])
+    y = np.asarray([0, 0, 1, 1])
+    heavy_one = np.asarray([1.0, 1.0, 100.0, 100.0])
+    tree = DecisionTreeClassifier(max_depth=0)
+    tree.fit(X, y, sample_weight=heavy_one)
+    assert tree.predict([[1.5]])[0] == 1
+
+
+def test_decision_path_and_leaves():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(size=(200, 3))
+    y = ((X[:, 0] > 0.5) & (X[:, 1] > 0.5)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    path = tree.decision_path(X[0])
+    assert path[0] is tree.root_
+    assert path[-1].is_leaf
+    assert len(tree.leaves()) == tree.n_leaves
+
+
+def test_feature_importances_pick_signal():
+    rng = np.random.default_rng(6)
+    X = rng.normal(size=(500, 6))
+    y = (X[:, 2] > 0.0).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    importances = tree.feature_importances()
+    assert importances.sum() == pytest.approx(1.0)
+    assert np.argmax(importances) == 2
+
+
+def test_not_fitted_raises():
+    tree = DecisionTreeClassifier()
+    with pytest.raises(NotFittedError):
+        tree.predict(np.zeros((1, 2)))
+
+
+def test_fit_validation():
+    tree = DecisionTreeClassifier()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3, 2)), np.zeros(2))
+
+
+def test_regressor_fits_step_function():
+    X = np.linspace(0, 1, 200).reshape(-1, 1)
+    y = np.where(X[:, 0] > 0.5, 3.0, -1.0)
+    reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+    pred = reg.predict(X)
+    assert np.allclose(pred[X[:, 0] > 0.55], 3.0, atol=0.2)
+    assert np.allclose(pred[X[:, 0] < 0.45], -1.0, atol=0.2)
+
+
+def test_regressor_not_fitted():
+    with pytest.raises(NotFittedError):
+        DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_property_depth_bound_holds(depth):
+    rng = np.random.default_rng(depth)
+    X = rng.normal(size=(200, 4))
+    y = rng.integers(0, 2, size=200)
+    tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+    assert tree.depth <= depth
+    assert tree.n_leaves <= 2 ** depth

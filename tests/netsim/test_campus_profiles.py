@@ -1,0 +1,39 @@
+"""Campus profile construction knobs."""
+
+import pytest
+
+from repro.netsim import CAMPUS_PROFILES, make_campus
+
+
+def test_activity_override_scales_arrivals():
+    quiet = make_campus("tiny", seed=1, mean_flows_per_hour=10.0)
+    busy = make_campus("tiny", seed=1, mean_flows_per_hour=1000.0)
+    t = quiet.now
+    quiet_rate = quiet.population.total_expected_rate(t)
+    busy_rate = busy.population.total_expected_rate(t)
+    assert busy_rate == pytest.approx(100 * quiet_rate, rel=1e-6)
+
+
+def test_override_none_keeps_profile_default():
+    default = make_campus("tiny", seed=1)
+    explicit = make_campus("tiny", seed=1, mean_flows_per_hour=None)
+    assert default.population.mean_flows_per_hour == \
+        explicit.population.mean_flows_per_hour == \
+        CAMPUS_PROFILES["tiny"].mean_flows_per_hour
+
+
+def test_start_time_propagates():
+    net = make_campus("tiny", seed=1, start_time=3 * 3600.0)
+    assert net.now == 3 * 3600.0
+
+
+def test_profiles_have_distinct_mixes():
+    teaching = make_campus("teaching", seed=1)
+    research = make_campus("research", seed=1)
+    assert set(teaching.mix.model_names()) != set(research.mix.model_names())
+
+
+def test_profile_sizes_ordered():
+    tiny = make_campus("tiny", seed=1)
+    medium = make_campus("medium", seed=1)
+    assert len(medium.topology.hosts) > 3 * len(tiny.topology.hosts)

@@ -1,0 +1,125 @@
+"""Fluid flow model: timing, caps, policers, truncation."""
+
+import pytest
+
+from repro.netsim import make_campus
+from repro.netsim.packets import FiveTuple
+
+
+def _flow(net, size=1e6, **kwargs):
+    return net.make_flow("h0_0_0", "inet0", size_bytes=size, **kwargs)
+
+
+def test_single_flow_finishes_at_bottleneck_rate(tiny_network):
+    net = tiny_network
+    done = []
+    net.add_flow_observer(done.append)
+    # Host uplink 1 Gbps is the bottleneck for one flow.
+    flow = net.inject_flow(_flow(net, size=1.25e8))   # 1 Gb of data = 1 s
+    net.run_for(10.0)
+    assert len(done) == 1
+    assert done[0].duration == pytest.approx(1.0, rel=0.01)
+    assert done[0].transferred_bytes == pytest.approx(1.25e8)
+
+
+def test_two_flows_share_bottleneck_equally(tiny_network):
+    net = tiny_network
+    done = []
+    net.add_flow_observer(done.append)
+    net.inject_flow(net.make_flow("h0_0_0", "inet0", size_bytes=1.25e7))
+    net.inject_flow(net.make_flow("h0_0_0", "inet1", size_bytes=1.25e7,
+                                  src_port=5555))
+    net.run_for(10.0)
+    # Same host uplink: both run at 500 Mbps until the first finishes.
+    assert len(done) == 2
+    assert done[0].duration == pytest.approx(0.2, rel=0.02)
+
+
+def test_rate_cap_respected(tiny_network):
+    net = tiny_network
+    done = []
+    net.add_flow_observer(done.append)
+    net.inject_flow(_flow(net, size=1.25e6, rate_cap_bps=1e6))
+    net.run_for(60.0)
+    assert len(done) == 1
+    assert done[0].duration == pytest.approx(10.0, rel=0.01)
+
+
+def test_policer_cap_slows_matching_flows(tiny_network):
+    net = tiny_network
+    done = []
+    net.add_flow_observer(done.append)
+    flow = net.inject_flow(_flow(net, size=1.25e6))
+    net.flows.install_policer(
+        lambda f: f.key.src_ip == flow.key.src_ip, cap_bps=1e6)
+    net.run_for(60.0)
+    assert done[0].duration == pytest.approx(10.0, rel=0.02)
+
+
+def test_policer_drop_aborts_flow(tiny_network):
+    net = tiny_network
+    done = []
+    net.add_flow_observer(done.append)
+    flow = net.inject_flow(_flow(net, size=1e12))   # would run forever
+    net.run_for(1.0)
+    net.flows.install_policer(
+        lambda f: f.flow_id == flow.flow_id, cap_bps=None)
+    net.run_for(1.0)
+    assert flow.finished
+    assert flow.transferred_bytes < flow.size_bytes
+    assert len(done) == 1          # truncated flows still observed
+
+
+def test_policer_removal_restores_rate(tiny_network):
+    net = tiny_network
+    flow = net.inject_flow(_flow(net, size=1e12))
+    remove = net.flows.install_policer(lambda f: True, cap_bps=1e6)
+    assert flow.current_rate_bps == pytest.approx(1e6, rel=0.01)
+    remove()
+    assert flow.current_rate_bps > 1e8
+
+
+def test_drain_truncates_active_flows(tiny_network):
+    net = tiny_network
+    net.inject_flow(_flow(net, size=1e13))
+    net.run_for(2.0)
+    truncated = net.flows.drain()
+    assert len(truncated) == 1
+    assert truncated[0].finished
+    assert 0 < truncated[0].transferred_bytes < 1e13
+    assert not net.flows.active
+
+
+def test_duplicate_flow_id_rejected(tiny_network):
+    net = tiny_network
+    flow = _flow(net, size=1e9)
+    net.inject_flow(flow)
+    with pytest.raises(ValueError):
+        net.flows.start_flow(flow)
+
+
+def test_nonpositive_size_rejected(tiny_network):
+    net = tiny_network
+    flow = _flow(net, size=0)
+    with pytest.raises(ValueError):
+        net.inject_flow(flow)
+
+
+def test_flow_byte_split_matches_fwd_fraction(tiny_network):
+    net = tiny_network
+    flow = net.inject_flow(_flow(net, size=1e6, fwd_fraction=0.25))
+    net.run_for(30.0)
+    assert flow.fwd_bytes == pytest.approx(0.25e6, rel=0.01)
+    assert flow.rev_bytes == pytest.approx(0.75e6, rel=0.01)
+
+
+def test_wire_direction_mapping(tiny_network):
+    net = tiny_network
+    outbound = net.make_flow("h0_0_0", "inet0", size_bytes=1e3)
+    assert outbound.src_internal
+    assert outbound.wire_direction("fwd") == "out"
+    assert outbound.wire_direction("rev") == "in"
+    inbound = net.make_flow("inet0", "h0_0_0", size_bytes=1e3)
+    assert not inbound.src_internal
+    assert inbound.wire_direction("fwd") == "in"
+    assert inbound.wire_direction("rev") == "out"

@@ -1,0 +1,63 @@
+"""Link accounting, failure, and degradation."""
+
+import pytest
+
+from repro.netsim.links import Link, LinkTable, edge_key
+from repro.netsim.topology import TopologySpec, build_campus_topology
+
+
+def test_edge_key_is_canonical():
+    assert edge_key("b", "a") == edge_key("a", "b") == ("a", "b")
+
+
+def test_byte_accounting_is_time_weighted():
+    link = Link("a", "b", capacity_bps=8e6, delay_s=0.001)
+    link.set_rate(0.0, 8e6)       # 1 MB/s
+    link.accumulate(2.0)
+    assert link.bytes_carried == pytest.approx(2e6)
+    link.set_rate(2.0, 0.0)
+    link.accumulate(5.0)
+    assert link.bytes_carried == pytest.approx(2e6)
+
+
+def test_utilization():
+    link = Link("a", "b", capacity_bps=10e9, delay_s=0.001)
+    link.set_rate(0.0, 5e9)
+    assert link.utilization() == pytest.approx(0.5)
+
+
+def test_failure_and_restore():
+    link = Link("a", "b", capacity_bps=1e9, delay_s=0.001)
+    link.set_up(False)
+    assert not link.up
+    assert link.capacity_bps <= 1.0
+    link.restore()
+    assert link.up
+    assert link.capacity_bps == 1e9
+
+
+def test_degrade_bounds():
+    link = Link("a", "b", capacity_bps=1e9, delay_s=0.001)
+    link.degrade(0.1)
+    assert link.capacity_bps == pytest.approx(1e8)
+    with pytest.raises(ValueError):
+        link.degrade(0.0)
+    with pytest.raises(ValueError):
+        link.degrade(1.5)
+
+
+def test_table_from_topology_and_path_ops():
+    topo = build_campus_topology(TopologySpec(), seed=0)
+    table = LinkTable.from_topology(topo)
+    assert len(table) == topo.graph.number_of_edges()
+    path = ["h0_0_0", "acc0_0", "dist0"]
+    links = table.links_on_path(path)
+    assert len(links) == 2
+    assert table.path_delay(path) > 0
+
+
+def test_duplicate_link_rejected():
+    table = LinkTable()
+    table.add(Link("a", "b", 1e9, 0.001))
+    with pytest.raises(ValueError):
+        table.add(Link("b", "a", 1e9, 0.001))

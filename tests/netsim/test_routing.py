@@ -1,0 +1,61 @@
+"""Routing: shortest paths, caching, failure rerouting."""
+
+import pytest
+
+from repro.netsim.routing import NoRouteError, Router
+from repro.netsim.topology import TopologySpec, build_campus_topology
+
+
+@pytest.fixture
+def topo():
+    return build_campus_topology(TopologySpec(), seed=1)
+
+
+def test_path_endpoints_and_adjacency(topo):
+    router = Router(topo)
+    path = router.path("h0_0_0", "inet0")
+    assert path[0] == "h0_0_0"
+    assert path[-1] == "inet0"
+    for a, b in zip(path, path[1:]):
+        assert topo.graph.has_edge(a, b)
+
+
+def test_host_to_internet_crosses_border(topo):
+    router = Router(topo)
+    path = router.path("h1_0_3", "inet5")
+    assert router.crosses(path, *topo.border_link)
+
+
+def test_internal_path_avoids_border(topo):
+    router = Router(topo)
+    path = router.path("h0_0_0", "srv0")
+    assert not router.crosses(path, *topo.border_link)
+
+
+def test_reverse_path_is_cached_reversed(topo):
+    router = Router(topo)
+    forward = router.path("h0_0_0", "srv1")
+    assert router.path("srv1", "h0_0_0") == list(reversed(forward))
+
+
+def test_link_failure_reroutes(topo):
+    router = Router(topo)
+    path = router.path("h0_0_0", "inet0")
+    # Fail the core->border hop; the redundant core pair provides the
+    # alternate path (coreX -> coreY -> border).
+    core_hop = None
+    for a, b in zip(path, path[1:]):
+        if {a[:4], b[:4]} == {"core", "bord"}:
+            core_hop = (a, b)
+            break
+    assert core_hop is not None
+    router.set_link_state(*core_hop, up=False)
+    new_path = router.path("h0_0_0", "inet0")
+    assert not router.crosses(new_path, *core_hop)
+    router.set_link_state(*core_hop, up=True)
+
+
+def test_no_route_raises(topo):
+    router = Router(topo)
+    with pytest.raises(NoRouteError):
+        router.path("h0_0_0", "nonexistent")

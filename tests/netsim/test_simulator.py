@@ -1,0 +1,140 @@
+"""Event-engine semantics: ordering, cancellation, clock discipline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.simulator import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, lambda: fired.append(3))
+    sim.schedule_at(1.0, lambda: fired.append(1))
+    sim.schedule_at(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_at(5.0, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_relative_schedule_uses_current_time():
+    sim = Simulator(start_time=100.0)
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [102.0]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancellation_skips_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_at(1.0, lambda: fired.append("a"))
+    sim.schedule_at(2.0, lambda: fired.append("b"))
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["b"]
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: fired.append(1))
+    sim.schedule_at(5.0, lambda: fired.append(5))
+    processed = sim.run_until(3.0)
+    assert processed == 1
+    assert fired == [1]
+    assert sim.now == 3.0
+    sim.run_until(10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(3.0, lambda: fired.append(3))
+    sim.run_until(3.0)
+    assert fired == [3]
+
+
+def test_run_until_backwards_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(5.0)
+
+
+def test_stop_inside_callback_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule_at(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule_at(float(i), lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.events_processed == 4
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule_at(1.0, lambda: None)
+    sim.schedule_at(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, lambda: chain(n + 1))
+
+    sim.schedule_at(0.0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=60))
+def test_property_fire_order_matches_sorted_times(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == sorted(times)
+    assert sim.events_processed == len(times)

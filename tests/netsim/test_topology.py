@@ -1,0 +1,98 @@
+"""Campus topology construction and addressing."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.topology import (
+    CampusTopology,
+    NodeKind,
+    TopologySpec,
+    build_campus_topology,
+    _public_ip,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_campus_topology(TopologySpec(), seed=3)
+
+
+def test_validates_and_is_connected(topo):
+    topo.validate()   # raises on failure
+
+
+def test_has_expected_tiers(topo):
+    assert len(topo.nodes_of_kind(NodeKind.BORDER)) == 1
+    assert len(topo.nodes_of_kind(NodeKind.CORE)) == 2
+    spec = TopologySpec()
+    assert len(topo.hosts) == (
+        spec.departments * spec.access_per_department * spec.hosts_per_access
+        + spec.wifi_aps * spec.hosts_per_ap
+    )
+    assert len(topo.servers) == spec.servers
+    assert len(topo.internet_hosts) == spec.internet_hosts
+
+
+def test_border_link_connects_border_and_internet(topo):
+    a, b = topo.border_link
+    kinds = {topo.kind(a), topo.kind(b)}
+    assert kinds == {NodeKind.BORDER, NodeKind.INTERNET_GW}
+
+
+def test_endpoint_ips_unique_and_resolvable(topo):
+    ips = [topo.ip(n) for n in topo.endpoints]
+    assert len(set(ips)) == len(ips)
+    for node in topo.endpoints:
+        assert topo.node_by_ip(topo.ip(node)) == node
+
+
+def test_internal_vs_external_addressing(topo):
+    for host in topo.hosts:
+        assert topo.is_internal_ip(topo.ip(host))
+    for remote in topo.internet_hosts:
+        assert not topo.is_internal_ip(topo.ip(remote))
+    assert not topo.is_internal_ip("not-an-ip")
+
+
+def test_departments_assigned(topo):
+    departments = {topo.department(h) for h in topo.hosts}
+    assert "dept0" in departments
+    assert "wifi" in departments
+
+
+def test_duplicate_node_rejected():
+    t = CampusTopology()
+    t.add_node("x", NodeKind.HOST, ip="10.0.0.1")
+    with pytest.raises(ValueError):
+        t.add_node("x", NodeKind.HOST, ip="10.0.0.2")
+
+
+def test_link_to_unknown_node_rejected():
+    t = CampusTopology()
+    t.add_node("x", NodeKind.HOST, ip="10.0.0.1")
+    with pytest.raises(ValueError):
+        t.add_link("x", "ghost", 1e9, 0.001)
+
+
+def test_validate_rejects_disconnected():
+    t = CampusTopology()
+    t.add_node("a", NodeKind.HOST, ip="10.0.0.1")
+    t.add_node("b", NodeKind.HOST, ip="10.0.0.2")
+    t.border_link = None
+    with pytest.raises(ValueError):
+        t.validate()
+
+
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=500))
+def test_property_public_ips_are_not_rfc1918(seed, index):
+    ip = ipaddress.ip_address(_public_ip(seed, index))
+    assert not ip.is_private
+
+
+def test_link_attributes(topo):
+    a, b = topo.border_link
+    assert topo.link_capacity(a, b) == TopologySpec().uplink_gbps * 1e9
+    assert topo.link_delay(a, b) == TopologySpec().uplink_delay_s

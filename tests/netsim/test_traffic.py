@@ -1,0 +1,111 @@
+"""Application models, mixes, and payload synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.flows import Flow
+from repro.netsim.packets import FiveTuple, Protocol
+from repro.netsim.traffic import (
+    DEFAULT_MIX,
+    DnsModel,
+    TrafficMix,
+    VideoStreamingModel,
+    WebBrowsingModel,
+    default_mix,
+)
+from repro.netsim.traffic.payloads import (
+    decode_dns_qname,
+    dns_amplification_payload,
+    dns_query_payload,
+    encode_dns_qname,
+    http_payload,
+    ssh_payload,
+    tls_payload,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def _dummy_flow(flow_id=7):
+    return Flow(flow_id=flow_id,
+                key=FiveTuple("10.0.0.1", "9.9.9.9", 1234, 53, 17),
+                src_node="a", dst_node="b", size_bytes=500)
+
+
+def test_mix_weights_normalised():
+    mix = default_mix()
+    assert mix.weights.sum() == pytest.approx(1.0)
+    assert len(mix.models) == len(mix.weights)
+
+
+def test_mix_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        TrafficMix([])
+    with pytest.raises(ValueError):
+        TrafficMix([(DnsModel(), -1.0)])
+
+
+def test_mix_samples_follow_weights(rng):
+    mix = TrafficMix([(DnsModel(), 0.9), (WebBrowsingModel(), 0.1)])
+    names = [mix.sample(rng).app for _ in range(400)]
+    assert names.count("dns") > names.count("web")
+
+
+def test_templates_are_wellformed(rng):
+    for model in DEFAULT_MIX.models:
+        for _ in range(20):
+            t = model.sample(rng)
+            assert t.size_bytes >= 64
+            assert 0.0 <= t.fwd_fraction <= 1.0
+            assert t.protocol in (int(Protocol.TCP), int(Protocol.UDP))
+            assert 0 < t.dst_port < 65536
+
+
+def test_video_is_rate_capped(rng):
+    t = VideoStreamingModel().sample(rng)
+    assert t.rate_cap_bps is not None
+    assert t.rate_cap_bps >= 3e6
+
+
+def test_dns_qname_roundtrip():
+    wire = encode_dns_qname("lms.campus.edu")
+    assert decode_dns_qname(b"\x00" * 12 + wire) == "lms.campus.edu"
+
+
+def test_dns_query_and_response_payloads():
+    flow = _dummy_flow()
+    query = dns_query_payload(flow, 0, "fwd")
+    response = dns_query_payload(flow, 0, "rev")
+    assert query[2] & 0x80 == 0          # QR bit clear
+    assert response[2] & 0x80            # QR bit set
+    assert decode_dns_qname(query)       # parseable name
+
+
+def test_amplification_payload_is_any_query():
+    flow = _dummy_flow()
+    query = dns_amplification_payload(flow, 0, "fwd")
+    # QTYPE sits right after the encoded qname.
+    i = 12
+    while query[i] != 0:
+        i += query[i] + 1
+    qtype = int.from_bytes(query[i + 1:i + 3], "big")
+    assert qtype == 255
+    response = dns_amplification_payload(flow, 0, "rev")
+    assert len(response) > len(query)
+
+
+def test_http_and_tls_and_ssh_payload_shapes():
+    flow = _dummy_flow()
+    assert http_payload(flow, 0, "fwd").startswith(b"GET ")
+    assert http_payload(flow, 0, "rev").startswith(b"HTTP/1.1 200")
+    assert tls_payload(flow, 0, "fwd").startswith(b"\x16\x03\x03")
+    assert ssh_payload(flow, 0, "fwd").startswith(b"SSH-2.0")
+
+
+def test_payloads_are_deterministic():
+    a = dns_query_payload(_dummy_flow(9), 0, "fwd")
+    b = dns_query_payload(_dummy_flow(9), 0, "fwd")
+    assert a == b

@@ -1,0 +1,59 @@
+"""User population and diurnal activity."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.users import SECONDS_PER_DAY, User, UserPopulation, \
+    diurnal_factor
+
+
+def test_diurnal_factor_bounded():
+    for hour in range(24):
+        value = diurnal_factor(hour * 3600.0)
+        assert 0.0 < value <= 1.0
+
+
+def test_diurnal_peaks_in_afternoon_and_dips_at_night():
+    afternoon = diurnal_factor(15 * 3600.0)
+    night = diurnal_factor(4 * 3600.0)
+    assert afternoon > 3 * night
+
+
+def test_diurnal_is_periodic():
+    t = 10 * 3600.0
+    assert diurnal_factor(t) == pytest.approx(
+        diurnal_factor(t + SECONDS_PER_DAY))
+
+
+def test_population_assigns_all_hosts():
+    rng = np.random.default_rng(0)
+    hosts = [f"h{i}" for i in range(20)]
+    pop = UserPopulation(hosts, rng)
+    assert [u.host for u in pop.users] == hosts
+    assert all(u.activity > 0 for u in pop.users)
+
+
+def test_population_requires_hosts():
+    with pytest.raises(ValueError):
+        UserPopulation([], np.random.default_rng(0))
+
+
+def test_arrival_rate_scales_with_activity():
+    rng = np.random.default_rng(0)
+    pop = UserPopulation(["a", "b"], rng, mean_flows_per_hour=60.0)
+    quiet = User(host="a", activity=0.5)
+    busy = User(host="b", activity=2.0)
+    t = 14 * 3600.0
+    assert pop.arrival_rate(busy, t) == pytest.approx(
+        4 * pop.arrival_rate(quiet, t))
+
+
+def test_interarrival_sampling_positive_and_rate_consistent():
+    rng = np.random.default_rng(3)
+    pop = UserPopulation(["a"], rng, mean_flows_per_hour=360.0)
+    user = User(host="a", activity=1.0)
+    t = 15 * 3600.0
+    samples = [pop.next_interarrival(user, t, rng) for _ in range(2000)]
+    assert all(s > 0 for s in samples)
+    expected_mean = 1.0 / pop.arrival_rate(user, t)
+    assert np.mean(samples) == pytest.approx(expected_mean, rel=0.1)

@@ -1,0 +1,61 @@
+"""Crypto-PAn prefix-preservation properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.privacy.cryptopan import CryptoPan, _int_to_ip, _ip_to_int
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+ip_ints = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@pytest.fixture(scope="module")
+def pan():
+    return CryptoPan(KEY)
+
+
+def test_deterministic(pan):
+    assert pan.anonymize("10.1.2.3") == pan.anonymize("10.1.2.3")
+
+
+def test_different_keys_differ():
+    a = CryptoPan(KEY).anonymize("10.1.2.3")
+    b = CryptoPan(b"another-key-entirely-0123456789a").anonymize("10.1.2.3")
+    assert a != b
+
+
+def test_short_key_rejected():
+    with pytest.raises(ValueError):
+        CryptoPan(b"short")
+
+
+def test_subnet_structure_preserved(pan):
+    base = [pan.anonymize(f"10.5.7.{h}") for h in range(1, 20)]
+    prefixes = {tuple(ip.split(".")[:3]) for ip in base}
+    assert len(prefixes) == 1
+    other = pan.anonymize("10.5.8.1")
+    assert tuple(other.split(".")[:3]) not in prefixes
+
+
+@settings(max_examples=100, deadline=None)
+@given(ip_ints, ip_ints)
+def test_property_exact_prefix_preservation(a, b):
+    """shared_prefix(anon(a), anon(b)) == shared_prefix(a, b)."""
+    pan = CryptoPan(KEY)
+    ip_a, ip_b = _int_to_ip(a), _int_to_ip(b)
+    before = pan.shared_prefix_len(ip_a, ip_b)
+    after = pan.shared_prefix_len(pan.anonymize(ip_a), pan.anonymize(ip_b))
+    assert before == after
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(ip_ints, min_size=2, max_size=40, unique=True))
+def test_property_injective(values):
+    pan = CryptoPan(KEY)
+    anonymized = [pan.anonymize(_int_to_ip(v)) for v in values]
+    assert len(set(anonymized)) == len(values)
+
+
+def test_roundtrip_helpers():
+    assert _int_to_ip(_ip_to_int("192.0.2.55")) == "192.0.2.55"

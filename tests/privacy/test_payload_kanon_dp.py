@@ -1,0 +1,146 @@
+"""Payload policies, k-anonymity auditing, differential privacy."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.packets import PacketRecord
+from repro.privacy import (
+    DpAccountant,
+    DpBudgetExceeded,
+    KAnonymityAuditor,
+    PayloadMode,
+    PayloadPolicy,
+    laplace_noise,
+)
+
+
+def _packet(payload=b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"):
+    return PacketRecord(
+        timestamp=0.0, src_ip="10.0.0.1", dst_ip="8.8.8.8", src_port=1,
+        dst_port=80, protocol=6, size=1000, payload_len=960, flags=0,
+        ttl=64, payload=payload, flow_id=1, app="web", label="benign",
+        direction="out",
+    )
+
+
+class TestPayloadPolicy:
+    def test_keep(self):
+        p = _packet()
+        original = p.payload
+        PayloadPolicy(PayloadMode.KEEP).apply(p)
+        assert p.payload == original
+
+    def test_truncate(self):
+        p = _packet()
+        PayloadPolicy(PayloadMode.TRUNCATE, truncate_bytes=4).apply(p)
+        assert p.payload == b"GET "
+
+    def test_hash_is_deterministic_and_opaque(self):
+        a, b = _packet(), _packet()
+        policy = PayloadPolicy(PayloadMode.HASH)
+        policy.apply(a)
+        policy.apply(b)
+        assert a.payload == b.payload
+        assert a.payload != _packet().payload
+        assert len(a.payload) == 16
+
+    def test_strip(self):
+        p = _packet()
+        PayloadPolicy(PayloadMode.STRIP).apply(p)
+        assert p.payload == b""
+
+    def test_exempt_service_keeps_payload(self):
+        p = _packet()
+        policy = PayloadPolicy(PayloadMode.STRIP,
+                               exempt_services=frozenset({"dns"}))
+        policy.apply(p, service="dns")
+        assert p.payload != b""
+        policy.apply(p, service="https")
+        assert p.payload == b""
+
+
+class TestKAnonymity:
+    class Row:
+        def __init__(self, dept, role):
+            self.dept = dept
+            self.role = role
+
+    def _rows(self):
+        rows = [self.Row("cs", "student") for _ in range(10)]
+        rows += [self.Row("ee", "student") for _ in range(5)]
+        rows += [self.Row("cs", "faculty")]          # unique combination
+        return rows
+
+    def test_audit_finds_small_groups(self):
+        report = KAnonymityAuditor(k=5).audit(self._rows(),
+                                              ["dept", "role"])
+        assert not report.satisfied
+        assert report.violating_combinations == 1
+        assert report.violating_records == 1
+        assert report.min_group_size == 1
+        assert report.distinct_combinations == 3
+
+    def test_suppress_removes_violators(self):
+        auditor = KAnonymityAuditor(k=5)
+        kept = auditor.suppress(self._rows(), ["dept", "role"])
+        assert len(kept) == 15
+        assert auditor.audit(kept, ["dept", "role"]).satisfied
+
+    def test_k_one_always_satisfied(self):
+        report = KAnonymityAuditor(k=1).audit(self._rows(), ["dept"])
+        assert report.satisfied
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KAnonymityAuditor(k=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=6))
+    def test_property_suppression_achieves_k(self, pairs, k):
+        rows = [self.Row(a, b) for a, b in pairs]
+        auditor = KAnonymityAuditor(k=k)
+        kept = auditor.suppress(rows, ["dept", "role"])
+        assert auditor.audit(kept, ["dept", "role"]).satisfied
+
+
+class TestDp:
+    def test_budget_ledger(self):
+        acc = DpAccountant(total_epsilon=1.0, seed=1)
+        acc.release_count(100, epsilon=0.4)
+        acc.release_count(100, epsilon=0.4)
+        assert acc.remaining == pytest.approx(0.2)
+        with pytest.raises(DpBudgetExceeded):
+            acc.release_count(100, epsilon=0.4)
+
+    def test_histogram_single_charge(self):
+        acc = DpAccountant(total_epsilon=1.0, seed=1)
+        noisy = acc.release_histogram({"a": 10, "b": 20}, epsilon=0.5)
+        assert set(noisy) == {"a", "b"}
+        assert acc.spent == pytest.approx(0.5)
+
+    def test_noise_scale_matches_epsilon(self):
+        rng = np.random.default_rng(0)
+        small_eps = [laplace_noise(rng, 1.0, 0.1) for _ in range(3000)]
+        large_eps = [laplace_noise(rng, 1.0, 10.0) for _ in range(3000)]
+        assert np.std(small_eps) > 10 * np.std(large_eps)
+        # Laplace(b) has std b*sqrt(2)
+        assert np.std(small_eps) == pytest.approx(10 * np.sqrt(2), rel=0.15)
+
+    def test_noisy_count_unbiasedness(self):
+        acc = DpAccountant(total_epsilon=1000.0, seed=2)
+        values = [acc.release_count(50, epsilon=1.0) for _ in range(500)]
+        assert np.mean(values) == pytest.approx(50.0, abs=0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DpAccountant(total_epsilon=0)
+        acc = DpAccountant(total_epsilon=1.0)
+        with pytest.raises(ValueError):
+            acc.release_count(1, epsilon=-0.5)
+        with pytest.raises(ValueError):
+            laplace_noise(np.random.default_rng(0), -1.0, 1.0)

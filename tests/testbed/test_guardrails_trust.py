@@ -1,0 +1,105 @@
+"""Guardrails and the operator trust model."""
+
+import pytest
+
+from repro.testbed import Guardrail, OperatorTrustModel, ReviewOutcome, \
+    standard_guardrails
+
+
+class TestGuardrails:
+    def test_max_comparator(self):
+        rail = Guardrail("fp", "false_positive_rate", 0.1, "max")
+        assert rail.check({"false_positive_rate": 0.05}) is None
+        violation = rail.check({"false_positive_rate": 0.2})
+        assert violation is not None
+        assert violation.observed == 0.2
+        assert "fp" in violation.message
+
+    def test_min_comparator(self):
+        rail = Guardrail("recall", "recall", 0.5, "min")
+        assert rail.check({"recall": 0.9}) is None
+        assert rail.check({"recall": 0.3}) is not None
+
+    def test_missing_metric_is_not_violation(self):
+        rail = Guardrail("x", "nonexistent", 0.5)
+        assert rail.check({}) is None
+
+    def test_standard_set(self):
+        rails = standard_guardrails()
+        names = {r.name for r in rails}
+        assert names == {"precision-floor", "recall-floor",
+                         "collateral-ceiling"}
+        good = {"false_positive_rate": 0.01, "recall": 0.95,
+                "collateral_fraction": 0.001}
+        assert all(r.check(good) is None for r in rails)
+        bad = {"false_positive_rate": 0.5, "recall": 0.1,
+               "collateral_fraction": 0.2}
+        assert sum(1 for r in rails if r.check(bad)) == 3
+
+
+class TestTrust:
+    def test_agreed_reviews_build_trust_slowly(self):
+        model = OperatorTrustModel(initial_trust=0.2)
+        for _ in range(20):
+            model.review(ReviewOutcome.AGREED, evidence_strength=1.0)
+        assert 0.5 < model.trust < 1.0
+
+    def test_surprise_builds_faster_than_agreement(self):
+        agree = OperatorTrustModel(initial_trust=0.2)
+        surprise = OperatorTrustModel(initial_trust=0.2)
+        for _ in range(5):
+            agree.review(ReviewOutcome.AGREED, 1.0)
+            surprise.review(ReviewOutcome.SURPRISED_CORRECT, 1.0)
+        assert surprise.trust > agree.trust
+
+    def test_incorrect_decisions_hurt_fast(self):
+        model = OperatorTrustModel(initial_trust=0.8)
+        model.review(ReviewOutcome.INCORRECT)
+        assert model.trust < 0.6
+        gains_per_mistake = 0
+        while model.trust < 0.8 and gains_per_mistake < 100:
+            model.review(ReviewOutcome.AGREED, 1.0)
+            gains_per_mistake += 1
+        assert gains_per_mistake > 3     # asymmetry: slow to rebuild
+
+    def test_trust_bounded(self):
+        model = OperatorTrustModel(initial_trust=0.99)
+        for _ in range(50):
+            model.review(ReviewOutcome.SURPRISED_CORRECT, 1.0)
+        assert model.trust <= 1.0
+        for _ in range(50):
+            model.review(ReviewOutcome.INCORRECT)
+        assert model.trust >= 0.0
+
+    def test_zero_evidence_strength_no_gain(self):
+        model = OperatorTrustModel(initial_trust=0.3)
+        model.review(ReviewOutcome.AGREED, evidence_strength=0.0)
+        assert model.trust == pytest.approx(0.3)
+
+    def test_deploy_threshold_and_trajectory(self):
+        model = OperatorTrustModel(initial_trust=0.2,
+                                   deploy_threshold=0.5)
+        assert not model.would_deploy
+        for _ in range(10):
+            model.review(ReviewOutcome.SURPRISED_CORRECT, 1.0)
+        assert model.would_deploy
+        assert len(model.trajectory()) == 10
+        assert model.trajectory() == sorted(model.trajectory())
+
+    def test_review_evidence_routing(self):
+        from repro.xai.evidence import DecisionEvidence
+
+        evidence = DecisionEvidence(predicted_class=1,
+                                    predicted_label="ddos",
+                                    confidence=0.9, clauses=[],
+                                    leaf_support=100)
+        model = OperatorTrustModel(initial_trust=0.5)
+        model.review_evidence(evidence, correct=True, surprising=True)
+        up = model.trust
+        assert up > 0.5
+        model.review_evidence(evidence, correct=False)
+        assert model.trust < up
+
+    def test_invalid_initial_trust(self):
+        with pytest.raises(ValueError):
+            OperatorTrustModel(initial_trust=1.5)

@@ -1,0 +1,79 @@
+"""The staged road-test pipeline."""
+
+import pytest
+
+from repro.deploy.switch import SwitchConfig
+from repro.events import DnsAmplificationAttack, Scenario
+from repro.netsim import make_campus
+from repro.testbed import DeploymentPhase, Guardrail, RoadTestPipeline
+from tests.deploy.test_switch import _ddos_classifier
+
+
+def _run_factory(seed):
+    net = make_campus("tiny", seed=seed)
+    scenario = Scenario("day", duration_s=90.0)
+    scenario.add(DnsAmplificationAttack, 20.0, 30.0, attack_gbps=0.05,
+                 resolvers=6)
+    return net, scenario
+
+
+def _deploy_fn(network, config):
+    from repro.deploy.switch import EmulatedSwitch
+
+    return EmulatedSwitch(network, _ddos_classifier(), config)
+
+
+def _pipeline(guardrails):
+    return RoadTestPipeline(
+        run_factory=_run_factory,
+        deploy_fn=_deploy_fn,
+        base_config=SwitchConfig(window_s=5.0, grace_s=2.0,
+                                 confidence_threshold=0.9),
+        guardrails=guardrails,
+    )
+
+
+@pytest.fixture(scope="module")
+def good_report():
+    """A competent tool under permissive guardrails: full promotion."""
+    rails = [Guardrail("recall-floor", "recall", 0.2, "min"),
+             Guardrail("precision-floor", "false_positive_rate", 0.6,
+                       "max")]
+    return _pipeline(rails).run(seed=3)
+
+
+def test_all_phases_run_in_order(good_report):
+    assert [p.phase for p in good_report.phases] == [
+        DeploymentPhase.SHADOW, DeploymentPhase.CANARY,
+        DeploymentPhase.FULL,
+    ]
+    assert good_report.deployed
+    assert good_report.rolled_back_at is None
+
+
+def test_phase_metrics_populated(good_report):
+    for phase in good_report.phases:
+        assert set(phase.metrics) >= {"precision", "recall", "f1",
+                                      "collateral_fraction",
+                                      "attack_coverage", "detections"}
+        assert phase.detections > 0
+
+
+def test_full_phase_covers_attack(good_report):
+    full = good_report.phase(DeploymentPhase.FULL)
+    assert full.metrics["attack_coverage"] > 0.5
+
+
+def test_shadow_never_enforces(good_report):
+    shadow = good_report.phase(DeploymentPhase.SHADOW)
+    assert shadow.metrics["collateral_fraction"] == 0.0
+    assert shadow.metrics["attack_coverage"] == 0.0
+
+
+def test_impossible_guardrail_rolls_back_at_shadow():
+    rails = [Guardrail("perfection", "recall", 1.01, "min")]
+    report = _pipeline(rails).run(seed=3)
+    assert not report.deployed
+    assert report.rolled_back_at == DeploymentPhase.SHADOW
+    assert len(report.phases) == 1
+    assert report.phases[0].violations

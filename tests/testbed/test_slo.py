@@ -1,0 +1,94 @@
+"""Detection-quality scoring and collateral accounting."""
+
+import pytest
+
+from repro.deploy.switch import Detection
+from repro.events.base import EventWindow, GroundTruth
+from repro.netsim.flows import Flow
+from repro.netsim.packets import FiveTuple
+from repro.testbed import evaluate_detections, measure_collateral
+
+
+def _detection(window_start, endpoint, decided_at=None, acted=True):
+    return Detection(
+        window_start=window_start, endpoint=endpoint,
+        class_name="ddos-dns-amp", confidence=0.95,
+        decided_at=decided_at if decided_at is not None else window_start + 7,
+        effective_at=window_start + 7, acted=acted,
+    )
+
+
+def _ground_truth():
+    gt = GroundTruth()
+    gt.add(EventWindow(kind="ddos", label="ddos-dns-amp",
+                       start_time=100.0, end_time=130.0,
+                       victims=["10.0.0.5"],
+                       actors=["1.1.1.1", "2.2.2.2"]))
+    return gt
+
+
+def test_precision_recall_delay():
+    gt = _ground_truth()
+    detections = [
+        _detection(105.0, "1.1.1.1"),         # TP
+        _detection(110.0, "2.2.2.2"),         # TP
+        _detection(105.0, "9.9.9.9"),         # FP: not an actor
+        _detection(500.0, "1.1.1.1"),         # FP: way outside window
+    ]
+    quality = evaluate_detections(detections, gt, slack_s=30.0)
+    assert quality.true_positives == 2
+    assert quality.false_positives == 2
+    assert quality.precision == pytest.approx(0.5)
+    assert quality.actors_total == 2
+    assert quality.recall == 1.0
+    assert quality.detection_delay_s == pytest.approx(12.0)   # 112 - 100
+    assert 0 < quality.f1 < 1
+
+
+def test_no_detections():
+    quality = evaluate_detections([], _ground_truth())
+    assert quality.precision == 0.0
+    assert quality.recall == 0.0
+    assert quality.detection_delay_s is None
+
+
+def test_repeated_detections_of_same_actor_count_once_for_recall():
+    gt = _ground_truth()
+    detections = [_detection(105.0 + i, "1.1.1.1") for i in range(5)]
+    quality = evaluate_detections(detections, gt)
+    assert quality.actors_detected == 1
+    assert quality.recall == pytest.approx(0.5)
+    assert quality.true_positives == 5
+
+
+def _flow(src, dst, label, start, end, transferred=1000.0):
+    flow = Flow(flow_id=1, key=FiveTuple(src, dst, 1, 2, 6),
+                src_node="a", dst_node="b", size_bytes=transferred,
+                label=label)
+    flow.start_time = start
+    flow.end_time = end
+    flow.transferred_bytes = transferred
+    return flow
+
+
+def test_collateral_accounting():
+    mitigations = {"1.1.1.1": 100.0}
+    flows = [
+        _flow("1.1.1.1", "10.0.0.5", "ddos-dns-amp", 90, 120),   # attack hit
+        _flow("10.0.0.7", "1.1.1.1", "benign", 110, 115),        # benign hit
+        _flow("10.0.0.7", "8.8.8.8", "benign", 110, 115),        # untouched
+        _flow("1.1.1.1", "10.0.0.5", "ddos-dns-amp", 50, 80),    # before
+    ]
+    report = measure_collateral(flows, mitigations)
+    assert report.attack_flows_total == 2
+    assert report.attack_flows_hit == 1
+    assert report.benign_flows_total == 2
+    assert report.benign_flows_hit == 1
+    assert report.collateral_fraction == pytest.approx(0.5)
+    assert report.attack_coverage == pytest.approx(0.5)
+
+
+def test_collateral_empty():
+    report = measure_collateral([], {})
+    assert report.collateral_fraction == 0.0
+    assert report.attack_coverage == 0.0

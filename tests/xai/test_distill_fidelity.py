@@ -1,0 +1,87 @@
+"""Model extraction and fidelity measurement."""
+
+import numpy as np
+import pytest
+
+from repro.learning.models import (
+    GradientBoostingClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.xai import distill_tree, fidelity, fidelity_report, proba_fidelity
+
+
+@pytest.fixture(scope="module")
+def teacher_task():
+    rng = np.random.default_rng(17)
+    X = np.abs(rng.normal(size=(600, 6)))
+    y = ((X[:, 0] > 1.0) | (X[:, 3] > 1.5)).astype(int)
+    teacher = GradientBoostingClassifier(n_estimators=40).fit(X, y)
+    return teacher, X, y
+
+
+def test_student_closely_approximates_teacher(teacher_task):
+    teacher, X, y = teacher_task
+    result = distill_tree(teacher, X, max_depth=4, seed=1)
+    assert result.train_fidelity > 0.9
+    report = fidelity_report(teacher, result.student, X, y)
+    assert report.label_fidelity > 0.9
+    assert report.probability_fidelity > 0.7
+
+
+def test_student_is_lightweight(teacher_task):
+    teacher, X, _ = teacher_task
+    result = distill_tree(teacher, X, max_depth=3, seed=1)
+    assert result.depth <= 3
+    assert result.n_leaves <= 8
+
+
+def test_capacity_tradeoff(teacher_task):
+    """Deeper students track the teacher at least as well."""
+    teacher, X, _ = teacher_task
+    shallow = distill_tree(teacher, X, max_depth=1, seed=1)
+    deep = distill_tree(teacher, X, max_depth=6, seed=1)
+    assert deep.train_fidelity >= shallow.train_fidelity
+
+
+def test_synthetic_pool_size(teacher_task):
+    teacher, X, _ = teacher_task
+    result = distill_tree(teacher, X, synthetic_factor=2.0, seed=1)
+    assert result.n_pool == pytest.approx(3 * len(X), abs=2)
+    none = distill_tree(teacher, X, synthetic_factor=0.0, seed=1)
+    assert none.n_pool == len(X)
+
+
+def test_works_for_multiple_teacher_families():
+    rng = np.random.default_rng(3)
+    X = np.abs(rng.normal(size=(400, 4)))
+    y = (X[:, 1] > 0.8).astype(int)
+    for teacher_cls in (RandomForestClassifier, MLPClassifier):
+        teacher = teacher_cls().fit(X, y)
+        result = distill_tree(teacher, X, max_depth=3, seed=2)
+        assert result.train_fidelity > 0.85, teacher_cls.__name__
+
+
+def test_empty_input_rejected(teacher_task):
+    teacher, _, _ = teacher_task
+    with pytest.raises(ValueError):
+        distill_tree(teacher, np.zeros((0, 6)))
+
+
+def test_fidelity_functions():
+    assert fidelity([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+    assert fidelity([], []) == 0.0
+    with pytest.raises(ValueError):
+        fidelity([1, 0], [1])
+    a = np.asarray([[0.9, 0.1], [0.2, 0.8]])
+    assert proba_fidelity(a, a) == 1.0
+    b = np.asarray([[0.1, 0.9], [0.8, 0.2]])
+    assert proba_fidelity(a, b) == pytest.approx(1.0 - 0.7)
+
+
+def test_fidelity_report_accuracy_gap(teacher_task):
+    teacher, X, y = teacher_task
+    result = distill_tree(teacher, X, max_depth=4, seed=1)
+    report = fidelity_report(teacher, result.student, X, y)
+    assert report.accuracy_gap == pytest.approx(
+        report.teacher_accuracy - report.student_accuracy)

@@ -1,0 +1,70 @@
+"""XAI edge cases: degenerate trees, single-class data, empty paths."""
+
+import numpy as np
+import pytest
+
+from repro.learning.models import DecisionTreeClassifier
+from repro.xai import explain_decision, tree_to_rules
+from repro.xai.distill import distill_tree
+from repro.xai.fidelity import fidelity_report
+
+
+def _stump_on_constant():
+    """Tree fit on single-class data: one leaf, no splits."""
+    X = np.ones((20, 3))
+    y = np.zeros(20, dtype=int)
+    return DecisionTreeClassifier().fit(X, y, n_classes=2), X
+
+
+def test_single_leaf_tree_rules():
+    tree, X = _stump_on_constant()
+    rules = tree_to_rules(tree)
+    assert len(rules) == 1
+    assert rules.rules[0].conditions == ()
+    assert "TRUE" in rules.rules[0].render()
+    assert np.array_equal(rules.predict(X), tree.predict(X))
+
+
+def test_single_leaf_evidence():
+    tree, X = _stump_on_constant()
+    evidence = explain_decision(tree, X[0])
+    assert evidence.clauses == []
+    assert evidence.confidence == 1.0
+    assert evidence.strength > 0
+
+
+def test_distill_constant_teacher():
+    class ConstantTeacher:
+        n_classes_ = 2
+
+        def predict(self, X):
+            return np.zeros(len(X), dtype=int)
+
+    X = np.abs(np.random.default_rng(0).normal(size=(50, 4)))
+    result = distill_tree(ConstantTeacher(), X, max_depth=3)
+    assert result.train_fidelity == 1.0
+    assert result.n_leaves == 1
+
+
+def test_fidelity_report_without_proba():
+    class NoProba:
+        def predict(self, X):
+            return np.zeros(len(X), dtype=int)
+
+    X = np.zeros((10, 2))
+    report = fidelity_report(NoProba(), NoProba(), X,
+                             np.zeros(10, dtype=int))
+    assert report.label_fidelity == 1.0
+    # falls back to label fidelity when predict_proba is missing
+    assert report.probability_fidelity == 1.0
+
+
+def test_rules_on_deep_tree_stay_consistent():
+    rng = np.random.default_rng(4)
+    X = rng.uniform(size=(800, 4))
+    y = ((X[:, 0] > 0.3) & (X[:, 1] < 0.7) |
+         (X[:, 2] > 0.9)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+    rules = tree_to_rules(tree)
+    probe = rng.uniform(size=(300, 4))
+    assert np.array_equal(rules.predict(probe), tree.predict(probe))

@@ -1,0 +1,96 @@
+"""Rule lists and evidence lists."""
+
+import numpy as np
+import pytest
+
+from repro.learning.models import DecisionTreeClassifier
+from repro.xai import explain_decision, tree_to_rules
+
+
+@pytest.fixture(scope="module")
+def tree_task():
+    rng = np.random.default_rng(9)
+    X = rng.uniform(size=(500, 3))
+    y = ((X[:, 0] > 0.5) & (X[:, 2] > 0.3)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    return tree, X, y
+
+
+def test_rule_list_equivalent_to_tree(tree_task):
+    tree, X, _ = tree_task
+    rules = tree_to_rules(tree)
+    assert np.array_equal(rules.predict(X), tree.predict(X))
+
+
+def test_rule_count_equals_leaves(tree_task):
+    tree, _, _ = tree_task
+    rules = tree_to_rules(tree)
+    assert len(rules) == tree.n_leaves
+
+
+def test_rules_ordered_by_support(tree_task):
+    tree, _, _ = tree_task
+    rules = tree_to_rules(tree)
+    supports = [r.support for r in rules.rules]
+    assert supports == sorted(supports, reverse=True)
+
+
+def test_rule_rendering_uses_names(tree_task):
+    tree, _, _ = tree_task
+    rules = tree_to_rules(tree, feature_names=["alpha", "beta", "gamma"],
+                          class_names=["benign", "attack"])
+    text = rules.render()
+    assert "IF " in text and "THEN" in text
+    assert ("alpha" in text or "gamma" in text)
+    assert ("benign" in text or "attack" in text)
+    assert "x0" not in text
+
+
+def test_evidence_path_is_consistent(tree_task):
+    tree, X, _ = tree_task
+    x = X[0]
+    evidence = explain_decision(tree, x,
+                                feature_names=["alpha", "beta", "gamma"],
+                                class_names=["benign", "attack"])
+    predicted = int(tree.predict(x.reshape(1, -1))[0])
+    assert evidence.predicted_class == predicted
+    assert evidence.predicted_label in ("benign", "attack")
+    assert 0.0 <= evidence.confidence <= 1.0
+    # every clause must actually hold for x
+    for clause in evidence.clauses:
+        if clause.op == "<=":
+            assert x[clause.feature] <= clause.threshold
+        else:
+            assert x[clause.feature] > clause.threshold
+
+
+def test_evidence_renders_reasons(tree_task):
+    tree, X, _ = tree_task
+    evidence = explain_decision(tree, X[3],
+                                feature_names=["alpha", "beta", "gamma"])
+    text = evidence.render()
+    assert "decision:" in text
+    assert "because" in text
+
+
+def test_evidence_strength_in_unit_interval(tree_task):
+    tree, X, _ = tree_task
+    for x in X[:50]:
+        evidence = explain_decision(tree, x)
+        assert 0.0 <= evidence.strength <= 1.0
+
+
+def test_evidence_class_shift_sums_to_total_shift(tree_task):
+    tree, X, _ = tree_task
+    x = X[1]
+    evidence = explain_decision(tree, x)
+    path = tree.decision_path(x)
+    cls = evidence.predicted_class
+
+    def proba(node):
+        total = node.value.sum()
+        return node.value[cls] / total if total else 0.0
+
+    total_shift = proba(path[-1]) - proba(path[0])
+    assert sum(c.class_shift for c in evidence.clauses) == \
+        pytest.approx(total_shift)

@@ -1,0 +1,57 @@
+"""VIPER policy extraction from a Q-learning teacher."""
+
+import numpy as np
+import pytest
+
+from repro.learning.rl import (
+    ClassifierPolicy,
+    DdosMitigationEnv,
+    GreedyQPolicy,
+    QLearningAgent,
+    evaluate_policy,
+)
+from repro.xai import viper_extract
+
+
+@pytest.fixture(scope="module")
+def trained_teacher():
+    env = DdosMitigationEnv(episode_len=60, seed=1)
+    agent = QLearningAgent(n_actions=env.action_space.n, seed=2)
+    agent.train(env, episodes=150)
+    return env, agent
+
+
+def test_extracted_tree_is_small(trained_teacher):
+    env, agent = trained_teacher
+    result = viper_extract(agent, env, iterations=4, episodes_per_iter=8,
+                           max_depth=3, seed=0)
+    assert result.student.depth <= 3
+    assert result.dataset_size > 0
+    assert result.iterations == 4
+
+
+def test_extraction_fidelity(trained_teacher):
+    env, agent = trained_teacher
+    result = viper_extract(agent, env, iterations=4, episodes_per_iter=8,
+                           max_depth=3, seed=0)
+    assert result.action_fidelity > 0.8
+
+
+def test_student_performs_close_to_teacher(trained_teacher):
+    env, agent = trained_teacher
+    result = viper_extract(agent, env, iterations=5, episodes_per_iter=8,
+                           max_depth=3, seed=0)
+    teacher_eval = evaluate_policy(env, GreedyQPolicy(agent), episodes=15)
+    student_eval = evaluate_policy(env, ClassifierPolicy(result.student),
+                                   episodes=15)
+    # allow modest degradation but not collapse
+    assert student_eval.mean_reward > teacher_eval.mean_reward * 1.5 \
+        if teacher_eval.mean_reward < 0 else True
+    assert student_eval.attack_admitted_fraction < 0.5
+
+
+def test_per_iteration_rewards_recorded(trained_teacher):
+    env, agent = trained_teacher
+    result = viper_extract(agent, env, iterations=3, episodes_per_iter=5,
+                           seed=1)
+    assert len(result.per_iteration_reward) == 3
