@@ -10,6 +10,8 @@ script:
   labels) and train/evaluate a registry model.
 * ``repro develop`` — run the full development loop on an exported
   store and emit the deployable artifacts (P4 source + rule list).
+* ``repro verify`` — static verification of a compiled tool
+  (``REPxxx`` diagnostics) or the repo-wide AST lint (``--lint``).
 * ``repro profiles`` — list available campus profiles.
 
 Examples
@@ -83,6 +85,26 @@ def _build_parser() -> argparse.ArgumentParser:
     develop.add_argument("--max-depth", type=int, default=4)
     develop.add_argument("--out", required=True,
                          help="directory for P4 source and rule list")
+
+    verify = sub.add_parser(
+        "verify",
+        help="static verification of a compiled program, or the "
+             "repo-wide AST lint")
+    verify.add_argument("--store", default=None,
+                        help="compile a tool from this exported store "
+                             "and verify it")
+    verify.add_argument("--positive", default=None,
+                        help="class to binarize against (with --store)")
+    verify.add_argument("--teacher", default="tree")
+    verify.add_argument("--max-depth", type=int, default=4)
+    verify.add_argument("--lint", action="store_true",
+                        help="run the REP3xx AST lint instead of "
+                             "program verification")
+    verify.add_argument("--path", default=None,
+                        help="lint root (default: the installed repro "
+                             "package)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the diagnostic report as JSON")
 
     report = sub.add_parser("report",
                             help="IT-style Markdown report for a store")
@@ -193,6 +215,50 @@ def cmd_develop(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Static verification: compiled-program checks or the AST lint.
+
+    Exit code 0 when no error-level diagnostics were found, 1
+    otherwise — the contract CI and pre-deploy scripts rely on.
+    """
+    from repro.verify import ProgramVerificationError, lint_package, \
+        lint_path
+
+    if args.lint:
+        if args.path:
+            root = Path(args.path)
+            if not root.is_dir():
+                print(f"verify: lint path {args.path!r} is not a "
+                      f"directory", file=sys.stderr)
+                return 2
+            report = lint_path(root)
+        else:
+            report = lint_package()
+    else:
+        if not args.store or not args.positive:
+            print("verify: either --lint or both --store and --positive "
+                  "are required", file=sys.stderr)
+            return 2
+        from repro.core import DevelopmentLoop
+
+        dataset = _dataset_from_store(args.store, 5.0)
+        if args.positive not in dataset.class_names:
+            known = ", ".join(dataset.class_names)
+            print(f"class {args.positive!r} not in store (has: {known})",
+                  file=sys.stderr)
+            return 1
+        dataset = dataset.binarize(args.positive)
+        loop = DevelopmentLoop(teacher_name=args.teacher,
+                               student_max_depth=args.max_depth,
+                               strict_verify=False)
+        _, devreport = loop.develop(dataset, tool_name="verify-tool",
+                                    seed=0)
+        report = devreport.verification
+
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     """Render the IT-style Markdown report for a store."""
     from repro.analysis import generate_report
@@ -227,6 +293,7 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "train": cmd_train,
     "develop": cmd_develop,
+    "verify": cmd_verify,
     "report": cmd_report,
     "profiles": cmd_profiles,
     "scenarios": cmd_scenarios,

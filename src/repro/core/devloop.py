@@ -33,6 +33,11 @@ from repro.learning.split import train_test_split
 from repro.learning.training import TrainResult, train_and_evaluate
 from repro.testbed.guardrails import standard_guardrails
 from repro.testbed.roadtest import RoadTestPipeline, RoadTestReport
+from repro.verify import (
+    DiagnosticReport,
+    ProgramVerificationError,
+    verify_program,
+)
 from repro.xai.distill import DistillationResult, distill_tree
 from repro.xai.fidelity import FidelityReport, fidelity_report
 from repro.xai.rules import RuleList, tree_to_rules
@@ -51,15 +56,22 @@ class DeployableTool:
     switch_config: SwitchConfig
     class_names: List[str]
     feature_names: List[str]
+    verification: Optional[DiagnosticReport] = None
 
     def deploy(self, network, config: Optional[SwitchConfig] = None) -> \
             EmulatedSwitch:
         """Instantiate the fast control loop on a network.
 
+        Refuses to deploy when the tool's verification report carries
+        error-level diagnostics — a tool that failed static checks
+        never reaches the campus network.
+
         The runtime's benign class is aligned with this tool's class
         names: if the configured ``benign_class`` is not one of them,
         class 0 (the negative/default class) is used instead.
         """
+        if self.verification is not None and not self.verification.ok:
+            raise ProgramVerificationError(self.verification)
         run_config = copy.deepcopy(config or self.switch_config)
         if self.class_names and run_config.benign_class not in \
                 self.class_names:
@@ -76,6 +88,7 @@ class DevLoopReport:
     holdout_fidelity: FidelityReport
     resource_fit: object
     roadtest: Optional[RoadTestReport]
+    verification: Optional[DiagnosticReport] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -92,12 +105,15 @@ class DevelopmentLoop:
                  student_max_depth: int = 4,
                  student_min_samples_leaf: int = 5,
                  resource_model: Optional[SwitchResourceModel] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 strict_verify: bool = True):
         self.teacher_name = teacher_name
         self.student_max_depth = student_max_depth
         self.student_min_samples_leaf = student_min_samples_leaf
         self.resource_model = resource_model or SwitchResourceModel()
         self.bus = bus or EventBus()
+        #: refuse to hand out tools whose verification found errors.
+        self.strict_verify = strict_verify
 
     def develop(self, dataset: Dataset, tool_name: str = "detector",
                 positive_class: Optional[str] = None,
@@ -152,6 +168,18 @@ class DevelopmentLoop:
                          tcam_bits=compiled.tcam_bits,
                          fits=resource_fit.fits)
 
+        # (iii-b) static verification: the trust gate before anything
+        # touches the campus network.  Errors refuse deployment.
+        start = time.perf_counter()
+        verification = verify_program(compiled.program,
+                                      compile_result=compiled,
+                                      resource_model=self.resource_model)
+        stage_seconds["verify"] = time.perf_counter() - start
+        self.bus.publish("devloop:verified", ok=verification.ok,
+                         **verification.counts())
+        if self.strict_verify and not verification.ok:
+            raise ProgramVerificationError(verification)
+
         tool = DeployableTool(
             name=tool_name,
             teacher=teacher_result.model,
@@ -162,6 +190,7 @@ class DevelopmentLoop:
             switch_config=switch_config or SwitchConfig(),
             class_names=list(dataset.class_names),
             feature_names=list(dataset.feature_names),
+            verification=verification,
         )
 
         # (iv) road-test on the campus testbed.
@@ -184,6 +213,7 @@ class DevelopmentLoop:
             holdout_fidelity=holdout,
             resource_fit=resource_fit,
             roadtest=roadtest_report,
+            verification=verification,
             stage_seconds=stage_seconds,
         )
         return tool, report

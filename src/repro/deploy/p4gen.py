@@ -32,16 +32,46 @@ def _render_match(match: FieldMatch) -> str:
     raise ValueError(f"unknown match kind {match.kind}")
 
 
+def _key_match_kind(table: MatchActionTable, key: str) -> str:
+    """The P4 match kind declared for one key.
+
+    A single kind maps directly; mixed kinds need the most general
+    declaration that can express all of them (range subsumes exact and
+    ternary on the targets we model; lpm mixed with anything else
+    degrades to ternary).  A key no entry constrains is wildcarded,
+    i.e. ternary.
+    """
+    kinds = {entry.matches[key].kind
+             for entry in table.entries if key in entry.matches}
+    if not kinds:
+        return "ternary"
+    if len(kinds) == 1:
+        return next(iter(kinds)).value
+    if MatchKind.RANGE in kinds:
+        return "range"
+    return "ternary"
+
+
+def _table_actions(table: MatchActionTable) -> List[str]:
+    """Union of actions referenced by entries plus the default."""
+    actions = {entry.action for entry in table.entries}
+    actions.add(table.default_action)
+    return sorted(actions)
+
+
 def _emit_table(table: MatchActionTable, lines: List[str]) -> None:
     lines.append(f"    table {_sanitize(table.name)} {{")
     lines.append("        key = {")
     for key in table.key_fields:
-        kind = "range"
+        kind = _key_match_kind(table, key)
         lines.append(f"            {_sanitize(key)} : {kind};")
     lines.append("        }")
-    lines.append("        actions = { set_class; NoAction; }")
+    actions = "; ".join(_table_actions(table))
+    lines.append(f"        actions = {{ {actions}; }}")
+    default_args = ", ".join(
+        str(value) for _, value in sorted(table.default_params.items()))
     lines.append(f"        default_action = {table.default_action}"
-                 f"({table.default_params.get('class_id', 0)});")
+                 f"({default_args});")
     lines.append(f"        size = {max(len(table.entries), 1)};")
     lines.append("    }")
 

@@ -94,6 +94,20 @@ class SwitchResourceModel:
         )
 
     def max_concurrent(self, compile_result) -> int:
-        """How many copies of one program fit (the E4 headline number)."""
-        report = self.fit([compile_result] * 100_000)
-        return report.programs_placed
+        """How many copies of one program fit (the E4 headline number).
+
+        Closed form: each copy costs one table slot, its TCAM bits,
+        and 64 SRAM bits per entry, so the answer is the tightest of
+        the three per-resource quotients — identical to greedily
+        placing copies with :meth:`fit`, without the placement loop.
+        """
+        avail_sram = self.sram_bits_total - self.sketch_sram_bits
+        if avail_sram < 0:
+            return 0
+        bounds = [self.n_stages * self.max_tables_per_stage]
+        if compile_result.tcam_bits > 0:
+            bounds.append(self.tcam_bits_total // compile_result.tcam_bits)
+        need_sram = compile_result.n_entries * 64
+        if need_sram > 0:
+            bounds.append(avail_sram // need_sram)
+        return min(bounds)

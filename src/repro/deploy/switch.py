@@ -69,7 +69,20 @@ class EmulatedSwitch:
     """Executes a compiled program against live border traffic."""
 
     def __init__(self, network, compile_result: CompileResult,
-                 config: Optional[SwitchConfig] = None):
+                 config: Optional[SwitchConfig] = None,
+                 verify: bool = True):
+        # Load-path gate: a structurally or semantically broken program
+        # never attaches to the network (mirrors a real switch driver
+        # rejecting an invalid binary at load time).  Imported lazily:
+        # repro.verify depends on repro.deploy.ir, so a module-level
+        # import here would close a package-init cycle.
+        if verify:
+            from repro.verify.diagnostics import ProgramVerificationError
+            from repro.verify.program import verify_program
+
+            report = verify_program(compile_result.program)
+            if not report.ok:
+                raise ProgramVerificationError(report)
         self.network = network
         self.result = compile_result
         self.config = config or SwitchConfig()

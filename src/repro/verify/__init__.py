@@ -1,0 +1,50 @@
+"""Static verification of compiled switch programs + repo-wide lint.
+
+The trust gate between the slow development loop and the campus
+network (Fig. 2): programs are verified structurally and semantically
+(:mod:`repro.verify.program`), pre-checked against the target's
+resources (:mod:`repro.verify.resources`), and the repository itself
+is held to project AST rules (:mod:`repro.verify.lint`).  Everything
+reports through the shared ``REPxxx`` diagnostics vocabulary
+(:mod:`repro.verify.diagnostics`).
+"""
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    ProgramVerificationError,
+    REP_CODES,
+    Severity,
+    SourceLocation,
+    diag,
+)
+from repro.verify.program import (
+    ActionSpec,
+    DEFAULT_ACTIONS,
+    ParamSpec,
+    ProgramVerifier,
+    check_deployable,
+    verify_program,
+)
+from repro.verify.resources import resource_precheck
+from repro.verify.lint import LintConfig, lint_package, lint_path
+
+__all__ = [
+    "Severity",
+    "SourceLocation",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ProgramVerificationError",
+    "REP_CODES",
+    "diag",
+    "ActionSpec",
+    "ParamSpec",
+    "DEFAULT_ACTIONS",
+    "ProgramVerifier",
+    "verify_program",
+    "check_deployable",
+    "resource_precheck",
+    "LintConfig",
+    "lint_path",
+    "lint_package",
+]

@@ -1,0 +1,148 @@
+"""Interval reasoning over the EXACT/RANGE/TERNARY/LPM match lattice.
+
+The semantic passes in :mod:`repro.verify.program` reason about table
+entries as axis-aligned hyperrectangles: each key field contributes an
+inclusive integer interval, and an entry's matched region is their
+product.  EXACT, RANGE, and LPM matches are always intervals; a
+TERNARY match is an interval exactly when its mask is a prefix mask
+(contiguous high bits).  Non-prefix ternary masks are reported as not
+representable and the passes handle them conservatively — an entry
+that cannot be represented is never flagged, and never used to cover
+another entry, so every finding stays sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.deploy.ir import FieldMatch, MatchKind, TableEntry
+
+Interval = Tuple[int, int]               # inclusive [lo, hi]
+Rect = Dict[str, Interval]               # field name -> interval
+
+
+def is_prefix_mask(mask: int, width: int) -> bool:
+    """True when ``mask`` has the form 1...10...0 within ``width`` bits."""
+    full = (1 << width) - 1
+    if mask & ~full:
+        return False
+    inverted = (~mask) & full
+    return (inverted & (inverted + 1)) == 0
+
+
+def match_interval(match: FieldMatch, width: int) -> Optional[Interval]:
+    """The interval a match accepts, or None if not representable."""
+    full_hi = (1 << width) - 1
+    if match.kind is MatchKind.EXACT:
+        return (match.value, match.value)
+    if match.kind is MatchKind.RANGE:
+        return (match.lo, match.hi)
+    if match.kind is MatchKind.LPM:
+        shift = width - match.prefix_len
+        base = (match.value >> shift) << shift if shift < width else 0
+        return (base, base + (1 << shift) - 1)
+    if match.kind is MatchKind.TERNARY:
+        if not is_prefix_mask(match.mask, width):
+            return None
+        base = match.value & match.mask
+        return (base, base | ((~match.mask) & full_hi))
+    raise ValueError(f"unknown match kind {match.kind}")
+
+
+def entry_rect(entry: TableEntry, key_fields: Sequence[str],
+               widths: Dict[str, int]) -> Optional[Rect]:
+    """An entry's matched region as a full-dimensional rectangle.
+
+    Fields the entry does not constrain span their full width.  Returns
+    None when any constrained field is not interval-representable.
+    """
+    rect: Rect = {}
+    for name in key_fields:
+        width = widths.get(name, 32)
+        match = entry.matches.get(name)
+        if match is None:
+            rect[name] = (0, (1 << width) - 1)
+            continue
+        interval = match_interval(match, width)
+        if interval is None:
+            return None
+        rect[name] = interval
+    return rect
+
+
+def rect_intersect(a: Rect, b: Rect) -> Optional[Rect]:
+    out: Rect = {}
+    for name, (alo, ahi) in a.items():
+        blo, bhi = b[name]
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if lo > hi:
+            return None
+        out[name] = (lo, hi)
+    return out
+
+
+def rect_subtract(rect: Rect, cutter: Rect,
+                  order: Sequence[str]) -> List[Rect]:
+    """``rect`` minus ``cutter`` as disjoint rectangles.
+
+    The classic sweep: walk dimensions in ``order``, peeling off the
+    part of ``rect`` below and above the cutter's interval, narrowing
+    to the overlap before moving to the next dimension.
+    """
+    overlap = rect_intersect(rect, cutter)
+    if overlap is None:
+        return [rect]
+    pieces: List[Rect] = []
+    current = dict(rect)
+    for name in order:
+        lo, hi = current[name]
+        clo, chi = overlap[name]
+        if lo < clo:
+            piece = dict(current)
+            piece[name] = (lo, clo - 1)
+            pieces.append(piece)
+        if chi < hi:
+            piece = dict(current)
+            piece[name] = (chi + 1, hi)
+            pieces.append(piece)
+        current[name] = (clo, chi)
+    return pieces
+
+
+def subtract_all(region: List[Rect], cutters: Sequence[Rect],
+                 order: Sequence[str]) -> List[Rect]:
+    """Residual of a rectangle union after removing every cutter."""
+    residual = list(region)
+    for cutter in cutters:
+        next_residual: List[Rect] = []
+        for rect in residual:
+            next_residual.extend(rect_subtract(rect, cutter, order))
+        residual = next_residual
+        if not residual:
+            break
+    return residual
+
+
+def interval_union_gaps(intervals: List[Interval],
+                        width: int) -> List[Interval]:
+    """Sub-ranges of [0, 2^width - 1] covered by none of ``intervals``."""
+    full_hi = (1 << width) - 1
+    if not intervals:
+        return [(0, full_hi)]
+    merged: List[Interval] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    gaps: List[Interval] = []
+    cursor = 0
+    for lo, hi in merged:
+        if lo > cursor:
+            gaps.append((cursor, lo - 1))
+        cursor = max(cursor, hi + 1)
+        if cursor > full_hi:
+            break
+    if cursor <= full_hi:
+        gaps.append((cursor, full_hi))
+    return gaps

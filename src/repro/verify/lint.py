@@ -1,0 +1,221 @@
+"""Repo-wide AST lint: project rules as ``REP3xx`` diagnostics.
+
+Four rules, each encoding a discipline the platform depends on:
+
+* **REP301** — no mutable default arguments (``def f(x=[])``): shared
+  state across calls breaks the "fresh network per seed" contract.
+* **REP302** — no bare ``except:``: swallows ``KeyboardInterrupt`` and
+  hides simulator bugs behind silent recovery.
+* **REP303** — no unseeded module-level RNG calls (``np.random.rand``,
+  ``random.random``, ...) inside seed-disciplined packages: every
+  experiment must be exactly reproducible from its seed, so randomness
+  flows through explicit ``np.random.default_rng(seed)`` generators.
+* **REP304** — no wall-clock ``time.time()`` inside simulator code:
+  simulated time comes from the event loop, and wall-clock reads make
+  runs machine-dependent.
+
+Configuration lives in ``pyproject.toml`` under ``[tool.repro.lint]``
+(scopes for the scoped rules, plus an explicit ``exemptions`` list of
+``"relative/path.py:REPxxx"`` strings — intentional exceptions are
+checked in, never silently skipped).  The lint runs as a tier-1 pytest
+(``tests/verify/test_lint.py``) and via ``repro verify --lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport, diag
+
+#: numpy.random attributes that are explicitly seed-disciplined.
+_SEEDED_NP_ATTRS = {"default_rng", "Generator", "SeedSequence",
+                    "PCG64", "Philox", "SFC64", "MT19937"}
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+@dataclass
+class LintConfig:
+    """What to lint and where each scoped rule applies.
+
+    Paths are POSIX-style prefixes relative to the lint root (the
+    package directory for :func:`lint_package`).
+    """
+
+    seeded_random_scope: List[str] = field(
+        default_factory=lambda: ["netsim", "learning"])
+    wallclock_scope: List[str] = field(
+        default_factory=lambda: ["netsim", "capture", "deploy", "events",
+                                 "testbed"])
+    exclude: List[str] = field(
+        default_factory=lambda: ["__pycache__", ".egg-info"])
+    #: checked-in intentional exceptions: "relative/path.py:REP303"
+    #: (or "relative/path.py:*" for every rule in one file).
+    exemptions: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_pyproject(cls, start: Path) -> "LintConfig":
+        """Load ``[tool.repro.lint]`` from the nearest pyproject.toml.
+
+        Falls back to defaults when no pyproject is found or the
+        interpreter predates :mod:`tomllib`.
+        """
+        try:
+            import tomllib
+        except ImportError:
+            return cls()
+        for directory in [start, *start.parents]:
+            candidate = directory / "pyproject.toml"
+            if candidate.is_file():
+                with open(candidate, "rb") as handle:
+                    data = tomllib.load(handle)
+                section = data.get("tool", {}).get("repro", {}) \
+                              .get("lint", {})
+                config = cls()
+                if "seeded-random-scope" in section:
+                    config.seeded_random_scope = list(
+                        section["seeded-random-scope"])
+                if "wallclock-scope" in section:
+                    config.wallclock_scope = list(section["wallclock-scope"])
+                if "exclude" in section:
+                    config.exclude = list(section["exclude"])
+                if "exemptions" in section:
+                    config.exemptions = set(section["exemptions"])
+                return config
+        return cls()
+
+    def in_scope(self, rel_path: str, scope: Sequence[str]) -> bool:
+        return any(rel_path == prefix or rel_path.startswith(prefix + "/")
+                   for prefix in scope)
+
+    def exempt(self, rel_path: str, code: str) -> bool:
+        return (f"{rel_path}:{code}" in self.exemptions
+                or f"{rel_path}:*" in self.exemptions)
+
+
+class _LintVisitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str, config: LintConfig):
+        self.rel_path = rel_path
+        self.config = config
+        self.findings: List[Diagnostic] = []
+        self._check_rng = config.in_scope(rel_path,
+                                          config.seeded_random_scope)
+        self._check_clock = config.in_scope(rel_path,
+                                            config.wallclock_scope)
+
+    def _report(self, code: str, message: str, line: int) -> None:
+        if not self.config.exempt(self.rel_path, code):
+            self.findings.append(diag(code, message, file=self.rel_path,
+                                      line=line))
+
+    # -- REP301 --------------------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS)
+            if mutable:
+                self._report(
+                    "REP301",
+                    f"function {node.name!r} has a mutable default "
+                    f"argument", default.lineno)
+
+    def visit_FunctionDef(self, node) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- REP302 --------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node) -> None:
+        if node.type is None:
+            self._report("REP302", "bare except swallows every exception "
+                         "including KeyboardInterrupt", node.lineno)
+        self.generic_visit(node)
+
+    # -- REP303 / REP304 -----------------------------------------------------
+
+    @staticmethod
+    def _attr_chain(node) -> List[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        else:
+            return []
+        return parts[::-1]
+
+    def visit_Call(self, node) -> None:
+        chain = self._attr_chain(node.func)
+        if self._check_rng and chain:
+            if chain[0] == "random" and len(chain) == 2:
+                self._report(
+                    "REP303",
+                    f"module-level RNG call random.{chain[1]}() is "
+                    f"unseeded; thread a np.random.default_rng(seed)",
+                    node.lineno)
+            elif chain[0] in ("np", "numpy") and len(chain) == 3 and \
+                    chain[1] == "random" and \
+                    chain[2] not in _SEEDED_NP_ATTRS:
+                self._report(
+                    "REP303",
+                    f"{chain[0]}.random.{chain[2]}() uses the global "
+                    f"numpy RNG; thread a np.random.default_rng(seed)",
+                    node.lineno)
+        if self._check_clock and chain == ["time", "time"]:
+            self._report(
+                "REP304",
+                "wall-clock time.time() in simulator code; use the "
+                "event loop's simulated clock", node.lineno)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str,
+                config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """Lint one module's text.  ``rel_path`` drives scoping/exemptions."""
+    config = config or LintConfig()
+    tree = ast.parse(source, filename=rel_path)
+    visitor = _LintVisitor(rel_path, config)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_path(root: Path,
+              config: Optional[LintConfig] = None) -> DiagnosticReport:
+    """Lint every ``*.py`` under ``root``; paths report relative to it."""
+    root = Path(root)
+    config = config or LintConfig.from_pyproject(root)
+    report = DiagnosticReport(subject=f"lint:{root.name}")
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(marker in rel for marker in config.exclude):
+            continue
+        try:
+            findings = lint_source(path.read_text(), rel, config)
+        except SyntaxError as exc:
+            report.add(diag("REP300", f"unparseable module: {exc}",
+                            file=rel, line=exc.lineno or 0))
+            continue
+        report.extend(findings)
+    return report
+
+
+def lint_package(config: Optional[LintConfig] = None) -> DiagnosticReport:
+    """Lint the installed :mod:`repro` package tree (the tier-1 gate)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    return lint_path(root, config=config)

@@ -1,0 +1,360 @@
+"""Static verification of compiled switch programs.
+
+``verify_program`` runs three families of passes over a
+:class:`~repro.deploy.ir.SwitchProgram` and returns a
+:class:`~repro.verify.diagnostics.DiagnosticReport`:
+
+* **structural** — every entry's match values fit the declared key
+  widths (REP001/REP002/REP003), entries only reference declared key
+  fields (REP004) and known actions (REP005), action parameters are
+  well-typed (REP006), and key widths themselves are sane (REP007);
+* **semantic** — interval/dataflow reasoning over the
+  EXACT/RANGE/TERNARY/LPM lattice: shadowed entries that can never win
+  a lookup (REP101), ambiguous same-priority overlaps (REP102),
+  unreachable defaults (REP103), and per-feature coverage gaps
+  (REP104);
+* **resource pre-check** — the target-fit analysis from
+  :mod:`repro.verify.resources`, run *before* deployment so budget
+  misfits surface as ``REP2xx`` diagnostics instead of late failures.
+
+Entries with structural errors are excluded from the semantic passes;
+entries whose ternary masks are not interval-representable are
+reported (REP105) and handled conservatively, so a semantic finding is
+always sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.deploy.ir import (
+    MatchActionTable,
+    MatchKind,
+    SwitchProgram,
+    TableEntry,
+)
+from repro.verify.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    ProgramVerificationError,
+    Severity,
+    diag,
+)
+from repro.verify.intervals import (
+    Rect,
+    entry_rect,
+    interval_union_gaps,
+    rect_intersect,
+    subtract_all,
+)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One action parameter: accepted python types + requiredness."""
+
+    types: Tuple[type, ...]
+    required: bool = True
+
+
+@dataclass
+class ActionSpec:
+    """What a data-plane action accepts."""
+
+    name: str
+    params: Dict[str, ParamSpec] = field(default_factory=dict)
+
+
+#: The actions the emulated switch runtime understands.  Callers with
+#: richer targets pass their own spec table to the verifier.
+DEFAULT_ACTIONS: Dict[str, ActionSpec] = {
+    "set_class": ActionSpec("set_class", {
+        "class_id": ParamSpec((int,), required=True),
+        "confidence": ParamSpec((int, float), required=False),
+    }),
+    "NoAction": ActionSpec("NoAction", {}),
+}
+
+#: Above this many entries the O(n^2) interval passes are skipped
+#: (REP106) rather than stalling the devloop.
+MAX_SEMANTIC_ENTRIES = 512
+
+
+class ProgramVerifier:
+    """Runs every pass family and accumulates one report."""
+
+    def __init__(self, action_specs: Optional[Dict[str, ActionSpec]] = None,
+                 resource_model=None):
+        self.action_specs = dict(DEFAULT_ACTIONS if action_specs is None
+                                 else action_specs)
+        self.resource_model = resource_model
+
+    def verify(self, program: SwitchProgram,
+               compile_result=None) -> DiagnosticReport:
+        report = DiagnosticReport(subject=program.name)
+        for table in program.tables:
+            clean = self._check_table_structure(program, table, report)
+            self._check_table_semantics(program, table, clean, report)
+        if compile_result is not None:
+            from repro.verify.resources import resource_precheck
+            report.extend(resource_precheck(
+                compile_result, model=self.resource_model))
+        return report
+
+    # -- structural ----------------------------------------------------------
+
+    def _check_table_structure(self, program: SwitchProgram,
+                               table: MatchActionTable,
+                               report: DiagnosticReport) -> List[int]:
+        """Validate widths, matches, actions.  Returns the indices of
+        entries with no structural problems (semantic-pass input)."""
+        loc = dict(program=program.name, table=table.name)
+        for name in table.key_fields:
+            width = table.key_widths.get(name)
+            if not isinstance(width, int) or width <= 0:
+                report.add(diag(
+                    "REP007",
+                    f"key field {name!r} has width {width!r}",
+                    field=name, **loc))
+        self._check_action(table.default_action, table.default_params,
+                           report, entry=None, **loc)
+        clean: List[int] = []
+        for index, entry in enumerate(table.entries):
+            before = len(report.errors)
+            for name, match in entry.matches.items():
+                if name not in table.key_widths:
+                    report.add(diag(
+                        "REP004",
+                        f"matches undeclared key field {name!r}",
+                        entry=index, field=name, **loc))
+                    continue
+                width = table.key_widths[name]
+                if not isinstance(width, int) or width <= 0:
+                    continue              # REP007 already reported
+                self._check_match(match, name, width, index, report, loc)
+            self._check_action(entry.action, entry.params, report,
+                               entry=index, **loc)
+            if len(report.errors) == before:
+                clean.append(index)
+        return clean
+
+    def _check_match(self, match, name: str, width: int, index: int,
+                     report: DiagnosticReport, loc: Dict[str, str]) -> None:
+        full_hi = (1 << width) - 1
+        if match.kind is MatchKind.EXACT:
+            if not 0 <= match.value <= full_hi:
+                report.add(diag(
+                    "REP001",
+                    f"exact value {match.value} does not fit "
+                    f"bit<{width}>", entry=index, field=name, **loc))
+        elif match.kind is MatchKind.TERNARY:
+            if not 0 <= match.value <= full_hi or \
+                    not 0 <= match.mask <= full_hi:
+                report.add(diag(
+                    "REP001",
+                    f"ternary value/mask {match.value}/{match.mask} "
+                    f"does not fit bit<{width}>",
+                    entry=index, field=name, **loc))
+        elif match.kind is MatchKind.RANGE:
+            if match.lo > match.hi:
+                report.add(diag(
+                    "REP002",
+                    f"empty range [{match.lo}, {match.hi}]",
+                    entry=index, field=name, **loc))
+            elif match.lo < 0 or match.hi > full_hi:
+                report.add(diag(
+                    "REP002",
+                    f"range [{match.lo}, {match.hi}] exceeds "
+                    f"bit<{width}>", entry=index, field=name, **loc))
+        elif match.kind is MatchKind.LPM:
+            if not 0 <= match.prefix_len <= width:
+                report.add(diag(
+                    "REP003",
+                    f"prefix length {match.prefix_len} outside "
+                    f"[0, {width}]", entry=index, field=name, **loc))
+            elif not 0 <= match.value <= full_hi:
+                report.add(diag(
+                    "REP001",
+                    f"LPM value {match.value} does not fit bit<{width}>",
+                    entry=index, field=name, **loc))
+
+    def _check_action(self, action: str, params: Dict[str, object],
+                      report: DiagnosticReport, *, entry: Optional[int],
+                      program: str, table: str) -> None:
+        spec = self.action_specs.get(action)
+        if spec is None:
+            known = ", ".join(sorted(self.action_specs))
+            report.add(diag(
+                "REP005",
+                f"unknown action {action!r} (known: {known})",
+                program=program, table=table, entry=entry))
+            return
+        for name, pspec in spec.params.items():
+            if name not in params:
+                if pspec.required:
+                    report.add(diag(
+                        "REP006",
+                        f"action {action!r} missing required parameter "
+                        f"{name!r}", program=program, table=table,
+                        entry=entry, field=name))
+                continue
+            value = params[name]
+            # bool is an int subclass but never a valid wire value here
+            if isinstance(value, bool) or \
+                    not isinstance(value, pspec.types):
+                expected = "/".join(t.__name__ for t in pspec.types)
+                report.add(diag(
+                    "REP006",
+                    f"action {action!r} parameter {name!r} has type "
+                    f"{type(value).__name__}, expected {expected}",
+                    program=program, table=table, entry=entry, field=name))
+        for name in params:
+            if name not in spec.params:
+                report.add(diag(
+                    "REP006",
+                    f"action {action!r} got unexpected parameter {name!r}",
+                    severity=Severity.WARNING, program=program,
+                    table=table, entry=entry, field=name))
+
+    # -- semantic ------------------------------------------------------------
+
+    def _check_table_semantics(self, program: SwitchProgram,
+                               table: MatchActionTable,
+                               clean_indices: List[int],
+                               report: DiagnosticReport) -> None:
+        loc = dict(program=program.name, table=table.name)
+        if len(clean_indices) > MAX_SEMANTIC_ENTRIES:
+            report.add(diag(
+                "REP106",
+                f"{len(clean_indices)} entries exceed the semantic "
+                f"analysis cap of {MAX_SEMANTIC_ENTRIES}", **loc))
+            return
+        order = list(table.key_fields)
+        rects: Dict[int, Rect] = {}
+        for index in clean_indices:
+            rect = entry_rect(table.entries[index], order, table.key_widths)
+            if rect is None:
+                report.add(diag(
+                    "REP105",
+                    "non-prefix ternary mask excluded from interval "
+                    "analysis", entry=index, **loc))
+            else:
+                rects[index] = rect
+        self._check_shadowing(table, rects, order, report, loc)
+        self._check_overlaps(table, rects, report, loc)
+        self._check_default_reachability(table, rects, order, report, loc)
+        self._check_coverage(table, rects, report, loc)
+
+    def _check_shadowing(self, table, rects: Dict[int, Rect],
+                         order: List[str], report, loc) -> None:
+        """REP101: an entry fully covered by entries that beat it.
+
+        Entry j beats entry i when it has strictly higher priority, or
+        equal priority and an earlier position (the lookup tie-break).
+        Covered means removing the entry cannot change any ``lookup``.
+        """
+        for i, rect in rects.items():
+            entry = table.entries[i]
+            cutters = [
+                rects[j] for j in rects
+                if j != i and (
+                    table.entries[j].priority > entry.priority
+                    or (table.entries[j].priority == entry.priority
+                        and j < i))
+            ]
+            if not cutters:
+                continue
+            if not subtract_all([rect], cutters, order):
+                report.add(diag(
+                    "REP101",
+                    f"entry (priority {entry.priority}, action "
+                    f"{entry.action!r}) is dead: every matching input "
+                    f"is claimed by a winning entry", entry=i, **loc))
+
+    def _check_overlaps(self, table, rects: Dict[int, Rect],
+                        report, loc) -> None:
+        """REP102: same-priority entries whose regions intersect but
+        whose outcomes differ — resolution depends on install order."""
+        indices = sorted(rects)
+        for a_pos, i in enumerate(indices):
+            for j in indices[a_pos + 1:]:
+                ea, eb = table.entries[i], table.entries[j]
+                if ea.priority != eb.priority:
+                    continue
+                if (ea.action, ea.params) == (eb.action, eb.params):
+                    continue
+                if rect_intersect(rects[i], rects[j]) is not None:
+                    report.add(diag(
+                        "REP102",
+                        f"entries {i} and {j} (priority {ea.priority}) "
+                        f"overlap with different outcomes "
+                        f"({ea.action!r} vs {eb.action!r})",
+                        entry=i, **loc))
+
+    def _check_default_reachability(self, table, rects: Dict[int, Rect],
+                                    order: List[str], report, loc) -> None:
+        if not rects or not order:
+            return
+        full: Rect = {
+            name: (0, (1 << table.key_widths[name]) - 1)
+            for name in order
+            if isinstance(table.key_widths.get(name), int)
+            and table.key_widths[name] > 0
+        }
+        if len(full) != len(order):
+            return                      # widths broken; REP007 covers it
+        if not subtract_all([full], list(rects.values()), order):
+            report.add(diag(
+                "REP103",
+                f"default action {table.default_action!r} can never "
+                f"fire: entries cover the whole key space", **loc))
+
+    def _check_coverage(self, table, rects: Dict[int, Rect],
+                        report, loc) -> None:
+        """REP104: per-feature projection gaps.
+
+        Warns when the table's default is ``NoAction`` (inputs in the
+        gap silently fall through); informs otherwise.
+        """
+        if not rects:
+            return
+        severity = (Severity.WARNING
+                    if table.default_action == "NoAction" else Severity.INFO)
+        for name in table.key_fields:
+            width = table.key_widths.get(name)
+            if not isinstance(width, int) or width <= 0:
+                continue
+            gaps = interval_union_gaps(
+                [rect[name] for rect in rects.values()], width)
+            if gaps:
+                shown = ", ".join(f"[{lo}, {hi}]" for lo, hi in gaps[:4])
+                more = "" if len(gaps) <= 4 else f" (+{len(gaps) - 4} more)"
+                report.add(diag(
+                    "REP104",
+                    f"no entry matches {name!r} in {shown}{more}",
+                    severity=severity, field=name, **loc))
+
+
+def verify_program(program: SwitchProgram, compile_result=None,
+                   resource_model=None,
+                   action_specs: Optional[Dict[str, ActionSpec]] = None
+                   ) -> DiagnosticReport:
+    """Convenience wrapper around :class:`ProgramVerifier`."""
+    verifier = ProgramVerifier(action_specs=action_specs,
+                               resource_model=resource_model)
+    return verifier.verify(program, compile_result=compile_result)
+
+
+def check_deployable(program: SwitchProgram, compile_result=None,
+                     resource_model=None) -> DiagnosticReport:
+    """Verify and raise :class:`ProgramVerificationError` on errors.
+
+    The single gate both :mod:`repro.core.devloop` and the emulated
+    switch load path call before letting a program run.
+    """
+    report = verify_program(program, compile_result=compile_result,
+                            resource_model=resource_model)
+    if not report.ok:
+        raise ProgramVerificationError(report)
+    return report

@@ -1,0 +1,83 @@
+"""Resource pre-check: fit the target *before* deployment.
+
+Runs the same accounting as
+:class:`repro.deploy.resources.SwitchResourceModel` but reports
+``REP2xx`` diagnostics instead of failing late inside the devloop or
+the E4 packing experiment.  Errors mean the program cannot run on the
+target at all; warnings flag budget pressure and pathological
+range-to-ternary expansion worth fixing before campus IT reviews the
+artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.deploy.ir import ternary_cost
+from repro.deploy.resources import SwitchResourceModel
+from repro.verify.diagnostics import Diagnostic, diag
+
+#: One range key costs at most 2*width - 2 rows (30 at 16 bits), so a
+#: routine tree entry with two range constraints lands around 10^2;
+#: crossing this threshold means several near-worst-case range keys
+#: multiplied together — almost always a quantization bug.
+EXPANSION_WARN_THRESHOLD = 512
+
+#: Warn when a single program eats more than this share of the TCAM.
+TCAM_PRESSURE_FRACTION = 0.8
+
+
+def resource_precheck(compile_result,
+                      model: Optional[SwitchResourceModel] = None
+                      ) -> List[Diagnostic]:
+    """Diagnose one :class:`~repro.deploy.compiler.CompileResult`."""
+    model = model or SwitchResourceModel()
+    program = compile_result.program
+    out: List[Diagnostic] = []
+
+    need_tcam = compile_result.tcam_bits
+    need_sram = compile_result.n_entries * 64
+    avail_sram = model.sram_bits_total - model.sketch_sram_bits
+    table_slots = model.n_stages * model.max_tables_per_stage
+
+    if need_tcam > model.tcam_bits_total:
+        out.append(diag(
+            "REP201",
+            f"needs {need_tcam} TCAM bits but the target has "
+            f"{model.tcam_bits_total}", program=program.name))
+    elif model.tcam_bits_total and \
+            need_tcam / model.tcam_bits_total > TCAM_PRESSURE_FRACTION:
+        out.append(diag(
+            "REP205",
+            f"uses {need_tcam / model.tcam_bits_total:.0%} of the "
+            f"TCAM budget on its own", program=program.name))
+
+    if need_sram > avail_sram:
+        out.append(diag(
+            "REP202",
+            f"needs {need_sram} SRAM bits but only {avail_sram} remain "
+            f"after the {model.sketch_sram_bits}-bit sketch reservation",
+            program=program.name))
+
+    if len(program.tables) > table_slots:
+        out.append(diag(
+            "REP203",
+            f"declares {len(program.tables)} tables but the target has "
+            f"{table_slots} table slots", program=program.name))
+
+    for table in program.tables:
+        for index, entry in enumerate(table.entries):
+            cost = ternary_cost(entry, table.key_widths)
+            if cost >= EXPANSION_WARN_THRESHOLD:
+                out.append(diag(
+                    "REP204",
+                    f"entry expands into {cost} TCAM rows "
+                    f"(threshold {EXPANSION_WARN_THRESHOLD})",
+                    program=program.name, table=table.name, entry=index))
+
+    if not any(d.code in ("REP201", "REP202", "REP203") for d in out):
+        out.append(diag(
+            "REP206",
+            f"target fits {model.max_concurrent(compile_result)} "
+            f"concurrent copies", program=program.name))
+    return out

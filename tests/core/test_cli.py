@@ -62,6 +62,44 @@ def test_develop_unknown_class_fails(exported_day, tmp_path, capsys):
     assert code == 1
 
 
+def test_verify_lint_green(capsys):
+    assert main(["verify", "--lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_verify_lint_json(capsys):
+    assert main(["verify", "--lint", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["subject"].startswith("lint:")
+
+
+def test_verify_lint_flags_bad_tree(tmp_path, capsys):
+    bad = tmp_path / "netsim"
+    bad.mkdir()
+    (bad / "mod.py").write_text("import time\nt = time.time()\n")
+    assert main(["verify", "--lint", "--path", str(tmp_path)]) == 1
+    assert "REP304" in capsys.readouterr().out
+
+
+def test_verify_compiled_store_reports_clean(exported_day, capsys):
+    code = main(["verify", "--store", str(exported_day),
+                 "--positive", "ddos-dns-amp"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_verify_requires_mode_arguments(capsys):
+    assert main(["verify"]) == 2
+
+
+def test_verify_lint_rejects_missing_path(tmp_path):
+    assert main(["verify", "--lint",
+                 "--path", str(tmp_path / "nope")]) == 2
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -49,7 +49,49 @@ def test_bus_trace(attack_dataset):
     loop.develop(attack_dataset.binarize("ddos-dns-amp"), seed=2)
     topics = loop.bus.topics_seen()
     assert topics == ["devloop:trained", "devloop:distilled",
-                      "devloop:compiled"]
+                      "devloop:compiled", "devloop:verified"]
+
+
+def test_develop_verifies_program(developed):
+    tool, report = developed
+    assert report.verification is not None
+    assert report.verification.ok
+    assert tool.verification is report.verification
+    assert "verify" in report.stage_seconds
+
+
+def test_develop_refuses_overbudget_program(attack_dataset):
+    """A target too small for the compiled program aborts the loop
+    with error-level REP2xx diagnostics instead of a late failure."""
+    from repro.deploy.resources import SwitchResourceModel
+    from repro.verify import ProgramVerificationError
+
+    loop = DevelopmentLoop(
+        teacher_name="tree",
+        resource_model=SwitchResourceModel(tcam_bits_total=1,
+                                           sram_bits_total=1,
+                                           sketch_sram_bits=0))
+    with pytest.raises(ProgramVerificationError) as excinfo:
+        loop.develop(attack_dataset.binarize("ddos-dns-amp"), seed=2)
+    codes = {d.code for d in excinfo.value.report.errors}
+    assert "REP201" in codes or "REP202" in codes
+
+
+def test_deploy_refuses_tool_with_errors(developed):
+    """DeployableTool.deploy never runs a tool whose verification
+    report carries error-level diagnostics."""
+    import dataclasses
+
+    from repro.verify import ProgramVerificationError, diag
+    from repro.verify.diagnostics import DiagnosticReport
+
+    tool, _ = developed
+    bad_report = DiagnosticReport(subject=tool.name)
+    bad_report.add(diag("REP001", "injected width overflow",
+                        program=tool.name, table="classify", entry=0))
+    bad_tool = dataclasses.replace(tool, verification=bad_report)
+    with pytest.raises(ProgramVerificationError):
+        bad_tool.deploy(network=None)
 
 
 def test_full_loop_with_roadtest(collected_platform, attack_dataset):

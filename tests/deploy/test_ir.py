@@ -112,6 +112,39 @@ class TestRangeToTernary:
         assert covered == set(range(lo, hi + 1))
         assert len(covers) <= 2 * 8 - 2 or lo == 0 and hi == 255
 
+    def test_single_point_range(self):
+        """A degenerate [v, v] range is one exact-match cover."""
+        for width in (1, 4, 8, 16):
+            for value in (0, (1 << width) - 1, (1 << width) // 2):
+                covers = range_to_ternary(value, value, width)
+                full_mask = (1 << width) - 1
+                assert covers == [(value, full_mask)]
+
+    def test_lo_zero_ranges_align_to_prefixes(self):
+        """[0, hi] decomposes into one block per set bit of hi+1."""
+        for width in (4, 8, 16):
+            for hi in range((1 << min(width, 8)) - 1):
+                covers = range_to_ternary(0, hi, width)
+                assert len(covers) == bin(hi + 1).count("1")
+                assert covers[0][0] == 0
+
+    def test_full_width_range_is_single_wildcard(self):
+        for width in (1, 4, 8, 16, 32):
+            assert range_to_ternary(0, (1 << width) - 1, width) == [(0, 0)]
+
+    def test_width_one_field(self):
+        assert range_to_ternary(0, 0, 1) == [(0, 1)]
+        assert range_to_ternary(1, 1, 1) == [(1, 1)]
+        assert range_to_ternary(0, 1, 1) == [(0, 0)]
+        with pytest.raises(ValueError):
+            range_to_ternary(0, 2, 1)
+
+    def test_worst_case_bound_tight(self):
+        # [1, 2^w - 2] is the classic worst case: 2*w - 2 covers.
+        for width in (4, 8, 16):
+            covers = range_to_ternary(1, (1 << width) - 2, width)
+            assert len(covers) == 2 * width - 2
+
     def test_ternary_cost_multiplies_ranges(self):
         entry = TableEntry(
             priority=0,

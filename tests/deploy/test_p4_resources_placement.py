@@ -46,6 +46,75 @@ class TestP4Gen:
         assert "model: decision_tree" in source
 
 
+class TestP4GenTableFidelity:
+    """_emit_table must reflect the table's real match kinds/actions."""
+
+    def _source_for(self, table):
+        from repro.deploy.ir import SwitchProgram
+        program = SwitchProgram(name="p", tables=[table],
+                                feature_fields=list(table.key_fields))
+        return emit_p4(program)
+
+    def test_compiled_table_declares_real_kinds(self, compiled):
+        source = emit_p4(compiled.program)
+        table = compiled.program.table("classify")
+        constrained = {name for entry in table.entries
+                       for name in entry.matches}
+        for key in table.key_fields:
+            sanitized = key.replace(".", "_")
+            expected = "range" if key in constrained else "ternary"
+            assert f"{sanitized} : {expected};" in source
+
+    def test_mixed_kinds_per_key(self):
+        from repro.deploy.ir import (FieldMatch, MatchActionTable,
+                                     MatchKind, TableEntry)
+        table = MatchActionTable(
+            name="acl", key_fields=["ip", "port", "proto"],
+            key_widths={"ip": 32, "port": 16, "proto": 8},
+            default_action="NoAction")
+        table.add_entry(TableEntry(
+            priority=2,
+            matches={"ip": FieldMatch(kind=MatchKind.LPM,
+                                      value=0x0A000000, prefix_len=8),
+                     "port": FieldMatch.range(0, 1023),
+                     "proto": FieldMatch.exact(6)},
+            action="set_class", params={"class_id": 1}))
+        table.add_entry(TableEntry(
+            priority=1,
+            matches={"port": FieldMatch.exact(53),
+                     "proto": FieldMatch.exact(17)},
+            action="set_class", params={"class_id": 2}))
+        source = self._source_for(table)
+        assert "ip : lpm;" in source          # only LPM constrains ip
+        assert "port : range;" in source      # range + exact -> range
+        assert "proto : exact;" in source     # exact everywhere
+
+    def test_actions_are_union_of_entries_and_default(self):
+        from repro.deploy.ir import (FieldMatch, MatchActionTable,
+                                     TableEntry)
+        table = MatchActionTable(
+            name="t", key_fields=["a"], key_widths={"a": 8},
+            default_action="NoAction")
+        table.add_entry(TableEntry(
+            priority=1, matches={"a": FieldMatch.exact(1)},
+            action="set_class", params={"class_id": 1}))
+        table.add_entry(TableEntry(
+            priority=1, matches={"a": FieldMatch.exact(2)},
+            action="rate_limit", params={}))
+        source = self._source_for(table)
+        assert "actions = { NoAction; rate_limit; set_class; }" in source
+        assert "default_action = NoAction();" in source
+
+    def test_unconstrained_table_wildcards_keys(self):
+        from repro.deploy.ir import MatchActionTable
+        table = MatchActionTable(
+            name="t", key_fields=["a"], key_widths={"a": 8},
+            default_action="NoAction")
+        source = self._source_for(table)
+        assert "a : ternary;" in source
+        assert "actions = { NoAction; }" in source
+
+
 class TestResources:
     def test_single_program_fits(self, compiled):
         report = SwitchResourceModel().fit([compiled])
@@ -61,6 +130,25 @@ class TestResources:
         model = SwitchResourceModel()
         max_tasks = model.max_concurrent(compiled)
         assert 2 <= max_tasks < 2000
+
+    def test_max_concurrent_matches_greedy_placement(self, compiled):
+        """The closed form must agree with actually packing copies."""
+        models = [
+            SwitchResourceModel(),
+            SwitchResourceModel(tcam_bits_total=compiled.tcam_bits * 7),
+            SwitchResourceModel(sram_bits_total=5 * 10**6,
+                                sketch_sram_bits=4 * 10**6),
+            SwitchResourceModel(n_stages=2, max_tables_per_stage=3),
+        ]
+        for model in models:
+            k = model.max_concurrent(compiled)
+            assert model.fit([compiled] * k).programs_placed == k
+            assert model.fit([compiled] * (k + 1)).programs_placed == k
+
+    def test_max_concurrent_zero_when_sketch_exceeds_sram(self, compiled):
+        model = SwitchResourceModel(sram_bits_total=10,
+                                    sketch_sram_bits=100)
+        assert model.max_concurrent(compiled) == 0
 
     def test_bottleneck_reported(self, compiled):
         tiny = SwitchResourceModel(tcam_bits_total=compiled.tcam_bits * 2)

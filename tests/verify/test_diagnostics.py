@@ -1,0 +1,105 @@
+"""Diagnostics framework: codes, severities, locations, reporters."""
+
+import json
+
+import pytest
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    ProgramVerificationError,
+    REP_CODES,
+    Severity,
+    SourceLocation,
+    diag,
+)
+
+
+class TestRegistry:
+    def test_codes_are_stable_blocks(self):
+        for code, (severity, title) in REP_CODES.items():
+            assert code.startswith("REP") and len(code) == 6
+            assert isinstance(severity, Severity)
+            assert title
+
+    def test_documented_codes_present(self):
+        # The codes the ISSUE acceptance criteria name must exist.
+        for code in ["REP001", "REP101", "REP201", "REP301"]:
+            assert code in REP_CODES
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            diag("REP999", "nope")
+
+
+class TestDiag:
+    def test_default_severity_from_registry(self):
+        d = diag("REP001", "overflow")
+        assert d.severity is Severity.ERROR
+        assert d.title == REP_CODES["REP001"][1]
+
+    def test_severity_override(self):
+        d = diag("REP104", "gap", severity=Severity.WARNING)
+        assert d.severity is Severity.WARNING
+
+    def test_program_location_render(self):
+        d = diag("REP001", "x", program="p", table="t", entry=3, field="f")
+        assert d.location.render() == "p/t[3].f"
+
+    def test_file_location_render(self):
+        d = diag("REP301", "x", file="netsim/sim.py", line=12)
+        assert d.location.render() == "netsim/sim.py:12"
+
+
+class TestReport:
+    def _report(self):
+        report = DiagnosticReport(subject="prog")
+        report.add(diag("REP001", "bad width", table="t", entry=0))
+        report.add(diag("REP101", "dead entry", table="t", entry=1))
+        report.add(diag("REP103", "default unreachable", table="t"))
+        return report
+
+    def test_severity_buckets(self):
+        report = self._report()
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert not report.ok
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_by_code(self):
+        report = self._report()
+        assert len(report.by_code("REP101")) == 1
+        assert report.by_code("REP202") == []
+
+    def test_text_reporter_orders_by_severity(self):
+        text = self._report().render_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("error")
+        assert lines[-1] == "prog: 1 error(s), 1 warning(s), 1 info"
+
+    def test_text_reporter_severity_floor(self):
+        text = self._report().render_text(min_severity=Severity.ERROR)
+        assert "REP001" in text and "REP101" not in text
+
+    def test_json_reporter_roundtrips(self):
+        payload = json.loads(self._report().render_json())
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] == 1
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert codes == ["REP001", "REP101", "REP103"]
+        assert payload["diagnostics"][0]["location"] == {
+            "table": "t", "entry": 0}
+
+    def test_empty_report_is_ok(self):
+        assert DiagnosticReport().ok
+
+
+class TestVerificationError:
+    def test_message_names_codes(self):
+        report = DiagnosticReport(subject="tool")
+        report.add(diag("REP001", "x"))
+        report.add(diag("REP005", "y"))
+        error = ProgramVerificationError(report)
+        assert "REP001" in str(error) and "REP005" in str(error)
+        assert error.report is report

@@ -1,0 +1,181 @@
+"""AST lint: rule units on synthetic modules + the repo-wide gate."""
+
+import textwrap
+from pathlib import Path
+
+from repro.verify.lint import (
+    LintConfig,
+    lint_package,
+    lint_path,
+    lint_source,
+)
+
+
+def _lint(source, rel_path="netsim/mod.py", config=None):
+    return lint_source(textwrap.dedent(source), rel_path,
+                       config or LintConfig())
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged(self):
+        findings = _lint("def f(x=[]):\n    return x\n")
+        assert [d.code for d in findings] == ["REP301"]
+
+    def test_dict_set_and_call_defaults_flagged(self):
+        findings = _lint("""
+            def f(a={}, b=set(), c=dict(), *, d=list()):
+                return a, b, c, d
+        """)
+        assert [d.code for d in findings] == ["REP301"] * 4
+
+    def test_immutable_defaults_clean(self):
+        findings = _lint("""
+            def f(a=None, b=3, c=(), d="x", e=frozenset()):
+                return a, b, c, d, e
+        """)
+        assert findings == []
+
+    def test_method_and_nested_functions_checked(self):
+        findings = _lint("""
+            class C:
+                def m(self, x=[]):
+                    def inner(y={}):
+                        return y
+                    return inner(x)
+        """)
+        assert len(findings) == 2
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        findings = _lint("""
+            try:
+                pass
+            except:
+                pass
+        """)
+        assert [d.code for d in findings] == ["REP302"]
+
+    def test_typed_except_clean(self):
+        findings = _lint("""
+            try:
+                pass
+            except (ValueError, KeyError):
+                pass
+            except Exception:
+                pass
+        """)
+        assert findings == []
+
+
+class TestUnseededRandom:
+    def test_numpy_global_rng_flagged_in_scope(self):
+        findings = _lint("import numpy as np\nx = np.random.rand(3)\n")
+        assert [d.code for d in findings] == ["REP303"]
+
+    def test_stdlib_random_flagged_in_scope(self):
+        findings = _lint("import random\nx = random.randint(0, 9)\n",
+                         rel_path="learning/mod.py")
+        assert [d.code for d in findings] == ["REP303"]
+
+    def test_default_rng_is_fine(self):
+        findings = _lint("""
+            import numpy as np
+            rng = np.random.default_rng(7)
+            x = rng.normal()
+            g = np.random.Generator(np.random.PCG64(7))
+        """)
+        assert findings == []
+
+    def test_out_of_scope_module_not_checked(self):
+        findings = _lint("import numpy as np\nx = np.random.rand(3)\n",
+                         rel_path="analysis/mod.py")
+        assert findings == []
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_simulator_code(self):
+        findings = _lint("import time\nt = time.time()\n")
+        assert [d.code for d in findings] == ["REP304"]
+
+    def test_perf_counter_and_monotonic_fine(self):
+        findings = _lint("""
+            import time
+            a = time.perf_counter()
+            b = time.monotonic()
+        """)
+        assert findings == []
+
+    def test_out_of_scope_time_time_allowed(self):
+        findings = _lint("import time\nt = time.time()\n",
+                         rel_path="analysis/mod.py")
+        assert findings == []
+
+
+class TestExemptions:
+    def test_specific_exemption_suppresses(self):
+        config = LintConfig(exemptions={"netsim/mod.py:REP304"})
+        findings = _lint("import time\nt = time.time()\n", config=config)
+        assert findings == []
+
+    def test_wildcard_exemption_suppresses_all(self):
+        config = LintConfig(exemptions={"netsim/mod.py:*"})
+        findings = _lint("def f(x=[]):\n    return time.time()\n",
+                         config=config)
+        assert findings == []
+
+    def test_exemption_is_path_specific(self):
+        config = LintConfig(exemptions={"netsim/other.py:REP304"})
+        findings = _lint("import time\nt = time.time()\n", config=config)
+        assert [d.code for d in findings] == ["REP304"]
+
+
+class TestLintPath:
+    def test_walks_tree_and_reports_relative_paths(self, tmp_path):
+        package = tmp_path / "pkg"
+        (package / "netsim").mkdir(parents=True)
+        (package / "netsim" / "bad.py").write_text(
+            "import time\n\n\ndef f(x=[]):\n    return time.time()\n")
+        (package / "clean.py").write_text("def f(x=None):\n    return x\n")
+        report = lint_path(package, config=LintConfig())
+        codes = sorted(d.code for d in report.diagnostics)
+        assert codes == ["REP301", "REP304"]
+        assert all(d.location.file == "netsim/bad.py"
+                   for d in report.diagnostics)
+
+    def test_unparseable_module_rep300(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "broken.py").write_text("def f(:\n")
+        report = lint_path(package, config=LintConfig())
+        assert [d.code for d in report.diagnostics] == ["REP300"]
+
+    def test_excluded_directories_skipped(self, tmp_path):
+        package = tmp_path / "pkg"
+        (package / "__pycache__").mkdir(parents=True)
+        (package / "__pycache__" / "junk.py").write_text("def f(x=[]): pass")
+        report = lint_path(package, config=LintConfig())
+        assert report.diagnostics == []
+
+
+class TestConfig:
+    def test_from_pyproject_reads_repo_config(self):
+        import repro
+
+        config = LintConfig.from_pyproject(
+            Path(repro.__file__).resolve().parent)
+        assert "netsim" in config.seeded_random_scope
+        assert "netsim" in config.wallclock_scope
+
+    def test_missing_pyproject_falls_back_to_defaults(self, tmp_path):
+        config = LintConfig.from_pyproject(tmp_path)
+        assert config.seeded_random_scope
+
+
+class TestRepoGate:
+    def test_repo_lint_is_green(self):
+        """The tier-1 gate: the whole installed package passes the
+        project AST rules (exemptions, if any, live in pyproject)."""
+        report = lint_package()
+        assert report.ok, "\n" + report.render_text()
+        assert report.diagnostics == [], "\n" + report.render_text()

@@ -1,0 +1,424 @@
+"""Program verifier: structural passes, semantic interval passes,
+resource pre-check, and the deploy/load trust gates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deploy.compiler import FeatureQuantizer, compile_tree
+from repro.deploy.ir import (
+    FieldMatch,
+    MatchActionTable,
+    MatchKind,
+    SwitchProgram,
+    TableEntry,
+)
+from repro.deploy.resources import SwitchResourceModel
+from repro.learning.models import DecisionTreeClassifier
+from repro.verify import (
+    ProgramVerificationError,
+    check_deployable,
+    resource_precheck,
+    verify_program,
+)
+
+
+def _table(entries=None, key_widths=None, default_action="set_class",
+           default_params=None):
+    table = MatchActionTable(
+        name="classify",
+        key_fields=list((key_widths or {"a": 8, "b": 8})),
+        key_widths=dict(key_widths or {"a": 8, "b": 8}),
+        default_action=default_action,
+        default_params=(default_params if default_params is not None
+                        else {"class_id": 0}),
+    )
+    for entry in entries or []:
+        table.entries.append(entry)      # bypass add_entry validation
+    return table
+
+
+def _program(table) -> SwitchProgram:
+    return SwitchProgram(name="prog", tables=[table],
+                         feature_fields=list(table.key_fields))
+
+
+def _entry(priority=0, matches=None, action="set_class", params=None):
+    return TableEntry(priority=priority, matches=matches or {},
+                      action=action,
+                      params=params if params is not None
+                      else {"class_id": 1})
+
+
+class TestStructural:
+    def test_exact_value_overflow_rep001(self):
+        table = _table([_entry(matches={"a": FieldMatch.exact(256)})])
+        report = verify_program(_program(table))
+        assert [d.code for d in report.errors] == ["REP001"]
+        assert report.errors[0].location.field == "a"
+
+    def test_ternary_mask_overflow_rep001(self):
+        match = FieldMatch(kind=MatchKind.TERNARY, value=1, mask=0x1FF)
+        table = _table([_entry(matches={"a": match})])
+        report = verify_program(_program(table))
+        assert report.by_code("REP001")
+
+    def test_range_exceeds_width_rep002(self):
+        match = FieldMatch(kind=MatchKind.RANGE, lo=0, hi=300)
+        table = _table([_entry(matches={"a": match})])
+        report = verify_program(_program(table))
+        assert report.by_code("REP002") and not report.ok
+
+    def test_empty_range_rep002(self):
+        match = FieldMatch(kind=MatchKind.RANGE, lo=9, hi=3)
+        table = _table([_entry(matches={"a": match})])
+        assert verify_program(_program(table)).by_code("REP002")
+
+    def test_lpm_prefix_too_long_rep003(self):
+        match = FieldMatch(kind=MatchKind.LPM, value=0, prefix_len=9)
+        table = _table([_entry(matches={"a": match})])
+        assert verify_program(_program(table)).by_code("REP003")
+
+    def test_undeclared_key_field_rep004(self):
+        table = _table([_entry(matches={"zzz": FieldMatch.exact(1)})])
+        report = verify_program(_program(table))
+        assert report.by_code("REP004")
+
+    def test_unknown_action_rep005(self):
+        table = _table([_entry(action="teleport", params={})])
+        assert verify_program(_program(table)).by_code("REP005")
+
+    def test_unknown_default_action_rep005(self):
+        table = _table([], default_action="vanish", default_params={})
+        assert verify_program(_program(table)).by_code("REP005")
+
+    def test_missing_required_param_rep006(self):
+        table = _table([_entry(params={})])
+        report = verify_program(_program(table))
+        assert report.by_code("REP006") and not report.ok
+
+    def test_mistyped_param_rep006(self):
+        table = _table([_entry(params={"class_id": "one"})])
+        assert not verify_program(_program(table)).ok
+
+    def test_unexpected_param_is_warning(self):
+        table = _table([_entry(params={"class_id": 1, "ttl": 3})])
+        report = verify_program(_program(table))
+        assert report.ok
+        assert any(d.code == "REP006" for d in report.warnings)
+
+    def test_bad_key_width_rep007(self):
+        table = _table([], key_widths={"a": 0, "b": 8})
+        assert verify_program(_program(table)).by_code("REP007")
+
+    def test_clean_table_no_errors(self):
+        table = _table([
+            _entry(priority=1, matches={"a": FieldMatch.range(0, 10)}),
+            _entry(priority=0, matches={"b": FieldMatch.exact(7)},
+                   params={"class_id": 0, "confidence": 0.9}),
+        ])
+        assert verify_program(_program(table)).ok
+
+
+class TestSemantic:
+    def test_shadowed_by_single_entry_rep101(self):
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(0, 100)}),
+            _entry(priority=1, matches={"a": FieldMatch.range(10, 20)},
+                   params={"class_id": 2}),
+        ])
+        report = verify_program(_program(table))
+        flagged = report.by_code("REP101")
+        assert len(flagged) == 1 and flagged[0].location.entry == 1
+
+    def test_shadowed_by_union_rep101(self):
+        """No single higher-priority entry covers the victim, but the
+        union of two does — interval subtraction catches it."""
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(0, 60)}),
+            _entry(priority=5, matches={"a": FieldMatch.range(50, 255)},
+                   params={"class_id": 1}),
+            _entry(priority=1, matches={"a": FieldMatch.range(40, 80)},
+                   params={"class_id": 2}),
+        ])
+        report = verify_program(_program(table))
+        assert [d.location.entry for d in report.by_code("REP101")] == [2]
+
+    def test_equal_priority_earlier_entry_shadows(self):
+        table = _table([
+            _entry(priority=3, matches={"a": FieldMatch.range(0, 50)}),
+            _entry(priority=3, matches={"a": FieldMatch.range(10, 20)},
+                   params={"class_id": 1}),
+        ])
+        report = verify_program(_program(table))
+        assert [d.location.entry for d in report.by_code("REP101")] == [1]
+
+    def test_partial_overlap_not_shadowed(self):
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(0, 50)}),
+            _entry(priority=1, matches={"a": FieldMatch.range(40, 80)},
+                   params={"class_id": 2}),
+        ])
+        assert not verify_program(_program(table)).by_code("REP101")
+
+    def test_multifield_not_shadowed_across_dims(self):
+        """Covering in each projection separately is not covering."""
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(0, 255),
+                                        "b": FieldMatch.range(0, 10)}),
+            _entry(priority=1, matches={"a": FieldMatch.range(5, 9),
+                                        "b": FieldMatch.range(5, 20)},
+                   params={"class_id": 2}),
+        ])
+        assert not verify_program(_program(table)).by_code("REP101")
+
+    def test_ambiguous_overlap_rep102(self):
+        table = _table([
+            _entry(priority=2, matches={"a": FieldMatch.range(0, 30)},
+                   params={"class_id": 1}),
+            _entry(priority=2, matches={"a": FieldMatch.range(20, 50)},
+                   params={"class_id": 2}),
+        ])
+        report = verify_program(_program(table))
+        # entry 1 is partially claimed by entry 0 on [20,30]: ambiguous
+        # on real hardware, order-resolved in the emulator.
+        assert report.by_code("REP102")
+
+    def test_same_outcome_overlap_not_ambiguous(self):
+        table = _table([
+            _entry(priority=2, matches={"a": FieldMatch.range(0, 30)}),
+            _entry(priority=2, matches={"a": FieldMatch.range(20, 50)}),
+        ])
+        assert not verify_program(_program(table)).by_code("REP102")
+
+    def test_unreachable_default_rep103(self):
+        table = _table([_entry(matches={})])      # wildcard entry
+        report = verify_program(_program(table))
+        assert report.by_code("REP103")
+
+    def test_coverage_gap_warning_with_noaction_default(self):
+        table = _table(
+            [_entry(matches={"a": FieldMatch.range(0, 99)})],
+            default_action="NoAction", default_params={})
+        report = verify_program(_program(table))
+        gaps = report.by_code("REP104")
+        assert gaps and any(d in report.warnings for d in gaps)
+        assert any("[100, 255]" in d.message for d in gaps)
+
+    def test_non_prefix_ternary_reported_and_skipped_rep105(self):
+        weird = FieldMatch(kind=MatchKind.TERNARY, value=0b0101,
+                           mask=0b0101)
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(0, 255),
+                                        "b": FieldMatch.range(0, 255)}),
+            _entry(priority=1, matches={"a": weird},
+                   params={"class_id": 2}),
+        ])
+        report = verify_program(_program(table))
+        assert report.by_code("REP105")
+        # conservatively NOT flagged as shadowed even though covered
+        assert not any(d.location.entry == 1
+                       for d in report.by_code("REP101"))
+
+    def test_prefix_ternary_participates_in_intervals(self):
+        prefix = FieldMatch(kind=MatchKind.TERNARY, value=0b1100_0000,
+                            mask=0b1100_0000)       # [192, 255]
+        table = _table([
+            _entry(priority=5, matches={"a": FieldMatch.range(192, 255)}),
+            _entry(priority=1, matches={"a": prefix},
+                   params={"class_id": 2}),
+        ])
+        report = verify_program(_program(table))
+        assert [d.location.entry for d in report.by_code("REP101")] == [1]
+
+    def test_large_table_capped_rep106(self):
+        entries = [_entry(priority=i,
+                          matches={"a": FieldMatch.exact(i % 256)})
+                   for i in range(600)]
+        report = verify_program(_program(_table(entries)))
+        assert report.by_code("REP106")
+        assert not report.by_code("REP101")
+
+
+# -- Hypothesis: the shadow pass is sound w.r.t. lookup() -------------------
+
+_WIDTH = 4
+_FULL = (1 << _WIDTH) - 1
+
+_match_spec = st.one_of(
+    st.none(),
+    st.tuples(st.just("exact"), st.integers(0, _FULL)),
+    st.tuples(st.just("range"), st.integers(0, _FULL),
+              st.integers(0, _FULL)),
+    st.tuples(st.just("ternary"), st.integers(0, _FULL),
+              st.integers(0, _FULL)),
+)
+
+_entry_spec = st.tuples(st.integers(0, 3), _match_spec, _match_spec)
+
+
+def _spec_to_match(spec):
+    if spec is None:
+        return None
+    if spec[0] == "exact":
+        return FieldMatch.exact(spec[1])
+    if spec[0] == "range":
+        lo, hi = sorted(spec[1:])
+        return FieldMatch.range(lo, hi)
+    return FieldMatch(kind=MatchKind.TERNARY, value=spec[1], mask=spec[2])
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_entry_spec, min_size=1, max_size=6))
+def test_property_shadow_pass_never_flags_live_entries(specs):
+    """Removing any entry the pass calls shadowed must not change any
+    lookup() result over the whole (small) key space."""
+    entries = []
+    for i, (priority, spec_a, spec_b) in enumerate(specs):
+        matches = {}
+        for name, spec in (("a", spec_a), ("b", spec_b)):
+            match = _spec_to_match(spec)
+            if match is not None:
+                matches[name] = match
+        entries.append(TableEntry(priority=priority, matches=matches,
+                                  action="set_class",
+                                  params={"class_id": i}))
+    table = _table(entries, key_widths={"a": _WIDTH, "b": _WIDTH})
+    report = verify_program(_program(table))
+    shadowed = [d.location.entry for d in report.by_code("REP101")]
+    for victim in shadowed:
+        pruned = _table([e for i, e in enumerate(entries) if i != victim],
+                        key_widths={"a": _WIDTH, "b": _WIDTH})
+        for a in range(_FULL + 1):
+            for b in range(_FULL + 1):
+                fields = {"a": a, "b": b}
+                assert table.lookup(fields) == pruned.lookup(fields), (
+                    f"shadow pass flagged live entry {victim} "
+                    f"(differs at {fields})")
+
+
+# -- compiled programs (the acceptance scenarios) ---------------------------
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(7)
+    X = np.abs(rng.normal(size=(300, 4))) * [10, 1000, 1, 100]
+    y = ((X[:, 1] > 800) & (X[:, 2] > 0.4)).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    quantizer = FeatureQuantizer.for_features(X)
+    return compile_tree(tree, ["pkts", "bytes", "ratio", "rate"],
+                        quantizer, class_names=["benign", "ddos"])
+
+
+class TestCompiledPrograms:
+    def test_fitted_tree_verifies_clean(self, compiled):
+        report = verify_program(compiled.program, compile_result=compiled)
+        assert report.ok
+        assert not report.warnings
+
+    def test_injected_width_overflow_flagged(self, compiled):
+        import copy
+
+        result = copy.deepcopy(compiled)
+        table = result.program.table("classify")
+        width = table.key_widths[table.key_fields[0]]
+        table.entries.append(TableEntry(
+            priority=99,
+            matches={table.key_fields[0]:
+                     FieldMatch(kind=MatchKind.RANGE, lo=0,
+                                hi=1 << width)},
+            action="set_class", params={"class_id": 1}))
+        report = verify_program(result.program)
+        assert report.by_code("REP002") and not report.ok
+
+    def test_injected_shadowed_entry_flagged(self, compiled):
+        import copy
+
+        result = copy.deepcopy(compiled)
+        table = result.program.table("classify")
+        table.entries.append(TableEntry(
+            priority=-1,                 # loses to every tree path
+            matches={},                  # ...while matching everything
+            action="set_class", params={"class_id": 1}))
+        report = verify_program(result.program)
+        flagged = [d.location.entry for d in report.by_code("REP101")]
+        assert len(table.entries) - 1 in flagged
+
+    def test_check_deployable_raises_on_errors(self, compiled):
+        import copy
+
+        result = copy.deepcopy(compiled)
+        table = result.program.table("classify")
+        table.entries.append(TableEntry(
+            priority=1, matches={}, action="not_an_action", params={}))
+        with pytest.raises(ProgramVerificationError):
+            check_deployable(result.program)
+        assert check_deployable(compiled.program).ok
+
+    def test_switch_load_path_refuses_bad_program(self, compiled):
+        import copy
+
+        from repro.deploy.switch import EmulatedSwitch
+
+        result = copy.deepcopy(compiled)
+        result.program.table("classify").entries.append(TableEntry(
+            priority=1, matches={}, action="not_an_action", params={}))
+        # Verification fires before the network is touched, so the
+        # refusal is observable without standing up a simulation.
+        with pytest.raises(ProgramVerificationError):
+            EmulatedSwitch(network=None, compile_result=result)
+
+
+class TestResourcePrecheck:
+    def test_fitting_program_gets_headroom_info(self, compiled):
+        diagnostics = resource_precheck(compiled, SwitchResourceModel())
+        codes = {d.code for d in diagnostics}
+        assert "REP206" in codes
+        assert not codes & {"REP201", "REP202", "REP203"}
+
+    def test_tcam_overflow_rep201(self, compiled):
+        model = SwitchResourceModel(tcam_bits_total=1)
+        codes = {d.code for d in resource_precheck(compiled, model)}
+        assert "REP201" in codes
+
+    def test_sram_overflow_rep202(self, compiled):
+        model = SwitchResourceModel(sram_bits_total=10, sketch_sram_bits=0)
+        codes = {d.code for d in resource_precheck(compiled, model)}
+        assert "REP202" in codes
+
+    def test_table_slots_rep203(self, compiled):
+        model = SwitchResourceModel(n_stages=0)
+        codes = {d.code for d in resource_precheck(compiled, model)}
+        assert "REP203" in codes
+
+    def test_tcam_pressure_warning_rep205(self, compiled):
+        model = SwitchResourceModel(
+            tcam_bits_total=int(compiled.tcam_bits * 1.1))
+        diagnostics = resource_precheck(compiled, model)
+        assert any(d.code == "REP205" for d in diagnostics)
+
+    def test_pathological_expansion_rep204(self):
+        # [1, 2^16 - 2] expands to 2*16 - 2 = 30 covers per key; two
+        # such keys multiply to 900 TCAM rows for one entry, past the
+        # 512-row pathological-expansion threshold.
+        table = MatchActionTable(
+            name="classify", key_fields=["a", "b"],
+            key_widths={"a": 16, "b": 16},
+            default_action="NoAction")
+        table.add_entry(TableEntry(
+            priority=0,
+            matches={"a": FieldMatch.range(1, (1 << 16) - 2),
+                     "b": FieldMatch.range(1, (1 << 16) - 2)},
+            action="set_class", params={"class_id": 1}))
+        program = SwitchProgram(name="p", tables=[table])
+
+        class _FakeResult:
+            pass
+
+        result = _FakeResult()
+        result.program = program
+        result.n_entries = 1
+        result.tcam_bits = 900 * 32
+        codes = {d.code
+                 for d in resource_precheck(result, SwitchResourceModel())}
+        assert "REP204" in codes
