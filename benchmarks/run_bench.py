@@ -1,0 +1,123 @@
+"""Run the substrate benchmarks and maintain ``BENCH_substrate.json``.
+
+The committed file at the repo root records two things:
+
+- ``baseline``: per-test stats frozen when the file was first seeded
+  (the pre-columnar seed numbers).  Never overwritten by later runs.
+- ``results``: per-test stats from the most recent ``run_bench.py``
+  invocation.
+
+Modes
+-----
+``python benchmarks/run_bench.py``
+    Full run; rewrites ``results`` (seeding ``baseline`` on first run).
+``python benchmarks/run_bench.py --quick``
+    Few rounds, short max-time; what CI runs.
+``python benchmarks/run_bench.py --check [--threshold 3.0]``
+    Runs the benchmarks, then exits non-zero if any test's fresh median
+    exceeds ``threshold`` x the committed ``results`` median (the
+    regression gate; it does not rewrite the committed file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_substrate.json"
+SUITE = Path(__file__).resolve().parent / "test_perf_substrate.py"
+STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
+
+
+def run_suite(quick: bool) -> dict:
+    """Run pytest-benchmark on the suite; return {test: stats}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
+        out_path = Path(fh.name)
+    cmd = [
+        sys.executable, "-m", "pytest", str(SUITE), "-q",
+        f"--benchmark-json={out_path}",
+    ]
+    if quick:
+        cmd += ["--benchmark-min-rounds=3", "--benchmark-max-time=0.5",
+                "--benchmark-warmup=off"]
+    env_src = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark suite failed (exit {proc.returncode})")
+    raw = json.loads(out_path.read_text())
+    out_path.unlink(missing_ok=True)
+    results = {}
+    for bench in raw["benchmarks"]:
+        stats = bench["stats"]
+        results[bench["name"]] = {k: stats[k] for k in STAT_KEYS}
+    return results
+
+
+def load_committed() -> dict:
+    if BENCH_FILE.exists():
+        return json.loads(BENCH_FILE.read_text())
+    return {}
+
+
+def check(results: dict, committed: dict, threshold: float) -> int:
+    reference = committed.get("results") or committed.get("baseline") or {}
+    if not reference:
+        print("no committed results to check against; skipping gate")
+        return 0
+    failed = 0
+    for name, stats in sorted(results.items()):
+        ref = reference.get(name)
+        if ref is None:
+            print(f"  {name}: no committed reference (new test), skipped")
+            continue
+        ratio = stats["median"] / ref["median"] if ref["median"] else 0.0
+        verdict = "OK" if ratio <= threshold else "REGRESSION"
+        print(f"  {name}: median {stats['median'] * 1e6:.1f}us vs committed "
+              f"{ref['median'] * 1e6:.1f}us ({ratio:.2f}x) {verdict}")
+        if ratio > threshold:
+            failed += 1
+    if failed:
+        print(f"{failed} benchmark(s) regressed more than {threshold:.1f}x")
+        return 1
+    print(f"all benchmarks within {threshold:.1f}x of committed medians")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="few rounds, short max-time (CI mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate against the committed file "
+                             "(does not rewrite it)")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="allowed median slowdown factor for --check")
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick)
+    committed = load_committed()
+    if args.check:
+        return check(results, committed, args.threshold)
+
+    payload = {
+        "suite": "benchmarks/test_perf_substrate.py",
+        "units": "seconds",
+        "baseline": committed.get("baseline") or results,
+        "results": results,
+    }
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    print(f"wrote {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from repro.capture.metadata import MetadataExtractor
 from repro.datastore import DataStore, Query
 from repro.deploy.compiler import FeatureQuantizer, compile_tree
 from repro.deploy.sketches import CountMinSketch
+from repro.learning.features import SourceWindowFeaturizer
 from repro.learning.models import DecisionTreeClassifier
 from repro.netsim.packets import PacketRecord
 
@@ -60,6 +61,27 @@ def test_perf_countmin_updates(benchmark):
 
     estimate = benchmark(update_all)
     assert estimate >= 1400
+
+
+def test_perf_countmin_add_batch(benchmark):
+    sketch = CountMinSketch(width=2048, depth=3)
+    keys = [f"10.1.{i % 200}.{i % 250}" for i in range(2000)]
+
+    def update_all():
+        sketch.add_batch(keys, 1400)
+        return sketch.estimate(keys[0])
+
+    estimate = benchmark(update_all)
+    assert estimate >= 1400
+
+
+def test_perf_featurize(benchmark):
+    store = DataStore(metadata_extractor=MetadataExtractor())
+    store.ingest_packets(_packets(20_000))
+    featurizer = SourceWindowFeaturizer()
+
+    dataset = benchmark(lambda: featurizer.from_store(store))
+    assert len(dataset.X) > 0
 
 
 def test_perf_tree_compile(benchmark):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.packets import PacketRecord
@@ -90,28 +91,36 @@ class CaptureEngine:
         if not packets:
             return []
         self.stats.packets_offered += len(packets)
-        offered_bytes = sum(p.size for p in packets)
+        offered_bytes = sum(map(attrgetter("size"), packets))
         self.stats.bytes_offered += offered_bytes
 
         if self.lossless:
+            # No drops: captured bytes are the offered bytes, no second
+            # per-packet pass needed.
             captured = list(packets)
-        else:
-            captured = []
-            budget = self._bin_budget()
-            for packet in packets:
-                bin_id = int(packet.timestamp // self.bin_seconds)
-                used = self._bin_bytes.get(bin_id, 0.0)
-                # Burst buffer: allow one buffer's worth above line rate
-                # per bin (a simple, conservative credit model).
-                if used + packet.size <= budget + self.buffer_bytes:
-                    self._bin_bytes[bin_id] = used + packet.size
-                    captured.append(packet)
-                else:
-                    self.stats.packets_dropped += 1
-                    self.stats.bytes_dropped += packet.size
+            self.stats.packets_captured += len(captured)
+            self.stats.bytes_captured += offered_bytes
+            for subscriber in self._subscribers:
+                subscriber(captured)
+            return captured
+        captured = []
+        dropped_bytes = 0
+        budget = self._bin_budget()
+        for packet in packets:
+            bin_id = int(packet.timestamp // self.bin_seconds)
+            used = self._bin_bytes.get(bin_id, 0.0)
+            # Burst buffer: allow one buffer's worth above line rate
+            # per bin (a simple, conservative credit model).
+            if used + packet.size <= budget + self.buffer_bytes:
+                self._bin_bytes[bin_id] = used + packet.size
+                captured.append(packet)
+            else:
+                self.stats.packets_dropped += 1
+                dropped_bytes += packet.size
 
+        self.stats.bytes_dropped += dropped_bytes
         self.stats.packets_captured += len(captured)
-        self.stats.bytes_captured += sum(p.size for p in captured)
+        self.stats.bytes_captured += offered_bytes - dropped_bytes
         if captured:
             for subscriber in self._subscribers:
                 subscriber(captured)

@@ -13,11 +13,13 @@ attribution (which department the internal endpoint belongs to).
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.capture.flows import WELL_KNOWN_SERVICES
 from repro.netsim.packets import PacketRecord, Protocol
 from repro.netsim.traffic.payloads import decode_dns_qname
+
+_BATCH_CACHE_LIMIT = 1 << 18
 
 
 class MetadataExtractor:
@@ -25,6 +27,83 @@ class MetadataExtractor:
 
     def __init__(self, topology=None):
         self._topology = topology
+        # memo caches for the batch path; tags are pure functions of the
+        # cached keys, so entries never go stale (bounded, cleared on
+        # overflow)
+        self._base_cache: Dict[tuple, Dict[str, str]] = {}
+        self._payload_cache: Dict[tuple, Dict[str, str]] = {}
+        self._dept_cache: Dict[str, Optional[str]] = {}
+
+    def extract_batch(self, packets: Sequence[PacketRecord]) \
+            -> List[Dict[str, str]]:
+        """Vectorized batch mode: one tag dict per packet.
+
+        Real traffic repeats: the same handshake fragments, the same
+        service ports, the same directions.  The header-derived base
+        tags are memoized per (protocol, direction, service) and the
+        payload-derived tags per (payload fragment, dns-context), so
+        each distinct combination is computed once and every packet gets
+        its own copy of the merged result.  Equivalent to
+        ``[extract(p) for p in packets]``, at a fraction of the cost.
+        """
+        base_cache = self._base_cache
+        payload_cache = self._payload_cache
+        if len(base_cache) > _BATCH_CACHE_LIMIT:
+            base_cache.clear()
+        if len(payload_cache) > _BATCH_CACHE_LIMIT:
+            payload_cache.clear()
+        services = WELL_KNOWN_SERVICES
+        topology = self._topology
+        udp = int(Protocol.UDP)
+        out: List[Dict[str, str]] = []
+        append = out.append
+        for packet in packets:
+            src_port = packet.src_port
+            dst_port = packet.dst_port
+            low, high = (src_port, dst_port) if src_port <= dst_port \
+                else (dst_port, src_port)
+            service = services.get(low) or services.get(high) or "other"
+            base_key = (packet.protocol, packet.direction, service)
+            base = base_cache.get(base_key)
+            if base is None:
+                base = base_cache[base_key] = {
+                    "proto": Protocol(packet.protocol).name.lower()
+                    if packet.protocol in (1, 6, 17)
+                    else str(packet.protocol),
+                    "direction": packet.direction,
+                    "service": service,
+                }
+            tags = dict(base)
+            payload = packet.payload
+            if payload:
+                is_dns = packet.protocol == udp and \
+                    (src_port == 53 or dst_port == 53)
+                payload_key = (payload, is_dns)
+                payload_tags = payload_cache.get(payload_key)
+                if payload_tags is None:
+                    payload_tags = payload_cache[payload_key] = \
+                        self._dns_tags(payload) if is_dns else \
+                        self._app_payload_tags(payload)
+                tags.update(payload_tags)
+            if topology is not None:
+                internal_ip = (packet.dst_ip if packet.direction == "in"
+                               else packet.src_ip)
+                dept = self._department(internal_ip)
+                if dept:
+                    tags["department"] = dept
+            append(tags)
+        return out
+
+    def _department(self, internal_ip: str) -> Optional[str]:
+        dept = self._dept_cache.get(internal_ip)
+        if dept is None and internal_ip not in self._dept_cache:
+            node = self._topology.node_by_ip(internal_ip)
+            dept = self._topology.department(node) if node is not None \
+                else None
+            if len(self._dept_cache) > _BATCH_CACHE_LIMIT:
+                self._dept_cache.clear()
+            self._dept_cache[internal_ip] = dept
+        return dept
 
     def extract(self, packet: PacketRecord) -> Dict[str, str]:
         tags: Dict[str, str] = {
@@ -61,10 +140,14 @@ class MetadataExtractor:
             packet.src_port, packet.dst_port
         ):
             return self._dns_tags(payload)
+        return self._app_payload_tags(payload)
+
+    @staticmethod
+    def _app_payload_tags(payload: bytes) -> Dict[str, str]:
         if payload.startswith(b"\x16\x03") or payload.startswith(b"\x17\x03"):
-            return self._tls_tags(payload)
+            return MetadataExtractor._tls_tags(payload)
         if payload[:4] in (b"GET ", b"POST", b"HTTP"):
-            return self._http_tags(payload)
+            return MetadataExtractor._http_tags(payload)
         if payload.startswith(b"SSH-"):
             return {"app_proto": "ssh",
                     "ssh_banner": payload.split(b"\r\n")[0].decode(

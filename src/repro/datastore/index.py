@@ -20,35 +20,53 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class TimeIndex:
-    """Sorted (timestamp, position) pairs for range scans."""
+    """Sorted (timestamp, position) pairs for range scans.
+
+    Additions accumulate unsorted and are merged lazily; the single
+    merge implementation (:meth:`_merge`) sorts by ``(time, position)``
+    so :meth:`range` results are deterministic for equal timestamps
+    (ties break by ascending position).
+    """
 
     def __init__(self):
         self._times: List[float] = []
         self._positions: List[int] = []
-        self._dirty_pairs: List[Tuple[float, int]] = []
+        self._dirty_times: List[float] = []
+        self._dirty_positions: List[int] = []
 
     def add(self, timestamp: float, position: int) -> None:
-        self._dirty_pairs.append((timestamp, position))
+        self._dirty_times.append(timestamp)
+        self._dirty_positions.append(position)
+
+    def add_batch(self, timestamps: Iterable[float],
+                  positions: Iterable[int]) -> None:
+        """Bulk add; positions must align with timestamps."""
+        self._dirty_times.extend(timestamps)
+        self._dirty_positions.extend(positions)
+
+    def _merge(self) -> None:
+        """Fold accumulated entries into the sorted arrays (idempotent)."""
+        if not self._dirty_times:
+            return
+        merged = list(zip(self._times, self._positions))
+        merged.extend(zip(self._dirty_times, self._dirty_positions))
+        merged.sort()
+        self._times = [t for t, _ in merged]
+        self._positions = [p for _, p in merged]
+        self._dirty_times = []
+        self._dirty_positions = []
 
     def seal(self) -> None:
-        """Sort accumulated entries; called once when a segment seals."""
-        if self._dirty_pairs:
-            self._dirty_pairs.sort()
-            self._times = [t for t, _ in self._dirty_pairs]
-            self._positions = [p for _, p in self._dirty_pairs]
-            self._dirty_pairs = []
-
-    def _ensure_sealed(self) -> None:
-        if self._dirty_pairs:
-            merged = list(zip(self._times, self._positions)) + self._dirty_pairs
-            merged.sort()
-            self._times = [t for t, _ in merged]
-            self._positions = [p for _, p in merged]
-            self._dirty_pairs = []
+        """Merge pending entries; called when a segment seals."""
+        self._merge()
 
     def range(self, start: Optional[float], end: Optional[float]) -> List[int]:
-        """Positions with start <= t <= end (either bound optional)."""
-        self._ensure_sealed()
+        """Positions with start <= t <= end (either bound optional).
+
+        Results are ordered by (time, position) — deterministic even
+        when many records share one timestamp.
+        """
+        self._merge()
         lo = 0 if start is None else bisect.bisect_left(self._times, start)
         hi = len(self._times) if end is None else bisect.bisect_right(
             self._times, end)
@@ -56,16 +74,16 @@ class TimeIndex:
 
     @property
     def min_time(self) -> Optional[float]:
-        self._ensure_sealed()
+        self._merge()
         return self._times[0] if self._times else None
 
     @property
     def max_time(self) -> Optional[float]:
-        self._ensure_sealed()
+        self._merge()
         return self._times[-1] if self._times else None
 
     def __len__(self) -> int:
-        return len(self._times) + len(self._dirty_pairs)
+        return len(self._times) + len(self._dirty_times)
 
 
 class HashIndex:

@@ -103,12 +103,13 @@ def import_store(directory: Union[str, Path],
     if meta_rows:
         position = 0
         for segment in store.segments("packets"):
-            for local_position, stored in enumerate(segment.records):
+            for stored in segment.records:
                 stored.tags = meta_rows[position].get("tags", {})
                 stored.label = meta_rows[position].get("label")
-                # re-index the restored tags (ingest saw empty tags)
-                segment.tag_index.add(stored.tags, local_position)
                 position += 1
+            # tag/field indexes and column blocks are built lazily from
+            # the records; restoring tags out-of-band invalidates them
+            segment.invalidate_indexes()
 
     flows = []
     labels = []

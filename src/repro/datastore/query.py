@@ -1,17 +1,27 @@
-"""Query engine: index-accelerated filtering and aggregation.
+"""Query engine: zone-map pruning, vectorized filters, aggregation.
 
 A :class:`Query` combines a time range, exact-match field filters, tag
-filters, and an arbitrary residual predicate.  The executor picks, per
-segment, the most selective available index (time range, hash index,
-or inverted tag index), intersects candidate positions, then applies
-the remaining filters record by record.  ``tests/datastore`` verifies
-index-accelerated results always equal a full linear scan.
+filters, and an arbitrary residual predicate.  Per segment the executor
+first consults zone maps (min/max of time and key fields) to prune the
+whole segment without touching a single record, then — for columnar
+collections — evaluates ``time_range``/``where`` as numpy masks over
+the segment's column block, leaving only tag filters and residual
+predicates to a record-at-a-time pass over the few surviving rows.
+Collections without columns (flows, logs) keep the index-accelerated
+record path: pick the most selective index, intersect, filter.
+
+``execute_query_linear`` is the semantics reference — a plain linear
+scan with no indexes and no columns.  ``tests/datastore`` verifies both
+accelerated paths return *identical records in identical order*.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass
@@ -58,6 +68,9 @@ class Aggregation:
     key_fn: Callable
     value_fn: Optional[Callable] = None
     reducer: str = "sum"
+
+
+_TIME_KEY = itemgetter(0)
 
 
 def _candidate_positions(segment, query: Query) -> Optional[List[int]]:
@@ -109,26 +122,143 @@ def _matches(stored, segment, query: Query) -> bool:
     return True
 
 
+def _columnar_scan(segment, cols, query: Query) -> List[Tuple[float, object]]:
+    """Vectorized per-segment scan; returns (time, stored) pairs.
+
+    Pairs are time-ordered when the query asks for time ordering,
+    position-ordered otherwise — exactly matching the record path.
+    """
+    # Zone maps: rule the whole segment out before touching any column.
+    for fld, value in query.where.items():
+        if not cols.zone_admits(fld, value):
+            return []
+
+    lo, hi = 0, len(cols)
+    mask: Optional[np.ndarray] = None
+    if query.time_range is not None:
+        start, end = query.time_range
+        if cols.time_sorted:
+            lo, hi = cols.time_slice(start, end)
+            if lo >= hi:
+                return []
+        else:
+            ts = cols.timestamp
+            mask = np.ones(len(ts), dtype=bool)
+            if start is not None:
+                mask &= ts >= start
+            if end is not None:
+                mask &= ts <= end
+
+    residual = False
+    for fld, value in query.where.items():
+        field_mask = cols.equals_mask(fld, value, lo, hi)
+        if field_mask is None:
+            residual = True      # payload/unknown field: check per record
+            continue
+        mask = field_mask if mask is None else (mask & field_mask)
+
+    if mask is None:
+        positions = np.arange(lo, hi)
+    else:
+        positions = np.flatnonzero(mask) + lo
+    if len(positions) == 0:
+        return []
+
+    records = segment.records
+    ts = cols.timestamp
+    if residual or query.tags or query.predicate is not None:
+        kept = [p for p in positions.tolist()
+                if _matches(records[p], segment, query)]
+        pairs = [(float(ts[p]), records[p]) for p in kept]
+        if query.order_by_time:
+            pairs.sort(key=_TIME_KEY)
+        return pairs
+
+    if query.order_by_time and not cols.time_sorted:
+        positions = positions[np.argsort(ts[positions], kind="stable")]
+    return list(zip(ts[positions].tolist(),
+                    map(records.__getitem__, positions.tolist())))
+
+
+def _record_scan(segment,
+                 query: Query) -> Tuple[List[Tuple[float, object]], bool]:
+    """Index-accelerated record path for one segment.
+
+    Returns the (time, stored) pairs plus whether they came out already
+    time-ordered (lets the caller skip the final re-sort).
+    """
+    candidates = _candidate_positions(segment, query)
+    if candidates is None:
+        rows = segment.records
+    else:
+        rows = [segment.records[p] for p in sorted(set(candidates))]
+    time_of = segment.schema.time_of
+    pairs: List[Tuple[float, object]] = []
+    ordered = True
+    previous: Optional[float] = None
+    for stored in rows:
+        if _matches(stored, segment, query):
+            t = time_of(stored.record)
+            if previous is not None and t < previous:
+                ordered = False
+            previous = t
+            pairs.append((t, stored))
+    return pairs, ordered
+
+
 def execute_query(store, query: Query) -> List:
-    """Run ``query`` against ``store`` (index-accelerated, time-ordered)."""
+    """Run ``query`` against ``store`` (accelerated, time-ordered)."""
     segments = store.segments(query.collection)
-    results = []
+    runs: List[Tuple[List[Tuple[float, object]], bool]] = []
     for segment in segments:
+        if not segment.records:
+            continue
         if query.time_range is not None and not segment.overlaps(
             *query.time_range
         ):
             continue
-        candidates = _candidate_positions(segment, query)
-        if candidates is None:
-            rows = segment.records
+        cols = segment.columns()
+        if cols is not None:
+            pairs = _columnar_scan(segment, cols, query)
+            ordered = query.order_by_time
         else:
-            rows = [segment.records[p] for p in sorted(set(candidates))]
-        for stored in rows:
-            if _matches(stored, segment, query):
-                results.append((segment.schema.time_of(stored.record), stored))
+            pairs, ordered = _record_scan(segment, query)
+        if pairs:
+            runs.append((pairs, ordered))
 
+    if not runs:
+        return []
+    if len(runs) == 1:
+        # Single contributing segment: skip the global re-sort when its
+        # scan already came out time-ordered.
+        results = runs[0][0]
+        if query.order_by_time and not runs[0][1]:
+            results.sort(key=_TIME_KEY)
+    else:
+        results = [pair for pairs, _ in runs for pair in pairs]
+        if query.order_by_time:
+            results.sort(key=_TIME_KEY)
+    records = [stored for _, stored in results]
+    if query.limit is not None:
+        records = records[: query.limit]
+    return records
+
+
+def execute_query_linear(store, query: Query) -> List:
+    """Reference executor: record-at-a-time, no indexes, no columns.
+
+    Defines the query semantics the accelerated paths must reproduce
+    exactly (same records, same order); the equivalence suite in
+    ``tests/datastore`` holds :func:`execute_query` to it.
+    """
+    results = []
+    for segment in store.segments(query.collection):
+        time_of = segment.schema.time_of
+        for stored in segment.records:
+            if _matches(stored, segment, query):
+                results.append((time_of(stored.record), stored))
     if query.order_by_time:
-        results.sort(key=lambda pair: pair[0])
+        results.sort(key=_TIME_KEY)
     records = [stored for _, stored in results]
     if query.limit is not None:
         records = records[: query.limit]

@@ -1,11 +1,20 @@
-"""Append-only segments with per-segment indexes."""
+"""Append-only segments with per-segment indexes and columnar mirrors.
+
+A segment's ``records`` list is the source of truth; everything else —
+hash/tag indexes, the struct-of-arrays column block, zone maps — is an
+acceleration structure built lazily on first use.  Batch ingest
+therefore costs little more than extending a list, and queries that
+never touch an index never pay for one.
+"""
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, List, Optional
 
 from repro.datastore.index import HashIndex, InvertedIndex, TimeIndex
 from repro.datastore.schema import CollectionSchema
+from repro.netsim.packets import PacketColumns
 
 
 class Segment:
@@ -13,7 +22,11 @@ class Segment:
 
     Records are wrapped :class:`~repro.datastore.store.StoredRecord`
     instances.  A segment seals when full; sealed segments are the unit
-    of retention eviction.
+    of retention eviction.  For columnar collections (packets),
+    :meth:`columns` exposes the records as a cached
+    :class:`~repro.netsim.packets.PacketColumns` block that the
+    vectorized query path filters with numpy masks and prunes with
+    per-segment zone maps.
     """
 
     def __init__(self, schema: CollectionSchema, segment_id: int,
@@ -27,14 +40,18 @@ class Segment:
         self.sealed = False
         self.bytes_estimate = 0
         self.time_index = TimeIndex()
-        self.field_indexes: Dict[str, HashIndex] = {
-            f: HashIndex() for f in schema.indexed_fields
-        }
-        self.tag_index = InvertedIndex()
+        self._field_indexes: Optional[Dict[str, HashIndex]] = None
+        self._field_indexed_upto = 0
+        self._tag_index: Optional[InvertedIndex] = None
+        self._tag_indexed_upto = 0
+        self._columns: Optional[PacketColumns] = None
+        self._columns_len = -1
 
     @property
     def full(self) -> bool:
         return len(self.records) >= self.capacity
+
+    # -- append ------------------------------------------------------------
 
     def append(self, stored) -> int:
         """Add a stored record; returns its position in the segment."""
@@ -45,15 +62,92 @@ class Segment:
         record = stored.record
         self.bytes_estimate += self.schema.size_fn(record)
         self.time_index.add(self.schema.time_of(record), position)
-        for field, index in self.field_indexes.items():
-            index.add(self.schema.field_of(record, field), position)
-        if stored.tags:
-            self.tag_index.add(stored.tags, position)
         return position
+
+    def append_batch(self, batch: List) -> None:
+        """Add stored records in bulk (caller must respect capacity)."""
+        if self.sealed:
+            raise RuntimeError(f"segment {self.segment_id} is sealed")
+        if not batch:
+            return
+        start = len(self.records)
+        self.records.extend(batch)
+        records = [s.record for s in batch]
+        if self.schema.batch_size_fn is not None:
+            self.bytes_estimate += self.schema.batch_size_fn(records)
+        else:
+            size_fn = self.schema.size_fn
+            self.bytes_estimate += sum(map(size_fn, records))
+        times = list(map(attrgetter(self.schema.time_field), records))
+        self.time_index.add_batch(times, range(start, start + len(batch)))
 
     def seal(self) -> None:
         self.sealed = True
         self.time_index.seal()
+
+    # -- lazy acceleration structures --------------------------------------
+
+    @property
+    def field_indexes(self) -> Dict[str, HashIndex]:
+        """Per-field hash indexes, built/extended on first use."""
+        if self._field_indexes is None:
+            self._field_indexes = {
+                f: HashIndex() for f in self.schema.indexed_fields
+            }
+            self._field_indexed_upto = 0
+        n = len(self.records)
+        if self._field_indexed_upto < n:
+            field_of = self.schema.field_of
+            items = list(self._field_indexes.items())
+            for position in range(self._field_indexed_upto, n):
+                record = self.records[position].record
+                for fld, index in items:
+                    index.add(field_of(record, fld), position)
+            self._field_indexed_upto = n
+        return self._field_indexes
+
+    @property
+    def tag_index(self) -> InvertedIndex:
+        """Inverted tag index, built/extended on first use."""
+        if self._tag_index is None:
+            self._tag_index = InvertedIndex()
+            self._tag_indexed_upto = 0
+        n = len(self.records)
+        if self._tag_indexed_upto < n:
+            for position in range(self._tag_indexed_upto, n):
+                tags = self.records[position].tags
+                if tags:
+                    self._tag_index.add(tags, position)
+            self._tag_indexed_upto = n
+        return self._tag_index
+
+    def invalidate_indexes(self) -> None:
+        """Drop lazily built structures (after out-of-band tag edits)."""
+        self._field_indexes = None
+        self._field_indexed_upto = 0
+        self._tag_index = None
+        self._tag_indexed_upto = 0
+        self._columns = None
+        self._columns_len = -1
+
+    def columns(self) -> Optional[PacketColumns]:
+        """Cached struct-of-arrays mirror, or None (non-columnar schema,
+        or records that resist array conversion — fall back to the
+        record-at-a-time path)."""
+        if not self.schema.columnar:
+            return None
+        n = len(self.records)
+        if self._columns_len != n:
+            try:
+                self._columns = PacketColumns.from_records(
+                    [s.record for s in self.records]
+                )
+            except Exception:
+                self._columns = None
+            self._columns_len = n
+        return self._columns
+
+    # -- time span ----------------------------------------------------------
 
     @property
     def min_time(self) -> Optional[float]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.capture.flows import FlowRecord
 from repro.capture.metadata import MetadataExtractor
@@ -23,7 +23,7 @@ from repro.datastore import schema as schemas
 from repro.datastore.query import Aggregation, Query, execute_aggregate, \
     execute_query
 from repro.datastore.segments import Segment
-from repro.netsim.packets import PacketRecord
+from repro.netsim.packets import PacketColumns, PacketRecord
 
 
 @dataclass
@@ -95,15 +95,48 @@ class DataStore:
         self._open_segment(collection).append(stored)
         return stored
 
-    def ingest_packets(self, packets: Iterable[PacketRecord]) -> int:
-        """Store captured packets (with extracted metadata)."""
-        count = 0
-        for packet in packets:
-            tags = (self.metadata_extractor.extract(packet)
-                    if self.metadata_extractor else {})
-            if self._ingest("packets", packet, tags) is not None:
-                count += 1
-        return count
+    def ingest_packets(
+        self, packets: Union[Iterable[PacketRecord], PacketColumns]
+    ) -> int:
+        """Store captured packets (with extracted metadata).
+
+        Accepts a plain iterable of records or a columnar
+        :class:`~repro.netsim.packets.PacketColumns` batch.  The whole
+        batch moves through one vectorized/memoized metadata pass and
+        one bulk segment append; per-record work is limited to the
+        ``StoredRecord`` wrappers themselves (and any installed ingest
+        transforms, which are inherently record-at-a-time).
+        """
+        if isinstance(packets, PacketColumns):
+            packets = list(packets.iter_records())
+        elif not isinstance(packets, list):
+            packets = list(packets)
+        if not packets:
+            return 0
+
+        if self.metadata_extractor is not None:
+            tags_list = self.metadata_extractor.extract_batch(packets)
+        else:
+            tags_list = [{} for _ in packets]
+
+        if self.ingest_transforms:
+            count = 0
+            for packet, tags in zip(packets, tags_list):
+                if self._ingest("packets", packet, tags) is not None:
+                    count += 1
+            return count
+
+        # Fast path: bulk StoredRecord creation + chunked batch appends.
+        stored = list(map(StoredRecord, self._record_ids, packets,
+                          tags_list, itertools.repeat(None)))
+        total = len(stored)
+        offset = 0
+        while offset < total:
+            segment = self._open_segment("packets")
+            space = segment.capacity - len(segment)
+            segment.append_batch(stored[offset:offset + space])
+            offset += space
+        return total
 
     def ingest_flows(self, flows: Iterable[FlowRecord]) -> int:
         """Store assembled flow records; returns how many were kept."""

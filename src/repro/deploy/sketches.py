@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-from typing import Hashable, List, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -53,6 +53,41 @@ class CountMinSketch:
             self._table[row, col] += count
         self.total += count
 
+    def add_batch(self, items: Iterable[Hashable],
+                  counts: Union[int, Sequence[int], None] = None) -> None:
+        """Bulk update, equivalent to repeated :meth:`add`.
+
+        ``counts`` may be omitted (1 per item), a scalar applied to
+        every item, or a per-item sequence.  Each *distinct* item is
+        hashed once per row and the whole batch lands in the table as a
+        single scattered accumulate — the per-packet hot path for
+        store-fed sketch maintenance.
+        """
+        totals: Dict[Hashable, int] = {}
+        if counts is None or isinstance(counts, int):
+            step = 1 if counts is None else counts
+            if step < 0:
+                raise ValueError("count must be non-negative")
+            for item in items:
+                totals[item] = totals.get(item, 0) + step
+        else:
+            for item, count in zip(items, counts):
+                if count < 0:
+                    raise ValueError("count must be non-negative")
+                totals[item] = totals.get(item, 0) + count
+        if not totals:
+            return
+        n = len(totals)
+        rows = np.repeat(np.arange(self.depth), n)
+        cols = np.empty(self.depth * n, dtype=np.int64)
+        amounts = np.fromiter(totals.values(), dtype=np.int64, count=n)
+        for row in range(self.depth):
+            cols[row * n:(row + 1) * n] = [
+                _hash64(item, row) % self.width for item in totals
+            ]
+        np.add.at(self._table, (rows, cols), np.tile(amounts, self.depth))
+        self.total += int(amounts.sum())
+
     def estimate(self, item: Hashable) -> int:
         return int(min(
             self._table[row, _hash64(item, row) % self.width]
@@ -91,6 +126,26 @@ class BloomFilter:
         for salt in range(self.n_hashes):
             self._bits[_hash64(item, salt) % self.n_bits] = True
         self.count += 1
+
+    def add_batch(self, items: Iterable[Hashable]) -> None:
+        """Bulk insert, equivalent to repeated :meth:`add`.
+
+        Distinct items are hashed once; duplicate inserts only bump the
+        ``count`` bookkeeping (the bits are idempotent).
+        """
+        total = 0
+        distinct = {}
+        for item in items:
+            total += 1
+            distinct[item] = None
+        if distinct:
+            positions = np.fromiter(
+                (_hash64(item, salt) % self.n_bits
+                 for item in distinct for salt in range(self.n_hashes)),
+                dtype=np.int64, count=len(distinct) * self.n_hashes,
+            )
+            self._bits[positions] = True
+        self.count += total
 
     def __contains__(self, item: Hashable) -> bool:
         return all(
@@ -132,6 +187,12 @@ class HyperLogLog:
         rank = (64 - self.p) - rest.bit_length() + 1 if rest else 64 - self.p + 1
         if rank > self._registers[register]:
             self._registers[register] = rank
+
+    def add_batch(self, items: Iterable[Hashable]) -> None:
+        """Bulk insert; duplicates cannot move HLL registers, so each
+        distinct item is hashed exactly once."""
+        for item in dict.fromkeys(items):
+            self.add(item)
 
     def estimate(self) -> float:
         inv_sum = float(np.sum(2.0 ** -self._registers.astype(float)))

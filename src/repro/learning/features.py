@@ -19,13 +19,14 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datastore.query import Query
 from repro.learning.dataset import Dataset
-from repro.netsim.packets import PacketRecord, Protocol, TcpFlags
+from repro.netsim.packets import PacketRecord, Protocol, TcpFlags, u32_to_ip
 
 FEATURE_NAMES = [
     "pkts",               # packets from this endpoint in window
@@ -103,6 +104,7 @@ class WindowExample:
 
 WELL_KNOWN = {22, 23, 25, 53, 80, 123, 143, 443, 445, 587, 993, 3306,
               3389, 5432, 6379, 8080}
+_WELL_KNOWN_ARR = np.array(sorted(WELL_KNOWN), dtype=np.float64)
 
 
 class SourceWindowFeaturizer:
@@ -228,7 +230,23 @@ class SourceWindowFeaturizer:
         per-record labels (set by :class:`repro.datastore.labels.Labeler`
         or restored by import), which is how a standalone exported
         store stays trainable.
+
+        When every packet segment exposes a columnar block with uint32
+        address columns, aggregation runs vectorized over the columns
+        (:meth:`examples_columnar`); otherwise it falls back to the
+        record-at-a-time pass (:meth:`examples_from_records`).  Both
+        produce identical examples in identical order.
         """
+        examples = self.examples_columnar(store, time_range)
+        if examples is None:
+            examples = self.examples_from_records(store, time_range)
+        return self.to_dataset(examples, ground_truth=ground_truth,
+                               class_names=class_names)
+
+    def examples_from_records(self, store,
+                              time_range: Optional[Tuple] = None) \
+            -> List[WindowExample]:
+        """Record-at-a-time aggregation (the semantics reference)."""
         stored = store.query(Query(collection="packets",
                                    time_range=time_range,
                                    order_by_time=False))
@@ -250,7 +268,176 @@ class SourceWindowFeaturizer:
                 table[key] = example
             self._accumulate(example, packet, s.tags,
                              label=s.label or packet.label)
-        examples = [e for e in table.values()
-                    if e.pkts >= self.config.min_packets]
-        return self.to_dataset(examples, ground_truth=ground_truth,
-                               class_names=class_names)
+        return [e for e in table.values()
+                if e.pkts >= self.config.min_packets]
+
+    def examples_columnar(self, store,
+                          time_range: Optional[Tuple] = None) \
+            -> Optional[List[WindowExample]]:
+        """Vectorized aggregation straight off the segment columns.
+
+        Returns None when any segment resists columnar processing
+        (no column block, non-canonical addresses, NaN timestamps,
+        out-of-range windows or ports) — the caller then takes the
+        record path.  Validation happens before any accumulation so a
+        late fallback never observes a half-built table.
+        """
+        segments = [s for s in store.segments("packets") if s.records]
+        plans = []
+        for segment in segments:
+            plan = self._segment_plan(segment, time_range)
+            if plan is None:
+                return None
+            plans.append(plan)
+
+        table: Dict[Tuple[float, str], WindowExample] = {}
+        for segment, plan in zip(segments, plans):
+            if plan:
+                self._merge_segment(table, segment, plan)
+        return [e for e in table.values()
+                if e.pkts >= self.config.min_packets]
+
+    def _segment_plan(self, segment, time_range):
+        """Validate + group one segment's columns; () = nothing selected."""
+        cols = segment.columns()
+        if cols is None or not isinstance(cols.src_ip, np.ndarray) \
+                or not isinstance(cols.dst_ip, np.ndarray):
+            return None
+        ts = cols.timestamp
+        if np.isnan(ts).any():
+            return None
+        if time_range is not None:
+            start, end = time_range
+            sel = np.ones(len(ts), dtype=bool)
+            if start is not None:
+                sel &= ts >= start
+            if end is not None:
+                sel &= ts <= end
+            positions = np.flatnonzero(sel)
+        else:
+            positions = np.arange(len(ts))
+        if len(positions) == 0:
+            return ()
+
+        window_s = self.config.window_s
+        widx = np.floor(ts[positions] / window_s)
+        if not (widx.min() >= -(1 << 31) and widx.max() < (1 << 31)):
+            return None               # window ids must pack into 32 bits
+        dports = cols.dst_port[positions].astype(np.int64)
+        if len(dports) and not (dports.min() >= 0
+                                and dports.max() < (1 << 16)):
+            return None               # ports must pack into 16 bits
+
+        in_code = cols.direction.code_of("in")
+        dir_in = (cols.direction.codes[positions] == in_code) \
+            if in_code is not None else np.zeros(len(positions), dtype=bool)
+        src = cols.src_ip[positions].astype(np.uint64)
+        dst = cols.dst_ip[positions].astype(np.uint64)
+        endpoint = np.where(dir_in, src, dst)
+        group_key = ((widx.astype(np.int64) + (1 << 31)).astype(np.uint64)
+                     << 32) | endpoint
+        uniq, first, inv = np.unique(group_key, return_index=True,
+                                     return_inverse=True)
+        return (positions, widx, dir_in, dst, inv,
+                np.argsort(first, kind="stable"), first, uniq)
+
+    def _merge_segment(self, table, segment, plan) -> None:
+        (positions, widx, dir_in, dst, inv, order, first, uniq) = plan
+        cols = segment.columns()
+        window_s = self.config.window_s
+        n_groups = len(uniq)
+        sizes = cols.size[positions]
+        sp = cols.src_port[positions]
+        dp = cols.dst_port[positions]
+
+        def per_group(weights):
+            return np.bincount(inv, weights=weights, minlength=n_groups)
+
+        pkts = np.bincount(inv, minlength=n_groups)
+        bytes_total = per_group(sizes)
+        ttl_sum = per_group(cols.ttl[positions])
+        udp = per_group(cols.protocol[positions] == float(Protocol.UDP))
+        is_dns = (sp == 53) | (dp == 53)
+        dns_pkts = per_group(is_dns)
+        bytes_in = per_group(sizes * dir_in)
+        bytes_out = per_group(sizes * ~dir_in)
+        flags = cols.flags[positions].astype(np.int64)
+        syns = per_group((flags & int(TcpFlags.SYN) != 0)
+                         & (flags & int(TcpFlags.ACK) == 0))
+        wellknown = per_group(np.isin(dp, _WELL_KNOWN_ARR) & dir_in)
+        port53_src = per_group((sp == 53) & dir_in)
+
+        # Tag-derived DNS counters need the stored records' tag dicts.
+        dns_resp = np.zeros(n_groups, dtype=np.int64)
+        dns_any = np.zeros(n_groups, dtype=np.int64)
+        records = segment.records
+        use_payload = self.config.use_payload_features
+        for i in np.flatnonzero(is_dns).tolist():
+            tags = records[positions[i]].tags
+            if use_payload and tags:
+                if tags.get("dns_qr") == "response":
+                    dns_resp[inv[i]] += 1
+                if tags.get("dns_qtype") == "ANY":
+                    dns_any[inv[i]] += 1
+            elif dir_in[i] and sp[i] == 53:
+                dns_resp[inv[i]] += 1
+
+        # First-occurrence group order keeps table insertion order (and
+        # hence Dataset key order) identical to the record path.
+        by_group: List[Optional[WindowExample]] = [None] * n_groups
+        for j in order.tolist():
+            window_start = float(widx[first[j]]) * window_s
+            endpoint = u32_to_ip(int(uniq[j] & 0xFFFFFFFF))
+            key = (window_start, endpoint)
+            example = table.get(key)
+            if example is None:
+                example = WindowExample(window_start=window_start,
+                                        endpoint=endpoint)
+                table[key] = example
+            by_group[j] = example
+            example.pkts += int(pkts[j])
+            example.bytes += int(bytes_total[j])
+            example.ttl_sum += int(ttl_sum[j])
+            example.udp_pkts += int(udp[j])
+            example.dns_pkts += int(dns_pkts[j])
+            example.dns_responses += int(dns_resp[j])
+            example.dns_any += int(dns_any[j])
+            example.bytes_in += int(bytes_in[j])
+            example.bytes_out += int(bytes_out[j])
+            example.syns += int(syns[j])
+            example.wellknown_dport += int(wellknown[j])
+            example.port53_src += int(port53_src[j])
+
+        in_idx = np.flatnonzero(dir_in)
+        if len(in_idx):
+            inv64 = inv.astype(np.uint64)
+            for k in np.unique((inv64[in_idx] << 32)
+                               | dst[in_idx]).tolist():
+                by_group[k >> 32].dsts.add(u32_to_ip(k & 0xFFFFFFFF))
+            dp64 = dp.astype(np.uint64)
+            for k in np.unique((inv64[in_idx] << 16)
+                               | dp64[in_idx]).tolist():
+                by_group[k >> 16].dports.add(k & 0xFFFF)
+
+        self._merge_votes(by_group, records, cols, positions, inv)
+
+    @staticmethod
+    def _merge_votes(by_group, records, cols, positions, inv) -> None:
+        """Per-example label votes, in packet order (tie-breaks match)."""
+        label_values = cols.label.values
+        code_votable = np.array(
+            [v != "" and v != "benign" for v in label_values], dtype=bool
+        )
+        codes = cols.label.codes[positions]
+        votable = code_votable[codes]
+        curated = list(map(attrgetter("label"), records))
+        if any(curated):
+            votable = votable | np.fromiter(
+                (bool(curated[p]) for p in positions.tolist()),
+                dtype=bool, count=len(positions),
+            )
+        for i in np.flatnonzero(votable).tolist():
+            label = curated[positions[i]] or label_values[codes[i]]
+            if label and label != "benign":
+                votes = by_group[inv[i]].label_votes
+                votes[label] = votes.get(label, 0) + 1

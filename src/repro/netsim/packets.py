@@ -14,7 +14,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 MTU = 1500
 IPV4_HEADER = 20
@@ -221,3 +223,306 @@ def _flags_for(proto: Protocol, index: int, total: int, direction: str) -> TcpFl
 def total_wire_bytes(records: Sequence[PacketRecord]) -> int:
     """Sum of on-the-wire sizes for a batch of packet records."""
     return sum(r.size for r in records)
+
+
+# -- columnar (struct-of-arrays) representation ------------------------------
+#
+# The capture -> store -> query pipeline moves packets in batches; keeping
+# each batch as one numpy array per field ("struct of arrays") lets the hot
+# paths — metadata extraction, segment filters, feature aggregation — run as
+# vectorized operations instead of per-record attribute chases.  Records are
+# materialized lazily, only for rows a consumer actually touches.
+
+_IP_CACHE_LIMIT = 1 << 20
+_ip_to_u32_cache: Dict[str, int] = {}
+_u32_to_ip_cache: Dict[int, str] = {}
+
+
+def ip_to_u32(ip: str) -> int:
+    """Strict dotted-quad -> uint32.
+
+    Only canonical IPv4 text (four ASCII-decimal octets, no leading
+    zeros) is accepted, so the mapping is a bijection and round-trips
+    through :func:`u32_to_ip` preserve string equality.
+    """
+    cached = _ip_to_u32_cache.get(ip)
+    if cached is not None:
+        return cached
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {ip!r}")
+    value = 0
+    for part in parts:
+        if not part.isascii() or not part.isdigit() or \
+                (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"non-canonical octet in {ip!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {ip!r}")
+        value = (value << 8) | octet
+    if len(_ip_to_u32_cache) >= _IP_CACHE_LIMIT:
+        _ip_to_u32_cache.clear()
+    _ip_to_u32_cache[ip] = value
+    return value
+
+
+def u32_to_ip(value: int) -> str:
+    """uint32 -> canonical dotted quad (inverse of :func:`ip_to_u32`)."""
+    cached = _u32_to_ip_cache.get(value)
+    if cached is not None:
+        return cached
+    text = ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    if len(_u32_to_ip_cache) >= _IP_CACHE_LIMIT:
+        _u32_to_ip_cache.clear()
+    _u32_to_ip_cache[value] = text
+    return text
+
+
+class DictColumn:
+    """Dictionary-encoded string column: int codes plus a value table.
+
+    Used for low-cardinality string fields (direction, app, label) and
+    as the fallback for address columns whose values are not canonical
+    dotted quads.  Equality filters become a code lookup plus one
+    vectorized integer comparison.
+    """
+
+    __slots__ = ("codes", "values", "_code_of")
+
+    def __init__(self, codes: np.ndarray, values: List[str]):
+        self.codes = codes
+        self.values = values
+        self._code_of = {v: i for i, v in enumerate(values)}
+
+    @classmethod
+    def encode(cls, strings: Sequence[str]) -> "DictColumn":
+        code_of: Dict[str, int] = {}
+        codes = np.fromiter(
+            (code_of.setdefault(s, len(code_of)) for s in strings),
+            dtype=np.int64, count=len(strings),
+        )
+        return cls(codes, list(code_of))
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def decode(self, position: int) -> str:
+        return self.values[self.codes[position]]
+
+    def code_of(self, value) -> Optional[int]:
+        """Code for ``value``, or None when no row holds it."""
+        return self._code_of.get(value)
+
+    def equals_mask(self, value, lo: int = 0,
+                    hi: Optional[int] = None) -> Optional[np.ndarray]:
+        if not isinstance(value, str):
+            return None          # exotic filter value: caller must fall back
+        sub = self.codes[lo:hi]
+        code = self._code_of.get(value)
+        if code is None:
+            return np.zeros(len(sub), dtype=bool)
+        return sub == code
+
+
+IPColumn = Union[np.ndarray, DictColumn]   # uint32 array or string fallback
+
+
+def _encode_ips(strings: List[str]) -> IPColumn:
+    """uint32 column when every value is a canonical dotted quad."""
+    try:
+        return np.fromiter(map(ip_to_u32, strings), dtype=np.uint32,
+                           count=len(strings))
+    except ValueError:
+        return DictColumn.encode(strings)
+
+
+#: numeric PacketRecord fields carried as float64 arrays (float64 keeps
+#: Python's ``int == float`` equality semantics for filter values).
+NUMERIC_FIELDS = ("timestamp", "src_port", "dst_port", "protocol", "size",
+                  "payload_len", "flags", "ttl", "flow_id")
+_STRING_FIELDS = ("direction", "app", "label")
+
+
+class PacketColumns:
+    """A batch of packets as one array per field.
+
+    Numeric fields are float64 numpy arrays; addresses are uint32 arrays
+    (canonical dotted quads) or dictionary-encoded string columns;
+    direction/app/label are dictionary-encoded; payload fragments stay a
+    plain list of bytes.  :meth:`record` materializes a single
+    :class:`PacketRecord` on demand.
+    """
+
+    __slots__ = ("timestamp", "src_ip", "dst_ip", "src_port", "dst_port",
+                 "protocol", "size", "payload_len", "flags", "ttl",
+                 "flow_id", "payload", "app", "label", "direction",
+                 "_minmax", "_time_sorted")
+
+    def __init__(self, **columns):
+        for name in self.__slots__:
+            if name.startswith("_"):
+                continue
+            setattr(self, name, columns[name])
+        self._minmax: Dict[str, Tuple[float, float]] = {}
+        self._time_sorted: Optional[bool] = None
+
+    @classmethod
+    def from_records(cls, records: Sequence[PacketRecord]) -> "PacketColumns":
+        n = len(records)
+
+        def numeric(fld):
+            return np.fromiter((getattr(r, fld) for r in records),
+                               dtype=np.float64, count=n)
+
+        return cls(
+            timestamp=numeric("timestamp"),
+            src_port=numeric("src_port"),
+            dst_port=numeric("dst_port"),
+            protocol=numeric("protocol"),
+            size=numeric("size"),
+            payload_len=numeric("payload_len"),
+            flags=numeric("flags"),
+            ttl=numeric("ttl"),
+            flow_id=numeric("flow_id"),
+            src_ip=_encode_ips([r.src_ip for r in records]),
+            dst_ip=_encode_ips([r.dst_ip for r in records]),
+            direction=DictColumn.encode([r.direction for r in records]),
+            app=DictColumn.encode([r.app for r in records]),
+            label=DictColumn.encode([r.label for r in records]),
+            payload=[r.payload for r in records],
+        )
+
+    def __len__(self) -> int:
+        return len(self.timestamp)
+
+    # -- lazy materialization ------------------------------------------------
+
+    def _ip_at(self, column: IPColumn, position: int) -> str:
+        if isinstance(column, DictColumn):
+            return column.decode(position)
+        return u32_to_ip(int(column[position]))
+
+    def record(self, position: int) -> PacketRecord:
+        """Materialize one row as a :class:`PacketRecord`."""
+        return PacketRecord(
+            timestamp=float(self.timestamp[position]),
+            src_ip=self._ip_at(self.src_ip, position),
+            dst_ip=self._ip_at(self.dst_ip, position),
+            src_port=int(self.src_port[position]),
+            dst_port=int(self.dst_port[position]),
+            protocol=int(self.protocol[position]),
+            size=int(self.size[position]),
+            payload_len=int(self.payload_len[position]),
+            flags=int(self.flags[position]),
+            ttl=int(self.ttl[position]),
+            payload=self.payload[position],
+            flow_id=int(self.flow_id[position]),
+            app=self.app.decode(position),
+            label=self.label.decode(position),
+            direction=self.direction.decode(position),
+        )
+
+    def iter_records(self) -> Iterator[PacketRecord]:
+        for position in range(len(self)):
+            yield self.record(position)
+
+    # -- vectorized filtering ------------------------------------------------
+
+    @property
+    def time_sorted(self) -> bool:
+        """True when timestamps are non-decreasing (usual capture order)."""
+        if self._time_sorted is None:
+            ts = self.timestamp
+            # NaN defeats both the ordering check and searchsorted, so a
+            # batch containing one is never treated as sorted.
+            self._time_sorted = bool(
+                not np.isnan(ts).any()
+                and (len(ts) < 2 or np.all(ts[1:] >= ts[:-1]))
+            )
+        return self._time_sorted
+
+    def time_slice(self, start: Optional[float],
+                   end: Optional[float]) -> Tuple[int, int]:
+        """[lo, hi) covering start <= t <= end; requires ``time_sorted``."""
+        ts = self.timestamp
+        lo = 0 if start is None else int(np.searchsorted(ts, start, "left"))
+        hi = len(ts) if end is None else int(np.searchsorted(ts, end, "right"))
+        return lo, hi
+
+    def equals_mask(self, fld: str, value, lo: int = 0,
+                    hi: Optional[int] = None) -> Optional[np.ndarray]:
+        """Vectorized ``field == value`` over rows [lo, hi).
+
+        Returns None when the field is not column-backed (payload, an
+        unknown attribute) or the filter value's type defeats vectorized
+        comparison — the caller must fall back to a per-record residual
+        check.
+        """
+        if fld in NUMERIC_FIELDS:
+            if not isinstance(value, (int, float, np.integer, np.floating)):
+                return None
+            return getattr(self, fld)[lo:hi] == value
+        if fld in ("src_ip", "dst_ip"):
+            column = getattr(self, fld)
+            if isinstance(column, DictColumn):
+                return column.equals_mask(value, lo, hi)
+            if not isinstance(value, str):
+                return None
+            sub = column[lo:hi]
+            try:
+                return sub == np.uint32(ip_to_u32(value))
+            except ValueError:
+                # A uint32 column only holds canonical dotted quads, so a
+                # value that fails the strict parse cannot equal any row.
+                return np.zeros(len(sub), dtype=bool)
+        if fld in _STRING_FIELDS:
+            return getattr(self, fld).equals_mask(value, lo, hi)
+        return None
+
+    def minmax(self, fld: str) -> Optional[Tuple[float, float]]:
+        """Zone map: (min, max) of a numeric or uint32-address column."""
+        if len(self) == 0:
+            return None
+        cached = self._minmax.get(fld)
+        if cached is not None:
+            return cached
+        if fld in NUMERIC_FIELDS:
+            column = getattr(self, fld)
+        elif fld in ("src_ip", "dst_ip") and not isinstance(
+                getattr(self, fld), DictColumn):
+            column = getattr(self, fld)
+        else:
+            return None
+        bounds = (float(column.min()), float(column.max()))
+        self._minmax[fld] = bounds
+        return bounds
+
+    def zone_admits(self, fld: str, value) -> bool:
+        """False when the zone map proves no row can equal ``value``.
+
+        True means "cannot rule the segment out" — either the value
+        falls inside the column's [min, max], or the field has no zone
+        map at all.
+        """
+        if fld in ("src_ip", "dst_ip"):
+            column = getattr(self, fld)
+            if not isinstance(value, str):
+                return True       # residual check decides
+            if isinstance(column, DictColumn):
+                return column.code_of(value) is not None
+            try:
+                value = ip_to_u32(value)
+            except ValueError:
+                return False      # uint32 column only holds canonical quads
+        elif fld in _STRING_FIELDS:
+            column = getattr(self, fld)
+            return not isinstance(value, str) or \
+                column.code_of(value) is not None
+        elif fld not in NUMERIC_FIELDS:
+            return True
+        elif not isinstance(value, (int, float, np.integer, np.floating)):
+            return True           # residual check decides
+        bounds = self.minmax(fld)
+        if bounds is None:
+            return True
+        return bounds[0] <= value <= bounds[1]

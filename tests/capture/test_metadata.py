@@ -97,3 +97,44 @@ def test_department_attribution():
     ip = net.topology.ip(host)
     tags = extractor.extract(_packet(b"", src=ip, direction="out"))
     assert tags.get("department") == net.topology.department(host)
+
+
+class TestExtractBatch:
+    """Batch extraction must be observably identical to extract()."""
+
+    def _mixed_packets(self):
+        flow = _flow()
+        return [
+            _packet(dns_query_payload(flow, 0, "fwd"), sport=40000,
+                    dport=53, proto=17, direction="in"),
+            _packet(dns_amplification_payload(flow, 0, "fwd"), sport=53,
+                    dport=40000, proto=17, direction="in"),
+            _packet(tls_payload(flow, 0, "fwd")),
+            _packet(http_payload(flow, 0, "fwd"), dport=80),
+            _packet(ssh_payload(flow, 0, "fwd"), dport=22),
+            _packet(b""),
+            _packet(b"", proto=1),
+            _packet(b"220 mail", dport=25, direction="in"),
+        ] * 3
+
+    def test_matches_sequential_extract(self, extractor):
+        packets = self._mixed_packets()
+        assert extractor.extract_batch(packets) == \
+            [extractor.extract(p) for p in packets]
+
+    def test_with_topology_matches_sequential(self):
+        net = make_campus("tiny", seed=1)
+        batch_extractor = MetadataExtractor(net.topology)
+        ip = net.topology.ip(net.topology.hosts[0])
+        packets = [_packet(b"", src=ip, direction="out"),
+                   _packet(b"", dst=ip, direction="in"),
+                   _packet(b"")] * 2
+        assert batch_extractor.extract_batch(packets) == \
+            [batch_extractor.extract(p) for p in packets]
+
+    def test_returned_dicts_are_independent(self, extractor):
+        packets = [_packet(b""), _packet(b"")]
+        first, second = extractor.extract_batch(packets)
+        first["mutated"] = "yes"
+        assert "mutated" not in second
+        assert "mutated" not in extractor.extract_batch(packets)[0]

@@ -1,0 +1,70 @@
+"""Index structures, in particular TimeIndex's lazy merge."""
+
+from repro.datastore.index import HashIndex, InvertedIndex, TimeIndex
+
+
+class TestTimeIndex:
+    def test_range_inclusive(self):
+        index = TimeIndex()
+        for i, t in enumerate([1.0, 2.0, 3.0, 4.0]):
+            index.add(t, i)
+        assert index.range(2.0, 3.0) == [1, 2]
+        assert index.range(None, 2.0) == [0, 1]
+        assert index.range(3.0, None) == [2, 3]
+        assert index.range(None, None) == [0, 1, 2, 3]
+
+    def test_seal_after_range_keeps_merged_entries(self):
+        # Regression: seal() used to rebuild the sorted arrays from only
+        # the unmerged tail, dropping everything a prior range() had
+        # already folded in.
+        index = TimeIndex()
+        index.add(2.0, 0)
+        index.add(1.0, 1)
+        assert index.range(None, None) == [1, 0]   # forces a merge
+        index.add(0.5, 2)
+        index.seal()
+        assert index.range(None, None) == [2, 1, 0]
+        assert len(index) == 3
+        assert index.min_time == 0.5
+        assert index.max_time == 2.0
+
+    def test_equal_timestamps_order_by_position(self):
+        index = TimeIndex()
+        for position in (5, 3, 9, 1):
+            index.add(7.0, position)
+        assert index.range(7.0, 7.0) == [1, 3, 5, 9]
+        # merging in two rounds gives the same answer
+        other = TimeIndex()
+        other.add(7.0, 5)
+        other.add(7.0, 3)
+        other.range(None, None)
+        other.add_batch([7.0, 7.0], [9, 1])
+        assert other.range(7.0, 7.0) == [1, 3, 5, 9]
+
+    def test_add_batch_matches_repeated_add(self):
+        one = TimeIndex()
+        two = TimeIndex()
+        times = [3.0, 1.0, 2.0, 1.0]
+        for position, t in enumerate(times):
+            one.add(t, position)
+        two.add_batch(times, range(len(times)))
+        assert one.range(None, None) == two.range(None, None)
+
+
+def test_hash_index_lookup():
+    index = HashIndex()
+    index.add("10.0.0.1", 0)
+    index.add("10.0.0.2", 1)
+    index.add("10.0.0.1", 2)
+    assert index.lookup("10.0.0.1") == [0, 2]
+    assert index.lookup("absent") == []
+    assert len(index) == 3
+
+
+def test_inverted_index_key_and_value_lookup():
+    index = InvertedIndex()
+    index.add({"proto": "tcp", "service": "https"}, 0)
+    index.add({"proto": "udp"}, 1)
+    assert index.lookup("proto", "tcp") == [0]
+    assert index.lookup("proto") == [0, 1]
+    assert index.lookup("service", "dns") == []

@@ -123,3 +123,62 @@ class TestHll:
 
     def test_sram_accounting(self):
         assert HyperLogLog(p=10).sram_bits == 1024 * 8
+
+
+class TestAddBatch:
+    """Batch updates must land in exactly the same sketch state as
+    repeated single adds."""
+
+    @given(items=st.lists(st.sampled_from([f"k{i}" for i in range(20)]),
+                          max_size=60),
+           counts=st.one_of(st.none(), st.integers(0, 50)))
+    @settings(max_examples=60, deadline=None)
+    def test_countmin_matches_sequential(self, items, counts):
+        batch = CountMinSketch(width=64, depth=3)
+        sequential = CountMinSketch(width=64, depth=3)
+        batch.add_batch(items, counts)
+        for item in items:
+            sequential.add(item, 1 if counts is None else counts)
+        assert np.array_equal(batch._table, sequential._table)
+        assert batch.total == sequential.total
+
+    def test_countmin_per_item_counts(self):
+        batch = CountMinSketch(width=64, depth=3)
+        sequential = CountMinSketch(width=64, depth=3)
+        items = ["a", "b", "a", "c"]
+        counts = [3, 1, 4, 1]
+        batch.add_batch(items, counts)
+        for item, count in zip(items, counts):
+            sequential.add(item, count)
+        assert np.array_equal(batch._table, sequential._table)
+        assert batch.total == sequential.total
+
+    def test_countmin_rejects_negative(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        with pytest.raises(ValueError):
+            sketch.add_batch(["a"], -1)
+        with pytest.raises(ValueError):
+            sketch.add_batch(["a", "b"], [1, -2])
+
+    @given(items=st.lists(st.sampled_from([f"k{i}" for i in range(30)]),
+                          max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_bloom_matches_sequential(self, items):
+        batch = BloomFilter(capacity=500, fp_rate=0.01)
+        sequential = BloomFilter(capacity=500, fp_rate=0.01)
+        batch.add_batch(items)
+        for item in items:
+            sequential.add(item)
+        assert np.array_equal(batch._bits, sequential._bits)
+        assert batch.count == sequential.count
+
+    @given(items=st.lists(st.sampled_from([f"k{i}" for i in range(30)]),
+                          max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_hll_matches_sequential(self, items):
+        batch = HyperLogLog(p=8)
+        sequential = HyperLogLog(p=8)
+        batch.add_batch(items)
+        for item in items:
+            sequential.add(item)
+        assert np.array_equal(batch._registers, sequential._registers)

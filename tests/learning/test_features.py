@@ -121,3 +121,51 @@ def test_from_store_matches_manual_aggregation(collected_platform):
     assert len(set(ds.class_names)) == len(ds.class_names)
     # at least one attack class labeled
     assert sum(v for k, v in ds.class_counts().items() if k != "benign") > 0
+
+
+class TestColumnarFromStore:
+    """from_store's vectorized path vs the record-at-a-time reference."""
+
+    def _store(self, packets):
+        from repro.datastore.store import DataStore
+        store = DataStore(segment_capacity=5)
+        store.ingest_packets(packets)
+        return store
+
+    def test_columnar_path_is_taken_and_equivalent(self):
+        packets = [_packet(i * 0.7, sport=53 if i % 3 else 443,
+                           direction="in" if i % 2 else "out",
+                           flags=int(TcpFlags.SYN) if i % 5 == 0 else 0)
+                   for i in range(40)]
+        store = self._store(packets)
+        f = _featurizer()
+        columnar = f.examples_columnar(store)
+        assert columnar is not None
+        reference = f.examples_from_records(store)
+        assert [(e.window_start, e.endpoint) for e in columnar] == \
+            [(e.window_start, e.endpoint) for e in reference]
+        for fast, slow in zip(columnar, reference):
+            assert fast.vector(5.0) == slow.vector(5.0)
+
+    def test_non_canonical_ip_falls_back(self):
+        packets = [_packet(0.5), _packet(1.0, src="not-an-ip")]
+        store = self._store(packets)
+        f = _featurizer()
+        assert f.examples_columnar(store) is None
+        dataset = f.from_store(store)          # record-path fallback
+        assert len(dataset.X) == len(f.examples_from_records(store))
+
+    def test_curated_label_votes_match(self):
+        packets = [_packet(i * 0.3) for i in range(20)]
+        store = self._store(packets)
+        for segment in store.segments("packets"):
+            for stored in segment.records:
+                if stored.rid % 4 == 0:
+                    stored.label = "scan"
+            segment.invalidate_indexes()
+        f = _featurizer()
+        columnar = f.examples_columnar(store)
+        reference = f.examples_from_records(store)
+        assert [e.label_votes for e in columnar] == \
+            [e.label_votes for e in reference]
+        assert any(e.label_votes for e in columnar)
