@@ -23,6 +23,8 @@ testbed    shadow/canary road-testing, SLO guardrails, operator trust
 baselines  threshold detection, sampled NetFlow, offline inference
 core       the CampusPlatform facade, development loop, and control loop
 analysis   reporting tables and statistics helpers
+chaos      deterministic fault injection + resilience (retry, breakers)
+verify     static program verification and the repo-wide AST lint
 """
 
 from repro._version import __version__

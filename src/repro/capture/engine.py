@@ -26,7 +26,13 @@ GBPS = 1_000_000_000
 
 @dataclass
 class CaptureStats:
-    """Counters exposed by the engine."""
+    """Counters exposed by the engine.
+
+    Capacity losses (``packets_dropped``) and injected tap faults
+    (``packets_fault_dropped`` et al.) are accounted separately: the
+    first measures the appliance, the second measures the campus
+    misbehaving in front of it.
+    """
 
     packets_offered: int = 0
     packets_captured: int = 0
@@ -34,6 +40,11 @@ class CaptureStats:
     bytes_offered: int = 0
     bytes_captured: int = 0
     bytes_dropped: int = 0
+    # injected tap-fault accounting (zero unless chaos is wired in)
+    packets_fault_dropped: int = 0
+    packets_duplicated: int = 0
+    packets_reordered: int = 0
+    packets_skewed: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -46,6 +57,15 @@ class CaptureStats:
         if self.bytes_offered == 0:
             return 0.0
         return self.bytes_dropped / self.bytes_offered
+
+    @property
+    def fault_drop_rate(self) -> float:
+        """Injected drops over *wire* packets (pre-duplication)."""
+        wire = (self.packets_offered - self.packets_duplicated
+                + self.packets_fault_dropped)
+        if wire <= 0:
+            return 0.0
+        return self.packets_fault_dropped / wire
 
 
 class CaptureEngine:
@@ -61,15 +81,23 @@ class CaptureEngine:
         buffer credit accumulated during idle bins.
     bin_seconds:
         Accounting granularity.
+    fault_injector:
+        Optional :class:`~repro.chaos.faults.FaultInjector`; when set,
+        tap faults (drop/duplicate/reorder/clock skew) perturb each
+        batch before capacity accounting, and the perturbation is
+        tallied in :class:`CaptureStats`.  ``None`` costs nothing on
+        the hot path.
     """
 
     def __init__(self, capacity_gbps: Optional[float] = None,
-                 buffer_bytes: float = 256e6, bin_seconds: float = 1.0):
+                 buffer_bytes: float = 256e6, bin_seconds: float = 1.0,
+                 fault_injector=None):
         if capacity_gbps is not None and capacity_gbps <= 0:
             raise ValueError("capacity must be positive (or None)")
         self.capacity_gbps = capacity_gbps
         self.buffer_bytes = float(buffer_bytes)
         self.bin_seconds = float(bin_seconds)
+        self.fault_injector = fault_injector
         self.stats = CaptureStats()
         self._bin_bytes: Dict[int, float] = {}
         self._subscribers: List[Callable[[List[PacketRecord]], None]] = []
@@ -90,6 +118,15 @@ class CaptureEngine:
         """Offer a batch to the appliance; returns the captured subset."""
         if not packets:
             return []
+        if self.fault_injector is not None:
+            packets, perturbation = \
+                self.fault_injector.perturb_packets(packets)
+            self.stats.packets_fault_dropped += perturbation.dropped
+            self.stats.packets_duplicated += perturbation.duplicated
+            self.stats.packets_reordered += perturbation.reordered
+            self.stats.packets_skewed += perturbation.skewed
+            if not packets:
+                return []
         self.stats.packets_offered += len(packets)
         offered_bytes = sum(map(attrgetter("size"), packets))
         self.stats.bytes_offered += offered_bytes

@@ -1,11 +1,25 @@
-"""Border tap: binds a capture engine to an observed link."""
+"""Border tap: binds a capture engine to an observed link.
+
+With a fault injector attached, the tap models a stalling sensor read
+path: reads that hit an injected :class:`SensorStallError` are retried
+with bounded exponential backoff (on a virtual clock — no real
+sleeping); a stall that outlasts every retry sheds that batch and the
+tap keeps capturing, counting what it lost.
+"""
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
 from repro.capture.engine import CaptureEngine
+from repro.chaos.faults import FaultKind, SensorStallError
+from repro.chaos.resilience import RetryPolicy, VirtualClock, retry
 from repro.netsim.packets import PacketRecord
+
+#: default bounded-read policy: 3 quick retries, deterministic jitter
+TAP_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.005,
+                               multiplier=2.0, max_delay_s=0.05,
+                               jitter=0.1, deadline_s=1.0)
 
 
 class BorderTap:
@@ -20,9 +34,17 @@ class BorderTap:
 
     def __init__(self, network, engine: Optional[CaptureEngine] = None,
                  link: Optional[Tuple[str, str]] = None,
-                 links: Optional[List[Tuple[str, str]]] = None):
+                 links: Optional[List[Tuple[str, str]]] = None,
+                 fault_injector=None, retry_policy: Optional[RetryPolicy] = None,
+                 bus=None):
         self.network = network
         self.engine = engine or CaptureEngine()
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or TAP_RETRY_POLICY
+        self.bus = bus
+        self._retry_clock = VirtualClock()
+        self.stalls = 0            # injected stalls observed
+        self.batches_shed = 0      # batches lost to unrecovered stalls
         if links is not None:
             self.links = list(links)
         else:
@@ -35,7 +57,23 @@ class BorderTap:
         return self.links[0]
 
     def _on_packets(self, packets: List[PacketRecord]) -> None:
-        self.engine.ingest(packets)
+        if self.fault_injector is None:
+            self.engine.ingest(packets)
+            return
+
+        def read():
+            if self.fault_injector.should_fire(FaultKind.SENSOR_STALL,
+                                               batch=len(packets)):
+                self.stalls += 1
+                raise SensorStallError("injected tap read stall")
+            return self.engine.ingest(packets)
+
+        try:
+            retry(read, policy=self.retry_policy, clock=self._retry_clock,
+                  bus=self.bus, site="tap.read")
+        except SensorStallError:
+            # stall outlasted every retry: shed this batch, keep capturing
+            self.batches_shed += 1
 
     def subscribe(self, callback) -> None:
         """Convenience passthrough to the engine's captured stream."""

@@ -1,0 +1,89 @@
+"""Deterministic fault injection + resilience for the campus pipeline.
+
+The paper sells *continuous, lossless* capture on a production campus;
+this subpackage is how the reproduction earns the adjective under
+failure.  It has two halves:
+
+* :mod:`repro.chaos.faults` — seedable :class:`FaultPlan` /
+  :class:`FaultInjector`: tap packet drop/duplication/reorder, clock
+  skew, sensor stalls, store latency and transient errors, torn
+  persistence writes, switch table misses, register corruption, and
+  failing mitigation installs.  Same seed ⇒ bit-identical schedule.
+* :mod:`repro.chaos.resilience` — the recovery toolkit the platform
+  wires against those faults: :func:`retry` with exponential backoff on
+  an injectable clock, :class:`Deadline`, :class:`CircuitBreaker`, and
+  the per-stage :class:`DegradationLedger`.
+
+:func:`run_chaos_scenario` (lazy-loaded, heavy) drives a full pipeline
+run under a named plan and returns a degradation report; ``repro
+chaos`` is its CLI.
+"""
+
+from repro.chaos.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    MitigationError,
+    SensorStallError,
+    TapPerturbation,
+    TornWriteError,
+)
+from repro.chaos.plans import FAULT_PLANS, make_fault_plan
+from repro.chaos.resilience import (
+    BreakerOpenError,
+    CallableClock,
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    DeadlineExceeded,
+    Degradation,
+    DegradationLedger,
+    MonotonicClock,
+    RetryPolicy,
+    TransientError,
+    VirtualClock,
+    retry,
+    retrying,
+)
+
+__all__ = [
+    "FAULT_PLANS",
+    "BreakerOpenError",
+    "CallableClock",
+    "ChaosRunReport",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "DeadlineExceeded",
+    "Degradation",
+    "DegradationLedger",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "MitigationError",
+    "MonotonicClock",
+    "RetryPolicy",
+    "SensorStallError",
+    "TapPerturbation",
+    "TornWriteError",
+    "TransientError",
+    "VirtualClock",
+    "make_fault_plan",
+    "retry",
+    "retrying",
+    "run_chaos_scenario",
+]
+
+
+def __getattr__(name):
+    # run_chaos_scenario / ChaosRunReport pull in the whole platform;
+    # load them on first touch so `import repro.chaos` stays light and
+    # free of import cycles (capture/datastore import repro.chaos too).
+    if name in ("run_chaos_scenario", "ChaosRunReport", "StageOutcome"):
+        from repro.chaos import scenario
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

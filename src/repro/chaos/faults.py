@@ -1,0 +1,300 @@
+"""Deterministic, seedable fault injection for the capture pipeline.
+
+A :class:`FaultPlan` names a set of :class:`FaultSpec` entries (what can
+go wrong, how often, how hard); a :class:`FaultInjector` built from the
+plan hands out the individual failure decisions.  Determinism is the
+whole point: each fault kind draws from its own seeded substream, so a
+plan with a fixed seed replays a bit-identical fault schedule for the
+same pipeline run — chaos tests assert on exact event logs, not on
+"something probably broke".
+
+Instrumented layers ask the injector two questions:
+
+* :meth:`FaultInjector.should_fire` — a per-opportunity coin flip for a
+  fault kind (store ingest, switch lookup, sensor read, export write);
+* :meth:`FaultInjector.perturb_packets` — the tap-level faults (drop,
+  duplicate, reorder, clock skew) applied to a packet batch in one pass.
+
+Every fired fault is appended to the injector's event log and, when a
+bus is bound, published under ``chaos:<kind>`` topics.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.resilience import TransientError
+
+
+class FaultKind(str, enum.Enum):
+    """Everything this platform knows how to break on purpose."""
+
+    TAP_DROP = "tap.drop"                      # packet lost at the tap
+    TAP_DUPLICATE = "tap.duplicate"            # packet delivered twice
+    TAP_REORDER = "tap.reorder"                # batch-local reordering
+    CLOCK_SKEW = "tap.clock_skew"              # timestamps shifted
+    SENSOR_STALL = "sensor.stall"              # sensor read stalls
+    STORE_LATENCY = "store.latency"            # slow ingest
+    STORE_TRANSIENT = "store.transient"        # ingest raises transiently
+    PERSIST_TORN_WRITE = "persist.torn_write"  # crash mid-export
+    SWITCH_TABLE_MISS = "switch.table_miss"    # lookup yields no verdict
+    SWITCH_REGISTER_CORRUPT = "switch.register_corrupt"  # SRAM bit-rot
+    SWITCH_REACT_FAIL = "switch.react_fail"    # mitigation install fails
+
+
+class SensorStallError(TransientError):
+    """A sensor/tap read stalled; the read can be retried."""
+
+
+class MitigationError(TransientError):
+    """Installing a mitigation failed; the react step can be retried."""
+
+
+class TornWriteError(TransientError):
+    """A persistence write crashed mid-file.
+
+    Transient from the orchestrator's viewpoint: the atomic export
+    protocol never exposes the torn temp directory, so re-running the
+    export is safe and usually succeeds.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind armed at a given rate.
+
+    ``rate`` is the probability per opportunity (per packet for tap
+    drop/duplicate, per batch for reorder/skew, per call elsewhere).
+    ``magnitude`` means seconds for latency/skew faults and a counter
+    delta for register corruption.  ``limit`` caps total firings.
+    """
+
+    kind: FaultKind
+    rate: float
+    magnitude: float = 0.0
+    limit: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seedable set of armed faults."""
+
+    name: str
+    seed: int
+    specs: Tuple[FaultSpec, ...]
+
+    def __post_init__(self):
+        kinds = [spec.kind for spec in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError(f"plan {self.name!r} arms a fault kind twice")
+
+    def injector(self, bus=None) -> "FaultInjector":
+        return FaultInjector(self, bus=bus)
+
+    def describe(self) -> str:
+        lines = [f"fault plan {self.name!r} (seed {self.seed})"]
+        for spec in self.specs:
+            extra = ""
+            if spec.magnitude:
+                extra += f" magnitude={spec.magnitude:g}"
+            if spec.limit is not None:
+                extra += f" limit={spec.limit}"
+            lines.append(f"  {spec.kind.value:<24s} rate={spec.rate:g}{extra}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FaultEvent:
+    """One fired fault (or one perturbed batch, for tap faults)."""
+
+    seq: int
+    kind: str
+    detail: Dict = field(default_factory=dict)
+
+
+@dataclass
+class TapPerturbation:
+    """Accounting for one batch through :meth:`perturb_packets`."""
+
+    offered: int = 0      # wire packets entering the tap
+    dropped: int = 0      # lost at the tap
+    duplicated: int = 0   # extra copies delivered
+    reordered: int = 0    # packets displaced from wire order
+    skewed: int = 0       # packets with shifted timestamps
+
+
+#: stable per-kind substream indexes (enum order is part of the format)
+_KIND_STREAMS = {kind: index for index, kind in enumerate(FaultKind)}
+
+
+class FaultInjector:
+    """Hands out deterministic failure decisions for one run.
+
+    Each armed kind owns an independent ``np.random.default_rng([seed,
+    stream])`` substream, so the decision sequence at one injection site
+    never depends on how calls interleave at other sites — two runs of
+    the same pipeline replay the same schedule exactly.
+    """
+
+    def __init__(self, plan: FaultPlan, bus=None):
+        self.plan = plan
+        self.bus = bus
+        self._specs: Dict[FaultKind, FaultSpec] = {
+            spec.kind: spec for spec in plan.specs
+        }
+        self._rngs: Dict[FaultKind, np.random.Generator] = {
+            kind: np.random.default_rng([plan.seed, _KIND_STREAMS[kind]])
+            for kind in self._specs
+        }
+        self._seq = itertools.count(1)
+        self.events: List[FaultEvent] = []
+        self.fired: Dict[FaultKind, int] = {k: 0 for k in self._specs}
+        self.opportunities: Dict[FaultKind, int] = {k: 0 for k in self._specs}
+
+    def bind_bus(self, bus) -> None:
+        """Attach a bus after construction (the platform binds its own)."""
+        if self.bus is None:
+            self.bus = bus
+
+    # -- decisions ---------------------------------------------------------
+
+    def armed(self, kind: FaultKind) -> bool:
+        return kind in self._specs
+
+    def magnitude(self, kind: FaultKind) -> float:
+        spec = self._specs.get(kind)
+        return spec.magnitude if spec is not None else 0.0
+
+    def _exhausted(self, spec: FaultSpec) -> bool:
+        return spec.limit is not None and self.fired[spec.kind] >= spec.limit
+
+    def _record(self, kind: FaultKind, count: int = 1, **detail) -> None:
+        self.fired[kind] += count
+        event = FaultEvent(seq=next(self._seq), kind=kind.value,
+                           detail=dict(detail))
+        self.events.append(event)
+        if self.bus is not None:
+            self.bus.publish(f"chaos:{kind.value}", seq=event.seq, **detail)
+
+    def should_fire(self, kind: FaultKind, **detail) -> bool:
+        """Per-opportunity decision for ``kind``; logs when it fires."""
+        spec = self._specs.get(kind)
+        if spec is None:
+            return False
+        self.opportunities[kind] += 1
+        if self._exhausted(spec):
+            return False
+        if self._rngs[kind].random() >= spec.rate:
+            return False
+        self._record(kind, **detail)
+        return True
+
+    def corruption_site(self, shape: Sequence[int]) -> Tuple[int, ...]:
+        """Deterministic register coordinates for a corruption fault."""
+        rng = self._rngs[FaultKind.SWITCH_REGISTER_CORRUPT]
+        return tuple(int(rng.integers(0, dim)) for dim in shape)
+
+    # -- tap faults --------------------------------------------------------
+
+    def _mask(self, kind: FaultKind, n: int) -> Optional[np.ndarray]:
+        """Per-packet fire mask for ``kind``, honoring the firing limit."""
+        spec = self._specs.get(kind)
+        if spec is None or n == 0:
+            return None
+        self.opportunities[kind] += n
+        if self._exhausted(spec):
+            return None
+        mask = self._rngs[kind].random(n) < spec.rate
+        if spec.limit is not None:
+            headroom = spec.limit - self.fired[kind]
+            hits = np.flatnonzero(mask)
+            if len(hits) > headroom:
+                mask[hits[headroom:]] = False
+        return mask if mask.any() else None
+
+    def perturb_packets(self, packets: List) -> Tuple[List, TapPerturbation]:
+        """Apply the armed tap faults to one batch, in wire order.
+
+        Order of operations: drop → duplicate → clock skew → reorder.
+        Mutated packets (skewed timestamps) and duplicates are copies —
+        the originals may be shared with other packet observers.
+        """
+        stats = TapPerturbation(offered=len(packets))
+        if not packets:
+            return packets, stats
+        out = packets
+
+        mask = self._mask(FaultKind.TAP_DROP, len(out))
+        if mask is not None:
+            out = [p for p, dead in zip(out, mask) if not dead]
+            stats.dropped = int(mask.sum())
+            self._record(FaultKind.TAP_DROP, count=stats.dropped,
+                         dropped=stats.dropped, offered=stats.offered)
+            if not out:
+                return out, stats
+
+        mask = self._mask(FaultKind.TAP_DUPLICATE, len(out))
+        if mask is not None:
+            duplicated = []
+            for packet, dup in zip(out, mask):
+                duplicated.append(packet)
+                if dup:
+                    duplicated.append(copy.copy(packet))
+            stats.duplicated = int(mask.sum())
+            out = duplicated
+            self._record(FaultKind.TAP_DUPLICATE, count=stats.duplicated,
+                         duplicated=stats.duplicated)
+
+        if self.should_fire(FaultKind.CLOCK_SKEW, batch=len(out)):
+            skew = self.magnitude(FaultKind.CLOCK_SKEW)
+            skewed = []
+            for packet in out:
+                shifted = copy.copy(packet)
+                shifted.timestamp += skew
+                skewed.append(shifted)
+            out = skewed
+            stats.skewed = len(out)
+
+        if len(out) > 1 and self.should_fire(FaultKind.TAP_REORDER,
+                                             batch=len(out)):
+            rng = self._rngs[FaultKind.TAP_REORDER]
+            width = int(rng.integers(2, min(8, len(out)) + 1))
+            start = int(rng.integers(0, len(out) - width + 1))
+            out = list(out)
+            out[start:start + width] = reversed(out[start:start + width])
+            stats.reordered = width
+
+        return out, stats
+
+    # -- audit -------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return {kind.value: n for kind, n in self.fired.items()}
+
+    def signature(self) -> str:
+        """Digest of the full event log; equal signatures = equal runs."""
+        payload = json.dumps(
+            [[e.seq, e.kind, sorted(e.detail.items())] for e in self.events],
+            default=str, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        return {
+            kind.value: {"fired": self.fired[kind],
+                         "opportunities": self.opportunities[kind]}
+            for kind in self._specs
+        }

@@ -1,0 +1,62 @@
+"""Canned fault plans the chaos suite and ``repro chaos`` run.
+
+Three plans, each aimed at one stage of the sense→store→infer→react
+pipeline; rates are high enough that a 90-second tiny-campus day fires
+every armed fault kind many times, so degradation accounting has signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.chaos.faults import FaultKind, FaultPlan, FaultSpec
+
+
+def _lossy_tap(seed: int) -> FaultPlan:
+    """Impaired capture: drops, duplicates, reorders, skew, stalls."""
+    return FaultPlan(name="lossy-tap", seed=seed, specs=(
+        FaultSpec(FaultKind.TAP_DROP, rate=0.08),
+        FaultSpec(FaultKind.TAP_DUPLICATE, rate=0.02),
+        FaultSpec(FaultKind.TAP_REORDER, rate=0.05),
+        FaultSpec(FaultKind.CLOCK_SKEW, rate=0.02, magnitude=0.25),
+        FaultSpec(FaultKind.SENSOR_STALL, rate=0.05),
+    ))
+
+
+def _slow_store(seed: int) -> FaultPlan:
+    """Struggling data store: slow and transiently failing ingest, plus
+    a crashing exporter (recovered by the atomic export protocol)."""
+    return FaultPlan(name="slow-store", seed=seed, specs=(
+        FaultSpec(FaultKind.STORE_LATENCY, rate=0.3, magnitude=0.01),
+        FaultSpec(FaultKind.STORE_TRANSIENT, rate=0.15),
+        FaultSpec(FaultKind.PERSIST_TORN_WRITE, rate=0.6, limit=2),
+    ))
+
+
+def _flaky_switch(seed: int) -> FaultPlan:
+    """Misbehaving data plane: table misses, register corruption, and
+    failing mitigation installs (drives the react circuit breaker)."""
+    return FaultPlan(name="flaky-switch", seed=seed, specs=(
+        FaultSpec(FaultKind.SWITCH_TABLE_MISS, rate=0.15),
+        FaultSpec(FaultKind.SWITCH_REGISTER_CORRUPT, rate=0.05,
+                  magnitude=1_000_000),
+        FaultSpec(FaultKind.SWITCH_REACT_FAIL, rate=0.6),
+    ))
+
+
+FAULT_PLANS = {
+    "lossy-tap": _lossy_tap,
+    "slow-store": _slow_store,
+    "flaky-switch": _flaky_switch,
+}
+
+
+def make_fault_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Build a canned plan by name (``lossy-tap`` | ``slow-store`` |
+    ``flaky-switch``)."""
+    try:
+        factory = FAULT_PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PLANS))
+        raise KeyError(f"unknown fault plan {name!r}; one of {known}") from None
+    return factory(seed)

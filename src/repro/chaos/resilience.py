@@ -1,0 +1,394 @@
+"""Resilience toolkit: retries, deadlines, circuit breakers, degradation.
+
+Every policy here is driven by an injectable :class:`Clock`, so the same
+code paths run against wall time in long-lived processes and against a
+:class:`VirtualClock` in tests and simulations — retries back off without
+real sleeping, and schedules are bit-identical across machines.  When an
+:class:`~repro.core.eventbus.EventBus` is supplied, every recovery action
+is published under ``resilience:*`` topics, making a chaos run auditable
+from its event log alone.
+
+The pieces compose into the platform's failure model (DESIGN.md,
+"Failure model & chaos testing"):
+
+* :func:`retry` / :func:`retrying` — bounded re-execution of transient
+  failures with exponential backoff, deterministic jitter, and an
+  optional overall :class:`Deadline`.
+* :class:`CircuitBreaker` — closed → open → half-open protection for a
+  repeatedly failing dependency (the switch react step, in this repo).
+* :class:`DegradationLedger` — the per-stage graceful-degradation
+  record: which pipeline stage shed what work, when, and why.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple, Type
+
+import numpy as np
+
+
+class TransientError(Exception):
+    """An operation failure that may succeed if simply re-run."""
+
+
+class DeadlineExceeded(Exception):
+    """Raised by :meth:`Deadline.check` once the budget is spent."""
+
+
+class BreakerOpenError(Exception):
+    """Raised by :meth:`CircuitBreaker.call` while the breaker is open."""
+
+
+# -- clocks ----------------------------------------------------------------
+
+
+class Clock:
+    """Time source + sleep primitive the resilience policies run on."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-clock adapter (monotonic; immune to NTP steps)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock: ``sleep`` moves time, instantly.
+
+    The default for every policy in this repo — backoff schedules cost
+    zero wall time and are exactly reproducible.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Alias for :meth:`sleep`, for test readability."""
+        self.sleep(seconds)
+
+
+class CallableClock(Clock):
+    """Adapts an external time source (e.g. the DES simulator's ``now``).
+
+    ``sleep`` is a no-op unless a sleep function is supplied: advancing
+    somebody else's clock is not this adapter's call to make.
+    """
+
+    def __init__(self, now_fn: Callable[[], float],
+                 sleep_fn: Optional[Callable[[float], None]] = None):
+        self._now_fn = now_fn
+        self._sleep_fn = sleep_fn
+
+    def now(self) -> float:
+        return float(self._now_fn())
+
+    def sleep(self, seconds: float) -> None:
+        if self._sleep_fn is not None:
+            self._sleep_fn(seconds)
+
+
+# -- deadlines -------------------------------------------------------------
+
+
+class Deadline:
+    """A fixed time budget measured on a clock."""
+
+    def __init__(self, clock: Clock, seconds: float):
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.clock = clock
+        self.started_at = clock.now()
+        self.expires_at = self.started_at + float(seconds)
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock.now()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "operation") -> None:
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+
+# -- retry -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``deadline_s`` bounds the whole retry loop: no backoff sleep is ever
+    taken that would land past the deadline, and once it cannot fit, the
+    last error is re-raised immediately (the caller sees the real
+    failure, never a synthetic timeout).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1          # +/- fraction applied to each delay
+    deadline_s: Optional[float] = None
+    seed: int = 0                # jitter stream; fixed seed = fixed schedule
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule between attempts (``max_attempts - 1``)."""
+        rng = np.random.default_rng(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.max_delay_s,
+                        self.base_delay_s * self.multiplier ** attempt)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield max(0.0, delay)
+
+
+def retry(fn: Callable[[], object], policy: Optional[RetryPolicy] = None,
+          clock: Optional[Clock] = None,
+          retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+          bus=None, site: str = "call"):
+    """Run ``fn`` under ``policy``, backing off between transient failures.
+
+    Non-matching exceptions propagate immediately.  When attempts or the
+    deadline run out, the *last* matching error is re-raised.  With a
+    ``bus``, publishes ``resilience:retry`` per backoff,
+    ``resilience:retry_recovered`` on late success, and
+    ``resilience:retry_exhausted`` on final failure.
+    """
+    policy = policy or RetryPolicy()
+    clock = clock or VirtualClock()
+    deadline = (Deadline(clock, policy.deadline_s)
+                if policy.deadline_s is not None else None)
+    schedule = policy.delays()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = fn()
+        except retry_on as exc:
+            delay = next(schedule, None)
+            out_of_time = deadline is not None and (
+                deadline.expired or delay is None
+                or delay > deadline.remaining())
+            if delay is None or out_of_time:
+                if bus is not None:
+                    bus.publish("resilience:retry_exhausted", site=site,
+                                attempts=attempt, error=repr(exc))
+                raise
+            if bus is not None:
+                bus.publish("resilience:retry", site=site, attempt=attempt,
+                            delay_s=delay)
+            clock.sleep(delay)
+        else:
+            if attempt > 1 and bus is not None:
+                bus.publish("resilience:retry_recovered", site=site,
+                            attempts=attempt)
+            return result
+
+
+def retrying(policy: Optional[RetryPolicy] = None,
+             clock: Optional[Clock] = None,
+             retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+             bus=None, site: Optional[str] = None):
+    """Decorator form of :func:`retry` for multi-argument callables."""
+    def wrap(fn):
+        where = site or getattr(fn, "__qualname__", "call")
+
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            return retry(lambda: fn(*args, **kwargs), policy=policy,
+                         clock=clock, retry_on=retry_on, bus=bus, site=where)
+        return inner
+    return wrap
+
+
+# -- circuit breaker -------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Closed → open → half-open protection for a failing dependency.
+
+    * **closed** — calls flow; ``failure_threshold`` consecutive
+      failures open the breaker.
+    * **open** — calls are shed until ``recovery_s`` has elapsed.
+    * **half-open** — up to ``half_open_max`` probe calls are admitted;
+      one success closes the breaker, one failure re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5, recovery_s: float = 30.0,
+                 half_open_max: int = 1, clock: Optional[Clock] = None,
+                 bus=None, name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_s <= 0:
+            raise ValueError("recovery_s must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = float(recovery_s)
+        self.half_open_max = half_open_max
+        self.clock = clock or VirtualClock()
+        self.bus = bus
+        self.name = name
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes = 0
+        self.times_opened = 0
+        self.calls_shed = 0
+
+    def _publish(self, topic: str, **payload) -> None:
+        if self.bus is not None:
+            self.bus.publish(topic, breaker=self.name, **payload)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self._publish(f"resilience:breaker_{state}")
+
+    @property
+    def state(self) -> str:
+        """Current state; lazily moves open → half-open on the clock."""
+        if self._state == self.OPEN and self._opened_at is not None and \
+                self.clock.now() >= self._opened_at + self.recovery_s:
+            self._probes = 0
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits probes.)"""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.OPEN:
+            self.calls_shed += 1
+            return False
+        if self._probes < self.half_open_max:
+            self._probes += 1
+            return True
+        self.calls_shed += 1
+        return False
+
+    def record_success(self) -> None:
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._failures = 0
+            self._transition(self.CLOSED)
+        elif state == self.CLOSED:
+            self._failures = 0
+        # success while open: stale result from before the trip; ignore
+
+    def record_failure(self) -> None:
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._open()
+        elif state == self.CLOSED:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._open()
+        # failure while open: the breaker is already shedding; ignore
+
+    def _open(self) -> None:
+        self._opened_at = self.clock.now()
+        self._failures = 0
+        self.times_opened += 1
+        self._transition(self.OPEN)
+
+    def call(self, fn: Callable[[], object]):
+        """Guarded invocation: shed when open, record the outcome."""
+        if not self.allow():
+            raise BreakerOpenError(f"{self.name} is open")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+# -- graceful degradation --------------------------------------------------
+
+
+@dataclass
+class Degradation:
+    """One stage shedding work instead of failing the pipeline."""
+
+    stage: str           # e.g. "capture", "store", "react"
+    mode: str            # e.g. "shed-batch", "shed-react", "skip-log"
+    reason: str
+    at: float
+
+
+class DegradationLedger:
+    """Per-stage record of graceful degradation across a run.
+
+    Stages call :meth:`degrade` instead of raising when they shed work;
+    the ledger is what turns "it didn't crash" into an auditable claim
+    about *what* was lost.  Entries publish ``resilience:degraded``.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, bus=None):
+        self.clock = clock or VirtualClock()
+        self.bus = bus
+        self.entries: List[Degradation] = []
+
+    def degrade(self, stage: str, mode: str, reason: str) -> Degradation:
+        entry = Degradation(stage=stage, mode=mode, reason=reason,
+                            at=self.clock.now())
+        self.entries.append(entry)
+        if self.bus is not None:
+            self.bus.publish("resilience:degraded", stage=stage, mode=mode,
+                            reason=reason)
+        return entry
+
+    def degraded(self, stage: Optional[str] = None) -> bool:
+        if stage is None:
+            return bool(self.entries)
+        return any(entry.stage == stage for entry in self.entries)
+
+    def stages(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.stage not in seen:
+                seen.append(entry.stage)
+        return seen
+
+    def by_stage(self) -> dict:
+        out: dict = {}
+        for entry in self.entries:
+            out.setdefault(entry.stage, []).append(entry)
+        return out

@@ -1,0 +1,271 @@
+"""Run a full pipeline scenario under a named fault plan.
+
+The chaos runner is the ``repro chaos`` CLI's engine and the e2e chaos
+suite's harness: it builds an instrumented campus with a
+:class:`~repro.chaos.faults.FaultInjector` wired through every layer,
+collects an attack day, develops a small tool, closes the fast control
+loop, and round-trips the store through persistence — all while the
+plan fires faults — then reports what degraded and what recovered.
+
+The contract the chaos suite asserts: the runner always produces a
+:class:`ChaosRunReport` (no injected fault may escape as an exception),
+degradation is *flagged* rather than hidden, and a fixed plan seed
+replays a bit-identical ``chaos:*`` event schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.chaos.faults import FaultKind, FaultPlan, TornWriteError
+from repro.chaos.plans import make_fault_plan
+from repro.chaos.resilience import CircuitBreaker, RetryPolicy, \
+    VirtualClock, retry
+
+#: the positive class the canned scenario develops a detector for
+_POSITIVE_CLASS = "ddos-dns-amp"
+
+
+@dataclass
+class StageOutcome:
+    """What one pipeline stage experienced under the plan."""
+
+    stage: str
+    degraded: bool
+    detail: Dict = field(default_factory=dict)
+
+
+@dataclass
+class ChaosRunReport:
+    """Degradation report for one chaos scenario run."""
+
+    plan: str
+    seed: int
+    profile: str
+    duration_s: float
+    completed: bool                      # the loop still produced a report
+    signature: str                       # digest of the fault event log
+    fault_counts: Dict[str, int]
+    stages: List[StageOutcome]
+    chaos_events: int
+    resilience_events: int
+    dead_letters: int
+    notes: List[str] = field(default_factory=list)
+
+    def degraded(self, stage: Optional[str] = None) -> bool:
+        if stage is None:
+            return any(s.degraded for s in self.stages)
+        return any(s.stage == stage and s.degraded for s in self.stages)
+
+    def stage(self, name: str) -> StageOutcome:
+        for outcome in self.stages:
+            if outcome.stage == name:
+                return outcome
+        raise KeyError(f"no stage {name!r} in report")
+
+    def to_dict(self) -> Dict:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "profile": self.profile,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+            "signature": self.signature,
+            "fault_counts": self.fault_counts,
+            "stages": [{"stage": s.stage, "degraded": s.degraded,
+                        "detail": s.detail} for s in self.stages],
+            "chaos_events": self.chaos_events,
+            "resilience_events": self.resilience_events,
+            "dead_letters": self.dead_letters,
+            "notes": self.notes,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos run: plan={self.plan} seed={self.seed} "
+            f"profile={self.profile} duration={self.duration_s:g}s",
+            f"fault schedule signature: {self.signature}",
+            f"events: {self.chaos_events} chaos, "
+            f"{self.resilience_events} resilience, "
+            f"{self.dead_letters} dead-lettered",
+            "",
+            "injected faults:",
+        ]
+        if self.fault_counts:
+            for kind, count in sorted(self.fault_counts.items()):
+                lines.append(f"  {kind:<24s} fired {count}")
+        else:
+            lines.append("  (none fired)")
+        lines += ["", f"{'stage':<12s} {'degraded':<9s} detail"]
+        for outcome in self.stages:
+            detail = ", ".join(f"{k}={v}" for k, v in
+                               sorted(outcome.detail.items()))
+            flag = "yes" if outcome.degraded else "no"
+            lines.append(f"{outcome.stage:<12s} {flag:<9s} {detail}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        verdict = "DEGRADED-BUT-ALIVE" if self.degraded() else "CLEAN"
+        if not self.completed:
+            verdict = "INCOMPLETE"
+        lines += ["", f"verdict: {verdict} "
+                      f"(report produced: {self.completed})"]
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> float:
+    return round(float(value), 4)
+
+
+def run_chaos_scenario(plan: Union[str, FaultPlan], profile: str = "tiny",
+                       seed: int = 0, duration_s: float = 90.0,
+                       export_dir: Optional[Union[str, Path]] = None) \
+        -> ChaosRunReport:
+    """Exercise capture → store → develop → control loop → persistence
+    under ``plan``; return the degradation report.
+
+    Heavy imports happen here, not at module import time, so the chaos
+    package stays cheap to import.
+    """
+    from repro.core import CampusPlatform, DevelopmentLoop, \
+        ControlLoopHarness, PlatformConfig
+    from repro.datastore import export_store, import_store
+    from repro.events import make_scenario
+
+    if isinstance(plan, str):
+        plan = make_fault_plan(plan, seed=seed)
+    injector = plan.injector()
+    platform = CampusPlatform(
+        PlatformConfig(campus_profile=profile, seed=seed),
+        fault_injector=injector)
+    bus = platform.bus
+    stages: List[StageOutcome] = []
+    notes: List[str] = []
+    completed = True
+
+    # -- capture + store: collect one attack day under faults -------------
+    collection = platform.collect(make_scenario("ddos", duration_s),
+                                  seed=seed)
+    stats = platform.capture.stats
+    stages.append(StageOutcome(
+        stage="capture",
+        degraded=bool(stats.packets_fault_dropped or stats.packets_skewed
+                      or platform.tap.batches_shed),
+        detail={
+            "fault_dropped": stats.packets_fault_dropped,
+            "fault_drop_rate": _fmt(stats.fault_drop_rate),
+            "duplicated": stats.packets_duplicated,
+            "reordered": stats.packets_reordered,
+            "skewed": stats.packets_skewed,
+            "stalls": platform.tap.stalls,
+            "batches_shed": platform.tap.batches_shed,
+            "captured": collection.packets_captured,
+        }))
+    stages.append(StageOutcome(
+        stage="store",
+        degraded=platform.degradation.degraded("store"),
+        detail={
+            "transient_errors": platform.store.transient_errors,
+            "injected_latency_s": _fmt(platform.store.injected_latency_s),
+            "batches_shed": sum(1 for e in platform.degradation.entries
+                                if e.stage == "store"),
+            "records": platform.store.count("packets"),
+        }))
+    stages.append(StageOutcome(
+        stage="sensors",
+        degraded=platform.degradation.degraded("sensors"),
+        detail={
+            "logs_stored": platform.store.count("logs"),
+            "records_shed": sum(1 for e in platform.degradation.entries
+                                if e.stage == "sensors"),
+        }))
+
+    # -- develop a small tool off the (possibly degraded) store -----------
+    tool = None
+    try:
+        dataset = platform.build_dataset()
+        if _POSITIVE_CLASS in dataset.class_names:
+            loop = DevelopmentLoop(teacher_name="tree",
+                                   student_max_depth=3)
+            tool, _ = loop.develop(dataset.binarize(_POSITIVE_CLASS),
+                                   tool_name=f"chaos-{plan.name}",
+                                   seed=seed)
+        else:
+            notes.append(f"no {_POSITIVE_CLASS!r} windows survived the "
+                         f"faults; control loop skipped")
+    except Exception as exc:   # degraded input may break training
+        notes.append(f"development degraded: {exc!r}")
+
+    # -- fast control loop under faults ------------------------------------
+    control_detail: Dict = {}
+    control_degraded = False
+    if tool is not None:
+        try:
+            harness = ControlLoopHarness(
+                tool, lambda s: make_scenario("ddos", duration_s),
+                lambda s: platform.fresh_network(s),
+                fault_injector=injector, bus=bus)
+            live = harness.run(seed=seed + 1)
+            control_detail = dict(live.resilience)
+            control_detail["detections"] = live.detections
+            control_detail["attack_admitted"] = _fmt(
+                live.attack_admitted_fraction)
+            control_degraded = live.degraded
+        except Exception as exc:
+            completed = False
+            notes.append(f"control loop failed to report: {exc!r}")
+    stages.append(StageOutcome(stage="control", degraded=control_degraded,
+                               detail=control_detail))
+
+    # -- persistence: atomic export under torn-write faults ----------------
+    persist_detail: Dict = {}
+    persist_degraded = False
+    target = Path(export_dir) if export_dir is not None else \
+        Path(tempfile.mkdtemp(prefix="repro-chaos-")) / "store"
+    try:
+        retry(lambda: export_store(platform.store, target,
+                                   fault_injector=injector),
+              policy=RetryPolicy(max_attempts=5, base_delay_s=0.01),
+              clock=VirtualClock(), retry_on=(TornWriteError,), bus=bus,
+              site="persistence.export")
+        restored = import_store(target)
+        persist_detail["round_trip_records"] = restored.count("packets")
+    except Exception as exc:
+        persist_degraded = True
+        notes.append(f"persistence degraded: {exc!r}")
+    finally:
+        persist_detail["export_crashes"] = \
+            injector.fired.get(FaultKind.PERSIST_TORN_WRITE, 0)
+        if export_dir is None:
+            shutil.rmtree(target.parent, ignore_errors=True)
+    persist_degraded = persist_degraded or \
+        injector.fired.get(FaultKind.PERSIST_TORN_WRITE, 0) > 0
+    stages.append(StageOutcome(stage="persistence",
+                               degraded=persist_degraded,
+                               detail=persist_detail))
+
+    chaos_events = sum(1 for t in bus.topics_seen()
+                       if t.startswith("chaos:"))
+    resilience_events = sum(1 for t in bus.topics_seen()
+                            if t.startswith("resilience:"))
+    return ChaosRunReport(
+        plan=plan.name,
+        seed=plan.seed,
+        profile=profile,
+        duration_s=duration_s,
+        completed=completed,
+        signature=injector.signature(),
+        fault_counts=injector.counts(),
+        stages=stages,
+        chaos_events=chaos_events,
+        resilience_events=resilience_events,
+        dead_letters=bus.dead_letter_count,
+        notes=notes,
+    )

@@ -12,6 +12,8 @@ script:
   store and emit the deployable artifacts (P4 source + rule list).
 * ``repro verify`` — static verification of a compiled tool
   (``REPxxx`` diagnostics) or the repo-wide AST lint (``--lint``).
+* ``repro chaos`` — run a scenario under a named fault plan and print
+  the degradation report (which stages degraded, what recovered).
 * ``repro profiles`` — list available campus profiles.
 
 Examples
@@ -105,6 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              "package)")
     verify.add_argument("--json", action="store_true",
                         help="emit the diagnostic report as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a scenario under a named fault plan and report "
+             "degradation")
+    chaos.add_argument("--plan", required=True,
+                       help="fault plan: lossy-tap, slow-store, or "
+                            "flaky-switch")
+    chaos.add_argument("--profile", default="tiny")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=90.0,
+                       help="scenario length in simulated seconds")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the degradation report as JSON")
 
     report = sub.add_parser("report",
                             help="IT-style Markdown report for a store")
@@ -259,6 +275,26 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    """Run a scenario under a fault plan; print the degradation report.
+
+    Exit code 0 when the pipeline still produced a report (possibly
+    degraded), 1 when it could not complete, 2 on an unknown plan.
+    """
+    from repro.chaos import FAULT_PLANS
+    from repro.chaos.scenario import run_chaos_scenario
+
+    if args.plan not in FAULT_PLANS:
+        known = ", ".join(sorted(FAULT_PLANS))
+        print(f"chaos: unknown fault plan {args.plan!r}; one of {known}",
+              file=sys.stderr)
+        return 2
+    report = run_chaos_scenario(args.plan, profile=args.profile,
+                                seed=args.seed, duration_s=args.duration)
+    print(report.render_json() if args.json else report.render())
+    return 0 if report.completed else 1
+
+
 def cmd_report(args) -> int:
     """Render the IT-style Markdown report for a store."""
     from repro.analysis import generate_report
@@ -294,6 +330,7 @@ _COMMANDS = {
     "train": cmd_train,
     "develop": cmd_develop,
     "verify": cmd_verify,
+    "chaos": cmd_chaos,
     "report": cmd_report,
     "profiles": cmd_profiles,
     "scenarios": cmd_scenarios,

@@ -13,6 +13,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.chaos.resilience import CircuitBreaker
 from repro.deploy.placement import PLACEMENTS
 from repro.deploy.switch import SwitchConfig
 from repro.events.scenario import Scenario, run_scenario
@@ -31,6 +32,9 @@ class ControlLoopReport:
     attack_bytes_admitted: float
     reaction_latency_s: Optional[float]
     detections: int
+    #: switch fault/degradation counters (empty on fault-free runs)
+    resilience: Dict[str, int] = field(default_factory=dict)
+    degraded: bool = False
 
     @property
     def attack_admitted_fraction(self) -> float:
@@ -42,7 +46,9 @@ class ControlLoopReport:
 class ControlLoopHarness:
     """Runs tool deployments and scores the closed loop."""
 
-    def __init__(self, tool, scenario_builder, network_builder):
+    def __init__(self, tool, scenario_builder, network_builder,
+                 fault_injector=None,
+                 react_breaker: Optional[CircuitBreaker] = None, bus=None):
         """
         Parameters
         ----------
@@ -52,10 +58,18 @@ class ControlLoopHarness:
             ``scenario_builder(seed) -> Scenario``.
         network_builder:
             ``network_builder(seed) -> CampusNetwork``.
+        fault_injector / react_breaker / bus:
+            Optional chaos instrumentation, threaded into each deployed
+            switch so runs can rehearse failure: injected data-plane
+            faults, a breaker guarding the react step, and an event bus
+            receiving the ``chaos:*`` / ``resilience:*`` audit trail.
         """
         self.tool = tool
         self.scenario_builder = scenario_builder
         self.network_builder = network_builder
+        self.fault_injector = fault_injector
+        self.react_breaker = react_breaker
+        self.bus = bus
 
     def run(self, seed: int = 0, placement: str = "data_plane",
             config: Optional[SwitchConfig] = None) -> ControlLoopReport:
@@ -68,7 +82,10 @@ class ControlLoopHarness:
 
         run_config = copy.deepcopy(config or self.tool.switch_config)
         run_config.placement = placement
-        switch = self.tool.deploy(network, run_config)
+        switch = self.tool.deploy(network, run_config,
+                                  fault_injector=self.fault_injector,
+                                  react_breaker=self.react_breaker,
+                                  bus=self.bus)
         scenario = self.scenario_builder(seed)
         ground_truth = run_scenario(network, scenario, seed=seed)
 
@@ -92,6 +109,7 @@ class ControlLoopHarness:
         if effective:
             reaction = sum(effective) / len(effective)
 
+        resilience = switch.resilience_summary()
         return ControlLoopReport(
             placement=placement,
             quality=quality,
@@ -100,4 +118,7 @@ class ControlLoopHarness:
             attack_bytes_admitted=attack_admitted,
             reaction_latency_s=reaction,
             detections=len(switch.detections),
+            resilience=resilience,
+            degraded=bool(switch.degraded_shadow or switch.table_misses
+                          or switch.react_failures),
         )

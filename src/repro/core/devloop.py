@@ -58,7 +58,8 @@ class DeployableTool:
     feature_names: List[str]
     verification: Optional[DiagnosticReport] = None
 
-    def deploy(self, network, config: Optional[SwitchConfig] = None) -> \
+    def deploy(self, network, config: Optional[SwitchConfig] = None,
+               fault_injector=None, react_breaker=None, bus=None) -> \
             EmulatedSwitch:
         """Instantiate the fast control loop on a network.
 
@@ -69,6 +70,9 @@ class DeployableTool:
         The runtime's benign class is aligned with this tool's class
         names: if the configured ``benign_class`` is not one of them,
         class 0 (the negative/default class) is used instead.
+
+        ``fault_injector`` / ``react_breaker`` / ``bus`` thread chaos
+        instrumentation into the switch for road-testing under faults.
         """
         if self.verification is not None and not self.verification.ok:
             raise ProgramVerificationError(self.verification)
@@ -76,7 +80,9 @@ class DeployableTool:
         if self.class_names and run_config.benign_class not in \
                 self.class_names:
             run_config.benign_class = self.class_names[0]
-        return EmulatedSwitch(network, self.compiled, run_config)
+        return EmulatedSwitch(network, self.compiled, run_config,
+                              fault_injector=fault_injector,
+                              react_breaker=react_breaker, bus=bus)
 
 
 @dataclass

@@ -2,7 +2,14 @@
 
 Stages of the development loop publish progress events ("trained",
 "distilled", "compiled", "roadtest:shadow", ...) so experiments and
-examples can trace what happened without coupling to internals.
+examples can trace what happened without coupling to internals.  The
+chaos/resilience layers publish ``chaos:*`` and ``resilience:*`` events
+here, making every injected fault and every recovery auditable.
+
+Dispatch isolates subscribers: one raising callback can never abort the
+fan-out for the callbacks behind it.  Failed deliveries are collected on
+:attr:`EventBus.dead_letters` instead of propagating — the bus is
+telemetry, and telemetry must not take the pipeline down with it.
 """
 
 from __future__ import annotations
@@ -18,25 +25,57 @@ class BusEvent:
     payload: Dict = field(default_factory=dict)
 
 
+@dataclass
+class DeadLetter:
+    """One failed delivery: the event, who raised, and what they raised."""
+
+    topic: str
+    subscriber: str
+    error: str
+    event: BusEvent
+
+
+def _subscriber_name(callback: Callable) -> str:
+    return getattr(callback, "__qualname__",
+                   getattr(callback, "__name__", repr(callback)))
+
+
 class EventBus:
     """Synchronous topic bus; subscribers may use '*' for everything."""
 
-    def __init__(self):
+    def __init__(self, max_dead_letters: int = 10_000):
         self._subscribers: Dict[str, List[Callable[[BusEvent], None]]] = \
             defaultdict(list)
         self.log: List[BusEvent] = []
+        self.dead_letters: List[DeadLetter] = []
+        self.dead_letter_count = 0
+        self.max_dead_letters = max_dead_letters
 
     def subscribe(self, topic: str,
                   callback: Callable[[BusEvent], None]) -> None:
         self._subscribers[topic].append(callback)
 
+    def _dispatch(self, callback: Callable[[BusEvent], None],
+                  event: BusEvent) -> None:
+        try:
+            callback(event)
+        except Exception as exc:
+            self.dead_letter_count += 1
+            if len(self.dead_letters) < self.max_dead_letters:
+                self.dead_letters.append(DeadLetter(
+                    topic=event.topic,
+                    subscriber=_subscriber_name(callback),
+                    error=repr(exc),
+                    event=event,
+                ))
+
     def publish(self, topic: str, **payload) -> BusEvent:
         event = BusEvent(topic=topic, payload=payload)
         self.log.append(event)
         for callback in self._subscribers.get(topic, []):
-            callback(event)
+            self._dispatch(callback, event)
         for callback in self._subscribers.get("*", []):
-            callback(event)
+            self._dispatch(callback, event)
         return event
 
     def topics_seen(self) -> List[str]:

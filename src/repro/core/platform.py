@@ -22,6 +22,8 @@ from repro.capture.flows import FlowAssembler
 from repro.capture.metadata import MetadataExtractor
 from repro.capture.sensors import FirewallSensor, ServerLogSensor
 from repro.capture.tap import BorderTap
+from repro.chaos.resilience import DegradationLedger, TransientError, \
+    retry
 from repro.core.config import PlatformConfig
 from repro.core.eventbus import EventBus
 from repro.datastore.labels import Labeler
@@ -52,14 +54,20 @@ class CollectionResult:
 class CampusPlatform:
     """Instrumented campus network + data store, ready for research."""
 
-    def __init__(self, config: Optional[PlatformConfig] = None):
+    def __init__(self, config: Optional[PlatformConfig] = None,
+                 fault_injector=None):
         self.config = config or PlatformConfig()
         self.bus = EventBus()
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.bind_bus(self.bus)
+        self.degradation = DegradationLedger(bus=self.bus)
         self.network = self._build_network(self.config.seed)
         self.privacy_policy = PrivacyPolicy.preset(self.config.privacy_level)
         self.store = DataStore(
             metadata_extractor=MetadataExtractor(self.network.topology),
             segment_capacity=self.config.segment_capacity,
+            fault_injector=fault_injector,
         )
         self.store.add_ingest_transform(make_ingest_transform(
             self.privacy_policy, self.network.topology.is_internal_ip,
@@ -77,24 +85,53 @@ class CampusPlatform:
         """Attach tap(s), capture engine, assembler, and sensors."""
         self.capture = CaptureEngine(
             capacity_gbps=self.config.capture_capacity_gbps,
-            buffer_bytes=self.config.capture_buffer_bytes)
+            buffer_bytes=self.config.capture_buffer_bytes,
+            fault_injector=self.fault_injector)
         links = [network.topology.border_link]
         if self.config.monitor_internal:
             links.extend(
                 edge for edge in network.topology.edges()
                 if {edge[0][:4], edge[1][:4]} == {"dist", "core"}
             )
-        self.tap = BorderTap(network, self.capture, links=links)
+        self.tap = BorderTap(network, self.capture, links=links,
+                             fault_injector=self.fault_injector,
+                             bus=self.bus)
         self.assembler = FlowAssembler()
-        self.capture.subscribe(self.store.ingest_packets)
+        self.capture.subscribe(self._guard(self.store.ingest_packets,
+                                           stage="store",
+                                           site="store.ingest_packets"))
         self.capture.subscribe(self.assembler.add_packets)
         self.sensors = []
         if self.config.enable_sensors:
             server_logs = ServerLogSensor(network, seed=self.config.seed)
             firewall = FirewallSensor(network)
             for sensor in (server_logs, firewall):
-                sensor.subscribe(self.store.ingest_log)
+                sensor.subscribe(self._guard(self.store.ingest_log,
+                                             stage="sensors",
+                                             site="store.ingest_log"))
                 self.sensors.append(sensor)
+
+    def _guard(self, ingest_fn, stage: str, site: str):
+        """Resilient ingest wiring: retry transients, then degrade.
+
+        Fault-free platforms keep the raw callback — zero overhead on
+        the hot path.  Under chaos, transient store errors are retried
+        with backoff; a failure that outlasts every retry sheds that
+        one batch/record into the degradation ledger instead of killing
+        the capture fan-out.
+        """
+        if self.fault_injector is None:
+            return ingest_fn
+        retried = self.store.resilient_ingestor(ingest_fn, bus=self.bus,
+                                                site=site)
+
+        def guarded(batch):
+            try:
+                return retried(batch)
+            except TransientError as exc:
+                self.degradation.degrade(stage, "shed-batch", repr(exc))
+                return None
+        return guarded
 
     def fresh_network(self, seed: int) -> CampusNetwork:
         """A new, uninstrumented traffic day for testbed use."""
@@ -111,7 +148,13 @@ class CampusPlatform:
         self.bus.publish("collect:start", scenario=scenario.name, seed=seed)
         ground_truth = run_scenario(self.network, scenario, seed=seed)
         flow_records = self.assembler.flush()
-        flows_stored = self.store.ingest_flows(flow_records)
+        if self.fault_injector is not None:
+            flows_stored = retry(
+                lambda: self.store.ingest_flows(flow_records),
+                clock=self.store.clock, bus=self.bus,
+                site="store.ingest_flows")
+        else:
+            flows_stored = self.store.ingest_flows(flow_records)
         Labeler(self.store, ground_truth).label_all()
         result = CollectionResult(
             ground_truth=ground_truth,
@@ -152,7 +195,7 @@ class CampusPlatform:
 
     def summary(self) -> Dict:
         """Store + capture health overview."""
-        return {
+        out = {
             "campus": self.config.campus_profile,
             "privacy": self.config.privacy_level.value,
             "store": self.store.summary(),
@@ -163,3 +206,13 @@ class CampusPlatform:
             },
             "collections": len(self.collections),
         }
+        if self.fault_injector is not None:
+            stats = self.capture.stats
+            out["chaos"] = {
+                "faults": self.fault_injector.counts(),
+                "fault_drop_rate": stats.fault_drop_rate,
+                "store_transient_errors": self.store.transient_errors,
+                "degradations": len(self.degradation.entries),
+                "dead_letters": self.bus.dead_letter_count,
+            }
+        return out

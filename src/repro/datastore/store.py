@@ -19,11 +19,28 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.capture.flows import FlowRecord
 from repro.capture.metadata import MetadataExtractor
 from repro.capture.sensors import LogRecord
+from repro.chaos.faults import FaultKind
+from repro.chaos.resilience import RetryPolicy, TransientError, \
+    VirtualClock, retrying
 from repro.datastore import schema as schemas
 from repro.datastore.query import Aggregation, Query, execute_aggregate, \
     execute_query
 from repro.datastore.segments import Segment
 from repro.netsim.packets import PacketColumns, PacketRecord
+
+
+class TransientStoreError(TransientError):
+    """Ingest failed transiently (injected or real); safe to retry.
+
+    Raised *before* any record is appended, so a retried call never
+    double-ingests.
+    """
+
+
+#: default bulk-ingest retry: a few quick attempts on a virtual clock
+STORE_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.01,
+                                 multiplier=2.0, max_delay_s=0.1,
+                                 jitter=0.1, deadline_s=2.0)
 
 
 @dataclass
@@ -51,9 +68,14 @@ class DataStore:
     """
 
     def __init__(self, metadata_extractor: Optional[MetadataExtractor] = None,
-                 segment_capacity: int = 50_000):
+                 segment_capacity: int = 50_000, fault_injector=None,
+                 clock=None):
         self.metadata_extractor = metadata_extractor
         self.segment_capacity = segment_capacity
+        self.fault_injector = fault_injector
+        self.clock = clock or VirtualClock()
+        self.transient_errors = 0
+        self.injected_latency_s = 0.0
         self._segments: Dict[str, List[Segment]] = {
             name: [] for name in schemas.SCHEMAS
         }
@@ -62,6 +84,32 @@ class DataStore:
         self.ingest_transforms: List[Callable] = []
 
     # -- ingest ------------------------------------------------------------
+
+    def _chaos_gate(self, site: str) -> None:
+        """Injected store faults fire here, before any mutation."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        if injector.should_fire(FaultKind.STORE_TRANSIENT, site=site):
+            self.transient_errors += 1
+            raise TransientStoreError(f"injected transient fault in {site}")
+        if injector.should_fire(FaultKind.STORE_LATENCY, site=site):
+            delay = injector.magnitude(FaultKind.STORE_LATENCY)
+            self.injected_latency_s += delay
+            self.clock.sleep(delay)
+
+    def resilient_ingestor(self, fn: Callable, policy: Optional[RetryPolicy]
+                           = None, bus=None, site: Optional[str] = None) \
+            -> Callable:
+        """Wrap a bulk-ingest method with transient-error retries.
+
+        The store's ingest paths raise :class:`TransientStoreError`
+        before touching any segment, so re-running the call is exactly
+        idempotent.  Backoff runs on the store's (virtual) clock.
+        """
+        return retrying(policy or STORE_RETRY_POLICY, clock=self.clock,
+                        bus=bus, site=site or getattr(fn, "__name__",
+                                                      "ingest"))(fn)
 
     def add_ingest_transform(self, transform: Callable) -> None:
         """Install a privacy/cleaning transform applied at ingest.
@@ -113,6 +161,7 @@ class DataStore:
             packets = list(packets)
         if not packets:
             return 0
+        self._chaos_gate("ingest_packets")
 
         if self.metadata_extractor is not None:
             tags_list = self.metadata_extractor.extract_batch(packets)
@@ -140,6 +189,9 @@ class DataStore:
 
     def ingest_flows(self, flows: Iterable[FlowRecord]) -> int:
         """Store assembled flow records; returns how many were kept."""
+        if not isinstance(flows, list):
+            flows = list(flows)
+        self._chaos_gate("ingest_flows")
         count = 0
         for flow in flows:
             tags = {"service": flow.service}
@@ -149,6 +201,7 @@ class DataStore:
 
     def ingest_log(self, log: LogRecord) -> None:
         """Store one complementary sensor record."""
+        self._chaos_gate("ingest_log")
         self._ingest("logs", log, {"kind": log.kind})
 
     def ingest_logs(self, logs: Iterable[LogRecord]) -> int:

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.capture.metadata import MetadataExtractor
+from repro.chaos.faults import FaultKind, MitigationError
+from repro.chaos.resilience import CallableClock, CircuitBreaker
 from repro.deploy.compiler import CompileResult
 from repro.deploy.placement import PLACEMENTS
 from repro.deploy.sketches import BloomFilter, CountMinSketch
@@ -70,7 +72,8 @@ class EmulatedSwitch:
 
     def __init__(self, network, compile_result: CompileResult,
                  config: Optional[SwitchConfig] = None,
-                 verify: bool = True):
+                 verify: bool = True, fault_injector=None,
+                 react_breaker: Optional[CircuitBreaker] = None, bus=None):
         # Load-path gate: a structurally or semantically broken program
         # never attaches to the network (mirrors a real switch driver
         # rejecting an invalid binary at load time).  Imported lazily:
@@ -107,6 +110,25 @@ class EmulatedSwitch:
         # Data-plane sensing structures (realism + SRAM accounting).
         self.byte_sketch = CountMinSketch(width=2048, depth=3)
         self.seen_filter = BloomFilter(capacity=50_000, fp_rate=0.01)
+        # Chaos/resilience wiring: injected data-plane faults plus a
+        # circuit breaker around the react step.  When the breaker is
+        # open the switch degrades to shadow behaviour (verdicts logged,
+        # no mitigations installed) instead of hammering a failing
+        # install path.
+        self.fault_injector = fault_injector
+        self.bus = bus
+        if react_breaker is None and fault_injector is not None:
+            react_breaker = CircuitBreaker(
+                failure_threshold=3,
+                recovery_s=2.0 * self.config.window_s,
+                clock=CallableClock(lambda: self.network.now),
+                bus=bus, name="switch.react")
+        self.react_breaker = react_breaker
+        self.table_misses = 0
+        self.register_corruptions = 0
+        self.react_failures = 0
+        self.react_shed = 0
+        self.degraded_shadow = False
 
         network.add_packet_observer(self._on_packets)
         self._schedule_tick()
@@ -114,6 +136,17 @@ class EmulatedSwitch:
     # -- sense ---------------------------------------------------------------
 
     def _on_packets(self, packets: List[PacketRecord]) -> None:
+        if self.fault_injector is not None and packets and \
+                self.fault_injector.should_fire(
+                    FaultKind.SWITCH_REGISTER_CORRUPT):
+            # SRAM bit-rot: one count-min register jumps by the fault
+            # magnitude; estimates for whatever hashes there inflate.
+            delta = int(self.fault_injector.magnitude(
+                FaultKind.SWITCH_REGISTER_CORRUPT)) or 1
+            row, col = self.fault_injector.corruption_site(
+                (self.byte_sketch.depth, self.byte_sketch.width))
+            self.byte_sketch._table[row, col] += delta
+            self.register_corruptions += 1
         window_s = self.config.window_s
         for packet in packets:
             self.packets_processed += 1
@@ -162,6 +195,13 @@ class EmulatedSwitch:
         for endpoint, example in self._buckets[window_start].items():
             if example.pkts < config.min_packets:
                 continue
+            if self.fault_injector is not None and \
+                    self.fault_injector.should_fire(
+                        FaultKind.SWITCH_TABLE_MISS, endpoint=endpoint):
+                # injected lookup miss: this endpoint gets no verdict
+                # this window (sense/infer degraded, loop continues)
+                self.table_misses += 1
+                continue
             vector = example.vector(config.window_s)
             fields = dict(zip(
                 self.result.program.feature_fields,
@@ -177,9 +217,8 @@ class EmulatedSwitch:
             acted = False
             effective_at = self.network.now
             if confidence >= config.confidence_threshold and not config.shadow:
-                already = endpoint in self.mitigated_endpoints
-                effective_at = self._apply_mitigation(endpoint, class_name)
-                acted = not already
+                acted, effective_at = self._guarded_react(endpoint,
+                                                          class_name)
             self.detections.append(Detection(
                 window_start=window_start,
                 endpoint=endpoint,
@@ -190,6 +229,37 @@ class EmulatedSwitch:
                 acted=acted,
                 feature_vector=vector,
             ))
+
+    def _guarded_react(self, endpoint: str, class_name: str) \
+            -> Tuple[bool, float]:
+        """The react step behind its circuit breaker.
+
+        Returns ``(acted, effective_at)``.  An open breaker sheds the
+        reaction (graceful degradation to shadow behaviour); an injected
+        ``switch.react_fail`` counts a breaker failure and leaves the
+        endpoint unmitigated this window.
+        """
+        breaker = self.react_breaker
+        if breaker is not None and not breaker.allow():
+            self.react_shed += 1
+            self.degraded_shadow = True
+            return False, self.network.now
+        already = endpoint in self.mitigated_endpoints
+        try:
+            if self.fault_injector is not None and \
+                    self.fault_injector.should_fire(
+                        FaultKind.SWITCH_REACT_FAIL, endpoint=endpoint):
+                raise MitigationError(
+                    f"injected mitigation-install failure for {endpoint}")
+            effective_at = self._apply_mitigation(endpoint, class_name)
+        except MitigationError:
+            self.react_failures += 1
+            if breaker is not None:
+                breaker.record_failure()
+            return False, self.network.now
+        if breaker is not None:
+            breaker.record_success()
+        return not already, effective_at
 
     def _binding_for(self, class_name: str) -> Tuple[str, Optional[float]]:
         bindings = self.config.bindings
@@ -229,6 +299,18 @@ class EmulatedSwitch:
         return effective_at
 
     # -- reporting ---------------------------------------------------------------
+
+    def resilience_summary(self) -> Dict[str, int]:
+        """Injected-fault and degradation counters for audit reports."""
+        breaker = self.react_breaker
+        return {
+            "table_misses": self.table_misses,
+            "register_corruptions": self.register_corruptions,
+            "react_failures": self.react_failures,
+            "react_shed": self.react_shed,
+            "breaker_opened": breaker.times_opened if breaker else 0,
+            "degraded_shadow": int(self.degraded_shadow),
+        }
 
     def detection_summary(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

@@ -1,0 +1,118 @@
+"""End-to-end chaos suite (``pytest -m chaos``).
+
+Runs the full capture → store → develop → control-loop → persistence
+pipeline under each canned fault plan and asserts the failure-model
+contract: the run always completes with a report, degradation is flagged
+(never hidden), no injected fault escapes as an exception, and a fixed
+seed replays a bit-identical ``chaos:*`` schedule.
+"""
+
+import pytest
+
+from repro.chaos import make_fault_plan, run_chaos_scenario
+from repro.core import ControlLoopHarness, DevelopmentLoop, EventBus
+from repro.events import DnsAmplificationAttack, Scenario
+from repro.netsim import make_campus
+
+pytestmark = pytest.mark.chaos
+
+_DURATION_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One scenario run per canned plan; the whole module shares them."""
+    return {name: run_chaos_scenario(name, profile="tiny", seed=0,
+                                     duration_s=_DURATION_S)
+            for name in ("lossy-tap", "slow-store", "flaky-switch")}
+
+
+@pytest.mark.parametrize("plan", ["lossy-tap", "slow-store",
+                                  "flaky-switch"])
+def test_pipeline_survives_and_flags_degradation(reports, plan):
+    report = reports[plan]
+    # ran to completion: the loop still reports, nothing escaped
+    assert report.completed
+    assert report.plan == plan and report.seed == 0
+    # faults actually fired and were flagged, not hidden
+    assert sum(report.fault_counts.values()) > 0
+    assert report.chaos_events > 0
+    assert report.degraded()
+    rendered = report.render()
+    assert "DEGRADED-BUT-ALIVE" in rendered
+    assert report.signature in rendered
+    assert report.to_dict()["stages"]
+
+
+def test_lossy_tap_degrades_capture_with_consistent_accounting(reports):
+    report = reports["lossy-tap"]
+    capture = report.stage("capture")
+    assert capture.degraded
+    # drop accounting is consistent with the plan's armed 8% drop rate
+    assert abs(capture.detail["fault_drop_rate"] - 0.08) < 0.02
+    assert capture.detail["fault_dropped"] > 0
+    assert capture.detail["duplicated"] > 0
+    # recovery happened: stalled sensor reads were retried, not shed
+    assert report.resilience_events > 0
+
+
+def test_slow_store_degrades_store_but_not_capture(reports):
+    report = reports["slow-store"]
+    assert report.stage("store").degraded
+    assert report.stage("store").detail["transient_errors"] > 0
+    assert not report.stage("capture").degraded
+    # the atomic export retried through injected torn writes
+    persistence = report.stage("persistence")
+    assert persistence.detail["export_crashes"] > 0
+    assert persistence.detail["round_trip_records"] == \
+        report.stage("store").detail["records"]
+
+
+def test_flaky_switch_degrades_control_loop_only(reports):
+    report = reports["flaky-switch"]
+    control = report.stage("control")
+    assert control.degraded
+    assert control.detail["react_failures"] + control.detail["react_shed"] \
+        > 0
+    assert control.detail["detections"] > 0     # still detecting
+    assert not report.stage("capture").degraded
+    assert not report.stage("store").degraded
+
+
+def test_fixed_seed_replays_identical_event_schedule(reports):
+    replay = run_chaos_scenario("lossy-tap", profile="tiny", seed=0,
+                                duration_s=_DURATION_S)
+    baseline = reports["lossy-tap"]
+    assert replay.signature == baseline.signature
+    assert replay.fault_counts == baseline.fault_counts
+    assert replay.chaos_events == baseline.chaos_events
+
+
+def test_control_loop_harness_under_faults(attack_dataset):
+    """The harness itself, driven directly under flaky-switch faults."""
+    plan = make_fault_plan("flaky-switch", seed=7)
+    injector = plan.injector()
+    bus = EventBus()
+    injector.bind_bus(bus)
+    loop = DevelopmentLoop(teacher_name="tree", student_max_depth=3)
+    tool, _ = loop.develop(attack_dataset.binarize("ddos-dns-amp"), seed=1)
+
+    def scenario(seed):
+        day = Scenario("day", duration_s=90.0)
+        day.add(DnsAmplificationAttack, 20.0, 40.0, attack_gbps=0.08,
+                resolvers=8)
+        return day
+
+    harness = ControlLoopHarness(
+        tool, scenario, lambda seed: make_campus("tiny", seed=seed),
+        fault_injector=injector, bus=bus)
+    report = harness.run(seed=60, placement="data_plane")
+    assert report.detections > 0
+    assert report.resilience              # summary populated
+    fired = sum(injector.counts().values())
+    assert fired > 0
+    assert report.degraded == bool(
+        report.resilience.get("table_misses")
+        or report.resilience.get("react_failures")
+        or report.resilience.get("degraded_shadow"))
+    assert any(t.startswith("chaos:") for t in bus.topics_seen())

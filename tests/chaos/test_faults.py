@@ -1,0 +1,247 @@
+"""FaultPlan / FaultInjector: determinism, accounting, limits, plans.
+
+The headline property: a plan with a fixed seed replays a *bit-identical*
+fault schedule — equal event logs, equal signatures — no matter which
+injector instance runs it.
+"""
+
+import copy
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    FAULT_PLANS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    TransientError,
+    make_fault_plan,
+)
+from repro.chaos.faults import MitigationError, SensorStallError, \
+    TornWriteError
+from repro.core import EventBus
+
+
+@dataclass
+class _Pkt:
+    """Minimal stand-in with the one attribute tap faults touch."""
+
+    timestamp: float
+
+
+def _batch(n, start=0.0):
+    return [_Pkt(timestamp=start + 0.001 * i) for i in range(n)]
+
+
+class TestSpecsAndPlans:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TAP_DROP, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.TAP_DROP, rate=0.1, limit=-1)
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("dup", seed=0, specs=(
+                FaultSpec(FaultKind.TAP_DROP, rate=0.1),
+                FaultSpec(FaultKind.TAP_DROP, rate=0.2),
+            ))
+
+    def test_canned_plans_registry(self):
+        assert set(FAULT_PLANS) == {"lossy-tap", "slow-store",
+                                    "flaky-switch"}
+        for name in FAULT_PLANS:
+            plan = make_fault_plan(name, seed=5)
+            assert plan.seed == 5
+            assert plan.specs
+            assert name in plan.describe()
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError):
+            make_fault_plan("does-not-exist")
+
+    def test_error_taxonomy_is_transient(self):
+        # all injected failures are retryable by construction
+        for error in (SensorStallError, MitigationError, TornWriteError):
+            assert issubclass(error, TransientError)
+
+
+class TestInjectorDecisions:
+    def test_unarmed_kind_never_fires(self):
+        plan = FaultPlan("one", seed=0, specs=(
+            FaultSpec(FaultKind.STORE_TRANSIENT, rate=1.0),))
+        injector = plan.injector()
+        assert not injector.armed(FaultKind.TAP_DROP)
+        assert not injector.should_fire(FaultKind.TAP_DROP)
+        assert injector.should_fire(FaultKind.STORE_TRANSIENT)
+
+    def test_limit_caps_firings(self):
+        plan = FaultPlan("capped", seed=0, specs=(
+            FaultSpec(FaultKind.STORE_TRANSIENT, rate=1.0, limit=3),))
+        injector = plan.injector()
+        fired = sum(injector.should_fire(FaultKind.STORE_TRANSIENT)
+                    for _ in range(10))
+        assert fired == 3
+        assert injector.fired[FaultKind.STORE_TRANSIENT] == 3
+        assert injector.opportunities[FaultKind.STORE_TRANSIENT] == 10
+
+    def test_limit_caps_per_packet_mask(self):
+        plan = FaultPlan("capped", seed=0, specs=(
+            FaultSpec(FaultKind.TAP_DROP, rate=1.0, limit=5),))
+        injector = plan.injector()
+        out, stats = injector.perturb_packets(_batch(20))
+        assert stats.dropped == 5
+        assert len(out) == 15
+        out, stats = injector.perturb_packets(_batch(20))
+        assert stats.dropped == 0
+
+    def test_fired_faults_publish_chaos_events(self):
+        bus = EventBus()
+        plan = FaultPlan("noisy", seed=0, specs=(
+            FaultSpec(FaultKind.STORE_TRANSIENT, rate=1.0),))
+        injector = plan.injector(bus=bus)
+        injector.should_fire(FaultKind.STORE_TRANSIENT, site="test")
+        assert bus.topics_seen() == ["chaos:store.transient"]
+        assert bus.log[0].payload["site"] == "test"
+
+    def test_bind_bus_keeps_first_bus(self):
+        first, second = EventBus(), EventBus()
+        injector = make_fault_plan("lossy-tap").injector(bus=first)
+        injector.bind_bus(second)
+        assert injector.bus is first
+
+
+class TestPerturbation:
+    def test_accounting_balances(self):
+        plan = FaultPlan("tap", seed=1, specs=(
+            FaultSpec(FaultKind.TAP_DROP, rate=0.3),
+            FaultSpec(FaultKind.TAP_DUPLICATE, rate=0.2),))
+        injector = plan.injector()
+        batch = _batch(500)
+        out, stats = injector.perturb_packets(batch)
+        assert stats.offered == 500
+        assert len(out) == 500 - stats.dropped + stats.duplicated
+        assert 0 < stats.dropped < 500
+        assert stats.duplicated > 0
+
+    def test_drop_rate_converges(self):
+        plan = FaultPlan("drops", seed=2, specs=(
+            FaultSpec(FaultKind.TAP_DROP, rate=0.1),))
+        injector = plan.injector()
+        dropped = offered = 0
+        for _ in range(40):
+            _, stats = injector.perturb_packets(_batch(500))
+            dropped += stats.dropped
+            offered += stats.offered
+        assert abs(dropped / offered - 0.1) < 0.01
+
+    def test_skew_copies_packets(self):
+        plan = FaultPlan("skew", seed=0, specs=(
+            FaultSpec(FaultKind.CLOCK_SKEW, rate=1.0, magnitude=0.5),))
+        injector = plan.injector()
+        batch = _batch(4, start=10.0)
+        out, stats = injector.perturb_packets(batch)
+        assert stats.skewed == 4
+        assert all(o.timestamp == p.timestamp + 0.5
+                   for o, p in zip(out, batch))
+        # originals, shared with other observers, are untouched
+        assert batch[0].timestamp == 10.0
+
+    def test_duplicates_are_copies_adjacent_to_originals(self):
+        plan = FaultPlan("dup", seed=3, specs=(
+            FaultSpec(FaultKind.TAP_DUPLICATE, rate=1.0),))
+        injector = plan.injector()
+        batch = _batch(3)
+        out, stats = injector.perturb_packets(batch)
+        assert stats.duplicated == 3 and len(out) == 6
+        for i, original in enumerate(batch):
+            assert out[2 * i] is original
+            assert out[2 * i + 1] is not original
+            assert out[2 * i + 1].timestamp == original.timestamp
+
+    def test_reorder_permutes_without_loss(self):
+        plan = FaultPlan("reorder", seed=4, specs=(
+            FaultSpec(FaultKind.TAP_REORDER, rate=1.0),))
+        injector = plan.injector()
+        batch = _batch(30)
+        out, stats = injector.perturb_packets(batch)
+        assert stats.reordered >= 2
+        assert len(out) == 30
+        assert sorted(p.timestamp for p in out) == \
+            [p.timestamp for p in batch]
+        assert [p.timestamp for p in out] != [p.timestamp for p in batch]
+
+    def test_empty_batch_is_a_noop(self):
+        injector = make_fault_plan("lossy-tap").injector()
+        out, stats = injector.perturb_packets([])
+        assert out == [] and stats.offered == 0
+
+
+_REPLAY_KINDS = st.sets(
+    st.sampled_from([FaultKind.TAP_DROP, FaultKind.TAP_DUPLICATE,
+                     FaultKind.TAP_REORDER, FaultKind.CLOCK_SKEW,
+                     FaultKind.STORE_TRANSIENT, FaultKind.SENSOR_STALL]),
+    min_size=1, max_size=4)
+
+
+class TestDeterministicReplay:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        kinds=_REPLAY_KINDS,
+        rate=st.floats(min_value=0.05, max_value=0.95),
+        ops=st.lists(st.integers(min_value=0, max_value=25), max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_seed_replays_bit_identical_schedule(self, seed, kinds,
+                                                       rate, ops):
+        plan = FaultPlan("replay", seed=seed, specs=tuple(
+            FaultSpec(kind, rate=rate, magnitude=0.25) for kind in kinds))
+
+        def drive(injector):
+            for op in ops:
+                if op == 0:
+                    injector.should_fire(FaultKind.STORE_TRANSIENT)
+                    injector.should_fire(FaultKind.SENSOR_STALL)
+                else:
+                    injector.perturb_packets(_batch(op))
+            return injector
+
+        first = drive(plan.injector())
+        second = drive(plan.injector())
+        assert first.events == second.events
+        assert first.signature() == second.signature()
+        assert first.counts() == second.counts()
+        assert first.summary() == second.summary()
+
+    def test_different_seeds_diverge(self):
+        # not a tautology: with enough opportunities, two seeds that
+        # produced identical schedules would mean the seed is ignored
+        def run(seed):
+            injector = make_fault_plan("lossy-tap", seed=seed).injector()
+            for _ in range(20):
+                injector.perturb_packets(_batch(100))
+            return injector.signature()
+
+        assert run(1) != run(2)
+
+    def test_interleaving_at_other_sites_does_not_perturb_a_stream(self):
+        plan = FaultPlan("iso", seed=9, specs=(
+            FaultSpec(FaultKind.TAP_DROP, rate=0.5),
+            FaultSpec(FaultKind.STORE_TRANSIENT, rate=0.5),))
+
+        def drop_decisions(with_store_calls):
+            injector = plan.injector()
+            decisions = []
+            for _ in range(50):
+                if with_store_calls:
+                    injector.should_fire(FaultKind.STORE_TRANSIENT)
+                _, stats = injector.perturb_packets(_batch(10))
+                decisions.append(stats.dropped)
+            return decisions
+
+        # per-kind substreams: extra store-fault draws in between must not
+        # shift the tap-drop schedule
+        assert drop_decisions(False) == drop_decisions(True)

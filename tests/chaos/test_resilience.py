@@ -1,0 +1,387 @@
+"""Resilience toolkit: clocks, deadlines, retry, breaker, degradation.
+
+The hypothesis properties here are the satellite contracts from the
+failure model: retry never sleeps past its deadline and always re-raises
+the *last* real error, and the circuit breaker's transitions match an
+independently written reference state machine over arbitrary event
+sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    BreakerOpenError,
+    CallableClock,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradationLedger,
+    MonotonicClock,
+    RetryPolicy,
+    TransientError,
+    VirtualClock,
+    retry,
+    retrying,
+)
+from repro.core import EventBus
+
+
+class TestClocks:
+    def test_virtual_clock_sleep_advances(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(2.5)
+        clock.advance(1.5)
+        assert clock.now() == 14.0
+
+    def test_virtual_clock_rejects_negative_sleep(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1.0)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+    def test_callable_clock_adapts_external_source(self):
+        state = {"now": 5.0}
+        clock = CallableClock(lambda: state["now"])
+        assert clock.now() == 5.0
+        clock.sleep(100.0)          # no sleep_fn: a no-op
+        assert clock.now() == 5.0
+        state["now"] = 7.0
+        assert clock.now() == 7.0
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = VirtualClock()
+        deadline = Deadline(clock, 3.0)
+        assert deadline.remaining() == 3.0
+        clock.advance(2.0)
+        assert deadline.remaining() == 1.0
+        assert not deadline.expired
+        deadline.check()
+        clock.advance(1.5)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("ingest")
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(VirtualClock(), 0.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(max_attempts=6, base_delay_s=1.0,
+                             multiplier=2.0, max_delay_s=5.0, jitter=0.0)
+        delays = list(policy.delays())
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_same_seed_same_jittered_schedule(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3, seed=11)
+        assert list(policy.delays()) == list(policy.delays())
+        other = RetryPolicy(max_attempts=5, jitter=0.3, seed=12)
+        assert list(policy.delays()) != list(other.delays())
+
+
+class TestRetry:
+    def test_first_try_success_never_sleeps(self):
+        clock = VirtualClock()
+        assert retry(lambda: 42, clock=clock) == 42
+        assert clock.now() == 0.0
+
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("not yet")
+            return "ok"
+
+        assert retry(flaky, RetryPolicy(max_attempts=3)) == "ok"
+        assert calls["n"] == 3
+
+    def test_exhaustion_reraises_last_error(self):
+        errors = []
+
+        def always_fails():
+            errors.append(TransientError(f"attempt {len(errors)}"))
+            raise errors[-1]
+
+        with pytest.raises(TransientError) as info:
+            retry(always_fails, RetryPolicy(max_attempts=4))
+        assert info.value is errors[-1]
+        assert len(errors) == 4
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry(broken, RetryPolicy(max_attempts=5))
+        assert calls["n"] == 1
+
+    def test_bus_sees_retry_lifecycle(self):
+        bus = EventBus()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TransientError("once")
+            return True
+
+        retry(flaky, RetryPolicy(max_attempts=3), bus=bus, site="t")
+        with pytest.raises(TransientError):
+            retry(lambda: (_ for _ in ()).throw(TransientError("always")),
+                  RetryPolicy(max_attempts=2), bus=bus, site="t")
+        topics = bus.topics_seen()
+        assert "resilience:retry" in topics
+        assert "resilience:retry_recovered" in topics
+        assert "resilience:retry_exhausted" in topics
+
+    def test_retrying_decorator_passes_arguments(self):
+        calls = {"n": 0}
+
+        @retrying(RetryPolicy(max_attempts=3))
+        def add(a, b):
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TransientError("warm up")
+            return a + b
+
+        assert add(2, 3) == 5
+
+    @given(
+        max_attempts=st.integers(min_value=1, max_value=6),
+        base_delay_s=st.floats(min_value=0.0, max_value=2.0),
+        multiplier=st.floats(min_value=1.0, max_value=3.0),
+        jitter=st.floats(min_value=0.0, max_value=0.5),
+        deadline_s=st.floats(min_value=0.01, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_retry_respects_deadline_and_reraises_last_error(
+            self, max_attempts, base_delay_s, multiplier, jitter,
+            deadline_s, seed):
+        policy = RetryPolicy(max_attempts=max_attempts,
+                             base_delay_s=base_delay_s,
+                             multiplier=multiplier, max_delay_s=10.0,
+                             jitter=jitter, deadline_s=deadline_s,
+                             seed=seed)
+        clock = VirtualClock()
+        raised = []
+
+        def always_fails():
+            raised.append(TransientError(f"attempt {len(raised)}"))
+            raise raised[-1]
+
+        with pytest.raises(TransientError) as info:
+            retry(always_fails, policy, clock=clock)
+        # the caller sees the real, most recent error — never a synthetic
+        # timeout — and no backoff sleep ever lands past the deadline
+        assert info.value is raised[-1]
+        assert clock.now() <= deadline_s
+        assert 1 <= len(raised) <= max_attempts
+
+
+class _ModelBreaker:
+    """Reference breaker FSM, written independently of the implementation:
+    closed counts consecutive failures; open waits out recovery; half-open
+    admits bounded probes, closing on success and re-opening on failure."""
+
+    def __init__(self, threshold, recovery_s, half_open_max):
+        self.threshold = threshold
+        self.recovery_s = recovery_s
+        self.half_open_max = half_open_max
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = None
+        self.probes = 0
+
+    def _tick(self, now):
+        if self.state == "open" and now >= self.opened_at + self.recovery_s:
+            self.state = "half_open"
+            self.probes = 0
+
+    def state_at(self, now):
+        # observing the state is itself a transition point: once the
+        # recovery window has elapsed, an open breaker reads as half-open
+        self._tick(now)
+        return self.state
+
+    def allow(self, now):
+        self._tick(now)
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            return False
+        if self.probes < self.half_open_max:
+            self.probes += 1
+            return True
+        return False
+
+    def success(self, now):
+        self._tick(now)
+        if self.state in ("half_open", "closed"):
+            self.failures = 0
+            self.state = "closed"
+
+    def failure(self, now):
+        self._tick(now)
+        if self.state == "half_open":
+            self._open(now)
+        elif self.state == "closed":
+            self.failures += 1
+            if self.failures >= self.threshold:
+                self._open(now)
+
+    def _open(self, now):
+        self.state = "open"
+        self.opened_at = now
+        self.failures = 0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = VirtualClock()
+        defaults = dict(failure_threshold=3, recovery_s=10.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_sheds_until_recovery_then_probes(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.calls_shed == 1
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()          # the single probe
+        assert not breaker.allow()      # probe budget spent
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.times_opened == 2
+
+    def test_call_wraps_and_sheds(self):
+        breaker, _ = self._breaker(failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        with pytest.raises(BreakerOpenError):
+            breaker.call(lambda: 1)
+
+    def test_bus_sees_transitions(self):
+        bus = EventBus()
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0,
+                                 clock=clock, bus=bus, name="b")
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        topics = bus.topics_seen()
+        assert topics == ["resilience:breaker_open",
+                          "resilience:breaker_half_open",
+                          "resilience:breaker_closed"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max=0)
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=4),
+        recovery_s=st.floats(min_value=0.5, max_value=5.0),
+        half_open_max=st.integers(min_value=1, max_value=3),
+        ops=st.lists(
+            st.one_of(
+                st.just(("success",)),
+                st.just(("failure",)),
+                st.just(("allow",)),
+                st.tuples(st.just("advance"),
+                          st.floats(min_value=0.0, max_value=8.0)),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_breaker_matches_reference_model(self, threshold, recovery_s,
+                                             half_open_max, ops):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 recovery_s=recovery_s,
+                                 half_open_max=half_open_max, clock=clock)
+        model = _ModelBreaker(threshold, recovery_s, half_open_max)
+        for op in ops:
+            if op[0] == "advance":
+                clock.advance(op[1])
+            elif op[0] == "success":
+                breaker.record_success()
+                model.success(clock.now())
+            elif op[0] == "failure":
+                breaker.record_failure()
+                model.failure(clock.now())
+            else:
+                assert breaker.allow() == model.allow(clock.now())
+            assert breaker.state == model.state_at(clock.now())
+
+
+class TestDegradationLedger:
+    def test_entries_and_bus(self):
+        bus = EventBus()
+        clock = VirtualClock(start=3.0)
+        ledger = DegradationLedger(clock=clock, bus=bus)
+        assert not ledger.degraded()
+        ledger.degrade("store", "shed-batch", "transient error")
+        ledger.degrade("react", "shed-react", "breaker open")
+        assert ledger.degraded() and ledger.degraded("store")
+        assert not ledger.degraded("capture")
+        assert ledger.stages() == ["store", "react"]
+        assert ledger.entries[0].at == 3.0
+        assert set(ledger.by_stage()) == {"store", "react"}
+        assert bus.topics_seen() == ["resilience:degraded"] * 2

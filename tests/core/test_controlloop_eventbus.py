@@ -19,6 +19,33 @@ class TestEventBus:
         assert ("*", "a") in seen and ("*", "b") in seen
         assert bus.topics_seen() == ["a", "b"]
 
+    def test_raising_subscriber_is_isolated_and_dead_lettered(self):
+        bus = EventBus()
+        seen = []
+
+        def broken_subscriber(event):
+            raise RuntimeError("subscriber bug")
+
+        bus.subscribe("a", broken_subscriber)
+        bus.subscribe("a", lambda e: seen.append(e.payload))
+        event = bus.publish("a", x=1)
+        # the healthy subscriber behind the raising one still ran
+        assert seen == [{"x": 1}]
+        assert bus.dead_letter_count == 1
+        letter = bus.dead_letters[0]
+        assert letter.topic == "a"
+        assert "broken_subscriber" in letter.subscriber
+        assert "subscriber bug" in letter.error
+        assert letter.event is event
+
+    def test_dead_letter_list_is_bounded(self):
+        bus = EventBus(max_dead_letters=2)
+        bus.subscribe("a", lambda e: 1 / 0)
+        for _ in range(5):
+            bus.publish("a")
+        assert bus.dead_letter_count == 5
+        assert len(bus.dead_letters) == 2
+
 
 class TestControlLoop:
     @pytest.fixture(scope="class")

@@ -1,9 +1,11 @@
-"""Store export/import round-trips."""
+"""Store export/import round-trips, atomicity, and checksums."""
 
 import pytest
 
 from repro.capture.flows import FlowRecord
 from repro.capture.sensors import LogRecord
+from repro.chaos import FaultKind, FaultPlan, FaultSpec, RetryPolicy, \
+    TornWriteError, VirtualClock, retry
 from repro.datastore import DataStore, PersistenceError, Query, \
     export_store, import_store
 from repro.datastore.query import Aggregation
@@ -96,4 +98,60 @@ def test_bad_version_rejected(populated, tmp_path):
     data["format_version"] = 99
     manifest.write_text(json.dumps(data))
     with pytest.raises(PersistenceError):
+        import_store(tmp_path / "store")
+
+
+# -- atomicity under injected crashes & checksum verification --------------
+
+
+def _torn_write_injector(limit=None):
+    plan = FaultPlan("torn", seed=0, specs=(
+        FaultSpec(FaultKind.PERSIST_TORN_WRITE, rate=1.0, limit=limit),))
+    return plan.injector()
+
+
+def test_crash_mid_export_leaves_nothing_behind(populated, tmp_path):
+    with pytest.raises(TornWriteError):
+        export_store(populated, tmp_path / "store",
+                     fault_injector=_torn_write_injector())
+    # no torn target directory, and the temp directory was cleaned up
+    assert not (tmp_path / "store").exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_crash_mid_export_preserves_previous_export(populated, tmp_path):
+    export_store(populated, tmp_path / "store")
+    with pytest.raises(TornWriteError):
+        export_store(populated, tmp_path / "store",
+                     fault_injector=_torn_write_injector())
+    # the previous export survives intact: checksums verify, counts match
+    restored = import_store(tmp_path / "store")
+    assert restored.count("packets") == populated.count("packets")
+    assert list(tmp_path.iterdir()) == [tmp_path / "store"]
+
+
+def test_export_retries_through_torn_writes(populated, tmp_path):
+    injector = _torn_write_injector(limit=2)   # first two attempts crash
+    retry(lambda: export_store(populated, tmp_path / "store",
+                               fault_injector=injector),
+          policy=RetryPolicy(max_attempts=5, base_delay_s=0.01),
+          clock=VirtualClock(), retry_on=(TornWriteError,))
+    assert injector.fired[FaultKind.PERSIST_TORN_WRITE] == 2
+    restored = import_store(tmp_path / "store")
+    assert restored.count("packets") == populated.count("packets")
+
+
+def test_truncated_data_file_detected_by_checksum(populated, tmp_path):
+    export_store(populated, tmp_path / "store")
+    flows = tmp_path / "store" / "flows.jsonl"
+    data = flows.read_bytes()
+    flows.write_bytes(data[:len(data) // 2])
+    with pytest.raises(PersistenceError, match="checksum mismatch"):
+        import_store(tmp_path / "store")
+
+
+def test_missing_data_file_detected(populated, tmp_path):
+    export_store(populated, tmp_path / "store")
+    (tmp_path / "store" / "logs.jsonl").unlink()
+    with pytest.raises(PersistenceError, match="missing"):
         import_store(tmp_path / "store")
