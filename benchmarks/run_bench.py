@@ -2,21 +2,28 @@
 
 The committed file at the repo root records two things:
 
-- ``baseline``: per-test stats frozen when the file was first seeded
-  (the pre-columnar seed numbers).  Never overwritten by later runs.
+- ``baseline``: per-test stats frozen the first time each test was
+  benchmarked.  Existing entries are never overwritten by later runs;
+  a test that is missing from ``baseline`` (added after the file was
+  seeded) gets its entry backfilled from the current run.
 - ``results``: per-test stats from the most recent ``run_bench.py``
-  invocation.
+  invocation, *merged* over the committed results — a partial run
+  (``--suite``) updates only the tests it ran and never clobbers the
+  rest.
 
 Modes
 -----
 ``python benchmarks/run_bench.py``
-    Full run; rewrites ``results`` (seeding ``baseline`` on first run).
+    Full run; merge-writes ``results`` and backfills ``baseline``.
 ``python benchmarks/run_bench.py --quick``
     Few rounds, short max-time; what CI runs.
 ``python benchmarks/run_bench.py --check [--threshold 3.0]``
     Runs the benchmarks, then exits non-zero if any test's fresh median
-    exceeds ``threshold`` x the committed ``results`` median (the
-    regression gate; it does not rewrite the committed file).
+    exceeds ``threshold`` x the committed ``results`` median, **or if a
+    test has no committed reference at all** — a missing baseline is a
+    gate failure, not a silent skip (seed it with a plain run first).
+``python benchmarks/run_bench.py --suite parallel``
+    Restrict to one suite (substring match on the file name).
 """
 
 from __future__ import annotations
@@ -31,16 +38,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_substrate.json"
-SUITE = Path(__file__).resolve().parent / "test_perf_substrate.py"
+SUITES = (
+    Path(__file__).resolve().parent / "test_perf_substrate.py",
+    Path(__file__).resolve().parent / "test_perf_parallel.py",
+)
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 
 
-def run_suite(quick: bool) -> dict:
-    """Run pytest-benchmark on the suite; return {test: stats}."""
+def run_suite(suite: Path, quick: bool) -> dict:
+    """Run pytest-benchmark on one suite; return {test: stats}."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
         out_path = Path(fh.name)
     cmd = [
-        sys.executable, "-m", "pytest", str(SUITE), "-q",
+        sys.executable, "-m", "pytest", str(suite), "-q",
         f"--benchmark-json={out_path}",
     ]
     if quick:
@@ -51,13 +61,25 @@ def run_suite(quick: bool) -> dict:
     env["PYTHONPATH"] = env_src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
     if proc.returncode != 0:
-        raise SystemExit(f"benchmark suite failed (exit {proc.returncode})")
+        raise SystemExit(f"benchmark suite {suite.name} failed "
+                         f"(exit {proc.returncode})")
     raw = json.loads(out_path.read_text())
     out_path.unlink(missing_ok=True)
     results = {}
     for bench in raw["benchmarks"]:
         stats = bench["stats"]
         results[bench["name"]] = {k: stats[k] for k in STAT_KEYS}
+    return results
+
+
+def run_suites(quick: bool, only: str = "") -> dict:
+    results: dict = {}
+    selected = [s for s in SUITES if only in s.name]
+    if not selected:
+        known = ", ".join(s.name for s in SUITES)
+        raise SystemExit(f"--suite {only!r} matches none of: {known}")
+    for suite in selected:
+        results.update(run_suite(suite, quick=quick))
     return results
 
 
@@ -70,13 +92,19 @@ def load_committed() -> dict:
 def check(results: dict, committed: dict, threshold: float) -> int:
     reference = committed.get("results") or committed.get("baseline") or {}
     if not reference:
-        print("no committed results to check against; skipping gate")
-        return 0
+        print("no committed results at all; run run_bench.py once to seed "
+              "the file before gating")
+        return 1
     failed = 0
     for name, stats in sorted(results.items()):
         ref = reference.get(name)
         if ref is None:
-            print(f"  {name}: no committed reference (new test), skipped")
+            # A gate that silently skips unknown tests never gates new
+            # code; a missing baseline is a failure to seed, not noise.
+            print(f"  {name}: MISSING BASELINE - run "
+                  f"`python benchmarks/run_bench.py` and commit the "
+                  f"updated {BENCH_FILE.name}")
+            failed += 1
             continue
         ratio = stats["median"] / ref["median"] if ref["median"] else 0.0
         verdict = "OK" if ratio <= threshold else "REGRESSION"
@@ -85,7 +113,8 @@ def check(results: dict, committed: dict, threshold: float) -> int:
         if ratio > threshold:
             failed += 1
     if failed:
-        print(f"{failed} benchmark(s) regressed more than {threshold:.1f}x")
+        print(f"{failed} benchmark(s) regressed more than {threshold:.1f}x "
+              f"or lack a committed reference")
         return 1
     print(f"all benchmarks within {threshold:.1f}x of committed medians")
     return 0
@@ -100,18 +129,26 @@ def main(argv=None) -> int:
                              "(does not rewrite it)")
     parser.add_argument("--threshold", type=float, default=3.0,
                         help="allowed median slowdown factor for --check")
+    parser.add_argument("--suite", default="",
+                        help="only run suites whose file name contains "
+                             "this substring")
     args = parser.parse_args(argv)
 
-    results = run_suite(quick=args.quick)
+    results = run_suites(quick=args.quick, only=args.suite)
     committed = load_committed()
     if args.check:
         return check(results, committed, args.threshold)
 
+    merged_results = {**committed.get("results", {}), **results}
+    # Frozen entries stay; only tests the baseline has never seen are
+    # backfilled (from the merged view, so partial runs cannot demote a
+    # previously-seeded baseline to "missing").
+    baseline = {**merged_results, **committed.get("baseline", {})}
     payload = {
-        "suite": "benchmarks/test_perf_substrate.py",
+        "suites": [s.name for s in SUITES],
         "units": "seconds",
-        "baseline": committed.get("baseline") or results,
-        "results": results,
+        "baseline": baseline,
+        "results": merged_results,
     }
     BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n")

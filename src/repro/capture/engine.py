@@ -67,6 +67,27 @@ class CaptureStats:
             return 0.0
         return self.packets_fault_dropped / wire
 
+    def merge(self, other: "CaptureStats") -> None:
+        """Fold another counter set into this one (shard rollup)."""
+        self.packets_offered += other.packets_offered
+        self.packets_captured += other.packets_captured
+        self.packets_dropped += other.packets_dropped
+        self.bytes_offered += other.bytes_offered
+        self.bytes_captured += other.bytes_captured
+        self.bytes_dropped += other.bytes_dropped
+        self.packets_fault_dropped += other.packets_fault_dropped
+        self.packets_duplicated += other.packets_duplicated
+        self.packets_reordered += other.packets_reordered
+        self.packets_skewed += other.packets_skewed
+
+    @classmethod
+    def rollup(cls, parts: List["CaptureStats"]) -> "CaptureStats":
+        """Aggregate per-shard counters into one view."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
 
 class CaptureEngine:
     """Continuous full-packet capture with capacity and burst buffer.
@@ -87,18 +108,28 @@ class CaptureEngine:
         batch before capacity accounting, and the perturbation is
         tallied in :class:`CaptureStats`.  ``None`` costs nothing on
         the hot path.
+    shard_router:
+        Optional :class:`~repro.parallel.sharding.ShardRouter`; when
+        set, capacity accounting (offered/captured/dropped) is also
+        kept per shard in :attr:`shard_stats`, matching how a sharded
+        store partitions the same packets.  Batch-level tap-fault
+        counters stay on the global :attr:`stats` only.
     """
 
     def __init__(self, capacity_gbps: Optional[float] = None,
                  buffer_bytes: float = 256e6, bin_seconds: float = 1.0,
-                 fault_injector=None):
+                 fault_injector=None, shard_router=None):
         if capacity_gbps is not None and capacity_gbps <= 0:
             raise ValueError("capacity must be positive (or None)")
         self.capacity_gbps = capacity_gbps
         self.buffer_bytes = float(buffer_bytes)
         self.bin_seconds = float(bin_seconds)
         self.fault_injector = fault_injector
+        self.shard_router = shard_router
         self.stats = CaptureStats()
+        self.shard_stats: List[CaptureStats] = [
+            CaptureStats() for _ in range(shard_router.n_shards)
+        ] if shard_router is not None else []
         self._bin_bytes: Dict[int, float] = {}
         self._subscribers: List[Callable[[List[PacketRecord]], None]] = []
 
@@ -131,29 +162,50 @@ class CaptureEngine:
         offered_bytes = sum(map(attrgetter("size"), packets))
         self.stats.bytes_offered += offered_bytes
 
+        shards = (self.shard_router.assign_records(packets)
+                  if self.shard_router is not None else None)
+        if shards is not None:
+            for packet, shard in zip(packets, shards):
+                per_shard = self.shard_stats[shard]
+                per_shard.packets_offered += 1
+                per_shard.bytes_offered += packet.size
+
         if self.lossless:
             # No drops: captured bytes are the offered bytes, no second
             # per-packet pass needed.
             captured = list(packets)
             self.stats.packets_captured += len(captured)
             self.stats.bytes_captured += offered_bytes
+            if shards is not None:
+                for packet, shard in zip(packets, shards):
+                    per_shard = self.shard_stats[shard]
+                    per_shard.packets_captured += 1
+                    per_shard.bytes_captured += packet.size
             for subscriber in self._subscribers:
                 subscriber(captured)
             return captured
         captured = []
         dropped_bytes = 0
         budget = self._bin_budget()
-        for packet in packets:
+        for position, packet in enumerate(packets):
             bin_id = int(packet.timestamp // self.bin_seconds)
             used = self._bin_bytes.get(bin_id, 0.0)
+            per_shard = self.shard_stats[shards[position]] \
+                if shards is not None else None
             # Burst buffer: allow one buffer's worth above line rate
             # per bin (a simple, conservative credit model).
             if used + packet.size <= budget + self.buffer_bytes:
                 self._bin_bytes[bin_id] = used + packet.size
                 captured.append(packet)
+                if per_shard is not None:
+                    per_shard.packets_captured += 1
+                    per_shard.bytes_captured += packet.size
             else:
                 self.stats.packets_dropped += 1
                 dropped_bytes += packet.size
+                if per_shard is not None:
+                    per_shard.packets_dropped += 1
+                    per_shard.bytes_dropped += packet.size
 
         self.stats.bytes_dropped += dropped_bytes
         self.stats.packets_captured += len(captured)

@@ -48,6 +48,8 @@ class FaultKind(str, enum.Enum):
     SWITCH_TABLE_MISS = "switch.table_miss"    # lookup yields no verdict
     SWITCH_REGISTER_CORRUPT = "switch.register_corrupt"  # SRAM bit-rot
     SWITCH_REACT_FAIL = "switch.react_fail"    # mitigation install fails
+    # append-only below: _KIND_STREAMS indexes are part of the replay format
+    WORKER_CRASH = "parallel.worker_crash"     # parallel worker task dies
 
 
 class SensorStallError(TransientError):

@@ -67,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(see `repro scenarios`)")
     run.add_argument("--privacy", default="prefix",
                      choices=["none", "prefix", "stripped", "aggregates"])
+    run.add_argument("--shards", type=int, default=1,
+                     help="data-store shard count (>1 partitions by "
+                          "time window x flow hash)")
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker processes for ingest/featurize "
+                          "(0 = serial)")
     run.add_argument("--out", required=True, help="export directory")
 
     inspect = sub.add_parser("inspect", help="summarize an exported store")
@@ -78,6 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--positive", default=None,
                        help="binarize against this class")
     train.add_argument("--window", type=float, default=5.0)
+    train.add_argument("--workers", type=int, default=0,
+                       help="worker processes for featurization "
+                            "(0 = serial)")
 
     develop = sub.add_parser("develop",
                              help="full development loop on a store")
@@ -85,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
     develop.add_argument("--positive", required=True)
     develop.add_argument("--teacher", default="forest")
     develop.add_argument("--max-depth", type=int, default=4)
+    develop.add_argument("--workers", type=int, default=0,
+                         help="worker processes for featurization "
+                              "(0 = serial)")
     develop.add_argument("--out", required=True,
                          help="directory for P4 source and rule list")
 
@@ -156,13 +168,21 @@ def cmd_run_day(args) -> int:
 
     level = {p.value: p for p in PrivacyLevel}[args.privacy]
     platform = CampusPlatform(PlatformConfig(
-        campus_profile=args.profile, seed=args.seed, privacy_level=level))
-    scenario = _scenario_from_args(args)
-    result = platform.collect(scenario, seed=args.seed)
-    export_store(platform.store, args.out)
+        campus_profile=args.profile, seed=args.seed, privacy_level=level,
+        store_shards=args.shards, workers=args.workers))
+    try:
+        scenario = _scenario_from_args(args)
+        result = platform.collect(scenario, seed=args.seed)
+        export_store(platform.store, args.out)
+    finally:
+        platform.close()
     print(f"captured {result.packets_captured} packets "
           f"({result.capture_loss_rate:.1%} loss), "
           f"{result.flows_stored} flows, {result.logs_stored} logs")
+    if args.shards > 1:
+        shard_counts = [part["records"]
+                        for part in platform.store.shard_summary()]
+        print(f"shards: {shard_counts}")
     print(f"exported store to {args.out}")
     return 0
 
@@ -176,21 +196,24 @@ def cmd_inspect(args) -> int:
     return 0
 
 
-def _dataset_from_store(store_dir: str, window_s: float):
+def _dataset_from_store(store_dir: str, window_s: float, workers: int = 0):
     from repro.datastore import import_store
     from repro.learning.features import FeatureConfig, \
         SourceWindowFeaturizer
+    from repro.parallel import ParallelExecutor
 
     store = import_store(store_dir)
     featurizer = SourceWindowFeaturizer(FeatureConfig(window_s=window_s))
-    return featurizer.from_store(store)
+    with ParallelExecutor(workers=workers) as executor:
+        return featurizer.from_store(store, executor=executor)
 
 
 def cmd_train(args) -> int:
     """Featurize an exported store and train/evaluate a model."""
     from repro.learning import train_and_evaluate, train_test_split
 
-    dataset = _dataset_from_store(args.store, args.window)
+    dataset = _dataset_from_store(args.store, args.window,
+                                  workers=args.workers)
     print(f"dataset: {len(dataset)} windows, "
           f"classes {dataset.class_counts()}")
     if args.positive:
@@ -208,7 +231,7 @@ def cmd_develop(args) -> int:
     """Run the development loop and emit deployable artifacts."""
     from repro.core import DevelopmentLoop
 
-    dataset = _dataset_from_store(args.store, 5.0)
+    dataset = _dataset_from_store(args.store, 5.0, workers=args.workers)
     if args.positive not in dataset.class_names:
         known = ", ".join(dataset.class_names)
         print(f"class {args.positive!r} not in store (has: {known})",

@@ -28,6 +28,14 @@ class PlatformConfig:
         Data-store segment size (records).
     enable_sensors:
         Attach server-log / firewall / config sensors.
+    store_shards:
+        Data-store shard count; >1 builds a
+        :class:`~repro.datastore.store.ShardedDataStore` partitioned by
+        time window x flow hash.
+    workers:
+        Worker processes for the parallel substrate; 0 = serial
+        everywhere (the default, and the automatic fallback wherever
+        process pools or shared memory are unavailable).
     """
 
     campus_profile: str = "small"
@@ -38,6 +46,8 @@ class PlatformConfig:
     window_s: float = 5.0
     segment_capacity: int = 50_000
     enable_sensors: bool = True
+    store_shards: int = 1
+    workers: int = 0
     #: also tap distribution<->core trunks so east-west traffic ("packets
     #: that stay inside the enterprise", §5) reaches the store
     monitor_internal: bool = False

@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.eventbus import EventBus
 from repro.deploy.compiler import CompileResult, FeatureQuantizer, \
     compile_tree
@@ -223,6 +225,167 @@ class DevelopmentLoop:
             stage_seconds=stage_seconds,
         )
         return tool, report
+
+    def cross_validate(self, dataset: Dataset, k: int = 5,
+                       positive_class: Optional[str] = None,
+                       seed: int = 0, executor=None) -> Dict[str, Dict]:
+        """k-fold cross-validation of the teacher as a small task graph.
+
+        Fold tasks are independent; a summary task depends on all of
+        them.  With a parallel executor the folds run in worker
+        processes, yet the fold assignment (a seeded permutation) and
+        the aggregation are identical to the serial run, so the summary
+        does not depend on the worker count.
+        """
+        if k < 2:
+            raise ValueError("cross-validation needs k >= 2")
+        if k > len(dataset):
+            raise ValueError(
+                f"k={k} folds but only {len(dataset)} samples")
+        from repro.parallel import Dep, ParallelExecutor, TaskGraph
+        executor = executor if executor is not None else ParallelExecutor(0)
+        order = np.random.default_rng(seed).permutation(len(dataset))
+        folds = np.array_split(order, k)
+        graph = TaskGraph()
+        names: List[str] = []
+        for i, test_idx in enumerate(folds):
+            train_idx = np.concatenate(
+                [fold for j, fold in enumerate(folds) if j != i])
+            name = f"fold-{i}"
+            graph.add(name, _cv_fold_task, self.teacher_name,
+                      dataset.X, dataset.y, list(dataset.feature_names),
+                      list(dataset.class_names), train_idx, test_idx,
+                      positive_class)
+            names.append(name)
+        graph.add("summary", _cv_summary_task,
+                  *[Dep(name) for name in names])
+        summary = graph.run(executor)["summary"]
+        self.bus.publish("devloop:cross_validated",
+                         model=self.teacher_name, k=k, summary=summary)
+        return summary
+
+    def develop_per_class(self, dataset: Dataset,
+                          classes: Optional[List[str]] = None,
+                          tool_prefix: str = "detector", seed: int = 0,
+                          executor=None,
+                          benign_class: str = "benign") -> Dict[str, Dict]:
+        """One-vs-rest development runs, one task graph node per class.
+
+        Each class task distills and *verifies* its own detector
+        (``develop()`` end to end, minus road-testing) inside a worker
+        that builds its own :class:`DevelopmentLoop` and
+        :class:`EventBus` — no live bus or switch ever crosses the
+        process boundary.  Returns ``{class: summary dict}``; a class
+        whose program fails strict verification reports
+        ``verified=False`` with the diagnostic instead of raising.
+        """
+        if classes is None:
+            classes = [name for name in dataset.class_names
+                       if name != benign_class]
+        unknown = [name for name in classes
+                   if name not in dataset.class_names]
+        if unknown:
+            raise ValueError(f"unknown classes: {unknown}")
+        if not classes:
+            raise ValueError("no target classes to develop detectors for")
+        from repro.parallel import Dep, ParallelExecutor, TaskGraph
+        executor = executor if executor is not None else ParallelExecutor(0)
+        loop_config = {
+            "teacher_name": self.teacher_name,
+            "student_max_depth": self.student_max_depth,
+            "student_min_samples_leaf": self.student_min_samples_leaf,
+            "strict_verify": self.strict_verify,
+        }
+        graph = TaskGraph()
+        for name in classes:
+            graph.add(f"class:{name}", _develop_class_task, loop_config,
+                      dataset.X, dataset.y, list(dataset.feature_names),
+                      list(dataset.class_names), name,
+                      f"{tool_prefix}_{name}", seed)
+        graph.add("summary", _per_class_summary_task,
+                  *[Dep(f"class:{name}") for name in classes])
+        summary = graph.run(executor)["summary"]
+        self.bus.publish("devloop:per_class_developed",
+                         classes=list(classes),
+                         verified={name: entry["verified"]
+                                   for name, entry in summary.items()})
+        return summary
+
+
+# -- parallel slow-path tasks -------------------------------------------------
+#
+# These run inside worker processes, so they are module-level on
+# purpose: the executor refuses lambdas and closures, and anything a
+# task needs that is not picklable (an EventBus, a resource model) is
+# rebuilt inside the worker rather than captured from the parent.
+
+
+def _cv_fold_task(teacher_name: str, X, y, feature_names, class_names,
+                  train_idx, test_idx,
+                  positive_class: Optional[str]) -> Dict[str, float]:
+    """Fit and score one cross-validation fold; returns its metrics."""
+    train = Dataset(X[train_idx], y[train_idx], list(feature_names),
+                    list(class_names))
+    test = Dataset(X[test_idx], y[test_idx], list(feature_names),
+                   list(class_names))
+    result = train_and_evaluate(teacher_name, train, test,
+                                positive_class=positive_class)
+    return dict(result.metrics)
+
+
+def _cv_summary_task(*fold_metrics: Dict[str, float]) -> Dict[str, Dict]:
+    """Aggregate fold metrics into per-metric mean/std/values."""
+    keys = sorted({key for metrics in fold_metrics for key in metrics})
+    summary: Dict[str, Dict] = {}
+    for key in keys:
+        values = [metrics[key] for metrics in fold_metrics
+                  if key in metrics]
+        summary[key] = {
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+            "folds": [float(value) for value in values],
+        }
+    return summary
+
+
+def _develop_class_task(loop_config: Dict, X, y, feature_names, class_names,
+                        target_class: str, tool_name: str,
+                        seed: int) -> Dict:
+    """Develop a one-vs-rest detector for ``target_class`` in a worker.
+
+    Builds a private :class:`DevelopmentLoop` (with its own
+    :class:`EventBus` and default resource model) so the parent's live
+    objects stay out of the shipment, and returns a small picklable
+    summary.  Strict-verification failures are reported, not raised:
+    one unverifiable class must not torpedo its siblings' results.
+    """
+    y = np.asarray(y)
+    positive = list(class_names).index(target_class)
+    binary = Dataset(np.asarray(X), (y == positive).astype(int),
+                     list(feature_names), ["rest", target_class])
+    loop = DevelopmentLoop(bus=EventBus(), **loop_config)
+    try:
+        tool, report = loop.develop(binary, tool_name=tool_name,
+                                    positive_class=target_class, seed=seed)
+    except ProgramVerificationError as exc:
+        return {"class": target_class, "verified": False,
+                "error": str(exc)}
+    return {
+        "class": target_class,
+        "verified": report.verification is None
+        or bool(report.verification.ok),
+        "teacher_metrics": dict(report.teacher_result.metrics),
+        "holdout_fidelity": float(report.holdout_fidelity.label_fidelity),
+        "n_leaves": int(report.distillation.n_leaves),
+        "table_entries": int(tool.compiled.n_entries),
+        "tcam_bits": int(tool.compiled.tcam_bits),
+        "fits": bool(report.resource_fit.fits),
+    }
+
+
+def _per_class_summary_task(*class_reports: Dict) -> Dict[str, Dict]:
+    """Key the per-class reports by class name (insertion = task order)."""
+    return {report["class"]: report for report in class_reports}
 
 
 def make_roadtest_factory(platform, scenario_builder: Callable,

@@ -27,13 +27,14 @@ from repro.chaos.resilience import DegradationLedger, TransientError, \
 from repro.core.config import PlatformConfig
 from repro.core.eventbus import EventBus
 from repro.datastore.labels import Labeler
-from repro.datastore.store import DataStore
+from repro.datastore.store import DataStore, ShardedDataStore
 from repro.events.base import GroundTruth
 from repro.events.scenario import Scenario, run_scenario
 from repro.learning.dataset import Dataset
 from repro.learning.features import FeatureConfig, SourceWindowFeaturizer
 from repro.netsim.campus import make_campus
 from repro.netsim.network import CampusNetwork
+from repro.parallel import ParallelExecutor
 from repro.privacy.policy import PrivacyLevel, PrivacyPolicy, \
     make_ingest_transform
 
@@ -64,11 +65,26 @@ class CampusPlatform:
         self.degradation = DegradationLedger(bus=self.bus)
         self.network = self._build_network(self.config.seed)
         self.privacy_policy = PrivacyPolicy.preset(self.config.privacy_level)
-        self.store = DataStore(
-            metadata_extractor=MetadataExtractor(self.network.topology),
-            segment_capacity=self.config.segment_capacity,
-            fault_injector=fault_injector,
-        )
+        # Parallel substrate: the executor is lazy (no pool until the
+        # first parallel fan-out) and degrades to serial via the ledger.
+        self.executor = ParallelExecutor(
+            workers=self.config.workers, ledger=self.degradation,
+            fault_injector=fault_injector)
+        if self.config.store_shards > 1:
+            self.store = ShardedDataStore(
+                n_shards=self.config.store_shards,
+                metadata_extractor=MetadataExtractor(self.network.topology),
+                segment_capacity=self.config.segment_capacity,
+                fault_injector=fault_injector,
+                window_s=self.config.window_s,
+                executor=self.executor,
+            )
+        else:
+            self.store = DataStore(
+                metadata_extractor=MetadataExtractor(self.network.topology),
+                segment_capacity=self.config.segment_capacity,
+                fault_injector=fault_injector,
+            )
         self.store.add_ingest_transform(make_ingest_transform(
             self.privacy_policy, self.network.topology.is_internal_ip,
         ))
@@ -86,7 +102,8 @@ class CampusPlatform:
         self.capture = CaptureEngine(
             capacity_gbps=self.config.capture_capacity_gbps,
             buffer_bytes=self.config.capture_buffer_bytes,
-            fault_injector=self.fault_injector)
+            fault_injector=self.fault_injector,
+            shard_router=getattr(self.store, "router", None))
         links = [network.topology.border_link]
         if self.config.monitor_internal:
             links.extend(
@@ -137,6 +154,10 @@ class CampusPlatform:
         """A new, uninstrumented traffic day for testbed use."""
         return self._build_network(seed)
 
+    def close(self) -> None:
+        """Release the worker pool (no-op when running serial)."""
+        self.executor.shutdown()
+
     # -- data source role -------------------------------------------------------
 
     def collect(self, scenario: Scenario,
@@ -185,7 +206,7 @@ class CampusPlatform:
             window_s=window_s or self.config.window_s))
         dataset = featurizer.from_store(
             self.store, ground_truth=ground_truth, time_range=time_range,
-            class_names=class_names,
+            class_names=class_names, executor=self.executor,
         )
         self.bus.publish("dataset:built", rows=len(dataset),
                          classes=dataset.class_counts())
@@ -206,6 +227,11 @@ class CampusPlatform:
             },
             "collections": len(self.collections),
         }
+        if self.config.workers or getattr(self.store, "shards", None):
+            out["parallel"] = {
+                **self.executor.summary(),
+                "shards": getattr(self.store, "n_shards", 1),
+            }
         if self.fault_injector is not None:
             stats = self.capture.stats
             out["chaos"] = {

@@ -95,6 +95,12 @@ class HashIndex:
     def add(self, value, position: int) -> None:
         self._postings[value].append(position)
 
+    def add_batch(self, values: Iterable, start: int = 0) -> None:
+        """Bulk add values at consecutive positions from ``start``."""
+        postings = self._postings
+        for position, value in enumerate(values, start):
+            postings[value].append(position)
+
     def lookup(self, value) -> List[int]:
         return self._postings.get(value, [])
 

@@ -180,6 +180,46 @@ def _columnar_scan(segment, cols, query: Query) -> List[Tuple[float, object]]:
                     map(records.__getitem__, positions.tolist())))
 
 
+def columnar_positions(cols, time_range, where) -> Optional[np.ndarray]:
+    """Purely vectorized row selection over one column block.
+
+    The worker-side half of the parallel scan: zone maps, time slice,
+    and equality masks only — no records, no tags, no predicates.
+    Returns ascending positions, or ``None`` when some ``where`` field
+    cannot be evaluated vectorized (caller must fall back to the serial
+    path, which handles residual fields per record).
+    """
+    for fld, value in where.items():
+        if not cols.zone_admits(fld, value):
+            return np.zeros(0, dtype=np.int64)
+
+    lo, hi = 0, len(cols)
+    mask: Optional[np.ndarray] = None
+    if time_range is not None:
+        start, end = time_range
+        if cols.time_sorted:
+            lo, hi = cols.time_slice(start, end)
+            if lo >= hi:
+                return np.zeros(0, dtype=np.int64)
+        else:
+            ts = cols.timestamp
+            mask = np.ones(len(ts), dtype=bool)
+            if start is not None:
+                mask &= ts >= start
+            if end is not None:
+                mask &= ts <= end
+
+    for fld, value in where.items():
+        field_mask = cols.equals_mask(fld, value, lo, hi)
+        if field_mask is None:
+            return None
+        mask = field_mask if mask is None else (mask & field_mask)
+
+    if mask is None:
+        return np.arange(lo, hi, dtype=np.int64)
+    return (np.flatnonzero(mask) + lo).astype(np.int64)
+
+
 def _record_scan(segment,
                  query: Query) -> Tuple[List[Tuple[float, object]], bool]:
     """Index-accelerated record path for one segment.
@@ -206,25 +246,28 @@ def _record_scan(segment,
     return pairs, ordered
 
 
+def _scan_segment(segment, query: Query) \
+        -> Optional[Tuple[List[Tuple[float, object]], bool]]:
+    """(pairs, came-out-ordered) for one segment; None when pruned."""
+    if not segment.records:
+        return None
+    if query.time_range is not None and not segment.overlaps(
+        *query.time_range
+    ):
+        return None
+    cols = segment.columns()
+    if cols is not None:
+        return _columnar_scan(segment, cols, query), query.order_by_time
+    return _record_scan(segment, query)
+
+
 def execute_query(store, query: Query) -> List:
     """Run ``query`` against ``store`` (accelerated, time-ordered)."""
-    segments = store.segments(query.collection)
     runs: List[Tuple[List[Tuple[float, object]], bool]] = []
-    for segment in segments:
-        if not segment.records:
-            continue
-        if query.time_range is not None and not segment.overlaps(
-            *query.time_range
-        ):
-            continue
-        cols = segment.columns()
-        if cols is not None:
-            pairs = _columnar_scan(segment, cols, query)
-            ordered = query.order_by_time
-        else:
-            pairs, ordered = _record_scan(segment, query)
-        if pairs:
-            runs.append((pairs, ordered))
+    for segment in store.segments(query.collection):
+        scanned = _scan_segment(segment, query)
+        if scanned is not None and scanned[0]:
+            runs.append(scanned)
 
     if not runs:
         return []
@@ -265,6 +308,56 @@ def execute_query_linear(store, query: Query) -> List:
     return records
 
 
+_RID_KEY = itemgetter(1)
+_TIME_RID_KEY = itemgetter(0, 1)
+
+
+def _parallel_triples(store, query: Query, executor) \
+        -> Optional[List[Tuple[float, int, object]]]:
+    """Scatter per-segment scans to workers; None when ineligible."""
+    from repro.parallel.kernels import scatter_query
+    scattered = scatter_query(store.segments(query.collection), query,
+                              executor)
+    if scattered is None:
+        return None
+    triples: List[Tuple[float, int, object]] = []
+    for segment, positions in scattered:
+        records = segment.records
+        ts = segment.columns().timestamp
+        for p in positions.tolist():
+            stored = records[p]
+            triples.append((float(ts[p]), stored.rid, stored))
+    return triples
+
+
+def execute_query_sharded(store, query: Query, executor=None) -> List:
+    """Run ``query`` across every shard with a deterministic merge.
+
+    Scans each contributing segment (in worker processes when an
+    eligible ``executor`` is supplied), then merges on ``(time, rid)``
+    — or bare ``rid`` for unordered queries.  Because a sharded store
+    assigns rids in batch input order, this reconstructs exactly the
+    order an unsharded store would return: the results are bit-identical
+    to :func:`execute_query` on a serial store fed the same batches.
+    """
+    triples: Optional[List[Tuple[float, int, object]]] = None
+    if executor is not None and executor.parallel:
+        triples = _parallel_triples(store, query, executor)
+    if triples is None:
+        triples = []
+        for segment in store.segments(query.collection):
+            scanned = _scan_segment(segment, query)
+            if scanned is None:
+                continue
+            triples.extend((t, stored.rid, stored)
+                           for t, stored in scanned[0])
+    triples.sort(key=_TIME_RID_KEY if query.order_by_time else _RID_KEY)
+    records = [stored for _, _, stored in triples]
+    if query.limit is not None:
+        records = records[: query.limit]
+    return records
+
+
 _REDUCERS = {
     "sum": sum,
     "count": len,
@@ -283,7 +376,9 @@ def execute_aggregate(store, query: Query, aggregation: Aggregation) -> Dict:
         )
     groups: Dict[object, List[float]] = {}
     value_fn = aggregation.value_fn or (lambda stored: 1.0)
-    for stored in execute_query(store, query):
+    # store.query (not execute_query directly): a sharded store routes
+    # through its deterministic cross-shard merge.
+    for stored in store.query(query):
         key = aggregation.key_fn(stored)
         groups.setdefault(key, []).append(value_fn(stored))
     reducer = _REDUCERS[aggregation.reducer]

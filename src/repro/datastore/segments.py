@@ -98,11 +98,10 @@ class Segment:
         n = len(self.records)
         if self._field_indexed_upto < n:
             field_of = self.schema.field_of
-            items = list(self._field_indexes.items())
-            for position in range(self._field_indexed_upto, n):
-                record = self.records[position].record
-                for fld, index in items:
-                    index.add(field_of(record, fld), position)
+            start = self._field_indexed_upto
+            fresh = [s.record for s in self.records[start:n]]
+            for fld, index in self._field_indexes.items():
+                index.add_batch((field_of(r, fld) for r in fresh), start)
             self._field_indexed_upto = n
         return self._field_indexes
 
@@ -129,6 +128,21 @@ class Segment:
         self._tag_indexed_upto = 0
         self._columns = None
         self._columns_len = -1
+
+    def adopt_columns(self, columns: PacketColumns) -> bool:
+        """Install a pre-built column block instead of rebuilding it.
+
+        The sharded ingest path slices one already-materialized
+        :class:`PacketColumns` batch per shard; when the slice covers
+        exactly this segment's records, adopting it skips the
+        per-record rebuild in :meth:`columns`.  Rejected (returns
+        False) unless lengths line up and the schema is columnar.
+        """
+        if not self.schema.columnar or len(columns) != len(self.records):
+            return False
+        self._columns = columns
+        self._columns_len = len(self.records)
+        return True
 
     def columns(self) -> Optional[PacketColumns]:
         """Cached struct-of-arrays mirror, or None (non-columnar schema,

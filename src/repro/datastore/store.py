@@ -16,6 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.capture.flows import FlowRecord
 from repro.capture.metadata import MetadataExtractor
 from repro.capture.sensors import LogRecord
@@ -24,9 +26,10 @@ from repro.chaos.resilience import RetryPolicy, TransientError, \
     VirtualClock, retrying
 from repro.datastore import schema as schemas
 from repro.datastore.query import Aggregation, Query, execute_aggregate, \
-    execute_query
+    execute_query, execute_query_sharded
 from repro.datastore.segments import Segment
 from repro.netsim.packets import PacketColumns, PacketRecord
+from repro.parallel.sharding import ShardRouter
 
 
 class TransientStoreError(TransientError):
@@ -259,3 +262,197 @@ class DataStore:
                 "max_time": hi,
             }
         return out
+
+
+# -- sharded store -----------------------------------------------------------
+
+
+class _ShardView(list):
+    """All shards' segments as one list; ``remove`` reaches the owner.
+
+    The retention layer evicts via ``store.segments(c).remove(segment)``;
+    a plain concatenated copy would drop the segment from the copy and
+    silently leave it in the shard, so removal delegates to whichever
+    per-shard list actually owns the segment.
+    """
+
+    def __init__(self, parts: List[List[Segment]]):
+        super().__init__(itertools.chain.from_iterable(parts))
+        self._parts = parts
+
+    def remove(self, segment) -> None:
+        for part in self._parts:
+            for position, candidate in enumerate(part):
+                if candidate is segment:
+                    del part[position]
+                    super().remove(segment)
+                    return
+        raise ValueError("segment not held by any shard")
+
+
+class _SegmentMap(dict):
+    """collection -> fresh cross-shard :class:`_ShardView`.
+
+    Installed as a :class:`ShardedDataStore`'s ``_segments`` mapping so
+    every inherited accessor (count, bytes_estimate, time_span,
+    summary, the query executors) sees all shards without overrides.
+    Views are built per access because shard segment lists grow.
+    """
+
+    def __init__(self, shards: List[DataStore]):
+        super().__init__({name: None for name in schemas.SCHEMAS})
+        self._shards = shards
+
+    def __getitem__(self, collection: str) -> _ShardView:
+        if collection not in self:
+            raise KeyError(collection)
+        return _ShardView([shard._segments[collection]
+                           for shard in self._shards])
+
+    def values(self):
+        return [self[name] for name in self]
+
+    def items(self):
+        return [(name, self[name]) for name in self]
+
+
+class ShardedDataStore(DataStore):
+    """A :class:`DataStore` partitioned by time-window x flow-hash.
+
+    Packets route to ``n_shards`` child stores through a deterministic
+    :class:`~repro.parallel.sharding.ShardRouter`; each shard owns its
+    own segments, column blocks and zone maps.  Record ids are drawn
+    from the parent's counter in input order, so the global
+    ``(time, rid)`` merge in
+    :func:`~repro.datastore.query.execute_query_sharded` returns results
+    bit-identical to an unsharded store fed the same batches.  Flows and
+    logs are low-volume and live on shard 0.
+
+    ``executor`` (a :class:`~repro.parallel.ParallelExecutor`) enables
+    process-parallel query scans and metadata extraction; without one —
+    or with ``workers=0`` — every path runs serially, same answers.
+    """
+
+    def __init__(self, n_shards: int,
+                 metadata_extractor: Optional[MetadataExtractor] = None,
+                 segment_capacity: int = 50_000, fault_injector=None,
+                 clock=None, window_s: float = 5.0, executor=None):
+        super().__init__(metadata_extractor=metadata_extractor,
+                         segment_capacity=segment_capacity,
+                         fault_injector=fault_injector, clock=clock)
+        self.router = ShardRouter(n_shards, window_s=window_s)
+        self.executor = executor
+        self.shards: List[DataStore] = []
+        for _ in range(n_shards):
+            shard = DataStore(metadata_extractor=None,
+                              segment_capacity=segment_capacity,
+                              clock=self.clock)
+            # one global id space: shards share the parent's counters
+            shard._segment_ids = self._segment_ids
+            shard._record_ids = self._record_ids
+            self.shards.append(shard)
+        self._segments = _SegmentMap(self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    def _open_segment(self, collection: str) -> Segment:
+        # non-packet ingest (flows, logs) through the inherited paths
+        return self.shards[0]._open_segment(collection)
+
+    def _ingest(self, collection: str, record, tags: Dict[str, str]) -> \
+            Optional[StoredRecord]:
+        if collection != "packets":
+            return super()._ingest(collection, record, tags)
+        # route after transforms: anonymization may rewrite the flow key
+        for transform in self.ingest_transforms:
+            record, tags = transform(collection, record, tags)
+            if record is None:
+                return None
+        stored = StoredRecord(rid=next(self._record_ids), record=record,
+                              tags=tags or {}, label=None)
+        shard = self.shards[self.router.shard_of(record)]
+        shard._open_segment("packets").append(stored)
+        return stored
+
+    def _extract_tags(self, packets: List[PacketRecord],
+                      cols: Optional[PacketColumns]) -> List[Dict[str, str]]:
+        extractor = self.metadata_extractor
+        if extractor is None:
+            return [{} for _ in packets]
+        if (cols is not None and self.executor is not None
+                and self.executor.parallel
+                and getattr(extractor, "_topology", None) is None):
+            from repro.parallel.kernels import scatter_extract
+            tags_list = scatter_extract(cols, self.executor)
+            if tags_list is not None:
+                return tags_list
+        return extractor.extract_batch(packets)
+
+    def ingest_packets(
+        self, packets: Union[Iterable[PacketRecord], PacketColumns]
+    ) -> int:
+        cols: Optional[PacketColumns] = None
+        if isinstance(packets, PacketColumns):
+            cols = packets
+            packets = list(cols.iter_records())
+        elif not isinstance(packets, list):
+            packets = list(packets)
+        if not packets:
+            return 0
+        self._chaos_gate("ingest_packets")
+
+        if self.ingest_transforms:
+            tags_list = self._extract_tags(packets, cols)
+            count = 0
+            for packet, tags in zip(packets, tags_list):
+                if self._ingest("packets", packet, tags) is not None:
+                    count += 1
+            return count
+
+        tags_list = self._extract_tags(packets, cols)
+        # rids in input order — the global order the sharded query merge
+        # reconstructs
+        stored = list(map(StoredRecord, self._record_ids, packets,
+                          tags_list, itertools.repeat(None)))
+        if cols is not None:
+            assignments = self.router.assign_columns(cols)
+        else:
+            assignments = np.asarray(self.router.assign_records(packets),
+                                     dtype=np.int64)
+        for shard_id, positions in enumerate(
+                self.router.partition_positions(assignments)):
+            if not len(positions):
+                continue
+            shard_cols = cols.take(positions) if cols is not None else None
+            self._append_to_shard(self.shards[shard_id],
+                                  [stored[p] for p in positions.tolist()],
+                                  shard_cols)
+        return len(stored)
+
+    def _append_to_shard(self, shard: DataStore, stored: List[StoredRecord],
+                         cols: Optional[PacketColumns]) -> None:
+        total = len(stored)
+        offset = 0
+        while offset < total:
+            segment = shard._open_segment("packets")
+            fresh = len(segment) == 0
+            space = segment.capacity - len(segment)
+            chunk = stored[offset:offset + space]
+            segment.append_batch(chunk)
+            if cols is not None and fresh:
+                # pre-sliced columns stand in for the lazy rebuild
+                segment.adopt_columns(cols.slice(offset, offset + len(chunk)))
+            offset += len(chunk)
+
+    def query(self, query: Query) -> List[StoredRecord]:
+        return execute_query_sharded(self, query, executor=self.executor)
+
+    def shard_summary(self) -> List[Dict[str, int]]:
+        """Per-shard packet record/segment counts (balance diagnostics)."""
+        return [
+            {"records": shard.count("packets"),
+             "segments": len(shard._segments["packets"])}
+            for shard in self.shards
+        ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from operator import attrgetter
+from operator import attrgetter, itemgetter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -80,6 +80,29 @@ class WindowExample:
     #: (used when labeling from curated store labels, not ground truth)
     label_votes: Dict[str, int] = field(default_factory=dict)
 
+    def merge(self, other: "WindowExample") -> None:
+        """Fold another partial aggregation of the same (window,
+        endpoint) group into this one.  Counters add, sets union, votes
+        add; callers that need the serial vote *insertion order* (the
+        ``max`` tie-break) must merge votes themselves — see
+        :meth:`SourceWindowFeaturizer.examples_merged`."""
+        self.pkts += other.pkts
+        self.bytes += other.bytes
+        self.udp_pkts += other.udp_pkts
+        self.dns_pkts += other.dns_pkts
+        self.dns_responses += other.dns_responses
+        self.dns_any += other.dns_any
+        self.dsts |= other.dsts
+        self.dports |= other.dports
+        self.syns += other.syns
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self.ttl_sum += other.ttl_sum
+        self.port53_src += other.port53_src
+        self.wellknown_dport += other.wellknown_dport
+        for label, count in other.label_votes.items():
+            self.label_votes[label] = self.label_votes.get(label, 0) + count
+
     def vector(self, window_s: float) -> List[float]:
         pkts = max(self.pkts, 1)
         dns = max(self.dns_pkts, 1)
@@ -105,6 +128,171 @@ class WindowExample:
 WELL_KNOWN = {22, 23, 25, 53, 80, 123, 143, 443, 445, 587, 993, 3306,
               3389, 5432, 6379, 8080}
 _WELL_KNOWN_ARR = np.array(sorted(WELL_KNOWN), dtype=np.float64)
+
+
+# -- block-local aggregation (module-level: shipped to worker processes) ------
+#
+# The parallel featurize path splits aggregation into a records-free half
+# that runs on a bare column block inside a worker (_block_examples) and a
+# parent-side merge that reconstructs the serial table order from global
+# record ids (SourceWindowFeaturizer.examples_merged).  Everything a block
+# needs from the stored records — DNS tag verdicts, curated labels — is
+# precomputed by the parent into flat arrays and shipped with the block.
+
+
+def _block_plan(cols, time_range, window_s):
+    """Validate + group one column block; mirrors ``_segment_plan`` but
+    needs no segment.  Returns the plan tuple, ``()`` when the time
+    range selects nothing, or None when the block resists vectorized
+    aggregation."""
+    if not isinstance(cols.src_ip, np.ndarray) \
+            or not isinstance(cols.dst_ip, np.ndarray):
+        return None
+    ts = cols.timestamp
+    if np.isnan(ts).any():
+        return None
+    if time_range is not None:
+        start, end = time_range
+        sel = np.ones(len(ts), dtype=bool)
+        if start is not None:
+            sel &= ts >= start
+        if end is not None:
+            sel &= ts <= end
+        positions = np.flatnonzero(sel)
+    else:
+        positions = np.arange(len(ts))
+    if len(positions) == 0:
+        return ()
+
+    widx = np.floor(ts[positions] / window_s)
+    if not (widx.min() >= -(1 << 31) and widx.max() < (1 << 31)):
+        return None
+    dports = cols.dst_port[positions].astype(np.int64)
+    if len(dports) and not (dports.min() >= 0 and dports.max() < (1 << 16)):
+        return None
+
+    in_code = cols.direction.code_of("in")
+    dir_in = (cols.direction.codes[positions] == in_code) \
+        if in_code is not None else np.zeros(len(positions), dtype=bool)
+    src = cols.src_ip[positions].astype(np.uint64)
+    dst = cols.dst_ip[positions].astype(np.uint64)
+    endpoint = np.where(dir_in, src, dst)
+    group_key = ((widx.astype(np.int64) + (1 << 31)).astype(np.uint64)
+                 << 32) | endpoint
+    uniq, first, inv = np.unique(group_key, return_index=True,
+                                 return_inverse=True)
+    return (positions, widx, dir_in, dst, inv,
+            np.argsort(first, kind="stable"), first, uniq)
+
+
+def _block_examples(cols, time_range, window_s, use_payload,
+                    resp_mask, any_mask, tagged_mask,
+                    curated_codes, curated_values):
+    """Aggregate one column block into partial examples (records-free).
+
+    ``resp_mask``/``any_mask``/``tagged_mask`` are per-row DNS tag
+    verdicts and ``curated_codes``/``curated_values`` the dict-encoded
+    curated labels (code -1 = none), both precomputed from the stored
+    records by the parent.
+
+    Returns ``(examples, votes, first_positions)`` — examples in
+    first-occurrence order with *empty* ``label_votes``, per-example
+    vote maps ``{label: (first_row, count)}``, and each group's first
+    row index — or None when the block needs the record path.
+    """
+    plan = _block_plan(cols, time_range, window_s)
+    if plan is None:
+        return None
+    if plan == ():
+        return ([], [], [])
+    (positions, widx, dir_in, dst, inv, order, first, uniq) = plan
+    n_groups = len(uniq)
+    sizes = cols.size[positions]
+    sp = cols.src_port[positions]
+    dp = cols.dst_port[positions]
+
+    def per_group(weights):
+        return np.bincount(inv, weights=weights, minlength=n_groups)
+
+    pkts = np.bincount(inv, minlength=n_groups)
+    bytes_total = per_group(sizes)
+    ttl_sum = per_group(cols.ttl[positions])
+    udp = per_group(cols.protocol[positions] == float(Protocol.UDP))
+    is_dns = (sp == 53) | (dp == 53)
+    dns_pkts = per_group(is_dns)
+    bytes_in = per_group(sizes * dir_in)
+    bytes_out = per_group(sizes * ~dir_in)
+    flags = cols.flags[positions].astype(np.int64)
+    syns = per_group((flags & int(TcpFlags.SYN) != 0)
+                     & (flags & int(TcpFlags.ACK) == 0))
+    wellknown = per_group(np.isin(dp, _WELL_KNOWN_ARR) & dir_in)
+    port53_src = per_group((sp == 53) & dir_in)
+
+    # DNS tag counters, fully vectorized off the precomputed verdicts;
+    # untagged (or payload-blind) DNS falls back to the port heuristic.
+    tagged = (tagged_mask[positions] if use_payload
+              else np.zeros(len(positions), dtype=bool))
+    heuristic = dir_in & (sp == 53)
+    dns_resp = per_group(is_dns & ((tagged & resp_mask[positions])
+                                   | (~tagged & heuristic)))
+    dns_any = per_group(is_dns & tagged & any_mask[positions])
+
+    examples: List[WindowExample] = [None] * n_groups
+    first_positions: List[int] = [0] * n_groups
+    for j in order.tolist():
+        example = WindowExample(
+            window_start=float(widx[first[j]]) * window_s,
+            endpoint=u32_to_ip(int(uniq[j] & 0xFFFFFFFF)))
+        example.pkts = int(pkts[j])
+        example.bytes = int(bytes_total[j])
+        example.ttl_sum = int(ttl_sum[j])
+        example.udp_pkts = int(udp[j])
+        example.dns_pkts = int(dns_pkts[j])
+        example.dns_responses = int(dns_resp[j])
+        example.dns_any = int(dns_any[j])
+        example.bytes_in = int(bytes_in[j])
+        example.bytes_out = int(bytes_out[j])
+        example.syns = int(syns[j])
+        example.wellknown_dport = int(wellknown[j])
+        example.port53_src = int(port53_src[j])
+        examples[j] = example
+        first_positions[j] = int(positions[first[j]])
+
+    in_idx = np.flatnonzero(dir_in)
+    if len(in_idx):
+        inv64 = inv.astype(np.uint64)
+        for k in np.unique((inv64[in_idx] << 32) | dst[in_idx]).tolist():
+            examples[k >> 32].dsts.add(u32_to_ip(k & 0xFFFFFFFF))
+        dp64 = dp.astype(np.uint64)
+        for k in np.unique((inv64[in_idx] << 16) | dp64[in_idx]).tolist():
+            examples[k >> 16].dports.add(k & 0xFFFF)
+
+    # Label votes as {label: (first_row, count)}: the parent needs the
+    # first-occurrence row to rebuild the serial vote insertion order.
+    votes: List[Dict[str, Tuple[int, int]]] = [dict() for _ in range(n_groups)]
+    label_values = cols.label.values
+    code_votable = np.array(
+        [v != "" and v != "benign" for v in label_values], dtype=bool)
+    codes = cols.label.codes[positions]
+    votable = code_votable[codes]
+    if curated_codes is not None:
+        votable = votable | (curated_codes[positions] >= 0)
+    for i in np.flatnonzero(votable).tolist():
+        pos = int(positions[i])
+        label = ""
+        if curated_codes is not None and curated_codes[pos] >= 0:
+            label = curated_values[curated_codes[pos]]
+        label = label or label_values[codes[i]]
+        if label and label != "benign":
+            group_votes = votes[inv[i]]
+            entry = group_votes.get(label)
+            group_votes[label] = (pos, 1) if entry is None \
+                else (entry[0], entry[1] + 1)
+
+    ordered = order.tolist()
+    return ([examples[j] for j in ordered],
+            [votes[j] for j in ordered],
+            [first_positions[j] for j in ordered])
 
 
 class SourceWindowFeaturizer:
@@ -223,7 +411,8 @@ class SourceWindowFeaturizer:
 
     def from_store(self, store, ground_truth=None,
                    time_range: Optional[Tuple] = None,
-                   class_names: Optional[List[str]] = None) -> Dataset:
+                   class_names: Optional[List[str]] = None,
+                   executor=None) -> Dataset:
         """One query, one pass: the top-down workflow.
 
         Without ``ground_truth``, labels come from the store's curated
@@ -236,8 +425,18 @@ class SourceWindowFeaturizer:
         (:meth:`examples_columnar`); otherwise it falls back to the
         record-at-a-time pass (:meth:`examples_from_records`).  Both
         produce identical examples in identical order.
+
+        Sharded stores — and any store when ``executor`` carries live
+        workers — go through :meth:`examples_merged`, which aggregates
+        per segment (in worker processes when possible) and merges on
+        global record ids; it too is bit-identical to the serial paths.
         """
-        examples = self.examples_columnar(store, time_range)
+        if getattr(store, "shards", None) is not None or (
+                executor is not None and executor.parallel):
+            examples = self.examples_merged(store, time_range,
+                                            executor=executor)
+        else:
+            examples = self.examples_columnar(store, time_range)
         if examples is None:
             examples = self.examples_from_records(store, time_range)
         return self.to_dataset(examples, ground_truth=ground_truth,
@@ -296,6 +495,119 @@ class SourceWindowFeaturizer:
                 self._merge_segment(table, segment, plan)
         return [e for e in table.values()
                 if e.pkts >= self.config.min_packets]
+
+    # -- parallel / sharded aggregation ---------------------------------------
+
+    def _segment_aux(self, segment, cols):
+        """Records-derived inputs for :func:`_block_examples`.
+
+        Runs in the parent (only it holds the stored records): per-row
+        DNS tag verdicts for the tag-aware counters and dict-encoded
+        curated labels.  Cost is one pass over the DNS rows plus one
+        attribute sweep for curated labels — the heavy bincount math
+        stays in the workers.
+        """
+        n = len(cols)
+        records = segment.records
+        resp = np.zeros(n, dtype=bool)
+        anyq = np.zeros(n, dtype=bool)
+        tagged = np.zeros(n, dtype=bool)
+        if self.config.use_payload_features:
+            dns_rows = np.flatnonzero((cols.src_port == 53.0)
+                                      | (cols.dst_port == 53.0))
+            for i in dns_rows.tolist():
+                tags = records[i].tags
+                if tags:
+                    tagged[i] = True
+                    if tags.get("dns_qr") == "response":
+                        resp[i] = True
+                    if tags.get("dns_qtype") == "ANY":
+                        anyq[i] = True
+        curated_codes = None
+        curated_values: List[str] = []
+        curated = list(map(attrgetter("label"), records))
+        if any(curated):
+            code_of: Dict[str, int] = {}
+            curated_codes = np.fromiter(
+                (code_of.setdefault(c, len(code_of)) if c else -1
+                 for c in curated),
+                dtype=np.int64, count=n)
+            curated_values = list(code_of)
+        return (resp, anyq, tagged, curated_codes, curated_values)
+
+    def examples_merged(self, store, time_range: Optional[Tuple] = None,
+                        executor=None) -> Optional[List[WindowExample]]:
+        """Per-segment aggregation merged on global record ids.
+
+        Each segment's column block is reduced independently — in
+        worker processes when ``executor`` has live workers, serially
+        otherwise — and the partial examples are merged so that group
+        order and vote insertion order follow the store-wide *first
+        record id* of each group.  For an unsharded store that equals
+        :meth:`examples_columnar` exactly; for a sharded store (whose
+        segment list interleaves record ids shard-major) it equals the
+        unsharded serial reference on the same batches.
+
+        Returns None when any segment resists columnar processing.
+        """
+        segments = [s for s in store.segments("packets") if s.records]
+        blocks = []
+        for segment in segments:
+            cols = segment.columns()
+            if cols is None or not isinstance(cols.src_ip, np.ndarray) \
+                    or not isinstance(cols.dst_ip, np.ndarray):
+                return None
+            blocks.append((segment, cols, self._segment_aux(segment, cols)))
+
+        window_s = self.config.window_s
+        use_payload = self.config.use_payload_features
+        partials = None
+        if executor is not None and executor.parallel and len(blocks) > 1:
+            from repro.parallel.kernels import scatter_featurize
+            partials = scatter_featurize(blocks, time_range, window_s,
+                                         use_payload, executor)
+        if partials is None:
+            partials = [_block_examples(cols, time_range, window_s,
+                                        use_payload, *aux)
+                        for _, cols, aux in blocks]
+        if any(p is None for p in partials):
+            return None
+
+        # key -> [merged example, group-wide first rid,
+        #         {label: (first vote rid, count)}]
+        groups: Dict[Tuple[float, str], List] = {}
+        for (segment, _, _), partial in zip(blocks, partials):
+            records = segment.records
+            for example, vote_map, first_pos in zip(*partial):
+                first_rid = records[first_pos].rid
+                key = (example.window_start, example.endpoint)
+                entry = groups.get(key)
+                if entry is None:
+                    groups[key] = entry = [example, first_rid, {}]
+                else:
+                    entry[0].merge(example)
+                    if first_rid < entry[1]:
+                        entry[1] = first_rid
+                merged_votes = entry[2]
+                for label, (pos, count) in vote_map.items():
+                    vote_rid = records[pos].rid
+                    known = merged_votes.get(label)
+                    merged_votes[label] = (vote_rid, count) \
+                        if known is None \
+                        else (min(known[0], vote_rid), known[1] + count)
+
+        min_packets = self.config.min_packets
+        out: List[WindowExample] = []
+        for example, _, merged_votes in sorted(groups.values(),
+                                               key=itemgetter(1)):
+            # insertion order by first vote rid = serial vote order
+            example.label_votes = {
+                label: count for label, (_, count) in
+                sorted(merged_votes.items(), key=lambda kv: kv[1][0])
+            }
+            if example.pkts >= min_packets:
+                out.append(example)
+        return out
 
     def _segment_plan(self, segment, time_range):
         """Validate + group one segment's columns; () = nothing selected."""

@@ -323,6 +323,10 @@ class DictColumn:
             return np.zeros(len(sub), dtype=bool)
         return sub == code
 
+    def take(self, positions: np.ndarray) -> "DictColumn":
+        """Row subset; keeps the value table (codes stay comparable)."""
+        return DictColumn(self.codes[positions], self.values)
+
 
 IPColumn = Union[np.ndarray, DictColumn]   # uint32 array or string fallback
 
@@ -425,6 +429,37 @@ class PacketColumns:
     def iter_records(self) -> Iterator[PacketRecord]:
         for position in range(len(self)):
             yield self.record(position)
+
+    # -- row subsetting ------------------------------------------------------
+
+    def _subset(self, key) -> "PacketColumns":
+        def cut(column):
+            if isinstance(column, DictColumn):
+                return column.take(key) if isinstance(key, np.ndarray) \
+                    else DictColumn(column.codes[key], column.values)
+            return column[key]
+
+        payload = self.payload
+        if payload is not None:
+            if isinstance(key, slice):
+                payload = payload[key]
+            else:
+                payload = [payload[int(i)] for i in key]
+        return PacketColumns(
+            payload=payload,
+            **{fld: cut(getattr(self, fld))
+               for fld in (*NUMERIC_FIELDS, "src_ip", "dst_ip",
+                           *_STRING_FIELDS)},
+        )
+
+    def take(self, positions: np.ndarray) -> "PacketColumns":
+        """Row subset at ``positions`` (ascending positions preserve
+        batch order, which shard partitioning relies on)."""
+        return self._subset(np.asarray(positions))
+
+    def slice(self, lo: int, hi: int) -> "PacketColumns":
+        """Contiguous row subset [lo, hi); arrays are views, not copies."""
+        return self._subset(slice(lo, hi))
 
     # -- vectorized filtering ------------------------------------------------
 

@@ -1,0 +1,200 @@
+"""Process-pool executor with a serial fallback and chaos gates.
+
+:class:`ParallelExecutor` is the one place the repo touches
+:mod:`concurrent.futures`.  It owns three guarantees:
+
+* **Determinism** — ``map_tasks`` returns results in task order, and
+  every kernel shipped through it is a pure function of its arguments,
+  so ``workers=0`` (in-process serial), ``workers=1`` and ``workers=N``
+  produce bit-identical results.
+* **Graceful degradation** — a worker crash, a broken pool, or an
+  unpicklable argument never fails the caller: the batch re-runs
+  serially in the parent and the fallback is recorded in the
+  :class:`~repro.chaos.resilience.DegradationLedger`.
+* **Pickling hygiene** — tasks must be module-level functions; lambdas
+  and closures are rejected eagerly (they cannot cross a process
+  boundary), and live platform objects (``EventBus``,
+  ``EmulatedSwitch``) are refused as arguments rather than dragged
+  through pickle.  The REP305 lint rule enforces the same discipline
+  statically.
+
+Chaos integration: when a :class:`~repro.chaos.faults.FaultInjector`
+arms :data:`~repro.chaos.faults.FaultKind.WORKER_CRASH`, the parent
+draws a deterministic per-task decision from the injector's substream
+and ships a crash marker with the task; the marked task raises
+*inside the worker*, exercising the real recovery path on a replayable
+schedule.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.chaos.faults import FaultKind
+
+#: live platform objects that must never be captured into worker tasks
+#: (checked by type name to avoid import cycles with repro.core/deploy).
+_UNSHIPPABLE_TYPES = frozenset({"EventBus", "EmulatedSwitch"})
+
+#: consecutive pool failures before the executor stops trying.
+_MAX_POOL_FAILURES = 2
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker task died (injected by chaos, or a real pool break)."""
+
+
+class NonShippableTaskError(TypeError):
+    """A task cannot cross the process boundary as submitted."""
+
+
+def _task_shell(fn: Callable, args: Tuple, crash: bool):
+    """Worker-side wrapper: the injected-crash gate fires here, inside
+    the worker, before the kernel runs."""
+    if crash:
+        raise WorkerCrashError("chaos: injected worker crash")
+    return fn(*args)
+
+
+class ParallelExecutor:
+    """Deterministic fan-out of module-level task functions.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``0`` means run everything serially in-process
+        (the guaranteed-available fallback).
+    ledger:
+        Optional degradation ledger; every parallel->serial fallback is
+        recorded under stage ``"parallel"``.
+    fault_injector:
+        Optional chaos injector; arms deterministic worker crashes.
+    """
+
+    def __init__(self, workers: int = 0, ledger=None, fault_injector=None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+        self.ledger = ledger
+        self.fault_injector = fault_injector
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_failures = 0
+        self.tasks_run = 0
+        self.tasks_in_workers = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True when tasks may actually reach worker processes."""
+        return self.workers > 0 and self._pool_failures < _MAX_POOL_FAILURES
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ValueError) as exc:
+                self._note_failure(f"pool unavailable: {exc!r}")
+                return None
+        return self._pool
+
+    def _note_failure(self, reason: str) -> None:
+        self._pool_failures += 1
+        if self.ledger is not None:
+            self.ledger.degrade("parallel", "serial-fallback", reason)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Release worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- shippability --------------------------------------------------------
+
+    @staticmethod
+    def assert_shippable(fn: Callable, tasks: Sequence[Tuple]) -> None:
+        """Reject tasks that cannot cross the process boundary.
+
+        Lambdas/closures fail eagerly with a pointed message (REP305
+        catches them statically too); live platform objects in the
+        arguments are refused rather than pickled.
+        """
+        qualname = getattr(fn, "__qualname__", "")
+        if "<lambda>" in qualname or "<locals>" in qualname:
+            raise NonShippableTaskError(
+                f"parallel task {qualname!r} is a lambda/closure; workers "
+                f"cannot import it — use a module-level function [REP305]")
+        for args in tasks:
+            for arg in args:
+                if type(arg).__name__ in _UNSHIPPABLE_TYPES:
+                    raise NonShippableTaskError(
+                        f"parallel task argument of type "
+                        f"{type(arg).__name__} must not cross a process "
+                        f"boundary; pass plain data and rebuild the "
+                        f"object inside the worker")
+
+    # -- execution -----------------------------------------------------------
+
+    def _crash_plan(self, n: int) -> List[bool]:
+        injector = self.fault_injector
+        if injector is None or not injector.armed(FaultKind.WORKER_CRASH):
+            return [False] * n
+        return [injector.should_fire(FaultKind.WORKER_CRASH, task=i)
+                for i in range(n)]
+
+    def map_tasks(self, fn: Callable, tasks: Sequence[Tuple]) -> List:
+        """Run ``fn(*task)`` for every task; results in task order.
+
+        Serial when ``workers=0``; otherwise fans out over the pool and
+        degrades to a serial re-run of the whole batch on any worker or
+        pool failure (recorded in the ledger).  Injected worker crashes
+        take the same recovery path as real ones.
+        """
+        tasks = list(tasks)
+        self.tasks_run += len(tasks)
+        if not tasks:
+            return []
+        if not self.parallel:
+            return [fn(*args) for args in tasks]
+        self.assert_shippable(fn, tasks)
+        crashes = self._crash_plan(len(tasks))
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(*args) for args in tasks]
+        try:
+            futures = [pool.submit(_task_shell, fn, args, crash)
+                       for args, crash in zip(tasks, crashes)]
+            results = [future.result() for future in futures]
+        except (WorkerCrashError, BrokenProcessPool, pickle.PicklingError,
+                OSError) as exc:
+            for future in futures:
+                future.cancel()
+            if isinstance(exc, BrokenProcessPool):
+                self._discard_pool()
+            self._note_failure(f"worker batch failed: {exc!r}")
+            return [fn(*args) for args in tasks]
+        self.tasks_in_workers += len(tasks)
+        return results
+
+    def summary(self) -> dict:
+        return {
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "tasks_run": self.tasks_run,
+            "tasks_in_workers": self.tasks_in_workers,
+            "pool_failures": self._pool_failures,
+        }

@@ -1,0 +1,193 @@
+"""Worker-side kernels and their parent-side scatter orchestrators.
+
+Every function named ``_*_kernel`` runs inside a worker process: it
+attaches a :class:`~repro.parallel.shm.ColumnsShipment`, computes on
+the shared column views, and returns a small picklable result.  The
+``scatter_*`` companions run in the parent: they decide eligibility,
+pack the column blocks into shared memory, fan the tasks out through a
+:class:`~repro.parallel.executor.ParallelExecutor`, and always unlink
+the blocks before returning.
+
+Eligibility is conservative — any shape the kernel cannot reproduce
+bit-identically (residual predicates, tag filters, record-backed
+segments, no shared memory) returns None and the caller takes its
+serial path.  Parallelism changes wall-clock, never answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datastore.query import Query, columnar_positions
+from repro.learning.features import _block_examples
+from repro.netsim.packets import PacketColumns
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.shm import ColumnsShipment, pack_columns, shm_available
+
+#: fields the vectorized scan kernel can evaluate without records
+_SCANNABLE_FIELDS = frozenset({
+    "timestamp", "src_port", "dst_port", "protocol", "size", "payload_len",
+    "flags", "ttl", "flow_id", "src_ip", "dst_ip", "direction", "app",
+    "label",
+})
+
+
+# -- query scan ---------------------------------------------------------------
+
+
+def _query_scan_kernel(shipment: ColumnsShipment, time_range,
+                       where: Dict) -> Optional[np.ndarray]:
+    """Vectorized row selection over one shipped block; ascending
+    positions (or None if a field resists vectorized evaluation)."""
+    shm, cols = shipment.attach()
+    try:
+        return columnar_positions(cols, time_range, where)
+    finally:
+        shm.close()
+
+
+def scatter_query(segments, query: Query, executor: ParallelExecutor) \
+        -> Optional[List[Tuple[object, np.ndarray]]]:
+    """Per-segment scan positions computed in workers.
+
+    Returns ``[(segment, positions), ...]`` for the contributing
+    segments, or None when the query (or any segment) is ineligible
+    for the records-free kernel.
+    """
+    if query.tags or query.predicate is not None:
+        return None
+    if not shm_available():
+        return None
+    for fld, value in query.where.items():
+        if fld not in _SCANNABLE_FIELDS:
+            return None
+        if not isinstance(value, (str, int, float)):
+            return None
+
+    jobs: List[Tuple[object, PacketColumns]] = []
+    for segment in segments:
+        if not segment.records:
+            continue
+        if query.time_range is not None and not segment.overlaps(
+                *query.time_range):
+            continue
+        cols = segment.columns()
+        if cols is None:
+            return None
+        jobs.append((segment, cols))
+    if not jobs:
+        return []
+
+    handles = []
+    try:
+        tasks = []
+        for _, cols in jobs:
+            handle, shipment = pack_columns(cols)
+            handles.append(handle)
+            tasks.append((shipment, query.time_range, dict(query.where)))
+        outs = executor.map_tasks(_query_scan_kernel, tasks)
+    finally:
+        for handle in handles:
+            handle.close()
+            handle.unlink()
+    if any(out is None for out in outs):
+        return None
+    return [(segment, positions)
+            for (segment, _), positions in zip(jobs, outs)]
+
+
+# -- featurize ----------------------------------------------------------------
+
+
+def _featurize_kernel(shipment: ColumnsShipment, time_range, window_s: float,
+                      use_payload: bool, resp_mask, any_mask, tagged_mask,
+                      curated_codes, curated_values):
+    """Partial window aggregation of one shipped block (records-free)."""
+    shm, cols = shipment.attach()
+    try:
+        return _block_examples(cols, time_range, window_s, use_payload,
+                               resp_mask, any_mask, tagged_mask,
+                               curated_codes, curated_values)
+    finally:
+        shm.close()
+
+
+def scatter_featurize(blocks, time_range, window_s: float, use_payload: bool,
+                      executor: ParallelExecutor) -> Optional[List]:
+    """Per-segment partial examples computed in workers.
+
+    ``blocks`` is ``[(segment, cols, aux), ...]`` as prepared by
+    :meth:`SourceWindowFeaturizer.examples_merged`; the per-row aux
+    arrays (DNS tag verdicts, curated label codes) ride the pickle
+    channel while the columns go through shared memory.  Returns the
+    per-block partial results, or None when shipping is unavailable.
+    """
+    if not shm_available():
+        return None
+    handles = []
+    try:
+        tasks = []
+        for _, cols, aux in blocks:
+            handle, shipment = pack_columns(cols)
+            handles.append(handle)
+            tasks.append((shipment, time_range, window_s, use_payload, *aux))
+        return executor.map_tasks(_featurize_kernel, tasks)
+    finally:
+        for handle in handles:
+            handle.close()
+            handle.unlink()
+
+
+# -- metadata extraction ------------------------------------------------------
+
+
+def _extract_kernel(shipment: ColumnsShipment) -> List[Dict[str, str]]:
+    """Tag extraction for one shipped block.
+
+    Builds a fresh topology-free extractor inside the worker — live
+    platform objects never cross the boundary — and materializes
+    records off the shared views (payloads were shipped alongside).
+    """
+    from repro.capture.metadata import MetadataExtractor
+    shm, cols = shipment.attach()
+    try:
+        return MetadataExtractor().extract_batch(list(cols.iter_records()))
+    finally:
+        shm.close()
+
+
+def scatter_extract(cols: PacketColumns, executor: ParallelExecutor,
+                    min_chunk: int = 2_000) -> Optional[List[Dict[str, str]]]:
+    """Metadata extraction fanned out over row chunks of one batch.
+
+    Only valid for topology-free extraction (the caller checks): tags
+    are then a pure function of each packet, so chunking cannot change
+    them.  Returns the per-row tag dicts in input order, or None when
+    the batch is too small to be worth shipping or shm is unavailable.
+    """
+    n = len(cols)
+    if not shm_available() or n < 2 * min_chunk or cols.payload is None:
+        return None
+    chunks = max(2, min(executor.workers * 2, n // min_chunk))
+    bounds = np.linspace(0, n, chunks + 1).astype(int)
+    handles = []
+    try:
+        tasks = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if lo == hi:
+                continue
+            handle, shipment = pack_columns(cols.slice(int(lo), int(hi)),
+                                            with_payload=True)
+            handles.append(handle)
+            tasks.append((shipment,))
+        outs = executor.map_tasks(_extract_kernel, tasks)
+    finally:
+        for handle in handles:
+            handle.close()
+            handle.unlink()
+    tags: List[Dict[str, str]] = []
+    for out in outs:
+        tags.extend(out)
+    return tags

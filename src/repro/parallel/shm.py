@@ -1,0 +1,206 @@
+"""Zero-copy shipping of columnar batches via shared memory.
+
+A shipment packs a set of numpy arrays into one
+:mod:`multiprocessing.shared_memory` block; the picklable descriptor
+(block name + per-array dtype/shape/offset) crosses the process
+boundary instead of the data, and workers attach numpy *views* onto
+the same physical pages.  Only small residual state — dictionary
+column value tables, payload fragments when a kernel needs them — ever
+rides the pickle channel.
+
+Lifecycle: the **parent** packs, hands descriptors to tasks, and
+unlinks once results are in; **workers** attach read-only and close on
+exit.  :func:`shm_available` gates every caller: platforms without
+POSIX shared memory (or sandboxes that forbid it) degrade to the
+serial code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.packets import (
+    NUMERIC_FIELDS,
+    DictColumn,
+    PacketColumns,
+)
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:          # pragma: no cover - platform without shm
+    _shared_memory = None
+
+_STRING_COLUMNS = ("direction", "app", "label")
+_available: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """True when this platform can create and attach shared memory."""
+    global _available
+    if _available is None:
+        if _shared_memory is None:
+            _available = False
+        else:
+            try:
+                block = _shared_memory.SharedMemory(create=True, size=16)
+                block.close()
+                block.unlink()
+                _available = True
+            except (OSError, ValueError):
+                _available = False
+    return _available
+
+
+def _untrack(shm) -> None:
+    """Keep a borrowed block out of this process's resource tracker.
+
+    Attaching registers the block as if this process owned it, and a
+    *spawn*-started worker's private tracker would unlink the block
+    when the worker exits — even though the parent still owns it
+    (bpo-39959).  Fork-started workers share the parent's tracker, so
+    there the duplicate registration is a no-op and unregistering would
+    instead erase the parent's claim (making its later ``unlink``
+    trip the tracker).  Ownership stays with the parent either way.
+    """
+    try:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            resource_tracker.unregister(shm._name, "shared_memory")
+    except (ImportError, AttributeError, KeyError):   # pragma: no cover
+        pass
+
+
+@dataclass
+class ArrayShipment:
+    """Picklable descriptor of arrays packed into one shm block."""
+
+    shm_name: str
+    total_bytes: int
+    #: name -> (dtype string, shape tuple, byte offset)
+    layout: Dict[str, Tuple[str, Tuple[int, ...], int]]
+
+    def attach(self) -> Tuple[object, Dict[str, np.ndarray]]:
+        """Open the block and return (handle, name -> array view).
+
+        The caller must keep the handle alive as long as the views are
+        in use, then ``handle.close()``.
+        """
+        shm = _shared_memory.SharedMemory(name=self.shm_name)
+        _untrack(shm)
+        arrays = {
+            name: np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=shm.buf, offset=offset)
+            for name, (dtype, shape, offset) in self.layout.items()
+        }
+        return shm, arrays
+
+
+def pack_arrays(arrays: Dict[str, np.ndarray]) \
+        -> Tuple[object, ArrayShipment]:
+    """Copy arrays into one fresh shm block; returns (handle, shipment).
+
+    The handle belongs to the caller: ``close()`` + ``unlink()`` when
+    every consumer is done (``ArrayShipment.unlink`` does both).
+    """
+    layout: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        # 8-byte alignment keeps every view's dtype happy.
+        offset = (offset + 7) & ~7
+        layout[name] = (array.dtype.str, array.shape, offset)
+        offset += array.nbytes
+    shm = _shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, array in arrays.items():
+        dtype, shape, start = layout[name]
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                          offset=start)
+        view[...] = array
+    return shm, ArrayShipment(shm_name=shm.name, total_bytes=offset,
+                              layout=layout)
+
+
+def attach_arrays(shipment: ArrayShipment) \
+        -> Tuple[object, Dict[str, np.ndarray]]:
+    """Worker-side convenience alias for :meth:`ArrayShipment.attach`."""
+    return shipment.attach()
+
+
+@dataclass
+class ColumnsShipment:
+    """A :class:`PacketColumns` batch split into shm + pickle parts.
+
+    Arrays (numeric columns, uint32 addresses, dictionary codes, and —
+    when ``with_payload`` — the payload blob/offsets) live in the shm
+    block; the small value tables ride along in this dataclass.
+    Payloads are optional because most kernels (query masks, featurize
+    aggregation) never touch them.
+    """
+
+    arrays: ArrayShipment
+    #: column name -> value table for dictionary-encoded columns
+    dict_values: Dict[str, List[str]] = field(default_factory=dict)
+    n_rows: int = 0
+    with_payload: bool = False
+
+    def attach(self) -> Tuple[object, PacketColumns]:
+        """Rebuild a :class:`PacketColumns` over shared views.
+
+        ``payload`` is ``None`` unless the shipment carried payloads —
+        kernels that never materialize records never notice.
+        """
+        shm, arrays = self.arrays.attach()
+        columns: Dict[str, object] = {}
+        for fld in NUMERIC_FIELDS:
+            columns[fld] = arrays[fld]
+        for fld in ("src_ip", "dst_ip"):
+            if fld in self.dict_values:
+                columns[fld] = DictColumn(arrays[fld + ".codes"],
+                                          list(self.dict_values[fld]))
+            else:
+                columns[fld] = arrays[fld]
+        for fld in _STRING_COLUMNS:
+            columns[fld] = DictColumn(arrays[fld + ".codes"],
+                                      list(self.dict_values[fld]))
+        payload = None
+        if self.with_payload:
+            blob = arrays["payload.blob"].tobytes()
+            bounds = arrays["payload.offsets"]
+            payload = [blob[bounds[i]:bounds[i + 1]]
+                       for i in range(self.n_rows)]
+        columns["payload"] = payload
+        return shm, PacketColumns(**columns)
+
+
+def pack_columns(cols: PacketColumns, with_payload: bool = False) \
+        -> Tuple[object, ColumnsShipment]:
+    """Pack a batch for worker shipment; returns (handle, shipment)."""
+    arrays: Dict[str, np.ndarray] = {
+        fld: getattr(cols, fld) for fld in NUMERIC_FIELDS
+    }
+    dict_values: Dict[str, List[str]] = {}
+    for fld in ("src_ip", "dst_ip"):
+        column = getattr(cols, fld)
+        if isinstance(column, DictColumn):
+            arrays[fld + ".codes"] = column.codes
+            dict_values[fld] = list(column.values)
+        else:
+            arrays[fld] = column
+    for fld in _STRING_COLUMNS:
+        column = getattr(cols, fld)
+        arrays[fld + ".codes"] = column.codes
+        dict_values[fld] = list(column.values)
+    if with_payload:
+        offsets = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum([len(p) for p in cols.payload], out=offsets[1:])
+        blob = b"".join(cols.payload)
+        arrays["payload.blob"] = np.frombuffer(blob, dtype=np.uint8) \
+            if blob else np.zeros(0, dtype=np.uint8)
+        arrays["payload.offsets"] = offsets
+    shm, shipment = pack_arrays(arrays)
+    return shm, ColumnsShipment(arrays=shipment, dict_values=dict_values,
+                                n_rows=len(cols), with_payload=with_payload)

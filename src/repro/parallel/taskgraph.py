@@ -1,0 +1,100 @@
+"""Dependency-aware task graph scheduled in ready waves.
+
+A small, deterministic cousin of the Estee scheduler simulator's task
+graphs: tasks name their dependencies, the graph topologically peels
+off *waves* of ready tasks, and each wave is fanned out through a
+:class:`~repro.parallel.executor.ParallelExecutor`.  Results of
+dependencies are substituted into successor arguments via :class:`Dep`
+placeholders, so task functions stay plain module-level functions of
+picklable values — the executor's shippability rules apply unchanged.
+
+Used by the devloop slow path: cross-validation folds are independent
+tasks, per-event-class distillation fans out one task per class, and a
+summary task depends on all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.parallel.executor import ParallelExecutor
+
+
+@dataclass(frozen=True)
+class Dep:
+    """Placeholder argument: replaced by the named task's result."""
+
+    name: str
+
+
+@dataclass
+class Task:
+    """One node: a module-level function plus (possibly Dep) arguments."""
+
+    name: str
+    fn: Callable
+    args: Tuple = ()
+    deps: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class TaskGraph:
+    """Insertion-ordered DAG of tasks run in ready waves.
+
+    Determinism: within a wave, tasks run (and results bind) in
+    insertion order, so the execution schedule is a pure function of
+    the graph — independent of worker timing.
+    """
+
+    def __init__(self):
+        self._tasks: Dict[str, Task] = {}
+
+    def add(self, name: str, fn: Callable, *args,
+            deps: Sequence[str] = ()) -> Task:
+        """Register a task; ``Dep(name)`` args imply dependencies."""
+        if name in self._tasks:
+            raise ValueError(f"duplicate task {name!r}")
+        implied = [a.name for a in args if isinstance(a, Dep)]
+        task = Task(name=name, fn=fn, args=tuple(args),
+                    deps=tuple(dict.fromkeys([*deps, *implied])))
+        self._tasks[name] = task
+        return task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def _check(self) -> None:
+        for task in self._tasks.values():
+            for dep in task.deps:
+                if dep not in self._tasks:
+                    raise ValueError(
+                        f"task {task.name!r} depends on unknown {dep!r}")
+
+    @staticmethod
+    def _bind(task: Task, results: Dict[str, object]) -> Tuple:
+        return tuple(results[a.name] if isinstance(a, Dep) else a
+                     for a in task.args)
+
+    def run(self, executor: ParallelExecutor) -> Dict[str, object]:
+        """Execute the graph; returns name -> result for every task."""
+        self._check()
+        results: Dict[str, object] = {}
+        pending = dict(self._tasks)
+        while pending:
+            wave = [t for t in pending.values()
+                    if all(d in results for d in t.deps)]
+            if not wave:
+                cycle = ", ".join(sorted(pending))
+                raise ValueError(f"task graph has a cycle among: {cycle}")
+            # One executor batch per wave; tasks in a wave share no deps.
+            if len({t.fn for t in wave}) == 1 and len(wave) > 1:
+                outs = executor.map_tasks(
+                    wave[0].fn, [self._bind(t, results) for t in wave])
+            else:
+                outs = [executor.map_tasks(t.fn,
+                                           [self._bind(t, results)])[0]
+                        for t in wave]
+            for task, out in zip(wave, outs):
+                results[task.name] = out
+                del pending[task.name]
+        return results

@@ -93,6 +93,8 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
                "seed-disciplined code"),
     "REP304": (Severity.ERROR,
                "wall-clock time.time() inside simulator code"),
+    "REP305": (Severity.ERROR,
+               "non-picklable lambda in a parallel task submission"),
 }
 
 

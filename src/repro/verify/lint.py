@@ -1,6 +1,6 @@
 """Repo-wide AST lint: project rules as ``REP3xx`` diagnostics.
 
-Four rules, each encoding a discipline the platform depends on:
+Five rules, each encoding a discipline the platform depends on:
 
 * **REP301** — no mutable default arguments (``def f(x=[])``): shared
   state across calls breaks the "fresh network per seed" contract.
@@ -13,6 +13,13 @@ Four rules, each encoding a discipline the platform depends on:
 * **REP304** — no wall-clock ``time.time()`` inside simulator code:
   simulated time comes from the event loop, and wall-clock reads make
   runs machine-dependent.
+* **REP305** — no lambdas in parallel task submissions
+  (``.submit(lambda: ...)`` / ``.map_tasks(lambda ...)``): lambdas
+  and closures cannot be pickled into worker processes, and closures
+  are how live platform objects (an ``EventBus``, an
+  ``EmulatedSwitch``) leak across the process boundary.  Tasks must
+  be module-level functions taking picklable arguments (the runtime
+  twin of this rule is ``ParallelExecutor.assert_shippable``).
 
 Configuration lives in ``pyproject.toml`` under ``[tool.repro.lint]``
 (scopes for the scoped rules, plus an explicit ``exemptions`` list of
@@ -36,6 +43,9 @@ _SEEDED_NP_ATTRS = {"default_rng", "Generator", "SeedSequence",
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
 _MUTABLE_CALLS = {"list", "dict", "set"}
+
+#: method names that ship their arguments into worker processes.
+_SUBMIT_METHODS = {"submit", "map_tasks"}
 
 
 @dataclass
@@ -180,6 +190,14 @@ class _LintVisitor(ast.NodeVisitor):
                 "REP304",
                 "wall-clock time.time() in simulator code; use the "
                 "event loop's simulated clock", node.lineno)
+        if len(chain) >= 2 and chain[-1] in _SUBMIT_METHODS:
+            for arg in node.args:
+                if isinstance(arg, ast.Lambda):
+                    self._report(
+                        "REP305",
+                        f"lambda passed to .{chain[-1]}() cannot be "
+                        f"pickled into a worker process; use a "
+                        f"module-level function", arg.lineno)
         self.generic_visit(node)
 
 

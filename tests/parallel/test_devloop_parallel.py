@@ -1,0 +1,70 @@
+"""Slow-loop parallelism: CV folds and per-class develop as task graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.devloop import DevelopmentLoop
+from repro.learning.dataset import Dataset
+from repro.parallel import ParallelExecutor
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    n = 200
+    X = rng.normal(size=(n, 4))
+    y = np.zeros(n, dtype=int)
+    y[X[:, 0] > 0.5] = 1
+    y[X[:, 1] > 0.9] = 2
+    return Dataset(X, y, [f"f{i}" for i in range(4)],
+                   ["benign", "scan", "exfil"])
+
+
+def test_cross_validate_serial(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    summary = loop.cross_validate(dataset, k=4, seed=1)
+    assert "accuracy" in summary
+    assert len(summary["accuracy"]["folds"]) == 4
+    assert 0.0 <= summary["accuracy"]["mean"] <= 1.0
+
+
+def test_cross_validate_parallel_matches_serial(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    serial = loop.cross_validate(dataset, k=3, seed=2)
+    with ParallelExecutor(workers=2) as ex:
+        parallel = loop.cross_validate(dataset, k=3, seed=2, executor=ex)
+        assert ex.tasks_in_workers > 0
+    assert serial == parallel
+
+
+def test_cross_validate_rejects_bad_k(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    with pytest.raises(ValueError):
+        loop.cross_validate(dataset, k=1)
+    with pytest.raises(ValueError):
+        loop.cross_validate(dataset, k=len(dataset) + 1)
+
+
+def test_develop_per_class_serial(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    summary = loop.develop_per_class(dataset, seed=1)
+    assert set(summary) == {"scan", "exfil"}
+    for entry in summary.values():
+        assert entry["verified"]
+        assert 0.0 <= entry["holdout_fidelity"] <= 1.0
+        assert entry["table_entries"] >= 1
+
+
+def test_develop_per_class_parallel_matches_serial(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    serial = loop.develop_per_class(dataset, seed=4)
+    with ParallelExecutor(workers=2) as ex:
+        parallel = loop.develop_per_class(dataset, seed=4, executor=ex)
+        assert ex.tasks_in_workers > 0
+    assert serial == parallel
+
+
+def test_develop_per_class_rejects_unknown_class(dataset):
+    loop = DevelopmentLoop(teacher_name="tree")
+    with pytest.raises(ValueError, match="unknown"):
+        loop.develop_per_class(dataset, classes=["nope"])

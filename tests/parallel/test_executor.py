@@ -1,0 +1,97 @@
+"""ParallelExecutor: serial fallback, shippability, crash recovery."""
+
+import pytest
+
+from repro.chaos.faults import FaultKind, FaultPlan, FaultSpec
+from repro.chaos.resilience import DegradationLedger
+from repro.core.eventbus import EventBus
+from repro.parallel import NonShippableTaskError, ParallelExecutor
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def test_workers_zero_runs_serial_in_process():
+    ex = ParallelExecutor(workers=0)
+    assert not ex.parallel
+    assert ex.map_tasks(_square, [(i,) for i in range(5)]) == \
+        [0, 1, 4, 9, 16]
+    assert ex.tasks_run == 5
+    assert ex.tasks_in_workers == 0
+
+
+def test_workers_run_in_pool_with_ordered_results():
+    with ParallelExecutor(workers=2) as ex:
+        assert ex.map_tasks(_add, [(i, 10) for i in range(8)]) == \
+            [i + 10 for i in range(8)]
+        assert ex.tasks_in_workers == 8
+
+
+def test_empty_batch_is_a_noop():
+    ex = ParallelExecutor(workers=0)
+    assert ex.map_tasks(_square, []) == []
+
+
+def test_rejects_negative_workers():
+    with pytest.raises(ValueError):
+        ParallelExecutor(workers=-1)
+
+
+def test_lambda_tasks_are_refused():
+    with ParallelExecutor(workers=1) as ex:
+        with pytest.raises(NonShippableTaskError, match="REP305"):
+            ex.map_tasks(lambda x: x, [(1,)])
+
+
+def test_closure_tasks_are_refused():
+    def local_task(x):
+        return x
+
+    with ParallelExecutor(workers=1) as ex:
+        with pytest.raises(NonShippableTaskError):
+            ex.map_tasks(local_task, [(1,)])
+
+
+def test_live_platform_objects_are_refused_as_arguments():
+    with ParallelExecutor(workers=1) as ex:
+        with pytest.raises(NonShippableTaskError, match="EventBus"):
+            ex.map_tasks(_square, [(EventBus(),)])
+
+
+def test_injected_worker_crash_degrades_to_serial():
+    plan = FaultPlan(name="crashy", seed=11,
+                     specs=(FaultSpec(FaultKind.WORKER_CRASH, rate=1.0),))
+    ledger = DegradationLedger()
+    with ParallelExecutor(workers=1, ledger=ledger,
+                          fault_injector=plan.injector()) as ex:
+        results = ex.map_tasks(_square, [(i,) for i in range(4)])
+    assert results == [0, 1, 4, 9]
+    assert ledger.degraded("parallel")
+    assert any("crash" in entry.reason for entry in ledger.entries)
+
+
+def test_repeated_failures_disable_the_pool():
+    plan = FaultPlan(name="crashy", seed=11,
+                     specs=(FaultSpec(FaultKind.WORKER_CRASH, rate=1.0),))
+    ledger = DegradationLedger()
+    with ParallelExecutor(workers=1, ledger=ledger,
+                          fault_injector=plan.injector()) as ex:
+        assert ex.parallel
+        for _ in range(3):
+            ex.map_tasks(_square, [(2,)])
+        # after the failure cap the executor stops even trying workers
+        assert not ex.parallel
+        assert ex.map_tasks(_square, [(3,)]) == [9]
+    assert len(ledger.entries) >= 2
+
+
+def test_serial_results_match_parallel_results():
+    tasks = [(i, i + 1) for i in range(12)]
+    serial = ParallelExecutor(workers=0).map_tasks(_add, tasks)
+    with ParallelExecutor(workers=2) as ex:
+        assert ex.map_tasks(_add, tasks) == serial

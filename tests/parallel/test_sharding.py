@@ -1,0 +1,98 @@
+"""Shard routing: scalar and vectorized assignment must agree exactly."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.packets import PacketColumns, PacketRecord
+from repro.parallel import ShardRouter
+
+IPS = ["10.0.0.1", "10.0.0.2", "9.9.0.7", "192.168.1.20"]
+WEIRD_IPS = ["host.example", "10.0.0", "::1"]
+PORTS = [53, 443, 40_001]
+
+
+def packet_strategy(ips):
+    return st.builds(
+        PacketRecord,
+        timestamp=st.floats(min_value=0.0, max_value=60.0,
+                            allow_nan=False, allow_infinity=False),
+        src_ip=st.sampled_from(ips),
+        dst_ip=st.sampled_from(ips),
+        src_port=st.sampled_from(PORTS),
+        dst_port=st.sampled_from(PORTS),
+        protocol=st.sampled_from([1, 6, 17]),
+        size=st.just(100), payload_len=st.just(0),
+        flags=st.just(0), ttl=st.just(60),
+        payload=st.just(b""), flow_id=st.integers(0, 5),
+        app=st.just("web"), label=st.just(""),
+        direction=st.sampled_from(["in", "out"]),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(packets=st.lists(packet_strategy(IPS + WEIRD_IPS), min_size=1,
+                        max_size=120),
+       n_shards=st.sampled_from([1, 2, 4, 8]))
+def test_scalar_and_vectorized_assignment_agree(packets, n_shards):
+    router = ShardRouter(n_shards)
+    scalar = router.assign_records(packets)
+    vectorized = router.assign_columns(PacketColumns.from_records(packets))
+    assert list(scalar) == list(vectorized)
+    assert all(0 <= s < n_shards for s in scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(packets=st.lists(packet_strategy(IPS), min_size=1, max_size=80),
+       n_shards=st.sampled_from([2, 4, 8]))
+def test_partition_positions_is_a_partition(packets, n_shards):
+    router = ShardRouter(n_shards)
+    assignments = np.asarray(router.assign_records(packets), dtype=np.int64)
+    parts = router.partition_positions(assignments)
+    assert len(parts) == n_shards
+    seen = np.concatenate([p for p in parts]) if packets else np.array([])
+    assert sorted(seen.tolist()) == list(range(len(packets)))
+    for shard_id, positions in enumerate(parts):
+        assert all(assignments[p] == shard_id for p in positions.tolist())
+
+
+def _packet(**overrides):
+    base = dict(timestamp=3.0, src_ip="10.0.0.1", dst_ip="9.9.0.7",
+                src_port=40_001, dst_port=53, protocol=17, size=100,
+                payload_len=0, flags=0, ttl=60, payload=b"", flow_id=0,
+                app="dns", label="", direction="in")
+    base.update(overrides)
+    return PacketRecord(**base)
+
+
+def test_flow_key_is_direction_insensitive():
+    """Both directions of a conversation land on the same shard."""
+    router = ShardRouter(8)
+    fwd = _packet()
+    rev = _packet(src_ip="9.9.0.7", dst_ip="10.0.0.1",
+                  src_port=53, dst_port=40_001, direction="out")
+    assert router.shard_of(fwd) == router.shard_of(rev)
+
+
+def test_window_changes_shard_over_time():
+    """The same flow spreads across shards as windows advance."""
+    router = ShardRouter(8, window_s=5.0)
+    shards = {router.shard_of(_packet(timestamp=t))
+              for t in np.arange(0.0, 200.0, 5.0)}
+    assert len(shards) > 1
+
+
+def test_nonfinite_timestamps_route_deterministically():
+    router = ShardRouter(4)
+    weird = [_packet(timestamp=math.nan), _packet(timestamp=math.inf),
+             _packet(timestamp=-math.inf)]
+    scalar = router.assign_records(weird)
+    vectorized = router.assign_columns(PacketColumns.from_records(weird))
+    assert list(scalar) == list(vectorized)
+
+
+def test_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        ShardRouter(0)

@@ -1,0 +1,93 @@
+"""TaskGraph: dependency-aware scheduling with deterministic results."""
+
+import pytest
+
+from repro.parallel import Dep, ParallelExecutor, TaskGraph
+
+
+def _const(value):
+    return value
+
+
+def _add(a, b):
+    return a + b
+
+
+def _join(*parts):
+    return list(parts)
+
+
+def test_dep_results_substitute_into_arguments():
+    graph = TaskGraph()
+    graph.add("a", _const, 2)
+    graph.add("b", _const, 3)
+    graph.add("sum", _add, Dep("a"), Dep("b"))
+    results = graph.run(ParallelExecutor(0))
+    assert results == {"a": 2, "b": 3, "sum": 5}
+
+
+def test_diamond_runs_and_joins():
+    graph = TaskGraph()
+    graph.add("root", _const, 1)
+    graph.add("left", _add, Dep("root"), 10)
+    graph.add("right", _add, Dep("root"), 20)
+    graph.add("join", _join, Dep("left"), Dep("right"))
+    assert graph.run(ParallelExecutor(0))["join"] == [11, 21]
+
+
+def test_duplicate_name_rejected():
+    graph = TaskGraph()
+    graph.add("a", _const, 1)
+    with pytest.raises(ValueError):
+        graph.add("a", _const, 2)
+
+
+def test_unknown_dependency_rejected():
+    graph = TaskGraph()
+    graph.add("a", _add, Dep("missing"), 1)
+    with pytest.raises(ValueError, match="missing"):
+        graph.run(ParallelExecutor(0))
+
+
+def test_cycle_detected():
+    graph = TaskGraph()
+    graph.add("a", _const, 1, deps=("b",))
+    graph.add("b", _const, 2, deps=("a",))
+    with pytest.raises(ValueError):
+        graph.run(ParallelExecutor(0))
+
+
+def test_same_wave_same_fn_batches_through_map_tasks():
+    class Recorder(ParallelExecutor):
+        def __init__(self):
+            super().__init__(workers=0)
+            self.batches = []
+
+        def map_tasks(self, fn, tasks):
+            tasks = list(tasks)
+            self.batches.append((fn, len(tasks)))
+            return super().map_tasks(fn, tasks)
+
+    recorder = Recorder()
+    graph = TaskGraph()
+    for i in range(4):
+        graph.add(f"leaf-{i}", _const, i)
+    graph.add("join", _join, *[Dep(f"leaf-{i}") for i in range(4)])
+    results = graph.run(recorder)
+    assert results["join"] == [0, 1, 2, 3]
+    # the four _const leaves went out as ONE batch, then the join
+    assert (_const, 4) in recorder.batches
+
+
+def test_parallel_and_serial_graphs_agree():
+    def build():
+        graph = TaskGraph()
+        graph.add("x", _const, 5)
+        graph.add("y", _add, Dep("x"), 7)
+        graph.add("z", _add, Dep("y"), 100)
+        return graph
+
+    serial = build().run(ParallelExecutor(0))
+    with ParallelExecutor(workers=2) as ex:
+        parallel = build().run(ex)
+    assert serial == parallel

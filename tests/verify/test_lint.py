@@ -112,6 +112,39 @@ class TestWallClock:
         assert findings == []
 
 
+class TestParallelSubmissions:
+    def test_lambda_in_submit_flagged(self):
+        findings = _lint("pool.submit(lambda: work())\n",
+                         rel_path="analysis/mod.py")
+        assert [d.code for d in findings] == ["REP305"]
+
+    def test_lambda_in_map_tasks_flagged(self):
+        findings = _lint(
+            "executor.map_tasks(lambda x: x + 1, tasks)\n",
+            rel_path="analysis/mod.py")
+        assert [d.code for d in findings] == ["REP305"]
+
+    def test_applies_everywhere_not_just_scoped_packages(self):
+        findings = _lint("self._pool.submit(lambda: 1)\n",
+                         rel_path="whatever/mod.py")
+        assert [d.code for d in findings] == ["REP305"]
+
+    def test_module_level_function_submission_clean(self):
+        findings = _lint("""
+            executor.map_tasks(kernel, tasks)
+            pool.submit(kernel, shipment, time_range)
+        """, rel_path="analysis/mod.py")
+        assert findings == []
+
+    def test_lambdas_elsewhere_are_not_flagged(self):
+        findings = _lint("""
+            items.sort(key=lambda x: x.rid)
+            plain_submit = submit(lambda: 1)
+            other.map(lambda x: x, xs)
+        """, rel_path="analysis/mod.py")
+        assert findings == []
+
+
 class TestExemptions:
     def test_specific_exemption_suppresses(self):
         config = LintConfig(exemptions={"netsim/mod.py:REP304"})
