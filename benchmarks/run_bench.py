@@ -11,6 +11,11 @@ The committed file at the repo root records two things:
   (``--suite``) updates only the tests it ran and never clobbers the
   rest.
 
+Write-mode runs also emit ``BENCH_substrate.jsonl`` next to the JSON
+file: one ``bench`` record per test in the :mod:`repro.obs.export`
+JSON-lines schema, so ``repro obs``-style tooling can consume
+benchmark history with the same reader as pipeline observability.
+
 Modes
 -----
 ``python benchmarks/run_bench.py``
@@ -38,9 +43,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_substrate.json"
+BENCH_JSONL = REPO_ROOT / "BENCH_substrate.jsonl"
 SUITES = (
     Path(__file__).resolve().parent / "test_perf_substrate.py",
     Path(__file__).resolve().parent / "test_perf_parallel.py",
+    Path(__file__).resolve().parent / "test_perf_obs.py",
 )
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 
@@ -72,15 +79,30 @@ def run_suite(suite: Path, quick: bool) -> dict:
     return results
 
 
-def run_suites(quick: bool, only: str = "") -> dict:
+def run_suites(quick: bool, only: str = "") -> "tuple[dict, list]":
+    """Run the selected suites; returns ``(results, obs_records)``.
+
+    ``obs_records`` carries one ``bench`` JSON-lines record per test
+    (the :mod:`repro.obs.export` schema), so benchmark history and
+    pipeline observability share one file format.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.export import bench_record
+
     results: dict = {}
+    records: list = []
+    mode = "quick" if quick else "full"
     selected = [s for s in SUITES if only in s.name]
     if not selected:
         known = ", ".join(s.name for s in SUITES)
         raise SystemExit(f"--suite {only!r} matches none of: {known}")
     for suite in selected:
-        results.update(run_suite(suite, quick=quick))
-    return results
+        suite_results = run_suite(suite, quick=quick)
+        results.update(suite_results)
+        records.extend(
+            bench_record(name, stats, suite=suite.stem, mode=mode)
+            for name, stats in sorted(suite_results.items()))
+    return results, records
 
 
 def load_committed() -> dict:
@@ -134,10 +156,13 @@ def main(argv=None) -> int:
                              "this substring")
     args = parser.parse_args(argv)
 
-    results = run_suites(quick=args.quick, only=args.suite)
+    results, records = run_suites(quick=args.quick, only=args.suite)
     committed = load_committed()
     if args.check:
         return check(results, committed, args.threshold)
+    from repro.obs.export import write_jsonl
+    write_jsonl(records, BENCH_JSONL)
+    print(f"wrote {BENCH_JSONL}")
 
     merged_results = {**committed.get("results", {}), **results}
     # Frozen entries stay; only tests the baseline has never seen are

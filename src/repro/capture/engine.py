@@ -114,11 +114,16 @@ class CaptureEngine:
         kept per shard in :attr:`shard_stats`, matching how a sharded
         store partitions the same packets.  Batch-level tap-fault
         counters stay on the global :attr:`stats` only.
+    obs:
+        Optional :class:`~repro.obs.Observability`; metric objects are
+        cached at construction so the per-batch cost is one ``is not
+        None`` check plus a few attribute increments.  ``None`` (the
+        default) costs nothing.
     """
 
     def __init__(self, capacity_gbps: Optional[float] = None,
                  buffer_bytes: float = 256e6, bin_seconds: float = 1.0,
-                 fault_injector=None, shard_router=None):
+                 fault_injector=None, shard_router=None, obs=None):
         if capacity_gbps is not None and capacity_gbps <= 0:
             raise ValueError("capacity must be positive (or None)")
         self.capacity_gbps = capacity_gbps
@@ -132,6 +137,33 @@ class CaptureEngine:
         ] if shard_router is not None else []
         self._bin_bytes: Dict[int, float] = {}
         self._subscribers: List[Callable[[List[PacketRecord]], None]] = []
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+            self._m_offered = metrics.counter(
+                "repro_capture_packets_offered_total")
+            self._m_captured = metrics.counter(
+                "repro_capture_packets_captured_total")
+            self._m_dropped = metrics.counter(
+                "repro_capture_packets_dropped_total")
+            self._m_fault_dropped = metrics.counter(
+                "repro_capture_packets_fault_dropped_total")
+            self._m_bytes = metrics.counter(
+                "repro_capture_bytes_captured_total")
+            from repro.obs.metrics import COUNT_BUCKETS
+            self._m_batch = metrics.histogram(
+                "repro_capture_batch_packets", buckets=COUNT_BUCKETS)
+
+    def _record_obs(self, offered: int, captured: int, dropped: int,
+                    fault_dropped: int, captured_bytes: float) -> None:
+        """One batch's deltas into the cached metric objects."""
+        self._m_offered.inc(offered)
+        self._m_captured.inc(captured)
+        self._m_dropped.inc(dropped)
+        if fault_dropped:
+            self._m_fault_dropped.inc(fault_dropped)
+        self._m_bytes.inc(captured_bytes)
+        self._m_batch.observe(offered)
 
     def subscribe(self, callback: Callable[[List[PacketRecord]], None]) -> None:
         """Receive the captured (post-loss) packet batches."""
@@ -149,14 +181,18 @@ class CaptureEngine:
         """Offer a batch to the appliance; returns the captured subset."""
         if not packets:
             return []
+        fault_dropped = 0
         if self.fault_injector is not None:
             packets, perturbation = \
                 self.fault_injector.perturb_packets(packets)
+            fault_dropped = perturbation.dropped
             self.stats.packets_fault_dropped += perturbation.dropped
             self.stats.packets_duplicated += perturbation.duplicated
             self.stats.packets_reordered += perturbation.reordered
             self.stats.packets_skewed += perturbation.skewed
             if not packets:
+                if self.obs is not None:
+                    self._record_obs(0, 0, 0, fault_dropped, 0)
                 return []
         self.stats.packets_offered += len(packets)
         offered_bytes = sum(map(attrgetter("size"), packets))
@@ -181,6 +217,9 @@ class CaptureEngine:
                     per_shard = self.shard_stats[shard]
                     per_shard.packets_captured += 1
                     per_shard.bytes_captured += packet.size
+            if self.obs is not None:
+                self._record_obs(len(captured), len(captured), 0,
+                                 fault_dropped, offered_bytes)
             for subscriber in self._subscribers:
                 subscriber(captured)
             return captured
@@ -210,6 +249,10 @@ class CaptureEngine:
         self.stats.bytes_dropped += dropped_bytes
         self.stats.packets_captured += len(captured)
         self.stats.bytes_captured += offered_bytes - dropped_bytes
+        if self.obs is not None:
+            self._record_obs(len(packets), len(captured),
+                             len(packets) - len(captured), fault_dropped,
+                             offered_bytes - dropped_bytes)
         if captured:
             for subscriber in self._subscribers:
                 subscriber(captured)

@@ -14,6 +14,10 @@ script:
   (``REPxxx`` diagnostics) or the repo-wide AST lint (``--lint``).
 * ``repro chaos`` — run a scenario under a named fault plan and print
   the degradation report (which stages degraded, what recovered).
+* ``repro obs`` — per-stage latency/throughput report from a recorded
+  observability file (``--run``) or from one fully-observed seeded
+  day (``--pipeline``); ``run-day``/``train``/``develop`` record one
+  with ``--obs PATH``.
 * ``repro profiles`` — list available campus profiles.
 
 Examples
@@ -74,6 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes for ingest/featurize "
                           "(0 = serial)")
     run.add_argument("--out", required=True, help="export directory")
+    run.add_argument("--obs", default=None, metavar="PATH",
+                     help="record observability (metrics + spans) to "
+                          "this JSON-lines file")
 
     inspect = sub.add_parser("inspect", help="summarize an exported store")
     inspect.add_argument("--store", required=True)
@@ -87,6 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=0,
                        help="worker processes for featurization "
                             "(0 = serial)")
+    train.add_argument("--obs", default=None, metavar="PATH",
+                       help="record observability (metrics + spans) to "
+                            "this JSON-lines file")
 
     develop = sub.add_parser("develop",
                              help="full development loop on a store")
@@ -99,6 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(0 = serial)")
     develop.add_argument("--out", required=True,
                          help="directory for P4 source and rule list")
+    develop.add_argument("--obs", default=None, metavar="PATH",
+                         help="record observability (metrics + spans) "
+                              "to this JSON-lines file")
 
     verify = sub.add_parser(
         "verify",
@@ -134,6 +147,34 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the degradation report as JSON")
 
+    obs = sub.add_parser(
+        "obs",
+        help="per-stage latency/throughput report from recorded "
+             "observability")
+    obs.add_argument("--run", default=None, metavar="PATH",
+                     help="render the report from this obs JSON-lines "
+                          "file (as written by --obs / --out)")
+    obs.add_argument("--pipeline", action="store_true",
+                     help="run one fully-observed seeded day (both "
+                          "loops) and report it")
+    obs.add_argument("--profile", default="small")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--duration", type=float, default=60.0,
+                     help="scenario length in simulated seconds "
+                          "(with --pipeline)")
+    obs.add_argument("--workers", type=int, default=2,
+                     help="worker processes (with --pipeline)")
+    obs.add_argument("--shards", type=int, default=2,
+                     help="data-store shards (with --pipeline)")
+    obs.add_argument("--out", default=None, metavar="PATH",
+                     help="also write the records as JSON-lines here "
+                          "(with --pipeline)")
+    obs.add_argument("--prom", action="store_true",
+                     help="emit metrics in Prometheus exposition "
+                          "format instead of the report")
+    obs.add_argument("--json", action="store_true",
+                     help="emit the report as JSON")
+
     report = sub.add_parser("report",
                             help="IT-style Markdown report for a store")
     report.add_argument("--store", required=True)
@@ -141,6 +182,32 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list campus profiles")
     sub.add_parser("scenarios", help="list library scenarios")
     return parser
+
+
+def _emit_report(report, as_json: bool) -> None:
+    """Shared rendering for report-producing commands (chaos, obs).
+
+    Every report object exposes ``render()`` (human text) and
+    ``render_json()``; the flag picks which one reaches stdout.
+    """
+    print(report.render_json() if as_json else report.render())
+
+
+def _obs_or_none(args):
+    """Build an Observability when the command got ``--obs PATH``."""
+    if getattr(args, "obs", None) is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability()
+
+
+def _write_obs(obs, meta: dict, path: str) -> None:
+    """Dump one run's observability records as JSON-lines."""
+    from repro.obs.export import obs_records, write_jsonl
+
+    write_jsonl(obs_records(obs, meta), path)
+    print(f"wrote observability records to {path}")
 
 
 def _scenario_from_args(args):
@@ -167,15 +234,22 @@ def cmd_run_day(args) -> int:
     from repro.privacy import PrivacyLevel
 
     level = {p.value: p for p in PrivacyLevel}[args.privacy]
+    obs = _obs_or_none(args)
     platform = CampusPlatform(PlatformConfig(
         campus_profile=args.profile, seed=args.seed, privacy_level=level,
-        store_shards=args.shards, workers=args.workers))
+        store_shards=args.shards, workers=args.workers,
+        obs_enabled=obs is not None), obs=obs)
     try:
         scenario = _scenario_from_args(args)
         result = platform.collect(scenario, seed=args.seed)
         export_store(platform.store, args.out)
     finally:
         platform.close()
+    if obs is not None:
+        _write_obs(obs, {"command": "run-day", "profile": args.profile,
+                         "seed": args.seed,
+                         "packets_captured": result.packets_captured},
+                   args.obs)
     print(f"captured {result.packets_captured} packets "
           f"({result.capture_loss_rate:.1%} loss), "
           f"{result.flows_stored} flows, {result.logs_stored} logs")
@@ -196,24 +270,33 @@ def cmd_inspect(args) -> int:
     return 0
 
 
-def _dataset_from_store(store_dir: str, window_s: float, workers: int = 0):
+def _dataset_from_store(store_dir: str, window_s: float, workers: int = 0,
+                        obs=None):
     from repro.datastore import import_store
     from repro.learning.features import FeatureConfig, \
         SourceWindowFeaturizer
     from repro.parallel import ParallelExecutor
 
     store = import_store(store_dir)
+    if obs is not None:
+        store.bind_obs(obs)
     featurizer = SourceWindowFeaturizer(FeatureConfig(window_s=window_s))
-    with ParallelExecutor(workers=workers) as executor:
-        return featurizer.from_store(store, executor=executor)
+    with ParallelExecutor(workers=workers, obs=obs) as executor:
+        if obs is None:
+            return featurizer.from_store(store, executor=executor)
+        with obs.span("devloop.featurize") as span:
+            dataset = featurizer.from_store(store, executor=executor)
+            span.set(rows=len(dataset))
+        return dataset
 
 
 def cmd_train(args) -> int:
     """Featurize an exported store and train/evaluate a model."""
     from repro.learning import train_and_evaluate, train_test_split
 
+    obs = _obs_or_none(args)
     dataset = _dataset_from_store(args.store, args.window,
-                                  workers=args.workers)
+                                  workers=args.workers, obs=obs)
     print(f"dataset: {len(dataset)} windows, "
           f"classes {dataset.class_counts()}")
     if args.positive:
@@ -222,8 +305,16 @@ def cmd_train(args) -> int:
         print("not enough windows to train", file=sys.stderr)
         return 1
     train, test = train_test_split(dataset, test_fraction=0.3, seed=0)
-    result = train_and_evaluate(args.model, train, test)
+    if obs is None:
+        result = train_and_evaluate(args.model, train, test)
+    else:
+        with obs.span("devloop.train", model=args.model,
+                      rows=len(train)):
+            result = train_and_evaluate(args.model, train, test)
     print(result)
+    if obs is not None:
+        _write_obs(obs, {"command": "train", "model": args.model,
+                         "rows": len(dataset)}, args.obs)
     return 0
 
 
@@ -231,7 +322,9 @@ def cmd_develop(args) -> int:
     """Run the development loop and emit deployable artifacts."""
     from repro.core import DevelopmentLoop
 
-    dataset = _dataset_from_store(args.store, 5.0, workers=args.workers)
+    obs = _obs_or_none(args)
+    dataset = _dataset_from_store(args.store, 5.0, workers=args.workers,
+                                  obs=obs)
     if args.positive not in dataset.class_names:
         known = ", ".join(dataset.class_names)
         print(f"class {args.positive!r} not in store (has: {known})",
@@ -239,7 +332,7 @@ def cmd_develop(args) -> int:
         return 1
     dataset = dataset.binarize(args.positive)
     loop = DevelopmentLoop(teacher_name=args.teacher,
-                           student_max_depth=args.max_depth)
+                           student_max_depth=args.max_depth, obs=obs)
     tool, report = loop.develop(dataset, tool_name="cli-tool", seed=0)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -251,6 +344,9 @@ def cmd_develop(args) -> int:
     print(f"switch fit: {report.resource_fit.fits} "
           f"(TCAM {report.resource_fit.tcam_fraction:.1%})")
     print(f"wrote {out / 'tool.p4'} and {out / 'rules.txt'}")
+    if obs is not None:
+        _write_obs(obs, {"command": "develop", "teacher": args.teacher,
+                         "rows": len(dataset)}, args.obs)
     return 0
 
 
@@ -314,8 +410,47 @@ def cmd_chaos(args) -> int:
         return 2
     report = run_chaos_scenario(args.plan, profile=args.profile,
                                 seed=args.seed, duration_s=args.duration)
-    print(report.render_json() if args.json else report.render())
+    _emit_report(report, args.json)
     return 0 if report.completed else 1
+
+
+def cmd_obs(args) -> int:
+    """Per-stage latency/throughput report from recorded observability.
+
+    Exit code 0 on a rendered report, 1 when neither ``--run`` nor
+    ``--pipeline`` was requested, 2 on malformed or missing input.
+    """
+    from repro.obs.export import ObsFormatError, obs_records, \
+        read_jsonl, registry_from_records, render_prometheus, write_jsonl
+    from repro.obs.report import ObsReport
+
+    if args.run:
+        try:
+            records = read_jsonl(args.run)
+        except ObsFormatError as exc:
+            print(f"obs: malformed records in {args.run!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    elif args.pipeline:
+        from repro.obs.pipeline import run_observed_pipeline
+
+        obs, meta = run_observed_pipeline(
+            profile=args.profile, duration_s=args.duration,
+            seed=args.seed, workers=args.workers, shards=args.shards)
+        records = obs_records(obs, meta)
+        if args.out:
+            write_jsonl(records, args.out)
+            print(f"wrote observability records to {args.out}",
+                  file=sys.stderr)
+    else:
+        print("obs: pass --run PATH (recorded file) or --pipeline "
+              "(run one observed day)", file=sys.stderr)
+        return 1
+    if args.prom:
+        print(render_prometheus(registry_from_records(records)), end="")
+        return 0
+    _emit_report(ObsReport.from_records(records), args.json)
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -354,6 +489,7 @@ _COMMANDS = {
     "develop": cmd_develop,
     "verify": cmd_verify,
     "chaos": cmd_chaos,
+    "obs": cmd_obs,
     "report": cmd_report,
     "profiles": cmd_profiles,
     "scenarios": cmd_scenarios,

@@ -36,6 +36,11 @@ class PlatformConfig:
         Worker processes for the parallel substrate; 0 = serial
         everywhere (the default, and the automatic fallback wherever
         process pools or shared memory are unavailable).
+    obs_enabled:
+        Build a :class:`repro.obs.Observability` and thread it through
+        every layer (metrics + spans + flight recorder).  Off by
+        default: the disabled path constructs nothing and instrumented
+        code pays one ``is not None`` check.
     """
 
     campus_profile: str = "small"
@@ -48,6 +53,7 @@ class PlatformConfig:
     enable_sensors: bool = True
     store_shards: int = 1
     workers: int = 0
+    obs_enabled: bool = False
     #: also tap distribution<->core trunks so east-west traffic ("packets
     #: that stay inside the enterprise", §5) reaches the store
     monitor_internal: bool = False

@@ -48,7 +48,8 @@ class ControlLoopHarness:
 
     def __init__(self, tool, scenario_builder, network_builder,
                  fault_injector=None,
-                 react_breaker: Optional[CircuitBreaker] = None, bus=None):
+                 react_breaker: Optional[CircuitBreaker] = None, bus=None,
+                 obs=None):
         """
         Parameters
         ----------
@@ -63,6 +64,9 @@ class ControlLoopHarness:
             switch so runs can rehearse failure: injected data-plane
             faults, a breaker guarding the react step, and an event bus
             receiving the ``chaos:*`` / ``resilience:*`` audit trail.
+        obs:
+            Optional :class:`~repro.obs.Observability`, threaded into
+            each deployed switch (fast-loop spans and counters).
         """
         self.tool = tool
         self.scenario_builder = scenario_builder
@@ -70,6 +74,7 @@ class ControlLoopHarness:
         self.fault_injector = fault_injector
         self.react_breaker = react_breaker
         self.bus = bus
+        self.obs = obs
 
     def run(self, seed: int = 0, placement: str = "data_plane",
             config: Optional[SwitchConfig] = None) -> ControlLoopReport:
@@ -85,7 +90,7 @@ class ControlLoopHarness:
         switch = self.tool.deploy(network, run_config,
                                   fault_injector=self.fault_injector,
                                   react_breaker=self.react_breaker,
-                                  bus=self.bus)
+                                  bus=self.bus, obs=self.obs)
         scenario = self.scenario_builder(seed)
         ground_truth = run_scenario(network, scenario, seed=seed)
 

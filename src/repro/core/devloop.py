@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import copy
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -61,8 +62,8 @@ class DeployableTool:
     verification: Optional[DiagnosticReport] = None
 
     def deploy(self, network, config: Optional[SwitchConfig] = None,
-               fault_injector=None, react_breaker=None, bus=None) -> \
-            EmulatedSwitch:
+               fault_injector=None, react_breaker=None, bus=None,
+               obs=None) -> EmulatedSwitch:
         """Instantiate the fast control loop on a network.
 
         Refuses to deploy when the tool's verification report carries
@@ -84,7 +85,8 @@ class DeployableTool:
             run_config.benign_class = self.class_names[0]
         return EmulatedSwitch(network, self.compiled, run_config,
                               fault_injector=fault_injector,
-                              react_breaker=react_breaker, bus=bus)
+                              react_breaker=react_breaker, bus=bus,
+                              obs=obs)
 
 
 @dataclass
@@ -114,7 +116,7 @@ class DevelopmentLoop:
                  student_min_samples_leaf: int = 5,
                  resource_model: Optional[SwitchResourceModel] = None,
                  bus: Optional[EventBus] = None,
-                 strict_verify: bool = True):
+                 strict_verify: bool = True, obs=None):
         self.teacher_name = teacher_name
         self.student_max_depth = student_max_depth
         self.student_min_samples_leaf = student_min_samples_leaf
@@ -122,6 +124,13 @@ class DevelopmentLoop:
         self.bus = bus or EventBus()
         #: refuse to hand out tools whose verification found errors.
         self.strict_verify = strict_verify
+        #: optional Observability: one span per development stage.
+        self.obs = obs
+
+    def _span(self, name: str, **attrs):
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.span(name, **attrs)
 
     def develop(self, dataset: Dataset, tool_name: str = "detector",
                 positive_class: Optional[str] = None,
@@ -139,23 +148,28 @@ class DevelopmentLoop:
 
         # (i) heavyweight teacher, offline, unconstrained.
         start = time.perf_counter()
-        teacher_result = train_and_evaluate(
-            self.teacher_name, train, test, positive_class=positive_class)
+        with self._span("devloop.train", model=self.teacher_name,
+                        rows=len(train)):
+            teacher_result = train_and_evaluate(
+                self.teacher_name, train, test,
+                positive_class=positive_class)
         stage_seconds["train_teacher"] = time.perf_counter() - start
         self.bus.publish("devloop:trained", model=self.teacher_name,
                          metrics=teacher_result.metrics)
 
         # (ii) XAI extraction into a deployable student.
         start = time.perf_counter()
-        distillation = distill_tree(
-            teacher_result.model, train.X,
-            max_depth=self.student_max_depth,
-            min_samples_leaf=self.student_min_samples_leaf,
-            seed=seed,
-            n_classes=dataset.n_classes,
-        )
-        holdout = fidelity_report(teacher_result.model, distillation.student,
-                                  test.X, test.y)
+        with self._span("devloop.distill",
+                        max_depth=self.student_max_depth):
+            distillation = distill_tree(
+                teacher_result.model, train.X,
+                max_depth=self.student_max_depth,
+                min_samples_leaf=self.student_min_samples_leaf,
+                seed=seed,
+                n_classes=dataset.n_classes,
+            )
+            holdout = fidelity_report(teacher_result.model,
+                                      distillation.student, test.X, test.y)
         stage_seconds["distill"] = time.perf_counter() - start
         self.bus.publish("devloop:distilled",
                          fidelity=holdout.label_fidelity,
@@ -163,14 +177,17 @@ class DevelopmentLoop:
 
         # (iii) compile + resource check + P4 emission.
         start = time.perf_counter()
-        quantizer = FeatureQuantizer.for_features(train.X)
-        compiled = compile_tree(distillation.student, dataset.feature_names,
-                                quantizer, class_names=dataset.class_names,
-                                program_name=tool_name)
-        resource_fit = self.resource_model.fit([compiled])
-        p4_source = emit_p4(compiled.program)
-        rules = tree_to_rules(distillation.student, dataset.feature_names,
-                              dataset.class_names)
+        with self._span("devloop.compile", tool=tool_name):
+            quantizer = FeatureQuantizer.for_features(train.X)
+            compiled = compile_tree(distillation.student,
+                                    dataset.feature_names, quantizer,
+                                    class_names=dataset.class_names,
+                                    program_name=tool_name)
+            resource_fit = self.resource_model.fit([compiled])
+            p4_source = emit_p4(compiled.program)
+            rules = tree_to_rules(distillation.student,
+                                  dataset.feature_names,
+                                  dataset.class_names)
         stage_seconds["compile"] = time.perf_counter() - start
         self.bus.publish("devloop:compiled", entries=compiled.n_entries,
                          tcam_bits=compiled.tcam_bits,
@@ -179,9 +196,10 @@ class DevelopmentLoop:
         # (iii-b) static verification: the trust gate before anything
         # touches the campus network.  Errors refuse deployment.
         start = time.perf_counter()
-        verification = verify_program(compiled.program,
-                                      compile_result=compiled,
-                                      resource_model=self.resource_model)
+        with self._span("devloop.verify", tool=tool_name):
+            verification = verify_program(compiled.program,
+                                          compile_result=compiled,
+                                          resource_model=self.resource_model)
         stage_seconds["verify"] = time.perf_counter() - start
         self.bus.publish("devloop:verified", ok=verification.ok,
                          **verification.counts())
@@ -209,8 +227,9 @@ class DevelopmentLoop:
             def deploy_fn(network, config):
                 return tool.deploy(network, config)
 
-            pipeline = roadtest_factory(deploy_fn)
-            roadtest_report = pipeline.run(seed=seed)
+            with self._span("devloop.roadtest", tool=tool_name):
+                pipeline = roadtest_factory(deploy_fn)
+                roadtest_report = pipeline.run(seed=seed)
             stage_seconds["roadtest"] = time.perf_counter() - start
             self.bus.publish("devloop:roadtested",
                              deployed=roadtest_report.deployed)

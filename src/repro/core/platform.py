@@ -56,20 +56,29 @@ class CampusPlatform:
     """Instrumented campus network + data store, ready for research."""
 
     def __init__(self, config: Optional[PlatformConfig] = None,
-                 fault_injector=None):
+                 fault_injector=None, obs=None):
         self.config = config or PlatformConfig()
         self.bus = EventBus()
         self.fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.bind_bus(self.bus)
         self.degradation = DegradationLedger(bus=self.bus)
+        # Observability is pay-for-what-you-use: nothing is built
+        # unless the caller passes one in or opts in via the config,
+        # and every layer below guards on ``obs is not None``.
+        if obs is None and self.config.obs_enabled:
+            from repro.obs import Observability
+            obs = Observability()
+        self.obs = obs
+        if obs is not None:
+            obs.attach_bus(self.bus)
         self.network = self._build_network(self.config.seed)
         self.privacy_policy = PrivacyPolicy.preset(self.config.privacy_level)
         # Parallel substrate: the executor is lazy (no pool until the
         # first parallel fan-out) and degrades to serial via the ledger.
         self.executor = ParallelExecutor(
             workers=self.config.workers, ledger=self.degradation,
-            fault_injector=fault_injector)
+            fault_injector=fault_injector, obs=obs)
         if self.config.store_shards > 1:
             self.store = ShardedDataStore(
                 n_shards=self.config.store_shards,
@@ -78,12 +87,14 @@ class CampusPlatform:
                 fault_injector=fault_injector,
                 window_s=self.config.window_s,
                 executor=self.executor,
+                obs=obs,
             )
         else:
             self.store = DataStore(
                 metadata_extractor=MetadataExtractor(self.network.topology),
                 segment_capacity=self.config.segment_capacity,
                 fault_injector=fault_injector,
+                obs=obs,
             )
         self.store.add_ingest_transform(make_ingest_transform(
             self.privacy_policy, self.network.topology.is_internal_ip,
@@ -103,7 +114,8 @@ class CampusPlatform:
             capacity_gbps=self.config.capture_capacity_gbps,
             buffer_bytes=self.config.capture_buffer_bytes,
             fault_injector=self.fault_injector,
-            shard_router=getattr(self.store, "router", None))
+            shard_router=getattr(self.store, "router", None),
+            obs=self.obs)
         links = [network.topology.border_link]
         if self.config.monitor_internal:
             links.extend(
@@ -163,6 +175,17 @@ class CampusPlatform:
     def collect(self, scenario: Scenario,
                 seed: Optional[int] = None) -> CollectionResult:
         """Run a scenario on the instrumented campus; fill the store."""
+        if self.obs is None:
+            return self._collect(scenario, seed)
+        with self.obs.span("capture.collect", scenario=scenario.name) \
+                as span:
+            result = self._collect(scenario, seed)
+            span.set(packets=result.packets_captured,
+                     flows=result.flows_stored)
+        return result
+
+    def _collect(self, scenario: Scenario,
+                 seed: Optional[int] = None) -> CollectionResult:
         seed = self.config.seed if seed is None else seed
         start_wall = time.perf_counter()
         packets_before = self.capture.stats.packets_captured
@@ -204,10 +227,20 @@ class CampusPlatform:
             ground_truth = self.collections[-1].ground_truth
         featurizer = SourceWindowFeaturizer(FeatureConfig(
             window_s=window_s or self.config.window_s))
-        dataset = featurizer.from_store(
-            self.store, ground_truth=ground_truth, time_range=time_range,
-            class_names=class_names, executor=self.executor,
-        )
+        if self.obs is None:
+            dataset = featurizer.from_store(
+                self.store, ground_truth=ground_truth,
+                time_range=time_range, class_names=class_names,
+                executor=self.executor,
+            )
+        else:
+            with self.obs.span("devloop.featurize") as span:
+                dataset = featurizer.from_store(
+                    self.store, ground_truth=ground_truth,
+                    time_range=time_range, class_names=class_names,
+                    executor=self.executor,
+                )
+                span.set(rows=len(dataset))
         self.bus.publish("dataset:built", rows=len(dataset),
                          classes=dataset.class_counts())
         return dataset
@@ -231,6 +264,12 @@ class CampusPlatform:
             out["parallel"] = {
                 **self.executor.summary(),
                 "shards": getattr(self.store, "n_shards", 1),
+            }
+        if self.obs is not None:
+            out["obs"] = {
+                "spans": len(self.obs.tracer.spans),
+                "metrics": len(self.obs.metrics),
+                "trace_signature": self.obs.tracer.tree_signature(),
             }
         if self.fault_injector is not None:
             stats = self.capture.stats

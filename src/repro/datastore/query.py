@@ -247,8 +247,10 @@ def _record_scan(segment,
 
 
 def _scan_segment(segment, query: Query) \
-        -> Optional[Tuple[List[Tuple[float, object]], bool]]:
-    """(pairs, came-out-ordered) for one segment; None when pruned."""
+        -> Optional[Tuple[List[Tuple[float, object]], bool, bool]]:
+    """(pairs, came-out-ordered, columnar) for one segment; None when
+    pruned.  The third element reports which path scanned the segment so
+    query instrumentation can label latency by path."""
     if not segment.records:
         return None
     if query.time_range is not None and not segment.overlaps(
@@ -257,19 +259,35 @@ def _scan_segment(segment, query: Query) \
         return None
     cols = segment.columns()
     if cols is not None:
-        return _columnar_scan(segment, cols, query), query.order_by_time
-    return _record_scan(segment, query)
+        return _columnar_scan(segment, cols, query), query.order_by_time, \
+            True
+    return _record_scan(segment, query) + (False,)
 
 
-def execute_query(store, query: Query) -> List:
+def _observe_query(obs, started: float, rows: int, columnar: bool) -> None:
+    """One query's latency + row count into the store metrics."""
+    path = "vectorized" if columnar else "fallback"
+    obs.metrics.histogram("repro_store_query_seconds", path=path).observe(
+        obs.clock.now() - started)
+    obs.metrics.counter("repro_store_query_rows_total", path=path).inc(rows)
+
+
+def execute_query(store, query: Query, obs=None) -> List:
     """Run ``query`` against ``store`` (accelerated, time-ordered)."""
-    runs: List[Tuple[List[Tuple[float, object]], bool]] = []
+    if obs is not None:
+        started = obs.clock.now()
+    runs: List[Tuple[List[Tuple[float, object]], bool, bool]] = []
+    columnar = True
     for segment in store.segments(query.collection):
         scanned = _scan_segment(segment, query)
-        if scanned is not None and scanned[0]:
-            runs.append(scanned)
+        if scanned is not None:
+            columnar = columnar and scanned[2]
+            if scanned[0]:
+                runs.append(scanned)
 
     if not runs:
+        if obs is not None:
+            _observe_query(obs, started, 0, columnar)
         return []
     if len(runs) == 1:
         # Single contributing segment: skip the global re-sort when its
@@ -278,12 +296,14 @@ def execute_query(store, query: Query) -> List:
         if query.order_by_time and not runs[0][1]:
             results.sort(key=_TIME_KEY)
     else:
-        results = [pair for pairs, _ in runs for pair in pairs]
+        results = [pair for pairs, _, _ in runs for pair in pairs]
         if query.order_by_time:
             results.sort(key=_TIME_KEY)
     records = [stored for _, stored in results]
     if query.limit is not None:
         records = records[: query.limit]
+    if obs is not None:
+        _observe_query(obs, started, len(records), columnar)
     return records
 
 
@@ -330,7 +350,8 @@ def _parallel_triples(store, query: Query, executor) \
     return triples
 
 
-def execute_query_sharded(store, query: Query, executor=None) -> List:
+def execute_query_sharded(store, query: Query, executor=None,
+                          obs=None) -> List:
     """Run ``query`` across every shard with a deterministic merge.
 
     Scans each contributing segment (in worker processes when an
@@ -340,6 +361,9 @@ def execute_query_sharded(store, query: Query, executor=None) -> List:
     order an unsharded store would return: the results are bit-identical
     to :func:`execute_query` on a serial store fed the same batches.
     """
+    if obs is not None:
+        started = obs.clock.now()
+    columnar = True
     triples: Optional[List[Tuple[float, int, object]]] = None
     if executor is not None and executor.parallel:
         triples = _parallel_triples(store, query, executor)
@@ -349,12 +373,15 @@ def execute_query_sharded(store, query: Query, executor=None) -> List:
             scanned = _scan_segment(segment, query)
             if scanned is None:
                 continue
+            columnar = columnar and scanned[2]
             triples.extend((t, stored.rid, stored)
                            for t, stored in scanned[0])
     triples.sort(key=_TIME_RID_KEY if query.order_by_time else _RID_KEY)
     records = [stored for _, _, stored in triples]
     if query.limit is not None:
         records = records[: query.limit]
+    if obs is not None:
+        _observe_query(obs, started, len(records), columnar)
     return records
 
 

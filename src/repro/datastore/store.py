@@ -72,7 +72,7 @@ class DataStore:
 
     def __init__(self, metadata_extractor: Optional[MetadataExtractor] = None,
                  segment_capacity: int = 50_000, fault_injector=None,
-                 clock=None):
+                 clock=None, obs=None):
         self.metadata_extractor = metadata_extractor
         self.segment_capacity = segment_capacity
         self.fault_injector = fault_injector
@@ -85,6 +85,26 @@ class DataStore:
         self._segment_ids = itertools.count(1)
         self._record_ids = itertools.count(1)
         self.ingest_transforms: List[Callable] = []
+        self.obs = None
+        if obs is not None:
+            self.bind_obs(obs)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an Observability after construction (e.g. to an
+        imported store) and cache the hot-path metric objects."""
+        from repro.obs.metrics import COUNT_BUCKETS
+        self.obs = obs
+        self._m_ingest = {
+            name: obs.metrics.counter(
+                "repro_store_ingest_records_total", collection=name)
+            for name in schemas.SCHEMAS
+        }
+        self._m_ingest_batch = obs.metrics.histogram(
+            "repro_store_ingest_batch_records", buckets=COUNT_BUCKETS)
+
+    def _record_ingest_obs(self, collection: str, n: int) -> None:
+        self._m_ingest[collection].inc(n)
+        self._m_ingest_batch.observe(n)
 
     # -- ingest ------------------------------------------------------------
 
@@ -176,6 +196,8 @@ class DataStore:
             for packet, tags in zip(packets, tags_list):
                 if self._ingest("packets", packet, tags) is not None:
                     count += 1
+            if self.obs is not None:
+                self._record_ingest_obs("packets", count)
             return count
 
         # Fast path: bulk StoredRecord creation + chunked batch appends.
@@ -188,6 +210,8 @@ class DataStore:
             space = segment.capacity - len(segment)
             segment.append_batch(stored[offset:offset + space])
             offset += space
+        if self.obs is not None:
+            self._record_ingest_obs("packets", total)
         return total
 
     def ingest_flows(self, flows: Iterable[FlowRecord]) -> int:
@@ -200,12 +224,16 @@ class DataStore:
             tags = {"service": flow.service}
             if self._ingest("flows", flow, tags) is not None:
                 count += 1
+        if self.obs is not None:
+            self._record_ingest_obs("flows", count)
         return count
 
     def ingest_log(self, log: LogRecord) -> None:
         """Store one complementary sensor record."""
         self._chaos_gate("ingest_log")
         self._ingest("logs", log, {"kind": log.kind})
+        if self.obs is not None:
+            self._m_ingest["logs"].inc()
 
     def ingest_logs(self, logs: Iterable[LogRecord]) -> int:
         """Store a batch of sensor records; returns the count."""
@@ -225,7 +253,13 @@ class DataStore:
 
     def query(self, query: Query) -> List[StoredRecord]:
         """Run a query; see :class:`repro.datastore.query.Query`."""
-        return execute_query(self, query)
+        obs = self.obs
+        if obs is None:
+            return execute_query(self, query)
+        with obs.span("store.query", collection=query.collection) as span:
+            records = execute_query(self, query, obs=obs)
+            span.set(rows=len(records))
+        return records
 
     def aggregate(self, query: Query, aggregation: Aggregation) -> Dict:
         return execute_aggregate(self, query, aggregation)
@@ -336,7 +370,10 @@ class ShardedDataStore(DataStore):
     def __init__(self, n_shards: int,
                  metadata_extractor: Optional[MetadataExtractor] = None,
                  segment_capacity: int = 50_000, fault_injector=None,
-                 clock=None, window_s: float = 5.0, executor=None):
+                 clock=None, window_s: float = 5.0, executor=None,
+                 obs=None):
+        # obs binding is deferred to the end of __init__: the overridden
+        # bind_obs needs the router for the per-shard gauges.
         super().__init__(metadata_extractor=metadata_extractor,
                          segment_capacity=segment_capacity,
                          fault_injector=fault_injector, clock=clock)
@@ -352,6 +389,23 @@ class ShardedDataStore(DataStore):
             shard._record_ids = self._record_ids
             self.shards.append(shard)
         self._segments = _SegmentMap(self.shards)
+        if obs is not None:
+            self.bind_obs(obs)
+
+    def bind_obs(self, obs) -> None:
+        super().bind_obs(obs)
+        self._m_shard_records = [
+            obs.metrics.gauge("repro_store_shard_records", shard=i)
+            for i in range(self.router.n_shards)]
+        self._m_shard_segments = [
+            obs.metrics.gauge("repro_store_shard_segments", shard=i)
+            for i in range(self.router.n_shards)]
+
+    def _update_shard_gauges(self) -> None:
+        for i, shard in enumerate(self.shards):
+            self._m_shard_records[i].set(shard.count("packets"))
+            self._m_shard_segments[i].set(
+                len(shard._segments["packets"]))
 
     @property
     def n_shards(self) -> int:
@@ -409,6 +463,9 @@ class ShardedDataStore(DataStore):
             for packet, tags in zip(packets, tags_list):
                 if self._ingest("packets", packet, tags) is not None:
                     count += 1
+            if self.obs is not None:
+                self._record_ingest_obs("packets", count)
+                self._update_shard_gauges()
             return count
 
         tags_list = self._extract_tags(packets, cols)
@@ -429,6 +486,9 @@ class ShardedDataStore(DataStore):
             self._append_to_shard(self.shards[shard_id],
                                   [stored[p] for p in positions.tolist()],
                                   shard_cols)
+        if self.obs is not None:
+            self._record_ingest_obs("packets", len(stored))
+            self._update_shard_gauges()
         return len(stored)
 
     def _append_to_shard(self, shard: DataStore, stored: List[StoredRecord],
@@ -447,7 +507,16 @@ class ShardedDataStore(DataStore):
             offset += len(chunk)
 
     def query(self, query: Query) -> List[StoredRecord]:
-        return execute_query_sharded(self, query, executor=self.executor)
+        obs = self.obs
+        if obs is None:
+            return execute_query_sharded(self, query,
+                                         executor=self.executor)
+        with obs.span("store.query", collection=query.collection,
+                      shards=self.n_shards) as span:
+            records = execute_query_sharded(self, query,
+                                            executor=self.executor, obs=obs)
+            span.set(rows=len(records))
+        return records
 
     def shard_summary(self) -> List[Dict[str, int]]:
         """Per-shard packet record/segment counts (balance diagnostics)."""

@@ -70,10 +70,14 @@ class Detection:
 class EmulatedSwitch:
     """Executes a compiled program against live border traffic."""
 
+    #: breaker state -> gauge value (0 healthy .. 1 open)
+    _BREAKER_GAUGE = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
     def __init__(self, network, compile_result: CompileResult,
                  config: Optional[SwitchConfig] = None,
                  verify: bool = True, fault_injector=None,
-                 react_breaker: Optional[CircuitBreaker] = None, bus=None):
+                 react_breaker: Optional[CircuitBreaker] = None, bus=None,
+                 obs=None):
         # Load-path gate: a structurally or semantically broken program
         # never attaches to the network (mirrors a real switch driver
         # rejecting an invalid binary at load time).  Imported lazily:
@@ -129,6 +133,25 @@ class EmulatedSwitch:
         self.react_failures = 0
         self.react_shed = 0
         self.degraded_shadow = False
+        # Fast-loop observability: metric objects cached once so the
+        # sense path pays one None-check per batch.
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+            self._m_packets = metrics.counter(
+                "repro_switch_packets_sensed_total")
+            self._m_lookups = metrics.counter(
+                "repro_switch_table_lookups_total")
+            self._m_misses = metrics.counter(
+                "repro_switch_table_miss_total")
+            self._m_detections = metrics.counter(
+                "repro_switch_detections_total")
+            self._m_react = {
+                outcome: metrics.counter("repro_switch_reactions_total",
+                                         outcome=outcome)
+                for outcome in ("acted", "shed", "failed")
+            }
+            self._g_breaker = metrics.gauge("repro_switch_breaker_state")
 
         network.add_packet_observer(self._on_packets)
         self._schedule_tick()
@@ -136,6 +159,8 @@ class EmulatedSwitch:
     # -- sense ---------------------------------------------------------------
 
     def _on_packets(self, packets: List[PacketRecord]) -> None:
+        if self.obs is not None:
+            self._m_packets.inc(len(packets))
         if self.fault_injector is not None and packets and \
                 self.fault_injector.should_fire(
                     FaultKind.SWITCH_REGISTER_CORRUPT):
@@ -189,6 +214,13 @@ class EmulatedSwitch:
         self._schedule_tick()
 
     def _evaluate_window(self, window_start: float) -> None:
+        if self.obs is None:
+            return self._infer_window(window_start)
+        with self.obs.span("switch.window", window_start=window_start,
+                           endpoints=len(self._buckets[window_start])):
+            return self._infer_window(window_start)
+
+    def _infer_window(self, window_start: float) -> None:
         config = self.config
         table = self.result.classify_table
         class_names = self.result.program.class_names
@@ -201,6 +233,8 @@ class EmulatedSwitch:
                 # injected lookup miss: this endpoint gets no verdict
                 # this window (sense/infer degraded, loop continues)
                 self.table_misses += 1
+                if self.obs is not None:
+                    self._m_misses.inc()
                 continue
             vector = example.vector(config.window_s)
             fields = dict(zip(
@@ -208,6 +242,8 @@ class EmulatedSwitch:
                 self.result.quantizer.quantize(vector),
             ))
             action, params = table.lookup(fields)
+            if self.obs is not None:
+                self._m_lookups.inc()
             class_id = int(params["class_id"])
             class_name = (class_names[class_id]
                           if class_id < len(class_names) else str(class_id))
@@ -219,6 +255,8 @@ class EmulatedSwitch:
             if confidence >= config.confidence_threshold and not config.shadow:
                 acted, effective_at = self._guarded_react(endpoint,
                                                           class_name)
+            if self.obs is not None:
+                self._m_detections.inc()
             self.detections.append(Detection(
                 window_start=window_start,
                 endpoint=endpoint,
@@ -239,10 +277,28 @@ class EmulatedSwitch:
         ``switch.react_fail`` counts a breaker failure and leaves the
         endpoint unmitigated this window.
         """
+        if self.obs is None:
+            return self._react_once(endpoint, class_name)
+        with self.obs.span("switch.react", endpoint=endpoint,
+                           verdict=class_name) as span:
+            acted, effective_at = self._react_once(endpoint, class_name)
+            span.set(acted=acted)
+        if acted:
+            self._m_react["acted"].inc()
+        breaker = self.react_breaker
+        if breaker is not None:
+            self._g_breaker.set(
+                self._BREAKER_GAUGE.get(breaker.state, 1.0))
+        return acted, effective_at
+
+    def _react_once(self, endpoint: str, class_name: str) \
+            -> Tuple[bool, float]:
         breaker = self.react_breaker
         if breaker is not None and not breaker.allow():
             self.react_shed += 1
             self.degraded_shadow = True
+            if self.obs is not None:
+                self._m_react["shed"].inc()
             return False, self.network.now
         already = endpoint in self.mitigated_endpoints
         try:
@@ -256,6 +312,8 @@ class EmulatedSwitch:
             self.react_failures += 1
             if breaker is not None:
                 breaker.record_failure()
+            if self.obs is not None:
+                self._m_react["failed"].inc()
             return False, self.network.now
         if breaker is not None:
             breaker.record_success()

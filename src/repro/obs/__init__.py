@@ -1,0 +1,98 @@
+"""repro.obs — pipeline-wide observability: metrics, spans, flight data.
+
+The platform answers "where did the time go, what did each stage shed,
+and what did the deployed model actually do?" through three primitives
+that share one activation contract:
+
+* :class:`MetricsRegistry` — counters, gauges, and exactly-mergeable
+  fixed-bucket histograms (numpy-backed batch observes for the
+  columnar hot path).
+* :class:`Tracer` — nested spans with explicit parent ids on the
+  injectable clocks; a fixed seed replays an identical trace tree.
+* :class:`FlightRecorder` — a bounded ring of recent EventBus events,
+  snapshotted when a breaker opens or a chaos fault fires.
+
+**The disabled path is a None.**  Every instrumented layer takes
+``obs=None`` by default and guards with a single ``is not None``; no
+registry, tracer, or recorder is even constructed unless the caller
+opts in (``PlatformConfig(obs_enabled=True)`` or ``--obs`` on the
+CLI).  ``benchmarks/test_perf_obs.py`` holds that overhead to noise.
+
+:class:`Observability` bundles the three primitives on one clock and
+is the object threaded through the layers; ``repro.obs.export`` turns
+it into JSON-lines / Prometheus text, and ``repro obs`` renders the
+per-stage report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chaos.resilience import Clock, MonotonicClock
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import DEFAULT_TRIGGERS, FlightRecorder, Snapshot
+from repro.obs.tracing import SpanRecord, Tracer
+from repro.obs.export import (
+    ObsFormatError,
+    obs_records,
+    read_jsonl,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.obs.report import ObsReport
+
+
+class Observability:
+    """Metrics + tracer + flight recorder on one injectable clock."""
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 max_spans: int = 50_000,
+                 recorder_capacity: int = 512):
+        self.clock = clock or MonotonicClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
+        self.recorder = FlightRecorder(
+            metrics=self.metrics, capacity=recorder_capacity,
+            clock=self.clock)
+
+    def attach_bus(self, bus) -> None:
+        """Wire the flight recorder to a platform's EventBus."""
+        self.recorder.attach(bus)
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def to_records(self, meta: Optional[Dict] = None) -> List[Dict]:
+        return obs_records(self, meta)
+
+    def report(self, meta: Optional[Dict] = None) -> ObsReport:
+        return ObsReport.from_records(self.to_records(meta))
+
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_TRIGGERS",
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObsFormatError",
+    "ObsReport",
+    "Snapshot",
+    "SpanRecord",
+    "Tracer",
+    "obs_records",
+    "read_jsonl",
+    "render_prometheus",
+    "write_jsonl",
+]

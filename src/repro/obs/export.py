@@ -1,0 +1,181 @@
+"""Exporters: JSON-lines records and Prometheus text format.
+
+One JSON-lines record format carries everything this layer produces —
+run metadata, metrics, spans, flight-recorder snapshots, and benchmark
+results (``benchmarks/run_bench.py`` emits the same shape, so bench
+history and runtime metrics are greppable with one set of tools).  Each
+line is a self-contained JSON object with a ``type`` field:
+
+``{"type": "meta", ...}``
+    run identity (command, seed, profile, ...), first line by
+    convention.
+``{"type": "metric", "kind": "counter"|"gauge"|"histogram", ...}``
+    one metric; histograms carry bounds/bucket_counts/partials so a
+    reader can merge them exactly.
+``{"type": "span", "id": ..., "parent": ..., "name": ..., ...}``
+    one finished span.
+``{"type": "snapshot", "reason": ..., "events": [...], ...}``
+    one flight-recorder snapshot.
+``{"type": "bench", "test": ..., "median": ..., ...}``
+    one benchmark stat line (written by ``run_bench.py``).
+
+The Prometheus renderer emits the standard text exposition format for
+scrape-style integration; histograms become cumulative ``_bucket``
+series with ``le`` labels plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: record types a well-formed obs dump may contain.
+RECORD_TYPES = frozenset({"meta", "metric", "span", "snapshot", "bench"})
+
+
+class ObsFormatError(ValueError):
+    """An obs JSON-lines file is malformed (bad JSON or bad shape)."""
+
+
+def bench_record(test: str, stats: Dict[str, float], suite: str = "",
+                 mode: str = "") -> Dict:
+    """The obs-format record ``run_bench.py`` appends per benchmark."""
+    record = {"type": "bench", "test": test, "suite": suite, "mode": mode,
+              "units": "seconds"}
+    record.update({k: float(v) for k, v in stats.items()})
+    return record
+
+
+def obs_records(obs, meta: Optional[Dict] = None) -> List[Dict]:
+    """Everything an ``Observability`` holds, as JSON-able records."""
+    records: List[Dict] = []
+    records.append({"type": "meta", **(meta or {}),
+                    "trace_signature": obs.tracer.tree_signature(),
+                    "spans": len(obs.tracer.spans),
+                    "spans_dropped": obs.tracer.dropped})
+    for metric in obs.metrics:
+        records.append({"type": "metric", **metric.to_payload()})
+    for span in obs.tracer.finished():
+        records.append({"type": "span", **span.to_payload()})
+    if obs.recorder is not None:
+        for snap in obs.recorder.snapshots:
+            records.append({"type": "snapshot", **snap.to_payload()})
+    return records
+
+
+def write_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> Path:
+    """Write records one JSON object per line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str,
+                                    separators=(",", ":")) + "\n")
+    return path
+
+
+def append_jsonl(records: Iterable[Dict], path: Union[str, Path]) -> Path:
+    """Append records (bench history mode); creates the file if needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str,
+                                    separators=(",", ":")) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict]:
+    """Parse an obs JSON-lines file; :class:`ObsFormatError` when bad.
+
+    Unknown record types fail loudly — a report silently skipping what
+    it does not understand would hide exactly the data it exists to
+    surface.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ObsFormatError(f"cannot read {path}: {exc}") from exc
+    records: List[Dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsFormatError(
+                f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ObsFormatError(
+                f"{path}:{lineno}: record is not an object with a "
+                f"'type' field")
+        if record["type"] not in RECORD_TYPES:
+            known = ", ".join(sorted(RECORD_TYPES))
+            raise ObsFormatError(
+                f"{path}:{lineno}: unknown record type "
+                f"{record['type']!r}; one of {known}")
+        records.append(record)
+    if not records:
+        raise ObsFormatError(f"{path}: no obs records found")
+    return records
+
+
+def registry_from_records(records: Iterable[Dict]) -> MetricsRegistry:
+    """Rebuild a registry (exact, mergeable) from metric records."""
+    registry = MetricsRegistry()
+    registry.merge_payload(
+        record for record in records if record.get("type") == "metric")
+    return registry
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + rendered + "}"
+
+
+def _prom_number(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for metric in sorted(registry, key=lambda m: (m.name, m.labels)):
+        if metric.name not in seen_types:
+            seen_types[metric.name] = metric.kind
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        labels = metric.labels
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds.tolist(),
+                                    metric.bucket_counts.tolist()):
+                cumulative += count
+                le = (*labels, ("le", _prom_number(bound)))
+                lines.append(f"{metric.name}_bucket{_prom_labels(le)} "
+                             f"{cumulative}")
+            le = (*labels, ("le", "+Inf"))
+            lines.append(f"{metric.name}_bucket{_prom_labels(le)} "
+                         f"{metric.count}")
+            lines.append(f"{metric.name}_sum{_prom_labels(labels)} "
+                         f"{repr(metric.sum)}")
+            lines.append(f"{metric.name}_count{_prom_labels(labels)} "
+                         f"{metric.count}")
+        else:
+            lines.append(f"{metric.name}{_prom_labels(labels)} "
+                         f"{_prom_number(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

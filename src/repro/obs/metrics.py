@@ -1,0 +1,309 @@
+"""Counters, gauges, and mergeable fixed-bucket histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the
+other).  Design constraints, in order:
+
+* **Pay for what you use.**  Layers hold ``obs=None`` by default and
+  guard every record call with one ``is not None`` check; a disabled
+  platform never touches this module on the hot path.  Enabled hot
+  paths cache their metric objects once (``self._m = metrics.counter(
+  name)``) so recording is an attribute increment, not a dict lookup.
+* **Exactly mergeable.**  Worker processes buffer metrics locally and
+  the parent folds them in on task completion, so every metric must
+  merge without loss: counters/gauges add, and histograms use *fixed
+  shared bucket bounds* so bucket counts add exactly.  Histogram value
+  sums are kept as Shewchuk partials (the :func:`math.fsum` invariant),
+  making ``merge(a, b)`` bit-identical to observing the union — float
+  addition order cannot leak into reports.
+* **Cheap enough for the columnar path.**  ``observe_many`` buckets a
+  whole numpy batch with one ``searchsorted`` + ``bincount``.
+
+Naming scheme (enforced by convention, rendered by the exporters):
+``repro_<layer>_<name>`` with optional labels, e.g.
+``repro_store_query_seconds{path="vectorized"}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: default bounds for latency histograms (seconds, upper bounds; +Inf
+#: bucket is implicit).  Roughly half-decade steps from 1us to 10s.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 1e-5, 2.5e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3,
+    1e-2, 2.5e-2, 0.1, 0.25, 1.0, 2.5, 10.0,
+)
+
+#: default bounds for size/row-count histograms (records per batch).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000,
+    10_000, 25_000, 50_000, 100_000, 1_000_000,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _shewchuk_add(partials: List[float], value: float) -> None:
+    """Fold ``value`` into the exact non-overlapping partials list.
+
+    The partials represent the *exact* real sum of everything observed
+    so far (Shewchuk's error-free transformation, the same invariant
+    :func:`math.fsum` maintains).  Because the representation is exact,
+    merging two histograms' partials and summing is bit-identical to
+    having observed the union in any order.
+    """
+    i = 0
+    for y in partials:
+        if abs(value) < abs(y):
+            value, y = y, value
+        high = value + y
+        low = y - (high - value)
+        if low:
+            partials[i] = low
+            i += 1
+        value = high
+    partials[i:] = [value]
+
+
+class Counter:
+    """Monotonic counter; merges by addition."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_payload(self) -> Dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": list(self.labels), "value": self.value}
+
+    def load_payload(self, payload: Dict) -> None:
+        self.value += payload["value"]
+
+
+class Gauge:
+    """Point-in-time value; merges by summing (per-shard/worker parts)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        self.value += other.value
+
+    def to_payload(self) -> Dict:
+        return {"kind": self.kind, "name": self.name,
+                "labels": list(self.labels), "value": self.value}
+
+    def load_payload(self, payload: Dict) -> None:
+        self.value += payload["value"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact merges.
+
+    ``bounds`` are inclusive upper bounds (Prometheus ``le`` semantics);
+    an overflow (+Inf) bucket is always appended.  Two histograms merge
+    exactly iff their bounds are identical — the registry guarantees
+    that by keying metrics on name+labels and refusing bound changes.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "_partials")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Sequence[float] = LATENCY_BUCKETS_S):
+        bounds = np.asarray(sorted(set(float(b) for b in buckets)),
+                            dtype=np.float64)
+        if len(bounds) == 0:
+            raise ValueError("histogram needs at least one bucket bound")
+        if not np.isfinite(bounds).all():
+            raise ValueError("bucket bounds must be finite "
+                             "(+Inf bucket is implicit)")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.count = 0
+        self._partials: List[float] = []
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of everything observed (correctly rounded once)."""
+        return math.fsum(self._partials)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = int(np.searchsorted(self.bounds, value, side="left"))
+        self.bucket_counts[index] += 1
+        self.count += 1
+        _shewchuk_add(self._partials, value)
+
+    def observe_many(self, values) -> None:
+        """Vectorized bucket accounting for one numpy batch."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if len(values) == 0:
+            return
+        indexes = np.searchsorted(self.bounds, values, side="left")
+        self.bucket_counts += np.bincount(
+            indexes, minlength=len(self.bucket_counts)).astype(np.int64)
+        self.count += len(values)
+        for value in values.tolist():
+            _shewchuk_add(self._partials, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if not np.array_equal(self.bounds, other.bounds):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge different bucket "
+                f"layouts ({len(self.bounds)} vs {len(other.bounds)} bounds)")
+        self.bucket_counts += other.bucket_counts
+        self.count += other.count
+        for value in other._partials:
+            _shewchuk_add(self._partials, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_payload(self) -> Dict:
+        return {
+            "kind": self.kind, "name": self.name,
+            "labels": list(self.labels),
+            "bounds": self.bounds.tolist(),
+            "bucket_counts": self.bucket_counts.tolist(),
+            "count": self.count,
+            "partials": list(self._partials),
+        }
+
+    def load_payload(self, payload: Dict) -> None:
+        bounds = np.asarray(payload["bounds"], dtype=np.float64)
+        if not np.array_equal(self.bounds, bounds):
+            raise ValueError(
+                f"histogram {self.name!r}: payload bucket layout differs")
+        self.bucket_counts += np.asarray(payload["bucket_counts"],
+                                         dtype=np.int64)
+        self.count += int(payload["count"])
+        for value in payload["partials"]:
+            _shewchuk_add(self._partials, float(value))
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """All of one process's metrics, keyed by (name, labels).
+
+    The registry itself is always "on": disabling observability means
+    not constructing one (the ``obs is None`` contract), so there is no
+    enabled/disabled branch inside the record path.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def _get(self, cls, name: str, labels: Dict[str, object],
+             **kwargs):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def get(self, name: str, **labels):
+        """Fetch a metric if it exists (reports, tests); else None."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    # -- cross-process merge ------------------------------------------------
+
+    def to_payload(self) -> List[Dict]:
+        """Picklable/JSON-able dump of every metric (worker -> parent)."""
+        return [metric.to_payload() for metric in self._metrics.values()]
+
+    def merge_payload(self, payload: Iterable[Dict]) -> None:
+        """Fold a worker's (or a recorded run's) metrics into this
+        registry; histogram merges are exact (see :class:`Histogram`)."""
+        for entry in payload:
+            cls = _KINDS[entry["kind"]]
+            labels = dict(entry.get("labels", ()))
+            if cls is Histogram:
+                metric = self._get(Histogram, entry["name"], labels,
+                                   buckets=entry["bounds"])
+            else:
+                metric = self._get(cls, entry["name"], labels)
+            metric.load_payload(entry)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_payload(other.to_payload())
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Small rendered view for flight-recorder snapshots."""
+        out: Dict[str, object] = {}
+        for metric in self._metrics.values():
+            name = metric.name
+            if metric.labels:
+                rendered = ",".join(f'{k}="{v}"' for k, v in metric.labels)
+                name = f"{name}{{{rendered}}}"
+            if isinstance(metric, Histogram):
+                out[name] = {"count": metric.count, "sum": metric.sum}
+            else:
+                out[name] = metric.value
+        return out

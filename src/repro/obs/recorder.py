@@ -1,0 +1,133 @@
+"""Flight recorder: a bounded ring of recent events + on-demand snapshots.
+
+The recorder subscribes to the platform's
+:class:`~repro.core.eventbus.EventBus` with the ``"*"`` wildcard and
+keeps only the most recent ``capacity`` events in a ring buffer —
+memory is bounded no matter how long the run.  When something
+noteworthy happens (a circuit breaker opens, a chaos fault fires, or a
+caller asks), it freezes a :class:`Snapshot`: the ring's contents plus
+the current metrics view.  That is the "what was going on just before
+it went wrong" record the chaos DegradationLedger cannot give you.
+
+Snapshots themselves live in a second bounded ring, so a fault storm
+cannot turn the recorder into the leak it exists to diagnose.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.resilience import Clock, MonotonicClock
+
+#: default auto-snapshot triggers: exact topics, or "prefix:" matches
+#: every topic under that prefix.
+DEFAULT_TRIGGERS: Tuple[str, ...] = ("resilience:breaker_open", "chaos:")
+
+
+@dataclass
+class RecordedEvent:
+    """One bus event as held by the ring (topic + shallow payload)."""
+
+    seq: int
+    topic: str
+    payload: Dict = field(default_factory=dict)
+
+    def to_payload(self) -> Dict:
+        return {"seq": self.seq, "topic": self.topic,
+                "payload": dict(self.payload)}
+
+
+@dataclass
+class Snapshot:
+    """The ring + metrics, frozen at one moment for one reason."""
+
+    reason: str
+    at: float
+    events: List[RecordedEvent]
+    metrics: Dict[str, object]
+    events_seen: int
+    events_dropped: int
+
+    def to_payload(self) -> Dict:
+        return {
+            "reason": self.reason, "at": self.at,
+            "events": [event.to_payload() for event in self.events],
+            "metrics": dict(self.metrics),
+            "events_seen": self.events_seen,
+            "events_dropped": self.events_dropped,
+        }
+
+
+class FlightRecorder:
+    """Bounded event ring with triggered metric snapshots.
+
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` whose
+        :meth:`snapshot` is frozen into every :class:`Snapshot`.
+    capacity:
+        Ring size (events retained).
+    snapshot_capacity:
+        How many snapshots are retained (oldest evicted first).
+    triggers:
+        Topics that auto-snapshot.  An entry ending in ``:`` is a
+        prefix match (``"chaos:"`` catches every injected fault).
+    """
+
+    def __init__(self, metrics=None, capacity: int = 512,
+                 snapshot_capacity: int = 32,
+                 triggers: Tuple[str, ...] = DEFAULT_TRIGGERS,
+                 clock: Optional[Clock] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if snapshot_capacity < 1:
+            raise ValueError("snapshot_capacity must be >= 1")
+        self.metrics = metrics
+        self.capacity = capacity
+        self.clock = clock or MonotonicClock()
+        self._ring: deque = deque(maxlen=capacity)
+        self.snapshots: deque = deque(maxlen=snapshot_capacity)
+        self.snapshots_taken = 0
+        self.events_seen = 0
+        self._exact = frozenset(t for t in triggers if not t.endswith(":"))
+        self._prefixes = tuple(t for t in triggers if t.endswith(":"))
+
+    @property
+    def events_dropped(self) -> int:
+        return self.events_seen - len(self._ring)
+
+    def events(self) -> List[RecordedEvent]:
+        """The ring's current contents, oldest first."""
+        return list(self._ring)
+
+    def attach(self, bus) -> None:
+        """Subscribe to every topic on ``bus``."""
+        bus.subscribe("*", self.on_event)
+
+    def on_event(self, event) -> None:
+        """Bus callback; also usable directly in tests."""
+        self.events_seen += 1
+        self._ring.append(RecordedEvent(
+            seq=self.events_seen, topic=event.topic,
+            payload=dict(event.payload)))
+        topic = event.topic
+        if topic in self._exact or topic.startswith(self._prefixes):
+            self.snapshot(reason=topic)
+
+    def snapshot(self, reason: str = "manual") -> Snapshot:
+        """Freeze the ring + metrics now; returns (and retains) it."""
+        snap = Snapshot(
+            reason=reason,
+            at=self.clock.now(),
+            events=self.events(),
+            metrics=self.metrics.snapshot() if self.metrics is not None
+            else {},
+            events_seen=self.events_seen,
+            events_dropped=self.events_dropped,
+        )
+        self.snapshots.append(snap)
+        self.snapshots_taken += 1
+        return snap

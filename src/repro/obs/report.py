@@ -1,0 +1,193 @@
+"""Per-stage latency/throughput reports from a recorded (or live) run.
+
+This is the ``repro obs`` CLI's engine: it folds a run's spans into
+per-stage statistics (where did the time go), surfaces the headline
+metrics per layer (what did each stage shed or produce), and carries
+the trace signature so two seeded runs can be compared for
+reproducibility at a glance.
+
+Stages are derived from span names: ``store.query`` groups under
+``query`` (the paper's hot read path deserves its own row), everything
+else groups under the prefix before the first dot — the span taxonomy
+in DESIGN.md keeps those prefixes aligned with the pipeline layers
+(capture, store, devloop, parallel, switch).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.export import registry_from_records
+from repro.obs.metrics import Histogram
+
+#: render order for known stages; unknown prefixes sort after these.
+_STAGE_ORDER = ("capture", "store", "query", "devloop", "parallel",
+                "switch", "pipeline")
+
+
+def span_stage(name: str) -> str:
+    """Map a span name onto its report stage."""
+    if name.startswith("store.query"):
+        return "query"
+    return name.split(".", 1)[0]
+
+
+@dataclass
+class StageStat:
+    """Aggregate timing for one stage's spans."""
+
+    stage: str
+    spans: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    names: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.spans if self.spans else 0.0
+
+    def add(self, name: str, duration_s: float) -> None:
+        self.spans += 1
+        self.total_s += duration_s
+        self.max_s = max(self.max_s, duration_s)
+        self.names[name] = self.names.get(name, 0) + 1
+
+    def to_dict(self) -> Dict:
+        return {"stage": self.stage, "spans": self.spans,
+                "total_s": self.total_s, "mean_s": self.mean_s,
+                "max_s": self.max_s, "names": dict(self.names)}
+
+
+@dataclass
+class ObsReport:
+    """One run's observability, digested for humans and for ``--json``."""
+
+    meta: Dict
+    stages: List[StageStat]
+    metrics: List[Dict]
+    snapshots: List[Dict]
+    trace_signature: str
+    spans_total: int
+    spans_dropped: int
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict]) -> "ObsReport":
+        """Build from obs JSON-lines records (see ``repro.obs.export``)."""
+        records = list(records)
+        meta: Dict = {}
+        for record in records:
+            if record.get("type") == "meta":
+                meta = {k: v for k, v in record.items() if k != "type"}
+                break
+        by_stage: Dict[str, StageStat] = {}
+        spans_total = 0
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            spans_total += 1
+            if record.get("end") is None:
+                continue
+            name = record["name"]
+            stage = span_stage(name)
+            stat = by_stage.setdefault(stage, StageStat(stage=stage))
+            stat.add(name, float(record["end"]) - float(record["start"]))
+        registry = registry_from_records(records)
+        metrics = []
+        for metric in sorted(registry, key=lambda m: (m.name, m.labels)):
+            entry = {"name": metric.name, "labels": list(metric.labels),
+                     "kind": metric.kind}
+            if isinstance(metric, Histogram):
+                entry.update(count=metric.count, sum=metric.sum,
+                             mean=metric.mean)
+            else:
+                entry["value"] = metric.value
+            metrics.append(entry)
+        snapshots = [
+            {k: v for k, v in record.items() if k != "type"}
+            for record in records if record.get("type") == "snapshot"]
+
+        def stage_key(stat: StageStat):
+            try:
+                return (0, _STAGE_ORDER.index(stat.stage))
+            except ValueError:
+                return (1, stat.stage)
+
+        return cls(
+            meta=meta,
+            stages=sorted(by_stage.values(), key=stage_key),
+            metrics=metrics,
+            snapshots=snapshots,
+            trace_signature=str(meta.get("trace_signature", "")),
+            spans_total=spans_total,
+            spans_dropped=int(meta.get("spans_dropped", 0)),
+        )
+
+    def stage(self, name: str) -> Optional[StageStat]:
+        for stat in self.stages:
+            if stat.stage == name:
+                return stat
+        return None
+
+    def to_dict(self) -> Dict:
+        return {
+            "meta": dict(self.meta),
+            "trace_signature": self.trace_signature,
+            "spans_total": self.spans_total,
+            "spans_dropped": self.spans_dropped,
+            "stages": [stat.to_dict() for stat in self.stages],
+            "metrics": self.metrics,
+            "snapshots": self.snapshots,
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str)
+
+    def render(self) -> str:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items())
+                         if k not in ("trace_signature", "spans",
+                                      "spans_dropped"))
+        lines = [
+            f"obs report: {meta}" if meta else "obs report",
+            f"trace signature: {self.trace_signature}  "
+            f"(spans: {self.spans_total}, dropped: {self.spans_dropped})",
+            "",
+            f"{'stage':<10s} {'spans':>6s} {'total_s':>10s} "
+            f"{'mean_s':>10s} {'max_s':>10s}  span names",
+        ]
+        for stat in self.stages:
+            names = ", ".join(
+                f"{name}×{count}" for name, count
+                in sorted(stat.names.items()))
+            lines.append(
+                f"{stat.stage:<10s} {stat.spans:>6d} {stat.total_s:>10.4f} "
+                f"{stat.mean_s:>10.6f} {stat.max_s:>10.6f}  {names}")
+        if not self.stages:
+            lines.append("(no finished spans recorded)")
+        lines += ["", "metrics:"]
+        for entry in self.metrics:
+            labels = ""
+            if entry["labels"]:
+                labels = "{" + ",".join(
+                    f'{k}="{v}"' for k, v in entry["labels"]) + "}"
+            if entry["kind"] == "histogram":
+                lines.append(
+                    f"  {entry['name']}{labels} count={entry['count']} "
+                    f"sum={entry['sum']:.6f} mean={entry['mean']:.6g}")
+            else:
+                value = entry["value"]
+                rendered = f"{value:g}" if isinstance(value, float) \
+                    else str(value)
+                lines.append(f"  {entry['name']}{labels} {rendered}")
+        if not self.metrics:
+            lines.append("  (none)")
+        if self.snapshots:
+            lines += ["", f"flight-recorder snapshots: "
+                          f"{len(self.snapshots)}"]
+            for snap in self.snapshots:
+                lines.append(
+                    f"  reason={snap.get('reason')} "
+                    f"events={len(snap.get('events', []))} "
+                    f"dropped={snap.get('events_dropped', 0)}")
+        return "\n".join(lines)

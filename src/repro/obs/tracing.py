@@ -1,0 +1,178 @@
+"""Nested spans on injectable clocks.
+
+A :class:`Tracer` produces :class:`SpanRecord` entries with explicit
+integer ids and parent ids.  Ids come from a deterministic counter and
+parentage from an explicit stack, so the *shape* of a trace — which
+spans exist, their names, their nesting, their order — is a pure
+function of the code path taken: a fixed seed replays an identical
+trace tree (asserted via :meth:`Tracer.tree_signature`, which digests
+structure only, never durations).
+
+Durations come from the tracer's injectable
+:class:`~repro.chaos.resilience.Clock` — wall time in live runs,
+virtual time in tests — which is also what keeps this module free of
+direct wall-clock reads (the REP306 lint rule).
+
+Worker processes run their own local tracer and ship finished spans
+back as payloads; :meth:`Tracer.adopt` re-parents them under the
+current span with freshly assigned ids (in task order, so adoption is
+deterministic too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.resilience import Clock, MonotonicClock
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_payload(self) -> Dict:
+        return {
+            "id": self.span_id, "parent": self.parent_id,
+            "name": self.name, "start": self.start, "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: Optional[SpanRecord]):
+        self._tracer = tracer
+        self.record = record
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (no-op when it was dropped)."""
+        if self.record is not None:
+            self.record.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._finish(self.record)
+
+
+class Tracer:
+    """Produces nested spans; bounded so tracing can never OOM a run.
+
+    ``max_spans`` caps the retained list: past it, new spans are counted
+    in :attr:`dropped` instead of stored (and never become parents).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 max_spans: int = 50_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.clock = clock or MonotonicClock()
+        self.max_spans = max_spans
+        self.spans: List[SpanRecord] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+        self._stack: List[SpanRecord] = []
+
+    @property
+    def current_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a child of the current span; use as a context manager."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return _SpanHandle(self, None)
+        record = SpanRecord(
+            span_id=next(self._ids),
+            parent_id=self.current_id,
+            name=name,
+            start=self.clock.now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        return _SpanHandle(self, record)
+
+    def _finish(self, record: Optional[SpanRecord]) -> None:
+        if record is None:
+            return
+        record.end = self.clock.now()
+        # exits unwind in LIFO order; tolerate a missed exit above us
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+
+    # -- cross-process adoption ---------------------------------------------
+
+    def adopt(self, payload_spans: List[Dict],
+              parent_id: Optional[int] = None,
+              **extra_attrs) -> List[SpanRecord]:
+        """Graft a worker's finished spans under ``parent_id``.
+
+        Ids are re-assigned from this tracer's counter in payload order
+        and the worker's internal parent links are remapped, so adopting
+        the same payloads in the same order yields the same tree.
+        Worker clocks are unrelated to ours; starts/ends are kept as
+        shipped (durations stay meaningful, absolute times are
+        worker-local).
+        """
+        if parent_id is None:
+            parent_id = self.current_id
+        id_map: Dict[int, int] = {}
+        adopted: List[SpanRecord] = []
+        for entry in payload_spans:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += len(payload_spans) - len(adopted)
+                break
+            new_id = next(self._ids)
+            id_map[entry["id"]] = new_id
+            record = SpanRecord(
+                span_id=new_id,
+                parent_id=id_map.get(entry["parent"], parent_id),
+                name=entry["name"],
+                start=entry["start"],
+                end=entry["end"],
+                attrs={**entry.get("attrs", {}), **extra_attrs},
+            )
+            self.spans.append(record)
+            adopted.append(record)
+        return adopted
+
+    # -- reporting -----------------------------------------------------------
+
+    def finished(self) -> List[SpanRecord]:
+        return [span for span in self.spans if span.end is not None]
+
+    def to_payload(self) -> List[Dict]:
+        return [span.to_payload() for span in self.spans]
+
+    def tree_signature(self) -> str:
+        """Digest of the trace *structure*: (id, parent, name) triples
+        in creation order.  Durations and attrs are excluded on purpose
+        — equal signatures mean "the same tree", wall clock aside."""
+        payload = json.dumps(
+            [[s.span_id, s.parent_id, s.name] for s in self.spans],
+            separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -51,12 +51,29 @@ class NonShippableTaskError(TypeError):
     """A task cannot cross the process boundary as submitted."""
 
 
-def _task_shell(fn: Callable, args: Tuple, crash: bool):
+def _task_shell(fn: Callable, args: Tuple, crash: bool,
+                with_obs: bool = False):
     """Worker-side wrapper: the injected-crash gate fires here, inside
-    the worker, before the kernel runs."""
+    the worker, before the kernel runs.
+
+    When the parent runs with observability, the shell activates a
+    process-local :class:`~repro.obs.runtime.WorkerObs` around the task
+    and ships ``(result, payload)`` home; the parent merges the payload
+    (exact histogram merge, span adoption) in task order.
+    """
     if crash:
         raise WorkerCrashError("chaos: injected worker crash")
-    return fn(*args)
+    if not with_obs:
+        return fn(*args)
+    from repro.obs import runtime
+    worker = runtime.activate()
+    try:
+        with worker.tracer.span("parallel.task",
+                                fn=getattr(fn, "__name__", repr(fn))):
+            result = fn(*args)
+        return result, worker.to_payload()
+    finally:
+        runtime.deactivate()
 
 
 class ParallelExecutor:
@@ -72,14 +89,23 @@ class ParallelExecutor:
         recorded under stage ``"parallel"``.
     fault_injector:
         Optional chaos injector; arms deterministic worker crashes.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  When set, each
+        ``map_tasks`` call runs under a ``parallel.map_tasks`` span,
+        worker tasks record into process-local registries whose
+        payloads the parent merges on completion (histogram merges
+        exact, spans adopted in task order), and a batch whose workers
+        died records ``obs / worker-metrics-lost`` in the ledger.
     """
 
-    def __init__(self, workers: int = 0, ledger=None, fault_injector=None):
+    def __init__(self, workers: int = 0, ledger=None, fault_injector=None,
+                 obs=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = int(workers)
         self.ledger = ledger
         self.fault_injector = fault_injector
+        self.obs = obs
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_failures = 0
         self.tasks_run = 0
@@ -105,6 +131,9 @@ class ParallelExecutor:
         self._pool_failures += 1
         if self.ledger is not None:
             self.ledger.degrade("parallel", "serial-fallback", reason)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_parallel_serial_fallback_total").inc()
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
@@ -168,6 +197,15 @@ class ParallelExecutor:
         self.tasks_run += len(tasks)
         if not tasks:
             return []
+        obs = self.obs
+        if obs is None:
+            return self._run_batch(fn, tasks, None)
+        with obs.span("parallel.map_tasks",
+                      fn=getattr(fn, "__name__", repr(fn)),
+                      tasks=len(tasks)):
+            return self._run_batch(fn, tasks, obs)
+
+    def _run_batch(self, fn: Callable, tasks: List[Tuple], obs) -> List:
         if not self.parallel:
             return [fn(*args) for args in tasks]
         self.assert_shippable(fn, tasks)
@@ -175,10 +213,11 @@ class ParallelExecutor:
         pool = self._ensure_pool()
         if pool is None:
             return [fn(*args) for args in tasks]
+        with_obs = obs is not None
         try:
-            futures = [pool.submit(_task_shell, fn, args, crash)
+            futures = [pool.submit(_task_shell, fn, args, crash, with_obs)
                        for args, crash in zip(tasks, crashes)]
-            results = [future.result() for future in futures]
+            outs = [future.result() for future in futures]
         except (WorkerCrashError, BrokenProcessPool, pickle.PicklingError,
                 OSError) as exc:
             for future in futures:
@@ -186,8 +225,25 @@ class ParallelExecutor:
             if isinstance(exc, BrokenProcessPool):
                 self._discard_pool()
             self._note_failure(f"worker batch failed: {exc!r}")
+            if with_obs and self.ledger is not None:
+                # whatever the dead workers had buffered is gone; the
+                # serial re-run below records in-process instead
+                self.ledger.degrade(
+                    "obs", "worker-metrics-lost",
+                    f"batch of {len(tasks)} tasks re-ran serially: "
+                    f"{exc!r}")
             return [fn(*args) for args in tasks]
         self.tasks_in_workers += len(tasks)
+        if not with_obs:
+            return outs
+        results = []
+        for result, payload in outs:    # task order: merge deterministic
+            results.append(result)
+            obs.metrics.merge_payload(payload["metrics"])
+            obs.tracer.adopt(payload["spans"])
+            obs.tracer.dropped += payload.get("spans_dropped", 0)
+        obs.metrics.counter("repro_parallel_tasks_in_workers_total").inc(
+            len(tasks))
         return results
 
     def summary(self) -> dict:

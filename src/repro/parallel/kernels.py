@@ -23,8 +23,46 @@ import numpy as np
 from repro.datastore.query import Query, columnar_positions
 from repro.learning.features import _block_examples
 from repro.netsim.packets import PacketColumns
+from repro.obs.runtime import worker_obs
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.shm import ColumnsShipment, pack_columns, shm_available
+
+
+def _observed_attach(shipment: ColumnsShipment):
+    """Attach a shipment, timing it when a worker context is active.
+
+    Returns ``(shm, cols, worker)`` — ``worker`` is the active
+    :class:`~repro.obs.runtime.WorkerObs` or None, so the kernel can
+    time its compute phase with the same context.
+    """
+    worker = worker_obs()
+    if worker is None:
+        return shipment.attach() + (None,)
+    started = worker.tracer.clock.now()
+    shm, cols = shipment.attach()
+    worker.metrics.histogram("repro_parallel_shm_attach_seconds").observe(
+        worker.tracer.clock.now() - started)
+    return shm, cols, worker
+
+
+def _observe_kernel(worker, kernel: str, started: float) -> None:
+    worker.metrics.histogram("repro_parallel_kernel_seconds",
+                             kernel=kernel).observe(
+        worker.tracer.clock.now() - started)
+
+
+def _observed_pack(cols: PacketColumns, executor: ParallelExecutor,
+                   with_payload: bool = False):
+    """Pack a column block into shared memory, timing the ship when the
+    parent executor carries an Observability."""
+    obs = executor.obs
+    if obs is None:
+        return pack_columns(cols, with_payload=with_payload)
+    started = obs.clock.now()
+    handle, shipment = pack_columns(cols, with_payload=with_payload)
+    obs.metrics.histogram("repro_parallel_shm_pack_seconds").observe(
+        obs.clock.now() - started)
+    return handle, shipment
 
 #: fields the vectorized scan kernel can evaluate without records
 _SCANNABLE_FIELDS = frozenset({
@@ -41,9 +79,14 @@ def _query_scan_kernel(shipment: ColumnsShipment, time_range,
                        where: Dict) -> Optional[np.ndarray]:
     """Vectorized row selection over one shipped block; ascending
     positions (or None if a field resists vectorized evaluation)."""
-    shm, cols = shipment.attach()
+    shm, cols, worker = _observed_attach(shipment)
     try:
-        return columnar_positions(cols, time_range, where)
+        if worker is None:
+            return columnar_positions(cols, time_range, where)
+        started = worker.tracer.clock.now()
+        positions = columnar_positions(cols, time_range, where)
+        _observe_kernel(worker, "query_scan", started)
+        return positions
     finally:
         shm.close()
 
@@ -84,7 +127,7 @@ def scatter_query(segments, query: Query, executor: ParallelExecutor) \
     try:
         tasks = []
         for _, cols in jobs:
-            handle, shipment = pack_columns(cols)
+            handle, shipment = _observed_pack(cols, executor)
             handles.append(handle)
             tasks.append((shipment, query.time_range, dict(query.where)))
         outs = executor.map_tasks(_query_scan_kernel, tasks)
@@ -105,11 +148,18 @@ def _featurize_kernel(shipment: ColumnsShipment, time_range, window_s: float,
                       use_payload: bool, resp_mask, any_mask, tagged_mask,
                       curated_codes, curated_values):
     """Partial window aggregation of one shipped block (records-free)."""
-    shm, cols = shipment.attach()
+    shm, cols, worker = _observed_attach(shipment)
     try:
-        return _block_examples(cols, time_range, window_s, use_payload,
-                               resp_mask, any_mask, tagged_mask,
-                               curated_codes, curated_values)
+        if worker is None:
+            return _block_examples(cols, time_range, window_s, use_payload,
+                                   resp_mask, any_mask, tagged_mask,
+                                   curated_codes, curated_values)
+        started = worker.tracer.clock.now()
+        out = _block_examples(cols, time_range, window_s, use_payload,
+                              resp_mask, any_mask, tagged_mask,
+                              curated_codes, curated_values)
+        _observe_kernel(worker, "featurize", started)
+        return out
     finally:
         shm.close()
 
@@ -130,7 +180,7 @@ def scatter_featurize(blocks, time_range, window_s: float, use_payload: bool,
     try:
         tasks = []
         for _, cols, aux in blocks:
-            handle, shipment = pack_columns(cols)
+            handle, shipment = _observed_pack(cols, executor)
             handles.append(handle)
             tasks.append((shipment, time_range, window_s, use_payload, *aux))
         return executor.map_tasks(_featurize_kernel, tasks)
@@ -151,9 +201,15 @@ def _extract_kernel(shipment: ColumnsShipment) -> List[Dict[str, str]]:
     records off the shared views (payloads were shipped alongside).
     """
     from repro.capture.metadata import MetadataExtractor
-    shm, cols = shipment.attach()
+    shm, cols, worker = _observed_attach(shipment)
     try:
-        return MetadataExtractor().extract_batch(list(cols.iter_records()))
+        if worker is None:
+            return MetadataExtractor().extract_batch(
+                list(cols.iter_records()))
+        started = worker.tracer.clock.now()
+        tags = MetadataExtractor().extract_batch(list(cols.iter_records()))
+        _observe_kernel(worker, "extract", started)
+        return tags
     finally:
         shm.close()
 
@@ -178,8 +234,8 @@ def scatter_extract(cols: PacketColumns, executor: ParallelExecutor,
         for lo, hi in zip(bounds[:-1], bounds[1:]):
             if lo == hi:
                 continue
-            handle, shipment = pack_columns(cols.slice(int(lo), int(hi)),
-                                            with_payload=True)
+            handle, shipment = _observed_pack(cols.slice(int(lo), int(hi)),
+                                              executor, with_payload=True)
             handles.append(handle)
             tasks.append((shipment,))
         outs = executor.map_tasks(_extract_kernel, tasks)

@@ -95,6 +95,9 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
                "wall-clock time.time() inside simulator code"),
     "REP305": (Severity.ERROR,
                "non-picklable lambda in a parallel task submission"),
+    "REP306": (Severity.ERROR,
+               "direct wall-clock read inside observability code; "
+               "time must come through the injectable clock"),
 }
 
 

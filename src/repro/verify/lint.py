@@ -1,6 +1,6 @@
 """Repo-wide AST lint: project rules as ``REP3xx`` diagnostics.
 
-Five rules, each encoding a discipline the platform depends on:
+Six rules, each encoding a discipline the platform depends on:
 
 * **REP301** — no mutable default arguments (``def f(x=[])``): shared
   state across calls breaks the "fresh network per seed" contract.
@@ -20,6 +20,11 @@ Five rules, each encoding a discipline the platform depends on:
   ``EmulatedSwitch``) leak across the process boundary.  Tasks must
   be module-level functions taking picklable arguments (the runtime
   twin of this rule is ``ParallelExecutor.assert_shippable``).
+* **REP306** — no direct wall-clock reads (``time.time()``,
+  ``time.monotonic()``, ``time.perf_counter()``, or their ``_ns``
+  twins) inside observability code: spans and latency histograms must
+  read the injectable clock, so a ``VirtualClock`` makes traces
+  exactly reproducible and two processes never mix clock domains.
 
 Configuration lives in ``pyproject.toml`` under ``[tool.repro.lint]``
 (scopes for the scoped rules, plus an explicit ``exemptions`` list of
@@ -47,6 +52,10 @@ _MUTABLE_CALLS = {"list", "dict", "set"}
 #: method names that ship their arguments into worker processes.
 _SUBMIT_METHODS = {"submit", "map_tasks"}
 
+#: ``time`` module attributes that read a wall clock (REP306).
+_WALLCLOCK_ATTRS = {"time", "monotonic", "perf_counter",
+                    "time_ns", "monotonic_ns", "perf_counter_ns"}
+
 
 @dataclass
 class LintConfig:
@@ -61,6 +70,7 @@ class LintConfig:
     wallclock_scope: List[str] = field(
         default_factory=lambda: ["netsim", "capture", "deploy", "events",
                                  "testbed"])
+    obs_clock_scope: List[str] = field(default_factory=lambda: ["obs"])
     exclude: List[str] = field(
         default_factory=lambda: ["__pycache__", ".egg-info"])
     #: checked-in intentional exceptions: "relative/path.py:REP303"
@@ -91,6 +101,9 @@ class LintConfig:
                         section["seeded-random-scope"])
                 if "wallclock-scope" in section:
                     config.wallclock_scope = list(section["wallclock-scope"])
+                if "obs-clock-scope" in section:
+                    config.obs_clock_scope = list(
+                        section["obs-clock-scope"])
                 if "exclude" in section:
                     config.exclude = list(section["exclude"])
                 if "exemptions" in section:
@@ -116,6 +129,8 @@ class _LintVisitor(ast.NodeVisitor):
                                           config.seeded_random_scope)
         self._check_clock = config.in_scope(rel_path,
                                             config.wallclock_scope)
+        self._check_obs_clock = config.in_scope(rel_path,
+                                                config.obs_clock_scope)
 
     def _report(self, code: str, message: str, line: int) -> None:
         if not self.config.exempt(self.rel_path, code):
@@ -190,6 +205,12 @@ class _LintVisitor(ast.NodeVisitor):
                 "REP304",
                 "wall-clock time.time() in simulator code; use the "
                 "event loop's simulated clock", node.lineno)
+        if self._check_obs_clock and len(chain) == 2 and \
+                chain[0] == "time" and chain[1] in _WALLCLOCK_ATTRS:
+            self._report(
+                "REP306",
+                f"direct wall-clock time.{chain[1]}() in observability "
+                f"code; read the injectable clock instead", node.lineno)
         if len(chain) >= 2 and chain[-1] in _SUBMIT_METHODS:
             for arg in node.args:
                 if isinstance(arg, ast.Lambda):

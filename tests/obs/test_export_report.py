@@ -1,0 +1,150 @@
+"""Exporters and the per-stage report: round trips and hard failures."""
+
+import json
+
+import pytest
+
+from repro.chaos.resilience import VirtualClock
+from repro.core.eventbus import EventBus
+from repro.obs import Observability
+from repro.obs.export import (
+    ObsFormatError,
+    bench_record,
+    obs_records,
+    read_jsonl,
+    registry_from_records,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.obs.report import ObsReport, span_stage
+
+
+def _observed_run():
+    """A tiny synthetic run touching spans, metrics, and the recorder."""
+    obs = Observability(clock=VirtualClock())
+    bus = EventBus()
+    obs.attach_bus(bus)
+    obs.metrics.counter("repro_capture_packets_captured_total").inc(100)
+    obs.metrics.histogram("repro_store_query_seconds",
+                          path="vectorized").observe(0.01)
+    with obs.span("capture.collect", scenario="ddos"):
+        with obs.span("store.query", collection="packets"):
+            pass
+    bus.publish("chaos:tap_drop", rate=0.5)  # auto-snapshot
+    return obs
+
+
+class TestJsonl:
+    def test_round_trip_preserves_every_record(self, tmp_path):
+        obs = _observed_run()
+        records = obs_records(obs, meta={"seed": 7})
+        path = write_jsonl(records, tmp_path / "obs.jsonl")
+        loaded = read_jsonl(path)
+        assert loaded == json.loads(json.dumps(records))
+        assert loaded[0]["type"] == "meta"
+        assert loaded[0]["seed"] == 7
+        assert loaded[0]["trace_signature"] == obs.tracer.tree_signature()
+        types = {record["type"] for record in loaded}
+        assert types == {"meta", "metric", "span", "snapshot"}
+
+    def test_rebuilt_registry_is_exact(self, tmp_path):
+        obs = _observed_run()
+        path = write_jsonl(obs_records(obs), tmp_path / "obs.jsonl")
+        registry = registry_from_records(read_jsonl(path))
+        assert registry.get("repro_capture_packets_captured_total") \
+            .value == 100
+        hist = registry.get("repro_store_query_seconds", path="vectorized")
+        assert hist.count == 1 and hist.sum == 0.01
+
+    @pytest.mark.parametrize("text,match", [
+        ("not json\n", "not valid JSON"),
+        ('[1,2]\n', "not an object"),
+        ('{"no_type":1}\n', "not an object with a 'type'"),
+        ('{"type":"martian"}\n', "unknown record type"),
+        ("", "no obs records"),
+    ])
+    def test_malformed_input_raises_obs_format_error(self, tmp_path, text,
+                                                     match):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(text)
+        with pytest.raises(ObsFormatError, match=match):
+            read_jsonl(path)
+
+    def test_missing_file_raises_obs_format_error(self, tmp_path):
+        with pytest.raises(ObsFormatError, match="cannot read"):
+            read_jsonl(tmp_path / "nope.jsonl")
+
+    def test_bench_record_shape(self):
+        record = bench_record("test_x", {"median": 0.5, "rounds": 3},
+                              suite="test_perf_obs", mode="quick")
+        assert record["type"] == "bench"
+        assert record["median"] == 0.5
+        assert record["suite"] == "test_perf_obs"
+
+
+class TestPrometheus:
+    def test_counter_gauge_and_histogram_exposition(self):
+        obs = Observability(clock=VirtualClock())
+        obs.metrics.counter("repro_c_total", path="fast").inc(3)
+        obs.metrics.gauge("repro_g").set(1.5)
+        hist = obs.metrics.histogram("repro_h_seconds",
+                                     buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_prometheus(obs.metrics)
+        assert "# TYPE repro_c_total counter" in text
+        assert 'repro_c_total{path="fast"} 3' in text
+        assert "repro_g 1.5" in text
+        # cumulative buckets with le labels, then +Inf == count
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="1"} 2' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_h_seconds_count 3" in text
+        assert "repro_h_seconds_sum 5.55" in text
+
+
+class TestReport:
+    def test_span_stage_taxonomy(self):
+        assert span_stage("capture.collect") == "capture"
+        assert span_stage("store.query") == "query"
+        assert span_stage("store.ingest") == "store"
+        assert span_stage("devloop.train") == "devloop"
+        assert span_stage("parallel.task") == "parallel"
+        assert span_stage("switch.react") == "switch"
+        assert span_stage("oneword") == "oneword"
+
+    def test_report_aggregates_per_stage(self):
+        obs = _observed_run()
+        report = obs.report(meta={"seed": 7})
+        assert report.meta["seed"] == 7
+        assert report.trace_signature == obs.tracer.tree_signature()
+        capture = report.stage("capture")
+        query = report.stage("query")
+        assert capture.spans == 1 and capture.names == \
+            {"capture.collect": 1}
+        assert query.spans == 1
+        assert report.stage("nope") is None
+        assert len(report.snapshots) == 1
+        assert report.snapshots[0]["reason"] == "chaos:tap_drop"
+
+    def test_render_text_and_json_agree(self):
+        obs = _observed_run()
+        report = obs.report(meta={"seed": 7})
+        text = report.render()
+        assert "capture" in text and "store.query×1" in text
+        assert "repro_store_query_seconds" in text
+        assert "flight-recorder snapshots: 1" in text
+        parsed = json.loads(report.render_json())
+        assert parsed["meta"]["seed"] == 7
+        assert [s["stage"] for s in parsed["stages"]] == \
+            ["capture", "query"]
+
+    def test_open_spans_are_not_exported_but_meta_counts_them(self):
+        obs = Observability(clock=VirtualClock())
+        handle = obs.span("capture.collect")
+        handle.__enter__()  # never exited: still open at export time
+        report = obs.report()
+        assert report.meta["spans"] == 1  # the tracer saw it
+        assert report.spans_total == 0    # only finished spans ship
+        assert report.stage("capture") is None

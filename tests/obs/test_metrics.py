@@ -1,0 +1,166 @@
+"""Metrics registry: units + the exact-merge property.
+
+The property the whole cross-process story rests on: merging two
+histograms is *bit-identical* to having observed the union of their
+samples, for any bucket layout — bucket counts are int64 adds and the
+value sum is kept as Shewchuk partials (the fsum invariant), so float
+addition order cannot leak into reports.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+finite_floats = st.floats(min_value=-1e12, max_value=1e12,
+                          allow_nan=False, allow_infinity=False)
+bucket_layouts = st.lists(finite_floats, min_size=1, max_size=12)
+samples = st.lists(finite_floats, max_size=60)
+
+
+class TestCounterGauge:
+    def test_counter_counts_and_merges(self):
+        a, b = Counter("repro_x_total"), Counter("repro_x_total")
+        a.inc()
+        a.inc(4)
+        b.inc(2.5)
+        a.merge(b)
+        assert a.value == 7.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("repro_x_total").inc(-1)
+
+    def test_gauge_set_inc_dec_and_merge(self):
+        g = Gauge("repro_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(3)
+        other = Gauge("repro_depth")
+        other.set(5)
+        g.merge(other)
+        assert g.value == 14
+
+
+class TestHistogram:
+    def test_le_semantics_value_on_bound_falls_in_its_bucket(self):
+        hist = Histogram("repro_h", buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            hist.observe(value)
+        # le=1: {0.5, 1.0}; le=10: {5.0, 10.0}; +Inf: {11.0}
+        assert hist.bucket_counts.tolist() == [2, 2, 1]
+        assert hist.count == 5
+
+    def test_observe_many_matches_observe(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(1e-3, 1e-3, 500)
+        one = Histogram("repro_h", buckets=LATENCY_BUCKETS_S)
+        many = Histogram("repro_h", buckets=LATENCY_BUCKETS_S)
+        for value in values:
+            one.observe(value)
+        many.observe_many(values)
+        assert one.bucket_counts.tolist() == many.bucket_counts.tolist()
+        assert one.count == many.count
+        assert one.sum == many.sum  # bit-identical, not approx
+
+    def test_bounds_deduped_sorted_and_finite_only(self):
+        hist = Histogram("repro_h", buckets=[10.0, 1.0, 10.0])
+        assert hist.bounds.tolist() == [1.0, 10.0]
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("repro_h", buckets=[1.0, math.inf])
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("repro_h", buckets=[])
+
+    def test_merge_refuses_different_layouts(self):
+        a = Histogram("repro_h", buckets=[1.0])
+        b = Histogram("repro_h", buckets=[2.0])
+        with pytest.raises(ValueError, match="bucket layouts"):
+            a.merge(b)
+
+    @given(buckets=bucket_layouts, left=samples, right=samples)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_is_exactly_observing_the_union(self, buckets, left,
+                                                  right):
+        merged = Histogram("repro_h", buckets=buckets)
+        other = Histogram("repro_h", buckets=buckets)
+        union = Histogram("repro_h", buckets=buckets)
+        for value in left:
+            merged.observe(value)
+        for value in right:
+            other.observe(value)
+        for value in left + right:
+            union.observe(value)
+        merged.merge(other)
+        assert merged.count == union.count == len(left) + len(right)
+        assert merged.bucket_counts.tolist() == \
+            union.bucket_counts.tolist()
+        # The money assertion: bit-identical, no tolerance.
+        assert merged.sum == union.sum
+        assert merged.sum == math.fsum(left + right)
+
+    @given(buckets=bucket_layouts, left=samples, right=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_payload_round_trip_is_exact(self, buckets, left, right):
+        src = Histogram("repro_h", buckets=buckets)
+        for value in left:
+            src.observe(value)
+        dst = Histogram("repro_h", buckets=buckets)
+        for value in right:
+            dst.observe(value)
+        dst.load_payload(src.to_payload())
+        union = Histogram("repro_h", buckets=buckets)
+        for value in right + left:
+            union.observe(value)
+        assert dst.count == union.count
+        assert dst.bucket_counts.tolist() == union.bucket_counts.tolist()
+        assert dst.sum == union.sum
+
+
+class TestRegistry:
+    def test_same_name_labels_is_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", path="fast")
+        b = registry.counter("repro_x_total", path="fast")
+        c = registry.counter("repro_x_total", path="slow")
+        assert a is b and a is not c
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("repro_x")
+
+    def test_get_returns_none_for_unknown(self):
+        assert MetricsRegistry().get("repro_nope") is None
+
+    def test_merge_payload_rebuilds_every_kind(self):
+        src = MetricsRegistry()
+        src.counter("repro_c", k="v").inc(3)
+        src.gauge("repro_g").set(7)
+        src.histogram("repro_h", buckets=COUNT_BUCKETS).observe(12)
+        dst = MetricsRegistry()
+        dst.counter("repro_c", k="v").inc(1)
+        dst.merge_payload(src.to_payload())
+        assert dst.counter("repro_c", k="v").value == 4
+        assert dst.gauge("repro_g").value == 7
+        hist = dst.get("repro_h")
+        assert hist.count == 1 and hist.sum == 12.0
+
+    def test_snapshot_renders_prometheus_style_names(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", path="fast").inc(2)
+        registry.histogram("repro_h").observe(0.5)
+        snap = registry.snapshot()
+        assert snap['repro_c{path="fast"}'] == 2
+        assert snap["repro_h"] == {"count": 1, "sum": 0.5}

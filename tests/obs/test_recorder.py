@@ -1,0 +1,96 @@
+"""Flight recorder: bounded rings + trigger semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.resilience import VirtualClock
+from repro.core.eventbus import BusEvent, EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import DEFAULT_TRIGGERS, FlightRecorder
+
+
+def _feed(recorder, n, topic="tick"):
+    for i in range(n):
+        recorder.on_event(BusEvent(topic=topic, payload={"i": i}))
+
+
+class TestRingBounds:
+    @given(capacity=st.integers(min_value=1, max_value=64),
+           n=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=150, deadline=None)
+    def test_ring_never_exceeds_capacity_under_overflow(self, capacity, n):
+        recorder = FlightRecorder(capacity=capacity, triggers=(),
+                                  clock=VirtualClock())
+        _feed(recorder, n)
+        events = recorder.events()
+        assert len(events) == min(n, capacity)
+        assert recorder.events_seen == n
+        assert recorder.events_dropped == n - len(events)
+        # the ring keeps the *most recent* events, oldest first
+        assert [e.seq for e in events] == \
+            list(range(n - len(events) + 1, n + 1))
+
+    @given(n=st.integers(min_value=0, max_value=200),
+           snapshot_capacity=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_ring_is_bounded_too(self, n, snapshot_capacity):
+        recorder = FlightRecorder(
+            capacity=4, snapshot_capacity=snapshot_capacity,
+            triggers=("boom",), clock=VirtualClock())
+        _feed(recorder, n, topic="boom")
+        assert len(recorder.snapshots) == min(n, snapshot_capacity)
+        assert recorder.snapshots_taken == n
+
+
+class TestTriggers:
+    def test_exact_topic_triggers_a_snapshot(self):
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.on_event(BusEvent(topic="resilience:breaker_open"))
+        assert [s.reason for s in recorder.snapshots] == \
+            ["resilience:breaker_open"]
+
+    def test_prefix_trigger_catches_every_chaos_fault(self):
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.on_event(BusEvent(topic="chaos:capture_drop"))
+        recorder.on_event(BusEvent(topic="chaos:store_latency"))
+        assert [s.reason for s in recorder.snapshots] == \
+            ["chaos:capture_drop", "chaos:store_latency"]
+
+    def test_untriggered_topics_only_fill_the_ring(self):
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.on_event(BusEvent(topic="collect:start"))
+        recorder.on_event(BusEvent(topic="resilience:retry"))
+        assert len(recorder.snapshots) == 0
+        assert recorder.events_seen == 2
+
+    def test_default_triggers_are_breaker_open_and_chaos(self):
+        assert "resilience:breaker_open" in DEFAULT_TRIGGERS
+        assert "chaos:" in DEFAULT_TRIGGERS
+
+
+class TestSnapshots:
+    def test_snapshot_freezes_ring_and_metrics(self):
+        metrics = MetricsRegistry()
+        metrics.counter("repro_x_total").inc(3)
+        clock = VirtualClock(start=5.0)
+        recorder = FlightRecorder(metrics=metrics, capacity=2,
+                                  triggers=(), clock=clock)
+        _feed(recorder, 3)
+        snap = recorder.snapshot(reason="manual")
+        assert snap.reason == "manual"
+        assert snap.at == 5.0
+        assert [e.seq for e in snap.events] == [2, 3]
+        assert snap.metrics == {"repro_x_total": 3}
+        assert snap.events_seen == 3 and snap.events_dropped == 1
+        # later events must not mutate the frozen snapshot
+        _feed(recorder, 2)
+        assert [e.seq for e in snap.events] == [2, 3]
+
+    def test_attach_subscribes_to_everything_on_the_bus(self):
+        bus = EventBus()
+        recorder = FlightRecorder(clock=VirtualClock())
+        recorder.attach(bus)
+        bus.publish("collect:start", seed=7)
+        bus.publish("chaos:tap_drop", rate=0.5)
+        assert recorder.events_seen == 2
+        assert [s.reason for s in recorder.snapshots] == ["chaos:tap_drop"]
+        assert recorder.events()[0].payload == {"seed": 7}

@@ -1,0 +1,145 @@
+"""Tracer: deterministic tree shape + well-formed nesting.
+
+The hypothesis property drives the tracer with an arbitrary
+open/close program and asserts the invariant every consumer of the
+trace relies on: the parent of any span opened before it and closed
+after it (proper nesting), ids strictly increasing in creation order,
+and the tree signature a pure function of structure.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.resilience import VirtualClock
+from repro.obs.tracing import Tracer
+
+#: a random program: True opens a span, False closes the innermost one.
+programs = st.lists(st.booleans(), max_size=80)
+
+
+def _run_program(program, clock=None, max_spans=50_000):
+    """Execute open/close ops; returns the tracer (all spans closed)."""
+    tracer = Tracer(clock=clock or VirtualClock(), max_spans=max_spans)
+    handles = []
+    for op in program:
+        if op:
+            handles.append(tracer.span(f"op.{len(handles)}"))
+            handles[-1].__enter__()
+        elif handles:
+            handles.pop().__exit__(None, None, None)
+    while handles:
+        handles.pop().__exit__(None, None, None)
+    return tracer
+
+
+class TestNesting:
+    def test_parent_ids_follow_the_stack(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        a, b, c, d = tracer.spans
+        assert (a.parent_id, b.parent_id, c.parent_id, d.parent_id) == \
+            (None, a.span_id, b.span_id, a.span_id)
+
+    def test_attrs_via_handle_set(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.span("a", x=1) as span:
+            span.set(rows=10)
+        assert tracer.spans[0].attrs == {"x": 1, "rows": 10}
+
+    def test_durations_come_from_the_injected_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            clock._now += 2.5
+        assert tracer.spans[0].duration_s == 2.5
+
+    @given(program=programs)
+    @settings(max_examples=200, deadline=None)
+    def test_every_span_is_properly_nested_in_its_parent(self, program):
+        tracer = _run_program(program)
+        by_id = {span.span_id: span for span in tracer.spans}
+        seen = set()
+        for span in tracer.spans:
+            assert span.end is not None
+            assert span.span_id not in seen
+            seen.add(span.span_id)
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            # parent opened before the child and closed after it
+            assert parent.span_id < span.span_id
+            assert parent.start <= span.start
+            assert parent.end >= span.end
+
+    @given(program=programs)
+    @settings(max_examples=100, deadline=None)
+    def test_signature_is_structure_only_and_deterministic(self, program):
+        one = _run_program(program, clock=VirtualClock())
+        two = _run_program(program, clock=VirtualClock(start=100.0))
+        assert one.tree_signature() == two.tree_signature()
+        extra = _run_program(program + [True])
+        if len(extra.spans) != len(one.spans):
+            assert extra.tree_signature() != one.tree_signature()
+
+
+class TestBounds:
+    def test_spans_past_cap_are_dropped_and_counted(self):
+        tracer = Tracer(clock=VirtualClock(), max_spans=2)
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_dropped_span_handle_is_inert(self):
+        tracer = Tracer(clock=VirtualClock(), max_spans=1)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped") as span:
+            span.set(ignored=True)
+        assert [s.name for s in tracer.spans] == ["kept"]
+
+
+class TestAdopt:
+    def _worker_payload(self):
+        worker = Tracer(clock=VirtualClock())
+        with worker.span("parallel.task"):
+            with worker.span("kernel"):
+                pass
+        return worker.to_payload()
+
+    def test_adopt_remaps_ids_and_grafts_under_current(self):
+        parent = Tracer(clock=VirtualClock())
+        with parent.span("parallel.map_tasks") as _:
+            adopted = parent.adopt(self._worker_payload())
+        map_span = parent.spans[0]
+        task, kernel = adopted
+        assert task.parent_id == map_span.span_id
+        assert kernel.parent_id == task.span_id
+        assert task.span_id > map_span.span_id
+
+    def test_adopting_same_payloads_gives_same_signature(self):
+        def build():
+            tracer = Tracer(clock=VirtualClock())
+            with tracer.span("parallel.map_tasks"):
+                for _ in range(3):
+                    tracer.adopt(self._worker_payload())
+            return tracer.tree_signature()
+
+        assert build() == build()
+
+    def test_adopt_respects_max_spans(self):
+        tracer = Tracer(clock=VirtualClock(), max_spans=2)
+        with tracer.span("parallel.map_tasks"):
+            adopted = tracer.adopt(self._worker_payload())
+        assert len(adopted) == 1
+        assert tracer.dropped == 1
+
+    def test_extra_attrs_are_stamped_on_adopted_spans(self):
+        tracer = Tracer(clock=VirtualClock())
+        adopted = tracer.adopt(self._worker_payload(), worker=3)
+        assert all(span.attrs["worker"] == 3 for span in adopted)

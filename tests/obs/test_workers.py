@@ -1,0 +1,124 @@
+"""Cross-process observability: exact merge home, loss goes on record.
+
+Workers buffer metrics/spans in a process-local ``WorkerObs``; the
+parent folds the payloads in on completion, in task order.  When a
+batch's workers die, whatever they buffered is gone — the executor
+must say so in the degradation ledger instead of silently under-
+counting.
+"""
+
+import math
+
+from repro.chaos.faults import FaultKind, FaultPlan, FaultSpec
+from repro.chaos.resilience import DegradationLedger, VirtualClock
+from repro.obs import Observability
+from repro.obs import runtime
+from repro.parallel import ParallelExecutor
+
+
+def _observed_task(x):
+    """Module-level worker task that records into the worker registry."""
+    worker = runtime.worker_obs()
+    if worker is not None:
+        worker.metrics.counter("repro_test_tasks_total").inc()
+        worker.metrics.histogram("repro_test_value",
+                                 buckets=[1.0, 10.0]).observe(x)
+        with worker.tracer.span("kernel", x=x):
+            pass
+    return x * 2
+
+
+class TestWorkerRuntime:
+    def test_activate_deactivate_scopes_the_module_global(self):
+        assert runtime.worker_obs() is None
+        worker = runtime.activate()
+        try:
+            assert runtime.worker_obs() is worker
+        finally:
+            runtime.deactivate()
+        assert runtime.worker_obs() is None
+
+    def test_payload_carries_metrics_spans_and_drops(self):
+        worker = runtime.activate()
+        try:
+            worker.metrics.counter("repro_x_total").inc()
+            with worker.tracer.span("kernel"):
+                pass
+            payload = worker.to_payload()
+        finally:
+            runtime.deactivate()
+        assert payload["metrics"][0]["name"] == "repro_x_total"
+        assert payload["spans"][0]["name"] == "kernel"
+        assert payload["spans_dropped"] == 0
+
+
+class TestParentMerge:
+    def test_worker_metrics_merge_exactly_in_the_parent(self):
+        obs = Observability()
+        values = [0.5, 2.0, 5.0, 50.0, 7.0, 0.1]
+        with ParallelExecutor(workers=2, obs=obs) as ex:
+            results = ex.map_tasks(_observed_task,
+                                   [(v,) for v in values])
+        assert results == [v * 2 for v in values]
+        assert obs.metrics.get("repro_test_tasks_total").value == \
+            len(values)
+        hist = obs.metrics.get("repro_test_value")
+        assert hist.count == len(values)
+        assert hist.sum == math.fsum(values)          # exact, no approx
+        assert hist.bucket_counts.tolist() == [2, 3, 1]
+        assert obs.metrics.get(
+            "repro_parallel_tasks_in_workers_total").value == len(values)
+
+    def test_worker_spans_adopt_under_the_map_tasks_span(self):
+        obs = Observability()
+        with ParallelExecutor(workers=2, obs=obs) as ex:
+            ex.map_tasks(_observed_task, [(1.0,), (2.0,)])
+        by_id = {s.span_id: s for s in obs.tracer.spans}
+        map_span = next(s for s in obs.tracer.spans
+                        if s.name == "parallel.map_tasks")
+        tasks = [s for s in obs.tracer.spans if s.name == "parallel.task"]
+        kernels = [s for s in obs.tracer.spans if s.name == "kernel"]
+        assert len(tasks) == 2 and len(kernels) == 2
+        assert all(s.parent_id == map_span.span_id for s in tasks)
+        assert all(by_id[s.parent_id].name == "parallel.task"
+                   for s in kernels)
+        assert map_span.end is not None
+
+    def test_same_tasks_same_seed_same_trace_shape(self):
+        def run():
+            obs = Observability()
+            with ParallelExecutor(workers=2, obs=obs) as ex:
+                ex.map_tasks(_observed_task, [(v,) for v in (1.0, 2.0,
+                                                             3.0)])
+            return obs.tracer.tree_signature()
+
+        assert run() == run()
+
+    def test_serial_executor_with_obs_still_spans(self):
+        obs = Observability()
+        with ParallelExecutor(workers=0, obs=obs) as ex:
+            ex.map_tasks(_observed_task, [(1.0,)])
+        assert [s.name for s in obs.tracer.spans] == ["parallel.map_tasks"]
+        # serial path: no worker context, so no worker-side metrics
+        assert obs.metrics.get("repro_test_tasks_total") is None
+
+
+class TestLossLedger:
+    def test_crashed_batch_records_worker_metrics_lost(self):
+        plan = FaultPlan(name="crashy", seed=11,
+                         specs=(FaultSpec(FaultKind.WORKER_CRASH,
+                                          rate=1.0),))
+        ledger = DegradationLedger()
+        obs = Observability()
+        with ParallelExecutor(workers=1, ledger=ledger,
+                              fault_injector=plan.injector(),
+                              obs=obs) as ex:
+            results = ex.map_tasks(_observed_task, [(1.0,), (2.0,)])
+        assert results == [2.0, 4.0]  # serial re-run still answers
+        entries = [e for e in ledger.entries if e.stage == "obs"]
+        assert len(entries) == 1
+        assert entries[0].mode == "worker-metrics-lost"
+        assert obs.metrics.get(
+            "repro_parallel_serial_fallback_total").value == 1
+        # the re-run happened in-process: no worker payloads arrived
+        assert obs.metrics.get("repro_test_tasks_total") is None

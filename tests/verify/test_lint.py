@@ -112,6 +112,38 @@ class TestWallClock:
         assert findings == []
 
 
+class TestObsClock:
+    def test_every_wallclock_read_flagged_in_obs(self):
+        findings = _lint("""
+            import time
+            a = time.time()
+            b = time.monotonic()
+            c = time.perf_counter()
+            d = time.perf_counter_ns()
+        """, rel_path="obs/tracing.py")
+        assert [d.code for d in findings] == ["REP306"] * 4
+
+    def test_injectable_clock_is_clean(self):
+        findings = _lint("""
+            def span(self):
+                return self.clock.now()
+        """, rel_path="obs/tracing.py")
+        assert findings == []
+
+    def test_out_of_scope_monotonic_allowed(self):
+        # chaos' MonotonicClock wraps the wall clock on purpose: it IS
+        # the injectable boundary obs code reads through.
+        findings = _lint("import time\nt = time.monotonic()\n",
+                         rel_path="chaos/resilience.py")
+        assert findings == []
+
+    def test_scope_configurable_from_pyproject_key(self):
+        config = LintConfig(obs_clock_scope=["telemetry"])
+        findings = _lint("import time\nt = time.monotonic()\n",
+                         rel_path="telemetry/mod.py", config=config)
+        assert [d.code for d in findings] == ["REP306"]
+
+
 class TestParallelSubmissions:
     def test_lambda_in_submit_flagged(self):
         findings = _lint("pool.submit(lambda: work())\n",
