@@ -14,6 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.datastore.query import Aggregation, Query
+from repro.privacy import CryptoPan
+
+#: Default Crypto-PAn key for report pseudonyms.  The report is the
+#: one artifact that leaves the enclave (wiki, tickets), so endpoint
+#: addresses never appear raw; a fixed key keeps pseudonyms stable
+#: across weekly reports so trends remain comparable.
+_REPORT_KEY = b"campus-report-pseudonym-key-0001"
 
 
 @dataclass
@@ -48,7 +55,8 @@ class CampusReport:
                          f"({volume / total:.1%})")
         lines.append("")
 
-        lines.append("## Top external endpoints (bytes)")
+        lines.append("## Top external endpoints (bytes, "
+                     "Crypto-PAn pseudonyms)")
         for endpoint, volume in self.top_endpoints:
             lines.append(f"- {endpoint}: {volume / 1e6:.1f} MB")
         lines.append("")
@@ -73,11 +81,22 @@ class CampusReport:
         return "\n".join(lines) + "\n"
 
 
-def generate_report(store, top_n: int = 5) -> CampusReport:
-    """Build a :class:`CampusReport` from a data store."""
+def generate_report(store, top_n: int = 5,
+                    cryptopan: Optional[CryptoPan] = None) -> CampusReport:
+    """Build a :class:`CampusReport` from a data store.
+
+    Endpoint addresses are pseudonymized with Crypto-PAn before they
+    enter the report; pass a keyed ``cryptopan`` to control the
+    pseudonym mapping (defaults to a fixed key so pseudonyms are
+    stable across report runs).
+    """
+    if cryptopan is None:
+        cryptopan = CryptoPan(_REPORT_KEY)
+
     def external_side(stored):
         record = stored.record
-        return record.src_ip if record.direction == "in" else record.dst_ip
+        raw = record.src_ip if record.direction == "in" else record.dst_ip
+        return cryptopan.anonymize(raw)
 
     traffic = store.aggregate(
         Query(collection="packets", order_by_time=False),

@@ -125,11 +125,18 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--teacher", default="tree")
     verify.add_argument("--max-depth", type=int, default=4)
     verify.add_argument("--lint", action="store_true",
-                        help="run the REP3xx AST lint instead of "
-                             "program verification")
+                        help="run the static-analysis suite (REP3xx "
+                             "patterns, REP4xx privacy taint, REP5xx "
+                             "parallel safety) instead of program "
+                             "verification")
     verify.add_argument("--path", default=None,
                         help="lint root (default: the installed repro "
                              "package)")
+    verify.add_argument("--update-baseline", action="store_true",
+                        help="with --lint: record every current finding "
+                             "in the committed baseline instead of "
+                             "reporting (existing justifications are "
+                             "preserved)")
     verify.add_argument("--json", action="store_true",
                         help="emit the diagnostic report as JSON")
 
@@ -357,8 +364,12 @@ def cmd_verify(args) -> int:
     otherwise — the contract CI and pre-deploy scripts rely on.
     """
     from repro.verify import ProgramVerificationError, lint_package, \
-        lint_path
+        lint_path, update_baseline
 
+    if args.update_baseline and not args.lint:
+        print("verify: --update-baseline requires --lint",
+              file=sys.stderr)
+        return 2
     if args.lint:
         if args.path:
             root = Path(args.path)
@@ -366,9 +377,13 @@ def cmd_verify(args) -> int:
                 print(f"verify: lint path {args.path!r} is not a "
                       f"directory", file=sys.stderr)
                 return 2
-            report = lint_path(root)
         else:
-            report = lint_package()
+            root = None
+        if args.update_baseline:
+            count = update_baseline(root)
+            print(f"verify: baseline updated ({count} entries)")
+            return 0
+        report = lint_path(root) if root is not None else lint_package()
     else:
         if not args.store or not args.positive:
             print("verify: either --lint or both --store and --positive "
@@ -390,7 +405,7 @@ def cmd_verify(args) -> int:
                                     seed=0)
         report = devreport.verification
 
-    print(report.render_json() if args.json else report.render_text())
+    _emit_report(report, args.json)
     return 0 if report.ok else 1
 
 

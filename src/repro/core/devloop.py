@@ -116,7 +116,8 @@ class DevelopmentLoop:
                  student_min_samples_leaf: int = 5,
                  resource_model: Optional[SwitchResourceModel] = None,
                  bus: Optional[EventBus] = None,
-                 strict_verify: bool = True, obs=None):
+                 strict_verify: bool = True, obs=None,
+                 repo_lint: bool = False):
         self.teacher_name = teacher_name
         self.student_max_depth = student_max_depth
         self.student_min_samples_leaf = student_min_samples_leaf
@@ -126,6 +127,9 @@ class DevelopmentLoop:
         self.strict_verify = strict_verify
         #: optional Observability: one span per development stage.
         self.obs = obs
+        #: also gate on the repo-wide static-analysis suite (cached:
+        #: one lint of the installed package per process).
+        self.repo_lint = repo_lint
 
     def _span(self, name: str, **attrs):
         if self.obs is None:
@@ -205,6 +209,21 @@ class DevelopmentLoop:
                          **verification.counts())
         if self.strict_verify and not verification.ok:
             raise ProgramVerificationError(verification)
+
+        # (iii-c) optional repo hygiene gate: the same static-analysis
+        # suite CI runs (privacy taint + parallel safety + patterns),
+        # linted once per process and cached.
+        if self.repo_lint:
+            from repro.verify.lint import lint_package_cached
+
+            start = time.perf_counter()
+            with self._span("devloop.repo_lint"):
+                lint_report = lint_package_cached()
+            stage_seconds["repo_lint"] = time.perf_counter() - start
+            self.bus.publish("devloop:repo-linted", ok=lint_report.ok,
+                             **lint_report.counts())
+            if self.strict_verify and not lint_report.ok:
+                raise ProgramVerificationError(lint_report)
 
         tool = DeployableTool(
             name=tool_name,

@@ -4,8 +4,13 @@ The trust gate between the slow development loop and the campus
 network (Fig. 2): programs are verified structurally and semantically
 (:mod:`repro.verify.program`), pre-checked against the target's
 resources (:mod:`repro.verify.resources`), and the repository itself
-is held to project AST rules (:mod:`repro.verify.lint`).  Everything
-reports through the shared ``REPxxx`` diagnostics vocabulary
+is held to a static-analysis suite (:mod:`repro.verify.lint`) built
+on a shared IR — per-function control-flow graphs
+(:mod:`repro.verify.cfg`), a forward dataflow framework
+(:mod:`repro.verify.dataflow`), privacy taint tracking
+(:mod:`repro.verify.taint`) and parallel-safety passes
+(:mod:`repro.verify.parallel_rules`).  Everything reports through the
+shared ``REPxxx`` diagnostics vocabulary
 (:mod:`repro.verify.diagnostics`).
 """
 
@@ -16,6 +21,7 @@ from repro.verify.diagnostics import (
     REP_CODES,
     Severity,
     SourceLocation,
+    TraceStep,
     diag,
 )
 from repro.verify.program import (
@@ -27,7 +33,20 @@ from repro.verify.program import (
     verify_program,
 )
 from repro.verify.resources import resource_precheck
-from repro.verify.lint import LintConfig, lint_package, lint_path
+from repro.verify.cfg import CFG, build_cfg, function_cfgs
+from repro.verify.dataflow import ReachingDefinitions, solve_forward
+from repro.verify.taint import ProjectIndex, TaintAnalysis, TaintRules
+from repro.verify.parallel_rules import ParallelSafetyAnalysis
+from repro.verify.lint import (
+    LintConfig,
+    LintEngine,
+    lint_package,
+    lint_package_cached,
+    lint_path,
+    lint_source,
+    parse_module,
+    update_baseline,
+)
 
 __all__ = [
     "Severity",
@@ -44,7 +63,22 @@ __all__ = [
     "verify_program",
     "check_deployable",
     "resource_precheck",
+    "TraceStep",
+    "CFG",
+    "build_cfg",
+    "function_cfgs",
+    "ReachingDefinitions",
+    "solve_forward",
+    "ProjectIndex",
+    "TaintAnalysis",
+    "TaintRules",
+    "ParallelSafetyAnalysis",
     "LintConfig",
+    "LintEngine",
+    "lint_source",
     "lint_path",
     "lint_package",
+    "lint_package_cached",
+    "parse_module",
+    "update_baseline",
 ]

@@ -1,0 +1,437 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The shared IR under every dataflow pass in :mod:`repro.verify`: a
+function body becomes a graph of :class:`Block` basic blocks, each a
+straight-line run of statements, connected by control-flow edges.  The
+builder covers the statement forms the analyses care about:
+
+* straight-line code (``Assign``/``Expr``/``With``/...) extends the
+  current block;
+* ``if``/``elif``/``else`` forks to per-branch subgraphs that re-join;
+* ``while``/``for`` build a header block with back edges from the body
+  and exit edges to the ``else`` clause / loop exit; ``break`` and
+  ``continue`` edge to the right place through a loop stack;
+* ``try`` gives every statement in the body its own block with a
+  may-raise edge to every handler (exceptions can occur mid-body, so
+  handler entry states must join *every* prefix of the body);
+  ``finally`` joins all paths;
+* ``return`` / ``raise`` edge straight to the synthetic exit block.
+
+Statements after a terminator open a fresh block with no predecessors;
+:meth:`CFG.validate` reports such blocks as *unreachable* rather than
+failing, so "every node reachable-or-reported" is a checkable
+well-formedness invariant (the hypothesis suite leans on it).
+
+Compound statements keep their *header* expression in the block (the
+``if``/``while`` test, the ``for`` iterable) via :class:`BranchStmt`
+wrappers, so transfer functions see the expressions evaluated at the
+branch without re-descending into the nested bodies (those live in
+their own blocks).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+__all__ = ["Block", "BranchStmt", "CFG", "build_cfg", "function_cfgs"]
+
+
+@dataclass(frozen=True)
+class BranchStmt:
+    """Header of a compound statement, kept in its owning block.
+
+    ``node`` is the full compound AST node; transfer functions must
+    only evaluate its header expressions (``test``, ``iter``, ...) —
+    the nested bodies are separate blocks.
+    """
+
+    node: ast.stmt
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+Stmt = Union[ast.stmt, BranchStmt]
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line statements plus CFG edges."""
+
+    id: int
+    stmts: List[Stmt] = field(default_factory=list)
+    succs: Set[int] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+    label: str = ""
+
+    def first_line(self) -> Optional[int]:
+        for stmt in self.stmts:
+            return stmt.lineno
+        return None
+
+
+class CFG:
+    """Control-flow graph for one function (or a module body)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self._new_block("entry").id
+        self.exit = self._new_block("exit").id
+
+    def _new_block(self, label: str = "") -> Block:
+        block = Block(id=self._next_id, label=label)
+        self._next_id += 1
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.add(dst)
+        self.blocks[dst].preds.add(src)
+
+    # -- queries -------------------------------------------------------------
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry block."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succs - seen)
+        return seen
+
+    def unreachable(self) -> List[int]:
+        """Blocks no path from the entry reaches (dead code regions)."""
+        reach = self.reachable()
+        return sorted(bid for bid in self.blocks if bid not in reach)
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder over reachable blocks (fixpoint ordering)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            stack = [(bid, iter(sorted(self.blocks[bid].succs)))]
+            seen.add(bid)
+            while stack:
+                current, succs = stack[-1]
+                advanced = False
+                for nxt in succs:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(
+                            (nxt, iter(sorted(self.blocks[nxt].succs))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        return order[::-1]
+
+    def validate(self) -> List[str]:
+        """Well-formedness violations (empty list == well-formed).
+
+        * edge symmetry: ``b in succs(a)`` iff ``a in preds(b)``;
+        * the exit block has no successors;
+        * the entry block has no predecessors;
+        * every reachable non-exit block has at least one successor
+          (no dangling control flow);
+        * every block is reachable from the entry **or** reported by
+          :meth:`unreachable` — together with the reporting contract
+          this makes "reachable-or-reported" total.
+        """
+        problems: List[str] = []
+        for block in self.blocks.values():
+            for succ in block.succs:
+                if succ not in self.blocks:
+                    problems.append(
+                        f"block {block.id} -> missing block {succ}")
+                elif block.id not in self.blocks[succ].preds:
+                    problems.append(
+                        f"asymmetric edge {block.id} -> {succ}")
+            for pred in block.preds:
+                if pred not in self.blocks:
+                    problems.append(
+                        f"block {block.id} <- missing block {pred}")
+                elif block.id not in self.blocks[pred].succs:
+                    problems.append(
+                        f"asymmetric edge {pred} -> {block.id} (pred side)")
+        if self.blocks[self.exit].succs:
+            problems.append("exit block has successors")
+        if self.blocks[self.entry].preds:
+            problems.append("entry block has predecessors")
+        reach = self.reachable()
+        dead = set(self.unreachable())
+        for bid in self.blocks:
+            if bid not in reach and bid not in dead:
+                problems.append(f"block {bid} neither reachable nor "
+                                f"reported unreachable")
+        for bid in reach:
+            if bid != self.exit and not self.blocks[bid].succs:
+                problems.append(f"reachable block {bid} dangles "
+                                f"(no successors)")
+        return problems
+
+    def render(self) -> str:
+        """Debug rendering: one line per block."""
+        lines = [f"cfg {self.name}"]
+        for bid in sorted(self.blocks):
+            block = self.blocks[bid]
+            kinds = ",".join(type(getattr(s, "node", s)).__name__
+                             for s in block.stmts) or "-"
+            succs = ",".join(map(str, sorted(block.succs))) or "-"
+            tag = f" [{block.label}]" if block.label else ""
+            lines.append(f"  B{bid}{tag}: {kinds} -> {succs}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    """Single-use recursive builder; ``_loops`` is the (header, after)
+    stack ``break``/``continue`` resolve against, ``_handlers`` the
+    stack of active except-handler entry blocks for may-raise edges."""
+
+    def __init__(self, name: str):
+        self.cfg = CFG(name)
+        self._loops: List[tuple] = []
+        self._handlers: List[List[int]] = []
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        first = self.cfg._new_block("body")
+        self.cfg.add_edge(self.cfg.entry, first.id)
+        last = self._stmts(body, first)
+        if last is not None:
+            self.cfg.add_edge(last.id, self.cfg.exit)
+        return self.cfg
+
+    # Returns the open trailing block, or None when control cannot
+    # fall through (every path ended in return/raise/break/continue).
+    def _stmts(self, body: List[ast.stmt],
+               current: Block) -> Optional[Block]:
+        for stmt in body:
+            if current is None:
+                # dead code after a terminator: park it in a fresh
+                # block with no preds; validate() reports it.
+                current = self.cfg._new_block("dead")
+            current = self._stmt(stmt, current)
+        return current
+
+    def _may_raise(self, block: Block) -> None:
+        """Inside a try body every statement may jump to any handler."""
+        for handlers in self._handlers:
+            for entry in handlers:
+                self.cfg.add_edge(block.id, entry)
+
+    def _stmt(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._loop(stmt, current, is_for=False)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current, is_for=True)
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.stmts.append(BranchStmt(stmt))
+            self._may_raise(current)
+            return self._stmts(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.stmts.append(stmt)
+            self._may_raise(current)
+            self.cfg.add_edge(current.id, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.stmts.append(stmt)
+            if self._loops:
+                self.cfg.add_edge(current.id, self._loops[-1][1])
+            else:
+                self.cfg.add_edge(current.id, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.stmts.append(stmt)
+            if self._loops:
+                self.cfg.add_edge(current.id, self._loops[-1][0])
+            else:
+                self.cfg.add_edge(current.id, self.cfg.exit)
+            return None
+        # plain statement (incl. nested def/class, which the analyses
+        # treat as an opaque binding, not control flow)
+        current.stmts.append(stmt)
+        if self._handlers:
+            self._may_raise(current)
+        return current
+
+    def _if(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        current.stmts.append(BranchStmt(stmt))
+        self._may_raise(current)
+        join = self.cfg._new_block("if-join")
+
+        then_entry = self.cfg._new_block("then")
+        self.cfg.add_edge(current.id, then_entry.id)
+        then_exit = self._stmts(stmt.body, then_entry)
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit.id, join.id)
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block("else")
+            self.cfg.add_edge(current.id, else_entry.id)
+            else_exit = self._stmts(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit.id, join.id)
+        else:
+            self.cfg.add_edge(current.id, join.id)
+
+        if not join.preds:
+            # both arms terminated: park the join as dead-and-empty?
+            # No — drop it entirely so it never shows up unreachable.
+            del self.cfg.blocks[join.id]
+            return None
+        return join
+
+    def _loop(self, stmt, current: Block,
+              is_for: bool) -> Optional[Block]:
+        header = self.cfg._new_block("for-header" if is_for
+                                     else "while-header")
+        self.cfg.add_edge(current.id, header.id)
+        header.stmts.append(BranchStmt(stmt))
+        self._may_raise(header)
+
+        after = self.cfg._new_block("loop-after")
+        self._loops.append((header.id, after.id))
+        body_entry = self.cfg._new_block("loop-body")
+        self.cfg.add_edge(header.id, body_entry.id)
+        body_exit = self._stmts(stmt.body, body_entry)
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit.id, header.id)
+        self._loops.pop()
+
+        if stmt.orelse:
+            else_entry = self.cfg._new_block("loop-else")
+            self.cfg.add_edge(header.id, else_entry.id)
+            else_exit = self._stmts(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit.id, after.id)
+        else:
+            self.cfg.add_edge(header.id, after.id)
+        if not after.preds:
+            # e.g. `while True` with an else-less body that never
+            # breaks: control cannot fall through; drop the block
+            # (break statements would have edged into it).
+            del self.cfg.blocks[after.id]
+            return None
+        return after
+
+    def _try(self, stmt, current: Block) -> Optional[Block]:
+        after = self.cfg._new_block("try-after")
+
+        handler_entries: List[int] = []
+        handler_blocks: List[Block] = []
+        for handler in stmt.handlers:
+            entry = self.cfg._new_block("except")
+            entry.stmts.append(BranchStmt(handler))
+            handler_entries.append(entry.id)
+            handler_blocks.append(entry)
+
+        body_entry = self.cfg._new_block("try-body")
+        self.cfg.add_edge(current.id, body_entry.id)
+        self._handlers.append(handler_entries)
+        body_exit = self._stmts(stmt.body, body_entry)
+        self._handlers.pop()
+        # the entry itself may raise before the first statement runs
+        for entry in handler_entries:
+            self.cfg.add_edge(body_entry.id, entry)
+
+        exits: List[Block] = []
+        if stmt.orelse:
+            if body_exit is not None:
+                else_entry = self.cfg._new_block("try-else")
+                self.cfg.add_edge(body_exit.id, else_entry.id)
+                else_exit = self._stmts(stmt.orelse, else_entry)
+                if else_exit is not None:
+                    exits.append(else_exit)
+        elif body_exit is not None:
+            exits.append(body_exit)
+
+        for entry_block, handler in zip(handler_blocks, stmt.handlers):
+            handler_exit = self._stmts(handler.body, entry_block)
+            if handler_exit is not None:
+                exits.append(handler_exit)
+
+        if stmt.finalbody:
+            final_entry = self.cfg._new_block("finally")
+            for block in exits:
+                self.cfg.add_edge(block.id, final_entry.id)
+            if not exits:
+                # every path raised/returned; finally still runs on
+                # the way out — approximate with an edge from entry.
+                self.cfg.add_edge(current.id, final_entry.id)
+            final_exit = self._stmts(stmt.finalbody, final_entry)
+            if final_exit is not None:
+                self.cfg.add_edge(final_exit.id, after.id)
+        else:
+            for block in exits:
+                self.cfg.add_edge(block.id, after.id)
+
+        if not after.preds:
+            del self.cfg.blocks[after.id]
+            return None
+        return after
+
+    def _match(self, stmt, current: Block) -> Optional[Block]:
+        current.stmts.append(BranchStmt(stmt))
+        self._may_raise(current)
+        join = self.cfg._new_block("match-join")
+        # no case may match: fall through
+        self.cfg.add_edge(current.id, join.id)
+        for case in stmt.cases:
+            case_entry = self.cfg._new_block("case")
+            self.cfg.add_edge(current.id, case_entry.id)
+            case_exit = self._stmts(case.body, case_entry)
+            if case_exit is not None:
+                self.cfg.add_edge(case_exit.id, join.id)
+        return join
+
+
+def build_cfg(node, name: Optional[str] = None) -> CFG:
+    """Build the CFG for a function def, module, or statement list."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return _Builder(name or node.name).build(node.body)
+    if isinstance(node, ast.Module):
+        return _Builder(name or "<module>").build(node.body)
+    if isinstance(node, list):
+        return _Builder(name or "<stmts>").build(node)
+    raise TypeError(f"cannot build a CFG from {type(node).__name__}")
+
+
+def function_cfgs(tree: ast.Module) -> Dict[str, CFG]:
+    """CFGs for every function in a module, keyed by qualified name.
+
+    Nested functions and methods get dotted names
+    (``outer.inner``, ``Class.method``); each body is its own CFG.
+    """
+    out: Dict[str, CFG] = {}
+
+    def walk(node, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                out[qualname] = build_cfg(child, name=qualname)
+                walk(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return out

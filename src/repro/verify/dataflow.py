@@ -1,0 +1,243 @@
+"""Intra-procedural forward dataflow over the :mod:`repro.verify.cfg` IR.
+
+Two layers:
+
+* :func:`solve_forward` — a generic worklist fixpoint solver.  A
+  :class:`ForwardProblem` supplies the lattice operations (``bottom``,
+  ``entry_state``, ``join``, ``equals``) and a per-block ``transfer``;
+  the solver iterates blocks in reverse postorder until the out-states
+  stop changing.  Termination is the problem's responsibility: states
+  must form a finite-height lattice and ``transfer`` must be monotone
+  (every shipped problem here is a union-of-finite-sets lattice, where
+  both hold by construction).
+
+* :class:`GenKillProblem` / :class:`ReachingDefinitions` — the classic
+  bit-vector instantiation: per-block ``gen``/``kill`` sets with union
+  join, precomputed once so the fixpoint is pure set arithmetic.
+  Reaching definitions is both a useful pass in its own right and the
+  reference semantics the hypothesis suite cross-checks the taint
+  engine against.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Generic, Iterable, List, Tuple, TypeVar
+
+from repro.verify.cfg import CFG, BranchStmt
+
+__all__ = [
+    "ForwardProblem",
+    "solve_forward",
+    "GenKillProblem",
+    "Definition",
+    "ReachingDefinitions",
+    "assigned_names",
+]
+
+State = TypeVar("State")
+
+
+class ForwardProblem(Generic[State]):
+    """Interface a forward dataflow problem implements."""
+
+    def bottom(self) -> State:
+        """The no-information state (identity of ``join``)."""
+        raise NotImplementedError
+
+    def entry_state(self) -> State:
+        """State flowing into the CFG entry block."""
+        raise NotImplementedError
+
+    def join(self, states: List[State]) -> State:
+        """Combine predecessor out-states at a merge point."""
+        raise NotImplementedError
+
+    def equals(self, a: State, b: State) -> bool:
+        return bool(a == b)
+
+    def transfer(self, cfg: CFG, block_id: int, state: State) -> State:
+        """Out-state of ``block_id`` given its in-state."""
+        raise NotImplementedError
+
+
+def solve_forward(cfg: CFG, problem: ForwardProblem
+                  ) -> Dict[int, Tuple[object, object]]:
+    """Run ``problem`` to fixpoint; returns block id -> (in, out)."""
+    order = cfg.rpo()
+    position = {bid: i for i, bid in enumerate(order)}
+    in_states: Dict[int, object] = {}
+    out_states: Dict[int, object] = {
+        bid: problem.bottom() for bid in cfg.blocks}
+
+    from heapq import heappush, heappop
+    work: List[Tuple[int, int]] = []
+    queued = set()
+
+    def push(bid: int) -> None:
+        if bid in position and bid not in queued:
+            queued.add(bid)
+            heappush(work, (position[bid], bid))
+
+    for bid in order:
+        push(bid)
+
+    iterations = 0
+    limit = max(64, 16 * len(order) * max(1, len(order)))
+    while work:
+        iterations += 1
+        if iterations > limit:  # defensive: monotone problems converge
+            raise RuntimeError(
+                f"dataflow fixpoint for {cfg.name!r} exceeded "
+                f"{limit} iterations; non-monotone transfer?")
+        _, bid = heappop(work)
+        queued.discard(bid)
+        preds = [p for p in cfg.blocks[bid].preds if p in position]
+        if bid == cfg.entry:
+            in_state = problem.entry_state()
+        else:
+            in_state = problem.join(
+                [out_states[p] for p in preds]) if preds \
+                else problem.bottom()
+        out_state = problem.transfer(cfg, bid, in_state)
+        in_states[bid] = in_state
+        if not problem.equals(out_state, out_states[bid]):
+            out_states[bid] = out_state
+            for succ in cfg.blocks[bid].succs:
+                push(succ)
+
+    return {bid: (in_states.get(bid, problem.bottom()), out_states[bid])
+            for bid in cfg.blocks if bid in position}
+
+
+Element = TypeVar("Element")
+
+
+class GenKillProblem(ForwardProblem[FrozenSet[Element]]):
+    """May-analysis over sets: ``out = gen | (in - kill)``, union join.
+
+    Subclasses populate ``self.gen``/``self.kill`` per block id before
+    solving (both default to empty for unlisted blocks).
+    """
+
+    def __init__(self):
+        self.gen: Dict[int, FrozenSet[Element]] = {}
+        self.kill: Dict[int, FrozenSet[Element]] = {}
+
+    def bottom(self) -> FrozenSet[Element]:
+        return frozenset()
+
+    def entry_state(self) -> FrozenSet[Element]:
+        return frozenset()
+
+    def join(self, states: List[FrozenSet[Element]]) -> FrozenSet[Element]:
+        out: FrozenSet[Element] = frozenset()
+        for state in states:
+            out |= state
+        return out
+
+    def transfer(self, cfg: CFG, block_id: int,
+                 state: FrozenSet[Element]) -> FrozenSet[Element]:
+        gen = self.gen.get(block_id, frozenset())
+        kill = self.kill.get(block_id, frozenset())
+        return gen | (state - kill)
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One definition site: ``name`` bound at ``line`` in ``block``."""
+
+    name: str
+    block: int
+    index: int
+    line: int
+
+
+def assigned_names(stmt) -> List[str]:
+    """Names a statement binds (its "definition" footprint).
+
+    Covers assignment forms, loop targets, ``with ... as``, imports,
+    nested ``def``/``class`` bindings, and ``except ... as e``.
+    Attribute/subscript targets define no *name* and are skipped.
+    """
+    node = stmt.node if isinstance(stmt, BranchStmt) else stmt
+    names: List[str] = []
+
+    def targets(t) -> None:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                targets(elt)
+        elif isinstance(t, ast.Starred):
+            targets(t.value)
+
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            targets(t)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets(node.target)
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        targets(node.target)
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars)
+    elif isinstance(node, (ast.Import, ast.ImportFrom)):
+        for alias in node.names:
+            names.append((alias.asname or alias.name).split(".")[0])
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        names.append(node.name)
+    elif isinstance(node, ast.ExceptHandler):
+        if node.name:
+            names.append(node.name)
+    elif isinstance(node, (ast.NamedExpr,)):
+        targets(node.target)
+    return names
+
+
+class ReachingDefinitions(GenKillProblem):
+    """Which definitions of each name may reach each program point."""
+
+    def __init__(self, cfg: CFG, parameters: Iterable[str] = ()):
+        super().__init__()
+        self.cfg = cfg
+        self.all_defs: List[Definition] = []
+        by_name: Dict[str, List[Definition]] = {}
+
+        param_defs = [Definition(name=p, block=cfg.entry, index=i, line=0)
+                      for i, p in enumerate(parameters)]
+        for definition in param_defs:
+            self.all_defs.append(definition)
+            by_name.setdefault(definition.name, []).append(definition)
+
+        per_block: Dict[int, List[Definition]] = {}
+        for bid, block in cfg.blocks.items():
+            defs: List[Definition] = []
+            for idx, stmt in enumerate(block.stmts):
+                for name in assigned_names(stmt):
+                    definition = Definition(name=name, block=bid,
+                                            index=idx, line=stmt.lineno)
+                    defs.append(definition)
+                    self.all_defs.append(definition)
+                    by_name.setdefault(name, []).append(definition)
+            per_block[bid] = defs
+        per_block.setdefault(cfg.entry, []).extend(param_defs)
+
+        for bid, defs in per_block.items():
+            # last definition of each name in the block survives
+            last: Dict[str, Definition] = {}
+            for definition in defs:
+                last[definition.name] = definition
+            gen = frozenset(last.values())
+            killed = set()
+            for name in last:
+                killed |= {d for d in by_name[name] if d not in gen}
+            self.gen[bid] = gen
+            self.kill[bid] = frozenset(killed)
+
+    def solve(self) -> Dict[int, Tuple[FrozenSet[Definition],
+                                       FrozenSet[Definition]]]:
+        return solve_forward(self.cfg, self)  # type: ignore[return-value]

@@ -12,7 +12,14 @@ Codes are allocated in blocks:
 * ``REP0xx`` — structural program errors (malformed entries)
 * ``REP1xx`` — semantic table findings (dead entries, overlaps)
 * ``REP2xx`` — resource pre-check findings (budget misfits)
-* ``REP3xx`` — repo-wide AST lint rules
+* ``REP3xx`` — repo-wide AST lint rules (single-node pattern rules)
+* ``REP4xx`` — privacy taint-flow findings (dataflow over the CFG/IR)
+* ``REP5xx`` — parallel-safety findings (shipped-function analysis)
+
+Dataflow findings (REP4xx/REP5xx) carry a *flow trace*: an ordered
+tuple of :class:`TraceStep` hops from the source read, through each
+assignment, to the sink call, so a diagnostic is actionable without
+re-running the analysis.
 
 The registry below is the single source of truth for code -> (default
 severity, title); ``repro verify`` and the docs render from it.
@@ -98,7 +105,39 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
     "REP306": (Severity.ERROR,
                "direct wall-clock read inside observability code; "
                "time must come through the injectable clock"),
+    # -- privacy taint flow (REP4xx) --
+    "REP401": (Severity.ERROR,
+               "raw privacy-sensitive value reaches an export/print "
+               "sink without passing a repro.privacy sanitizer"),
+    "REP402": (Severity.ERROR,
+               "tainted value passed to a function whose parameter "
+               "flows to an export/print sink (inter-procedural)"),
+    # -- parallel safety (REP5xx) --
+    "REP501": (Severity.ERROR,
+               "function shipped to worker processes mutates "
+               "module-level mutable state (lost on fork/spawn)"),
+    "REP502": (Severity.ERROR,
+               "closure or nested function shipped to worker "
+               "processes; closures cannot be pickled"),
+    "REP503": (Severity.WARNING,
+               "import-scope RNG/lock object used inside a function "
+               "shipped to worker processes"),
 }
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop in a dataflow trace: source read, assignment, or sink."""
+
+    file: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.note}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"file": self.file, "line": self.line, "note": self.note}
 
 
 @dataclass(frozen=True)
@@ -106,8 +145,10 @@ class SourceLocation:
     """Where a diagnostic points.
 
     Program diagnostics fill ``program``/``table``/``entry``/``field``;
-    lint diagnostics fill ``file``/``line``.  All parts are optional so
-    one type serves both worlds.
+    lint diagnostics fill ``file``/``line`` (and ``symbol``, the
+    enclosing function's qualified name, which anchors baseline
+    fingerprints so they survive unrelated line drift).  All parts are
+    optional so one type serves both worlds.
     """
 
     program: Optional[str] = None
@@ -116,6 +157,7 @@ class SourceLocation:
     field: Optional[str] = None
     file: Optional[str] = None
     line: Optional[int] = None
+    symbol: Optional[str] = None
 
     def render(self) -> str:
         if self.file is not None:
@@ -146,22 +188,43 @@ class Diagnostic:
     severity: Severity
     message: str
     location: SourceLocation = field(default_factory=SourceLocation)
+    #: dataflow findings attach the full source->sink hop sequence.
+    trace: Tuple[TraceStep, ...] = ()
 
     @property
     def title(self) -> str:
         return REP_CODES[self.code][1]
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: ``code:file:symbol``.
+
+        Deliberately excludes line numbers (and therefore the trace)
+        so a committed baseline entry survives edits elsewhere in the
+        file; all same-code findings in one function share one entry.
+        """
+        return (f"{self.code}:{self.location.file or '<none>'}:"
+                f"{self.location.symbol or '<module>'}")
+
     def render(self) -> str:
-        return (f"{self.severity.value:7s} {self.code} "
+        head = (f"{self.severity.value:7s} {self.code} "
                 f"{self.location.render()}: {self.message}")
+        if not self.trace:
+            return head
+        steps = "\n".join(f"      {i + 1}. {step.render()}"
+                          for i, step in enumerate(self.trace))
+        return f"{head}\n    flow:\n{steps}"
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "code": self.code,
             "severity": self.severity.value,
             "message": self.message,
             "location": self.location.to_json(),
         }
+        if self.trace:
+            record["trace"] = [step.to_json() for step in self.trace]
+        return record
 
 
 def diag(code: str, message: str, *,
@@ -169,7 +232,9 @@ def diag(code: str, message: str, *,
          program: Optional[str] = None, table: Optional[str] = None,
          entry: Optional[int] = None, field: Optional[str] = None,
          file: Optional[str] = None,
-         line: Optional[int] = None) -> Diagnostic:
+         line: Optional[int] = None,
+         symbol: Optional[str] = None,
+         trace: Tuple[TraceStep, ...] = ()) -> Diagnostic:
     """Build a :class:`Diagnostic`, defaulting severity from the registry."""
     if code not in REP_CODES:
         raise KeyError(f"unregistered diagnostic code {code!r}")
@@ -178,7 +243,9 @@ def diag(code: str, message: str, *,
         severity=severity or REP_CODES[code][0],
         message=message,
         location=SourceLocation(program=program, table=table, entry=entry,
-                                field=field, file=file, line=line),
+                                field=field, file=file, line=line,
+                                symbol=symbol),
+        trace=tuple(trace),
     )
 
 
@@ -188,6 +255,10 @@ class DiagnosticReport:
 
     subject: str = ""
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: findings silenced by inline ``# rep: ignore[...]`` comments.
+    suppressed: int = 0
+    #: findings matched against the committed baseline file.
+    baselined: int = 0
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
@@ -235,16 +306,28 @@ class DiagnosticReport:
             lines.append(diagnostic.render())
         counts = self.counts()
         subject = f"{self.subject}: " if self.subject else ""
+        tail = ""
+        if self.suppressed or self.baselined:
+            tail = (f" ({self.suppressed} suppressed inline, "
+                    f"{self.baselined} baselined)")
         lines.append(f"{subject}{counts['error']} error(s), "
                      f"{counts['warning']} warning(s), "
-                     f"{counts['info']} info")
+                     f"{counts['info']} info{tail}")
         return "\n".join(lines)
+
+    # `render` aliases `render_text` so report-producing commands can
+    # share the CLI `_emit_report` helper with chaos/obs reports.
+    def render(self) -> str:
+        return self.render_text()
 
     def to_json(self) -> Dict[str, object]:
         return {
+            "schema": "repro.diagnostics/v1",
             "subject": self.subject,
             "ok": self.ok,
             "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
             "diagnostics": [d.to_json() for d in self.diagnostics],
         }
 

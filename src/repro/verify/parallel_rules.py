@@ -1,0 +1,414 @@
+"""REP5xx parallel-safety analysis: what may cross a process boundary.
+
+PR 4's :class:`~repro.parallel.executor.ParallelExecutor` ships tasks
+into worker processes; :meth:`assert_shippable` catches unpicklable
+tasks *at runtime*.  These passes state the same contract statically —
+before a test run, on code paths the tier-1 suite never executes — and
+add the invariants pickling alone cannot see:
+
+* **REP501** — a shipped function (or a helper it calls, to a bounded
+  depth) mutates module-level mutable state.  Each worker mutates its
+  *own copy* of the module global; the parent never sees the write, so
+  the code "works" and silently drops data.
+* **REP502** — the shipped callable is a nested function or a
+  ``functools.partial`` over one.  Closures cannot be pickled by
+  qualified name; this generalizes the runtime-only REP305 (lambdas)
+  to every closure form the AST can see.
+* **REP503** — a module-level RNG / lock / condition object (created
+  at import scope) is used inside a shipped function.  Every worker
+  re-imports the module and gets an *independent* RNG stream or lock,
+  breaking seed-reproducibility and providing no mutual exclusion.
+
+Ship sites are calls to the configured ship methods
+(``.submit(fn, ...)`` / ``.map_tasks(fn, ...)``) plus
+``TaskGraph.add("name", fn, ...)`` — recognized by its
+string-constant-then-callable argument shape so ``set.add`` stays
+quiet.  Findings are reported at the ship site with a trace down to
+the offending mutation/use, and resolution runs through the shared
+:class:`~repro.verify.taint.ProjectIndex` so cross-module task
+functions are analyzed too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verify.dataflow import assigned_names
+from repro.verify.diagnostics import Diagnostic, TraceStep, diag
+from repro.verify.taint import FunctionInfo, ProjectIndex, dotted_name
+
+__all__ = ["ParallelRules", "ParallelSafetyAnalysis"]
+
+#: container methods that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "sort", "reverse", "__setitem__",
+}
+
+#: import-scope constructors that create per-process state (REP503).
+_SYNC_FACTORIES = [
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Event", "multiprocessing.Lock", "multiprocessing.RLock",
+    "random.Random", "random.SystemRandom",
+    "np.random.default_rng", "numpy.random.default_rng",
+]
+
+#: constructors of module-level *mutable* containers (REP501 targets).
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.Counter",
+    "collections.deque", "collections.OrderedDict",
+    "defaultdict", "Counter", "deque", "OrderedDict",
+}
+
+#: how deep helper-call chains are followed from a shipped function.
+_MAX_CALL_DEPTH = 3
+
+
+@dataclass
+class ParallelRules:
+    """Which call shapes ship their argument into worker processes."""
+
+    ship_methods: List[str] = field(
+        default_factory=lambda: ["submit", "map_tasks"])
+    taskgraph_add_methods: List[str] = field(
+        default_factory=lambda: ["add"])
+
+
+@dataclass
+class _ModuleFacts:
+    """Import-scope facts about one module."""
+
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+    sync_globals: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+
+
+def _module_facts(tree: ast.Module) -> _ModuleFacts:
+    facts = _ModuleFacts()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        mutable = isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                     ast.ListComp, ast.DictComp,
+                                     ast.SetComp))
+        sync: Optional[str] = None
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee in _MUTABLE_FACTORIES:
+                mutable = True
+            elif callee and any(callee == f or callee.endswith("." + f)
+                                for f in _SYNC_FACTORIES):
+                sync = callee
+        for name in names:
+            if mutable:
+                facts.mutable_globals[name] = node.lineno
+            if sync is not None:
+                facts.sync_globals[name] = (node.lineno, sync)
+    return facts
+
+
+def _local_bindings(fn_node) -> Set[str]:
+    """Names the function binds locally (params + every assignment)."""
+    bound: Set[str] = set()
+    args = fn_node.args
+    for group in (getattr(args, "posonlyargs", []), args.args,
+                  args.kwonlyargs):
+        bound.update(p.arg for p in group)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.stmt):
+            bound.update(assigned_names(node))
+    return bound - declared_global
+
+
+@dataclass
+class _ShipSite:
+    rel_path: str
+    symbol: str  # enclosing function qualname ("" == module scope)
+    line: int
+    method: str
+    shipped: ast.expr
+
+
+class ParallelSafetyAnalysis:
+    """Whole-project REP5xx pass over the parsed-module cache."""
+
+    def __init__(self, modules: Dict[str, ast.Module],
+                 index: Optional[ProjectIndex] = None,
+                 rules: Optional[ParallelRules] = None):
+        self.modules = modules
+        self.index = index or ProjectIndex(modules)
+        self.rules = rules or ParallelRules()
+        self._facts: Dict[str, _ModuleFacts] = {}
+
+    def facts(self, rel: str) -> _ModuleFacts:
+        if rel not in self._facts:
+            tree = self.modules.get(rel)
+            self._facts[rel] = _module_facts(tree) if tree is not None \
+                else _ModuleFacts()
+        return self._facts[rel]
+
+    # -- ship-site discovery -------------------------------------------------
+
+    def _ship_sites(self, rel: str, tree: ast.Module) -> List[_ShipSite]:
+        sites: List[_ShipSite] = []
+        nested_defs: List[Tuple[str, Set[str]]] = []
+
+        def walk(node, symbol: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    inner = f"{symbol}.{child.name}" if symbol \
+                        else child.name
+                    walk(child, inner)
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{symbol}.{child.name}" if symbol
+                         else child.name)
+                else:
+                    if isinstance(child, ast.Call):
+                        self._match_site(rel, symbol, child, sites)
+                    walk(child, symbol)
+
+        walk(tree, "")
+        del nested_defs
+        return sites
+
+    def _match_site(self, rel: str, symbol: str, call: ast.Call,
+                    sites: List[_ShipSite]) -> None:
+        name = dotted_name(call.func)
+        if not name or "." not in name:
+            return
+        method = name.rsplit(".", 1)[1]
+        if method in self.rules.ship_methods and call.args:
+            sites.append(_ShipSite(rel, symbol, call.lineno, method,
+                                   call.args[0]))
+        elif method in self.rules.taskgraph_add_methods \
+                and len(call.args) >= 2 \
+                and isinstance(call.args[0], ast.Constant) \
+                and isinstance(call.args[0].value, str) \
+                and self._callable_candidate(rel, call.args[1]):
+            sites.append(_ShipSite(rel, symbol, call.lineno, method,
+                                   call.args[1]))
+
+    def _callable_candidate(self, rel: str, node: ast.expr) -> bool:
+        """Does a ``.add()`` second argument look like a task fn?"""
+        if isinstance(node, ast.Lambda):
+            return True
+        name = dotted_name(node)
+        if name is None:
+            return False
+        return self.index.resolve(rel, name) is not None
+
+    # -- per-site checks -----------------------------------------------------
+
+    def run(self) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for rel in sorted(self.modules):
+            tree = self.modules[rel]
+            nested = self._nested_function_names(tree)
+            for site in self._ship_sites(rel, tree):
+                findings.extend(self._check_site(site, nested))
+        findings.sort(key=lambda d: (d.location.file or "",
+                                     d.location.line or 0, d.code))
+        return findings
+
+    def _nested_function_names(self, tree: ast.Module) -> Set[str]:
+        """Names of functions defined *inside* other functions."""
+        nested: Set[str] = set()
+
+        def walk(node, inside_fn: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inside_fn:
+                        nested.add(child.name)
+                    walk(child, True)
+                else:
+                    walk(child, inside_fn)
+
+        walk(tree, False)
+        return nested
+
+    def _check_site(self, site: _ShipSite,
+                    nested_names: Set[str]) -> List[Diagnostic]:
+        shipped = site.shipped
+        # unwrap functools.partial(fn, ...): the real task is arg 0
+        if isinstance(shipped, ast.Call):
+            callee = dotted_name(shipped.func)
+            if callee in ("partial", "functools.partial") \
+                    and shipped.args:
+                shipped = shipped.args[0]
+
+        if isinstance(shipped, ast.Lambda):
+            # REP305 (pattern rule) already owns bare lambdas
+            return []
+
+        name = dotted_name(shipped)
+        if name is None:
+            return []
+
+        if "." not in name and name in nested_names \
+                and self.index.resolve(site.rel_path, name) is None:
+            return [diag(
+                "REP502",
+                f"{name!r} shipped via .{site.method}() is a nested "
+                f"function; closures cannot be pickled into worker "
+                f"processes — hoist it to module level",
+                file=site.rel_path, line=site.line,
+                symbol=site.symbol or "<module>",
+                trace=(TraceStep(site.rel_path, site.line,
+                                 f"{name!r} shipped to workers "
+                                 f"via .{site.method}()"),),
+            )]
+
+        target = self.index.resolve(site.rel_path, name)
+        if target is None:
+            return []
+        return self._check_task_function(site, name, target)
+
+    def _check_task_function(self, site: _ShipSite, name: str,
+                             target: FunctionInfo) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        ship_step = TraceStep(
+            site.rel_path, site.line,
+            f"{name!r} shipped to workers via .{site.method}()")
+
+        mutation = self._find_global_mutation(target, depth=0,
+                                              visited=set())
+        if mutation is not None:
+            global_name, steps = mutation
+            findings.append(diag(
+                "REP501",
+                f"task function {name!r} mutates module-level state "
+                f"{global_name!r}; each worker mutates its own copy "
+                f"and the parent never sees the write",
+                file=site.rel_path, line=site.line,
+                symbol=site.symbol or "<module>",
+                trace=(ship_step,) + steps,
+            ))
+
+        sync_use = self._find_sync_use(target)
+        if sync_use is not None:
+            global_name, line, factory = sync_use
+            findings.append(diag(
+                "REP503",
+                f"task function {name!r} uses import-scope "
+                f"{factory}() object {global_name!r}; every worker "
+                f"re-imports its own instance, so it synchronizes "
+                f"nothing and breaks seed-reproducibility",
+                file=site.rel_path, line=site.line,
+                symbol=site.symbol or "<module>",
+                trace=(ship_step,
+                       TraceStep(target.rel_path, line,
+                                 f"{global_name!r} used inside "
+                                 f"{target.qualname}()")),
+            ))
+        return findings
+
+    def _find_global_mutation(
+            self, info: FunctionInfo, depth: int,
+            visited: Set[Tuple[str, str]]
+    ) -> Optional[Tuple[str, Tuple[TraceStep, ...]]]:
+        key = (info.rel_path, info.qualname)
+        if key in visited or depth > _MAX_CALL_DEPTH:
+            return None
+        visited.add(key)
+        facts = self.facts(info.rel_path)
+        local = _local_bindings(info.node)
+        declared_global: Set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        def is_module_global(target_name: str) -> bool:
+            if target_name in declared_global:
+                return True
+            return target_name in facts.mutable_globals \
+                and target_name not in local
+
+        for node in ast.walk(info.node):
+            # rebinding through `global X`
+            if isinstance(node, (ast.Assign, ast.AugAssign,
+                                 ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id in declared_global:
+                        return (target.id, (TraceStep(
+                            info.rel_path, node.lineno,
+                            f"rebinds module global {target.id!r} "
+                            f"inside {info.qualname}()"),))
+                    if isinstance(target, ast.Subscript):
+                        base = target.value
+                        if isinstance(base, ast.Name) \
+                                and is_module_global(base.id):
+                            return (base.id, (TraceStep(
+                                info.rel_path, node.lineno,
+                                f"item-assigns module-level "
+                                f"{base.id!r} inside "
+                                f"{info.qualname}()"),))
+            # in-place mutator methods on module-level containers
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS:
+                base = node.func.value
+                if isinstance(base, ast.Name) \
+                        and is_module_global(base.id):
+                    return (base.id, (TraceStep(
+                        info.rel_path, node.lineno,
+                        f".{node.func.attr}() on module-level "
+                        f"{base.id!r} inside {info.qualname}()"),))
+
+        # follow direct helper calls, bounded
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                callee_name = dotted_name(node.func)
+                if not callee_name:
+                    continue
+                callee = self.index.resolve(info.rel_path, callee_name)
+                if callee is None:
+                    continue
+                found = self._find_global_mutation(callee, depth + 1,
+                                                   visited)
+                if found is not None:
+                    global_name, steps = found
+                    call_step = TraceStep(
+                        info.rel_path, node.lineno,
+                        f"{info.qualname}() calls {callee_name}()")
+                    return (global_name, (call_step,) + steps)
+        return None
+
+    def _find_sync_use(self, info: FunctionInfo
+                       ) -> Optional[Tuple[str, int, str]]:
+        facts = self.facts(info.rel_path)
+        if not facts.sync_globals:
+            return None
+        local = _local_bindings(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.id in facts.sync_globals \
+                    and node.id not in local:
+                line, factory = facts.sync_globals[node.id]
+                return (node.id, node.lineno, factory)
+        return None

@@ -1,0 +1,838 @@
+"""REP4xx privacy taint analysis over the shared CFG/dataflow IR.
+
+The flow property ROADMAP item 3 needs stated statically: *no raw
+packet/flow identifier leaves the platform except through*
+:mod:`repro.privacy`.  Concretely:
+
+* **sources** — reads of configured privacy-sensitive attributes
+  (``record.src_ip``, ``pkt.dst_ip``, ``record.payload``) and calls
+  matching configured source patterns;
+* **sinks** — calls matching configured export patterns: ``print``,
+  ``*.write`` / ``*.write_text`` / ``*.writelines``, ``json.dump``,
+  the obs JSONL exporters — anything file- or wire-bound;
+* **sanitizers** — calls matching configured patterns for the
+  :mod:`repro.privacy` APIs (``*.anonymize``, ``*.anonymize_ip``,
+  ``*.scrub*``, ...) plus declassifying aggregations (``len``,
+  ``sum``): their result is clean no matter the arguments.
+
+Per function, a forward dataflow over the CFG tracks which local names
+may hold source-derived values; every hop (source read, assignment,
+call propagation) is recorded so a finding carries the complete
+source->sink trace.  Comparisons declassify (a boolean reveals one
+bit, which the k-anonymity layer governs, not taint analysis).
+
+Across functions, a module-granular call graph propagates
+:class:`FunctionSummary` facts to a fixpoint: which parameters flow to
+a sink inside the callee (*taint-in*), which parameters flow to the
+return value, and whether the return value is source-tainted
+independent of the arguments (*taint-out*).  Call sites then report
+**REP402** when a tainted value is passed to a taint-in parameter, and
+propagate taint through taint-out results — so a leak spread across
+helper functions in different modules is still one diagnostic with one
+trace.
+
+Only direct calls to module-level functions resolve (methods and
+higher-order uses stay conservative: unknown calls propagate argument
+taint into their result but are never sinks), which keeps the analysis
+fast and the false-positive surface small.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Set, Tuple
+
+from repro.verify.cfg import CFG, BranchStmt, build_cfg
+from repro.verify.dataflow import ForwardProblem, solve_forward
+from repro.verify.diagnostics import Diagnostic, TraceStep, diag
+
+__all__ = [
+    "TaintRules",
+    "Taint",
+    "FunctionSummary",
+    "ProjectIndex",
+    "TaintAnalysis",
+    "dotted_name",
+]
+
+#: hop-trace cap: long enough for any honest pipeline, short enough to
+#: bound the lattice (termination of the per-function fixpoint).
+MAX_HOPS = 16
+
+#: summary-propagation rounds across the call graph; module-granular
+#: summaries stabilize in 2-3 rounds on this codebase.
+MAX_SUMMARY_ROUNDS = 5
+
+
+def dotted_name(node) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(parts[::-1])
+    return None
+
+
+def _match_any(name: Optional[str], patterns: Sequence[str]) -> bool:
+    if not name:
+        return False
+    return any(fnmatchcase(name, pattern) for pattern in patterns)
+
+
+@dataclass
+class TaintRules:
+    """Compiled source/sink/sanitizer sets (from ``[tool.repro.lint]``)."""
+
+    source_fields: Set[str] = field(
+        default_factory=lambda: {"src_ip", "dst_ip", "payload"})
+    source_calls: List[str] = field(default_factory=list)
+    sinks: List[str] = field(default_factory=lambda: [
+        "print", "*.write", "*.write_text", "*.writelines",
+        "json.dump", "write_jsonl", "append_jsonl",
+    ])
+    sanitizers: List[str] = field(default_factory=lambda: [
+        "*.anonymize", "*.anonymize_ip", "*.shared_prefix_len",
+        "*.scrub*", "*.hexdigest", "hash", "len", "sum", "bool",
+    ])
+
+    def is_sink(self, name: Optional[str]) -> bool:
+        return _match_any(name, self.sinks)
+
+    def is_sanitizer(self, name: Optional[str]) -> bool:
+        return _match_any(name, self.sanitizers)
+
+    def is_source_call(self, name: Optional[str]) -> bool:
+        return _match_any(name, self.source_calls)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted fact attached to a value.
+
+    ``kind`` is ``"source"`` (a concrete privacy-sensitive read, with
+    its origin site) or ``"param"`` (symbolic: "parameter *i* of the
+    function under analysis", used to compute summaries).  ``path``
+    holds the (line, note) hops walked since the origin; joins keep
+    the shortest path per origin so traces stay minimal and the
+    lattice stays finite.
+    """
+
+    kind: str
+    origin: str
+    file: str
+    line: int
+    param: int = -1
+    path: Tuple[Tuple[int, str], ...] = ()
+
+    @property
+    def key(self) -> Tuple:
+        return (self.kind, self.origin, self.file, self.line, self.param)
+
+    def hop(self, line: int, note: str) -> "Taint":
+        if len(self.path) >= MAX_HOPS:
+            return self
+        if self.path and self.path[-1] == (line, note):
+            return self
+        return replace(self, path=self.path + ((line, note),))
+
+    def trace(self, sink_file: str, sink_line: int,
+              sink_note: str) -> Tuple[TraceStep, ...]:
+        steps = [TraceStep(self.file, self.line, self.origin)]
+        for line, note in self.path:
+            steps.append(TraceStep(self.file, line, note))
+        steps.append(TraceStep(sink_file, sink_line, sink_note))
+        return tuple(steps)
+
+
+#: a value's taint: origin key -> Taint (shortest path per origin).
+TaintSet = Dict[Tuple, Taint]
+
+
+def _merge(into: TaintSet, other: TaintSet) -> TaintSet:
+    for key, taint in other.items():
+        existing = into.get(key)
+        if existing is None or len(taint.path) < len(existing.path):
+            into[key] = taint
+    return into
+
+
+def _hop_all(taints: TaintSet, line: int, note: str) -> TaintSet:
+    return {key: t.hop(line, note) for key, t in taints.items()}
+
+
+@dataclass
+class FunctionSummary:
+    """Interprocedural facts about one module-level function."""
+
+    #: source taints that may flow to the return value (taint-out).
+    returns_source: Tuple[Taint, ...] = ()
+    #: parameter indices that may flow to the return value.
+    param_to_return: FrozenSet[int] = frozenset()
+    #: parameter index -> (sink line, sink name) reached inside.
+    param_to_sink: Dict[int, Tuple[int, str]] = field(default_factory=dict)
+
+    def signature(self) -> Tuple:
+        return (tuple(sorted(t.key for t in self.returns_source)),
+                tuple(sorted(self.param_to_return)),
+                tuple(sorted(self.param_to_sink.items())))
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function body."""
+
+    rel_path: str
+    qualname: str
+    node: ast.stmt  # FunctionDef | AsyncFunctionDef
+    top_level: bool
+    _cfg: Optional[CFG] = None
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node, name=self.qualname)
+        return self._cfg
+
+    @property
+    def params(self) -> List[str]:
+        a = self.node.args
+        names = [p.arg for p in getattr(a, "posonlyargs", [])]
+        names += [p.arg for p in a.args]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        names += [p.arg for p in a.kwonlyargs]
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+
+class ProjectIndex:
+    """Module-granular symbol index + call-graph resolution.
+
+    Built once per engine run from the parsed-module cache; resolves
+    ``name`` / ``alias.name`` call chains to project functions through
+    ``import`` / ``from ... import`` bindings, following re-exports
+    (e.g. a package ``__init__`` importing from a submodule) to a
+    bounded depth.
+    """
+
+    def __init__(self, modules: Dict[str, ast.Module],
+                 package: str = "repro"):
+        self.package = package
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        self.all_functions: List[FunctionInfo] = []
+        self.module_trees = modules
+        #: rel_path -> local name -> ("fn", rel, name) | ("mod", rel)
+        self._imports: Dict[str, Dict[str, Tuple]] = {}
+        self._module_by_qual: Dict[str, str] = {}
+        for rel in modules:
+            qual = self._qualname_for(rel)
+            self._module_by_qual[qual] = rel
+        for rel, tree in modules.items():
+            self._index_module(rel, tree)
+
+    def _qualname_for(self, rel_path: str) -> str:
+        stem = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+        if stem.endswith("/__init__"):
+            stem = stem[: -len("/__init__")]
+        if stem == "__init__":
+            return self.package
+        return f"{self.package}." + stem.replace("/", ".")
+
+    def _rel_for_module(self, module_qual: str) -> Optional[str]:
+        return self._module_by_qual.get(module_qual)
+
+    def _index_module(self, rel: str, tree: ast.Module) -> None:
+        imports: Dict[str, Tuple] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(rel, node.name, node, top_level=True)
+                self.functions[(rel, node.name)] = info
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._rel_for_module(alias.name)
+                    if target is not None:
+                        imports[alias.asname
+                                or alias.name.split(".")[0]] = \
+                            ("mod", target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue
+                target = self._rel_for_module(node.module)
+                for alias in node.names:
+                    if target is not None:
+                        imports[alias.asname or alias.name] = \
+                            ("fn", target, alias.name)
+                    else:
+                        submodule = self._rel_for_module(
+                            f"{node.module}.{alias.name}")
+                        if submodule is not None:
+                            imports[alias.asname or alias.name] = \
+                                ("mod", submodule)
+        # function-local imports (``from repro.x import f`` inside a
+        # body) resolve too; module-level bindings take precedence.
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module is None or node.level:
+                continue
+            target = self._rel_for_module(node.module)
+            if target is None:
+                continue
+            for alias in node.names:
+                imports.setdefault(alias.asname or alias.name,
+                                   ("fn", target, alias.name))
+        self._imports[rel] = imports
+
+        # every function body (methods, nested defs) is analyzable
+        def walk(node, prefix: str, top: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}{child.name}"
+                    if top and not prefix:
+                        info = self.functions[(rel, child.name)]
+                    else:
+                        info = FunctionInfo(rel, qualname, child,
+                                            top_level=False)
+                    self.all_functions.append(info)
+                    walk(child, f"{qualname}.", False)
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}{child.name}.", False)
+                else:
+                    walk(child, prefix, top)
+
+        walk(tree, "", True)
+
+    def resolve(self, rel: str, name: str,
+                depth: int = 0) -> Optional[FunctionInfo]:
+        """Resolve a dotted call chain in ``rel`` to a project function."""
+        if depth > 5:
+            return None
+        parts = name.split(".")
+        imports = self._imports.get(rel, {})
+        if len(parts) == 1:
+            if (rel, parts[0]) in self.functions:
+                return self.functions[(rel, parts[0])]
+            binding = imports.get(parts[0])
+            if binding and binding[0] == "fn":
+                _, target_rel, target_name = binding
+                return self.resolve(target_rel, target_name, depth + 1)
+            return None
+        if len(parts) == 2:
+            binding = imports.get(parts[0])
+            if binding and binding[0] == "mod":
+                return self.resolve(binding[1], parts[1], depth + 1)
+        return None
+
+
+class _TaintState(ForwardProblem):
+    """Forward problem: name -> TaintSet, union join, strong updates."""
+
+    def __init__(self, analysis: "_FunctionAnalysis"):
+        self.analysis = analysis
+
+    def bottom(self) -> Dict[str, TaintSet]:
+        return {}
+
+    def entry_state(self) -> Dict[str, TaintSet]:
+        state: Dict[str, TaintSet] = {}
+        for i, param in enumerate(self.analysis.info.params):
+            taint = Taint(kind="param", origin=f"parameter {param!r}",
+                          file=self.analysis.info.rel_path, line=0,
+                          param=i)
+            state[param] = {taint.key: taint}
+        return state
+
+    def join(self, states: List[Dict[str, TaintSet]]
+             ) -> Dict[str, TaintSet]:
+        out: Dict[str, TaintSet] = {}
+        for state in states:
+            for name, taints in state.items():
+                _merge(out.setdefault(name, {}), taints)
+        return out
+
+    def equals(self, a, b) -> bool:
+        if a.keys() != b.keys():
+            return False
+        for name in a:
+            if a[name].keys() != b[name].keys():
+                return False
+            for key in a[name]:
+                if a[name][key].path != b[name][key].path:
+                    return False
+        return True
+
+    def transfer(self, cfg: CFG, block_id: int,
+                 state: Dict[str, TaintSet]) -> Dict[str, TaintSet]:
+        local = {name: dict(taints) for name, taints in state.items()}
+        for stmt in cfg.blocks[block_id].stmts:
+            self.analysis.exec_stmt(stmt, local, report=False)
+        return local
+
+
+@dataclass
+class _Finding:
+    code: str
+    message: str
+    line: int
+    trace: Tuple[TraceStep, ...]
+
+
+class _FunctionAnalysis:
+    """Analyze one function: fixpoint, then a reporting scan."""
+
+    def __init__(self, info: FunctionInfo, rules: TaintRules,
+                 index: ProjectIndex,
+                 summaries: Dict[Tuple[str, str], FunctionSummary]):
+        self.info = info
+        self.rules = rules
+        self.index = index
+        self.summaries = summaries
+        self.summary = FunctionSummary()
+        self.findings: List[_Finding] = []
+        self._param_to_sink: Dict[int, Tuple[int, str]] = {}
+        self._param_to_return: Set[int] = set()
+        self._returns_source: Dict[Tuple, Taint] = {}
+
+    def run(self, report: bool) -> FunctionSummary:
+        cfg = self.info.cfg
+        problem = _TaintState(self)
+        states = solve_forward(cfg, problem)
+        for bid in cfg.rpo():
+            in_state, _ = states[bid]
+            local = {name: dict(taints)
+                     for name, taints in in_state.items()}
+            for stmt in cfg.blocks[bid].stmts:
+                self.exec_stmt(stmt, local, report=report)
+        self.summary = FunctionSummary(
+            returns_source=tuple(self._returns_source.values()),
+            param_to_return=frozenset(self._param_to_return),
+            param_to_sink=dict(self._param_to_sink),
+        )
+        return self.summary
+
+    # -- statement execution -------------------------------------------------
+
+    def exec_stmt(self, stmt, state: Dict[str, TaintSet],
+                  report: bool) -> None:
+        node = stmt.node if isinstance(stmt, BranchStmt) else stmt
+        if isinstance(stmt, BranchStmt):
+            if isinstance(node, (ast.If, ast.While)):
+                self.eval(node.test, state, report)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                taints = self.eval(node.iter, state, report)
+                self._bind_target(node.target, _hop_all(
+                    taints, node.lineno, "iterated into loop target"),
+                    state)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    taints = self.eval(item.context_expr, state, report)
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars, _hop_all(
+                            taints, node.lineno, "bound by with"), state)
+            elif isinstance(node, ast.ExceptHandler):
+                if node.name:
+                    state[node.name] = {}
+            elif isinstance(node, ast.Match):
+                self.eval(node.subject, state, report)
+            return
+        if isinstance(node, ast.Assign):
+            taints = self.eval(node.value, state, report)
+            for target in node.targets:
+                self._assign_target(target, taints, state, node.lineno)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                taints = self.eval(node.value, state, report)
+                self._assign_target(node.target, taints, state,
+                                    node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            taints = self.eval(node.value, state, report)
+            if isinstance(node.target, ast.Name):
+                merged = dict(state.get(node.target.id, {}))
+                _merge(merged, _hop_all(
+                    taints, node.lineno,
+                    f"augmented into {node.target.id!r}"))
+                state[node.target.id] = merged
+            else:
+                self._assign_target(node.target, taints, state,
+                                    node.lineno)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                taints = self.eval(node.value, state, report)
+                for taint in taints.values():
+                    if taint.kind == "source":
+                        hopped = taint.hop(node.lineno, "returned")
+                        key = taint.key
+                        prev = self._returns_source.get(key)
+                        if prev is None or \
+                                len(hopped.path) < len(prev.path):
+                            self._returns_source[key] = hopped
+                    elif taint.kind == "param":
+                        self._param_to_return.add(taint.param)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value, state, report)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.eval(node.exc, state, report)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def binds a callable; if its summary says the
+            # return value is source-tainted, a *reference* to it
+            # escaping into an unknown call (``key_fn=extract_ip``)
+            # carries that taint along.
+            qualname = f"{self.info.qualname}.{node.name}"
+            summary = self.summaries.get((self.info.rel_path, qualname))
+            state[node.name] = self._reference_taints(
+                node.name, summary, node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            state[node.name] = {}
+        elif isinstance(node, ast.Assert):
+            self.eval(node.test, state, report)
+
+    def _assign_target(self, target, taints: TaintSet,
+                       state: Dict[str, TaintSet], line: int) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = _hop_all(
+                taints, line, f"assigned to {target.id!r}")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, taints, state, line)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, taints, state, line)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # weak update: storing a tainted value into a container or
+            # object taints the container name itself.
+            base = target
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and taints:
+                merged = dict(state.get(base.id, {}))
+                _merge(merged, _hop_all(
+                    taints, line, f"stored into {base.id!r}"))
+                state[base.id] = merged
+
+    def _bind_target(self, target, taints: TaintSet,
+                     state: Dict[str, TaintSet]) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = dict(taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, taints, state)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, taints, state)
+
+    # -- expression evaluation -----------------------------------------------
+
+    def eval(self, node, state: Dict[str, TaintSet],
+             report: bool) -> TaintSet:
+        if node is None or isinstance(node, (ast.Constant, ast.Lambda)):
+            return {}
+        if isinstance(node, ast.Name):
+            if node.id in state:
+                return dict(state.get(node.id, {}))
+            return self._function_reference(node.id, node.lineno)
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value, state, report)
+            out: TaintSet = dict(
+                _hop_all(base, node.lineno,
+                         f"via attribute .{node.attr}"))
+            if node.attr in self.rules.source_fields:
+                expr = dotted_name(node) or f"<expr>.{node.attr}"
+                taint = Taint(kind="source",
+                              origin=f"read of {expr} "
+                                     f"(privacy-sensitive field)",
+                              file=self.info.rel_path, line=node.lineno)
+                out[taint.key] = taint
+            return out
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, state, report)
+        if isinstance(node, ast.Compare):
+            # comparisons declassify: a boolean is not the raw value
+            self.eval(node.left, state, report)
+            for comparator in node.comparators:
+                self.eval(comparator, state, report)
+            return {}
+        if isinstance(node, ast.NamedExpr):
+            taints = self.eval(node.value, state, report)
+            self._assign_target(node.target, taints, state, node.lineno)
+            return dict(taints)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            out: TaintSet = {}
+            inner = {name: dict(t) for name, t in state.items()}
+            for gen in node.generators:
+                taints = self.eval(gen.iter, inner, report)
+                self._bind_target(gen.target, _hop_all(
+                    taints, node.lineno, "comprehension target"), inner)
+            if isinstance(node, ast.DictComp):
+                _merge(out, self.eval(node.key, inner, report))
+                _merge(out, self.eval(node.value, inner, report))
+            else:
+                _merge(out, self.eval(node.elt, inner, report))
+            return out
+        # generic: union of child expression taints
+        out = {}
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                _merge(out, self.eval(child, state, report))
+        return out
+
+    def _function_reference(self, name: str, line: int) -> TaintSet:
+        """Taint carried by a bare reference to a project function."""
+        info = self.index.resolve(self.info.rel_path, name)
+        if info is None:
+            return {}
+        summary = self.summaries.get((info.rel_path, info.qualname))
+        return self._reference_taints(name, summary, line)
+
+    def _reference_taints(self, name: str,
+                          summary: Optional[FunctionSummary],
+                          line: int) -> TaintSet:
+        out: TaintSet = {}
+        if summary is None:
+            return out
+        for taint in summary.returns_source:
+            carried = Taint(
+                kind="source",
+                origin=f"{taint.origin}, escaping via reference to "
+                       f"{name}()",
+                file=self.info.rel_path, line=line)
+            out[carried.key] = carried
+        return out
+
+    def _call_args(self, node: ast.Call, state, report
+                   ) -> List[Tuple[Optional[str], TaintSet]]:
+        evaluated: List[Tuple[Optional[str], TaintSet]] = []
+        for arg in node.args:
+            evaluated.append((None, self.eval(arg, state, report)))
+        for keyword in node.keywords:
+            evaluated.append((keyword.arg,
+                              self.eval(keyword.value, state, report)))
+        return evaluated
+
+    def _eval_call(self, node: ast.Call, state, report) -> TaintSet:
+        name = dotted_name(node.func)
+        args = self._call_args(node, state, report)
+        self._taint_receiver(node, name, args, state)
+
+        if self.rules.is_sanitizer(name):
+            return {}
+
+        if self.rules.is_sink(name):
+            self._check_sink(node, name or "<call>", args, report)
+            return {}
+
+        result: TaintSet = {}
+        if self.rules.is_source_call(name):
+            taint = Taint(kind="source",
+                          origin=f"call of privacy source {name}()",
+                          file=self.info.rel_path, line=node.lineno)
+            result[taint.key] = taint
+
+        callee = self.index.resolve(self.info.rel_path, name) \
+            if name else None
+        if callee is not None:
+            summary = self.summaries.get(
+                (callee.rel_path, callee.qualname))
+            if summary is not None:
+                self._apply_summary(node, name, callee, summary, args,
+                                    result, report)
+                return result
+
+        # unknown call: conservatively propagate arguments + receiver
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state, report)
+            _merge(result, _hop_all(
+                receiver, node.lineno,
+                f"through method .{node.func.attr}()"))
+        for _, taints in args:
+            _merge(result, _hop_all(
+                taints, node.lineno,
+                f"through call {name or '<call>'}()"))
+        return result
+
+    def _taint_receiver(self, node: ast.Call, name: Optional[str],
+                        args, state: Dict[str, TaintSet]) -> None:
+        """Container mutation: ``acc.append(tainted)`` taints ``acc``.
+
+        Applied to any method call on a plain name whose arguments are
+        tainted (weak update) — sanitizers excepted, since
+        ``pan.anonymize(ip)`` must not taint ``pan``.
+        """
+        if not isinstance(node.func, ast.Attribute):
+            return
+        base = node.func.value
+        if not isinstance(base, ast.Name):
+            return
+        if self.rules.is_sanitizer(name) or self.rules.is_sink(name):
+            return
+        incoming: TaintSet = {}
+        for _, taints in args:
+            _merge(incoming, taints)
+        if not incoming:
+            return
+        merged = dict(state.get(base.id, {}))
+        _merge(merged, _hop_all(
+            incoming, node.lineno,
+            f"stored into {base.id!r} via .{node.func.attr}()"))
+        state[base.id] = merged
+
+    def _param_index(self, callee: FunctionInfo, position: int,
+                     keyword: Optional[str]) -> Optional[int]:
+        params = callee.params
+        if keyword is not None:
+            return params.index(keyword) if keyword in params else None
+        return position if position < len(params) else None
+
+    def _apply_summary(self, node: ast.Call, name: Optional[str],
+                       callee: FunctionInfo, summary: FunctionSummary,
+                       args, result: TaintSet, report: bool) -> None:
+        position = -1
+        for keyword, taints in args:
+            if keyword is None:
+                position += 1
+            if not taints:
+                continue
+            index = self._param_index(callee, position, keyword)
+            if index is None:
+                # unmapped argument: stay conservative
+                _merge(result, _hop_all(
+                    taints, node.lineno, f"through call {name}()"))
+                continue
+            if index in summary.param_to_sink:
+                sink_line, sink_name = summary.param_to_sink[index]
+                for taint in taints.values():
+                    if taint.kind == "source":
+                        if report:
+                            where = (f"{callee.rel_path}:{sink_line}")
+                            self.findings.append(_Finding(
+                                code="REP402",
+                                message=(
+                                    f"tainted value passed to "
+                                    f"{name}() whose parameter "
+                                    f"{callee.params[index]!r} reaches "
+                                    f"sink {sink_name}() at {where} "
+                                    f"without a repro.privacy "
+                                    f"sanitizer"),
+                                line=node.lineno,
+                                trace=taint.trace(
+                                    self.info.rel_path, node.lineno,
+                                    f"passed to {name}() -> sink "
+                                    f"{sink_name}() at {where}"),
+                            ))
+                    else:
+                        self._note_param_sink(taint.param,
+                                              node.lineno,
+                                              f"{name}->{sink_name}")
+            if index in summary.param_to_return:
+                _merge(result, _hop_all(
+                    taints, node.lineno,
+                    f"through {name}() (argument flows to return)"))
+        for taint in summary.returns_source:
+            carried = Taint(
+                kind="source",
+                origin=f"{taint.origin} inside {name}() "
+                       f"[{callee.rel_path}:{taint.line}]",
+                file=self.info.rel_path, line=node.lineno,
+                path=((node.lineno, f"returned by {name}()"),))
+            result[carried.key] = carried
+
+    def _note_param_sink(self, param: int, line: int,
+                         sink_name: str) -> None:
+        if param >= 0 and param not in self._param_to_sink:
+            self._param_to_sink[param] = (line, sink_name)
+
+    def _check_sink(self, node: ast.Call, name: str, args,
+                    report: bool) -> None:
+        for _, taints in args:
+            for taint in taints.values():
+                if taint.kind == "source":
+                    if report:
+                        self.findings.append(_Finding(
+                            code="REP401",
+                            message=(f"{taint.origin} reaches sink "
+                                     f"{name}() without a "
+                                     f"repro.privacy sanitizer"),
+                            line=node.lineno,
+                            trace=taint.trace(
+                                self.info.rel_path, node.lineno,
+                                f"reaches sink {name}()"),
+                        ))
+                else:
+                    self._note_param_sink(taint.param, node.lineno,
+                                          name)
+
+
+class TaintAnalysis:
+    """Whole-project REP4xx pass over the parsed-module cache."""
+
+    def __init__(self, modules: Dict[str, ast.Module],
+                 rules: Optional[TaintRules] = None,
+                 index: Optional[ProjectIndex] = None,
+                 report_scope: Optional[Iterable[str]] = None,
+                 exempt_scope: Iterable[str] = ()):
+        self.modules = modules
+        self.rules = rules or TaintRules()
+        self.index = index or ProjectIndex(modules)
+        self.report_scope = list(report_scope) if report_scope else None
+        self.exempt_scope = list(exempt_scope)
+        self.summaries: Dict[Tuple[str, str], FunctionSummary] = {}
+
+    def _in_scope(self, rel: str) -> bool:
+        def matches(prefixes: List[str]) -> bool:
+            return any(rel == p or rel.startswith(p.rstrip("/") + "/")
+                       for p in prefixes)
+        if matches(self.exempt_scope):
+            return False
+        if self.report_scope is None:
+            return True
+        return matches(self.report_scope)
+
+    def run(self) -> List[Diagnostic]:
+        # phase 1: propagate summaries across the call graph
+        for _ in range(MAX_SUMMARY_ROUNDS):
+            changed = False
+            for info in self.index.all_functions:
+                analysis = _FunctionAnalysis(info, self.rules,
+                                             self.index, self.summaries)
+                summary = analysis.run(report=False)
+                key = (info.rel_path, info.qualname)
+                previous = self.summaries.get(key)
+                if previous is None or \
+                        previous.signature() != summary.signature():
+                    self.summaries[key] = summary
+                    changed = True
+            if not changed:
+                break
+
+        # phase 2: report with stable summaries
+        findings: List[Diagnostic] = []
+        for info in self.index.all_functions:
+            if not self._in_scope(info.rel_path):
+                continue
+            analysis = _FunctionAnalysis(info, self.rules, self.index,
+                                         self.summaries)
+            analysis.run(report=True)
+            seen: Set[Tuple] = set()
+            for found in analysis.findings:
+                identity = (found.code, found.line, found.message)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                findings.append(diag(
+                    found.code, found.message, file=info.rel_path,
+                    line=found.line, symbol=info.qualname,
+                    trace=found.trace))
+        findings.sort(key=lambda d: (d.location.file or "",
+                                     d.location.line or 0, d.code))
+        return findings

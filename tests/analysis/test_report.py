@@ -37,7 +37,29 @@ def test_report_structure(store):
     assert report.store_summary["packets"]["records"] == 25
     assert report.event_counts.get("ddos-dns-amp") == 5
     assert report.log_counts == {"auth-fail": 1}
-    assert report.top_endpoints[0][0] == "9.9.9.9"
+    # endpoints are pseudonymized: the heavy hitter maps to the same
+    # Crypto-PAn pseudonym every run, never the raw address
+    from repro.analysis.report import _REPORT_KEY
+    from repro.privacy import CryptoPan
+
+    expected = CryptoPan(_REPORT_KEY).anonymize("9.9.9.9")
+    assert report.top_endpoints[0][0] == expected
+    assert expected != "9.9.9.9"
+
+
+def test_report_never_renders_raw_endpoints(store):
+    text = generate_report(store).render()
+    assert "9.9.9.9" not in text
+    assert "8.8.8.8" not in text
+    assert "Crypto-PAn pseudonyms" in text
+
+
+def test_report_custom_cryptopan(store):
+    from repro.privacy import CryptoPan
+
+    pan = CryptoPan(b"another-key-for-this-one-report!")
+    report = generate_report(store, cryptopan=pan)
+    assert report.top_endpoints[0][0] == pan.anonymize("9.9.9.9")
 
 
 def test_traffic_by_service(store):

@@ -103,3 +103,41 @@ def test_verify_lint_rejects_missing_path(tmp_path):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_verify_lint_json_includes_flow_trace(tmp_path, capsys):
+    bad = tmp_path / "capture"
+    bad.mkdir()
+    (bad / "tap.py").write_text(
+        "def export(r, out):\n    out.write(r.src_ip)\n")
+    assert main(["verify", "--lint", "--json",
+                 "--path", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.diagnostics/v1"
+    finding = payload["diagnostics"][0]
+    assert finding["code"] == "REP401"
+    assert finding["trace"], "REP401 must carry its source->sink flow"
+
+
+def test_verify_update_baseline_requires_lint(capsys):
+    assert main(["verify", "--update-baseline"]) == 2
+
+
+def test_verify_update_baseline_writes_and_gates(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint]\nbaseline = \"baseline.json\"\n"
+        "taint-exempt-scope = []\n")
+    bad = tmp_path / "capture"
+    bad.mkdir()
+    (bad / "tap.py").write_text(
+        "def export(r, out):\n    out.write(r.src_ip)\n")
+
+    assert main(["verify", "--lint", "--path", str(tmp_path)]) == 1
+    capsys.readouterr()
+    assert main(["verify", "--lint", "--path", str(tmp_path),
+                 "--update-baseline"]) == 0
+    assert "baseline updated" in capsys.readouterr().out
+    assert (tmp_path / "baseline.json").is_file()
+    # the recorded finding no longer fails the gate
+    assert main(["verify", "--lint", "--path", str(tmp_path)]) == 0
+    assert "1 baselined" in capsys.readouterr().out

@@ -115,3 +115,28 @@ def test_deploy_produces_running_switch(developed, collected_platform):
     network = collected_platform.fresh_network(seed=55)
     switch = tool.deploy(network)
     assert switch.result is tool.compiled
+
+
+def test_repo_lint_stage_gates_on_static_analysis(attack_dataset,
+                                                  monkeypatch):
+    """``repo_lint=True`` runs the cached repo-wide static-analysis
+    suite as stage (iii-c) and records its timing."""
+    import repro.verify.lint as lint_mod
+
+    calls = []
+    real = lint_mod.lint_package
+
+    def counting_lint_package(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(lint_mod, "lint_package", counting_lint_package)
+    monkeypatch.setattr(lint_mod, "_PACKAGE_REPORT_CACHE", None)
+
+    loop = DevelopmentLoop(teacher_name="tree", repo_lint=True)
+    dataset = attack_dataset.binarize("ddos-dns-amp")
+    _, report = loop.develop(dataset, seed=3)
+    assert "repo_lint" in report.stage_seconds
+    # a second develop() reuses the per-process cache: still one lint
+    loop.develop(dataset, seed=4)
+    assert len(calls) == 1

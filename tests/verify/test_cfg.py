@@ -1,0 +1,279 @@
+"""CFG construction: hand-written shapes + hypothesis well-formedness.
+
+The property suite generates random structured programs (nested
+``if``/``while``/``for``/``try`` with ``return``/``raise``/``break``/
+``continue``) and asserts the well-formedness contract
+:meth:`repro.verify.cfg.CFG.validate` documents: symmetric edges,
+single no-successor exit, no-predecessor entry, and every block either
+reachable from the entry or reported by ``unreachable()``.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.verify.cfg import BranchStmt, build_cfg, function_cfgs
+
+
+def _cfg(src: str):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0], "f")
+
+
+def _stmt_lines(cfg):
+    lines = set()
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            node = stmt.node if isinstance(stmt, BranchStmt) else stmt
+            lines.add(node.lineno)
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# hand-written shapes
+# ---------------------------------------------------------------------------
+
+def test_linear_function():
+    cfg = _cfg("""
+        def f(a):
+            x = a
+            y = x + 1
+            return y
+    """)
+    assert cfg.validate() == []
+    assert cfg.unreachable() == []
+    # entry -> body -> exit
+    assert cfg.blocks[cfg.exit].succs == set()
+
+
+def test_if_else_diamond():
+    cfg = _cfg("""
+        def f(a):
+            if a:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    assert cfg.validate() == []
+    header = next(b for b in cfg.blocks.values()
+                  if any(isinstance(s, BranchStmt) for s in b.stmts))
+    assert len(header.succs) == 2
+    join = next(b for b in cfg.blocks.values()
+                if len(b.preds) == 2 and b.id != cfg.exit)
+    assert join is not None
+
+
+def test_while_back_edge():
+    cfg = _cfg("""
+        def f(a):
+            while a:
+                a = a - 1
+            return a
+    """)
+    assert cfg.validate() == []
+    header = next(b for b in cfg.blocks.values()
+                  if any(isinstance(s, BranchStmt) for s in b.stmts))
+    # loop body loops back: the header is its own (transitive) successor
+    assert header.id in {s for b in cfg.blocks.values()
+                         if header.id in b.succs for s in [header.id]}
+    assert len(header.preds) >= 2  # entry path + back edge
+
+
+def test_break_exits_loop():
+    cfg = _cfg("""
+        def f(a):
+            while a:
+                if a > 2:
+                    break
+                a = a - 1
+            return a
+    """)
+    assert cfg.validate() == []
+    assert cfg.unreachable() == []
+
+
+def test_continue_targets_header():
+    cfg = _cfg("""
+        def f(a):
+            for i in a:
+                if i:
+                    continue
+                a = i
+            return a
+    """)
+    assert cfg.validate() == []
+
+
+def test_try_except_edges():
+    cfg = _cfg("""
+        def f(a):
+            try:
+                x = a()
+            except ValueError:
+                x = 0
+            return x
+    """)
+    assert cfg.validate() == []
+    assert cfg.unreachable() == []
+
+
+def test_code_after_return_is_reported_unreachable():
+    cfg = _cfg("""
+        def f(a):
+            return a
+            x = 1
+    """)
+    assert cfg.validate() == []
+    dead = cfg.unreachable()
+    assert dead, "statement after return must be reported unreachable"
+    dead_stmts = [s for bid in dead for s in cfg.blocks[bid].stmts]
+    assert any(isinstance(s, ast.Assign) for s in dead_stmts)  # `x = 1`
+
+
+def test_module_cfg_and_function_cfgs():
+    tree = ast.parse(textwrap.dedent("""
+        def top(a):
+            return a
+
+        class C:
+            def method(self):
+                while self:
+                    break
+                return 1
+    """))
+    cfgs = function_cfgs(tree)
+    assert set(cfgs) == {"top", "C.method"}
+    for cfg in cfgs.values():
+        assert cfg.validate() == []
+
+
+def test_every_statement_lands_in_exactly_one_block():
+    src = """
+        def f(a, b):
+            x = a
+            if b:
+                y = x
+            else:
+                y = 0
+            for i in a:
+                x = x + i
+            return y
+    """
+    cfg = _cfg(src)
+    counts = {}
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            node = stmt.node if isinstance(stmt, BranchStmt) else stmt
+            counts[id(node)] = counts.get(id(node), 0) + 1
+    assert all(n == 1 for n in counts.values())
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random structured programs stay well-formed
+# ---------------------------------------------------------------------------
+
+_MAX_DEPTH = 3
+
+
+def _indent(lines):
+    return ["    " + line for line in lines]
+
+
+def _draw_block(draw, depth, in_loop, n_min=1, n_max=3):
+    out = []
+    for _ in range(draw(st.integers(n_min, n_max))):
+        out.extend(_draw_stmt(draw, depth, in_loop))
+    return out
+
+
+def _draw_stmt(draw, depth, in_loop):
+    options = ["assign", "assign", "pass", "return", "raise"]
+    if depth < _MAX_DEPTH:
+        options += ["if", "ifelse", "while", "for", "try", "tryfinally"]
+    if in_loop:
+        options += ["break", "continue"]
+    kind = draw(st.sampled_from(options))
+    var = f"x{draw(st.integers(0, 3))}"
+    if kind == "assign":
+        return [f"{var} = a"]
+    if kind == "pass":
+        return ["pass"]
+    if kind == "return":
+        return ["return a"]
+    if kind == "raise":
+        return ["raise ValueError(a)"]
+    if kind == "break":
+        return ["break"]
+    if kind == "continue":
+        return ["continue"]
+    if kind == "if":
+        return [f"if {var}:"] + _indent(_draw_block(draw, depth + 1,
+                                                    in_loop))
+    if kind == "ifelse":
+        return ([f"if {var}:"] + _indent(_draw_block(draw, depth + 1,
+                                                     in_loop))
+                + ["else:"] + _indent(_draw_block(draw, depth + 1,
+                                                  in_loop)))
+    if kind == "while":
+        return [f"while {var}:"] + _indent(_draw_block(draw, depth + 1,
+                                                       True))
+    if kind == "for":
+        return [f"for it in {var}:"] + _indent(_draw_block(draw,
+                                                           depth + 1,
+                                                           True))
+    if kind == "try":
+        return (["try:"] + _indent(_draw_block(draw, depth + 1, in_loop))
+                + ["except Exception:"]
+                + _indent(_draw_block(draw, depth + 1, in_loop)))
+    if kind == "tryfinally":
+        return (["try:"] + _indent(_draw_block(draw, depth + 1, in_loop))
+                + ["finally:"]
+                + _indent(_draw_block(draw, depth + 1, in_loop)))
+    raise AssertionError(kind)
+
+
+@st.composite
+def function_sources(draw):
+    body = _draw_block(draw, 0, False, n_min=1, n_max=4)
+    return "def f(a, b):\n" + "\n".join(_indent(body)) + "\n"
+
+
+@settings(max_examples=80, deadline=None)
+@given(function_sources())
+def test_random_program_cfg_well_formed(src):
+    tree = ast.parse(src)  # generated programs are valid by construction
+    cfg = build_cfg(tree.body[0], "f")
+    assert cfg.validate() == []
+
+    reachable = cfg.reachable()
+    dead = set(cfg.unreachable())
+    # reachable-or-reported is total and disjoint
+    assert reachable | dead == set(cfg.blocks)
+    assert not (reachable & dead)
+
+    # the single exit is reachable (conservative loop edges guarantee
+    # a path even through `while`-only bodies)
+    assert cfg.exit in reachable
+    assert cfg.blocks[cfg.exit].succs == set()
+    assert cfg.blocks[cfg.entry].preds == set()
+
+    # rpo covers each reachable block exactly once, entry first
+    order = cfg.rpo()
+    assert sorted(order) == sorted(reachable)
+    assert order[0] == cfg.entry
+
+
+@settings(max_examples=60, deadline=None)
+@given(function_sources())
+def test_random_program_statements_partitioned(src):
+    """Live statements land in exactly one block; none are lost."""
+    tree = ast.parse(src)
+    cfg = build_cfg(tree.body[0], "f")
+    seen = {}
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            node = stmt.node if isinstance(stmt, BranchStmt) else stmt
+            seen[id(node)] = seen.get(id(node), 0) + 1
+    assert all(count == 1 for count in seen.values())

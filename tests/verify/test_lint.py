@@ -244,3 +244,184 @@ class TestRepoGate:
         report = lint_package()
         assert report.ok, "\n" + report.render_text()
         assert report.diagnostics == [], "\n" + report.render_text()
+
+
+class TestSharedParseCache:
+    def test_one_parse_per_file_across_all_rules(self, monkeypatch):
+        """Regression: the engine parses each module exactly once and
+        every rule family (patterns, taint, parallel) shares the
+        :class:`ParsedModule` cache."""
+        import ast as ast_module
+
+        from repro.verify.lint import LintEngine
+
+        real_parse = ast_module.parse
+        parsed = []
+
+        def spy(source, *args, **kwargs):
+            parsed.append(kwargs.get("filename")
+                          or (args[0] if args else "<unknown>"))
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(ast_module, "parse", spy)
+        sources = {
+            "pkg/a.py": "def f(r, out):\n    out.write(r.src_ip)\n",
+            "pkg/b.py": "_C = {}\n\ndef g(i):\n    _C[i] = 1\n\n"
+                        "def run(ex, items):\n"
+                        "    return ex.map_tasks(g, items)\n",
+            "pkg/c.py": "def h(x=[]):\n    return x\n",
+        }
+        engine = LintEngine(LintConfig(taint_exempt_scope=[]),
+                            use_baseline=False)
+        report = engine.run_sources(sources)
+        # every rule family found its finding off the shared trees...
+        assert {d.code for d in report.diagnostics} == \
+            {"REP401", "REP501", "REP301"}
+        # ...and each file was parsed exactly once
+        assert sorted(parsed) == sorted(sources)
+
+
+class TestInlineSuppressions:
+    def test_bare_ignore_suppresses_any_code(self):
+        findings = _lint(
+            "def f(x=[]):  # rep: ignore\n    return x\n")
+        assert findings == []
+
+    def test_listed_code_suppresses_only_that_code(self):
+        findings = _lint(
+            "import time\n"
+            "t = time.time()  # rep: ignore[REP304]\n")
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self):
+        findings = _lint(
+            "import time\n"
+            "t = time.time()  # rep: ignore[REP301]\n")
+        assert [d.code for d in findings] == ["REP304"]
+
+    def test_suppressed_count_lands_in_report(self):
+        from repro.verify.lint import LintEngine
+
+        engine = LintEngine(LintConfig(), use_baseline=False)
+        report = engine.run_sources({
+            "netsim/m.py": "def f(x=[]):  # rep: ignore[REP301]\n"
+                           "    return x\n"})
+        assert report.diagnostics == []
+        assert report.suppressed == 1
+
+
+class TestBaseline:
+    def _config(self, tmp_path):
+        return LintConfig(taint_exempt_scope=[], config_dir=tmp_path,
+                          baseline="baseline.json")
+
+    def test_baselined_finding_is_filtered_and_counted(self, tmp_path):
+        from repro.verify.lint import LintEngine, write_baseline
+
+        config = self._config(tmp_path)
+        source = "def f(r, out):\n    out.write(r.src_ip)\n"
+        noisy = LintEngine(config, use_baseline=False).run_sources(
+            {"m.py": source})
+        assert len(noisy.diagnostics) == 1
+        write_baseline(noisy.diagnostics, config.baseline_path())
+
+        gated = LintEngine(config).run_sources({"m.py": source})
+        assert gated.diagnostics == []
+        assert gated.baselined == 1
+        assert gated.ok
+
+    def test_new_finding_still_fails_the_gate(self, tmp_path):
+        from repro.verify.lint import LintEngine, write_baseline
+
+        config = self._config(tmp_path)
+        old = "def f(r, out):\n    out.write(r.src_ip)\n"
+        noisy = LintEngine(config, use_baseline=False).run_sources(
+            {"m.py": old})
+        write_baseline(noisy.diagnostics, config.baseline_path())
+
+        grown = old + "\ndef g(r):\n    print(r.dst_ip)\n"
+        gated = LintEngine(config).run_sources({"m.py": grown})
+        assert [d.code for d in gated.diagnostics] == ["REP401"]
+        assert gated.diagnostics[0].location.symbol == "g"
+        assert gated.baselined == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        from repro.verify.lint import LintEngine, write_baseline
+
+        config = self._config(tmp_path)
+        source = "def f(r, out):\n    out.write(r.src_ip)\n"
+        noisy = LintEngine(config, use_baseline=False).run_sources(
+            {"m.py": source})
+        write_baseline(noisy.diagnostics, config.baseline_path())
+
+        shifted = "import os\n\n\n" + source  # finding moves down 3 lines
+        gated = LintEngine(config).run_sources({"m.py": shifted})
+        assert gated.diagnostics == []
+        assert gated.baselined == 1
+
+    def test_update_baseline_preserves_justifications(self, tmp_path):
+        import json
+
+        from repro.verify.lint import (
+            LintEngine,
+            load_baseline,
+            write_baseline,
+        )
+
+        config = self._config(tmp_path)
+        source = "def f(r, out):\n    out.write(r.src_ip)\n"
+        report = LintEngine(config, use_baseline=False).run_sources(
+            {"m.py": source})
+        path = config.baseline_path()
+        write_baseline(report.diagnostics, path)
+
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["justification"].startswith("TODO")
+        payload["entries"][0]["justification"] = "raw export by design"
+        path.write_text(json.dumps(payload))
+
+        write_baseline(report.diagnostics, path,
+                       previous=load_baseline(path))
+        assert json.loads(path.read_text())["entries"][0][
+            "justification"] == "raw export by design"
+
+
+class TestJsonDiagnostics:
+    def test_schema_and_flow_trace_round_trip(self):
+        import json
+
+        from repro.verify.lint import LintEngine
+
+        engine = LintEngine(LintConfig(taint_exempt_scope=[]),
+                            use_baseline=False)
+        report = engine.run_sources(
+            {"m.py": "def f(r, out):\n    out.write(r.src_ip)\n"})
+        payload = json.loads(report.render_json())
+        assert payload["schema"] == "repro.diagnostics/v1"
+        assert payload["ok"] is False
+        assert set(payload["counts"]) == {"error", "warning", "info"}
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["code"] == "REP401"
+        assert diagnostic["severity"] == "error"
+        assert diagnostic["location"] == {"file": "m.py", "line": 2,
+                                          "symbol": "f"}
+        trace = diagnostic["trace"]
+        assert len(trace) >= 2
+        assert {"file", "line", "note"} <= set(trace[0])
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_entries_are_justified(self):
+        """Every committed exemption carries a real justification."""
+        import json
+
+        import repro
+
+        repo_root = Path(repro.__file__).resolve().parents[2]
+        baseline = repo_root / "lint-baseline.json"
+        assert baseline.is_file()
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        for entry in payload["entries"]:
+            assert entry["justification"]
+            assert not entry["justification"].startswith("TODO")

@@ -1,0 +1,212 @@
+"""REP5xx parallel-safety: shipped functions vs module-level state."""
+
+import ast
+import textwrap
+
+from repro.verify.lint import lint_source
+from repro.verify.parallel_rules import ParallelSafetyAnalysis
+from repro.verify.taint import ProjectIndex
+
+
+def _findings(sources):
+    modules = {rel: ast.parse(textwrap.dedent(text))
+               for rel, text in sources.items()}
+    analysis = ParallelSafetyAnalysis(modules, ProjectIndex(modules))
+    return analysis.run()
+
+
+# ---------------------------------------------------------------------------
+# REP501: module-level mutable state mutated in a shipped function
+# ---------------------------------------------------------------------------
+
+def test_shipped_function_mutating_global_is_flagged():
+    findings = _findings({"m.py": """
+        _CACHE = {}
+
+        def work(item):
+            _CACHE[item] = 1
+            return item
+
+        def run(executor, items):
+            return executor.map_tasks(work, items)
+    """})
+    assert [d.code for d in findings] == ["REP501"]
+    finding = findings[0]
+    assert "_CACHE" in finding.message
+    assert finding.location.symbol == "run"
+    notes = [step.note for step in finding.trace]
+    assert any("shipped to workers" in note for note in notes)
+
+
+def test_transitive_global_mutation_is_found_across_modules():
+    findings = _findings({
+        "util.py": """
+            _SEEN = []
+
+            def record(item):
+                _SEEN.append(item)
+        """,
+        "tasks.py": """
+            from repro.util import record
+
+            def work(item):
+                record(item)
+                return item
+
+            def run(executor, items):
+                return executor.submit(work, items)
+        """,
+    })
+    assert [d.code for d in findings] == ["REP501"]
+    notes = [step.note for step in findings[0].trace]
+    assert any("record" in note for note in notes)
+
+
+def test_local_mutation_is_fine():
+    findings = _findings({"m.py": """
+        def work(item):
+            cache = {}
+            cache[item] = 1
+            return cache
+
+        def run(executor, items):
+            return executor.map_tasks(work, items)
+    """})
+    assert findings == []
+
+
+def test_global_rebind_is_flagged():
+    findings = _findings({"m.py": """
+        _TOTAL = 0
+
+        def work(item):
+            global _TOTAL
+            _TOTAL += item
+            return item
+
+        def run(executor, items):
+            return executor.submit(work, items)
+    """})
+    assert [d.code for d in findings] == ["REP501"]
+
+
+# ---------------------------------------------------------------------------
+# REP502: nested functions cannot be pickled to workers
+# ---------------------------------------------------------------------------
+
+def test_nested_function_shipped_is_flagged():
+    findings = _findings({"m.py": """
+        def run(executor, items, scale):
+            def work(item):
+                return item * scale
+            return executor.map_tasks(work, items)
+    """})
+    assert [d.code for d in findings] == ["REP502"]
+    assert "nested" in findings[0].message
+
+
+def test_module_level_function_is_not_a_closure():
+    findings = _findings({"m.py": """
+        def work(item):
+            return item + 1
+
+        def run(executor, items):
+            return executor.map_tasks(work, items)
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# REP503: import-scope RNG / lock objects across workers
+# ---------------------------------------------------------------------------
+
+def test_import_scope_lock_use_is_flagged():
+    findings = _findings({"m.py": """
+        import threading
+
+        _LOCK = threading.Lock()
+
+        def work(item):
+            with _LOCK:
+                return item
+
+        def run(executor, items):
+            return executor.submit(work, items)
+    """})
+    assert [d.code for d in findings] == ["REP503"]
+    assert "_LOCK" in findings[0].message
+
+
+def test_import_scope_rng_use_is_flagged():
+    findings = _findings({"m.py": """
+        import random
+
+        _RNG = random.Random(0)
+
+        def work(item):
+            return _RNG.random() + item
+
+        def run(executor, items):
+            return executor.map_tasks(work, items)
+    """})
+    assert [d.code for d in findings] == ["REP503"]
+
+
+# ---------------------------------------------------------------------------
+# ship-site shapes
+# ---------------------------------------------------------------------------
+
+def test_taskgraph_add_is_a_ship_site():
+    findings = _findings({"m.py": """
+        _STATE = {}
+
+        def work(item):
+            _STATE[item] = True
+
+        def build(graph, items):
+            graph.add("stage", work, items)
+    """})
+    assert [d.code for d in findings] == ["REP501"]
+
+
+def test_set_add_is_not_a_ship_site():
+    findings = _findings({"m.py": """
+        _STATE = {}
+
+        def work(item):
+            _STATE[item] = True
+
+        def build(seen):
+            seen.add(work(1))
+    """})
+    assert findings == []
+
+
+def test_partial_wrapping_is_unwrapped():
+    findings = _findings({"m.py": """
+        from functools import partial
+
+        _STATE = []
+
+        def work(scale, item):
+            _STATE.append(item)
+            return item * scale
+
+        def run(executor, items):
+            return executor.map_tasks(partial(work, 2), items)
+    """})
+    assert [d.code for d in findings] == ["REP501"]
+
+
+def test_rep501_suppression_via_lint_engine():
+    source = textwrap.dedent("""
+        _CACHE = {}
+
+        def work(item):
+            _CACHE[item] = 1
+            return item
+
+        def run(executor, items):
+            return executor.map_tasks(work, items)  # rep: ignore[REP501]
+    """)
+    assert lint_source(source, "parallel/m.py") == []

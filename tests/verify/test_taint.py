@@ -1,0 +1,232 @@
+"""REP4xx privacy taint: sources, sinks, sanitizers, summaries.
+
+The acceptance fixture: a seeded raw-IP-to-export leak is flagged with
+a full source->sink flow trace, and the *same* flow routed through the
+repro.privacy Crypto-PAn sanitizer is not.
+"""
+
+import ast
+import textwrap
+
+from repro.verify.lint import LintConfig, lint_source
+from repro.verify.taint import (
+    ProjectIndex,
+    TaintAnalysis,
+    TaintRules,
+    dotted_name,
+)
+
+
+def _taint_findings(sources, rules=None, package="repro"):
+    modules = {rel: ast.parse(textwrap.dedent(text))
+               for rel, text in sources.items()}
+    analysis = TaintAnalysis(modules, rules or TaintRules(),
+                             ProjectIndex(modules, package=package))
+    return analysis.run()
+
+
+# ---------------------------------------------------------------------------
+# the seeded leak fixture (acceptance criteria)
+# ---------------------------------------------------------------------------
+
+_LEAK = """
+    def export_flows(records, out):
+        for record in records:
+            line = record.src_ip
+            out.write(line)
+"""
+
+_SANITIZED = """
+    def export_flows(records, out, cryptopan):
+        for record in records:
+            line = cryptopan.anonymize(record.src_ip)
+            out.write(line)
+"""
+
+
+def test_raw_ip_to_export_is_flagged_with_full_trace():
+    findings = _taint_findings({"exporter.py": _LEAK})
+    assert [d.code for d in findings] == ["REP401"]
+    finding = findings[0]
+    assert finding.location.file == "exporter.py"
+    assert finding.location.symbol == "export_flows"
+    assert "src_ip" in finding.message
+    assert "out.write" in finding.message
+    # the flow trace walks source -> sink
+    notes = [step.note for step in finding.trace]
+    assert any("src_ip" in note for note in notes)
+    assert any("sink" in note for note in notes)
+    assert finding.trace[0].line < finding.trace[-1].line or \
+        len(finding.trace) >= 2
+
+
+def test_same_flow_through_cryptopan_is_not_flagged():
+    findings = _taint_findings({"exporter.py": _SANITIZED})
+    assert findings == []
+
+
+def test_payload_to_print_is_flagged():
+    findings = _taint_findings({"m.py": """
+        def dump(packet):
+            print(packet.payload)
+    """})
+    assert [d.code for d in findings] == ["REP401"]
+
+
+def test_comparison_declassifies():
+    findings = _taint_findings({"m.py": """
+        def is_internal(record):
+            flag = record.src_ip == "10.0.0.1"
+            print(flag)
+            return flag
+    """})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# inter-procedural summaries
+# ---------------------------------------------------------------------------
+
+def test_taint_through_helper_return():
+    findings = _taint_findings({"m.py": """
+        def pick(record):
+            return record.src_ip
+
+        def export(records, out):
+            for record in records:
+                out.write(pick(record))
+    """})
+    codes = [d.code for d in findings]
+    assert "REP401" in codes
+    flagged = next(d for d in findings if d.code == "REP401")
+    assert flagged.location.symbol == "export"
+    assert any("pick" in step.note for step in flagged.trace)
+
+
+def test_taint_into_helper_sink_cross_module():
+    findings = _taint_findings({
+        "util/io.py": """
+            def emit(value):
+                print(value)
+        """,
+        "pipeline.py": """
+            from repro.util.io import emit
+
+            def run(record):
+                emit(record.dst_ip)
+        """,
+    })
+    codes = {d.code for d in findings}
+    assert "REP402" in codes
+    flagged = next(d for d in findings if d.code == "REP402")
+    assert flagged.location.file == "pipeline.py"
+
+
+def test_sanitizer_in_helper_clears_taint():
+    findings = _taint_findings({"m.py": """
+        def scrub_ip(pan, value):
+            return pan.anonymize(value)
+
+        def export(pan, record, out):
+            out.write(scrub_ip(pan, record.src_ip))
+    """})
+    assert findings == []
+
+
+def test_escaping_function_reference_carries_taint():
+    findings = _taint_findings({"m.py": """
+        def build(records, group_by):
+            def key(record):
+                return record.src_ip
+            return group_by(key, records)
+
+        def run(records, group_by):
+            print(build(records, group_by))
+    """})
+    codes = [d.code for d in findings]
+    assert "REP401" in codes
+
+
+# ---------------------------------------------------------------------------
+# container flows + configuration
+# ---------------------------------------------------------------------------
+
+def test_container_append_taints_receiver():
+    findings = _taint_findings({"m.py": """
+        def collect(records):
+            acc = []
+            for record in records:
+                acc.append(record.src_ip)
+            print(acc)
+    """})
+    assert [d.code for d in findings] == ["REP401"]
+
+
+def test_custom_source_and_sink_patterns():
+    rules = TaintRules(source_fields={"user_token"},
+                       sinks=["telemetry.push"],
+                       sanitizers=["redact"])
+    findings = _taint_findings({"m.py": """
+        import telemetry
+
+        def leak(session):
+            telemetry.push(session.user_token)
+
+        def safe(session):
+            telemetry.push(redact(session.user_token))
+    """}, rules=rules)
+    assert [d.code for d in findings] == ["REP401"]
+    assert findings[0].location.symbol == "leak"
+
+
+def test_exempt_scope_skips_privacy_layer():
+    modules = {
+        "privacy/pan.py": "def show(r):\n    print(r.src_ip)\n",
+        "capture/tap.py": "def show(r):\n    print(r.src_ip)\n",
+    }
+    parsed = {rel: ast.parse(text) for rel, text in modules.items()}
+    analysis = TaintAnalysis(parsed, TaintRules(), ProjectIndex(parsed),
+                             exempt_scope=["privacy"])
+    findings = analysis.run()
+    assert [d.location.file for d in findings] == ["capture/tap.py"]
+
+
+def test_dotted_name():
+    expr = ast.parse("a.b.c", mode="eval").body
+    assert dotted_name(expr) == "a.b.c"
+    call = ast.parse("f(x).y", mode="eval").body
+    assert dotted_name(call) is None
+
+
+# ---------------------------------------------------------------------------
+# integration with the lint engine (suppressions + config)
+# ---------------------------------------------------------------------------
+
+def test_inline_suppression_silences_taint_finding():
+    source = textwrap.dedent("""
+        def export(record, out):
+            out.write(record.src_ip)  # rep: ignore[REP401]
+    """)
+    assert lint_source(source, "capture/export.py") == []
+
+
+def test_inline_suppression_is_code_specific():
+    source = textwrap.dedent("""
+        def export(record, out):
+            out.write(record.src_ip)  # rep: ignore[REP305]
+    """)
+    findings = lint_source(source, "capture/export.py")
+    assert [d.code for d in findings] == ["REP401"]
+
+
+def test_lint_config_overrides_taint_patterns():
+    config = LintConfig(taint_source_fields=["secret_key"],
+                        taint_exempt_scope=[])
+    source = textwrap.dedent("""
+        def export(record, out):
+            out.write(record.src_ip)
+            out.write(record.secret_key)
+    """)
+    findings = lint_source(source, "m.py", config=config)
+    assert [d.code for d in findings] == ["REP401"]
+    assert "secret_key" in findings[0].message
