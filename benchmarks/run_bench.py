@@ -48,6 +48,7 @@ SUITES = (
     Path(__file__).resolve().parent / "test_perf_substrate.py",
     Path(__file__).resolve().parent / "test_perf_parallel.py",
     Path(__file__).resolve().parent / "test_perf_obs.py",
+    Path(__file__).resolve().parent / "test_perf_planner.py",
 )
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 

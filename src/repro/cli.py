@@ -10,6 +10,10 @@ script:
   labels) and train/evaluate a registry model.
 * ``repro develop`` — run the full development loop on an exported
   store and emit the deployable artifacts (P4 source + rule list).
+* ``repro query`` — run a planned query against an exported store:
+  exact record fetches, sketch-backed approximate aggregates
+  (``--count``/``--distinct``/``--top`` with ``--approx``), and the
+  planner's EXPLAIN tree (``--explain``).
 * ``repro verify`` — static verification of a compiled tool
   (``REPxxx`` diagnostics) or the repo-wide AST lint (``--lint``).
 * ``repro chaos`` — run a scenario under a named fault plan and print
@@ -84,6 +88,42 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="summarize an exported store")
     inspect.add_argument("--store", required=True)
+
+    query = sub.add_parser(
+        "query",
+        help="run a planned query (or EXPLAIN it) on an exported store")
+    query.add_argument("--store", required=True)
+    query.add_argument("--collection", default="packets")
+    query.add_argument("--where", action="append", default=[],
+                       metavar="FIELD=VALUE",
+                       help="exact-match filter, repeatable; integer "
+                            "and float values are auto-coerced")
+    query.add_argument("--since", type=float, default=None,
+                       help="inclusive lower time bound (seconds)")
+    query.add_argument("--until", type=float, default=None,
+                       help="inclusive upper time bound (seconds)")
+    query.add_argument("--limit", type=int, default=10,
+                       help="max records printed (record mode)")
+    query.add_argument("--count", action="store_true",
+                       help="COUNT(*) of matches instead of records")
+    query.add_argument("--distinct", default=None, metavar="FIELD",
+                       help="count distinct values of FIELD")
+    query.add_argument("--top", default=None, metavar="FIELD",
+                       help="heavy hitters of FIELD")
+    query.add_argument("--k", type=int, default=8,
+                       help="how many heavy hitters (with --top)")
+    query.add_argument("--approx", type=float, default=None,
+                       metavar="REL",
+                       help="let aggregates answer from sketches when "
+                            "the error bound fits this relative budget "
+                            "(e.g. 0.01); exact without it")
+    query.add_argument("--no-stats", action="store_true",
+                       help="skip building per-segment planner stats "
+                            "(disables stats pruning and sketches)")
+    query.add_argument("--explain", action="store_true",
+                       help="print the plan without executing it")
+    query.add_argument("--json", action="store_true",
+                       help="emit results as JSON")
 
     train = sub.add_parser("train", help="train a model on a store")
     train.add_argument("--store", required=True)
@@ -297,6 +337,114 @@ def _dataset_from_store(store_dir: str, window_s: float, workers: int = 0,
         return dataset
 
 
+def _parse_where(items: List[str]) -> dict:
+    """``FIELD=VALUE`` pairs -> a Query.where dict, coercing numbers."""
+    where = {}
+    for item in items:
+        fld, sep, raw = item.partition("=")
+        if not sep or not fld:
+            raise ValueError(item)
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        where[fld] = value
+    return where
+
+
+def _emit_answer(mode: str, answer, as_json: bool) -> None:
+    """Render an AggregateAnswer (plus its plan's prune summary)."""
+    plan = answer.plan
+    if as_json:
+        print(json.dumps({
+            "mode": mode, "value": answer.value, "bound": answer.bound,
+            "source": answer.source, "segments_scanned": plan.scanned,
+            "segments_pruned": plan.pruned,
+        }, indent=2, default=str))
+        return
+    if mode == "top":
+        for value, count in answer.value:
+            print(f"{count:>10d}  {value}")
+        print(f"(source: {answer.source}, bound ±{answer.bound})")
+    else:
+        print(f"{mode}: {answer.value} ±{answer.bound} "
+              f"(source: {answer.source})")
+    pruned = sum(plan.pruned.values())
+    print(f"segments: {plan.scanned} scanned, {pruned} pruned")
+
+
+def cmd_query(args) -> int:
+    """Planned query against an exported store.
+
+    ``--explain`` prints the plan without executing.  Exit code 0 on a
+    rendered answer, 2 on malformed arguments.
+    """
+    from repro.datastore import Query, import_store, within
+
+    try:
+        where = _parse_where(args.where)
+    except ValueError as exc:
+        print(f"query: malformed --where {exc.args[0]!r} "
+              f"(want FIELD=VALUE)", file=sys.stderr)
+        return 2
+    modes = [m for m, on in [("count", args.count),
+                             ("distinct", args.distinct),
+                             ("top", args.top)] if on]
+    if len(modes) > 1:
+        print("query: --count, --distinct and --top are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    mode = modes[0] if modes else "records"
+
+    time_range = None
+    if args.since is not None or args.until is not None:
+        time_range = (args.since, args.until)
+    query = Query(
+        collection=args.collection, time_range=time_range, where=where,
+        limit=args.limit if mode == "records" else None,
+        approx=within(args.approx) if args.approx is not None else None)
+
+    store = import_store(args.store)
+    if not args.no_stats:
+        store.build_stats()
+
+    if args.explain:
+        print(store.explain(query))
+        return 0
+    if mode == "count":
+        _emit_answer("count", store.count_matching(query), args.json)
+    elif mode == "distinct":
+        _emit_answer("distinct", store.distinct_count(query, args.distinct),
+                     args.json)
+    elif mode == "top":
+        _emit_answer("top", store.heavy_hitters(query, args.top, k=args.k),
+                     args.json)
+    else:
+        import dataclasses
+
+        from repro.datastore.schema import SCHEMAS
+
+        time_of = SCHEMAS[args.collection].time_of
+        records = store.query(query)
+        if args.json:
+            print(json.dumps(
+                [{"rid": s.rid, "time": time_of(s.record),
+                  "tags": s.tags, "label": s.label,
+                  "record": dataclasses.asdict(s.record)}
+                 for s in records],
+                indent=2, default=str))
+        else:
+            for stored in records:
+                print(f"rid={stored.rid} t={time_of(stored.record):.3f} "
+                      f"{stored.record}")
+            print(f"({len(records)} record(s))")
+    return 0
+
+
 def cmd_train(args) -> int:
     """Featurize an exported store and train/evaluate a model."""
     from repro.learning import train_and_evaluate, train_test_split
@@ -500,6 +648,7 @@ def cmd_scenarios(args) -> int:
 _COMMANDS = {
     "run-day": cmd_run_day,
     "inspect": cmd_inspect,
+    "query": cmd_query,
     "train": cmd_train,
     "develop": cmd_develop,
     "verify": cmd_verify,

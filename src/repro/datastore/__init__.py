@@ -12,6 +12,10 @@ data."  This subpackage implements that platform:
 * :mod:`repro.datastore.index` — time, hash, and inverted tag indexes.
 * :mod:`repro.datastore.query` — the query engine (index-accelerated
   filters, aggregation).
+* :mod:`repro.datastore.planner` — cost-based query planning over a
+  shared QueryPlan IR, with sketch-backed approximate aggregates.
+* :mod:`repro.datastore.stats` — per-segment column statistics (the
+  cost model's input).
 * :mod:`repro.datastore.labels` — ground-truth labeling jobs.
 * :mod:`repro.datastore.linking` — cross-source record linking
   (packets <-> flows <-> logs), the "linked and indexed" property.
@@ -20,6 +24,8 @@ data."  This subpackage implements that platform:
 
 from repro.datastore.store import DataStore, StoredRecord
 from repro.datastore.query import Query, Aggregation
+from repro.datastore.planner import AggregateAnswer, ErrorBudget, \
+    QueryPlan, within
 from repro.datastore.labels import Labeler, LabelSummary
 from repro.datastore.linking import LinkedView, RecordLinker
 from repro.datastore.retention import RetentionPolicy, RetentionReport
@@ -34,6 +40,10 @@ __all__ = [
     "StoredRecord",
     "Query",
     "Aggregation",
+    "AggregateAnswer",
+    "ErrorBudget",
+    "QueryPlan",
+    "within",
     "Labeler",
     "LabelSummary",
     "LinkedView",

@@ -45,6 +45,12 @@ class Query:
         Maximum records returned (applied after time ordering).
     order_by_time:
         Sort results by the collection's time field.
+    approx:
+        Optional :class:`~repro.datastore.planner.ErrorBudget` (see
+        :func:`~repro.datastore.planner.within`): lets sketch-
+        answerable aggregates short-circuit to the per-segment stats
+        when the composed error bound fits; record-returning queries
+        ignore it (they are always exact).
     """
 
     collection: str
@@ -54,6 +60,7 @@ class Query:
     predicate: Optional[Callable] = None
     limit: Optional[int] = None
     order_by_time: bool = True
+    approx: Optional[object] = None
 
 
 @dataclass
@@ -122,14 +129,24 @@ def _matches(stored, segment, query: Query) -> bool:
     return True
 
 
-def _columnar_scan(segment, cols, query: Query) -> List[Tuple[float, object]]:
+def _columnar_scan(segment, cols, query: Query, where_items=None,
+                   gather: bool = False) -> List[Tuple[float, object]]:
     """Vectorized per-segment scan; returns (time, stored) pairs.
 
     Pairs are time-ordered when the query asks for time ordering,
     position-ordered otherwise — exactly matching the record path.
+
+    ``where_items`` lets the planner substitute a selectivity-ordered
+    predicate sequence (same set as ``query.where``; AND-masks
+    commute, so the selected rows are identical in any order).  With
+    ``gather`` the predicates after the first evaluate only at the
+    survivors of the running mask — fancy-indexed gathers instead of
+    whole-column comparisons — which is how a selective leading
+    predicate makes the rest nearly free.
     """
+    items = list(query.where.items()) if where_items is None else where_items
     # Zone maps: rule the whole segment out before touching any column.
-    for fld, value in query.where.items():
+    for fld, value in items:
         if not cols.zone_admits(fld, value):
             return []
 
@@ -150,17 +167,35 @@ def _columnar_scan(segment, cols, query: Query) -> List[Tuple[float, object]]:
                 mask &= ts <= end
 
     residual = False
-    for fld, value in query.where.items():
-        field_mask = cols.equals_mask(fld, value, lo, hi)
-        if field_mask is None:
-            residual = True      # payload/unknown field: check per record
-            continue
-        mask = field_mask if mask is None else (mask & field_mask)
-
-    if mask is None:
-        positions = np.arange(lo, hi)
+    positions: Optional[np.ndarray] = None
+    if gather:
+        for fld, value in items:
+            if positions is None:
+                field_mask = cols.equals_mask(fld, value, lo, hi)
+                if field_mask is None:
+                    residual = True  # unknown field: check per record
+                    continue
+                mask = field_mask if mask is None else (mask & field_mask)
+                positions = np.flatnonzero(mask) + lo
+            elif len(positions):
+                hits = cols.equals_at(fld, value, positions)
+                if hits is None:
+                    residual = True
+                    continue
+                positions = positions[hits]
     else:
-        positions = np.flatnonzero(mask) + lo
+        for fld, value in items:
+            field_mask = cols.equals_mask(fld, value, lo, hi)
+            if field_mask is None:
+                residual = True      # payload/unknown field: per record
+                continue
+            mask = field_mask if mask is None else (mask & field_mask)
+
+    if positions is None:
+        if mask is None:
+            positions = np.arange(lo, hi)
+        else:
+            positions = np.flatnonzero(mask) + lo
     if len(positions) == 0:
         return []
 
@@ -180,7 +215,8 @@ def _columnar_scan(segment, cols, query: Query) -> List[Tuple[float, object]]:
                     map(records.__getitem__, positions.tolist())))
 
 
-def columnar_positions(cols, time_range, where) -> Optional[np.ndarray]:
+def columnar_positions(cols, time_range, where, where_items=None,
+                       gather: bool = False) -> Optional[np.ndarray]:
     """Purely vectorized row selection over one column block.
 
     The worker-side half of the parallel scan: zone maps, time slice,
@@ -188,8 +224,14 @@ def columnar_positions(cols, time_range, where) -> Optional[np.ndarray]:
     Returns ascending positions, or ``None`` when some ``where`` field
     cannot be evaluated vectorized (caller must fall back to the serial
     path, which handles residual fields per record).
+
+    ``where_items``/``gather`` carry the planner's per-segment
+    predicate order and gather choice into the worker (same semantics
+    as :func:`_columnar_scan`, minus the residual path — workers have
+    no records to fall back to).
     """
-    for fld, value in where.items():
+    items = list(where.items()) if where_items is None else where_items
+    for fld, value in items:
         if not cols.zone_admits(fld, value):
             return np.zeros(0, dtype=np.int64)
 
@@ -209,11 +251,28 @@ def columnar_positions(cols, time_range, where) -> Optional[np.ndarray]:
             if end is not None:
                 mask &= ts <= end
 
-    for fld, value in where.items():
-        field_mask = cols.equals_mask(fld, value, lo, hi)
-        if field_mask is None:
-            return None
-        mask = field_mask if mask is None else (mask & field_mask)
+    if gather:
+        positions: Optional[np.ndarray] = None
+        for fld, value in items:
+            if positions is None:
+                field_mask = cols.equals_mask(fld, value, lo, hi)
+                if field_mask is None:
+                    return None
+                mask = field_mask if mask is None else (mask & field_mask)
+                positions = (np.flatnonzero(mask) + lo).astype(np.int64)
+            elif len(positions):
+                hits = cols.equals_at(fld, value, positions)
+                if hits is None:
+                    return None
+                positions = positions[hits]
+        if positions is not None:
+            return positions
+    else:
+        for fld, value in items:
+            field_mask = cols.equals_mask(fld, value, lo, hi)
+            if field_mask is None:
+                return None
+            mask = field_mask if mask is None else (mask & field_mask)
 
     if mask is None:
         return np.arange(lo, hi, dtype=np.int64)
@@ -273,38 +332,16 @@ def _observe_query(obs, started: float, rows: int, columnar: bool) -> None:
 
 
 def execute_query(store, query: Query, obs=None) -> List:
-    """Run ``query`` against ``store`` (accelerated, time-ordered)."""
-    if obs is not None:
-        started = obs.clock.now()
-    runs: List[Tuple[List[Tuple[float, object]], bool, bool]] = []
-    columnar = True
-    for segment in store.segments(query.collection):
-        scanned = _scan_segment(segment, query)
-        if scanned is not None:
-            columnar = columnar and scanned[2]
-            if scanned[0]:
-                runs.append(scanned)
+    """Run ``query`` against ``store`` (accelerated, time-ordered).
 
-    if not runs:
-        if obs is not None:
-            _observe_query(obs, started, 0, columnar)
-        return []
-    if len(runs) == 1:
-        # Single contributing segment: skip the global re-sort when its
-        # scan already came out time-ordered.
-        results = runs[0][0]
-        if query.order_by_time and not runs[0][1]:
-            results.sort(key=_TIME_KEY)
-    else:
-        results = [pair for pairs, _, _ in runs for pair in pairs]
-        if query.order_by_time:
-            results.sort(key=_TIME_KEY)
-    records = [stored for _, stored in results]
-    if query.limit is not None:
-        records = records[: query.limit]
-    if obs is not None:
-        _observe_query(obs, started, len(records), columnar)
-    return records
+    Plans first — stats pruning, selectivity-ordered predicates,
+    gather decisions — then executes the plan; see
+    :mod:`repro.datastore.planner`.  A store without stats plans into
+    exactly the pre-planner scan, so this stays bit-identical to
+    :func:`execute_query_linear` either way.
+    """
+    from repro.datastore.planner import execute_plan, plan_query
+    return execute_plan(store, plan_query(store, query), obs=obs)
 
 
 def execute_query_linear(store, query: Query) -> List:
@@ -332,24 +369,6 @@ _RID_KEY = itemgetter(1)
 _TIME_RID_KEY = itemgetter(0, 1)
 
 
-def _parallel_triples(store, query: Query, executor) \
-        -> Optional[List[Tuple[float, int, object]]]:
-    """Scatter per-segment scans to workers; None when ineligible."""
-    from repro.parallel.kernels import scatter_query
-    scattered = scatter_query(store.segments(query.collection), query,
-                              executor)
-    if scattered is None:
-        return None
-    triples: List[Tuple[float, int, object]] = []
-    for segment, positions in scattered:
-        records = segment.records
-        ts = segment.columns().timestamp
-        for p in positions.tolist():
-            stored = records[p]
-            triples.append((float(ts[p]), stored.rid, stored))
-    return triples
-
-
 def execute_query_sharded(store, query: Query, executor=None,
                           obs=None) -> List:
     """Run ``query`` across every shard with a deterministic merge.
@@ -360,29 +379,14 @@ def execute_query_sharded(store, query: Query, executor=None,
     assigns rids in batch input order, this reconstructs exactly the
     order an unsharded store would return: the results are bit-identical
     to :func:`execute_query` on a serial store fed the same batches.
+
+    Planning happens first (see :mod:`repro.datastore.planner`): on a
+    sharded store, a fully keyed flow query prunes whole shards before
+    the scatter using the router's exact window enumeration.
     """
-    if obs is not None:
-        started = obs.clock.now()
-    columnar = True
-    triples: Optional[List[Tuple[float, int, object]]] = None
-    if executor is not None and executor.parallel:
-        triples = _parallel_triples(store, query, executor)
-    if triples is None:
-        triples = []
-        for segment in store.segments(query.collection):
-            scanned = _scan_segment(segment, query)
-            if scanned is None:
-                continue
-            columnar = columnar and scanned[2]
-            triples.extend((t, stored.rid, stored)
-                           for t, stored in scanned[0])
-    triples.sort(key=_TIME_RID_KEY if query.order_by_time else _RID_KEY)
-    records = [stored for _, _, stored in triples]
-    if query.limit is not None:
-        records = records[: query.limit]
-    if obs is not None:
-        _observe_query(obs, started, len(records), columnar)
-    return records
+    from repro.datastore.planner import execute_plan_sharded, plan_query
+    return execute_plan_sharded(store, plan_query(store, query),
+                                executor=executor, obs=obs)
 
 
 _REDUCERS = {

@@ -46,6 +46,8 @@ class Segment:
         self._tag_indexed_upto = 0
         self._columns: Optional[PacketColumns] = None
         self._columns_len = -1
+        self._stats = None
+        self._stats_rows = -1
 
     @property
     def full(self) -> bool:
@@ -81,9 +83,11 @@ class Segment:
         times = list(map(attrgetter(self.schema.time_field), records))
         self.time_index.add_batch(times, range(start, start + len(batch)))
 
-    def seal(self) -> None:
+    def seal(self, build_stats: bool = False) -> None:
         self.sealed = True
         self.time_index.seal()
+        if build_stats:
+            self.build_stats()
 
     # -- lazy acceleration structures --------------------------------------
 
@@ -128,6 +132,34 @@ class Segment:
         self._tag_indexed_upto = 0
         self._columns = None
         self._columns_len = -1
+        self._stats = None
+        self._stats_rows = -1
+
+    # -- planner statistics --------------------------------------------------
+
+    def build_stats(self):
+        """Build (or rebuild) the planner's per-column stats block.
+
+        Called at seal time when the owning store opted in
+        (``stats_on_seal``), by :meth:`DataStore.build_stats`, and by
+        anything that wants cost-based planning over this segment.
+        """
+        from repro.datastore.stats import SegmentStats
+
+        self._stats = SegmentStats.build(self)
+        self._stats_rows = len(self.records)
+        return self._stats
+
+    def stats(self):
+        """The stats block, or None when never built / gone stale.
+
+        Staleness is by row count, exactly like the cached column
+        block: the planner silently falls back to heuristic costs for
+        a growing segment rather than trusting a snapshot of it.
+        """
+        if self._stats is not None and self._stats_rows == len(self.records):
+            return self._stats
+        return None
 
     def adopt_columns(self, columns: PacketColumns) -> bool:
         """Install a pre-built column block instead of rebuilding it.

@@ -68,13 +68,20 @@ class DataStore:
         by the inverted index.  Pass ``None`` to store raw packets only.
     segment_capacity:
         Records per segment before sealing.
+    stats_on_seal:
+        Build the planner's per-column stats block whenever a segment
+        seals.  Off by default — stats cost one distinct-value pass
+        per column, which pure-ingest workloads should not pay; turn
+        it on (or call :meth:`build_stats`) when the workload queries
+        what it stores.
     """
 
     def __init__(self, metadata_extractor: Optional[MetadataExtractor] = None,
                  segment_capacity: int = 50_000, fault_injector=None,
-                 clock=None, obs=None):
+                 clock=None, obs=None, stats_on_seal: bool = False):
         self.metadata_extractor = metadata_extractor
         self.segment_capacity = segment_capacity
+        self.stats_on_seal = stats_on_seal
         self.fault_injector = fault_injector
         self.clock = clock or VirtualClock()
         self.transient_errors = 0
@@ -148,7 +155,7 @@ class DataStore:
         if segments and not segments[-1].sealed and not segments[-1].full:
             return segments[-1]
         if segments and not segments[-1].sealed:
-            segments[-1].seal()
+            segments[-1].seal(build_stats=self.stats_on_seal)
         segment = Segment(schemas.SCHEMAS[collection],
                           next(self._segment_ids),
                           capacity=self.segment_capacity)
@@ -267,6 +274,50 @@ class DataStore:
     def count(self, collection: str) -> int:
         return sum(len(s) for s in self._segments[collection])
 
+    # -- planning ------------------------------------------------------------
+
+    def build_stats(self, collection: Optional[str] = None) -> int:
+        """Build planner stats for every segment missing a fresh block
+        (all collections — and, on a sharded store, all shards — when
+        ``collection`` is None).  Returns how many were built."""
+        names = [collection] if collection is not None else \
+            list(self._segments)
+        built = 0
+        for name in names:
+            for segment in self.segments(name):
+                if segment.stats() is None:
+                    segment.build_stats()
+                    built += 1
+        return built
+
+    def plan(self, query: Query):
+        """The :class:`~repro.datastore.planner.QueryPlan` this store
+        would execute for ``query`` (a snapshot: plan and execute
+        before ingesting more)."""
+        from repro.datastore.planner import plan_query
+        return plan_query(self, query)
+
+    def explain(self, query: Query) -> str:
+        """EXPLAIN text for ``query`` without executing it."""
+        return self.plan(query).explain()
+
+    def count_matching(self, query: Query):
+        """``COUNT(*)`` of the query's matches as an
+        :class:`~repro.datastore.planner.AggregateAnswer`;
+        sketch-backed when ``query.approx`` allows."""
+        from repro.datastore.planner import execute_count
+        return execute_count(self, query, obs=self.obs)
+
+    def distinct_count(self, query: Query, fld: str):
+        """Distinct values of ``fld`` among the query's matches."""
+        from repro.datastore.planner import execute_distinct
+        return execute_distinct(self, query, fld, obs=self.obs)
+
+    def heavy_hitters(self, query: Query, fld: str, k: int = 8):
+        """Top-``k`` ``(value, count)`` pairs of ``fld``."""
+        from repro.datastore.planner import execute_heavy_hitters
+        return execute_heavy_hitters(self, query, fld, k=k, obs=self.obs)
+
     # -- stats ---------------------------------------------------------------
 
     def bytes_estimate(self, collection: Optional[str] = None) -> int:
@@ -371,19 +422,21 @@ class ShardedDataStore(DataStore):
                  metadata_extractor: Optional[MetadataExtractor] = None,
                  segment_capacity: int = 50_000, fault_injector=None,
                  clock=None, window_s: float = 5.0, executor=None,
-                 obs=None):
+                 obs=None, stats_on_seal: bool = False):
         # obs binding is deferred to the end of __init__: the overridden
         # bind_obs needs the router for the per-shard gauges.
         super().__init__(metadata_extractor=metadata_extractor,
                          segment_capacity=segment_capacity,
-                         fault_injector=fault_injector, clock=clock)
+                         fault_injector=fault_injector, clock=clock,
+                         stats_on_seal=stats_on_seal)
         self.router = ShardRouter(n_shards, window_s=window_s)
         self.executor = executor
         self.shards: List[DataStore] = []
         for _ in range(n_shards):
             shard = DataStore(metadata_extractor=None,
                               segment_capacity=segment_capacity,
-                              clock=self.clock)
+                              clock=self.clock,
+                              stats_on_seal=stats_on_seal)
             # one global id space: shards share the parent's counters
             shard._segment_ids = self._segment_ids
             shard._record_ids = self._record_ids

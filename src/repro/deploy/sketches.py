@@ -94,6 +94,18 @@ class CountMinSketch:
             for row in range(self.depth)
         ))
 
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold another sketch in; equivalent to adding its stream.
+
+        Only defined for identical geometry (same hash family per
+        row), which the per-segment stats guarantee by construction.
+        """
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("count-min merge requires identical "
+                             "width/depth")
+        self._table += other._table
+        self.total += other.total
+
     def reset(self) -> None:
         self._table[:] = 0
         self.total = 0
@@ -153,6 +165,14 @@ class BloomFilter:
             for salt in range(self.n_hashes)
         )
 
+    def merge(self, other: "BloomFilter") -> None:
+        """OR another filter in; requires identical bit geometry."""
+        if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):
+            raise ValueError("bloom merge requires identical "
+                             "n_bits/n_hashes")
+        self._bits |= other._bits
+        self.count += other.count
+
     def reset(self) -> None:
         self._bits[:] = False
         self.count = 0
@@ -201,6 +221,12 @@ class HyperLogLog:
         if raw <= 2.5 * self.m and zeros > 0:
             return self.m * math.log(self.m / zeros)   # small-range correction
         return raw
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Register-wise max; the union's estimator, exactly."""
+        if self.p != other.p:
+            raise ValueError("HLL merge requires identical precision p")
+        np.maximum(self._registers, other._registers, out=self._registers)
 
     def reset(self) -> None:
         self._registers[:] = 0

@@ -514,6 +514,42 @@ class PacketColumns:
             return getattr(self, fld).equals_mask(value, lo, hi)
         return None
 
+    def equals_at(self, fld: str, value,
+                  positions: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorized ``field == value`` evaluated only at ``positions``.
+
+        The planner's gather path: once a selective predicate has cut
+        the candidate set down, later predicates compare a short
+        fancy-indexed gather instead of the whole column.  Same
+        None-means-residual contract as :meth:`equals_mask`.
+        """
+        if fld in NUMERIC_FIELDS:
+            if not isinstance(value, (int, float, np.integer, np.floating)):
+                return None
+            return getattr(self, fld)[positions] == value
+        if fld in ("src_ip", "dst_ip"):
+            column = getattr(self, fld)
+            if not isinstance(value, str):
+                return None
+            if isinstance(column, DictColumn):
+                code = column.code_of(value)
+                if code is None:
+                    return np.zeros(len(positions), dtype=bool)
+                return column.codes[positions] == code
+            try:
+                return column[positions] == np.uint32(ip_to_u32(value))
+            except ValueError:
+                return np.zeros(len(positions), dtype=bool)
+        if fld in _STRING_FIELDS:
+            column = getattr(self, fld)
+            if not isinstance(value, str):
+                return None
+            code = column.code_of(value)
+            if code is None:
+                return np.zeros(len(positions), dtype=bool)
+            return column.codes[positions] == code
+        return None
+
     def minmax(self, fld: str) -> Optional[Tuple[float, float]]:
         """Zone map: (min, max) of a numeric or uint32-address column."""
         if len(self) == 0:

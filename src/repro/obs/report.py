@@ -23,12 +23,16 @@ from repro.obs.export import registry_from_records
 from repro.obs.metrics import Histogram
 
 #: render order for known stages; unknown prefixes sort after these.
-_STAGE_ORDER = ("capture", "store", "query", "devloop", "parallel",
-                "switch", "pipeline")
+_STAGE_ORDER = ("capture", "store", "query", "query.plan", "devloop",
+                "parallel", "switch", "pipeline")
 
 
 def span_stage(name: str) -> str:
     """Map a span name onto its report stage."""
+    # Before the generic prefix rule: "query.plan.scan" would otherwise
+    # collapse into "query" and hide planner time inside executor time.
+    if name.startswith("query.plan"):
+        return "query.plan"
     if name.startswith("store.query"):
         return "query"
     return name.split(".", 1)[0]

@@ -76,28 +76,39 @@ _SCANNABLE_FIELDS = frozenset({
 
 
 def _query_scan_kernel(shipment: ColumnsShipment, time_range,
-                       where: Dict) -> Optional[np.ndarray]:
+                       where: Dict, where_items=None,
+                       gather: bool = False) -> Optional[np.ndarray]:
     """Vectorized row selection over one shipped block; ascending
-    positions (or None if a field resists vectorized evaluation)."""
+    positions (or None if a field resists vectorized evaluation).
+
+    ``where_items``/``gather`` carry the planner's per-segment
+    predicate order and gather decision into the worker."""
     shm, cols, worker = _observed_attach(shipment)
     try:
         if worker is None:
-            return columnar_positions(cols, time_range, where)
+            return columnar_positions(cols, time_range, where,
+                                      where_items=where_items,
+                                      gather=gather)
         started = worker.tracer.clock.now()
-        positions = columnar_positions(cols, time_range, where)
+        positions = columnar_positions(cols, time_range, where,
+                                       where_items=where_items,
+                                       gather=gather)
         _observe_kernel(worker, "query_scan", started)
         return positions
     finally:
         shm.close()
 
 
-def scatter_query(segments, query: Query, executor: ParallelExecutor) \
-        -> Optional[List[Tuple[object, np.ndarray]]]:
+def scatter_query(segments, query: Query, executor: ParallelExecutor,
+                  segment_orders: Optional[Dict[int, Tuple[list, bool]]]
+                  = None) -> Optional[List[Tuple[object, np.ndarray]]]:
     """Per-segment scan positions computed in workers.
 
     Returns ``[(segment, positions), ...]`` for the contributing
     segments, or None when the query (or any segment) is ineligible
-    for the records-free kernel.
+    for the records-free kernel.  ``segment_orders`` optionally maps
+    ``segment_id`` to the planner's ``(where_items, gather)`` choice
+    for that segment.
     """
     if query.tags or query.predicate is not None:
         return None
@@ -126,10 +137,13 @@ def scatter_query(segments, query: Query, executor: ParallelExecutor) \
     handles = []
     try:
         tasks = []
-        for _, cols in jobs:
+        for segment, cols in jobs:
             handle, shipment = _observed_pack(cols, executor)
             handles.append(handle)
-            tasks.append((shipment, query.time_range, dict(query.where)))
+            where_items, gather = (None, False) if segment_orders is None \
+                else segment_orders.get(segment.segment_id, (None, False))
+            tasks.append((shipment, query.time_range, dict(query.where),
+                          where_items, gather))
         outs = executor.map_tasks(_query_scan_kernel, tasks)
     finally:
         for handle in handles:

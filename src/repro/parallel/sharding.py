@@ -111,6 +111,43 @@ class ShardRouter:
         """Shard id per record, aligned with the input order."""
         return [self.shard_of(p) for p in packets]
 
+    def shards_for_flow(self, src_ip: str, dst_ip: str, src_port: int,
+                        dst_port: int, protocol: int,
+                        start: Optional[float], end: Optional[float],
+                        max_windows: int = 4096) -> Optional[set]:
+        """Exact shard candidates for one flow over a bounded range.
+
+        A query fixing the full 5-tuple pins the flow hash; with both
+        time bounds finite, enumerating the windows in range and
+        recomputing each window's shard (the same math as
+        :meth:`shard_of`) yields every shard a matching packet *could*
+        have routed to — pruning the rest before any scatter is exact,
+        not heuristic.  Returns None when the range is unbounded,
+        non-finite, or spans more than ``max_windows`` windows (at
+        that point most shards are candidates anyway).
+        """
+        if self.n_shards == 1:
+            return {0}
+        if start is None or end is None:
+            return None
+        if not (math.isfinite(start) and math.isfinite(end)) or end < start:
+            return None
+        first = self._window_index(start)
+        last = self._window_index(end)
+        if last - first + 1 > max_windows:
+            return None
+        a = ((_ip_key(src_ip) << 16) | (int(src_port) & 0xFFFF)) & _MASK64
+        b = ((_ip_key(dst_ip) << 16) | (int(dst_port) & 0xFFFF)) & _MASK64
+        lo, hi = (a, b) if a <= b else (b, a)
+        flow = (lo * _PHI + hi * _FLOW_SALT + int(protocol)) & _MASK64
+        shards: set = set()
+        for widx in range(first, last + 1):
+            shards.add(int(_mix64(flow ^ ((widx & _MASK64) * _PHI))
+                           % self.n_shards))
+            if len(shards) == self.n_shards:
+                break
+        return shards
+
     # -- vectorized (columns) path -------------------------------------------
 
     def _ip_keys_arr(self, column) -> np.ndarray:

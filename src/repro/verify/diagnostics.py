@@ -105,6 +105,9 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
     "REP306": (Severity.ERROR,
                "direct wall-clock read inside observability code; "
                "time must come through the injectable clock"),
+    "REP307": (Severity.ERROR,
+               "direct call to a segment-scan internal outside the "
+               "planner/executor modules; go through the query planner"),
     # -- privacy taint flow (REP4xx) --
     "REP401": (Severity.ERROR,
                "raw privacy-sensitive value reaches an export/print "

@@ -62,6 +62,12 @@ _SUBMIT_METHODS = {"submit", "map_tasks"}
 _WALLCLOCK_ATTRS = {"time", "monotonic", "perf_counter",
                     "time_ns", "monotonic_ns", "perf_counter_ns"}
 
+#: segment-scan internals only the planner/executor layer may call
+#: (REP307).  Everyone else goes through execute_query/plan_query so
+#: stats pruning, predicate ordering, and EXPLAIN stay accurate.
+_QUERY_INTERNALS = {"_scan_segment", "_columnar_scan", "_record_scan",
+                    "_candidate_positions", "columnar_positions"}
+
 #: inline suppression comment: ``# rep: ignore`` or
 #: ``# rep: ignore[REP401]`` / ``# rep: ignore[REP401,REP503]``.
 _SUPPRESS_RE = re.compile(
@@ -132,6 +138,11 @@ class LintConfig:
         default_factory=lambda: ["netsim", "capture", "deploy", "events",
                                  "testbed"])
     obs_clock_scope: List[str] = field(default_factory=lambda: ["obs"])
+    #: the only modules allowed to call segment-scan internals (REP307).
+    query_internal_scope: List[str] = field(
+        default_factory=lambda: ["datastore/query.py",
+                                 "datastore/planner.py",
+                                 "parallel/kernels.py"])
     exclude: List[str] = field(
         default_factory=lambda: ["__pycache__", ".egg-info"])
     #: checked-in intentional exceptions: "relative/path.py:REP303"
@@ -179,6 +190,7 @@ class LintConfig:
                     "seeded-random-scope": "seeded_random_scope",
                     "wallclock-scope": "wallclock_scope",
                     "obs-clock-scope": "obs_clock_scope",
+                    "query-internal-scope": "query_internal_scope",
                     "exclude": "exclude",
                     "taint-scope": "taint_scope",
                     "taint-exempt-scope": "taint_exempt_scope",
@@ -267,6 +279,8 @@ class _PatternVisitor(ast.NodeVisitor):
                                             config.wallclock_scope)
         self._check_obs_clock = config.in_scope(self.rel_path,
                                                 config.obs_clock_scope)
+        self._check_query_internals = not config.in_scope(
+            self.rel_path, config.query_internal_scope)
 
     def _report(self, code: str, message: str, line: int) -> None:
         self.findings.append(diag(
@@ -355,6 +369,14 @@ class _PatternVisitor(ast.NodeVisitor):
                 "REP306",
                 f"direct wall-clock time.{chain[1]}() in observability "
                 f"code; read the injectable clock instead", node.lineno)
+        if self._check_query_internals and chain and \
+                chain[-1] in _QUERY_INTERNALS:
+            self._report(
+                "REP307",
+                f"{chain[-1]}() is a segment-scan internal; call "
+                f"execute_query/plan_query so planning (stats pruning, "
+                f"predicate ordering, EXPLAIN) stays in the loop",
+                node.lineno)
         if len(chain) >= 2 and chain[-1] in _SUBMIT_METHODS:
             for arg in node.args:
                 if isinstance(arg, ast.Lambda):
@@ -369,7 +391,8 @@ class _PatternVisitor(ast.NodeVisitor):
 class PatternRules:
     """Plugin wrapper for the REP3xx per-module pattern rules."""
 
-    codes = ("REP301", "REP302", "REP303", "REP304", "REP305", "REP306")
+    codes = ("REP301", "REP302", "REP303", "REP304", "REP305", "REP306",
+             "REP307")
 
     def check(self, ctx: LintContext) -> List[Diagnostic]:
         findings: List[Diagnostic] = []

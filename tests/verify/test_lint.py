@@ -177,6 +177,58 @@ class TestParallelSubmissions:
         assert findings == []
 
 
+class TestQueryInternals:
+    def test_scan_internal_call_flagged_outside_planner(self):
+        findings = _lint("""
+            from repro.datastore.query import _scan_segment
+
+            def peek(segment, query):
+                return _scan_segment(segment, query)
+        """, rel_path="analysis/mod.py")
+        assert [d.code for d in findings] == ["REP307"]
+
+    def test_attribute_chain_call_flagged(self):
+        findings = _lint("""
+            import repro.datastore.query as q
+
+            def peek(cols, tr, where):
+                return q.columnar_positions(cols, tr, where)
+        """, rel_path="learning/mod.py")
+        assert [d.code for d in findings] == ["REP307"]
+
+    def test_planner_and_executor_modules_allowed(self):
+        source = """
+            def execute(segment, query):
+                return _scan_segment(segment, query)
+        """
+        for rel_path in ("datastore/query.py", "datastore/planner.py",
+                         "parallel/kernels.py"):
+            assert _lint(source, rel_path=rel_path) == []
+
+    def test_public_query_api_is_clean(self):
+        findings = _lint("""
+            from repro.datastore.query import execute_query
+
+            def fetch(store, query):
+                return execute_query(store, query)
+        """, rel_path="analysis/mod.py")
+        assert findings == []
+
+    def test_scope_configurable_from_pyproject_key(self):
+        config = LintConfig(query_internal_scope=["analysis"])
+        findings = _lint(
+            "def f(s, q):\n    return _scan_segment(s, q)\n",
+            rel_path="analysis/mod.py", config=config)
+        assert findings == []
+
+    def test_inline_suppression(self):
+        findings = _lint(
+            "def f(s, q):\n"
+            "    return _scan_segment(s, q)  # rep: ignore[REP307]\n",
+            rel_path="analysis/mod.py")
+        assert findings == []
+
+
 class TestExemptions:
     def test_specific_exemption_suppresses(self):
         config = LintConfig(exemptions={"netsim/mod.py:REP304"})
