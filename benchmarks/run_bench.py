@@ -9,7 +9,9 @@ The committed file at the repo root records two things:
 - ``results``: per-test stats from the most recent ``run_bench.py``
   invocation, *merged* over the committed results — a partial run
   (``--suite``) updates only the tests it ran and never clobbers the
-  rest.
+  rest.  Suites in the committed file that a run did not execute are
+  reported as SKIPPED (and listed under ``skipped_suites``) so a
+  partial run can never silently masquerade as a full one.
 
 Write-mode runs also emit ``BENCH_substrate.jsonl`` next to the JSON
 file: one ``bench`` record per test in the :mod:`repro.obs.export`
@@ -49,6 +51,7 @@ SUITES = (
     Path(__file__).resolve().parent / "test_perf_parallel.py",
     Path(__file__).resolve().parent / "test_perf_obs.py",
     Path(__file__).resolve().parent / "test_perf_planner.py",
+    Path(__file__).resolve().parent / "test_perf_tiers.py",
 )
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 
@@ -81,16 +84,19 @@ def run_suite(suite: Path, quick: bool) -> dict:
 
 
 def run_suites(quick: bool, only: str = "") -> "tuple[dict, list]":
-    """Run the selected suites; returns ``(results, obs_records)``.
+    """Run the selected suites; returns ``(by_suite, obs_records)``.
 
-    ``obs_records`` carries one ``bench`` JSON-lines record per test
-    (the :mod:`repro.obs.export` schema), so benchmark history and
-    pipeline observability share one file format.
+    ``by_suite`` maps suite file name -> {test: stats} for exactly the
+    suites that ran, so the merge step can tell fresh results from
+    committed ones carried forward.  ``obs_records`` carries one
+    ``bench`` JSON-lines record per test (the :mod:`repro.obs.export`
+    schema), so benchmark history and pipeline observability share one
+    file format.
     """
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.obs.export import bench_record
 
-    results: dict = {}
+    by_suite: dict = {}
     records: list = []
     mode = "quick" if quick else "full"
     selected = [s for s in SUITES if only in s.name]
@@ -99,17 +105,67 @@ def run_suites(quick: bool, only: str = "") -> "tuple[dict, list]":
         raise SystemExit(f"--suite {only!r} matches none of: {known}")
     for suite in selected:
         suite_results = run_suite(suite, quick=quick)
-        results.update(suite_results)
+        by_suite[suite.name] = suite_results
         records.extend(
             bench_record(name, stats, suite=suite.stem, mode=mode)
             for name, stats in sorted(suite_results.items()))
-    return results, records
+    return by_suite, records
 
 
 def load_committed() -> dict:
     if BENCH_FILE.exists():
         return json.loads(BENCH_FILE.read_text())
     return {}
+
+
+def merge_payload(committed: dict, suite_results: dict,
+                  known_suites: "tuple[str, ...]") -> "tuple[dict, list]":
+    """Merge this run's per-suite results over the committed file.
+
+    Returns ``(payload, skipped)`` where ``skipped`` names every suite
+    the committed file knows about that this run did not execute.
+    Those suites' committed results are carried forward into
+    ``results`` (so a partial ``--suite`` run never clobbers them) but
+    they are *reported*, not silently absorbed — the payload records
+    them under ``skipped_suites`` and ``by_suite`` maps each suite to
+    the tests it owns so the next reader can tell which numbers are
+    fresh.
+
+    Pure: no filesystem access, no clock; exists so the merge policy
+    is unit-testable without running a single benchmark.
+    """
+    fresh: dict = {}
+    for tests in suite_results.values():
+        fresh.update(tests)
+    merged_results = {**committed.get("results", {}), **fresh}
+    # Frozen entries stay; only tests the baseline has never seen are
+    # backfilled (from the merged view, so partial runs cannot demote a
+    # previously-seeded baseline to "missing").
+    baseline = {**merged_results, **committed.get("baseline", {})}
+
+    committed_by_suite = committed.get("by_suite", {})
+    by_suite = {
+        suite: sorted(tests)
+        for suite, tests in committed_by_suite.items()
+        if suite not in suite_results
+    }
+    for suite, tests in suite_results.items():
+        merged = set(committed_by_suite.get(suite, ())) | set(tests)
+        by_suite[suite] = sorted(merged)
+
+    all_suites = sorted(set(committed.get("suites", []))
+                        | set(known_suites))
+    skipped = sorted(s for s in committed.get("suites", [])
+                     if s not in suite_results)
+    payload = {
+        "suites": all_suites,
+        "by_suite": {s: by_suite[s] for s in sorted(by_suite)},
+        "skipped_suites": skipped,
+        "units": "seconds",
+        "baseline": baseline,
+        "results": merged_results,
+    }
+    return payload, skipped
 
 
 def check(results: dict, committed: dict, threshold: float) -> int:
@@ -157,25 +213,22 @@ def main(argv=None) -> int:
                              "this substring")
     args = parser.parse_args(argv)
 
-    results, records = run_suites(quick=args.quick, only=args.suite)
+    by_suite, records = run_suites(quick=args.quick, only=args.suite)
     committed = load_committed()
     if args.check:
+        results: dict = {}
+        for tests in by_suite.values():
+            results.update(tests)
         return check(results, committed, args.threshold)
     from repro.obs.export import write_jsonl
     write_jsonl(records, BENCH_JSONL)
     print(f"wrote {BENCH_JSONL}")
 
-    merged_results = {**committed.get("results", {}), **results}
-    # Frozen entries stay; only tests the baseline has never seen are
-    # backfilled (from the merged view, so partial runs cannot demote a
-    # previously-seeded baseline to "missing").
-    baseline = {**merged_results, **committed.get("baseline", {})}
-    payload = {
-        "suites": [s.name for s in SUITES],
-        "units": "seconds",
-        "baseline": baseline,
-        "results": merged_results,
-    }
+    payload, skipped = merge_payload(
+        committed, by_suite, tuple(s.name for s in SUITES))
+    for suite in skipped:
+        print(f"  {suite}: SKIPPED this run - committed results "
+              f"carried forward unchanged")
     BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n")
     print(f"wrote {BENCH_FILE}")

@@ -45,6 +45,10 @@ class CaptureStats:
     packets_duplicated: int = 0
     packets_reordered: int = 0
     packets_skewed: int = 0
+    # downstream backpressure: packets the appliance captured but the
+    # store's bounded ingest queue refused (zero unless streaming)
+    packets_backpressure_dropped: int = 0
+    bytes_backpressure_dropped: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -79,6 +83,9 @@ class CaptureStats:
         self.packets_duplicated += other.packets_duplicated
         self.packets_reordered += other.packets_reordered
         self.packets_skewed += other.packets_skewed
+        self.packets_backpressure_dropped += \
+            other.packets_backpressure_dropped
+        self.bytes_backpressure_dropped += other.bytes_backpressure_dropped
 
     @classmethod
     def rollup(cls, parts: List["CaptureStats"]) -> "CaptureStats":
@@ -148,6 +155,8 @@ class CaptureEngine:
                 "repro_capture_packets_dropped_total")
             self._m_fault_dropped = metrics.counter(
                 "repro_capture_packets_fault_dropped_total")
+            self._m_backpressure = metrics.counter(
+                "repro_capture_packets_backpressure_dropped_total")
             self._m_bytes = metrics.counter(
                 "repro_capture_bytes_captured_total")
             from repro.obs.metrics import COUNT_BUCKETS
@@ -168,6 +177,23 @@ class CaptureEngine:
     def subscribe(self, callback: Callable[[List[PacketRecord]], None]) -> None:
         """Receive the captured (post-loss) packet batches."""
         self._subscribers.append(callback)
+
+    def account_backpressure(self, packets: List[PacketRecord]) -> None:
+        """Charge packets a downstream bounded queue refused to accept.
+
+        The streaming ingestor calls this when the store's ingest queue
+        is full, so backpressure losses land in the same stats surface
+        as capacity drops — never silently.  The packets were already
+        counted as captured; these counters record that they then failed
+        to reach the store.
+        """
+        if not packets:
+            return
+        rejected_bytes = sum(map(attrgetter("size"), packets))
+        self.stats.packets_backpressure_dropped += len(packets)
+        self.stats.bytes_backpressure_dropped += rejected_bytes
+        if self.obs is not None:
+            self._m_backpressure.inc(len(packets))
 
     @property
     def lossless(self) -> bool:

@@ -50,6 +50,8 @@ class FaultKind(str, enum.Enum):
     SWITCH_REACT_FAIL = "switch.react_fail"    # mitigation install fails
     # append-only below: _KIND_STREAMS indexes are part of the replay format
     WORKER_CRASH = "parallel.worker_crash"     # parallel worker task dies
+    COMPACT_CRASH = "compact.crash"            # compactor dies mid-merge
+    QUEUE_STALL = "ingest.queue_stall"         # ingest queue refuses a batch
 
 
 class SensorStallError(TransientError):
@@ -69,6 +71,16 @@ class TornWriteError(TransientError):
     """
 
 
+class CompactorCrashError(TransientError):
+    """The background compactor died mid-compaction.
+
+    Transient in the same sense as :class:`TornWriteError`: the
+    compaction protocol publishes its output in one atomic step, so a
+    crash at any earlier step leaves the input segments authoritative
+    and the compaction can simply be retried.
+    """
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One fault kind armed at a given rate.
@@ -77,18 +89,24 @@ class FaultSpec:
     drop/duplicate, per batch for reorder/skew, per call elsewhere).
     ``magnitude`` means seconds for latency/skew faults and a counter
     delta for register corruption.  ``limit`` caps total firings.
+    ``skip`` exempts the first N opportunities entirely (no rng draw),
+    so ``rate=1.0, skip=k, limit=1`` addresses exactly the k-th
+    opportunity — how chaos tests crash a compactor at a chosen step.
     """
 
     kind: FaultKind
     rate: float
     magnitude: float = 0.0
     limit: Optional[int] = None
+    skip: int = 0
 
     def __post_init__(self):
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.limit is not None and self.limit < 0:
             raise ValueError("limit must be non-negative")
+        if self.skip < 0:
+            raise ValueError("skip must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -198,6 +216,8 @@ class FaultInjector:
         if spec is None:
             return False
         self.opportunities[kind] += 1
+        if self.opportunities[kind] <= spec.skip:
+            return False
         if self._exhausted(spec):
             return False
         if self._rngs[kind].random() >= spec.rate:
@@ -217,10 +237,16 @@ class FaultInjector:
         spec = self._specs.get(kind)
         if spec is None or n == 0:
             return None
+        seen = self.opportunities[kind]
         self.opportunities[kind] += n
         if self._exhausted(spec):
             return None
+        skip_left = max(0, spec.skip - seen)
+        if skip_left >= n:
+            return None
         mask = self._rngs[kind].random(n) < spec.rate
+        if skip_left:
+            mask[:skip_left] = False
         if spec.limit is not None:
             headroom = spec.limit - self.fired[kind]
             hits = np.flatnonzero(mask)

@@ -5,6 +5,10 @@ script:
 
 * ``repro run-day`` — simulate one instrumented campus day (with
   optional labeled attacks) and export the data store to a directory.
+* ``repro ingest`` — the streaming path: capture batches flow through
+  a bounded queue (accounted backpressure) into a tiered store whose
+  cold segments persist under ``--spill``; ``--summary-only`` reopens
+  an existing spill directory with verified checksums.
 * ``repro inspect`` — summarize an exported store.
 * ``repro train`` — featurize an exported store (using its curated
   labels) and train/evaluate a registry model.
@@ -85,6 +89,47 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--obs", default=None, metavar="PATH",
                      help="record observability (metrics + spans) to "
                           "this JSON-lines file")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream one simulated day through the tiered store "
+             "(bounded queue -> memtable -> warm runs -> cold mmap)")
+    ingest.add_argument("--profile", default="small")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--duration", type=float, default=300.0,
+                        help="day length in simulated seconds")
+    ingest.add_argument("--attack", action="append", default=[],
+                        choices=sorted(ATTACKS),
+                        help="inject a labeled attack (repeatable)")
+    ingest.add_argument("--scenario", default=None,
+                        help="use a named scenario from the library "
+                             "instead of --attack flags")
+    ingest.add_argument("--privacy", default="prefix",
+                        choices=["none", "prefix", "stripped",
+                                 "aggregates"])
+    ingest.add_argument("--shards", type=int, default=1,
+                        help="tiered-store shard count (each shard "
+                             "owns its own memtable and cold dir)")
+    ingest.add_argument("--spill", default=None, metavar="DIR",
+                        help="cold-tier directory (registry.json + "
+                             "mmap segments); omit to keep every tier "
+                             "in memory.  Re-running with the same "
+                             "directory resumes the store from disk.")
+    ingest.add_argument("--memtable", type=int, default=8_192,
+                        help="hot-tier memtable size in records")
+    ingest.add_argument("--queue", type=int, default=65_536,
+                        help="ingest-queue capacity in records; full "
+                             "queues refuse batches (accounted "
+                             "backpressure, never silent loss)")
+    ingest.add_argument("--flush-cold", action="store_true",
+                        help="age every tier into cold mmap segments "
+                             "before exit (store survives restarts)")
+    ingest.add_argument("--summary-only", action="store_true",
+                        help="skip simulation: reopen --spill "
+                             "(verifying checksums) and print its "
+                             "tier summary")
+    ingest.add_argument("--json", action="store_true",
+                        help="emit the tier summary as JSON")
 
     inspect = sub.add_parser("inspect", help="summarize an exported store")
     inspect.add_argument("--store", required=True)
@@ -305,6 +350,97 @@ def cmd_run_day(args) -> int:
                         for part in platform.store.shard_summary()]
         print(f"shards: {shard_counts}")
     print(f"exported store to {args.out}")
+    return 0
+
+
+def _reopen_tiered(spill: str):
+    """Reopen a spill directory written by ``repro ingest``.
+
+    A sharded run leaves ``shard-<i>`` subdirectories under the root;
+    a single-store run leaves ``registry.json`` at the root.  Either
+    way reopening verifies every cold segment's checksums.
+    """
+    from repro.datastore.tiers import TieredDataStore, \
+        TieredShardedDataStore
+
+    root = Path(spill)
+    shard_dirs = sorted(root.glob("shard-*"))
+    if shard_dirs:
+        return TieredShardedDataStore(n_shards=len(shard_dirs),
+                                      spill_dir=root)
+    return TieredDataStore(spill_dir=root)
+
+
+def _emit_tier_summary(summary: dict, as_json: bool,
+                       extra: Optional[dict] = None) -> None:
+    if as_json:
+        payload = dict(summary)
+        if extra:
+            payload.update(extra)
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    for tier in ("hot", "warm", "cold"):
+        row = summary[tier]
+        print(f"{tier:5s} {row['segments']:4d} segment(s) "
+              f"{row['records']:8d} record(s) {row['bytes']:12d} bytes")
+    print(f"compaction debt: {summary['compaction_debt']} op(s)")
+
+
+def cmd_ingest(args) -> int:
+    """Stream a simulated day into the tiered store; report the tiers.
+
+    Exit code 0 on success, 2 on malformed arguments (e.g.
+    ``--summary-only`` without ``--spill``).
+    """
+    if args.summary_only:
+        if not args.spill:
+            print("ingest: --summary-only needs --spill DIR",
+                  file=sys.stderr)
+            return 2
+        store = _reopen_tiered(args.spill)
+        _emit_tier_summary(store.tier_summary(), args.json)
+        return 0
+    if args.flush_cold and not args.spill:
+        print("ingest: --flush-cold needs --spill DIR", file=sys.stderr)
+        return 2
+
+    from repro.core import CampusPlatform, PlatformConfig
+    from repro.privacy import PrivacyLevel
+
+    level = {p.value: p for p in PrivacyLevel}[args.privacy]
+    platform = CampusPlatform(PlatformConfig(
+        campus_profile=args.profile, seed=args.seed, privacy_level=level,
+        store_shards=args.shards, streaming=True,
+        streaming_queue_records=args.queue,
+        streaming_memtable_records=args.memtable,
+        streaming_spill_dir=args.spill))
+    try:
+        scenario = _scenario_from_args(args)
+        result = platform.collect(scenario, seed=args.seed)
+        if args.flush_cold:
+            platform.store.flush_to_cold()
+            platform.store.compactor.run()
+        summary = platform.store.tier_summary()
+        stats = platform.capture.stats
+        queue = platform.ingestor.queue
+    finally:
+        platform.close()
+    extra = {
+        "captured": result.packets_captured,
+        "backpressure_dropped": stats.packets_backpressure_dropped,
+        "queue_accepted": queue.accepted_records,
+        "queue_rejected": queue.rejected_records,
+    }
+    if args.json:
+        _emit_tier_summary(summary, True, extra)
+    else:
+        print(f"captured {result.packets_captured} packets "
+              f"({result.capture_loss_rate:.1%} loss, "
+              f"{stats.packets_backpressure_dropped} refused by the "
+              f"ingest queue)")
+        _emit_tier_summary(summary, False)
+        if args.spill:
+            print(f"cold tier persisted under {args.spill}")
     return 0
 
 
@@ -647,6 +783,7 @@ def cmd_scenarios(args) -> int:
 
 _COMMANDS = {
     "run-day": cmd_run_day,
+    "ingest": cmd_ingest,
     "inspect": cmd_inspect,
     "query": cmd_query,
     "train": cmd_train,

@@ -41,6 +41,22 @@ class PlatformConfig:
         every layer (metrics + spans + flight recorder).  Off by
         default: the disabled path constructs nothing and instrumented
         code pays one ``is not None`` check.
+    streaming:
+        Put the packet collection on the tier ladder: capture batches
+        flow through a bounded :class:`~repro.datastore.tiers.
+        IngestQueue` into a :class:`~repro.datastore.tiers.
+        TieredDataStore` (hot memtable → sealed warm runs → cold
+        mmap segments), with queue-full refusals charged back into the
+        capture engine's loss accounting instead of vanishing.
+    streaming_queue_records:
+        Ingest-queue capacity in records; a batch that would push the
+        queue past this is refused whole (backpressure, accounted).
+    streaming_memtable_records:
+        Hot-tier memtable size; a full memtable seals into a sorted
+        warm run.
+    streaming_spill_dir:
+        Directory for the cold tier's mmap segments and the crash-safe
+        ``registry.json``; ``None`` keeps every tier in memory.
     """
 
     campus_profile: str = "small"
@@ -58,3 +74,7 @@ class PlatformConfig:
     #: that stay inside the enterprise", §5) reaches the store
     monitor_internal: bool = False
     start_time: float = 8 * 3600.0
+    streaming: bool = False
+    streaming_queue_records: int = 65_536
+    streaming_memtable_records: int = 8_192
+    streaming_spill_dir: Optional[str] = None

@@ -28,6 +28,8 @@ from repro.core.config import PlatformConfig
 from repro.core.eventbus import EventBus
 from repro.datastore.labels import Labeler
 from repro.datastore.store import DataStore, ShardedDataStore
+from repro.datastore.tiers import StreamingIngestor, TieredDataStore, \
+    TieredShardedDataStore, TierPolicy
 from repro.events.base import GroundTruth
 from repro.events.scenario import Scenario, run_scenario
 from repro.learning.dataset import Dataset
@@ -79,10 +81,29 @@ class CampusPlatform:
         self.executor = ParallelExecutor(
             workers=self.config.workers, ledger=self.degradation,
             fault_injector=fault_injector, obs=obs)
-        if self.config.store_shards > 1:
+        extractor = MetadataExtractor(self.network.topology)
+        if self.config.streaming:
+            policy = TierPolicy(
+                memtable_records=self.config.streaming_memtable_records)
+            if self.config.store_shards > 1:
+                self.store = TieredShardedDataStore(
+                    n_shards=self.config.store_shards,
+                    metadata_extractor=extractor,
+                    fault_injector=fault_injector,
+                    window_s=self.config.window_s,
+                    executor=self.executor, obs=obs, policy=policy,
+                    spill_dir=self.config.streaming_spill_dir,
+                )
+            else:
+                self.store = TieredDataStore(
+                    metadata_extractor=extractor, policy=policy,
+                    spill_dir=self.config.streaming_spill_dir,
+                    fault_injector=fault_injector, obs=obs,
+                )
+        elif self.config.store_shards > 1:
             self.store = ShardedDataStore(
                 n_shards=self.config.store_shards,
-                metadata_extractor=MetadataExtractor(self.network.topology),
+                metadata_extractor=extractor,
                 segment_capacity=self.config.segment_capacity,
                 fault_injector=fault_injector,
                 window_s=self.config.window_s,
@@ -91,7 +112,7 @@ class CampusPlatform:
             )
         else:
             self.store = DataStore(
-                metadata_extractor=MetadataExtractor(self.network.topology),
+                metadata_extractor=extractor,
                 segment_capacity=self.config.segment_capacity,
                 fault_injector=fault_injector,
                 obs=obs,
@@ -126,9 +147,19 @@ class CampusPlatform:
                              fault_injector=self.fault_injector,
                              bus=self.bus)
         self.assembler = FlowAssembler()
-        self.capture.subscribe(self._guard(self.store.ingest_packets,
-                                           stage="store",
-                                           site="store.ingest_packets"))
+        if self.config.streaming:
+            # capture → bounded queue → tiered store; queue-full
+            # refusals are charged back into the engine's loss stats
+            # by the ingestor itself, so no _guard wrapper here.
+            self.ingestor = StreamingIngestor(
+                self.store, engine=self.capture,
+                queue_records=self.config.streaming_queue_records,
+                obs=self.obs)
+        else:
+            self.ingestor = None
+            self.capture.subscribe(self._guard(self.store.ingest_packets,
+                                               stage="store",
+                                               site="store.ingest_packets"))
         self.capture.subscribe(self.assembler.add_packets)
         self.sensors = []
         if self.config.enable_sensors:
@@ -191,6 +222,13 @@ class CampusPlatform:
         packets_before = self.capture.stats.packets_captured
         self.bus.publish("collect:start", scenario=scenario.name, seed=seed)
         ground_truth = run_scenario(self.network, scenario, seed=seed)
+        if self.ingestor is not None:
+            # Labeling below needs every queued batch in the store —
+            # but compaction must wait until after label_all(): labels
+            # are applied to in-memory records, and a record spilled
+            # to the cold tier first would lose its label (cold rows
+            # are rebuilt from disk on every read).
+            self.ingestor.drain(compact=False)
         flow_records = self.assembler.flush()
         if self.fault_injector is not None:
             flows_stored = retry(
@@ -200,6 +238,12 @@ class CampusPlatform:
         else:
             flows_stored = self.store.ingest_flows(flow_records)
         Labeler(self.store, ground_truth).label_all()
+        if self.ingestor is not None:
+            # now that every record carries its curated label, let the
+            # compactor merge/spill to debt-free — labels ride along
+            # into the cold format.
+            while self.store.compactor.run():
+                pass
         result = CollectionResult(
             ground_truth=ground_truth,
             packets_captured=(self.capture.stats.packets_captured
@@ -260,6 +304,13 @@ class CampusPlatform:
             },
             "collections": len(self.collections),
         }
+        if self.ingestor is not None:
+            out["tiers"] = self.store.tier_summary()
+            out["streaming"] = {
+                "queue_accepted": self.ingestor.queue.accepted_records,
+                "queue_rejected": self.ingestor.queue.rejected_records,
+                "ingested": self.ingestor.ingested_records,
+            }
         if self.config.workers or getattr(self.store, "shards", None):
             out["parallel"] = {
                 **self.executor.summary(),

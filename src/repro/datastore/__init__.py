@@ -20,6 +20,9 @@ data."  This subpackage implements that platform:
 * :mod:`repro.datastore.linking` — cross-source record linking
   (packets <-> flows <-> logs), the "linked and indexed" property.
 * :mod:`repro.datastore.retention` — retention policy enforcement.
+* :mod:`repro.datastore.tiers` — streaming ingestion, tiered storage
+  (hot memtable → warm sealed segments → compressed cold mmap), and
+  the background compactor.
 """
 
 from repro.datastore.store import DataStore, StoredRecord
@@ -31,6 +34,8 @@ from repro.datastore.linking import LinkedView, RecordLinker
 from repro.datastore.retention import RetentionPolicy, RetentionReport
 from repro.datastore.persistence import export_store, import_store, \
     PersistenceError
+from repro.datastore.tiers import ColdSegment, Compactor, IngestQueue, \
+    StreamingIngestor, TieredDataStore, TieredShardedDataStore, TierPolicy
 
 __all__ = [
     "export_store",
@@ -50,4 +55,11 @@ __all__ = [
     "RecordLinker",
     "RetentionPolicy",
     "RetentionReport",
+    "TierPolicy",
+    "TieredDataStore",
+    "TieredShardedDataStore",
+    "ColdSegment",
+    "Compactor",
+    "IngestQueue",
+    "StreamingIngestor",
 ]

@@ -53,7 +53,7 @@ class RetentionPolicy:
         report.by_collection[collection] = (
             report.by_collection.get(collection, 0) + len(segment)
         )
-        store.segments(collection).remove(segment)
+        store.evict_segment(collection, segment)
 
     def _evict_older_than(self, store, collection: str, cutoff: float,
                           report: RetentionReport) -> None:

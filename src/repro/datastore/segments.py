@@ -161,6 +161,17 @@ class Segment:
             return self._stats
         return None
 
+    def adopt_stats(self, stats) -> None:
+        """Install a pre-merged stats block instead of rebuilding it.
+
+        The compactor merges the input segments' blocks at sketch
+        granularity (:func:`~repro.datastore.stats.merge_column_stats`)
+        — one table add per column instead of a full distinct-value
+        pass over the merged rows.
+        """
+        self._stats = stats
+        self._stats_rows = len(self.records)
+
     def adopt_columns(self, columns: PacketColumns) -> bool:
         """Install a pre-built column block instead of rebuilding it.
 

@@ -258,6 +258,16 @@ class DataStore:
             raise KeyError(f"unknown collection {collection!r}; one of {known}")
         return self._segments[collection]
 
+    def evict_segment(self, collection: str, segment) -> None:
+        """Remove one segment from the store.
+
+        The single sanctioned mutation point for segment lifecycle
+        outside the tiering/compaction machinery (REP308): retention
+        calls this, and tiered stores override it to also retire the
+        on-disk form of a cold segment.
+        """
+        self.segments(collection).remove(segment)
+
     def query(self, query: Query) -> List[StoredRecord]:
         """Run a query; see :class:`repro.datastore.query.Query`."""
         obs = self.obs
@@ -432,11 +442,8 @@ class ShardedDataStore(DataStore):
         self.router = ShardRouter(n_shards, window_s=window_s)
         self.executor = executor
         self.shards: List[DataStore] = []
-        for _ in range(n_shards):
-            shard = DataStore(metadata_extractor=None,
-                              segment_capacity=segment_capacity,
-                              clock=self.clock,
-                              stats_on_seal=stats_on_seal)
+        for index in range(n_shards):
+            shard = self._make_shard(index)
             # one global id space: shards share the parent's counters
             shard._segment_ids = self._segment_ids
             shard._record_ids = self._record_ids
@@ -444,6 +451,13 @@ class ShardedDataStore(DataStore):
         self._segments = _SegmentMap(self.shards)
         if obs is not None:
             self.bind_obs(obs)
+
+    def _make_shard(self, index: int) -> DataStore:
+        """Construct one child shard (hook for tiered sharding)."""
+        return DataStore(metadata_extractor=None,
+                         segment_capacity=self.segment_capacity,
+                         clock=self.clock,
+                         stats_on_seal=self.stats_on_seal)
 
     def bind_obs(self, obs) -> None:
         super().bind_obs(obs)

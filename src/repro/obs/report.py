@@ -23,8 +23,8 @@ from repro.obs.export import registry_from_records
 from repro.obs.metrics import Histogram
 
 #: render order for known stages; unknown prefixes sort after these.
-_STAGE_ORDER = ("capture", "store", "query", "query.plan", "devloop",
-                "parallel", "switch", "pipeline")
+_STAGE_ORDER = ("capture", "store", "tiers", "query", "query.plan",
+                "devloop", "parallel", "switch", "pipeline")
 
 
 def span_stage(name: str) -> str:
@@ -35,6 +35,10 @@ def span_stage(name: str) -> str:
         return "query.plan"
     if name.startswith("store.query"):
         return "query"
+    # Compaction/seal spans get their own row: background maintenance
+    # time should not hide inside foreground store time.
+    if name.startswith("store.tiers"):
+        return "tiers"
     return name.split(".", 1)[0]
 
 

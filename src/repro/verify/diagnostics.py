@@ -108,6 +108,9 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
     "REP307": (Severity.ERROR,
                "direct call to a segment-scan internal outside the "
                "planner/executor modules; go through the query planner"),
+    "REP308": (Severity.ERROR,
+               "direct segment-list mutation outside the store/tiering "
+               "layer; go through evict_segment or the compactor"),
     # -- privacy taint flow (REP4xx) --
     "REP401": (Severity.ERROR,
                "raw privacy-sensitive value reaches an export/print "

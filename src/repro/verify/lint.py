@@ -68,6 +68,14 @@ _WALLCLOCK_ATTRS = {"time", "monotonic", "perf_counter",
 _QUERY_INTERNALS = {"_scan_segment", "_columnar_scan", "_record_scan",
                     "_candidate_positions", "columnar_positions"}
 
+#: list-mutation methods that bypass the store's segment lifecycle
+#: when called on a segment list (REP308).  Splice assignment inside
+#: the tiering layer is the sanctioned publication primitive; everyone
+#: else goes through evict_segment()/the compactor so registry state,
+#: tier gauges, and on-disk cold segments stay consistent.
+_SEGMENT_MUTATORS = {"append", "extend", "insert", "remove", "pop",
+                     "clear", "sort", "reverse"}
+
 #: inline suppression comment: ``# rep: ignore`` or
 #: ``# rep: ignore[REP401]`` / ``# rep: ignore[REP401,REP503]``.
 _SUPPRESS_RE = re.compile(
@@ -143,6 +151,11 @@ class LintConfig:
         default_factory=lambda: ["datastore/query.py",
                                  "datastore/planner.py",
                                  "parallel/kernels.py"])
+    #: the only modules allowed to mutate segment lists in place
+    #: (REP308); everyone else goes through evict_segment()/compaction.
+    segment_mutation_scope: List[str] = field(
+        default_factory=lambda: ["datastore/store.py",
+                                 "datastore/tiers.py"])
     exclude: List[str] = field(
         default_factory=lambda: ["__pycache__", ".egg-info"])
     #: checked-in intentional exceptions: "relative/path.py:REP303"
@@ -191,6 +204,7 @@ class LintConfig:
                     "wallclock-scope": "wallclock_scope",
                     "obs-clock-scope": "obs_clock_scope",
                     "query-internal-scope": "query_internal_scope",
+                    "segment-mutation-scope": "segment_mutation_scope",
                     "exclude": "exclude",
                     "taint-scope": "taint_scope",
                     "taint-exempt-scope": "taint_exempt_scope",
@@ -281,6 +295,8 @@ class _PatternVisitor(ast.NodeVisitor):
                                                 config.obs_clock_scope)
         self._check_query_internals = not config.in_scope(
             self.rel_path, config.query_internal_scope)
+        self._check_segment_mutation = not config.in_scope(
+            self.rel_path, config.segment_mutation_scope)
 
     def _report(self, code: str, message: str, line: int) -> None:
         self.findings.append(diag(
@@ -341,6 +357,26 @@ class _PatternVisitor(ast.NodeVisitor):
             return []
         return parts[::-1]
 
+    @staticmethod
+    def _is_segment_list(node) -> bool:
+        """Does this expression denote a store's segment list (REP308)?
+
+        Two shapes: ``<expr>.segments(...)`` (the public accessor) and
+        ``<expr>._segments[...]`` (the private per-collection map).
+        """
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "segments":
+            return True
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Attribute) and \
+                    value.attr == "_segments":
+                return True
+            if isinstance(value, ast.Name) and value.id == "_segments":
+                return True
+        return False
+
     def visit_Call(self, node) -> None:
         chain = self._attr_chain(node.func)
         if self._check_rng and chain:
@@ -377,6 +413,17 @@ class _PatternVisitor(ast.NodeVisitor):
                 f"execute_query/plan_query so planning (stats pruning, "
                 f"predicate ordering, EXPLAIN) stays in the loop",
                 node.lineno)
+        if self._check_segment_mutation and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SEGMENT_MUTATORS and \
+                self._is_segment_list(node.func.value):
+            self._report(
+                "REP308",
+                f".{node.func.attr}() mutates a segment list directly; "
+                f"call store.evict_segment() (or leave lifecycle to the "
+                f"compactor) so registry state, tier gauges, and "
+                f"on-disk cold segments stay consistent",
+                node.lineno)
         if len(chain) >= 2 and chain[-1] in _SUBMIT_METHODS:
             for arg in node.args:
                 if isinstance(arg, ast.Lambda):
@@ -392,7 +439,7 @@ class PatternRules:
     """Plugin wrapper for the REP3xx per-module pattern rules."""
 
     codes = ("REP301", "REP302", "REP303", "REP304", "REP305", "REP306",
-             "REP307")
+             "REP307", "REP308")
 
     def check(self, ctx: LintContext) -> List[Diagnostic]:
         findings: List[Diagnostic] = []

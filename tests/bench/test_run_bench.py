@@ -1,0 +1,113 @@
+"""Unit tests for the ``run_bench.py`` merge policy.
+
+The regression this pins down: a ``--suite`` run used to fold the
+committed results of suites it never executed straight into the new
+payload, indistinguishable from fresh numbers.  ``merge_payload`` must
+still carry them forward (partial runs must not clobber), but it has
+to *say so* — skipped suites are returned to the caller and recorded
+in the payload under ``skipped_suites``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+run_bench = _load_run_bench()
+
+STATS_A = {"min": 1.0, "median": 1.5, "mean": 1.6, "stddev": 0.1,
+           "rounds": 5}
+STATS_B = {"min": 2.0, "median": 2.5, "mean": 2.6, "stddev": 0.2,
+           "rounds": 5}
+STATS_FRESH = {"min": 0.5, "median": 0.7, "mean": 0.8, "stddev": 0.05,
+               "rounds": 9}
+
+COMMITTED = {
+    "suites": ["alpha.py", "beta.py"],
+    "by_suite": {"alpha.py": ["test_a"], "beta.py": ["test_b"]},
+    "units": "seconds",
+    "baseline": {"test_a": STATS_A, "test_b": STATS_B},
+    "results": {"test_a": STATS_A, "test_b": STATS_B},
+}
+
+
+def test_full_run_reports_no_skips():
+    payload, skipped = run_bench.merge_payload(
+        COMMITTED,
+        {"alpha.py": {"test_a": STATS_FRESH},
+         "beta.py": {"test_b": STATS_FRESH}},
+        ("alpha.py", "beta.py"))
+    assert skipped == []
+    assert payload["skipped_suites"] == []
+    assert payload["results"] == {"test_a": STATS_FRESH,
+                                  "test_b": STATS_FRESH}
+
+
+def test_partial_run_reports_skipped_suite_and_carries_results():
+    payload, skipped = run_bench.merge_payload(
+        COMMITTED,
+        {"alpha.py": {"test_a": STATS_FRESH}},
+        ("alpha.py", "beta.py"))
+    assert skipped == ["beta.py"]
+    assert payload["skipped_suites"] == ["beta.py"]
+    # carried forward, not dropped — partial runs must not clobber
+    assert payload["results"]["test_b"] == STATS_B
+    assert payload["results"]["test_a"] == STATS_FRESH
+    assert payload["by_suite"]["beta.py"] == ["test_b"]
+
+
+def test_baseline_backfills_only_unseen_tests():
+    payload, _ = run_bench.merge_payload(
+        COMMITTED,
+        {"alpha.py": {"test_a": STATS_FRESH, "test_a_new": STATS_FRESH}},
+        ("alpha.py", "beta.py"))
+    # frozen entries survive a faster fresh run
+    assert payload["baseline"]["test_a"] == STATS_A
+    # a test the baseline has never seen gets seeded from this run
+    assert payload["baseline"]["test_a_new"] == STATS_FRESH
+    assert sorted(payload["by_suite"]["alpha.py"]) == \
+        ["test_a", "test_a_new"]
+
+
+def test_new_suite_joins_suites_list_without_erasing_committed():
+    payload, skipped = run_bench.merge_payload(
+        COMMITTED,
+        {"gamma.py": {"test_g": STATS_FRESH}},
+        ("alpha.py", "beta.py", "gamma.py"))
+    assert payload["suites"] == ["alpha.py", "beta.py", "gamma.py"]
+    assert skipped == ["alpha.py", "beta.py"]
+    assert payload["by_suite"]["gamma.py"] == ["test_g"]
+    assert payload["results"]["test_g"] == STATS_FRESH
+    assert payload["results"]["test_a"] == STATS_A
+
+
+def test_legacy_committed_file_without_by_suite():
+    legacy = {"suites": ["alpha.py"], "units": "seconds",
+              "baseline": {"test_a": STATS_A},
+              "results": {"test_a": STATS_A}}
+    payload, skipped = run_bench.merge_payload(
+        legacy, {"alpha.py": {"test_a": STATS_FRESH}}, ("alpha.py",))
+    assert skipped == []
+    assert payload["by_suite"] == {"alpha.py": ["test_a"]}
+
+    # and with the suite not run at all: skipped, nothing invented
+    payload, skipped = run_bench.merge_payload(
+        legacy, {}, ("alpha.py",))
+    assert skipped == ["alpha.py"]
+    assert payload["results"] == {"test_a": STATS_A}
+    assert payload["by_suite"] == {}
+
+
+def test_tiers_suite_is_registered():
+    assert any(s.name == "test_perf_tiers.py" for s in run_bench.SUITES)

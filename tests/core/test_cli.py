@@ -19,6 +19,33 @@ def exported_day(tmp_path_factory):
     return out
 
 
+def test_ingest_streams_flushes_and_reopens(tmp_path, capsys):
+    spill = tmp_path / "tiers"
+    code = main([
+        "ingest", "--profile", "tiny", "--seed", "3",
+        "--duration", "60", "--attack", "scan",
+        "--spill", str(spill), "--memtable", "1024", "--flush-cold",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cold" in out and "refused by the ingest queue" in out
+    assert (spill / "registry.json").exists()
+
+    # reopen from disk: checksums verified, records all in cold
+    assert main(["ingest", "--spill", str(spill),
+                 "--summary-only", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["hot"]["records"] == 0
+    assert summary["warm"]["records"] == 0
+    assert summary["cold"]["records"] > 100
+    assert summary["compaction_debt"] == 0
+
+
+def test_ingest_summary_only_requires_spill(capsys):
+    assert main(["ingest", "--summary-only"]) == 2
+    assert "--spill" in capsys.readouterr().err
+
+
 def test_profiles_lists_known(capsys):
     assert main(["profiles"]) == 0
     out = capsys.readouterr().out

@@ -229,6 +229,82 @@ class TestQueryInternals:
         assert findings == []
 
 
+class TestSegmentMutation:
+    def test_segments_accessor_mutation_flagged_outside_scope(self):
+        findings = _lint("""
+            def drop_first(store):
+                store.segments("packets").remove(
+                    store.segments("packets")[0])
+        """, rel_path="analysis/mod.py")
+        assert [d.code for d in findings] == ["REP308"]
+
+    def test_private_segments_map_mutation_flagged(self):
+        findings = _lint("""
+            def graft(store, segment):
+                store._segments["packets"].append(segment)
+        """, rel_path="capture/mod.py")
+        assert [d.code for d in findings] == ["REP308"]
+
+    def test_every_list_mutator_flagged(self):
+        findings = _lint("""
+            def churn(store, seg):
+                segs = "unused"
+                store.segments("packets").append(seg)
+                store.segments("packets").extend([seg])
+                store.segments("packets").insert(0, seg)
+                store.segments("packets").pop()
+                store.segments("packets").clear()
+                store.segments("packets").sort()
+                store.segments("packets").reverse()
+        """, rel_path="analysis/mod.py")
+        assert [d.code for d in findings] == ["REP308"] * 7
+
+    def test_reads_and_sanctioned_api_are_clean(self):
+        findings = _lint("""
+            def inspect(store, collection, segment):
+                n = len(store.segments(collection))
+                first = store.segments(collection)[0]
+                store.evict_segment(collection, segment)
+                return n, first
+        """, rel_path="analysis/mod.py")
+        assert findings == []
+
+    def test_unrelated_list_mutation_is_clean(self):
+        findings = _lint("""
+            def collect(rows):
+                out = []
+                out.append(rows)
+                out.sort()
+                return out
+        """, rel_path="analysis/mod.py")
+        assert findings == []
+
+    def test_store_and_tiers_modules_allowed(self):
+        source = """
+            def _splice(self, remove, insert):
+                self._segments["packets"].append(insert)
+                self.segments("packets").remove(remove)
+        """
+        for rel_path in ("datastore/store.py", "datastore/tiers.py"):
+            assert _lint(source, rel_path=rel_path) == []
+
+    def test_scope_configurable_from_pyproject_key(self):
+        config = LintConfig(segment_mutation_scope=["analysis"])
+        findings = _lint(
+            "def f(store, seg):\n"
+            "    store.segments(\"packets\").append(seg)\n",
+            rel_path="analysis/mod.py", config=config)
+        assert findings == []
+
+    def test_inline_suppression(self):
+        findings = _lint(
+            "def f(store, seg):\n"
+            "    store.segments(\"p\").append(seg)"
+            "  # rep: ignore[REP308]\n",
+            rel_path="analysis/mod.py")
+        assert findings == []
+
+
 class TestExemptions:
     def test_specific_exemption_suppresses(self):
         config = LintConfig(exemptions={"netsim/mod.py:REP304"})
