@@ -52,6 +52,7 @@ SUITES = (
     Path(__file__).resolve().parent / "test_perf_obs.py",
     Path(__file__).resolve().parent / "test_perf_planner.py",
     Path(__file__).resolve().parent / "test_perf_tiers.py",
+    Path(__file__).resolve().parent / "test_perf_netsim.py",
 )
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 

@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 from operator import attrgetter
 from typing import Callable, Dict, List, Optional
 
-from repro.netsim.packets import PacketRecord
+import numpy as np
+
+from repro.netsim.packets import PacketColumns, PacketRecord
 
 GBPS = 1_000_000_000
 
@@ -178,18 +180,22 @@ class CaptureEngine:
         """Receive the captured (post-loss) packet batches."""
         self._subscribers.append(callback)
 
-    def account_backpressure(self, packets: List[PacketRecord]) -> None:
+    def account_backpressure(self, packets) -> None:
         """Charge packets a downstream bounded queue refused to accept.
 
         The streaming ingestor calls this when the store's ingest queue
         is full, so backpressure losses land in the same stats surface
         as capacity drops — never silently.  The packets were already
         counted as captured; these counters record that they then failed
-        to reach the store.
+        to reach the store.  Accepts a record list or a
+        :class:`~repro.netsim.packets.PacketColumns` batch.
         """
-        if not packets:
+        if not len(packets):
             return
-        rejected_bytes = sum(map(attrgetter("size"), packets))
+        if isinstance(packets, PacketColumns):
+            rejected_bytes = float(packets.size.sum())
+        else:
+            rejected_bytes = sum(map(attrgetter("size"), packets))
         self.stats.packets_backpressure_dropped += len(packets)
         self.stats.bytes_backpressure_dropped += rejected_bytes
         if self.obs is not None:
@@ -202,6 +208,83 @@ class CaptureEngine:
     def _bin_budget(self) -> float:
         assert self.capacity_gbps is not None
         return self.capacity_gbps * GBPS / 8.0 * self.bin_seconds
+
+    def ingest_columns(self, cols: PacketColumns):
+        """Offer a columnar batch; returns the captured PacketColumns.
+
+        The vectorized counterpart of :meth:`ingest` for the fluid
+        engine's tap batches: stats are accounted from column sums and
+        the batch flows through without materializing records.  Tap
+        fault injection and shard routing operate on record objects, so
+        when either is configured the batch falls back to the record
+        path (correctness over speed; those features are chaos/parallel
+        experiments, not million-user runs).
+        """
+        if self.fault_injector is not None or self.shard_router is not None:
+            captured = self.ingest(list(cols.iter_records()))
+            return PacketColumns.from_records(captured)
+        n = len(cols)
+        if n == 0:
+            return cols
+        offered_bytes = float(cols.size.sum())
+        self.stats.packets_offered += n
+        self.stats.bytes_offered += offered_bytes
+        if self.lossless:
+            self.stats.packets_captured += n
+            self.stats.bytes_captured += offered_bytes
+            if self.obs is not None:
+                self._record_obs(n, n, 0, 0, offered_bytes)
+            for subscriber in self._subscribers:
+                subscriber(cols)
+            return cols
+        # Finite capacity: replay the sequential per-bin accounting.
+        # Within one batch, packets hit each bin in batch order (stable
+        # sort by bin), so the per-bin walk reproduces the
+        # packet-at-a-time admit/drop decisions exactly.
+        budget = self._bin_budget() + self.buffer_bytes
+        bins = (cols.timestamp // self.bin_seconds).astype(np.int64)
+        sizes = cols.size.astype(np.float64)
+        keep = np.zeros(n, dtype=bool)
+        order = np.argsort(bins, kind="stable")
+        sorted_bins = bins[order]
+        boundaries = np.concatenate(
+            ([0], np.nonzero(np.diff(sorted_bins))[0] + 1, [n]))
+        for i in range(len(boundaries) - 1):
+            group = order[boundaries[i]:boundaries[i + 1]]
+            bin_id = int(sorted_bins[boundaries[i]])
+            used = self._bin_bytes.get(bin_id, 0.0)
+            group_sizes = sizes[group]
+            total = float(group_sizes.sum())
+            if used + total <= budget:
+                # Uncongested bin (the overwhelming majority): every
+                # packet fits, no sequential walk needed.
+                keep[group] = True
+                self._bin_bytes[bin_id] = used + total
+                continue
+            # Congested bin: the admit decision is a sequential greedy
+            # (a dropped packet consumes no budget, later smaller ones
+            # may still fit), so replay it packet-at-a-time — exactly
+            # what :meth:`ingest` does.
+            admitted = np.zeros(len(group), dtype=bool)
+            for j, packet_size in enumerate(group_sizes):
+                if used + packet_size <= budget:
+                    used += packet_size
+                    admitted[j] = True
+            keep[group] = admitted
+            self._bin_bytes[bin_id] = used
+        captured_bytes = float(sizes[keep].sum())
+        n_kept = int(keep.sum())
+        self.stats.packets_captured += n_kept
+        self.stats.bytes_captured += captured_bytes
+        self.stats.packets_dropped += n - n_kept
+        self.stats.bytes_dropped += offered_bytes - captured_bytes
+        if self.obs is not None:
+            self._record_obs(n, n_kept, n - n_kept, 0, captured_bytes)
+        captured = cols if n_kept == n else cols.take(np.nonzero(keep)[0])
+        if n_kept:
+            for subscriber in self._subscribers:
+                subscriber(captured)
+        return captured
 
     def ingest(self, packets: List[PacketRecord]) -> List[PacketRecord]:
         """Offer a batch to the appliance; returns the captured subset."""

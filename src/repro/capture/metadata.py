@@ -15,8 +15,10 @@ from __future__ import annotations
 import struct
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.capture.flows import WELL_KNOWN_SERVICES
-from repro.netsim.packets import PacketRecord, Protocol
+from repro.netsim.packets import PacketColumns, PacketRecord, Protocol
 from repro.netsim.traffic.payloads import decode_dns_qname
 
 _BATCH_CACHE_LIMIT = 1 << 18
@@ -92,6 +94,75 @@ class MetadataExtractor:
                 if dept:
                     tags["department"] = dept
             append(tags)
+        return out
+
+    def extract_columns(self, cols: PacketColumns) -> List[Dict[str, str]]:
+        """Columnar batch mode: one tag dict per row, no record objects.
+
+        Row-for-row equivalent to :meth:`extract_batch` over
+        ``cols.iter_records()`` — the fluid tap path calls this so tags
+        come straight from the column arrays.  Header-derived base tags
+        are computed once per distinct (protocol, direction, low-port,
+        high-port) combination in the batch; payload and topology
+        lookups reuse the same memo caches as the record path.
+        """
+        n = len(cols)
+        if n == 0:
+            return []
+        base_cache = self._base_cache
+        payload_cache = self._payload_cache
+        if len(base_cache) > _BATCH_CACHE_LIMIT:
+            base_cache.clear()
+        if len(payload_cache) > _BATCH_CACHE_LIMIT:
+            payload_cache.clear()
+        services = WELL_KNOWN_SERVICES
+        src_port = cols.src_port.astype(np.int64)
+        dst_port = cols.dst_port.astype(np.int64)
+        low = np.minimum(src_port, dst_port)
+        high = np.maximum(src_port, dst_port)
+        protocol = cols.protocol.astype(np.int64)
+        dir_codes = np.asarray(cols.direction.codes)
+        combos = np.stack([protocol, dir_codes, low, high], axis=1)
+        uniq, inverse = np.unique(combos, axis=0, return_inverse=True)
+        dir_values = cols.direction.values
+        base_by_combo: List[Dict[str, str]] = []
+        for proto, dcode, port_lo, port_hi in uniq:
+            service = services.get(int(port_lo)) \
+                or services.get(int(port_hi)) or "other"
+            base_key = (int(proto), dir_values[int(dcode)], service)
+            base = base_cache.get(base_key)
+            if base is None:
+                base = base_cache[base_key] = {
+                    "proto": Protocol(int(proto)).name.lower()
+                    if int(proto) in (1, 6, 17) else str(int(proto)),
+                    "direction": dir_values[int(dcode)],
+                    "service": service,
+                }
+            base_by_combo.append(base)
+        out = [dict(base_by_combo[i]) for i in inverse]
+
+        udp = int(Protocol.UDP)
+        for i, payload in enumerate(cols.payload):
+            if not payload:
+                continue
+            is_dns = protocol[i] == udp and \
+                (src_port[i] == 53 or dst_port[i] == 53)
+            payload_key = (payload, bool(is_dns))
+            payload_tags = payload_cache.get(payload_key)
+            if payload_tags is None:
+                payload_tags = payload_cache[payload_key] = \
+                    self._dns_tags(payload) if is_dns else \
+                    self._app_payload_tags(payload)
+            out[i].update(payload_tags)
+
+        if self._topology is not None:
+            in_code = cols.direction.code_of("in")
+            for i in range(n):
+                column = cols.dst_ip if dir_codes[i] == in_code \
+                    else cols.src_ip
+                dept = self._department(cols._ip_at(column, i))
+                if dept:
+                    out[i]["department"] = dept
         return out
 
     def _department(self, internal_ip: str) -> Optional[str]:

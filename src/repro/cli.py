@@ -56,6 +56,26 @@ ATTACKS = {
     "exfil": ("DataExfiltration", {}),
 }
 
+#: CLI attack names that have a fluid-overlay counterpart.
+FLUID_ATTACKS = {"dns-amp": "ddos", "scan": "scan", "exfil": "exfil"}
+
+
+def _add_fluid_args(parser) -> None:
+    """Shared fluid-engine scale knobs (``ingest --fluid``, ``simulate``)."""
+    parser.add_argument("--users", type=int, default=10_000,
+                        help="population size for the fluid engine "
+                             "(cohort aggregation makes 10^6 routine)")
+    parser.add_argument("--cohorts", type=int, default=32,
+                        help="behavior cohorts the population "
+                             "aggregates into")
+    parser.add_argument("--tick", type=float, default=60.0,
+                        help="fluid tick length in simulated seconds")
+    parser.add_argument("--tap-sample", type=float, default=1.0,
+                        dest="tap_sample",
+                        help="probability a border flow is expanded "
+                             "into tap packets (demand accounting "
+                             "always covers the full population)")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -130,6 +150,27 @@ def _build_parser() -> argparse.ArgumentParser:
                              "tier summary")
     ingest.add_argument("--json", action="store_true",
                         help="emit the tier summary as JSON")
+    ingest.add_argument("--fluid", action="store_true",
+                        help="generate the day with the fluid "
+                             "population engine (tap-side columnar "
+                             "synthesis) instead of the discrete "
+                             "per-user simulator")
+    _add_fluid_args(ingest)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="fluid generation only: run the population engine and "
+             "report rates (no capture, no store)")
+    simulate.add_argument("--profile", default="small")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--duration", type=float, default=3600.0,
+                          help="simulated seconds")
+    simulate.add_argument("--attack", action="append", default=[],
+                          choices=sorted(FLUID_ATTACKS),
+                          help="superimpose a labeled event overlay "
+                               "(repeatable)")
+    simulate.add_argument("--json", action="store_true")
+    _add_fluid_args(simulate)
 
     inspect = sub.add_parser("inspect", help="summarize an exported store")
     inspect.add_argument("--store", required=True)
@@ -386,12 +427,152 @@ def _emit_tier_summary(summary: dict, as_json: bool,
     print(f"compaction debt: {summary['compaction_debt']} op(s)")
 
 
+def _fluid_engine_from_args(args):
+    """Build a fluid engine + ground truth + overlays from CLI args."""
+    from repro.events import GroundTruth, add_fluid_event
+    from repro.netsim.campus import make_fluid_campus
+
+    engine = make_fluid_campus(
+        args.profile, n_users=args.users, seed=args.seed,
+        n_cohorts=args.cohorts, tick_seconds=args.tick,
+        tap_sample=args.tap_sample)
+    ground_truth = GroundTruth()
+    attacks = [a for a in args.attack if a in FLUID_ATTACKS]
+    skipped = [a for a in args.attack if a not in FLUID_ATTACKS]
+    if skipped:
+        print(f"ingest: no fluid overlay for {', '.join(skipped)}; "
+              f"skipped", file=sys.stderr)
+    n = max(len(attacks), 1)
+    for i, name in enumerate(attacks):
+        start = engine.config.start_time \
+            + args.duration * (i + 0.5) / (n + 0.5)
+        duration = min(args.duration * 0.15, 60.0)
+        add_fluid_event(engine, ground_truth, FLUID_ATTACKS[name],
+                        start, duration, seed=args.seed + i)
+    return engine, ground_truth
+
+
+def _cmd_ingest_fluid(args) -> int:
+    """The million-user path: fluid tap batches stream straight into
+    the tiered store as columns (capture -> bounded queue -> memtable),
+    no per-packet record objects until the store wraps them."""
+    if args.shards > 1:
+        print("ingest: --fluid does not support --shards > 1",
+              file=sys.stderr)
+        return 2
+    from repro.capture.engine import CaptureEngine
+    from repro.capture.metadata import MetadataExtractor
+    from repro.datastore.tiers import StreamingIngestor, TieredDataStore, \
+        TierPolicy
+
+    store = TieredDataStore(
+        metadata_extractor=MetadataExtractor(),
+        policy=TierPolicy(memtable_records=args.memtable),
+        spill_dir=args.spill)
+    if args.privacy != "none":
+        from repro.privacy import PrivacyLevel, PrivacyPolicy, \
+            make_ingest_transform
+
+        level = {p.value: p for p in PrivacyLevel}[args.privacy]
+        policy = PrivacyPolicy.preset(level)
+        store.add_ingest_transform(make_ingest_transform(
+            policy, lambda ip: ip.startswith("10.")))
+    capture = CaptureEngine()
+    # Not auto-subscribed: a fluid tick batch can dwarf the queue, so
+    # the deliverer slices it to queue-sized chunks and pumps between
+    # slices — the queue stays bounded without wholesale rejections,
+    # and genuine stalls still surface as accounted backpressure.
+    ingestor = StreamingIngestor(store, queue_records=args.queue)
+    ingestor.engine = capture
+    engine, _ = _fluid_engine_from_args(args)
+    chunk = max(args.queue, 1)
+
+    def deliver(cols) -> None:
+        captured = capture.ingest_columns(cols)
+        n = len(captured)
+        for lo in range(0, n, chunk):
+            ingestor(captured.slice(lo, min(lo + chunk, n)))
+            ingestor.pump()
+
+    engine.add_packet_observer(deliver)
+    summary_run = engine.run(args.duration)
+    ingestor.drain()
+    if args.flush_cold:
+        store.flush_to_cold()
+        store.compactor.run()
+    summary = store.tier_summary()
+    extra = {
+        "users": args.users,
+        "flows": summary_run.total_flows,
+        "captured": capture.stats.packets_captured,
+        "backpressure_dropped":
+            capture.stats.packets_backpressure_dropped,
+        "queue_accepted": ingestor.queue.accepted_records,
+        "queue_rejected": ingestor.queue.rejected_records,
+    }
+    if args.json:
+        _emit_tier_summary(summary, True, extra)
+    else:
+        print(f"fluid day: {args.users} users, "
+              f"{summary_run.total_flows} border flows, "
+              f"{capture.stats.packets_captured} packets captured "
+              f"({capture.stats.packets_backpressure_dropped} refused "
+              f"by the ingest queue)")
+        _emit_tier_summary(summary, False)
+        if args.spill:
+            print(f"cold tier persisted under {args.spill}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Fluid generation only: run the engine, report rates."""
+    engine, ground_truth = _fluid_engine_from_args(args)
+    packets = 0
+    batches = 0
+
+    def count(cols) -> None:
+        nonlocal packets, batches
+        packets += len(cols)
+        batches += 1
+
+    engine.add_packet_observer(count)
+    summary = engine.run(args.duration)
+    rate = packets / args.duration if args.duration else 0.0
+    if args.json:
+        print(json.dumps({
+            "users": args.users,
+            "cohorts": engine.cohorts.n_cohorts,
+            "duration_s": args.duration,
+            "border_flows": summary.total_flows,
+            "tap_flows": summary.total_tap_flows,
+            "tap_packets": summary.total_packets,
+            "bytes_drained": summary.total_bytes,
+            "packets_per_sim_second": rate,
+            "events": [w.label for w in ground_truth.windows],
+        }, indent=2))
+    else:
+        print(f"{args.users} users -> {engine.cohorts.n_cohorts} cohorts, "
+              f"{args.duration:.0f}s simulated")
+        print(f"border flows: {summary.total_flows}  "
+              f"tap flows: {summary.total_tap_flows}  "
+              f"tap packets: {summary.total_packets} "
+              f"({rate:.0f} pkt/sim-s in {batches} batches)")
+        print(f"bytes drained through the uplink model: "
+              f"{summary.total_bytes:.3e}")
+        for window in ground_truth.windows:
+            print(f"event {window.label}: "
+                  f"t=[{window.start_time:.0f}, {window.end_time:.0f}]")
+    return 0
+
+
 def cmd_ingest(args) -> int:
     """Stream a simulated day into the tiered store; report the tiers.
 
     Exit code 0 on success, 2 on malformed arguments (e.g.
     ``--summary-only`` without ``--spill``).
     """
+    if getattr(args, "fluid", False) and not args.summary_only:
+        return _cmd_ingest_fluid(args)
     if args.summary_only:
         if not args.spill:
             print("ingest: --summary-only needs --spill DIR",
@@ -784,6 +965,7 @@ def cmd_scenarios(args) -> int:
 _COMMANDS = {
     "run-day": cmd_run_day,
     "ingest": cmd_ingest,
+    "simulate": cmd_simulate,
     "inspect": cmd_inspect,
     "query": cmd_query,
     "train": cmd_train,

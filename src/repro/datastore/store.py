@@ -186,7 +186,10 @@ class DataStore:
         transforms, which are inherently record-at-a-time).
         """
         if isinstance(packets, PacketColumns):
-            packets = list(packets.iter_records())
+            if self.ingest_transforms:
+                packets = list(packets.iter_records())
+            else:
+                return self._ingest_packet_columns(packets)
         elif not isinstance(packets, list):
             packets = list(packets)
         if not packets:
@@ -217,6 +220,41 @@ class DataStore:
             space = segment.capacity - len(segment)
             segment.append_batch(stored[offset:offset + space])
             offset += space
+        if self.obs is not None:
+            self._record_ingest_obs("packets", total)
+        return total
+
+    def _ingest_packet_columns(self, cols: PacketColumns) -> int:
+        """Columnar ingest: tags from arrays, column blocks adopted.
+
+        Records still back the segments (they are the source of truth
+        for every non-columnar code path), but metadata extraction runs
+        over the column arrays and each fresh segment adopts its slice
+        of the incoming batch — the vectorized query path never has to
+        rebuild what the tap already produced.
+        """
+        total = len(cols)
+        if total == 0:
+            return 0
+        self._chaos_gate("ingest_packets")
+        if self.metadata_extractor is not None:
+            tags_list = self.metadata_extractor.extract_columns(cols)
+        else:
+            tags_list = [{} for _ in range(total)]
+        offset = 0
+        while offset < total:
+            segment = self._open_segment("packets")
+            space = segment.capacity - len(segment)
+            hi = min(offset + space, total)
+            chunk = cols.slice(offset, hi)
+            fresh = len(segment) == 0
+            stored = list(map(StoredRecord, self._record_ids,
+                              chunk.iter_records(), tags_list[offset:hi],
+                              itertools.repeat(None)))
+            segment.append_batch(stored)
+            if fresh:
+                segment.adopt_columns(chunk)
+            offset = hi
         if self.obs is not None:
             self._record_ingest_obs("packets", total)
         return total

@@ -603,9 +603,15 @@ class IngestQueue:
             self._m_rejected = obs.metrics.counter(
                 "repro_ingest_queue_rejected_records_total")
 
-    def offer(self, packets: List) -> bool:
-        """Enqueue one captured batch; False = refused (backpressure)."""
-        if not packets:
+    def offer(self, packets) -> bool:
+        """Enqueue one captured batch; False = refused (backpressure).
+
+        Accepts a record list or a :class:`~repro.netsim.packets.
+        PacketColumns` batch; columnar batches stay columnar end to end
+        (no per-record copy here, and the store ingests the columns
+        directly when the queue drains).
+        """
+        if not len(packets):
             return True
         self.offered_batches += 1
         injector = self.fault_injector
@@ -617,7 +623,8 @@ class IngestQueue:
             if self.obs is not None:
                 self._m_rejected.inc(len(packets))
             return False
-        self._batches.append(list(packets))
+        self._batches.append(packets if isinstance(packets, PacketColumns)
+                             else list(packets))
         self.depth += len(packets)
         self.accepted_records += len(packets)
         if self.obs is not None:

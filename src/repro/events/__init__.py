@@ -26,6 +26,9 @@ from repro.events.performance import LinkCongestionIncident, LinkFlapIncident, \
     LinkDegradationIncident
 from repro.events.scenario import Scenario, ScenarioStep, run_scenario
 from repro.events.library import SCENARIO_LIBRARY, make_scenario
+from repro.events.fluid import (FLUID_EVENTS, add_fluid_event,
+                                fluid_dns_amplification,
+                                fluid_exfiltration, fluid_port_scan)
 
 __all__ = [
     "EventGenerator",
@@ -45,4 +48,9 @@ __all__ = [
     "run_scenario",
     "SCENARIO_LIBRARY",
     "make_scenario",
+    "FLUID_EVENTS",
+    "add_fluid_event",
+    "fluid_dns_amplification",
+    "fluid_port_scan",
+    "fluid_exfiltration",
 ]

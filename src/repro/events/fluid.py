@@ -1,0 +1,161 @@
+"""Fluid-engine overlays for labeled events.
+
+The discrete generators in this package schedule per-flow callbacks on
+a :class:`~repro.netsim.network.CampusNetwork`.  At fluid scale there
+is no per-flow scheduler, so each event becomes a
+:class:`~repro.netsim.fluid.FluidOverlay`: a labeled Poisson flow
+process with fixed endpoints superimposed on the cohort baseline and
+expanded through the same tap-side columnar synthesis.  Ground truth
+is registered exactly as for the discrete generators — the same
+:class:`~repro.events.base.EventWindow` records, the same
+:class:`~repro.events.base.GroundTruth` registry — so detectors and
+evaluation code cannot tell which engine produced the day.
+
+The shapes mirror the discrete generators, not each other: DNS
+amplification is inbound UDP/53 with an extreme forward byte ratio,
+the port scan is one external source probing many campus addresses
+with tiny SYN flows, exfiltration is one compromised host trickling
+large outbound chunks to a single drop point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.events.base import EventWindow, GroundTruth
+from repro.events.scan import COMMON_PORTS
+from repro.netsim.fluid import (CAMPUS_BASE_U32, INTERNET_BASE_U32,
+                                FluidOverlay, FluidTrafficEngine)
+from repro.netsim.packets import Protocol, u32_to_ip
+
+GBPS = 1_000_000_000.0
+
+
+def _register(ground_truth: GroundTruth, kind: str, label: str,
+              start_time: float, duration: float, victims, actors,
+              **details) -> EventWindow:
+    return ground_truth.add(EventWindow(
+        kind=kind, label=label, start_time=start_time,
+        end_time=start_time + duration,
+        victims=[u32_to_ip(int(v)) for v in victims],
+        actors=[u32_to_ip(int(a)) for a in actors],
+        details=details))
+
+
+def fluid_dns_amplification(engine: FluidTrafficEngine,
+                            ground_truth: GroundTruth, start_time: float,
+                            duration: float, seed: Optional[int] = None,
+                            resolvers: int = 12, attack_gbps: float = 2.0,
+                            burst_seconds: float = 1.0,
+                            amplification: float = 40.0) -> EventWindow:
+    """Spoofed-source DNS reflection against one campus user."""
+    rng = np.random.default_rng(seed)
+    config = engine.config
+    victim = np.uint32(
+        CAMPUS_BASE_U32 + int(rng.integers(0, config.n_users)))
+    resolver_ips = (INTERNET_BASE_U32 + rng.choice(
+        config.internet_hosts, size=min(resolvers, config.internet_hosts),
+        replace=False)).astype(np.uint32)
+    # One reflection flow per resolver per burst, each carrying the
+    # per-resolver share of the burst volume — the discrete generator's
+    # rate, expressed as a Poisson intensity.
+    flows_per_second = len(resolver_ips) / burst_seconds
+    bytes_per_flow = (attack_gbps * GBPS / 8.0 * burst_seconds
+                      / max(len(resolver_ips), 1))
+    fwd_fraction = amplification / (amplification + 1.0)
+    engine.add_overlay(FluidOverlay(
+        label="ddos-dns-amp", app="dns",
+        start_time=start_time, end_time=start_time + duration,
+        flows_per_second=flows_per_second,
+        size_sampler=lambda r, n: np.full(int(n), bytes_per_flow),
+        src_ips=resolver_ips, dst_ips=np.array([victim], dtype=np.uint32),
+        protocol=int(Protocol.UDP), fwd_fraction=fwd_fraction,
+        src_port=53,
+        dst_ports=tuple(int(p) for p in rng.integers(1024, 65535, 64)),
+        src_internal=False,
+        flow_rate_bps=bytes_per_flow * 8.0 / burst_seconds,
+        ttl=56))
+    return _register(ground_truth, "ddos", "ddos-dns-amp", start_time,
+                     duration, victims=[victim], actors=resolver_ips,
+                     attack_gbps=attack_gbps, amplification=amplification)
+
+
+def fluid_port_scan(engine: FluidTrafficEngine, ground_truth: GroundTruth,
+                    start_time: float, duration: float,
+                    seed: Optional[int] = None,
+                    probes_per_s: float = 50.0,
+                    targets: int = 256) -> EventWindow:
+    """One external scanner probing many campus addresses."""
+    rng = np.random.default_rng(seed)
+    config = engine.config
+    scanner = np.uint32(
+        INTERNET_BASE_U32 + int(rng.integers(0, config.internet_hosts)))
+    target_ips = (CAMPUS_BASE_U32 + rng.choice(
+        config.n_users, size=min(targets, config.n_users),
+        replace=False)).astype(np.uint32)
+    engine.add_overlay(FluidOverlay(
+        label="port-scan", app="scan",
+        start_time=start_time, end_time=start_time + duration,
+        flows_per_second=probes_per_s,
+        size_sampler=lambda r, n: np.full(int(n), 44.0),
+        src_ips=np.array([scanner], dtype=np.uint32),
+        dst_ips=target_ips,
+        protocol=int(Protocol.TCP), fwd_fraction=0.9,
+        dst_ports=tuple(COMMON_PORTS), src_internal=False,
+        flow_rate_bps=44.0 * 8.0 / 0.01,   # probe lasts ~10 ms
+        ttl=52))
+    return _register(ground_truth, "scan", "port-scan", start_time,
+                     duration, victims=target_ips, actors=[scanner],
+                     probes_per_s=probes_per_s)
+
+
+def fluid_exfiltration(engine: FluidTrafficEngine,
+                       ground_truth: GroundTruth, start_time: float,
+                       duration: float, seed: Optional[int] = None,
+                       total_bytes: float = 200e6,
+                       chunk_interval_s: float = 10.0) -> EventWindow:
+    """Low-and-slow upload from one compromised host to a drop point."""
+    rng = np.random.default_rng(seed)
+    config = engine.config
+    compromised = np.uint32(
+        CAMPUS_BASE_U32 + int(rng.integers(0, config.n_users)))
+    drop_point = np.uint32(
+        INTERNET_BASE_U32 + int(rng.integers(0, config.internet_hosts)))
+    n_chunks = max(int(duration / chunk_interval_s), 1)
+    chunk_bytes = total_bytes / n_chunks
+    engine.add_overlay(FluidOverlay(
+        label="exfiltration", app="https",
+        start_time=start_time, end_time=start_time + duration,
+        flows_per_second=1.0 / chunk_interval_s,
+        size_sampler=lambda r, n: chunk_bytes * r.uniform(
+            0.7, 1.3, size=int(n)),
+        src_ips=np.array([compromised], dtype=np.uint32),
+        dst_ips=np.array([drop_point], dtype=np.uint32),
+        protocol=int(Protocol.TCP), fwd_fraction=0.97,
+        dst_ports=(443,), src_internal=True,
+        flow_rate_bps=5e6, ttl=64))
+    return _register(ground_truth, "exfil", "exfiltration", start_time,
+                     duration, victims=[compromised], actors=[drop_point],
+                     total_bytes=total_bytes)
+
+
+#: kind -> builder, the fluid counterpart of the CLI's --attack choices.
+FLUID_EVENTS = {
+    "ddos": fluid_dns_amplification,
+    "scan": fluid_port_scan,
+    "exfil": fluid_exfiltration,
+}
+
+
+def add_fluid_event(engine: FluidTrafficEngine, ground_truth: GroundTruth,
+                    kind: str, start_time: float, duration: float,
+                    seed: Optional[int] = None) -> EventWindow:
+    """Attach one named event overlay; raises KeyError on unknown kind."""
+    try:
+        builder = FLUID_EVENTS[kind]
+    except KeyError:
+        known = ", ".join(sorted(FLUID_EVENTS))
+        raise KeyError(f"unknown fluid event {kind!r}; one of: {known}")
+    return builder(engine, ground_truth, start_time, duration, seed=seed)

@@ -17,6 +17,9 @@ the paper assumes.  It provides:
 * :mod:`repro.netsim.traffic` — per-application traffic models.
 * :mod:`repro.netsim.campus` — prebuilt campus profiles used throughout
   the experiments.
+* :mod:`repro.netsim.cohorts` — population-to-cohort aggregation.
+* :mod:`repro.netsim.fluid` — population-level fluid traffic engine
+  with tap-side columnar packet synthesis (million-user scale).
 """
 
 from repro.netsim.simulator import Simulator
@@ -25,7 +28,11 @@ from repro.netsim.links import Link
 from repro.netsim.flows import Flow, FluidFlowNetwork
 from repro.netsim.packets import PacketRecord, Protocol, synthesize_packets
 from repro.netsim.network import CampusNetwork
-from repro.netsim.campus import CampusProfile, make_campus, CAMPUS_PROFILES
+from repro.netsim.campus import (CampusProfile, make_campus,
+                                 make_fluid_campus, CAMPUS_PROFILES)
+from repro.netsim.cohorts import CohortTable, build_cohorts
+from repro.netsim.fluid import FluidConfig, FluidOverlay, FluidTrafficEngine
+from repro.netsim.users import diurnal_factor, diurnal_factor_array
 
 __all__ = [
     "Simulator",
@@ -41,5 +48,13 @@ __all__ = [
     "CampusNetwork",
     "CampusProfile",
     "make_campus",
+    "make_fluid_campus",
     "CAMPUS_PROFILES",
+    "CohortTable",
+    "build_cohorts",
+    "FluidConfig",
+    "FluidOverlay",
+    "FluidTrafficEngine",
+    "diurnal_factor",
+    "diurnal_factor_array",
 ]

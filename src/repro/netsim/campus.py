@@ -168,6 +168,53 @@ CAMPUS_PROFILES: Dict[str, CampusProfile] = {
 }
 
 
+def make_fluid_campus(profile: str = "small", n_users: int = 10_000,
+                      seed: int = 0, n_cohorts: int = 32,
+                      tick_seconds: float = 60.0,
+                      tap_sample: float = 1.0,
+                      start_time: float = 8 * 3600.0,
+                      mean_flows_per_hour: Optional[float] = None,
+                      obs=None) -> "FluidTrafficEngine":
+    """Instantiate a fluid engine from a named campus profile.
+
+    The profile's topology spec sets link capacities and department
+    count; the fluid engine scales the *population* independently of
+    the host-graph size (that is the point — a million users on the
+    "small" campus link plan), so ``n_users`` replaces the discrete
+    host count.
+
+    >>> eng = make_fluid_campus("tiny", n_users=500, seed=7)
+    >>> eng.config.n_users
+    500
+    """
+    from repro.netsim.fluid import FluidConfig, FluidTrafficEngine
+
+    try:
+        prof = CAMPUS_PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(CAMPUS_PROFILES))
+        raise KeyError(f"unknown campus profile {profile!r}; one of: {known}")
+    spec = prof.spec
+    config = FluidConfig(
+        n_users=n_users,
+        n_cohorts=n_cohorts,
+        mean_flows_per_hour=(mean_flows_per_hour
+                             if mean_flows_per_hour is not None
+                             else prof.mean_flows_per_hour),
+        tick_seconds=tick_seconds,
+        tap_sample=tap_sample,
+        host_rate_bps=spec.host_mbps * 1e6,
+        uplink_gbps=spec.uplink_gbps,
+        core_gbps=spec.core_gbps,
+        distribution_gbps=spec.distribution_gbps,
+        n_departments=spec.departments,
+        internet_hosts=max(spec.internet_hosts, 256),
+        start_time=start_time,
+    )
+    return FluidTrafficEngine(config=config, mix=prof.mix_builder(),
+                              seed=seed, obs=obs)
+
+
 def make_campus(profile: str = "small", seed: int = 0,
                 start_time: float = 8 * 3600.0,
                 mean_flows_per_hour: Optional[float] = None) -> CampusNetwork:

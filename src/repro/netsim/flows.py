@@ -18,8 +18,11 @@ Invariants (property-tested in ``tests/netsim/test_fairness.py``):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.netsim.links import Link, LinkTable
 from repro.netsim.packets import FiveTuple, Protocol
@@ -27,6 +30,31 @@ from repro.netsim.simulator import EventHandle, Simulator
 
 RATE_EPSILON = 1e-9
 BYTES_EPSILON = 0.5
+
+
+def rate_curve(starts, ends, sizes, bin_seconds: float,
+               t0: float, t1: float) -> np.ndarray:
+    """Aggregate byte rate per time bin from per-flow (start, end, bytes).
+
+    Each flow's bytes are spread uniformly across its lifetime (the
+    fluid abstraction) and accumulated into ``[t0, t1)`` bins of
+    ``bin_seconds``.  This is the common yardstick the equivalence
+    suite uses to compare the discrete engine's completed flows with
+    the fluid engine's tap output: both reduce to the same curve.
+    """
+    starts = np.asarray(starts, dtype=np.float64)
+    ends = np.asarray(ends, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    n_bins = max(int(math.ceil((t1 - t0) / bin_seconds)), 1)
+    curve = np.zeros(n_bins)
+    durations = np.maximum(ends - starts, 1e-9)
+    edges = t0 + np.arange(n_bins + 1) * bin_seconds
+    for b in range(n_bins):
+        overlap = (np.minimum(ends, edges[b + 1])
+                   - np.maximum(starts, edges[b]))
+        overlap = np.maximum(overlap, 0.0)
+        curve[b] = float(np.sum(sizes * overlap / durations))
+    return curve / bin_seconds
 
 
 @dataclass

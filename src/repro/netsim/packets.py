@@ -396,6 +396,60 @@ class PacketColumns:
             payload=[r.payload for r in records],
         )
 
+    @classmethod
+    def from_arrays(cls, *, timestamp, src_ip, dst_ip, src_port, dst_port,
+                    protocol, size, payload_len, flags, ttl, flow_id,
+                    direction, app, label,
+                    payload: Optional[List[bytes]] = None
+                    ) -> "PacketColumns":
+        """Build a batch straight from arrays — the tap-synthesis path.
+
+        Numeric inputs are coerced to float64 (scalars broadcast over
+        the batch); ``src_ip``/``dst_ip`` may be uint32 arrays (kept
+        as-is — the fluid engine synthesizes addresses as integers and
+        never round-trips through strings) or string sequences;
+        direction/app/label may be prebuilt :class:`DictColumn` values
+        or string sequences.  ``payload`` defaults to empty fragments.
+        """
+        n = len(timestamp)
+
+        def numeric(column):
+            arr = np.asarray(column, dtype=np.float64)
+            if arr.ndim == 0:
+                return np.full(n, float(arr))
+            return arr
+
+        def address(column) -> IPColumn:
+            if isinstance(column, DictColumn):
+                return column
+            arr = np.asarray(column)
+            if arr.dtype == np.uint32:
+                return arr
+            return _encode_ips(list(column))
+
+        def strings(column) -> DictColumn:
+            if isinstance(column, DictColumn):
+                return column
+            return DictColumn.encode(list(column))
+
+        return cls(
+            timestamp=numeric(timestamp),
+            src_port=numeric(src_port),
+            dst_port=numeric(dst_port),
+            protocol=numeric(protocol),
+            size=numeric(size),
+            payload_len=numeric(payload_len),
+            flags=numeric(flags),
+            ttl=numeric(ttl),
+            flow_id=numeric(flow_id),
+            src_ip=address(src_ip),
+            dst_ip=address(dst_ip),
+            direction=strings(direction),
+            app=strings(app),
+            label=strings(label),
+            payload=payload if payload is not None else [b""] * n,
+        )
+
     def __len__(self) -> int:
         return len(self.timestamp)
 

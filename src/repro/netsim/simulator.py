@@ -30,10 +30,11 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -45,7 +46,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._sim._note_cancel()
 
 
 class Simulator:
@@ -60,11 +63,16 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: lazy-compaction trigger: compact in :meth:`step` once at least
+    #: this many cancelled events linger AND they outnumber live ones.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled = 0
         self._running = False
 
     @property
@@ -78,8 +86,22 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._heap) - self._cancelled
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify the survivors.
+
+        Cancellation only marks events; long-running simulations that
+        reschedule aggressively (timeout patterns) would otherwise keep
+        tombstones in the heap until their original deadline.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], name: str = ""
@@ -91,7 +113,7 @@ class Simulator:
             )
         event = _ScheduledEvent(float(time), next(self._seq), callback, name=name)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule(
         self, delay: float, callback: Callable[[], None], name: str = ""
@@ -105,15 +127,20 @@ class Simulator:
         """Timestamp of the next live event, or ``None`` if queue is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self._events_processed += 1

@@ -31,6 +31,61 @@ class FlowTemplate:
     label: str = "benign"
 
 
+@dataclass(frozen=True)
+class FluidVariant:
+    """One jointly-sampled (port, direction-split, cap) flow shape.
+
+    The discrete models correlate these per flow (mail's submission
+    port goes with its upload-heavy split); keeping them joint in the
+    fluid profile preserves those correlations in the tap marginals.
+    """
+
+    weight: float
+    dst_port: int
+    fwd_fraction: float
+    rate_cap_bps: Optional[float] = None
+
+
+@dataclass
+class FluidAppProfile:
+    """Population-level description of one application class.
+
+    The vectorized counterpart of :meth:`AppTrafficModel.sample`: the
+    fluid engine draws whole arrays of flow sizes and variant indexes
+    per tick instead of one template at a time.  ``p_internet`` is the
+    probability a flow of this class crosses the border tap (derived
+    from the discrete model's to_server/to_internet destination
+    logic), which is all the tap-side synthesis needs.
+    """
+
+    name: str
+    protocol: int
+    p_internet: float
+    variants: Tuple[FluidVariant, ...]
+    size_sampler: Callable[[np.random.Generator, int], np.ndarray]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"fluid profile {self.name!r} needs variants")
+        raw = np.asarray([v.weight for v in self.variants], dtype=float)
+        if np.any(raw < 0) or raw.sum() <= 0:
+            raise ValueError("variant weights must be non-negative, sum > 0")
+        self.variant_weights = raw / raw.sum()
+
+    def sample_variants(self, rng: np.random.Generator,
+                        n: int) -> np.ndarray:
+        """Variant index per flow."""
+        return rng.choice(len(self.variants), size=int(n),
+                          p=self.variant_weights)
+
+    def mean_rate_cap(self, default_bps: float) -> float:
+        """Weight-averaged per-flow rate ceiling (fluid demand cap)."""
+        return float(sum(
+            w * (v.rate_cap_bps if v.rate_cap_bps is not None
+                 else default_bps)
+            for v, w in zip(self.variants, self.variant_weights)))
+
+
 class AppTrafficModel(abc.ABC):
     """One application class: flow shape + payload synthesis."""
 
@@ -41,6 +96,11 @@ class AppTrafficModel(abc.ABC):
     def sample(self, rng: np.random.Generator) -> FlowTemplate:
         """Draw one flow template."""
 
+    def fluid_profile(self) -> FluidAppProfile:
+        """Vectorized population-level profile (fluid engine input)."""
+        raise NotImplementedError(
+            f"traffic model {self.name!r} has no fluid profile")
+
     @staticmethod
     def lognormal_bytes(rng: np.random.Generator, median: float,
                         sigma: float, floor: float = 64.0,
@@ -48,6 +108,15 @@ class AppTrafficModel(abc.ABC):
         """Heavy-tailed flow size; ``median`` in bytes, ``sigma`` shape."""
         value = rng.lognormal(mean=np.log(median), sigma=sigma)
         return float(min(max(value, floor), ceil))
+
+    @staticmethod
+    def lognormal_sizes(rng: np.random.Generator, n: int, median: float,
+                        sigma: float, floor: float = 64.0,
+                        ceil: float = 5e9) -> np.ndarray:
+        """Vectorized :meth:`lognormal_bytes`: ``n`` iid flow sizes."""
+        values = rng.lognormal(mean=np.log(median), sigma=sigma,
+                               size=int(n))
+        return np.clip(values, floor, ceil)
 
 
 class TrafficMix:

@@ -6,7 +6,9 @@ import numpy as np
 
 from repro.netsim.packets import Protocol
 from repro.netsim.traffic import payloads
-from repro.netsim.traffic.base import AppTrafficModel, FlowTemplate, TrafficMix
+from repro.netsim.traffic.base import (AppTrafficModel, FlowTemplate,
+                                       FluidAppProfile, FluidVariant,
+                                       TrafficMix)
 
 MBPS = 1_000_000
 
@@ -29,6 +31,15 @@ class WebBrowsingModel(AppTrafficModel):
             payload_fn=payload,
         )
 
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=1.0,
+            variants=(FluidVariant(0.85, 443, 0.08),
+                      FluidVariant(0.15, 80, 0.08)),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=60_000, sigma=1.6),
+        )
+
 
 class VideoStreamingModel(AppTrafficModel):
     """Long-lived, rate-capped segments (adaptive streaming)."""
@@ -46,6 +57,15 @@ class VideoStreamingModel(AppTrafficModel):
             dst_port=443,
             rate_cap_bps=cap,
             payload_fn=payloads.tls_payload,
+        )
+
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=1.0,
+            variants=tuple(FluidVariant(0.25, 443, 0.02, float(m) * MBPS)
+                           for m in (3, 5, 8, 12)),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=8_000_000, sigma=1.0),
         )
 
 
@@ -67,6 +87,17 @@ class DnsModel(AppTrafficModel):
             to_server=True,
         )
 
+    def fluid_profile(self) -> FluidAppProfile:
+        # Border-crossing probability from the discrete destination
+        # logic: to_internet (0.3) and then the 50/50 server-vs-internet
+        # coin in CampusNetwork._choose_destination.
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.UDP), p_internet=0.15,
+            variants=(FluidVariant(1.0, 53, 0.25),),
+            size_sampler=lambda rng, n: rng.integers(
+                120, 600, size=int(n)).astype(np.float64),
+        )
+
 
 class SshModel(AppTrafficModel):
     """Interactive sessions; roughly symmetric, small."""
@@ -84,6 +115,14 @@ class SshModel(AppTrafficModel):
             payload_fn=payloads.ssh_payload,
             to_internet=rng.random() < 0.4,
             to_server=True,
+        )
+
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=0.2,
+            variants=(FluidVariant(1.0, 22, 0.45),),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=25_000, sigma=1.2),
         )
 
 
@@ -106,6 +145,17 @@ class MailModel(AppTrafficModel):
             to_server=True,
         )
 
+    def fluid_profile(self) -> FluidAppProfile:
+        # Submission (587, upload-heavy) vs IMAP sync (993): the port
+        # and the direction split stay correlated, as in sample().
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=0.25,
+            variants=(FluidVariant(0.4, 587, 0.8),
+                      FluidVariant(0.6, 993, 0.1)),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=90_000, sigma=1.4),
+        )
+
 
 class NtpModel(AppTrafficModel):
     """Clock sync; tiny symmetric UDP."""
@@ -120,6 +170,13 @@ class NtpModel(AppTrafficModel):
             protocol=int(Protocol.UDP),
             dst_port=123,
             payload_fn=payloads.ntp_payload,
+        )
+
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.UDP), p_internet=1.0,
+            variants=(FluidVariant(1.0, 123, 0.5),),
+            size_sampler=lambda rng, n: np.full(int(n), 180.0),
         )
 
 
@@ -140,6 +197,14 @@ class BulkTransferModel(AppTrafficModel):
             payload_fn=payloads.opaque_payload,
         )
 
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=1.0,
+            variants=(FluidVariant(1.0, 443, 0.95),),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=150_000_000, sigma=1.2, ceil=3e9),
+        )
+
 
 class SoftwareUpdateModel(AppTrafficModel):
     """OS/package updates; large downloads from CDNs."""
@@ -156,6 +221,14 @@ class SoftwareUpdateModel(AppTrafficModel):
             protocol=int(Protocol.TCP),
             dst_port=443,
             payload_fn=payloads.opaque_payload,
+        )
+
+    def fluid_profile(self) -> FluidAppProfile:
+        return FluidAppProfile(
+            name=self.name, protocol=int(Protocol.TCP), p_internet=1.0,
+            variants=(FluidVariant(1.0, 443, 0.01),),
+            size_sampler=lambda rng, n: self.lognormal_sizes(
+                rng, n, median=40_000_000, sigma=1.3, ceil=2e9),
         )
 
 

@@ -23,8 +23,8 @@ from repro.obs.export import registry_from_records
 from repro.obs.metrics import Histogram
 
 #: render order for known stages; unknown prefixes sort after these.
-_STAGE_ORDER = ("capture", "store", "tiers", "query", "query.plan",
-                "devloop", "parallel", "switch", "pipeline")
+_STAGE_ORDER = ("netsim", "capture", "store", "tiers", "query",
+                "query.plan", "devloop", "parallel", "switch", "pipeline")
 
 
 def span_stage(name: str) -> str:

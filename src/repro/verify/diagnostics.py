@@ -111,6 +111,10 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
     "REP308": (Severity.ERROR,
                "direct segment-list mutation outside the store/tiering "
                "layer; go through evict_segment or the compactor"),
+    "REP309": (Severity.ERROR,
+               "per-packet record materialization inside the fluid "
+               "engine's hot path; packets must stay columnar "
+               "(PacketColumns.from_arrays) from tap to store"),
     # -- privacy taint flow (REP4xx) --
     "REP401": (Severity.ERROR,
                "raw privacy-sensitive value reaches an export/print "

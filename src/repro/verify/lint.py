@@ -76,6 +76,15 @@ _QUERY_INTERNALS = {"_scan_segment", "_columnar_scan", "_record_scan",
 _SEGMENT_MUTATORS = {"append", "extend", "insert", "remove", "pop",
                      "clear", "sort", "reverse"}
 
+#: record-at-a-time constructors/materializers forbidden inside the
+#: fluid engine's hot path (REP309).  The engine's whole performance
+#: contract is tap-side columnar synthesis — packets exist only as
+#: :class:`~repro.netsim.packets.PacketColumns` arrays; one
+#: ``PacketRecord`` per packet would reintroduce the per-object cost
+#: the engine exists to eliminate.
+_FLUID_SCALAR_CALLS = {"PacketRecord", "synthesize_packets",
+                       "iter_records", "record", "from_records"}
+
 #: inline suppression comment: ``# rep: ignore`` or
 #: ``# rep: ignore[REP401]`` / ``# rep: ignore[REP401,REP503]``.
 _SUPPRESS_RE = re.compile(
@@ -156,6 +165,10 @@ class LintConfig:
     segment_mutation_scope: List[str] = field(
         default_factory=lambda: ["datastore/store.py",
                                  "datastore/tiers.py"])
+    #: fluid-engine hot-path modules where per-packet record
+    #: construction is forbidden (REP309) — packets must stay columnar.
+    fluid_hot_scope: List[str] = field(
+        default_factory=lambda: ["netsim/fluid.py"])
     exclude: List[str] = field(
         default_factory=lambda: ["__pycache__", ".egg-info"])
     #: checked-in intentional exceptions: "relative/path.py:REP303"
@@ -205,6 +218,7 @@ class LintConfig:
                     "obs-clock-scope": "obs_clock_scope",
                     "query-internal-scope": "query_internal_scope",
                     "segment-mutation-scope": "segment_mutation_scope",
+                    "fluid-hot-scope": "fluid_hot_scope",
                     "exclude": "exclude",
                     "taint-scope": "taint_scope",
                     "taint-exempt-scope": "taint_exempt_scope",
@@ -297,6 +311,8 @@ class _PatternVisitor(ast.NodeVisitor):
             self.rel_path, config.query_internal_scope)
         self._check_segment_mutation = not config.in_scope(
             self.rel_path, config.segment_mutation_scope)
+        self._check_fluid_hot = config.in_scope(
+            self.rel_path, config.fluid_hot_scope)
 
     def _report(self, code: str, message: str, line: int) -> None:
         self.findings.append(diag(
@@ -424,6 +440,15 @@ class _PatternVisitor(ast.NodeVisitor):
                 f"compactor) so registry state, tier gauges, and "
                 f"on-disk cold segments stay consistent",
                 node.lineno)
+        if self._check_fluid_hot and chain and \
+                chain[-1] in _FLUID_SCALAR_CALLS:
+            self._report(
+                "REP309",
+                f"{chain[-1]}() materializes per-packet records inside "
+                f"the fluid hot path; synthesize straight into "
+                f"PacketColumns.from_arrays so packets stay columnar "
+                f"from tap to store",
+                node.lineno)
         if len(chain) >= 2 and chain[-1] in _SUBMIT_METHODS:
             for arg in node.args:
                 if isinstance(arg, ast.Lambda):
@@ -439,7 +464,7 @@ class PatternRules:
     """Plugin wrapper for the REP3xx per-module pattern rules."""
 
     codes = ("REP301", "REP302", "REP303", "REP304", "REP305", "REP306",
-             "REP307", "REP308")
+             "REP307", "REP308", "REP309")
 
     def check(self, ctx: LintContext) -> List[Diagnostic]:
         findings: List[Diagnostic] = []

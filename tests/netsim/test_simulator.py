@@ -138,3 +138,86 @@ def test_property_fire_order_matches_sorted_times(times):
     sim.run()
     assert fired == sorted(times)
     assert sim.events_processed == len(times)
+
+
+# -- live pending count + lazy tombstone compaction -------------------
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    handles = [sim.schedule_at(float(i), lambda: None) for i in range(10)]
+    assert sim.pending == 10
+    for handle in handles[:4]:
+        handle.cancel()
+    assert sim.pending == 6
+    # Double-cancel is idempotent: the count must not go stale.
+    handles[0].cancel()
+    assert sim.pending == 6
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_pending_tracks_processing():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_at(float(i), lambda: None)
+    sim.step()
+    assert sim.pending == 4
+
+
+def test_compaction_purges_tombstones():
+    sim = Simulator()
+    keep = [sim.schedule_at(1000.0 + i, lambda: None) for i in range(10)]
+    doomed = [sim.schedule_at(2000.0 + i, lambda: None)
+              for i in range(200)]
+    for handle in doomed:
+        handle.cancel()
+    assert sim.pending == 10
+    assert len(sim._heap) == 210
+    # The next step compacts (>=64 cancelled and a majority) before
+    # popping, so the tombstones vanish without being popped one by one.
+    assert sim.step()
+    assert len(sim._heap) == 9
+    assert sim.pending == 9
+    assert all(not h.cancelled for h in keep)
+
+
+def test_compaction_threshold_respected():
+    sim = Simulator()
+    for i in range(100):
+        sim.schedule_at(1000.0 + i, lambda: None)
+    doomed = [sim.schedule_at(2000.0 + i, lambda: None)
+              for i in range(63)]
+    for handle in doomed:
+        handle.cancel()
+    sim.step()
+    # 63 < COMPACT_MIN_CANCELLED: tombstones still queued.
+    assert len(sim._heap) == 99 + 63
+    assert sim.pending == 99
+
+
+def test_cancelled_events_never_fire_after_compaction():
+    sim = Simulator()
+    fired = []
+    live = [sim.schedule_at(10.0 + i, lambda i=i: fired.append(i))
+            for i in range(5)]
+    doomed = [sim.schedule_at(5.0 + i * 0.01, lambda: fired.append("bad"))
+              for i in range(150)]
+    for handle in doomed:
+        handle.cancel()
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.pending == 0
+    assert live[0].cancelled is False
+
+
+def test_timeout_pattern_keeps_heap_bounded():
+    """The motivating workload: schedule-then-cancel in a loop."""
+    sim = Simulator()
+    for i in range(2000):
+        handle = sim.schedule_at(1e6 + i, lambda: None)
+        sim.schedule_at(float(i), lambda h=handle: h.cancel())
+    sim.run_until(2500.0)
+    # All 2000 timeouts were cancelled; compaction must have kept the
+    # heap from retaining all their tombstones until t=1e6.
+    assert sim.pending == 0
+    assert len(sim._heap) < 200

@@ -2,9 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.netsim.users import SECONDS_PER_DAY, User, UserPopulation, \
-    diurnal_factor
+    diurnal_factor, diurnal_factor_array
 
 
 def test_diurnal_factor_bounded():
@@ -57,3 +58,51 @@ def test_interarrival_sampling_positive_and_rate_consistent():
     assert all(s > 0 for s in samples)
     expected_mean = 1.0 / pop.arrival_rate(user, t)
     assert np.mean(samples) == pytest.approx(expected_mean, rel=0.1)
+
+
+# -- diurnal curve properties (the fluid engine's arrival intensity
+# integrates this curve, so its shape and its vectorized twin are
+# contract, not implementation detail) --------------------------------
+
+times = st.floats(min_value=0.0, max_value=30 * SECONDS_PER_DAY,
+                  allow_nan=False, allow_infinity=False)
+bases = st.floats(min_value=0.01, max_value=0.9,
+                  allow_nan=False, allow_infinity=False)
+
+
+@given(t=times, base=bases)
+@settings(max_examples=300, deadline=None)
+def test_diurnal_factor_bounded_for_any_time(t, base):
+    value = diurnal_factor(t, base=base)
+    assert base <= value <= 1.0
+
+
+@given(t=times, days=st.integers(min_value=1, max_value=10))
+@settings(max_examples=300, deadline=None)
+def test_diurnal_factor_periodic_for_any_time(t, days):
+    assert diurnal_factor(t + days * SECONDS_PER_DAY) == pytest.approx(
+        diurnal_factor(t), abs=1e-9)
+
+
+@given(t=times)
+@settings(max_examples=300, deadline=None)
+def test_diurnal_factor_continuous_across_midnight(t):
+    # The curve is built from smooth harmonics of the day fraction, so
+    # a one-second step never jumps (midnight wrap included).
+    assert abs(diurnal_factor(t + 1.0) - diurnal_factor(t)) < 1e-3
+
+
+@given(ts=st.lists(times, min_size=1, max_size=200), base=bases)
+@settings(max_examples=200, deadline=None)
+def test_diurnal_factor_array_matches_scalar(ts, base):
+    """The fluid engine's vectorized curve == the discrete scalar one."""
+    vector = diurnal_factor_array(np.asarray(ts), base=base)
+    scalar = np.array([diurnal_factor(t, base=base) for t in ts])
+    assert vector.shape == (len(ts),)
+    assert np.all(np.abs(vector - scalar) <= 1e-12)
+
+
+def test_diurnal_factor_array_accepts_scalar_and_empty():
+    lone = diurnal_factor_array(15 * 3600.0)
+    assert lone == pytest.approx(diurnal_factor(15 * 3600.0), abs=1e-12)
+    assert diurnal_factor_array(np.empty(0)).shape == (0,)

@@ -553,3 +553,69 @@ class TestCommittedBaseline:
         for entry in payload["entries"]:
             assert entry["justification"]
             assert not entry["justification"].startswith("TODO")
+
+
+class TestFluidHotPath:
+    def test_packet_record_construction_flagged_in_fluid(self):
+        findings = _lint("""
+            from repro.netsim.packets import PacketRecord
+
+            def emit(ts):
+                return PacketRecord(timestamp=ts)
+        """, rel_path="netsim/fluid.py")
+        assert [d.code for d in findings] == ["REP309"]
+
+    def test_iter_records_flagged_in_fluid(self):
+        findings = _lint("""
+            def drain(batch):
+                return list(batch.iter_records())
+        """, rel_path="netsim/fluid.py")
+        assert [d.code for d in findings] == ["REP309"]
+
+    def test_scalar_record_helpers_flagged(self):
+        findings = _lint("""
+            def slow(batch, packets, flow):
+                a = batch.record(0)
+                b = batch.from_records(packets)
+                c = synthesize_packets(flow)
+                return a, b, c
+        """, rel_path="netsim/fluid.py")
+        assert [d.code for d in findings] == ["REP309"] * 3
+
+    def test_columnar_construction_is_clean(self):
+        findings = _lint("""
+            import numpy as np
+            from repro.netsim.packets import DictColumn, PacketColumns
+
+            def emit(ts):
+                return PacketColumns.from_arrays(
+                    timestamp=ts,
+                    direction=DictColumn(np.zeros(1, dtype=np.int64),
+                                         ["in"]))
+        """, rel_path="netsim/fluid.py")
+        assert findings == []
+
+    def test_other_modules_out_of_scope(self):
+        source = """
+            def rows(batch):
+                return list(batch.iter_records())
+        """
+        for rel_path in ("datastore/store.py", "capture/engine.py",
+                         "netsim/network.py"):
+            assert _lint(source, rel_path=rel_path) == []
+
+    def test_scope_configurable_from_pyproject_key(self):
+        config = LintConfig(fluid_hot_scope=["capture/columnar.py"])
+        source = "def f(b):\n    return b.iter_records()\n"
+        assert [d.code for d in
+                _lint(source, rel_path="capture/columnar.py",
+                      config=config)] == ["REP309"]
+        assert _lint(source, rel_path="netsim/fluid.py",
+                     config=config) == []
+
+    def test_inline_suppression(self):
+        findings = _lint(
+            "def f(b):\n"
+            "    return b.iter_records()  # rep: ignore[REP309]\n",
+            rel_path="netsim/fluid.py")
+        assert findings == []
