@@ -53,6 +53,7 @@ SUITES = (
     Path(__file__).resolve().parent / "test_perf_planner.py",
     Path(__file__).resolve().parent / "test_perf_tiers.py",
     Path(__file__).resolve().parent / "test_perf_netsim.py",
+    Path(__file__).resolve().parent / "test_perf_federation.py",
 )
 STAT_KEYS = ("min", "median", "mean", "stddev", "rounds")
 

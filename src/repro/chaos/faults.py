@@ -52,6 +52,9 @@ class FaultKind(str, enum.Enum):
     WORKER_CRASH = "parallel.worker_crash"     # parallel worker task dies
     COMPACT_CRASH = "compact.crash"            # compactor dies mid-merge
     QUEUE_STALL = "ingest.queue_stall"         # ingest queue refuses a batch
+    SITE_OUTAGE = "site.outage"                # federated site goes dark
+    SITE_PARTITION = "site.partition"          # one gateway call is lost
+    SITE_SLOW = "site.slow"                    # gateway answers late
 
 
 class SensorStallError(TransientError):

@@ -44,16 +44,28 @@ def _flaky_switch(seed: int) -> FaultPlan:
     ))
 
 
+def _flaky_site(seed: int) -> FaultPlan:
+    """Unreliable federation member: the site eventually goes dark for
+    the rest of the run, and until then individual gateway calls are
+    lost or answered late (drives the coordinator's quorum path)."""
+    return FaultPlan(name="flaky-site", seed=seed, specs=(
+        FaultSpec(FaultKind.SITE_OUTAGE, rate=0.05),
+        FaultSpec(FaultKind.SITE_PARTITION, rate=0.1),
+        FaultSpec(FaultKind.SITE_SLOW, rate=0.2, magnitude=5.0),
+    ))
+
+
 FAULT_PLANS = {
     "lossy-tap": _lossy_tap,
     "slow-store": _slow_store,
     "flaky-switch": _flaky_switch,
+    "flaky-site": _flaky_site,
 }
 
 
 def make_fault_plan(name: str, seed: int = 0) -> FaultPlan:
     """Build a canned plan by name (``lossy-tap`` | ``slow-store`` |
-    ``flaky-switch``)."""
+    ``flaky-switch`` | ``flaky-site``)."""
     try:
         factory = FAULT_PLANS[name]
     except KeyError:

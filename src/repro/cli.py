@@ -280,6 +280,69 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the degradation report as JSON")
 
+    federate = sub.add_parser(
+        "federate",
+        help="N-campus federated analytics behind per-site privacy "
+             "gateways")
+    fed_sub = federate.add_subparsers(dest="federate_command",
+                                      required=True)
+
+    fed_query = fed_sub.add_parser(
+        "query",
+        help="fan a DP-noised aggregate across all sites and merge "
+             "with a composed error bound")
+    fed_query.add_argument("--sites", type=int, default=3)
+    fed_query.add_argument("--seed", type=int, default=0)
+    fed_query.add_argument("--epsilon", type=float, default=0.2,
+                           help="per-site epsilon charged for this "
+                                "query")
+    fed_query.add_argument("--budget", type=float, default=1.0,
+                           help="per-site total DP budget")
+    fed_query.add_argument("--duration", type=float, default=120.0,
+                           help="per-site day length in simulated "
+                                "seconds")
+    fed_query.add_argument("--collection", default="packets")
+    fed_query.add_argument("--kind", default="count",
+                           choices=["count", "histogram",
+                                    "heavy-hitters"])
+    fed_query.add_argument("--field", default="src_ip",
+                           help="field for histogram / heavy-hitters")
+    fed_query.add_argument("--top", type=int, default=8,
+                           help="k for heavy-hitters")
+    fed_query.add_argument("--fault-plan", default=None,
+                           help="chaos plan at every site (e.g. "
+                                "flaky-site)")
+    fed_query.add_argument("--kill-site", type=int, default=None,
+                           metavar="I",
+                           help="take site I dark at its first "
+                                "boundary call")
+    fed_query.add_argument("--json", action="store_true")
+    fed_query.add_argument("--obs", default=None, metavar="PATH",
+                           help="record observability to this "
+                                "JSON-lines file")
+
+    fed_e2e = fed_sub.add_parser(
+        "e2e",
+        help="assemble a cross-site dataset, develop one tool, "
+             "road-test it at every campus")
+    fed_e2e.add_argument("--sites", type=int, default=3)
+    fed_e2e.add_argument("--seed", type=int, default=0)
+    fed_e2e.add_argument("--epsilon", type=float, default=2.0,
+                         help="per-site total DP budget")
+    fed_e2e.add_argument("--duration", type=float, default=180.0,
+                         help="per-site day length in simulated "
+                              "seconds")
+    fed_e2e.add_argument("--model", default="forest",
+                         help="teacher model for the federated tool")
+    fed_e2e.add_argument("--no-roadtest", action="store_true",
+                         help="skip the per-site road-test stage")
+    fed_e2e.add_argument("--fault-plan", default=None,
+                         help="chaos plan at every training site")
+    fed_e2e.add_argument("--json", action="store_true")
+    fed_e2e.add_argument("--obs", default=None, metavar="PATH",
+                         help="record observability to this "
+                              "JSON-lines file")
+
     obs = sub.add_parser(
         "obs",
         help="per-stage latency/throughput report from recorded "
@@ -894,6 +957,192 @@ def cmd_chaos(args) -> int:
     return 0 if report.completed else 1
 
 
+_FED_ATTACK_ROTATION = ("dns-amp", "scan", "synflood")
+
+
+def _fed_site_plan(args, site_id: int):
+    """Resolve the chaos plan one federated site runs under."""
+    from repro.chaos import FAULT_PLANS, make_fault_plan
+    from repro.chaos.faults import FaultKind, FaultPlan, FaultSpec
+
+    if getattr(args, "kill_site", None) is not None \
+            and args.kill_site == site_id:
+        return FaultPlan(name="kill-site", seed=args.seed, specs=(
+            FaultSpec(FaultKind.SITE_OUTAGE, rate=1.0),))
+    if args.fault_plan is None:
+        return None
+    if args.fault_plan not in FAULT_PLANS:
+        known = ", ".join(sorted(FAULT_PLANS))
+        raise KeyError(f"unknown fault plan {args.fault_plan!r}; "
+                       f"one of {known}")
+    return make_fault_plan(args.fault_plan, seed=args.seed)
+
+
+def cmd_federate_query(args) -> int:
+    """One federated aggregate across N simulated campuses.
+
+    Exit code 0 for a merged answer (possibly degraded/partial), 1
+    when quorum was lost, 2 on bad arguments.
+    """
+    import json as json_module
+
+    from repro.datastore import Query
+    from repro.federation import (CampusSite, FederationConfig,
+                                  FederationCoordinator, QuorumLost)
+
+    obs = _obs_or_none(args)
+    config = FederationConfig(n_sites=args.sites, seed=args.seed,
+                              epsilon_total=args.budget,
+                              duration_s=args.duration)
+    try:
+        sites = [
+            CampusSite(spec, config,
+                       attacks=(_FED_ATTACK_ROTATION[
+                           i % len(_FED_ATTACK_ROTATION)],),
+                       fault_plan=_fed_site_plan(args, i), obs=obs)
+            for i, spec in enumerate(config.site_specs())
+        ]
+    except KeyError as exc:
+        print(f"federate: {exc}", file=sys.stderr)
+        return 2
+    coordinator = FederationCoordinator(sites, config, obs=obs)
+    try:
+        for site in sites:
+            site.run_day()
+        query = Query(collection=args.collection)
+        if args.kind == "count":
+            answer = coordinator.query_count(query, epsilon=args.epsilon)
+            merged = {"value": answer.value, "bound": answer.bound}
+        elif args.kind == "histogram":
+            answer = coordinator.query_histogram(query, args.field,
+                                                 epsilon=args.epsilon)
+            merged = {"bins": [[v, c] for v, c in answer.bins]}
+        else:
+            answer = coordinator.query_heavy_hitters(
+                query, args.field, k=args.top, epsilon=args.epsilon)
+            merged = {"bins": [[v, c] for v, c in answer.bins]}
+    except QuorumLost as exc:
+        print(f"federate: {exc}", file=sys.stderr)
+        coordinator.close()
+        return 1
+    summary = {
+        "kind": args.kind,
+        "collection": args.collection,
+        "confidence": answer.confidence,
+        "n_sites": answer.n_sites,
+        "n_answered": answer.n_answered,
+        "quorum": config.quorum,
+        "degraded": answer.degraded,
+        "unavailable": [list(pair) for pair in answer.unavailable],
+        "budget": coordinator.budget_summary(),
+        "degradations": [
+            f"{d.stage}/{d.mode}: {d.reason}"
+            for d in coordinator.ledger.entries],
+        **merged,
+    }
+    if args.json:
+        print(json_module.dumps(summary, indent=2, default=str))
+    else:
+        if args.kind == "count":
+            print(f"federated count({args.collection}) = "
+                  f"{answer.value:.1f} ± {answer.bound:.1f} "
+                  f"at {answer.confidence:.0%} confidence")
+        else:
+            print(f"federated {args.kind}({args.collection}."
+                  f"{args.field}) at {answer.confidence:.0%} "
+                  f"confidence (per-value ± "
+                  f"{answer.per_value_bound:.1f}):")
+            for value, count in answer.bins:
+                print(f"  {value!s:24s} {count:12.1f}")
+        state = "degraded" if answer.degraded else "complete"
+        print(f"sites: {answer.n_answered}/{answer.n_sites} answered "
+              f"(quorum {config.quorum}) — {state}")
+        for name, reason in answer.unavailable:
+            print(f"  unavailable: {name} ({reason})")
+        for entry in coordinator.budget_summary():
+            print(f"  budget {entry['site']}: {entry['spent']:.2f} "
+                  f"spent / {entry['total_epsilon']:.2f} total "
+                  f"({entry['refused']} refused)")
+    if obs is not None:
+        _write_obs(obs, {"command": "federate-query",
+                         "sites": args.sites, "seed": args.seed},
+                   args.obs)
+    coordinator.close()
+    return 0
+
+
+def cmd_federate_e2e(args) -> int:
+    """Full federated development run: assemble→develop→road-test.
+
+    Exit code 0 when the cross-site model beats every single-site
+    model on the held-out campus, 1 otherwise (or on lost quorum), 2
+    on bad arguments.
+    """
+    import json as json_module
+
+    from repro.federation import (FederatedExperiment, FederationConfig,
+                                  QuorumLost)
+
+    obs = _obs_or_none(args)
+    config = FederationConfig(n_sites=args.sites, seed=args.seed,
+                              epsilon_total=args.epsilon,
+                              duration_s=args.duration)
+    try:
+        plan = _fed_site_plan(args, -1) if args.fault_plan else None
+    except KeyError as exc:
+        print(f"federate: {exc}", file=sys.stderr)
+        return 2
+    experiment = FederatedExperiment(config, model_name=args.model,
+                                     fault_plan=plan, obs=obs)
+    try:
+        report = experiment.run(roadtest=not args.no_roadtest)
+    except QuorumLost as exc:
+        print(f"federate: {exc}", file=sys.stderr)
+        experiment.close()
+        return 1
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2,
+                                default=str))
+    else:
+        print(f"federated model (macro-F1 on {report.holdout_site}): "
+              f"{report.federated_f1:.3f}")
+        for site, score in sorted(report.single_site_f1.items()):
+            print(f"  single-site {site}: {score:.3f}")
+        verdict = "beats" if report.federation_wins else \
+            "does NOT beat"
+        print(f"federation {verdict} the best single campus "
+              f"({report.best_single_f1:.3f})")
+        if report.assembly is not None:
+            print(f"assembled {report.assembly.rows} sanitized rows "
+                  f"from {report.assembly.n_answered}/"
+                  f"{report.assembly.n_sites} sites "
+                  f"(suppressed: {report.assembly.suppressed_per_site})")
+        for roadtest in report.roadtests:
+            outcome = "deployed" if roadtest.deployed else \
+                f"rolled back at {roadtest.rolled_back_at}"
+            print(f"  road-test {roadtest.site}: {outcome} "
+                  f"(precision {roadtest.precision:.2f}, "
+                  f"recall {roadtest.recall:.2f})")
+        if report.roadtests:
+            print(f"road-test F1 divergence across sites: "
+                  f"{report.roadtest_divergence:.3f}")
+        for line in report.degradations:
+            print(f"  degraded: {line}")
+    if obs is not None:
+        _write_obs(obs, {"command": "federate-e2e",
+                         "sites": args.sites, "seed": args.seed},
+                   args.obs)
+    experiment.close()
+    return 0 if report.federation_wins else 1
+
+
+def cmd_federate(args) -> int:
+    """Dispatch ``repro federate <query|e2e>``."""
+    if args.federate_command == "query":
+        return cmd_federate_query(args)
+    return cmd_federate_e2e(args)
+
+
 def cmd_obs(args) -> int:
     """Per-stage latency/throughput report from recorded observability.
 
@@ -972,6 +1221,7 @@ _COMMANDS = {
     "develop": cmd_develop,
     "verify": cmd_verify,
     "chaos": cmd_chaos,
+    "federate": cmd_federate,
     "obs": cmd_obs,
     "report": cmd_report,
     "profiles": cmd_profiles,

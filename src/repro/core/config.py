@@ -62,6 +62,10 @@ class PlatformConfig:
     campus_profile: str = "small"
     seed: int = 0
     privacy_level: PrivacyLevel = PrivacyLevel.PREFIX_PRESERVING
+    #: Crypto-PAn key for the ingest-time address anonymizer; ``None``
+    #: keeps the historical shared default.  Federated deployments give
+    #: every site its own key so no two enclaves share a pseudonym space.
+    privacy_key: Optional[bytes] = None
     capture_capacity_gbps: Optional[float] = None
     capture_buffer_bytes: float = 256e6
     window_s: float = 5.0

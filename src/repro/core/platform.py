@@ -75,7 +75,12 @@ class CampusPlatform:
         if obs is not None:
             obs.attach_bus(self.bus)
         self.network = self._build_network(self.config.seed)
-        self.privacy_policy = PrivacyPolicy.preset(self.config.privacy_level)
+        if self.config.privacy_key is not None:
+            self.privacy_policy = PrivacyPolicy.preset(
+                self.config.privacy_level, key=self.config.privacy_key)
+        else:
+            self.privacy_policy = PrivacyPolicy.preset(
+                self.config.privacy_level)
         # Parallel substrate: the executor is lazy (no pool until the
         # first parallel fan-out) and degrades to serial via the ledger.
         self.executor = ParallelExecutor(

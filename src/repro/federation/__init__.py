@@ -1,0 +1,63 @@
+"""Federated multi-campus analytics behind per-site privacy gateways.
+
+The democratization story of the source paper, cross-campus edition: N
+self-contained :class:`~repro.federation.site.CampusSite` enclaves
+(own population, own store, own Crypto-PAn keys, own DP budget) answer
+a :class:`~repro.federation.coordinator.FederationCoordinator` *only*
+through their :class:`~repro.federation.gateway.SiteGateway` — counts,
+histograms and heavy hitters leave as budget-charged DP releases,
+addresses leave as boundary-key pseudonyms, feature rows leave
+k-anonymized.  On top: federated queries with composed error bounds,
+cross-site dataset assembly feeding the development loop, and per-site
+road-testing of the resulting tool.
+"""
+
+from repro.federation.bounds import (compose_count_bound, laplace_quantile,
+                                     scale_for_missing)
+from repro.federation.budget import PrivacyBudget, ReleaseRefused
+from repro.federation.config import (FederationConfig, SiteSpec, site_key,
+                                     site_stream_seed)
+from repro.federation.coordinator import (AssemblyReport, FederatedBins,
+                                          FederatedCount,
+                                          FederationCoordinator, QuorumLost)
+from repro.federation.experiment import (FederatedExperiment,
+                                         FederationReport, SiteRoadTest,
+                                         macro_f1)
+from repro.federation.gateway import ADDRESS_FIELDS, SiteGateway
+from repro.federation.releases import (CountRelease, ExamplesRelease,
+                                       HeavyHittersRelease, HistogramRelease,
+                                       SchemaRelease, SiteUnavailable)
+from repro.federation.site import (SITE_ATTACKS, CampusSite,
+                                   make_site_scenario)
+
+__all__ = [
+    "FederationConfig",
+    "SiteSpec",
+    "site_key",
+    "site_stream_seed",
+    "PrivacyBudget",
+    "ReleaseRefused",
+    "laplace_quantile",
+    "compose_count_bound",
+    "scale_for_missing",
+    "SiteGateway",
+    "ADDRESS_FIELDS",
+    "CampusSite",
+    "SITE_ATTACKS",
+    "make_site_scenario",
+    "FederationCoordinator",
+    "FederatedCount",
+    "FederatedBins",
+    "AssemblyReport",
+    "QuorumLost",
+    "SiteUnavailable",
+    "CountRelease",
+    "HistogramRelease",
+    "HeavyHittersRelease",
+    "SchemaRelease",
+    "ExamplesRelease",
+    "FederatedExperiment",
+    "FederationReport",
+    "SiteRoadTest",
+    "macro_f1",
+]

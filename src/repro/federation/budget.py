@@ -1,0 +1,113 @@
+"""Per-site differential-privacy budget with refusal accounting.
+
+Thin policy layer over :class:`repro.privacy.dp.DpAccountant`: every
+site owns exactly one budget, every outbound aggregate charges it, and
+a release that would overdraw is *refused* — the underlying accountant
+raises before appending to its ledger, so a refused release charges
+nothing (property-tested in ``tests/federation/test_budget.py``).
+
+When an :class:`repro.obs.Observability` is attached, the spent /
+remaining / refused figures are mirrored into per-site gauges so a
+federation run's budget posture is visible in the same report as its
+latency spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.privacy.dp import DpAccountant, DpBudgetExceeded
+
+__all__ = ["PrivacyBudget", "ReleaseRefused"]
+
+
+class ReleaseRefused(Exception):
+    """A site refused a release because its DP budget is exhausted."""
+
+    def __init__(self, site: str, epsilon: float, remaining: float):
+        super().__init__(
+            f"site {site!r} refused release: needs eps={epsilon:g}, "
+            f"only {remaining:.4f} of the budget remains")
+        self.site = site
+        self.epsilon = epsilon
+        self.remaining = remaining
+
+
+class PrivacyBudget:
+    """One site's epsilon ledger + Laplace mechanism + obs mirror."""
+
+    def __init__(self, site: str, total_epsilon: float = 1.0,
+                 seed: int = 0, obs=None):
+        self.site = site
+        self.accountant = DpAccountant(total_epsilon=total_epsilon,
+                                       seed=seed)
+        self.refused = 0
+        self.obs = obs
+        self._publish()
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def total_epsilon(self) -> float:
+        return self.accountant.total_epsilon
+
+    @property
+    def spent(self) -> float:
+        return self.accountant.spent
+
+    @property
+    def remaining(self) -> float:
+        return self.accountant.remaining
+
+    def _publish(self) -> None:
+        if self.obs is None:
+            return
+        metrics = self.obs.metrics
+        metrics.gauge("repro_federation_epsilon_spent",
+                      site=self.site).set(self.spent)
+        metrics.gauge("repro_federation_epsilon_remaining",
+                      site=self.site).set(self.remaining)
+        metrics.gauge("repro_federation_releases_refused",
+                      site=self.site).set(self.refused)
+
+    # -- releases ------------------------------------------------------------
+
+    def release_count(self, true_count: float, epsilon: float,
+                      description: str = "count",
+                      sensitivity: float = 1.0) -> float:
+        try:
+            noisy = self.accountant.release_count(
+                true_count, epsilon, description=description,
+                sensitivity=sensitivity)
+        except DpBudgetExceeded:
+            self.refused += 1
+            self._publish()
+            raise ReleaseRefused(self.site, epsilon,
+                                 self.remaining) from None
+        self._publish()
+        return noisy
+
+    def release_histogram(self, histogram: Dict, epsilon: float,
+                          description: str = "histogram",
+                          sensitivity: float = 1.0) -> Dict:
+        try:
+            noisy = self.accountant.release_histogram(
+                histogram, epsilon, description=description,
+                sensitivity=sensitivity)
+        except DpBudgetExceeded:
+            self.refused += 1
+            self._publish()
+            raise ReleaseRefused(self.site, epsilon,
+                                 self.remaining) from None
+        self._publish()
+        return noisy
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "site": self.site,
+            "total_epsilon": self.total_epsilon,
+            "spent": self.spent,
+            "remaining": self.remaining,
+            "releases": len(self.accountant.ledger),
+            "refused": self.refused,
+        }

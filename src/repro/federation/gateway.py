@@ -1,0 +1,263 @@
+"""The only door out of a federated site.
+
+A :class:`SiteGateway` is the single code path through which anything
+leaves a campus.  Every outbound answer is routed through
+``repro.privacy`` before it is wrapped in a release envelope:
+
+* counts, histograms and heavy hitters leave only as DP releases
+  charged to the site's :class:`~repro.federation.budget.PrivacyBudget`
+  (a release that would overdraw is *refused*, not truncated);
+* address-valued fields leave only as Crypto-PAn pseudonyms under the
+  site's **boundary** key — a different key than the ingest-time
+  anonymizer, so even a site's own stored pseudonyms are unlinkable to
+  what it publishes;
+* released aggregates and example rows pass the k-anonymity auditor,
+  with under-k bins/rows suppressed before they become visible.
+
+The gateway is also where the chaos plane bites: ``SITE_OUTAGE`` takes
+the site down for the rest of the run, ``SITE_PARTITION`` loses a
+single call, and ``SITE_SLOW`` inflates the per-call latency the
+coordinator uses for its timeout accounting.  Latency is *accounting*
+by default (no real sleeps); pass a ``clock`` to make it real — the
+federation benchmark does, to demonstrate fan-out overlap honestly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.faults import FaultInjector, FaultKind
+from repro.datastore.query import Query
+from repro.federation.budget import PrivacyBudget
+from repro.federation.config import SiteSpec
+from repro.federation.releases import (CountRelease, ExamplesRelease,
+                                       HeavyHittersRelease,
+                                       HistogramRelease, SchemaRelease,
+                                       SiteUnavailable)
+from repro.privacy.cryptopan import CryptoPan
+from repro.privacy.kanon import KAnonymityAuditor, KAnonymityReport
+
+__all__ = ["SiteGateway", "ADDRESS_FIELDS"]
+
+#: fields whose values are network addresses and must never cross the
+#: boundary un-pseudonymized.
+ADDRESS_FIELDS = frozenset({"src_ip", "dst_ip", "client_ip", "server_ip"})
+
+#: quasi-identifiers the example-release auditor groups rows by.
+_EXAMPLE_QIS = ("label", "activity_bin")
+
+
+def _qi_get(record: Dict, name: str):
+    return record[name]
+
+
+class SiteGateway:
+    """Privacy-gated egress for one federated site."""
+
+    def __init__(self, spec: SiteSpec, store, budget: PrivacyBudget,
+                 dataset_provider: Callable[..., object],
+                 schema_provider: Callable[[], Tuple[Sequence[str],
+                                                     Sequence[str]]],
+                 k_anon: int = 5,
+                 fault_injector: Optional[FaultInjector] = None,
+                 obs=None, clock=None, rtt_s: float = 0.0):
+        self.spec = spec
+        self.site = spec.name
+        self.store = store
+        self.budget = budget
+        self._dataset_provider = dataset_provider
+        self._schema_provider = schema_provider
+        self._auditor = KAnonymityAuditor(k=k_anon)
+        self._pan = CryptoPan(spec.boundary_key)
+        self.fault_injector = fault_injector
+        self.obs = obs
+        self._clock = clock
+        self.rtt_s = rtt_s
+        self._down = False
+
+    # -- boundary mechanics ----------------------------------------------
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    def _boundary(self, op: str) -> float:
+        """Cross the site boundary once; returns the call latency.
+
+        Raises :class:`SiteUnavailable` when the chaos plane has taken
+        the site dark (stateful) or partitioned this one call.
+        """
+        if self._down:
+            raise SiteUnavailable(self.site, "outage")
+        latency = self.rtt_s
+        injector = self.fault_injector
+        if injector is not None:
+            if injector.should_fire(FaultKind.SITE_OUTAGE,
+                                    site=self.site, op=op):
+                self._down = True
+                raise SiteUnavailable(self.site, "outage")
+            if injector.should_fire(FaultKind.SITE_PARTITION,
+                                    site=self.site, op=op):
+                raise SiteUnavailable(self.site, "partition")
+            if injector.should_fire(FaultKind.SITE_SLOW,
+                                    site=self.site, op=op):
+                latency += injector.magnitude(FaultKind.SITE_SLOW)
+        if self._clock is not None and latency > 0:
+            self._clock.sleep(latency)
+        if self.obs is not None:
+            self.obs.metrics.counter("repro_federation_boundary_calls",
+                                     site=self.site, op=op).inc()
+        return latency
+
+    def _pseudonym(self, value) -> str:
+        """Boundary-key pseudonym for an address-like value.
+
+        Dotted-quad addresses get prefix-preserving Crypto-PAn under
+        the site's boundary key; anything unparsable degrades to a
+        keyed hash token (still never the raw value).
+        """
+        text = str(value)
+        try:
+            return self._pan.anonymize(text)
+        except OSError:
+            digest = hashlib.sha256(
+                self.spec.boundary_key + text.encode()).hexdigest()
+            return f"anon-{digest[:12]}"
+
+    def _field(self, stored, fld: str):
+        value = getattr(stored.record, fld, None)
+        if value is None:
+            value = stored.tags.get(fld)
+        return value
+
+    def _released_report(self, fld: str,
+                         kept: Dict) -> KAnonymityReport:
+        """Audit report over the *released* (post-suppression) bins."""
+        counts = Counter()
+        for value, count in kept.items():
+            counts[(value,)] = int(count)
+        violating = {c: n for c, n in counts.items()
+                     if n < self._auditor.k}
+        return KAnonymityReport(
+            k=self._auditor.k,
+            quasi_identifiers=(fld,),
+            total_records=sum(counts.values()),
+            distinct_combinations=len(counts),
+            violating_combinations=len(violating),
+            violating_records=sum(violating.values()),
+            min_group_size=min(counts.values()) if counts else 0,
+        )
+
+    # -- releases ----------------------------------------------------------
+
+    def send_count(self, query: Query, epsilon: float) -> CountRelease:
+        """COUNT(*) of the query's matches as a DP release."""
+        latency = self._boundary("count")
+        answer = self.store.count_matching(query)
+        noisy = self.budget.release_count(
+            float(answer.value), epsilon,
+            description=f"federated count:{query.collection}")
+        return CountRelease(site=self.site, value=noisy, epsilon=epsilon,
+                            local_bound=float(answer.bound),
+                            source=answer.source, latency_s=latency)
+
+    def send_histogram(self, query: Query, fld: str,
+                       epsilon: float) -> HistogramRelease:
+        """Per-value counts of ``fld``, k-anon suppressed, DP-noised."""
+        latency = self._boundary("histogram")
+        rows = self.store.query(query)
+        counts = Counter()
+        for stored in rows:
+            value = self._field(stored, fld)
+            if value is not None:
+                counts[value] += 1
+        kept = {v: c for v, c in counts.items() if c >= self._auditor.k}
+        suppressed = len(counts) - len(kept)
+        if fld in ADDRESS_FIELDS:
+            kept = {self._pseudonym(v): c for v, c in kept.items()}
+        # Deterministic bin order: by true count desc, then value.
+        order = sorted(kept, key=lambda v: (-kept[v], str(v)))
+        noisy = self.budget.release_histogram(
+            kept, epsilon, description=f"federated histogram:{fld}")
+        return HistogramRelease(
+            site=self.site, fld=fld,
+            bins=tuple((v, float(noisy[v])) for v in order),
+            epsilon=epsilon, suppressed_bins=suppressed,
+            kanon=self._released_report(fld, kept), latency_s=latency)
+
+    def send_heavy_hitters(self, query: Query, fld: str, k: int,
+                           epsilon: float) -> HeavyHittersRelease:
+        """Top-k values of ``fld``; addresses leave pseudonymized."""
+        latency = self._boundary("heavy_hitters")
+        answer = self.store.heavy_hitters(query, fld, k=k)
+        hitters = [(value, int(count)) for value, count in answer.value]
+        visible = [(v, c) for v, c in hitters if c >= self._auditor.k]
+        suppressed = len(hitters) - len(visible)
+        if fld in ADDRESS_FIELDS:
+            visible = [(self._pseudonym(v), c) for v, c in visible]
+        kept = dict(visible)
+        noisy = self.budget.release_histogram(
+            kept, epsilon, description=f"federated heavy_hitters:{fld}")
+        return HeavyHittersRelease(
+            site=self.site, fld=fld, k=k,
+            hitters=tuple((v, float(noisy[v])) for v, _ in visible),
+            epsilon=epsilon, local_bound=float(answer.bound),
+            source=answer.source, suppressed=suppressed,
+            kanon=self._released_report(fld, kept), latency_s=latency)
+
+    def send_schema(self) -> SchemaRelease:
+        """Feature/label vocabulary — names only, charges nothing."""
+        latency = self._boundary("schema")
+        feature_names, label_names = self._schema_provider()
+        return SchemaRelease(site=self.site,
+                             feature_names=tuple(feature_names),
+                             label_names=tuple(label_names),
+                             latency_s=latency)
+
+    def send_examples(self, class_names: Optional[List[str]] = None,
+                      time_range: Optional[Tuple] = None
+                      ) -> ExamplesRelease:
+        """Sanitized labeled window examples for federated assembly.
+
+        The featurizer keys each row by its *external* endpoint, which
+        the ingest policy stores raw (it only anonymizes campus
+        addresses) — so the gateway re-keys every endpoint under the
+        boundary Crypto-PAn key before the row may leave.  Rows whose
+        (label, coarse-activity) quasi-identifier combination occurs
+        fewer than k times are suppressed.
+        """
+        latency = self._boundary("examples")
+        dataset = self._dataset_provider(class_names=class_names,
+                                         time_range=time_range)
+        names = list(dataset.feature_names)
+        activity_col = names.index("pkts") if "pkts" in names else 0
+        records = []
+        for i in range(len(dataset)):
+            records.append({
+                "label": dataset.class_names[int(dataset.y[i])],
+                "activity_bin": int(np.log2(
+                    1.0 + float(dataset.X[i, activity_col])) / 2.0),
+                "row": i,
+            })
+        kept = self._auditor.suppress(records, _EXAMPLE_QIS,
+                                      getter=_qi_get)
+        report = self._auditor.audit(kept, _EXAMPLE_QIS, getter=_qi_get)
+        sub = dataset.subset(np.array([r["row"] for r in kept],
+                                      dtype=int))
+        keys: Tuple[Tuple[float, str], ...] = ()
+        if sub.keys is not None:
+            keys = tuple((float(window_start), self._pseudonym(endpoint))
+                         for window_start, endpoint in sub.keys)
+        return ExamplesRelease(
+            site=self.site,
+            X=np.array(sub.X, dtype=float, copy=True),
+            y=np.array(sub.y, copy=True),
+            feature_names=tuple(sub.feature_names),
+            class_names=tuple(sub.class_names),
+            keys=keys,
+            suppressed_rows=len(dataset) - len(kept),
+            kanon=report, latency_s=latency)

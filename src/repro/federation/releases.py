@@ -1,0 +1,141 @@
+"""What may cross a site boundary, and in what form.
+
+Every object a :class:`~repro.federation.gateway.SiteGateway` hands to
+the coordinator is one of these envelopes.  Each envelope knows how to
+enumerate every concrete field value it carries
+(:meth:`payload_fields`), which is how the boundary-capture test
+asserts that *no raw address, payload byte, or endpoint identifier*
+ever appears in a cross-site payload — only Crypto-PAn pseudonyms under
+the site's boundary key, DP-noised numbers, and feature aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.privacy.kanon import KAnonymityReport
+
+__all__ = ["SiteUnavailable", "CountRelease", "HistogramRelease",
+           "HeavyHittersRelease", "SchemaRelease", "ExamplesRelease"]
+
+
+class SiteUnavailable(Exception):
+    """A gateway call failed at the site boundary (outage/partition)."""
+
+    def __init__(self, site: str, reason: str):
+        super().__init__(f"site {site!r} unavailable: {reason}")
+        self.site = site
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class CountRelease:
+    """One DP-noised scalar count."""
+
+    site: str
+    value: float          # noisy count
+    epsilon: float        # charged to the site budget
+    local_bound: float    # the site-local (sketch) approximation bound
+    source: str           # the planner's answer source: sketch|hybrid|exact
+    latency_s: float = 0.0
+
+    def payload_fields(self) -> Iterator[object]:
+        yield self.value
+
+
+@dataclass(frozen=True)
+class HistogramRelease:
+    """DP-noised per-bin counts; address-valued bins are Crypto-PAn'd."""
+
+    site: str
+    fld: str
+    bins: Tuple[Tuple[object, float], ...]   # (bin value, noisy count)
+    epsilon: float
+    suppressed_bins: int   # bins dropped by the k-anonymity auditor
+    kanon: Optional[KAnonymityReport] = None
+    latency_s: float = 0.0
+
+    def payload_fields(self) -> Iterator[object]:
+        for value, count in self.bins:
+            yield value
+            yield count
+
+
+@dataclass(frozen=True)
+class HeavyHittersRelease:
+    """Top-k values of a field with DP-noised counts.
+
+    Address-valued fields leave as boundary-key pseudonyms; the noisy
+    counts share one epsilon charge (disjoint bins, parallel
+    composition) and the k-anonymity auditor has dropped values backed
+    by fewer than k records before any of them became visible.
+    """
+
+    site: str
+    fld: str
+    k: int
+    hitters: Tuple[Tuple[object, float], ...]   # (value, noisy count)
+    epsilon: float
+    local_bound: float
+    source: str
+    suppressed: int
+    kanon: Optional[KAnonymityReport] = None
+    latency_s: float = 0.0
+
+    def payload_fields(self) -> Iterator[object]:
+        for value, count in self.hitters:
+            yield value
+            yield count
+
+
+@dataclass(frozen=True)
+class SchemaRelease:
+    """Feature/label vocabulary — names only, never values."""
+
+    site: str
+    feature_names: Tuple[str, ...]
+    label_names: Tuple[str, ...]
+    latency_s: float = 0.0
+
+    def payload_fields(self) -> Iterator[object]:
+        yield from self.feature_names
+        yield from self.label_names
+
+
+@dataclass(frozen=True)
+class ExamplesRelease:
+    """Sanitized labeled feature examples for federated assembly.
+
+    ``X`` rows are window aggregates (counts, byte totals, entropy-style
+    ratios); ``keys`` pair each row's window start with the *boundary
+    pseudonym* of its external endpoint — the raw endpoint never leaves
+    the site.  The k-anonymity auditor has already suppressed rows whose
+    quasi-identifier combination occurred fewer than k times.
+    """
+
+    site: str
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    keys: Tuple[Tuple[float, str], ...]
+    suppressed_rows: int
+    kanon: Optional[KAnonymityReport] = None
+    latency_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def payload_fields(self) -> Iterator[object]:
+        for window_start, endpoint in self.keys:
+            yield window_start
+            yield endpoint
+        yield from self.feature_names
+        yield from self.class_names
+        for value in self.X.ravel().tolist():
+            yield value
+        for label in self.y.tolist():
+            yield label

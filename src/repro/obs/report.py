@@ -24,7 +24,8 @@ from repro.obs.metrics import Histogram
 
 #: render order for known stages; unknown prefixes sort after these.
 _STAGE_ORDER = ("netsim", "capture", "store", "tiers", "query",
-                "query.plan", "devloop", "parallel", "switch", "pipeline")
+                "query.plan", "devloop", "parallel", "switch", "pipeline",
+                "federation")
 
 
 def span_stage(name: str) -> str:

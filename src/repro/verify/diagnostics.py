@@ -122,6 +122,10 @@ REP_CODES: Dict[str, Tuple[Severity, str]] = {
     "REP402": (Severity.ERROR,
                "tainted value passed to a function whose parameter "
                "flows to an export/print sink (inter-procedural)"),
+    "REP403": (Severity.ERROR,
+               "raw privacy-sensitive value crosses a federation "
+               "boundary (SiteGateway send / release envelope) without "
+               "passing a repro.privacy sanitizer"),
     # -- parallel safety (REP5xx) --
     "REP501": (Severity.ERROR,
                "function shipped to worker processes mutates "

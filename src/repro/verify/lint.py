@@ -186,6 +186,9 @@ class LintConfig:
     taint_source_calls: Optional[List[str]] = None
     taint_sinks: Optional[List[str]] = None
     taint_sanitizers: Optional[List[str]] = None
+    #: REP403 federation boundary sinks: gateway send APIs / release
+    #: envelope constructors; a tainted argument is a cross-site leak.
+    taint_boundary_sinks: Optional[List[str]] = None
 
     #: committed findings baseline, relative to the pyproject directory.
     baseline: Optional[str] = "lint-baseline.json"
@@ -226,6 +229,7 @@ class LintConfig:
                     "taint-source-calls": "taint_source_calls",
                     "taint-sinks": "taint_sinks",
                     "taint-sanitizers": "taint_sanitizers",
+                    "taint-boundary-sinks": "taint_boundary_sinks",
                 }
                 for key, attr in simple_lists.items():
                     if key in section:
@@ -262,6 +266,8 @@ class LintConfig:
             rules.sinks = list(self.taint_sinks)
         if self.taint_sanitizers is not None:
             rules.sanitizers = list(self.taint_sanitizers)
+        if self.taint_boundary_sinks is not None:
+            rules.boundary_sinks = list(self.taint_boundary_sinks)
         return rules
 
 
@@ -478,7 +484,7 @@ class PatternRules:
 class TaintRule:
     """Plugin wrapper for the REP4xx privacy taint analysis."""
 
-    codes = ("REP401", "REP402")
+    codes = ("REP401", "REP402", "REP403")
 
     def check(self, ctx: LintContext) -> List[Diagnostic]:
         from repro.verify.taint import TaintAnalysis

@@ -100,9 +100,21 @@ class TaintRules:
         "*.anonymize", "*.anonymize_ip", "*.shared_prefix_len",
         "*.scrub*", "*.hexdigest", "hash", "len", "sum", "bool",
     ])
+    #: federation boundary APIs (gateway sends, release envelope
+    #: constructors): a tainted argument here is REP403, not REP401 —
+    #: the value is about to leave the site, not just the process.
+    boundary_sinks: List[str] = field(default_factory=lambda: [
+        "*.send_count", "*.send_histogram", "*.send_heavy_hitters",
+        "*.send_schema", "*.send_examples",
+        "CountRelease", "HistogramRelease", "HeavyHittersRelease",
+        "SchemaRelease", "ExamplesRelease",
+    ])
 
     def is_sink(self, name: Optional[str]) -> bool:
         return _match_any(name, self.sinks)
+
+    def is_boundary_sink(self, name: Optional[str]) -> bool:
+        return _match_any(name, self.boundary_sinks)
 
     def is_sanitizer(self, name: Optional[str]) -> bool:
         return _match_any(name, self.sanitizers)
@@ -628,6 +640,12 @@ class _FunctionAnalysis:
         if self.rules.is_sanitizer(name):
             return {}
 
+        if self.rules.is_boundary_sink(name):
+            self._check_sink(node, name or "<call>", args, report,
+                             code="REP403",
+                             verb="crosses the federation boundary at")
+            return {}
+
         if self.rules.is_sink(name):
             self._check_sink(node, name or "<call>", args, report)
             return {}
@@ -674,7 +692,8 @@ class _FunctionAnalysis:
         base = node.func.value
         if not isinstance(base, ast.Name):
             return
-        if self.rules.is_sanitizer(name) or self.rules.is_sink(name):
+        if self.rules.is_sanitizer(name) or self.rules.is_sink(name) \
+                or self.rules.is_boundary_sink(name):
             return
         incoming: TaintSet = {}
         for _, taints in args:
@@ -753,20 +772,21 @@ class _FunctionAnalysis:
             self._param_to_sink[param] = (line, sink_name)
 
     def _check_sink(self, node: ast.Call, name: str, args,
-                    report: bool) -> None:
+                    report: bool, code: str = "REP401",
+                    verb: str = "reaches sink") -> None:
         for _, taints in args:
             for taint in taints.values():
                 if taint.kind == "source":
                     if report:
                         self.findings.append(_Finding(
-                            code="REP401",
-                            message=(f"{taint.origin} reaches sink "
+                            code=code,
+                            message=(f"{taint.origin} {verb} "
                                      f"{name}() without a "
                                      f"repro.privacy sanitizer"),
                             line=node.lineno,
                             trace=taint.trace(
                                 self.info.rel_path, node.lineno,
-                                f"reaches sink {name}()"),
+                                f"{verb} {name}()"),
                         ))
                 else:
                     self._note_param_sink(taint.param, node.lineno,

@@ -52,7 +52,7 @@ class TestSpecsAndPlans:
 
     def test_canned_plans_registry(self):
         assert set(FAULT_PLANS) == {"lossy-tap", "slow-store",
-                                    "flaky-switch"}
+                                    "flaky-switch", "flaky-site"}
         for name in FAULT_PLANS:
             plan = make_fault_plan(name, seed=5)
             assert plan.seed == 5

@@ -1,0 +1,103 @@
+"""DP composition: the merged bound covers the true all-sites answer.
+
+Satellite property, stated exactly as the coordinator relies on it:
+for any site count 1-8 and any epsilon split, summing per-site
+Laplace-noised counts and bounding with
+:func:`~repro.federation.bounds.compose_count_bound` covers the true
+total with probability at least the declared confidence.  The union
+bound makes the analytical guarantee conservative, so the empirical
+coverage over repeated noise draws must sit *above* confidence minus
+sampling slack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import compose_count_bound, laplace_quantile
+from repro.federation.bounds import scale_for_missing
+
+TRIALS = 400
+
+epsilons_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+    min_size=1, max_size=8)
+
+
+class TestLaplaceQuantile:
+    def test_matches_tail_probability(self):
+        # P(|X| > t) = exp(-t * eps / sens) for Laplace(sens/eps)
+        t = laplace_quantile(0.5, 0.05, sensitivity=1.0)
+        assert math.exp(-t * 0.5) == pytest.approx(0.05)
+
+    def test_monotone_in_alpha_and_epsilon(self):
+        assert laplace_quantile(0.5, 0.01) > laplace_quantile(0.5, 0.1)
+        assert laplace_quantile(0.1, 0.05) > laplace_quantile(1.0, 0.05)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            laplace_quantile(0.0, 0.05)
+        with pytest.raises(ValueError):
+            laplace_quantile(0.5, 0.0)
+
+
+class TestComposedCoverage:
+    @given(epsilons=epsilons_strategy,
+           confidence=st.sampled_from([0.9, 0.95, 0.99]),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_covers_true_total(self, epsilons, confidence, seed):
+        rng = np.random.default_rng(seed)
+        true_counts = rng.integers(0, 5000, size=len(epsilons))
+        true_total = float(true_counts.sum())
+        bound = compose_count_bound(epsilons, confidence)
+        covered = 0
+        for _ in range(TRIALS):
+            noisy_total = sum(
+                count + rng.laplace(0.0, 1.0 / eps)
+                for count, eps in zip(true_counts, epsilons))
+            if abs(noisy_total - true_total) <= bound:
+                covered += 1
+        # binomial slack at 4 sigma so the test is not itself flaky
+        slack = 4.0 * math.sqrt(confidence * (1 - confidence) / TRIALS)
+        assert covered / TRIALS >= confidence - slack
+
+    @given(epsilons=epsilons_strategy,
+           local_bounds=st.lists(
+               st.floats(min_value=0.0, max_value=50.0,
+                         allow_nan=False), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_local_bounds_add_linearly(self, epsilons, local_bounds):
+        base = compose_count_bound(epsilons, 0.95)
+        widened = compose_count_bound(epsilons, 0.95,
+                                      local_bounds=local_bounds)
+        assert widened == pytest.approx(base + sum(local_bounds))
+
+    def test_empty_epsilons_degenerates_to_local(self):
+        assert compose_count_bound([], 0.95,
+                                   local_bounds=[3.0, 2.0]) == 5.0
+
+
+class TestScaleForMissing:
+    def test_no_missing_is_identity(self):
+        assert scale_for_missing(10.0, 2.0, 4, 4, 100.0) == (10.0, 2.0)
+
+    def test_imputes_mean_and_widens(self):
+        value, bound = scale_for_missing(30.0, 2.0, 4, 3,
+                                         max_site_upper=15.0)
+        assert value == pytest.approx(30.0 + 30.0 / 3)
+        assert bound == pytest.approx(2.0 + 15.0)
+
+    def test_widening_grows_with_missing_sites(self):
+        _, one_missing = scale_for_missing(30.0, 2.0, 4, 3, 15.0)
+        _, two_missing = scale_for_missing(30.0, 2.0, 4, 2, 15.0)
+        assert two_missing > one_missing
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            scale_for_missing(0.0, 0.0, 3, 0, 1.0)

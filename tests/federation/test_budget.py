@@ -1,0 +1,101 @@
+"""Per-site DP budget: accounting invariants + refusal semantics.
+
+Satellite property: budget accounting never goes negative and never
+double-charges a refused release — a refusal is free, visible in the
+``refused`` counter, and leaves the accountant's ledger untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import PrivacyBudget, ReleaseRefused
+from repro.obs import Observability
+
+epsilon_lists = st.lists(
+    st.floats(min_value=0.01, max_value=0.8, allow_nan=False),
+    min_size=1, max_size=24)
+
+
+class TestAccounting:
+    @given(total=st.floats(min_value=0.5, max_value=4.0),
+           requests=epsilon_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_any_request_sequence(self, total,
+                                                   requests):
+        budget = PrivacyBudget("campus-x", total_epsilon=total, seed=3)
+        granted = refused = 0
+        for i, epsilon in enumerate(requests):
+            spent_before = budget.spent
+            try:
+                budget.release_count(100.0, epsilon,
+                                     description=f"req-{i}")
+                granted += 1
+                assert budget.spent == pytest.approx(
+                    spent_before + epsilon)
+            except ReleaseRefused:
+                refused += 1
+                # a refused release charges nothing
+                assert budget.spent == spent_before
+            assert 0.0 <= budget.spent <= total + 1e-9
+            assert budget.remaining >= -1e-9
+            assert budget.spent + budget.remaining \
+                == pytest.approx(total)
+        assert budget.refused == refused
+        assert len(budget.accountant.ledger) == granted
+
+    def test_refusal_is_loud_and_typed(self):
+        budget = PrivacyBudget("campus-x", total_epsilon=0.1, seed=0)
+        budget.release_count(5.0, 0.1)
+        with pytest.raises(ReleaseRefused) as excinfo:
+            budget.release_count(5.0, 0.05)
+        assert excinfo.value.site == "campus-x"
+        assert budget.refused == 1
+        assert budget.spent == pytest.approx(0.1)
+
+    def test_histogram_release_charges_once(self):
+        # disjoint bins: parallel composition => one epsilon charge
+        budget = PrivacyBudget("campus-x", total_epsilon=1.0, seed=0)
+        noisy = budget.release_histogram({"a": 10, "b": 20}, 0.25)
+        assert set(noisy) == {"a", "b"}
+        assert budget.spent == pytest.approx(0.25)
+
+    def test_noise_is_seed_deterministic(self):
+        a = PrivacyBudget("campus-x", total_epsilon=2.0, seed=42)
+        b = PrivacyBudget("campus-x", total_epsilon=2.0, seed=42)
+        assert a.release_count(50.0, 0.2) == b.release_count(50.0, 0.2)
+        c = PrivacyBudget("campus-x", total_epsilon=2.0, seed=43)
+        assert a.release_count(50.0, 0.2) != c.release_count(50.0, 0.2)
+
+    def test_noisy_answer_is_actually_noised(self):
+        budget = PrivacyBudget("campus-x", total_epsilon=10.0, seed=1)
+        draws = {budget.release_count(100.0, 0.5) for _ in range(8)}
+        assert len(draws) > 1
+        assert all(math.isfinite(v) for v in draws)
+
+
+class TestObsMirror:
+    def test_gauges_track_spend_and_refusals(self):
+        obs = Observability()
+        budget = PrivacyBudget("campus-g", total_epsilon=0.3, seed=0,
+                               obs=obs)
+        metrics = obs.metrics
+
+        def gauge(name):
+            return metrics.gauge(name, site="campus-g").value
+
+        assert gauge("repro_federation_epsilon_spent") == 0.0
+        assert gauge("repro_federation_epsilon_remaining") \
+            == pytest.approx(0.3)
+        budget.release_count(10.0, 0.2)
+        assert gauge("repro_federation_epsilon_spent") \
+            == pytest.approx(0.2)
+        with pytest.raises(ReleaseRefused):
+            budget.release_count(10.0, 0.2)
+        assert gauge("repro_federation_releases_refused") == 1
+        assert gauge("repro_federation_epsilon_spent") \
+            == pytest.approx(0.2)

@@ -1,0 +1,119 @@
+"""Per-site stream/key derivation: determinism + isolation.
+
+The federation's reproducibility contract lives here: every random
+stream at site *i* of a federation seeded *s* derives from ``(s, i)``
+and nothing else, and no two sites share a pseudonym space.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import FederationConfig, SiteSpec, site_key, \
+    site_stream_seed
+from repro.federation.config import (STREAM_DP, STREAM_FAULTS,
+                                     STREAM_PLATFORM)
+from repro.privacy.cryptopan import CryptoPan
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+site_ids = st.integers(min_value=0, max_value=15)
+
+
+class TestStreamDerivation:
+    @given(seed=seeds, site_id=site_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_streams_deterministic(self, seed, site_id):
+        for stream in (STREAM_PLATFORM, STREAM_DP, STREAM_FAULTS):
+            assert site_stream_seed(seed, site_id, stream) \
+                == site_stream_seed(seed, site_id, stream)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_streams_distinct_across_sites_and_kinds(self, seed):
+        values = {
+            site_stream_seed(seed, site_id, stream)
+            for site_id in range(8)
+            for stream in (STREAM_PLATFORM, STREAM_DP, STREAM_FAULTS)
+        }
+        assert len(values) == 8 * 3
+
+    def test_spec_derivation_deterministic(self):
+        a = SiteSpec.derive(7, 3)
+        b = SiteSpec.derive(7, 3)
+        assert a == b
+        assert a.name == "campus-3"
+
+    def test_keys_distinct_per_site_and_purpose(self):
+        keys = {site_key(7, site_id, purpose)
+                for site_id in range(8)
+                for purpose in ("ingest", "boundary")}
+        assert len(keys) == 16
+        spec = SiteSpec.derive(7, 0)
+        assert spec.ingest_key != spec.boundary_key
+
+
+class TestKeyIsolation:
+    """Satellite: same IP, different site => different pseudonym;
+    prefix relationships preserved within one site."""
+
+    @given(seed=seeds,
+           octets=st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_same_ip_differs_across_sites(self, seed, octets):
+        ip = ".".join(str(o) for o in octets)
+        pseudonyms = [
+            CryptoPan(site_key(seed, site_id, "boundary")).anonymize(ip)
+            for site_id in range(4)
+        ]
+        # Four independent keys mapping one IP to one value apiece:
+        # collisions are 2^-32 events, so all four must be distinct.
+        assert len(set(pseudonyms)) == len(pseudonyms)
+
+    @given(seed=seeds, site_id=site_ids,
+           a=st.lists(st.integers(0, 255), min_size=4, max_size=4),
+           b=st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_prefixes_preserved_within_a_site(self, seed, site_id, a, b):
+        ip_a = ".".join(str(o) for o in a)
+        ip_b = ".".join(str(o) for o in b)
+        pan = CryptoPan(site_key(seed, site_id, "boundary"))
+        assert pan.shared_prefix_len(pan.anonymize(ip_a),
+                                     pan.anonymize(ip_b)) \
+            == pan.shared_prefix_len(ip_a, ip_b)
+
+    def test_ingest_and_boundary_spaces_unlinkable(self):
+        spec = SiteSpec.derive(3, 0)
+        ingest = CryptoPan(spec.ingest_key)
+        boundary = CryptoPan(spec.boundary_key)
+        ips = [f"10.1.{i}.{i * 3 % 256}" for i in range(16)]
+        assert [ingest.anonymize(ip) for ip in ips] \
+            != [boundary.anonymize(ip) for ip in ips]
+
+
+class TestFederationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederationConfig(n_sites=0)
+        with pytest.raises(ValueError):
+            FederationConfig(quorum_fraction=0.0)
+        with pytest.raises(ValueError):
+            FederationConfig(confidence=1.0)
+
+    def test_quorum_math(self):
+        assert FederationConfig(n_sites=3,
+                                quorum_fraction=0.5).quorum == 2
+        assert FederationConfig(n_sites=4,
+                                quorum_fraction=0.5).quorum == 2
+        assert FederationConfig(n_sites=1,
+                                quorum_fraction=0.5).quorum == 1
+        assert FederationConfig(n_sites=5,
+                                quorum_fraction=1.0).quorum == 5
+
+    def test_site_specs_cover_all_sites(self):
+        config = FederationConfig(n_sites=4, seed=9)
+        specs = config.site_specs()
+        assert [s.site_id for s in specs] == [0, 1, 2, 3]
+        assert len({s.platform_seed for s in specs}) == 4
+        assert len({s.dp_seed for s in specs}) == 4
